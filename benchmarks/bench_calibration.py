@@ -1,0 +1,35 @@
+"""Calibration audit: every model constant against its paper anchor."""
+
+from repro.bench import format_grid
+from repro.bench.calibration import calibration_report
+
+from conftest import emit
+
+
+def test_calibration_anchors(benchmark):
+    checks = benchmark.pedantic(calibration_report, rounds=1, iterations=1)
+    emit(
+        "Calibration - PE-model constants vs the paper's anchors",
+        format_grid(
+            ["Anchor", "Paper", "Model", "Error"],
+            [
+                (
+                    c.anchor,
+                    f"{c.paper_value:10.2f}",
+                    f"{c.model_value:10.2f}",
+                    f"{c.relative_error:6.1%}",
+                )
+                for c in checks
+            ],
+        ),
+    )
+    # Hard anchors must hold tightly; the qualitative ratio loosely.
+    by_anchor = {c.anchor: c for c in checks}
+    assert by_anchor[
+        "1 SSE core x SwissProt wallclock (s)"
+    ].relative_error < 0.02
+    assert by_anchor["solved SSE rate (GCUPS)"].relative_error < 0.01
+    assert by_anchor[
+        "4 GPU + 4 SSE ideal wallclock (s)"
+    ].relative_error < 0.10
+    assert by_anchor["GPU GCUPS ratio SwissProt/Dog"].relative_error < 0.5

@@ -1,0 +1,72 @@
+"""Fig. 3: quantitative comparison of the three SW decompositions.
+
+The paper presents Fig. 3 qualitatively; this harness runs the
+analytic models of :mod:`repro.bench.strategies` on the published
+workload geometry and asserts the taxonomy's claims:
+
+* fine-grained loses efficiency to pipeline fill/drain as PEs grow;
+* coarse-grained is nearly ideal (residue-balanced subsets);
+* very coarse-grained "can easily lead to load imbalance", worsening
+  with PE count — which is the niche the paper's adjustment mechanism
+  then fills.
+"""
+
+from repro.bench import format_grid, paper_query_lengths
+from repro.bench.strategies import (
+    coarse_grained,
+    fine_grained,
+    very_coarse_grained,
+)
+from repro.sequences import ENSEMBL_DOG
+
+from conftest import emit
+
+CELL_RATE = 2.8e9  # one SSE core
+
+
+def test_fig3_strategy_comparison(benchmark):
+    lengths = paper_query_lengths()
+    residues = ENSEMBL_DOG.total_residues
+
+    def sweep():
+        rows = []
+        for num_pes in (2, 4, 8, 16):
+            outcomes = [
+                fine_grained(lengths, residues, num_pes, CELL_RATE),
+                coarse_grained(lengths, residues, num_pes, CELL_RATE),
+                very_coarse_grained(lengths, residues, num_pes, CELL_RATE),
+            ]
+            rows.append((num_pes, outcomes))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = [
+        (
+            num_pes,
+            *(f"{o.efficiency:.1%}" for o in outcomes),
+        )
+        for num_pes, outcomes in rows
+    ]
+    emit(
+        "Fig. 3 - parallel efficiency of the three decompositions "
+        "(Ensembl Dog, 40 queries)",
+        format_grid(
+            ["PEs", "fine-grained", "coarse-grained", "very coarse"],
+            table,
+        ),
+    )
+
+    for num_pes, (fine, coarse, very) in rows:
+        # Coarse-grained is the efficiency ceiling of the three.
+        assert coarse.efficiency >= fine.efficiency
+        assert coarse.efficiency >= very.efficiency - 1e-9
+        assert coarse.efficiency > 0.95
+    # Fine-grained fill/drain and very-coarse imbalance both worsen with
+    # PE count.
+    fine_eff = [outs[0].efficiency for _, outs in rows]
+    very_eff = [outs[2].efficiency for _, outs in rows]
+    assert fine_eff[0] > fine_eff[-1]
+    assert very_eff[0] > very_eff[-1]
+    # At 16 PEs the very coarse-grained tail is pronounced (< 90%),
+    # motivating the workload-adjustment mechanism.
+    assert very_eff[-1] < 0.90

@@ -1,0 +1,34 @@
+"""Fig. 6: SwissProt GCUPS with/without the adjustment mechanism.
+
+Paper claims reproduced: negligible impact on homogeneous (GPU-only)
+configurations; large gains on the hybrid ones (the paper reports
++85.9% for 2 GPUs + 4 SSEs and +207.2% for 4 GPUs + 4 SSEs); and
+"using GPUs combined with SSEs gives a better performance than the
+GPU-only solution" once the mechanism is on.
+"""
+
+from repro.bench import fig6_adjustment, format_fig6
+
+from conftest import emit
+
+
+def test_fig6_adjustment_gains(benchmark):
+    result = benchmark.pedantic(fig6_adjustment, rounds=1, iterations=1)
+    emit("Fig. 6 - impact of the workload adjustment mechanism",
+         format_fig6(result))
+
+    for config in ("1GPU", "2GPUs", "4GPUs"):
+        assert abs(result.gain_percent(config)) < 8.0
+
+    assert result.gain_percent("1GPU+4SSEs") > 15.0
+    assert result.gain_percent("2GPUs+4SSEs") > 15.0
+    assert result.gain_percent("4GPUs+4SSEs") > 80.0
+
+    with_adj = dict(zip(result.configurations, result.gcups_with))
+    without = dict(zip(result.configurations, result.gcups_without))
+    assert with_adj["4GPUs+4SSEs"] > with_adj["4GPUs"]
+    assert without["4GPUs+4SSEs"] < without["4GPUs"]
+
+    benchmark.extra_info["gain_4gpu_4sse_percent"] = round(
+        result.gain_percent("4GPUs+4SSEs"), 1
+    )

@@ -1,0 +1,27 @@
+"""The abstract's headline numbers, measured end to end.
+
+Paper: comparing 40 queries to SwissProt drops from 7,190 s on one SSE
+core to 112 s on 4 GPUs + 4 SSE cores, and the workload adjustment
+mechanism reduces hybrid execution time by 57.2%.
+"""
+
+import pytest
+
+from repro.bench import format_headline, headline
+
+from conftest import emit
+
+
+def test_headline_numbers(benchmark):
+    result = benchmark.pedantic(headline, rounds=1, iterations=1)
+    emit("Headline (abstract / Section V)", format_headline(result))
+
+    assert result.one_sse_seconds == pytest.approx(7_190, rel=0.05)
+    assert result.full_hybrid_seconds == pytest.approx(112, rel=0.25)
+    assert result.speedup > 45
+    assert result.adjustment_saving_percent == pytest.approx(57.2, abs=12)
+
+    benchmark.extra_info["speedup"] = round(result.speedup, 1)
+    benchmark.extra_info["adjustment_saving_percent"] = round(
+        result.adjustment_saving_percent, 1
+    )

@@ -1,0 +1,36 @@
+"""Table I (related-work survey) as a runnable policy comparison.
+
+The paper's Table I catalogues the allocation policies of prior systems
+(SS, Fixed, WFixed; only [15] reassigns tasks).  This benchmark runs
+all of them — plus the paper's PSS with and without the workload
+adjustment — on the Fig. 5 reference platform so the load-balancing
+differences become concrete makespans.
+"""
+
+import pytest
+
+from repro.bench import format_policy_rows, table1_policies
+
+from conftest import emit
+
+
+def test_table1_policy_comparison(benchmark):
+    rows = benchmark.pedantic(table1_policies, rounds=1, iterations=1)
+    emit(
+        "Table I - allocation policies on the Fig. 5 platform",
+        format_policy_rows(rows, ""),
+    )
+    by_name = {r.policy: r for r in rows}
+
+    # The paper's walk-through numbers.
+    assert by_name["PSS+reassign"].makespan == pytest.approx(14.0)
+    assert by_name["PSS"].makespan == pytest.approx(18.0)
+
+    # Reassignment never hurts; the static even split is the worst.
+    assert by_name["SS+reassign"].makespan <= by_name["SS"].makespan
+    worst = max(r.makespan for r in rows)
+    assert by_name["Fixed"].makespan == worst
+
+    # WFixed (correct static weights) matches SS here but cannot adapt;
+    # it still loses to PSS + reassignment.
+    assert by_name["PSS+reassign"].makespan < by_name["WFixed"].makespan

@@ -1,0 +1,31 @@
+"""Table II: database geometry (and synthetic materialization cost)."""
+
+import numpy as np
+
+from repro.bench import format_grid, table2_databases
+from repro.sequences import ENSEMBL_DOG
+
+from conftest import emit
+
+
+def test_table2_geometry(benchmark):
+    rows = benchmark.pedantic(table2_databases, rounds=3, iterations=1)
+    assert len(rows) == 5
+    emit(
+        "Table II - genomic databases",
+        format_grid(
+            ["Database", "#Sequences", "Shortest", "Longest"], rows
+        ),
+    )
+
+
+def test_synthetic_database_generation(benchmark):
+    """Cost of materializing a 1%-scale Ensembl Dog replica."""
+    rng = np.random.default_rng(0)
+
+    def build():
+        return ENSEMBL_DOG.materialize(rng, scale=0.01)
+
+    database = benchmark.pedantic(build, rounds=2, iterations=1)
+    assert len(database) == round(25_160 * 0.01)
+    benchmark.extra_info["residues"] = database.total_residues

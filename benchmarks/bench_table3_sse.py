@@ -1,0 +1,37 @@
+"""Table III: SSE-only execution times/GCUPS for 1/2/4/8 cores x 5 DBs.
+
+Paper claims reproduced: "speedups close to linear are obtained for all
+databases", with 1 core sustaining ~2.8 GCUPS (7,190 s on SwissProt).
+"""
+
+import pytest
+
+from repro.bench import format_cell_rows, table3_sse
+from repro.sequences import SWISSPROT
+
+from conftest import emit
+
+
+def test_table3_regeneration(benchmark):
+    rows = benchmark.pedantic(table3_sse, rounds=1, iterations=1)
+    assert len(rows) == 5 * 4
+    emit("Table III - SSE cores", format_cell_rows(rows, ""))
+
+    # Headline: 1 SSE core on SwissProt takes ~7,190 s at ~2.8 GCUPS.
+    one_core = next(
+        r for r in rows
+        if r.database == SWISSPROT.name and r.configuration == "1 SSE"
+    )
+    assert one_core.seconds == pytest.approx(7_190, rel=0.05)
+    assert one_core.gcups == pytest.approx(2.8, rel=0.05)
+    benchmark.extra_info["swissprot_1sse_seconds"] = one_core.seconds
+
+    # Scaling shape: strictly decreasing time with more cores, and
+    # >= 88% parallel efficiency through 4 cores.
+    for database in {r.database for r in rows}:
+        seconds = {
+            r.configuration: r.seconds for r in rows if r.database == database
+        }
+        assert seconds["1 SSE"] > seconds["2 SSE"] > seconds["4 SSE"]
+        assert seconds["4 SSE"] > seconds["8 SSE"]
+        assert seconds["1 SSE"] / seconds["4 SSE"] >= 4 * 0.88

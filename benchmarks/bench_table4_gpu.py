@@ -1,0 +1,39 @@
+"""Table IV: GPU-only execution times/GCUPS for 1/2/4 GPUs x 5 DBs.
+
+Paper claims reproduced: near-linear GPU scaling, and roughly double
+the GCUPS on UniProtDB/SwissProt compared with the four small
+proteomes (per-task overhead amortization).
+"""
+
+import pytest
+
+from repro.bench import format_cell_rows, table4_gpu
+from repro.sequences import ENSEMBL_DOG, SWISSPROT
+
+from conftest import emit
+
+
+def test_table4_regeneration(benchmark):
+    rows = benchmark.pedantic(table4_gpu, rounds=1, iterations=1)
+    assert len(rows) == 5 * 3
+    emit("Table IV - GPUs", format_cell_rows(rows, ""))
+
+    swiss = {
+        r.configuration: r for r in rows if r.database == SWISSPROT.name
+    }
+    dog = {
+        r.configuration: r for r in rows if r.database == ENSEMBL_DOG.name
+    }
+
+    # Near-linear scaling on the big database.
+    assert swiss["1 GPU"].seconds / swiss["2 GPU"].seconds == pytest.approx(
+        2, rel=0.15
+    )
+    assert swiss["1 GPU"].seconds / swiss["4 GPU"].seconds == pytest.approx(
+        4, rel=0.20
+    )
+
+    # "approximately the double of GCUPS" on SwissProt at 4 GPUs.
+    ratio = swiss["4 GPU"].gcups / dog["4 GPU"].gcups
+    assert 1.5 <= ratio <= 3.0
+    benchmark.extra_info["swissprot_vs_dog_gcups_ratio"] = round(ratio, 2)

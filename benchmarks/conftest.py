@@ -1,0 +1,30 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark regenerates one table or figure of the paper and
+registers its rendered text through :func:`emit`; a terminal-summary
+hook prints everything at the end of the run, so the regenerated
+tables are visible even under pytest's output capture::
+
+    pytest benchmarks/ --benchmark-only
+
+"""
+
+from __future__ import annotations
+
+_REPORTS: list[str] = []
+
+
+def emit(title: str, body: str) -> None:
+    """Queue a rendered table/figure for the end-of-run summary."""
+    _REPORTS.append(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{body}")
+
+
+def pytest_terminal_summary(terminalreporter):
+    if _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(
+            "Regenerated paper tables and figures"
+        )
+        for report in _REPORTS:
+            for line in report.splitlines():
+                terminalreporter.write_line(line)

@@ -1,0 +1,55 @@
+"""Quickstart: score, align, and search with the public API.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    BLOSUM62,
+    DEFAULT_GAPS,
+    Sequence,
+    database_search,
+    random_database,
+    sw_align,
+    sw_score,
+)
+from repro.sequences import mutate
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # --- 1. Pairwise scoring -----------------------------------------
+    # The paper's Fig. 1 example: two DNA fragments under ma=+1, mi=-1.
+    from repro import linear_gap, match_mismatch
+
+    s = Sequence(id="s", residues="GCTGACCT")
+    t = Sequence(id="t", residues="GAAGCTA")
+    score = sw_score(s, t, matrix=match_mismatch(1, -1), gaps=linear_gap(2))
+    print(f"SW similarity of {s.id} x {t.id}: {score}")
+
+    # --- 2. Protein alignment (Phase 1 + Phase 2) ---------------------
+    protein = Sequence(
+        id="P_demo",
+        residues="MKVLAWYRNDCEQGHISTPFMKVLAWYRNDCEQGHISTPF",
+    )
+    homolog = mutate(protein, rng, substitution_rate=0.15, indel_rate=0.05)
+    alignment = sw_align(protein, homolog, BLOSUM62, DEFAULT_GAPS)
+    print()
+    print(alignment.pretty())
+
+    # --- 3. Database search (one paper "task") ------------------------
+    database = random_database(200, 120.0, rng, name="demo-db")
+    result = database_search(protein, database, top=5)
+    print(f"top hits of {protein.id} against {database.name} "
+          f"({result.cells / 1e6:.1f} Mcells):")
+    for hit in result.hits:
+        print(f"  {hit.subject_id:<18} score={hit.score:<4} "
+              f"length={hit.subject_length}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,148 @@
+"""repro — Smith-Waterman sequence comparison on hybrid platforms.
+
+A production-grade reproduction of F. M. Mendonça and A. C. M. A. de
+Melo, *Biological Sequence Comparison on Hybrid Platforms with Dynamic
+Workload Adjustment* (IEEE IPDPSW 2013).
+
+The package is layered bottom-up:
+
+* :mod:`repro.sequences` — alphabets, FASTA and the paper's indexed
+  file format, databases, synthetic workload generation;
+* :mod:`repro.align` — Smith-Waterman scoring and alignment kernels
+  (textbook reference, numpy column-scan, the paper's adapted-Farrar
+  striped kernel, a CUDASW++-style inter-sequence kernel, and
+  linear-space Myers-Miller traceback);
+* :mod:`repro.core` — the paper's contribution: the task model with
+  ready/executing/finished states, the SS/PSS/Fixed/WFixed allocation
+  policies, the dynamic workload-adjustment (replication) mechanism,
+  and the master/slave runtime;
+* :mod:`repro.simulate` — a discrete-event simulator of the paper's
+  GPU + SSE platform driving the *same* master, used to regenerate the
+  published tables and figures at full scale;
+* :mod:`repro.bench` — workload definitions and one regeneration
+  function per table/figure.
+
+Quickstart::
+
+    import numpy as np
+    from repro import Sequence, database_search, random_database
+
+    rng = np.random.default_rng(0)
+    db = random_database(100, 120.0, rng, name="demo")
+    query = Sequence(id="q", residues=db[17].residues)
+    result = database_search(query, db, top=5)
+    print(result.best.subject_id, result.best.score)
+"""
+
+from .align import (
+    BLOSUM50,
+    BLOSUM62,
+    DEFAULT_GAPS,
+    Alignment,
+    GapModel,
+    SearchHit,
+    SearchResult,
+    affine_gap,
+    database_search,
+    gcups,
+    linear_gap,
+    match_mismatch,
+    sw_align,
+    sw_score,
+)
+from .core import (
+    FixedSplit,
+    HybridRuntime,
+    InterSequenceEngine,
+    Master,
+    PackageWeightedSelfScheduling,
+    ScanEngine,
+    SelfScheduling,
+    StripedSSEEngine,
+    Task,
+    TaskPool,
+    TaskState,
+    WeightedFixed,
+)
+from .sequences import (
+    DNA,
+    PAPER_DATABASES,
+    PROTEIN,
+    RNA,
+    IndexedReader,
+    IndexedWriter,
+    Sequence,
+    SequenceDatabase,
+    index_fasta,
+    query_set,
+    random_database,
+    random_sequence,
+    read_fasta,
+    write_fasta,
+)
+from .simulate import (
+    GPUModel,
+    HybridSimulator,
+    PESpec,
+    SSECoreModel,
+    UniformModel,
+    hybrid_platform,
+    paper_platform,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # align
+    "Alignment",
+    "GapModel",
+    "SearchHit",
+    "SearchResult",
+    "BLOSUM50",
+    "BLOSUM62",
+    "DEFAULT_GAPS",
+    "affine_gap",
+    "linear_gap",
+    "match_mismatch",
+    "sw_score",
+    "sw_align",
+    "database_search",
+    "gcups",
+    # core
+    "Task",
+    "TaskPool",
+    "TaskState",
+    "Master",
+    "SelfScheduling",
+    "PackageWeightedSelfScheduling",
+    "FixedSplit",
+    "WeightedFixed",
+    "HybridRuntime",
+    "StripedSSEEngine",
+    "InterSequenceEngine",
+    "ScanEngine",
+    # sequences
+    "DNA",
+    "RNA",
+    "PROTEIN",
+    "Sequence",
+    "SequenceDatabase",
+    "IndexedReader",
+    "IndexedWriter",
+    "index_fasta",
+    "read_fasta",
+    "write_fasta",
+    "random_sequence",
+    "random_database",
+    "query_set",
+    "PAPER_DATABASES",
+    # simulate
+    "HybridSimulator",
+    "PESpec",
+    "GPUModel",
+    "SSECoreModel",
+    "UniformModel",
+    "hybrid_platform",
+    "paper_platform",
+]

@@ -1,0 +1,267 @@
+"""High-level alignment and database-search API.
+
+These are the entry points applications use; the kernels underneath are
+selected automatically (or explicitly via ``kernel=``):
+
+* ``"reference"`` — textbook loops (ground truth; small inputs);
+* ``"scan"`` — numpy column-scan, the fast single-pair scorer;
+* ``"striped"`` — the paper's adapted-Farrar SSE engine;
+* ``"intersequence"`` — the CUDASW++-style many-subjects engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sequences.database import SequenceDatabase
+from ..sequences.records import Sequence
+from .columnwise import sw_score_scan
+from .gaps import DEFAULT_GAPS, GapModel
+from .hirschberg import align_linear_space
+from .intersequence import sw_score_database
+from .reference import sw_score_reference
+from .scoring import SubstitutionMatrix, default_matrix_for
+from .striped import sw_score_striped
+from .traceback import Alignment, sw_align_reference
+from .wavefront import sw_score_wavefront
+
+__all__ = [
+    "SearchHit",
+    "SearchResult",
+    "sw_score",
+    "sw_align",
+    "database_search",
+    "search_and_align",
+]
+
+#: Above this many DP cells, :func:`sw_align` switches from quadratic
+#: space (reference traceback) to linear space (Myers-Miller).
+_FULL_MATRIX_CELL_LIMIT = 4_000_000
+
+
+def _resolve(
+    s: Sequence, matrix: SubstitutionMatrix | None
+) -> SubstitutionMatrix:
+    if matrix is not None:
+        return matrix
+    assert s.alphabet is not None
+    return default_matrix_for(s.alphabet)
+
+
+def sw_score(
+    query: Sequence,
+    subject: Sequence,
+    matrix: SubstitutionMatrix | None = None,
+    gaps: GapModel = DEFAULT_GAPS,
+    kernel: str = "scan",
+) -> int:
+    """Smith-Waterman similarity of *query* x *subject* (Phase 1 only)."""
+    matrix = _resolve(query, matrix)
+    if kernel == "scan":
+        return sw_score_scan(query, subject, matrix, gaps).score
+    if kernel == "striped":
+        return sw_score_striped(query, subject, matrix, gaps).score
+    if kernel == "reference":
+        return sw_score_reference(query, subject, matrix, gaps)
+    if kernel == "wavefront":
+        return sw_score_wavefront(query, subject, matrix, gaps).score
+    if kernel == "intersequence":
+        db = SequenceDatabase([subject], name=subject.id)
+        return int(sw_score_database(query, db, matrix, gaps)[0])
+    raise ValueError(f"unknown kernel {kernel!r}")
+
+
+def sw_align(
+    query: Sequence,
+    subject: Sequence,
+    matrix: SubstitutionMatrix | None = None,
+    gaps: GapModel = DEFAULT_GAPS,
+) -> Alignment:
+    """Optimal local alignment (Phases 1 + 2).
+
+    Small problems run the quadratic-space textbook traceback; larger
+    ones switch to the linear-space Myers-Miller retrieval, so this is
+    safe for arbitrarily long inputs.
+    """
+    matrix = _resolve(query, matrix)
+    if len(query) * len(subject) <= _FULL_MATRIX_CELL_LIMIT:
+        return sw_align_reference(query, subject, matrix, gaps)
+    return align_linear_space(query, subject, matrix, gaps)
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One ranked database hit.
+
+    ``evalue``/``bit_score`` are populated when the search ran with
+    Karlin-Altschul statistics (see :func:`database_search`'s
+    ``statistics`` parameter); ``None`` otherwise.  ``strand`` is ``"-"``
+    when a two-strand nucleotide search matched the reverse complement
+    of the query.
+    """
+
+    subject_id: str
+    subject_index: int
+    score: int
+    subject_length: int
+    evalue: float | None = None
+    bit_score: float | None = None
+    strand: str = "+"
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one query x database search (one paper *task*)."""
+
+    query_id: str
+    database_name: str
+    hits: tuple[SearchHit, ...]
+    cells: int
+
+    @property
+    def best(self) -> SearchHit:
+        """The top-ranked hit (raises on an empty result)."""
+        if not self.hits:
+            raise ValueError("empty search result")
+        return self.hits[0]
+
+    def scores(self) -> list[int]:
+        """Hit scores, best-first."""
+        return [hit.score for hit in self.hits]
+
+
+def database_search(
+    query: Sequence,
+    database: SequenceDatabase,
+    matrix: SubstitutionMatrix | None = None,
+    gaps: GapModel = DEFAULT_GAPS,
+    top: int = 10,
+    lanes: int = 32,
+    statistics: "KarlinAltschul | str | None" = None,
+    strands: str = "forward",
+    evalue_cutoff: float | None = None,
+) -> SearchResult:
+    """Rank every database record by SW similarity to *query*.
+
+    This is exactly the unit of work the paper calls a *task*; the
+    inter-sequence kernel scores the whole database in lane batches and
+    the *top* hits are returned best-first (ties broken by database
+    order, matching the deterministic merge the master performs).
+
+    ``statistics`` annotates hits with E-values and bit scores: pass a
+    fitted :class:`~repro.align.statistics.KarlinAltschul`, or
+    ``"auto"`` to use the pre-fit parameters of a stock scoring system
+    (silently skipped when none are on record).
+
+    ``strands="both"`` (nucleotide queries only) also scores the
+    reverse complement and keeps each subject's better strand, reported
+    in :attr:`SearchHit.strand` — the BLASTN convention.
+
+    ``evalue_cutoff`` drops hits whose expected chance-occurrence count
+    exceeds the threshold (requires statistics; BLAST's default is 10).
+    """
+    from .statistics import KarlinAltschul, stock_parameters
+
+    matrix = _resolve(query, matrix)
+    params: KarlinAltschul | None
+    if statistics == "auto":
+        params = stock_parameters(matrix, gaps)
+    else:
+        params = statistics  # type: ignore[assignment]
+
+    scores = sw_score_database(query, database, matrix, gaps, lanes=lanes)
+    if strands == "both":
+        from .dna import reverse_complement
+
+        reverse_scores = sw_score_database(
+            reverse_complement(query), database, matrix, gaps, lanes=lanes
+        )
+        hit_strands = np.where(reverse_scores > scores, "-", "+")
+        scores = np.maximum(scores, reverse_scores)
+    elif strands == "forward":
+        hit_strands = np.full(len(scores), "+", dtype=object)
+    else:
+        raise ValueError("strands must be 'forward' or 'both'")
+    if top <= 0:
+        top = len(scores)
+    top = min(top, len(scores))
+    if top == 0:
+        ranked: list[int] = []
+    else:
+        # Stable best-first ranking: sort by (-score, index).
+        ranked = list(np.lexsort((np.arange(len(scores)), -scores))[:top])
+    residues = database.total_residues
+    hits = tuple(
+        SearchHit(
+            subject_id=database[i].id,
+            subject_index=int(i),
+            score=int(scores[i]),
+            subject_length=len(database[i]),
+            evalue=(
+                params.evalue(int(scores[i]), len(query), residues)
+                if params is not None
+                else None
+            ),
+            bit_score=(
+                params.bit_score(int(scores[i])) if params is not None else None
+            ),
+            strand=str(hit_strands[i]),
+        )
+        for i in ranked
+    )
+    if evalue_cutoff is not None:
+        if params is None:
+            raise ValueError(
+                "evalue_cutoff requires statistics (pass statistics='auto' "
+                "or a fitted KarlinAltschul)"
+            )
+        hits = tuple(
+            hit for hit in hits
+            if hit.evalue is not None and hit.evalue <= evalue_cutoff
+        )
+    return SearchResult(
+        query_id=query.id,
+        database_name=database.name,
+        hits=hits,
+        cells=len(query) * residues,
+    )
+
+
+def search_and_align(
+    query: Sequence,
+    database: SequenceDatabase,
+    matrix: SubstitutionMatrix | None = None,
+    gaps: GapModel = DEFAULT_GAPS,
+    top: int = 10,
+    lanes: int = 32,
+    statistics: "KarlinAltschul | str | None" = "auto",
+) -> list[tuple[Alignment, SearchHit]]:
+    """The complete SSEARCH-style pipeline: score, rank, then align.
+
+    Phase 1 scores the whole database with the inter-sequence kernel;
+    Phase 2 retrieves alignments only for the *top* hits (the standard
+    production split — traceback for every subject would multiply the
+    cost for results nobody reads).  Returns ``(alignment, hit)`` pairs
+    best-first, ready for
+    :func:`repro.align.io_formats.pairwise_report` or
+    :func:`repro.align.io_formats.alignment_to_tabular`.
+    """
+    matrix = _resolve(query, matrix)
+    result = database_search(
+        query, database, matrix, gaps, top=top, lanes=lanes,
+        statistics=statistics,
+    )
+    pairs: list[tuple[Alignment, SearchHit]] = []
+    for hit in result.hits:
+        alignment = sw_align(
+            query, database[hit.subject_index], matrix, gaps
+        )
+        if alignment.score != hit.score:  # pragma: no cover - invariant
+            raise AssertionError(
+                f"phase-2 score {alignment.score} != phase-1 {hit.score} "
+                f"for {hit.subject_id}"
+            )
+        pairs.append((alignment, hit))
+    return pairs

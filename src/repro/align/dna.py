@@ -1,0 +1,74 @@
+"""Nucleotide-specific helpers: complements and two-strand search.
+
+DNA homology can sit on either strand; nucleotide search tools score
+the query and its reverse complement and report the better strand.
+These helpers add that convention on top of the strand-agnostic
+kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sequences.alphabet import DNA, RNA
+from ..sequences.records import Sequence
+from .columnwise import sw_score_scan
+from .gaps import GapModel
+from .scoring import SubstitutionMatrix
+
+__all__ = ["reverse_complement", "StrandHit", "sw_score_both_strands"]
+
+_DNA_COMPLEMENT = str.maketrans("ACGTN", "TGCAN")
+_RNA_COMPLEMENT = str.maketrans("ACGUN", "UGCAN")
+
+
+def reverse_complement(sequence: Sequence) -> Sequence:
+    """Reverse complement of a DNA/RNA sequence."""
+    alphabet = sequence.alphabet
+    if alphabet is DNA:
+        table = _DNA_COMPLEMENT
+    elif alphabet is RNA:
+        table = _RNA_COMPLEMENT
+    else:
+        raise ValueError(
+            f"reverse complement undefined for alphabet "
+            f"{alphabet.name if alphabet else None!r}"
+        )
+    return Sequence(
+        id=f"{sequence.id}(rc)",
+        residues=sequence.residues.translate(table)[::-1],
+        description=sequence.description,
+        alphabet=alphabet,
+    )
+
+
+@dataclass(frozen=True)
+class StrandHit:
+    """Best score over both strands of the query."""
+
+    score: int
+    strand: str  # "+" or "-"
+
+    @property
+    def is_forward(self) -> bool:
+        """True when the forward strand scored best."""
+        return self.strand == "+"
+
+
+def sw_score_both_strands(
+    query: Sequence,
+    subject: Sequence,
+    matrix: SubstitutionMatrix,
+    gaps: GapModel,
+) -> StrandHit:
+    """SW similarity of the better strand of *query* vs *subject*.
+
+    Ties prefer the forward strand (the convention of BLASTN reports).
+    """
+    forward = sw_score_scan(query, subject, matrix, gaps).score
+    reverse = sw_score_scan(
+        reverse_complement(query), subject, matrix, gaps
+    ).score
+    if reverse > forward:
+        return StrandHit(score=reverse, strand="-")
+    return StrandHit(score=forward, strand="+")

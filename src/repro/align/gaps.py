@@ -1,0 +1,72 @@
+"""Gap penalty models.
+
+The SW recurrence of the paper (Eq. 1) charges a flat penalty ``g`` per
+gap column (*linear* model).  Section II-A-3 recalls Gotoh's *affine*
+model — a higher penalty for opening a gap run and a lower one for
+extending it — which every production engine (Farrar, CUDASW++, SWIPE)
+uses.  Both models are expressed here as a single dataclass so kernels
+can branch once on :attr:`GapModel.is_linear`.
+
+Penalties are stored as **non-negative costs**; kernels subtract them.
+This avoids the classic sign bug where an API accepts ``-2`` in one
+place and ``2`` in another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GapModel", "linear_gap", "affine_gap", "DEFAULT_GAPS"]
+
+
+@dataclass(frozen=True)
+class GapModel:
+    """Affine gap penalties (linear is the special case extend == open).
+
+    A gap run of length ``k >= 1`` costs ``open + (k - 1) * extend``.
+    Note the convention: ``open`` is the cost of the *first* gap residue,
+    not an extra surcharge on top of it (the SSEARCH/Farrar convention,
+    where ``-10/-2`` means the first gap costs 10 and each further gap 2).
+    """
+
+    open: int
+    extend: int
+
+    def __post_init__(self) -> None:
+        if self.open < 0 or self.extend < 0:
+            raise ValueError("gap penalties are non-negative costs")
+        if self.extend > self.open:
+            raise ValueError("gap extend cost cannot exceed gap open cost")
+
+    @property
+    def is_linear(self) -> bool:
+        """True when every gap residue costs the same."""
+        return self.open == self.extend
+
+    def cost(self, length: int) -> int:
+        """Total cost of a gap run of *length* residues."""
+        if length < 0:
+            raise ValueError("gap length must be non-negative")
+        if length == 0:
+            return 0
+        return self.open + (length - 1) * self.extend
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_linear:
+            return f"linear(g={self.open})"
+        return f"affine(open={self.open}, extend={self.extend})"
+
+
+def linear_gap(g: int) -> GapModel:
+    """The paper's Eq. 1 model: every gap column costs *g*."""
+    return GapModel(open=g, extend=g)
+
+
+def affine_gap(open_cost: int, extend_cost: int) -> GapModel:
+    """Gotoh's model; see :class:`GapModel` for the cost convention."""
+    return GapModel(open=open_cost, extend=extend_cost)
+
+
+#: The protein-search default used throughout the benchmarks
+#: (BLOSUM62 with 10/2, the CUDASW++ 2.0 default parameters).
+DEFAULT_GAPS = affine_gap(10, 2)

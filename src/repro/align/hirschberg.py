@@ -1,0 +1,314 @@
+"""Linear-space local alignment retrieval (Hirschberg / Myers-Miller).
+
+The paper's Phase 2 discussion notes that quadratic-space traceback
+restricts alignment retrieval to short sequences (its ref. [12] could
+"only compare short sequences"; ref. [4] is the linear-space line of
+work).  This module implements the production answer — the three-pass
+scheme used by SSEARCH:
+
+1. a forward score-only pass (:mod:`repro.align.columnwise`) finds the
+   optimal score and its **end** cell;
+2. an *anchored* reverse pass — the same column-scan DP run on the
+   reversed prefixes with global-style boundaries and no zero floor —
+   finds the **start** cell;
+3. the bounded substrings are aligned **globally** with Myers & Miller's
+   divide-and-conquer (affine gaps, linear space), which is guaranteed
+   to reproduce the local optimum because an optimal local alignment is
+   a global alignment of exactly the substring pair it spans.
+
+Memory is ``O(m + n)`` throughout; time is ``O(mn)`` with the same
+vectorized column updates as the scan kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sequences.records import Sequence
+from .columnwise import sw_score_scan
+from .gaps import GapModel
+from .reference import _codes
+from .scoring import SubstitutionMatrix
+from .traceback import GAP_CHAR, Alignment
+
+__all__ = ["align_linear_space", "global_align_linear_space"]
+
+_NEG = np.int64(-(1 << 40))
+
+
+# ----------------------------------------------------------------------
+# Step 2: anchored reverse pass
+# ----------------------------------------------------------------------
+def _anchored_best(
+    s_codes: np.ndarray,
+    t_codes: np.ndarray,
+    matrix: SubstitutionMatrix,
+    gaps: GapModel,
+) -> tuple[int, tuple[int, int]]:
+    """Best-scoring cell of the corner-anchored affine DP.
+
+    ``A[i][j]`` is the best score of an alignment that starts exactly at
+    the (0, 0) corner and ends at ``(i, j)``; boundaries charge gap
+    runs, and there is no zero floor.  Applied to reversed prefixes this
+    finds where the optimal local alignment *started*.
+    """
+    m, n = len(s_codes), len(t_codes)
+    go, ge = np.int64(gaps.open), np.int64(gaps.extend)
+    profile = matrix.profile_for(s_codes).astype(np.int64)
+
+    # Column 0 boundary: a pure vertical gap run of length i.
+    H_prev = np.empty(m + 1, dtype=np.int64)
+    H_prev[0] = 0
+    if m:
+        H_prev[1:] = -(go + np.arange(m, dtype=np.int64) * ge)
+    E_prev = np.full(m, _NEG, dtype=np.int64)
+    ramp_up = np.arange(m + 1, dtype=np.int64) * ge
+    ramp_dn = go + np.arange(m, dtype=np.int64) * ge
+    G = np.empty(m + 1, dtype=np.int64)
+
+    best = np.int64(-(1 << 41))
+    best_pos = (0, 0)
+    for j in range(n):
+        top = -(go + np.int64(j) * ge)  # H[0][j + 1] boundary
+        prof = profile[t_codes[j]]
+        E = np.maximum(H_prev[1:] - go, E_prev - ge)
+        H = np.maximum(H_prev[:-1] + prof, E)
+        while True:
+            G[0] = top
+            np.add(H, ramp_up[1:], out=G[1:])
+            prefix = np.maximum.accumulate(G)[:-1]
+            F = prefix - ramp_dn
+            raised = F > H
+            if not raised.any():
+                break
+            np.maximum(H, F, out=H)
+        column_best = H.max()
+        if column_best > best:
+            best = column_best
+            best_pos = (int(H.argmax()) + 1, j + 1)
+        H_prev[0] = top
+        H_prev[1:] = H
+        E_prev = E
+    return int(best), best_pos
+
+
+# ----------------------------------------------------------------------
+# Step 3: Myers-Miller global alignment in linear space
+# ----------------------------------------------------------------------
+# The classic formulation prices a gap run of length k as g + h*k with a
+# one-off "open surcharge" g and per-residue cost h.  Our GapModel prices
+# it open + (k-1)*extend, which maps exactly onto g = open - extend and
+# h = extend; the surcharge form is what lets a run crossing the
+# midline be split between the two halves and corrected by +g once.
+
+
+def _forward_strip(
+    a: np.ndarray,
+    b: np.ndarray,
+    sub: np.ndarray,
+    g: int,
+    h: int,
+    tb: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Last-row score vectors of the global DP over strip *a* x *b*.
+
+    Returns ``(CC, DD)``: ``CC[j]`` is the best alignment score of all
+    of *a* against ``b[:j]``; ``DD[j]`` additionally requires the
+    alignment to end inside a vertical gap (deletion), priced so the gap
+    can be continued below.  ``tb`` is the open surcharge applicable to
+    a vertical gap starting at this strip's top boundary (0 when the
+    caller knows such a gap is already open).
+    """
+    m, n = len(a), len(b)
+    CC = np.empty(n + 1, dtype=np.int64)
+    CC[0] = 0
+    if n:
+        CC[1:] = -(g + h * np.arange(1, n + 1, dtype=np.int64))
+    DD = np.full(n + 1, _NEG, dtype=np.int64)
+    ramp_up = np.arange(n + 1, dtype=np.int64) * h
+    ramp_dn = (g + h) + np.arange(n, dtype=np.int64) * h
+    G = np.empty(n + 1, dtype=np.int64)
+
+    for i in range(1, m + 1):
+        open_v = tb if i == 1 else g  # vertical-gap surcharge for this row
+        # DD = F state of row i, vectorized over columns.
+        DD = np.maximum(DD - h, CC - (open_v + h))
+        left = -(tb + h * i)  # H[i][0]: vertical run down the left edge
+        diag = CC[:-1] + sub[a[i - 1], b] if n else CC[:0]
+        H = np.maximum(diag, DD[1:])
+        # E (horizontal gap) via prefix scan with fixpoint, boundary at
+        # H[i][0] = left; E[i][0] impossible.
+        while True:
+            G[0] = left
+            np.add(H, ramp_up[1:], out=G[1:])
+            prefix = np.maximum.accumulate(G)[:-1]
+            E = prefix - ramp_dn
+            raised = E > H
+            if not raised.any():
+                break
+            np.maximum(H, E, out=H)
+        CC[0] = left
+        CC[1:] = H
+    return CC, DD
+
+
+def _emit_subject(parts_q: list[str], parts_t: list[str], residues: str) -> None:
+    parts_q.append(GAP_CHAR * len(residues))
+    parts_t.append(residues)
+
+
+def _emit_query(parts_q: list[str], parts_t: list[str], residues: str) -> None:
+    parts_q.append(residues)
+    parts_t.append(GAP_CHAR * len(residues))
+
+
+def _mm_recurse(
+    a_res: str,
+    b_res: str,
+    a: np.ndarray,
+    b: np.ndarray,
+    sub: np.ndarray,
+    g: int,
+    h: int,
+    tb: int,
+    te: int,
+    parts_q: list[str],
+    parts_t: list[str],
+) -> None:
+    """Myers-Miller divide and conquer; appends alignment columns."""
+    m, n = len(a), len(b)
+    if n == 0:
+        if m > 0:
+            _emit_query(parts_q, parts_t, a_res)
+        return
+    if m == 0:
+        _emit_subject(parts_q, parts_t, b_res)
+        return
+    if m == 1:
+        # Direct solution: either a[0] pairs with some b[j], with the
+        # flanks inserted, or a[0] is deleted alongside a full insertion.
+        gap_cost = lambda k: 0 if k == 0 else g + h * k
+        best = -(min(tb, te) + h) - gap_cost(n)
+        best_j = -1  # -1 encodes the all-gaps option
+        for j in range(n):
+            cand = (
+                -gap_cost(j)
+                + int(sub[a[0], b[j]])
+                - gap_cost(n - 1 - j)
+            )
+            if cand > best:
+                best = cand
+                best_j = j
+        if best_j < 0:
+            _emit_query(parts_q, parts_t, a_res)
+            _emit_subject(parts_q, parts_t, b_res)
+        else:
+            if best_j > 0:
+                _emit_subject(parts_q, parts_t, b_res[:best_j])
+            parts_q.append(a_res)
+            parts_t.append(b_res[best_j])
+            if best_j < n - 1:
+                _emit_subject(parts_q, parts_t, b_res[best_j + 1 :])
+        return
+
+    mid = m // 2
+    CC_f, DD_f = _forward_strip(a[:mid], b, sub, g, h, tb)
+    CC_r, DD_r = _forward_strip(a[mid:][::-1], b[::-1], sub, g, h, te)
+    join_cc = CC_f + CC_r[::-1]
+    join_dd = DD_f + DD_r[::-1] + g  # +g: the crossing run's surcharge
+    # was paid by both halves, charge it once.
+    best_cc = int(join_cc.max())
+    best_dd = int(join_dd.max())
+    if best_cc >= best_dd:
+        midj = int(join_cc.argmax())
+        _mm_recurse(
+            a_res[:mid], b_res[:midj], a[:mid], b[:midj],
+            sub, g, h, tb, g, parts_q, parts_t,
+        )
+        _mm_recurse(
+            a_res[mid:], b_res[midj:], a[mid:], b[midj:],
+            sub, g, h, g, te, parts_q, parts_t,
+        )
+    else:
+        # The optimum crosses the midline inside a vertical gap that
+        # covers a[mid - 1] and a[mid]: emit those two deletions here and
+        # tell each half the gap is already open at its boundary.
+        midj = int(join_dd.argmax())
+        _mm_recurse(
+            a_res[: mid - 1], b_res[:midj], a[: mid - 1], b[:midj],
+            sub, g, h, tb, 0, parts_q, parts_t,
+        )
+        _emit_query(parts_q, parts_t, a_res[mid - 1 : mid + 1])
+        _mm_recurse(
+            a_res[mid + 1 :], b_res[midj:], a[mid + 1 :], b[midj:],
+            sub, g, h, 0, te, parts_q, parts_t,
+        )
+
+
+def global_align_linear_space(
+    s: Sequence,
+    t: Sequence,
+    matrix: SubstitutionMatrix,
+    gaps: GapModel,
+) -> tuple[str, str]:
+    """Optimal *global* affine-gap alignment in linear space.
+
+    Returns the aligned residue strings.  Exposed separately because the
+    examples use it to align bounded regions directly.
+    """
+    a = _codes(s, matrix)
+    b = _codes(t, matrix)
+    sub = matrix.scores.astype(np.int64)
+    g = gaps.open - gaps.extend
+    h = gaps.extend
+    parts_q: list[str] = []
+    parts_t: list[str] = []
+    _mm_recurse(
+        s.residues, t.residues, a, b, sub, g, h, g, g, parts_q, parts_t
+    )
+    return "".join(parts_q), "".join(parts_t)
+
+
+# ----------------------------------------------------------------------
+# The public three-pass local aligner
+# ----------------------------------------------------------------------
+def align_linear_space(
+    s: Sequence,
+    t: Sequence,
+    matrix: SubstitutionMatrix,
+    gaps: GapModel,
+) -> Alignment:
+    """Optimal local alignment of *s* x *t* in ``O(m + n)`` memory."""
+    forward = sw_score_scan(s, t, matrix, gaps)
+    if forward.score == 0:
+        return Alignment(
+            query_id=s.id, subject_id=t.id, score=0,
+            aligned_query="", aligned_subject="",
+            query_start=0, query_end=0, subject_start=0, subject_end=0,
+        )
+    ie, je = forward.end
+    s_codes = _codes(s, matrix)
+    t_codes = _codes(t, matrix)
+    rev_score, (ri, rj) = _anchored_best(
+        s_codes[:ie][::-1], t_codes[:je][::-1], matrix, gaps
+    )
+    if rev_score != forward.score:  # pragma: no cover - kernel invariant
+        raise AssertionError(
+            f"anchored reverse pass score {rev_score} != forward "
+            f"{forward.score}"
+        )
+    i_start, j_start = ie - ri, je - rj
+    sub_q = s.slice(i_start, ie)
+    sub_t = t.slice(j_start, je)
+    aligned_q, aligned_t = global_align_linear_space(sub_q, sub_t, matrix, gaps)
+    return Alignment(
+        query_id=s.id,
+        subject_id=t.id,
+        score=forward.score,
+        aligned_query=aligned_q,
+        aligned_subject=aligned_t,
+        query_start=i_start,
+        query_end=ie,
+        subject_start=j_start,
+        subject_end=je,
+    )

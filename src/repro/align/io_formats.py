@@ -1,0 +1,142 @@
+"""Standard output formats for search results and alignments.
+
+Downstream tooling expects search output in the de-facto standard
+formats, so the library emits them:
+
+* **tabular** — BLAST's ``-outfmt 6`` twelve-column format
+  (qseqid sseqid pident length mismatch gapopen qstart qend sstart send
+  evalue bitscore), the lingua franca of homology pipelines;
+* **pairwise report** — a human-readable block per hit, in the style of
+  SSEARCH/BLAST text output.
+
+Columns that require an alignment (identity, mismatches, gap opens,
+coordinates) are computed from :class:`~repro.align.traceback.Alignment`
+objects; score-only hits emit the score columns with placeholders.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, TextIO
+
+from .api import SearchHit, SearchResult
+from .traceback import GAP_CHAR, Alignment
+
+__all__ = [
+    "alignment_to_tabular",
+    "hits_to_tabular",
+    "write_tabular",
+    "pairwise_report",
+]
+
+_TABULAR_HEADER = (
+    "qseqid\tsseqid\tpident\tlength\tmismatch\tgapopen\t"
+    "qstart\tqend\tsstart\tsend\tevalue\tbitscore"
+)
+
+
+def _gap_opens(alignment: Alignment) -> int:
+    opens = 0
+    in_gap = False
+    for a, b in zip(alignment.aligned_query, alignment.aligned_subject):
+        if a == GAP_CHAR or b == GAP_CHAR:
+            if not in_gap:
+                opens += 1
+            in_gap = True
+        else:
+            in_gap = False
+    return opens
+
+
+def alignment_to_tabular(
+    alignment: Alignment,
+    evalue: float | None = None,
+    bit_score: float | None = None,
+) -> str:
+    """One BLAST outfmt-6 line for an alignment."""
+    mismatches = sum(
+        a != b and a != GAP_CHAR and b != GAP_CHAR
+        for a, b in zip(alignment.aligned_query, alignment.aligned_subject)
+    )
+    fields = [
+        alignment.query_id,
+        alignment.subject_id,
+        f"{100.0 * alignment.identity:.2f}",
+        str(alignment.length),
+        str(mismatches),
+        str(_gap_opens(alignment)),
+        str(alignment.query_start + 1),
+        str(alignment.query_end),
+        str(alignment.subject_start + 1),
+        str(alignment.subject_end),
+        f"{evalue:.2g}" if evalue is not None else "*",
+        f"{bit_score:.1f}" if bit_score is not None else str(alignment.score),
+    ]
+    return "\t".join(fields)
+
+
+def hits_to_tabular(result: SearchResult) -> list[str]:
+    """Score-only tabular lines for a search result (no alignments).
+
+    Alignment-derived columns are ``*`` placeholders; score/statistics
+    columns are real.  Use :func:`alignment_to_tabular` after Phase 2
+    for fully populated rows.
+    """
+    lines = []
+    for hit in result.hits:
+        fields = [
+            result.query_id,
+            hit.subject_id,
+            "*",  # pident needs an alignment
+            "*",
+            "*",
+            "*",
+            "*",
+            "*",
+            "*",
+            "*",
+            f"{hit.evalue:.2g}" if hit.evalue is not None else "*",
+            f"{hit.bit_score:.1f}" if hit.bit_score is not None else str(
+                hit.score
+            ),
+        ]
+        lines.append("\t".join(fields))
+    return lines
+
+
+def write_tabular(
+    rows: Iterable[str],
+    destination: TextIO | None = None,
+    header: bool = True,
+) -> str:
+    """Assemble (and optionally write) a tabular report."""
+    buffer = io.StringIO()
+    if header:
+        buffer.write("# " + _TABULAR_HEADER + "\n")
+    for row in rows:
+        buffer.write(row + "\n")
+    text = buffer.getvalue()
+    if destination is not None:
+        destination.write(text)
+    return text
+
+
+def pairwise_report(
+    alignments: Iterable[tuple[Alignment, SearchHit | None]],
+    database_name: str = "",
+    width: int = 60,
+) -> str:
+    """SSEARCH-style text report: one block per alignment."""
+    blocks = []
+    for alignment, hit in alignments:
+        header = [f">>{alignment.subject_id}"]
+        stats = [f"score: {alignment.score}"]
+        if hit is not None and hit.bit_score is not None:
+            stats.append(f"bits: {hit.bit_score:.1f}")
+        if hit is not None and hit.evalue is not None:
+            stats.append(f"E({database_name or 'db'}): {hit.evalue:.2g}")
+        stats.append(f"identity: {alignment.identity:.1%}")
+        header.append("  ".join(stats))
+        header.append(alignment.pretty(width=width))
+        blocks.append("\n".join(header))
+    return "\n\n".join(blocks)

@@ -1,0 +1,244 @@
+"""Global and semiglobal alignment modes.
+
+Smith-Waterman (local) is the paper's algorithm, but a production
+sequence-comparison library also needs its siblings, built on the same
+scoring machinery:
+
+* **global** (Needleman-Wunsch with Gotoh gaps) — both sequences
+  aligned end to end; the mode Phase 2's bounded re-alignment uses;
+* **semiglobal** ("glocal") — the *query* aligned end to end against a
+  *substring* of the subject (leading/trailing subject gaps are free);
+  the mode used to locate a gene/read inside a longer sequence.
+
+Scores are computed with the vectorized strip kernel from
+:mod:`repro.align.hirschberg`; alignments via full-matrix traceback
+(these are small-input utilities — use the linear-space local aligner
+for big pairs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sequences.records import Sequence
+from .gaps import GapModel
+from .hirschberg import _forward_strip, global_align_linear_space
+from .reference import _codes
+from .scoring import SubstitutionMatrix
+from .traceback import GAP_CHAR, Alignment
+
+__all__ = [
+    "nw_score",
+    "nw_align",
+    "semiglobal_score",
+    "semiglobal_align",
+]
+
+_NEG = np.int64(-(1 << 40))
+
+
+def nw_score(
+    s: Sequence | str,
+    t: Sequence | str,
+    matrix: SubstitutionMatrix,
+    gaps: GapModel,
+) -> int:
+    """Optimal global (end-to-end) alignment score."""
+    a = _codes(s, matrix)
+    b = _codes(t, matrix)
+    g = gaps.open - gaps.extend
+    h = gaps.extend
+    if len(a) == 0:
+        return -gaps.cost(len(b))
+    if len(b) == 0:
+        return -gaps.cost(len(a))
+    CC, _ = _forward_strip(a, b, matrix.scores.astype(np.int64), g, h, g)
+    return int(CC[-1])
+
+
+def nw_align(
+    s: Sequence,
+    t: Sequence,
+    matrix: SubstitutionMatrix,
+    gaps: GapModel,
+) -> Alignment:
+    """Optimal global alignment (linear space, Myers-Miller)."""
+    aligned_q, aligned_t = global_align_linear_space(s, t, matrix, gaps)
+    alignment = Alignment(
+        query_id=s.id,
+        subject_id=t.id,
+        score=0,  # placeholder, replaced below
+        aligned_query=aligned_q,
+        aligned_subject=aligned_t,
+        query_start=0,
+        query_end=len(s),
+        subject_start=0,
+        subject_end=len(t),
+    )
+    score = alignment.rescore(matrix, gaps)
+    expected = nw_score(s, t, matrix, gaps)
+    if score != expected:  # pragma: no cover - kernel invariant
+        raise AssertionError(
+            f"global alignment prices {score}, DP says {expected}"
+        )
+    return Alignment(
+        query_id=s.id,
+        subject_id=t.id,
+        score=score,
+        aligned_query=aligned_q,
+        aligned_subject=aligned_t,
+        query_start=0,
+        query_end=len(s),
+        subject_start=0,
+        subject_end=len(t),
+    )
+
+
+def _semiglobal_matrix(
+    a: np.ndarray,
+    b: np.ndarray,
+    matrix: SubstitutionMatrix,
+    gaps: GapModel,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Full H/E/F for query-global, subject-local alignment."""
+    m, n = len(a), len(b)
+    go, ge = gaps.open, gaps.extend
+    sub = matrix.scores
+    H = np.zeros((m + 1, n + 1), dtype=np.int64)
+    E = np.full((m + 1, n + 1), _NEG, dtype=np.int64)
+    F = np.full((m + 1, n + 1), _NEG, dtype=np.int64)
+    for i in range(1, m + 1):
+        # Query must be fully consumed: the left edge charges gaps.
+        # F mirrors H there so traceback walks the edge vertically.
+        H[i, 0] = -(go + (i - 1) * ge)
+        F[i, 0] = H[i, 0]
+    # Top row stays 0: the subject prefix may be skipped for free.
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            E[i, j] = max(H[i, j - 1] - go, E[i, j - 1] - ge)
+            F[i, j] = max(H[i - 1, j] - go, F[i - 1, j] - ge)
+            H[i, j] = max(
+                H[i - 1, j - 1] + sub[a[i - 1], b[j - 1]],
+                E[i, j],
+                F[i, j],
+            )
+    return H, E, F
+
+
+def semiglobal_score(
+    s: Sequence | str,
+    t: Sequence | str,
+    matrix: SubstitutionMatrix,
+    gaps: GapModel,
+) -> int:
+    """Best score of all of *s* against any substring of *t*.
+
+    Vectorized over the query dimension (same strip machinery as the
+    linear-space aligner) — safe for long subjects.
+    """
+    a = _codes(s, matrix)
+    b = _codes(t, matrix)
+    m, n = len(a), len(b)
+    if m == 0:
+        return 0  # empty query matches the empty substring for free
+    if n == 0:
+        return -gaps.cost(m)
+    go = np.int64(gaps.open)
+    ge = np.int64(gaps.extend)
+    profile = matrix.profile_for(a).astype(np.int64)
+    H_prev = np.empty(m + 1, dtype=np.int64)
+    H_prev[0] = 0
+    H_prev[1:] = -(go + np.arange(m, dtype=np.int64) * ge)
+    E_prev = np.full(m, _NEG, dtype=np.int64)
+    ramp_up = np.arange(m + 1, dtype=np.int64) * ge
+    ramp_dn = go + np.arange(m, dtype=np.int64) * ge
+    G = np.empty(m + 1, dtype=np.int64)
+    best = H_prev[m]  # all-gap alignment at subject position 0
+    for j in range(n):
+        prof = profile[b[j]]
+        E = np.maximum(H_prev[1:] - go, E_prev - ge)
+        H = np.maximum(H_prev[:-1] + prof, E)
+        while True:
+            G[0] = 0  # free subject prefix: H[0][j] = 0
+            np.add(H, ramp_up[1:], out=G[1:])
+            prefix = np.maximum.accumulate(G)[:-1]
+            F = prefix - ramp_dn
+            raised = F > H
+            if not raised.any():
+                break
+            np.maximum(H, F, out=H)
+        if H[m - 1] > best:
+            best = H[m - 1]
+        H_prev[0] = 0
+        H_prev[1:] = H
+        E_prev = E
+    return int(best)
+
+
+def semiglobal_align(
+    s: Sequence,
+    t: Sequence,
+    matrix: SubstitutionMatrix,
+    gaps: GapModel,
+) -> Alignment:
+    """Align all of *s* against the best-matching substring of *t*.
+
+    Full-matrix traceback (quadratic space); intended for queries and
+    subjects up to a few thousand residues.
+    """
+    a = _codes(s, matrix)
+    b = _codes(t, matrix)
+    m, n = len(a), len(b)
+    if m == 0 or n == 0:
+        return Alignment(
+            query_id=s.id, subject_id=t.id,
+            score=semiglobal_score(s, t, matrix, gaps),
+            aligned_query=s.residues,
+            aligned_subject=GAP_CHAR * m,
+            query_start=0, query_end=m, subject_start=0, subject_end=0,
+        )
+    H, E, F = _semiglobal_matrix(a, b, matrix, gaps)
+    go, ge = gaps.open, gaps.extend
+    sub = matrix.scores
+    j = int(H[m].argmax())
+    score = int(H[m, j])
+    i = m
+    q_parts: list[str] = []
+    t_parts: list[str] = []
+    state = "H"
+    while i > 0:
+        if state == "H":
+            value = H[i, j]
+            if j > 0 and value == E[i, j]:
+                state = "E"
+            elif value == F[i, j]:
+                state = "F"
+            else:
+                q_parts.append(s.residues[i - 1])
+                t_parts.append(t.residues[j - 1])
+                i -= 1
+                j -= 1
+        elif state == "E":
+            value = E[i, j]
+            q_parts.append(GAP_CHAR)
+            t_parts.append(t.residues[j - 1])
+            state = "H" if value == H[i, j - 1] - go else "E"
+            j -= 1
+        else:
+            value = F[i, j]
+            q_parts.append(s.residues[i - 1])
+            t_parts.append(GAP_CHAR)
+            state = "H" if value == H[i - 1, j] - go else "F"
+            i -= 1
+    end_j = int(H[m].argmax())
+    return Alignment(
+        query_id=s.id,
+        subject_id=t.id,
+        score=score,
+        aligned_query="".join(reversed(q_parts)),
+        aligned_subject="".join(reversed(t_parts)),
+        query_start=0,
+        query_end=m,
+        subject_start=j,
+        subject_end=end_j,
+    )

@@ -1,0 +1,123 @@
+"""Reference Smith-Waterman: the textbook algorithm of Section II-A.
+
+Phase 1 builds the full similarity matrix ``H`` (plus Gotoh's ``E``/``F``
+for affine gaps) with plain Python loops — quadratic time *and* space,
+exactly as the paper describes, including the zero floor that makes the
+alignment local.  Phase 2 (:mod:`repro.align.traceback`) walks the
+matrices back from the maximum.
+
+This implementation is deliberately unoptimized: it is the ground truth
+that every vectorized kernel (:mod:`repro.align.columnwise`,
+:mod:`repro.align.striped`, :mod:`repro.align.intersequence`) is tested
+against, so clarity beats speed.  Use it only for sequences up to a few
+thousand residues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sequences.records import Sequence
+from .gaps import GapModel
+from .scoring import SubstitutionMatrix
+
+__all__ = ["DPMatrices", "sw_matrix", "sw_score_reference"]
+
+#: Sentinel for "minus infinity" in int32 DP cells, chosen so that
+#: subtracting any realistic gap penalty cannot wrap around.
+NEG_INF = np.iinfo(np.int32).min // 4
+
+
+@dataclass
+class DPMatrices:
+    """Phase-1 output: the dynamic-programming matrices and the optimum.
+
+    Attributes
+    ----------
+    H, E, F:
+        ``(m+1, n+1)`` int32 arrays.  ``H[i, j]`` is the best local
+        alignment score of prefixes ``s[:i]`` / ``t[:j]`` ending at
+        ``(i, j)``; ``E`` ends in a gap in *s* (horizontal move), ``F``
+        in a gap in *t* (vertical move).  For linear gaps ``E``/``F``
+        are still populated (they make traceback uniform).
+    score:
+        ``max(H)`` — the similarity of the two sequences.
+    end:
+        ``(i, j)`` of the first maximal cell in row-major order.
+    """
+
+    H: np.ndarray
+    E: np.ndarray
+    F: np.ndarray
+    score: int
+    end: tuple[int, int]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Shape of the DP matrices: (m + 1, n + 1)."""
+        return self.H.shape
+
+
+def sw_matrix(
+    s: Sequence | str,
+    t: Sequence | str,
+    matrix: SubstitutionMatrix,
+    gaps: GapModel,
+) -> DPMatrices:
+    """Compute the full SW similarity matrices for *s* x *t*.
+
+    Implements Eq. 1 of the paper generalized to a substitution matrix,
+    and Gotoh's three-matrix recurrence for affine gaps.  The first row
+    and column of ``H`` are zero; ``E``/``F`` boundaries are minus
+    infinity (no gap can start before the sequences do).
+    """
+    s_codes = _codes(s, matrix)
+    t_codes = _codes(t, matrix)
+    m, n = len(s_codes), len(t_codes)
+    go, ge = gaps.open, gaps.extend
+
+    H = np.zeros((m + 1, n + 1), dtype=np.int32)
+    E = np.full((m + 1, n + 1), NEG_INF, dtype=np.int32)
+    F = np.full((m + 1, n + 1), NEG_INF, dtype=np.int32)
+    sub = matrix.scores
+
+    best = 0
+    best_pos = (0, 0)
+    for i in range(1, m + 1):
+        si = s_codes[i - 1]
+        for j in range(1, n + 1):
+            # E: alignment ending with a gap in s (consumes t[j-1]).
+            e = max(H[i, j - 1] - go, E[i, j - 1] - ge)
+            # F: alignment ending with a gap in t (consumes s[i-1]).
+            f = max(H[i - 1, j] - go, F[i - 1, j] - ge)
+            diag = H[i - 1, j - 1] + sub[si, t_codes[j - 1]]
+            h = max(0, diag, e, f)
+            E[i, j] = e
+            F[i, j] = f
+            H[i, j] = h
+            if h > best:
+                best = int(h)
+                best_pos = (i, j)
+    return DPMatrices(H=H, E=E, F=F, score=best, end=best_pos)
+
+
+def sw_score_reference(
+    s: Sequence | str,
+    t: Sequence | str,
+    matrix: SubstitutionMatrix,
+    gaps: GapModel,
+) -> int:
+    """Similarity score only (convenience wrapper around :func:`sw_matrix`)."""
+    return sw_matrix(s, t, matrix, gaps).score
+
+
+def _codes(seq: Sequence | str, matrix: SubstitutionMatrix) -> np.ndarray:
+    """Encode *seq* with the matrix's alphabet (strings are encoded ad hoc)."""
+    if isinstance(seq, Sequence):
+        if seq.alphabet is not matrix.alphabet:
+            # Re-encode rather than trusting a foreign alphabet's codes.
+            return matrix.alphabet.encode(seq.residues)
+        return seq.codes
+    return matrix.alphabet.encode(seq)

@@ -1,0 +1,269 @@
+"""Substitution matrices and scoring schemes.
+
+Section II of the paper scores each aligned column with a punctuation
+``ma`` for a match, a penalty ``mi`` for a mismatch, and a penalty ``g``
+per gap.  Protein database search in practice (and in CUDASW++ /
+Farrar's code, which the paper's engines run) replaces ``ma``/``mi``
+with a 20x20 substitution matrix such as BLOSUM62.  This module supplies
+both: :func:`match_mismatch` builds a DNA-style matrix from ``ma``/``mi``
+and the BLOSUM constants provide the protein matrices.
+
+All matrices are dense ``(size, size)`` int16 arrays indexed by the
+residue codes of the owning :class:`~repro.sequences.alphabet.Alphabet`,
+so the per-cell substitution lookup in the kernels is a single fancy
+index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sequences.alphabet import DNA, PROTEIN, RNA, Alphabet
+
+__all__ = [
+    "SubstitutionMatrix",
+    "match_mismatch",
+    "BLOSUM62",
+    "BLOSUM50",
+    "DNA_SIMPLE",
+    "get_matrix",
+    "load_matrix_file",
+]
+
+
+@dataclass(frozen=True)
+class SubstitutionMatrix:
+    """A named substitution matrix bound to an alphabet."""
+
+    name: str
+    alphabet: Alphabet
+    scores: np.ndarray
+
+    def __post_init__(self) -> None:
+        scores = np.asarray(self.scores, dtype=np.int16)
+        n = self.alphabet.size
+        if scores.shape != (n, n):
+            raise ValueError(
+                f"matrix shape {scores.shape} does not match alphabet size {n}"
+            )
+        if not np.array_equal(scores, scores.T):
+            raise ValueError(f"substitution matrix {self.name!r} not symmetric")
+        scores.flags.writeable = False
+        object.__setattr__(self, "scores", scores)
+
+    def score(self, a: str, b: str) -> int:
+        """Substitution score for residue letters *a* and *b*."""
+        return int(
+            self.scores[self.alphabet.code_of(a), self.alphabet.code_of(b)]
+        )
+
+    def profile_for(self, query_codes: np.ndarray) -> np.ndarray:
+        """Query profile: ``profile[c, i] = scores[c, query[i]]``.
+
+        The *query profile* is the memory layout every vectorized SW
+        implementation precomputes (Farrar Fig. 1, CUDASW++ "packed
+        profile"): for each possible subject residue ``c`` it stores the
+        score against every query position, so the inner loop reads one
+        contiguous row per subject residue.
+        """
+        return np.ascontiguousarray(self.scores[:, query_codes])
+
+    @property
+    def max_score(self) -> int:
+        """Largest substitution score in the matrix."""
+        return int(self.scores.max())
+
+    @property
+    def min_score(self) -> int:
+        """Smallest substitution score in the matrix."""
+        return int(self.scores.min())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SubstitutionMatrix({self.name!r}, {self.alphabet.name})"
+
+
+def match_mismatch(
+    match: int = 1,
+    mismatch: int = -1,
+    alphabet: Alphabet = DNA,
+    wildcard_score: int = 0,
+    name: str | None = None,
+) -> SubstitutionMatrix:
+    """Build the paper's ``ma``/``mi`` scheme as a matrix.
+
+    Wildcard residues score *wildcard_score* against everything
+    (including themselves), the convention used for ``N`` in nucleotide
+    search.
+    """
+    n = alphabet.size
+    scores = np.full((n, n), mismatch, dtype=np.int16)
+    np.fill_diagonal(scores, match)
+    wc = alphabet.wildcard_code
+    scores[wc, :] = wildcard_score
+    scores[:, wc] = wildcard_score
+    return SubstitutionMatrix(
+        name=name or f"match{match}/mismatch{mismatch}",
+        alphabet=alphabet,
+        scores=scores,
+    )
+
+
+def _parse_blosum(name: str, text: str) -> SubstitutionMatrix:
+    """Parse the whitespace table literals below into a matrix."""
+    rows = [line.split() for line in text.strip().splitlines()]
+    order = rows[0]
+    if "".join(order) != PROTEIN.letters:
+        raise AssertionError(f"{name} column order mismatch")
+    n = PROTEIN.size
+    scores = np.zeros((n, n), dtype=np.int16)
+    for row in rows[1:]:
+        i = PROTEIN.code_of(row[0])
+        scores[i, :] = [int(v) for v in row[1:]]
+    return SubstitutionMatrix(name=name, alphabet=PROTEIN, scores=scores)
+
+
+# NCBI BLOSUM62, 24x24, row/column order ARNDCQEGHILKMFPSTWYVBZX*.
+_BLOSUM62_TEXT = """
+   A  R  N  D  C  Q  E  G  H  I  L  K  M  F  P  S  T  W  Y  V  B  Z  X  *
+A  4 -1 -2 -2  0 -1 -1  0 -2 -1 -1 -1 -1 -2 -1  1  0 -3 -2  0 -2 -1  0 -4
+R -1  5  0 -2 -3  1  0 -2  0 -3 -2  2 -1 -3 -2 -1 -1 -3 -2 -3 -1  0 -1 -4
+N -2  0  6  1 -3  0  0  0  1 -3 -3  0 -2 -3 -2  1  0 -4 -2 -3  3  0 -1 -4
+D -2 -2  1  6 -3  0  2 -1 -1 -3 -4 -1 -3 -3 -1  0 -1 -4 -3 -3  4  1 -1 -4
+C  0 -3 -3 -3  9 -3 -4 -3 -3 -1 -1 -3 -1 -2 -3 -1 -1 -2 -2 -1 -3 -3 -2 -4
+Q -1  1  0  0 -3  5  2 -2  0 -3 -2  1  0 -3 -1  0 -1 -2 -1 -2  0  3 -1 -4
+E -1  0  0  2 -4  2  5 -2  0 -3 -3  1 -2 -3 -1  0 -1 -3 -2 -2  1  4 -1 -4
+G  0 -2  0 -1 -3 -2 -2  6 -2 -4 -4 -2 -3 -3 -2  0 -2 -2 -3 -3 -1 -2 -1 -4
+H -2  0  1 -1 -3  0  0 -2  8 -3 -3 -1 -2 -1 -2 -1 -2 -2  2 -3  0  0 -1 -4
+I -1 -3 -3 -3 -1 -3 -3 -4 -3  4  2 -3  1  0 -3 -2 -1 -3 -1  3 -3 -3 -1 -4
+L -1 -2 -3 -4 -1 -2 -3 -4 -3  2  4 -2  2  0 -3 -2 -1 -2 -1  1 -4 -3 -1 -4
+K -1  2  0 -1 -3  1  1 -2 -1 -3 -2  5 -1 -3 -1  0 -1 -3 -2 -2  0  1 -1 -4
+M -1 -1 -2 -3 -1  0 -2 -3 -2  1  2 -1  5  0 -2 -1 -1 -1 -1  1 -3 -1 -1 -4
+F -2 -3 -3 -3 -2 -3 -3 -3 -1  0  0 -3  0  6 -4 -2 -2  1  3 -1 -3 -3 -1 -4
+P -1 -2 -2 -1 -3 -1 -1 -2 -2 -3 -3 -1 -2 -4  7 -1 -1 -4 -3 -2 -2 -1 -2 -4
+S  1 -1  1  0 -1  0  0  0 -1 -2 -2  0 -1 -2 -1  4  1 -3 -2 -2  0  0  0 -4
+T  0 -1  0 -1 -1 -1 -1 -2 -2 -1 -1 -1 -1 -2 -1  1  5 -2 -2  0 -1 -1  0 -4
+W -3 -3 -4 -4 -2 -2 -3 -2 -2 -3 -2 -3 -1  1 -4 -3 -2 11  2 -3 -4 -3 -2 -4
+Y -2 -2 -2 -3 -2 -1 -2 -3  2 -1 -1 -2 -1  3 -3 -2 -2  2  7 -1 -3 -2 -1 -4
+V  0 -3 -3 -3 -1 -2 -2 -3 -3  3  1 -2  1 -1 -2 -2  0 -3 -1  4 -3 -2 -1 -4
+B -2 -1  3  4 -3  0  1 -1  0 -3 -4  0 -3 -3 -2  0 -1 -4 -3 -3  4  1 -1 -4
+Z -1  0  0  1 -3  3  4 -2  0 -3 -3  1 -1 -3 -1  0 -1 -3 -2 -2  1  4 -1 -4
+X  0 -1 -1 -1 -2 -1 -1 -1 -1 -1 -1 -1 -1 -1 -2  0  0 -2 -1 -1 -1 -1 -1 -4
+* -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4  1
+"""
+
+# NCBI BLOSUM50, same layout.  CUDASW++ 2.0's other stock matrix.
+_BLOSUM50_TEXT = """
+   A  R  N  D  C  Q  E  G  H  I  L  K  M  F  P  S  T  W  Y  V  B  Z  X  *
+A  5 -2 -1 -2 -1 -1 -1  0 -2 -1 -2 -1 -1 -3 -1  1  0 -3 -2  0 -2 -1 -1 -5
+R -2  7 -1 -2 -4  1  0 -3  0 -4 -3  3 -2 -3 -3 -1 -1 -3 -1 -3 -1  0 -1 -5
+N -1 -1  7  2 -2  0  0  0  1 -3 -4  0 -2 -4 -2  1  0 -4 -2 -3  4  0 -1 -5
+D -2 -2  2  8 -4  0  2 -1 -1 -4 -4 -1 -4 -5 -1  0 -1 -5 -3 -4  5  1 -1 -5
+C -1 -4 -2 -4 13 -3 -3 -3 -3 -2 -2 -3 -2 -2 -4 -1 -1 -5 -3 -1 -3 -3 -2 -5
+Q -1  1  0  0 -3  7  2 -2  1 -3 -2  2  0 -4 -1  0 -1 -1 -1 -3  0  4 -1 -5
+E -1  0  0  2 -3  2  6 -3  0 -4 -3  1 -2 -3 -1 -1 -1 -3 -2 -3  1  5 -1 -5
+G  0 -3  0 -1 -3 -2 -3  8 -2 -4 -4 -2 -3 -4 -2  0 -2 -3 -3 -4 -1 -2 -2 -5
+H -2  0  1 -1 -3  1  0 -2 10 -4 -3  0 -1 -1 -2 -1 -2 -3  2 -4  0  0 -1 -5
+I -1 -4 -3 -4 -2 -3 -4 -4 -4  5  2 -3  2  0 -3 -3 -1 -3 -1  4 -4 -3 -1 -5
+L -2 -3 -4 -4 -2 -2 -3 -4 -3  2  5 -3  3  1 -4 -3 -1 -2 -1  1 -4 -3 -1 -5
+K -1  3  0 -1 -3  2  1 -2  0 -3 -3  6 -2 -4 -1  0 -1 -3 -2 -3  0  1 -1 -5
+M -1 -2 -2 -4 -2  0 -2 -3 -1  2  3 -2  7  0 -3 -2 -1 -1  0  1 -3 -1 -1 -5
+F -3 -3 -4 -5 -2 -4 -3 -4 -1  0  1 -4  0  8 -4 -3 -2  1  4 -1 -4 -4 -2 -5
+P -1 -3 -2 -1 -4 -1 -1 -2 -2 -3 -4 -1 -3 -4 10 -1 -1 -4 -3 -3 -2 -1 -2 -5
+S  1 -1  1  0 -1  0 -1  0 -1 -3 -3  0 -2 -3 -1  5  2 -4 -2 -2  0  0 -1 -5
+T  0 -1  0 -1 -1 -1 -1 -2 -2 -1 -1 -1 -1 -2 -1  2  5 -3 -2  0  0 -1  0 -5
+W -3 -3 -4 -5 -5 -1 -3 -3 -3 -3 -2 -3 -1  1 -4 -4 -3 15  2 -3 -5 -2 -3 -5
+Y -2 -1 -2 -3 -3 -1 -2 -3  2 -1 -1 -2  0  4 -3 -2 -2  2  8 -1 -3 -2 -1 -5
+V  0 -3 -3 -4 -1 -3 -3 -4 -4  4  1 -3  1 -1 -3 -2  0 -3 -1  5 -4 -3 -1 -5
+B -2 -1  4  5 -3  0  1 -1  0 -4 -4  0 -3 -4 -2  0  0 -5 -3 -4  5  2 -1 -5
+Z -1  0  0  1 -3  4  5 -2  0 -3 -3  1 -1 -4 -1  0 -1 -2 -2 -3  2  5 -1 -5
+X -1 -1 -1 -1 -2 -1 -1 -2 -1 -1 -1 -1 -1 -2 -2 -1  0 -3 -1 -1 -1 -1 -1 -5
+* -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5  1
+"""
+
+#: The default matrix for protein search (CUDASW++/SSEARCH default).
+BLOSUM62 = _parse_blosum("BLOSUM62", _BLOSUM62_TEXT)
+
+#: BLOSUM50, preferred for more divergent homologs.
+BLOSUM50 = _parse_blosum("BLOSUM50", _BLOSUM50_TEXT)
+
+#: The paper's Fig. 1 example scheme (ma=+1, mi=-1) for DNA.
+DNA_SIMPLE = match_mismatch(1, -1, alphabet=DNA, name="dna+1/-1")
+
+_REGISTRY: dict[str, SubstitutionMatrix] = {
+    "blosum62": BLOSUM62,
+    "blosum50": BLOSUM50,
+    "dna": DNA_SIMPLE,
+}
+
+
+def load_matrix_file(
+    path: str,
+    alphabet: Alphabet = PROTEIN,
+    name: str | None = None,
+) -> SubstitutionMatrix:
+    """Parse an NCBI-format substitution matrix file.
+
+    The standard distribution format: ``#`` comment lines, a header row
+    of residue letters, then one row per residue starting with its
+    letter.  Residues of *alphabet* missing from the file score the
+    file's minimum (the conservative choice for ambiguity codes a
+    custom matrix omits); matrices are validated for symmetry.
+    """
+    import os
+
+    with open(os.fspath(path), "r", encoding="ascii") as handle:
+        lines = [
+            line.rstrip()
+            for line in handle
+            if line.strip() and not line.lstrip().startswith("#")
+        ]
+    if not lines:
+        raise ValueError(f"matrix file {path!r} is empty")
+    columns = lines[0].split()
+    parsed: dict[tuple[str, str], int] = {}
+    for line in lines[1:]:
+        parts = line.split()
+        row_letter = parts[0].upper()
+        values = parts[1:]
+        if len(values) != len(columns):
+            raise ValueError(
+                f"row {row_letter!r} has {len(values)} values, "
+                f"expected {len(columns)}"
+            )
+        for column_letter, value in zip(columns, values):
+            parsed[(row_letter, column_letter.upper())] = int(value)
+    n = alphabet.size
+    minimum = min(parsed.values())
+    scores = np.full((n, n), minimum, dtype=np.int16)
+    for i, a in enumerate(alphabet.letters):
+        for j, b in enumerate(alphabet.letters):
+            if (a, b) in parsed:
+                scores[i, j] = parsed[(a, b)]
+            elif (b, a) in parsed:
+                scores[i, j] = parsed[(b, a)]
+    return SubstitutionMatrix(
+        name=name or os.path.basename(os.fspath(path)),
+        alphabet=alphabet,
+        scores=scores,
+    )
+
+
+def get_matrix(name: str) -> SubstitutionMatrix:
+    """Look a stock matrix up by case-insensitive name."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown matrix {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def default_matrix_for(alphabet: Alphabet) -> SubstitutionMatrix:
+    """Sensible default: BLOSUM62 for protein, +1/-1 for nucleic acids."""
+    if alphabet is PROTEIN:
+        return BLOSUM62
+    if alphabet is RNA:
+        return match_mismatch(1, -1, alphabet=RNA, name="rna+1/-1")
+    return DNA_SIMPLE

@@ -1,0 +1,53 @@
+"""Cell-count and GCUPS accounting.
+
+Every result table in the paper is reported in seconds *and* GCUPS —
+Billions of (DP-matrix) Cell Updates Per Second.  The cell count of a
+comparison is exact and platform-independent (``len(query) x total
+database residues``), which is what makes GCUPS the standard figure of
+merit for SW engines; these helpers keep that arithmetic in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..sequences.database import SequenceDatabase
+from ..sequences.records import Sequence
+
+__all__ = ["pair_cells", "task_cells", "workload_cells", "gcups"]
+
+
+def pair_cells(query: Sequence | int, subject: Sequence | int) -> int:
+    """DP cells updated by one pairwise comparison (``m x n``)."""
+    m = query if isinstance(query, int) else len(query)
+    n = subject if isinstance(subject, int) else len(subject)
+    if m < 0 or n < 0:
+        raise ValueError("sequence lengths must be non-negative")
+    return m * n
+
+
+def task_cells(query: Sequence | int, database: SequenceDatabase | int) -> int:
+    """Cells of one *task*: the query against the whole database."""
+    m = query if isinstance(query, int) else len(query)
+    residues = (
+        database
+        if isinstance(database, int)
+        else database.total_residues
+    )
+    if m < 0 or residues < 0:
+        raise ValueError("lengths must be non-negative")
+    return m * residues
+
+
+def workload_cells(
+    queries: Iterable[Sequence | int], database: SequenceDatabase | int
+) -> int:
+    """Cells of a whole workload (all queries x one database)."""
+    return sum(task_cells(q, database) for q in queries)
+
+
+def gcups(cells: int, seconds: float) -> float:
+    """Billions of cell updates per second."""
+    if seconds <= 0:
+        raise ValueError("elapsed time must be positive")
+    return cells / seconds / 1e9

@@ -1,0 +1,239 @@
+"""Adapted Farrar striped Smith-Waterman — the paper's SSE engine.
+
+Section IV-C: *"In order to execute SW on SSE cores, we implemented the
+Farrar algorithm, generating an adapted Farrar version.  Basically, our
+version uses signed integers instead of unsigned ones to store the
+values of the SW DP matrices, augmenting the maximum score to 255
+(8 bits) and 32767 (16 bits)."*
+
+This module is a faithful port of that engine with numpy arrays standing
+in for the 128-bit SSE registers:
+
+* the query is laid out in Farrar's **striped** pattern — ``lanes``
+  segments of length ``seglen = ceil(m / lanes)``, vector ``i`` holding
+  query positions ``{i, i + seglen, i + 2*seglen, ...}`` — so the
+  inner loop has no horizontal data hazards;
+* a **striped query profile** is precomputed per subject residue;
+* the ``F`` dependency is deferred to Farrar's **lazy-F** loop, which
+  re-walks the column only while a shifted ``F`` can still raise ``H``;
+* arithmetic *saturates* at a per-precision score cap (the paper's
+  signed adaptation: 255 in the 8-bit pass, 32767 in the 16-bit pass);
+  a saturated result triggers a re-run at the next precision, mirroring
+  Farrar's 8-bit-first, 16-bit-fallback pipeline.
+
+Scores are bit-exact with the reference kernel whenever the result fits
+the precision cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sequences.records import Sequence
+from .gaps import GapModel
+from .reference import _codes
+from .scoring import SubstitutionMatrix
+
+__all__ = [
+    "StripedProfile",
+    "StripedResult",
+    "SaturationOverflow",
+    "sw_score_striped_once",
+    "sw_score_striped",
+    "SCORE_CAP_8BIT",
+    "SCORE_CAP_16BIT",
+]
+
+#: The paper's adapted score caps (Section IV-C).
+SCORE_CAP_8BIT = 255
+SCORE_CAP_16BIT = 32767
+
+#: Default lane count: 16 byte lanes in one 128-bit SSE register.
+DEFAULT_LANES = 16
+
+_NEG = -(1 << 40)
+
+
+class SaturationOverflow(RuntimeError):
+    """The best score hit the precision cap; re-run at higher precision."""
+
+
+@dataclass(frozen=True)
+class StripedProfile:
+    """Precomputed striped query profile (Farrar's first optimization).
+
+    ``scores[c]`` is a ``(seglen, lanes)`` array whose element
+    ``(i, l)`` holds the substitution score of subject residue ``c``
+    against query position ``l * seglen + i``; padding positions score a
+    large negative so they can never seed an alignment.
+    """
+
+    scores: np.ndarray  # (alphabet, seglen, lanes)
+    query_length: int
+    lanes: int
+
+    @property
+    def seglen(self) -> int:
+        """Farrar segment length: ceil(query_length / lanes)."""
+        return self.scores.shape[1]
+
+    @classmethod
+    def build(
+        cls,
+        query_codes: np.ndarray,
+        matrix: SubstitutionMatrix,
+        lanes: int = DEFAULT_LANES,
+    ) -> "StripedProfile":
+        m = len(query_codes)
+        if m == 0:
+            raise ValueError("cannot build a striped profile for an empty query")
+        if lanes <= 0:
+            raise ValueError("lanes must be positive")
+        seglen = -(-m // lanes)  # ceil division
+        padded = seglen * lanes
+        flat = np.full((matrix.alphabet.size, padded), _NEG, dtype=np.int64)
+        flat[:, :m] = matrix.scores[:, query_codes]
+        # Striped layout: position l*seglen + i lands at vector i, lane l.
+        striped = flat.reshape(matrix.alphabet.size, lanes, seglen)
+        striped = np.ascontiguousarray(striped.transpose(0, 2, 1))
+        return cls(scores=striped, query_length=m, lanes=lanes)
+
+
+@dataclass(frozen=True)
+class StripedResult:
+    """Outcome of one striped comparison."""
+
+    score: int
+    cells: int
+    precision: int  # bits of the pass that produced the score
+    lazy_f_passes: int  # total lazy-F corrective steps (ablation metric)
+
+
+def _shift_lanes(v: np.ndarray, fill: int = 0) -> np.ndarray:
+    """Farrar's register shift: lane ``l`` receives lane ``l - 1``.
+
+    In the striped layout this moves each value from query position
+    ``l * seglen + i`` to ``(l + 1) * seglen + i`` — exactly the
+    neighbour needed when wrapping from the last vector of one column
+    step to the first vector of the next.
+    """
+    out = np.empty_like(v)
+    out[0] = fill
+    out[1:] = v[:-1]
+    return out
+
+
+def sw_score_striped_once(
+    profile: StripedProfile,
+    subject_codes: np.ndarray,
+    gaps: GapModel,
+    cap: int,
+) -> tuple[int, int]:
+    """One precision pass of the striped kernel.
+
+    Returns ``(score, lazy_f_passes)``; raises
+    :class:`SaturationOverflow` when the running maximum saturates at
+    *cap*, signalling the caller to retry at higher precision.
+    """
+    seglen, lanes = profile.seglen, profile.lanes
+    go, ge = gaps.open, gaps.extend
+
+    vH_store = np.zeros((seglen, lanes), dtype=np.int64)
+    vH_load = np.zeros((seglen, lanes), dtype=np.int64)
+    vE = np.zeros((seglen, lanes), dtype=np.int64)
+    v_max = 0
+    lazy_passes = 0
+
+    for c in subject_codes:
+        prof = profile.scores[c]
+        vH_store, vH_load = vH_load, vH_store
+        # H entering vector 0 is the last vector of the previous column,
+        # shifted across lanes; lane 0 receives the H[0][j] = 0 boundary.
+        vH = _shift_lanes(vH_load[seglen - 1])
+        vF = np.zeros(lanes, dtype=np.int64)
+        for i in range(seglen):
+            # Saturating add against the profile (zero floor = SW clamp,
+            # cap ceiling = the paper's signed 8/16-bit score limit).
+            vH = vH + prof[i]
+            np.maximum(vH, vE[i], out=vH)
+            np.maximum(vH, vF, out=vH)
+            np.clip(vH, 0, cap, out=vH)
+            local = vH.max()
+            if local > v_max:
+                v_max = int(local)
+            vH_store[i] = vH
+            open_from_h = vH - go
+            vE[i] = np.maximum(vE[i] - ge, open_from_h)
+            np.maximum(vE[i], 0, out=vE[i])
+            vF = np.maximum(vF - ge, open_from_h)
+            np.maximum(vF, 0, out=vF)
+            vH = vH_load[i]
+        # Lazy-F: fold the deferred vertical dependency back in.  The F
+        # computed above ignored contributions that wrap across vectors;
+        # keep pushing the shifted F down the column while it can still
+        # raise any H.
+        vF = _shift_lanes(vF)
+        i = 0
+        # The comparison and the decay both saturate at zero, exactly
+        # like the unsigned SSE ops Farrar relies on for termination: a
+        # fully-decayed F compares equal (not greater) and the loop ends.
+        while (vF > np.maximum(vH_store[i] - go, 0)).any():
+            lazy_passes += 1
+            np.maximum(vH_store[i], vF, out=vH_store[i])
+            np.clip(vH_store[i], 0, cap, out=vH_store[i])
+            # A raised H can widen E for the next column (SWPS3's fix to
+            # the original Farrar code).
+            np.maximum(vE[i], vH_store[i] - go, out=vE[i])
+            vF = np.maximum(vF - ge, 0)
+            i += 1
+            if i >= seglen:
+                vF = _shift_lanes(vF)
+                i = 0
+        if v_max >= cap:
+            raise SaturationOverflow(f"score saturated at cap {cap}")
+    return v_max, lazy_passes
+
+
+def sw_score_striped(
+    s: Sequence | str,
+    t: Sequence | str,
+    matrix: SubstitutionMatrix,
+    gaps: GapModel,
+    lanes: int = DEFAULT_LANES,
+) -> StripedResult:
+    """Full adapted-Farrar pipeline: 8-bit pass, then 16-bit, then exact.
+
+    The 8-bit pass runs with 16 lanes and cap 255; on saturation the
+    comparison is re-run with 8 lanes (16-bit words in the same
+    register) and cap 32767; a second saturation falls through to an
+    uncapped pass.  This is the paper's two-precision scheme extended
+    with a safety net for synthetic extreme scores.
+    """
+    s_codes = _codes(s, matrix)
+    t_codes = _codes(t, matrix)
+    if len(s_codes) == 0 or len(t_codes) == 0:
+        return StripedResult(score=0, cells=0, precision=8, lazy_f_passes=0)
+    cells = len(s_codes) * len(t_codes)
+
+    plans = (
+        (8, SCORE_CAP_8BIT, lanes),
+        (16, SCORE_CAP_16BIT, max(1, lanes // 2)),
+        (64, np.iinfo(np.int64).max // 2, max(1, lanes // 2)),
+    )
+    total_lazy = 0
+    for bits, cap, pass_lanes in plans:
+        profile = StripedProfile.build(s_codes, matrix, lanes=pass_lanes)
+        try:
+            score, lazy = sw_score_striped_once(profile, t_codes, gaps, cap)
+        except SaturationOverflow:
+            continue
+        total_lazy += lazy
+        return StripedResult(
+            score=score,
+            cells=cells,
+            precision=bits,
+            lazy_f_passes=total_lazy,
+        )
+    raise AssertionError("unreachable: uncapped pass cannot saturate")

@@ -1,0 +1,230 @@
+"""Phase 2 of Smith-Waterman: obtain the optimal local alignment.
+
+Section II-A-2 of the paper: start from the cell with the highest value
+in ``H`` and follow the arrows until a zero is reached.  A left arrow
+aligns ``t[j]`` against a gap, an up arrow aligns ``s[i]`` against a
+gap, and a diagonal arrow aligns ``s[i]`` with ``t[j]``.
+
+Instead of storing per-cell arrows (which would double Phase 1's memory
+traffic) the walker *re-derives* each arrow from the Gotoh identity it
+must satisfy — the standard trick for pointer-free traceback.  Affine
+gaps require tracking which matrix the current cell lives in (``H``,
+``E`` or ``F``) so that gap runs are charged open-then-extend correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sequences.records import Sequence
+from .gaps import GapModel
+from .reference import DPMatrices, sw_matrix
+from .scoring import SubstitutionMatrix
+
+__all__ = ["Alignment", "traceback", "sw_align_reference"]
+
+GAP_CHAR = "-"
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """A scored local alignment between a query and a subject.
+
+    ``aligned_query``/``aligned_subject`` are equal-length strings over
+    residues and ``-`` gap characters; coordinates are 0-based
+    half-open into the *original* sequences.
+    """
+
+    query_id: str
+    subject_id: str
+    score: int
+    aligned_query: str
+    aligned_subject: str
+    query_start: int
+    query_end: int
+    subject_start: int
+    subject_end: int
+
+    def __post_init__(self) -> None:
+        if len(self.aligned_query) != len(self.aligned_subject):
+            raise ValueError("aligned strings must have equal length")
+
+    # ------------------------------------------------------------------
+    @property
+    def length(self) -> int:
+        """Number of alignment columns."""
+        return len(self.aligned_query)
+
+    @property
+    def matches(self) -> int:
+        """Number of identical aligned residue pairs."""
+        return sum(
+            a == b and a != GAP_CHAR
+            for a, b in zip(self.aligned_query, self.aligned_subject)
+        )
+
+    @property
+    def gaps(self) -> int:
+        """Total gap columns (in either sequence)."""
+        return self.aligned_query.count(GAP_CHAR) + self.aligned_subject.count(
+            GAP_CHAR
+        )
+
+    @property
+    def identity(self) -> float:
+        """Fraction of columns that are exact matches."""
+        return self.matches / self.length if self.length else 0.0
+
+    def midline(self) -> str:
+        """``|`` for matches, space for everything else (BLAST style)."""
+        return "".join(
+            "|" if a == b and a != GAP_CHAR else " "
+            for a, b in zip(self.aligned_query, self.aligned_subject)
+        )
+
+    def cigar(self) -> str:
+        """CIGAR string (``M``/``I``/``D``; I = insertion in query)."""
+        ops: list[tuple[str, int]] = []
+        for a, b in zip(self.aligned_query, self.aligned_subject):
+            if a == GAP_CHAR:
+                op = "D"  # gap in query: subject residue consumed
+            elif b == GAP_CHAR:
+                op = "I"
+            else:
+                op = "M"
+            if ops and ops[-1][0] == op:
+                ops[-1] = (op, ops[-1][1] + 1)
+            else:
+                ops.append((op, 1))
+        return "".join(f"{count}{op}" for op, count in ops)
+
+    def rescore(self, matrix: SubstitutionMatrix, gaps: GapModel) -> int:
+        """Recompute the score from the alignment columns.
+
+        Independent of the DP matrices — used by tests to assert that
+        Phase 2 emitted an alignment worth exactly :attr:`score`.
+        """
+        total = 0
+        in_gap = False
+        for a, b in zip(self.aligned_query, self.aligned_subject):
+            if a == GAP_CHAR or b == GAP_CHAR:
+                total -= gaps.extend if in_gap else gaps.open
+                in_gap = True
+            else:
+                total += matrix.score(a, b)
+                in_gap = False
+        return total
+
+    def pretty(self, width: int = 60) -> str:
+        """Multi-line rendering with coordinates and a midline."""
+        lines = [
+            f"{self.query_id} x {self.subject_id}  score={self.score}  "
+            f"identity={self.identity:.1%}  length={self.length}"
+        ]
+        mid = self.midline()
+        q_pos = self.query_start
+        s_pos = self.subject_start
+        for start in range(0, self.length, width):
+            q_chunk = self.aligned_query[start : start + width]
+            s_chunk = self.aligned_subject[start : start + width]
+            m_chunk = mid[start : start + width]
+            q_consumed = len(q_chunk) - q_chunk.count(GAP_CHAR)
+            s_consumed = len(s_chunk) - s_chunk.count(GAP_CHAR)
+            lines.append(f"Query  {q_pos + 1:>6} {q_chunk}")
+            lines.append(f"              {m_chunk}")
+            lines.append(f"Sbjct  {s_pos + 1:>6} {s_chunk}")
+            lines.append("")
+            q_pos += q_consumed
+            s_pos += s_consumed
+        return "\n".join(lines)
+
+
+def traceback(
+    s: Sequence,
+    t: Sequence,
+    matrices: DPMatrices,
+    matrix: SubstitutionMatrix,
+    gaps: GapModel,
+) -> Alignment:
+    """Walk the arrows from the optimum back to a zero cell.
+
+    Parameters mirror Phase 1; *matrices* must come from
+    :func:`repro.align.reference.sw_matrix` on the same inputs.
+    """
+    H, E, F = matrices.H, matrices.E, matrices.F
+    sub = matrix.scores
+    go, ge = gaps.open, gaps.extend
+    s_codes = matrix.alphabet.encode(s.residues)
+    t_codes = matrix.alphabet.encode(t.residues)
+
+    i, j = matrices.end
+    q_parts: list[str] = []
+    t_parts: list[str] = []
+    state = "H"
+    while True:
+        if state == "H":
+            value = H[i, j]
+            if value == 0:
+                break
+            if value == E[i, j]:
+                state = "E"
+            elif value == F[i, j]:
+                state = "F"
+            else:
+                diag = H[i - 1, j - 1] + sub[s_codes[i - 1], t_codes[j - 1]]
+                if value != diag:  # pragma: no cover - corrupt matrices
+                    raise AssertionError("traceback: no arrow explains H cell")
+                q_parts.append(s.residues[i - 1])
+                t_parts.append(t.residues[j - 1])
+                i -= 1
+                j -= 1
+        elif state == "E":
+            # Gap in s: consume t[j-1], move left.
+            value = E[i, j]
+            q_parts.append(GAP_CHAR)
+            t_parts.append(t.residues[j - 1])
+            state = "H" if value == H[i, j - 1] - go else "E"
+            j -= 1
+        else:  # state == "F": gap in t, consume s[i-1], move up.
+            value = F[i, j]
+            q_parts.append(s.residues[i - 1])
+            t_parts.append(GAP_CHAR)
+            state = "H" if value == H[i - 1, j] - go else "F"
+            i -= 1
+
+    end_i, end_j = matrices.end
+    return Alignment(
+        query_id=s.id,
+        subject_id=t.id,
+        score=matrices.score,
+        aligned_query="".join(reversed(q_parts)),
+        aligned_subject="".join(reversed(t_parts)),
+        query_start=i,
+        query_end=end_i,
+        subject_start=j,
+        subject_end=end_j,
+    )
+
+
+def sw_align_reference(
+    s: Sequence,
+    t: Sequence,
+    matrix: SubstitutionMatrix,
+    gaps: GapModel,
+) -> Alignment:
+    """Phases 1 + 2 in one call (quadratic space; small inputs only)."""
+    matrices = sw_matrix(s, t, matrix, gaps)
+    if matrices.score == 0:
+        # No positively-scoring local alignment exists; return the empty one.
+        return Alignment(
+            query_id=s.id,
+            subject_id=t.id,
+            score=0,
+            aligned_query="",
+            aligned_subject="",
+            query_start=0,
+            query_end=0,
+            subject_start=0,
+            subject_end=0,
+        )
+    return traceback(s, t, matrices, matrix, gaps)

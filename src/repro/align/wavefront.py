@@ -1,0 +1,108 @@
+"""Anti-diagonal (wavefront) Smith-Waterman kernel.
+
+Section II-B / Fig. 3a of the paper: in the fine-grained approach "the
+calculations that can be done in parallel evolve as waves on diagonals"
+— every cell of anti-diagonal ``d = i + j`` depends only on diagonals
+``d-1`` (the gap moves) and ``d-2`` (the substitution move), so an
+entire diagonal updates in one vector operation, affine gaps included
+(``E``/``F`` read the *previous* diagonal, never the current one, so no
+lazy-F correction is needed).
+
+This is the dependency structure systolic arrays and fine-grained GPU
+kernels exploit; here it is the numpy expression of it, bit-exact with
+the reference kernel and used by the Fig. 3 strategy study as the
+intra-task parallel engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sequences.records import Sequence
+from .gaps import GapModel
+from .reference import _codes
+from .scoring import SubstitutionMatrix
+
+__all__ = ["WavefrontResult", "sw_score_wavefront"]
+
+_NEG = np.int64(-(1 << 40))
+
+
+@dataclass(frozen=True)
+class WavefrontResult:
+    """Score-only result of one wavefront sweep."""
+
+    score: int
+    cells: int
+    diagonals: int
+
+
+def sw_score_wavefront(
+    s: Sequence | str,
+    t: Sequence | str,
+    matrix: SubstitutionMatrix,
+    gaps: GapModel,
+) -> WavefrontResult:
+    """SW similarity via anti-diagonal sweeps.
+
+    Diagonal ``d`` holds cells ``(i, d - i)`` for
+    ``max(1, d - n) <= i <= min(m, d - 1)`` (1-based DP coordinates).
+    Each diagonal is stored as a dense vector indexed by ``i``; the
+    neighbours of cell ``(i, j)`` live at index ``i`` (left, diagonal
+    ``d-1``), ``i - 1`` (up, diagonal ``d-1``) and ``i - 1``
+    (substitution, diagonal ``d-2``).
+    """
+    s_codes = _codes(s, matrix)
+    t_codes = _codes(t, matrix)
+    m, n = len(s_codes), len(t_codes)
+    if m == 0 or n == 0:
+        return WavefrontResult(score=0, cells=0, diagonals=0)
+
+    go = np.int64(gaps.open)
+    ge = np.int64(gaps.extend)
+    sub = matrix.scores.astype(np.int64)
+
+    # Dense per-diagonal buffers indexed by i in [0, m]; index 0 is the
+    # H[0][j] = 0 boundary row.
+    H_prev2 = np.zeros(m + 1, dtype=np.int64)  # diagonal d - 2
+    H_prev1 = np.zeros(m + 1, dtype=np.int64)  # diagonal d - 1
+    E_prev1 = np.full(m + 1, _NEG, dtype=np.int64)
+    F_prev1 = np.full(m + 1, _NEG, dtype=np.int64)
+
+    best = np.int64(0)
+    cells = 0
+    diagonals = m + n - 1
+    for d in range(2, m + n + 1):
+        lo = max(1, d - n)
+        hi = min(m, d - 1)
+        if lo > hi:
+            continue
+        i = np.arange(lo, hi + 1)
+        j = d - i
+        cells += len(i)
+        # E[i][j] = max(H[i][j-1] - go, E[i][j-1] - ge): cell (i, j-1)
+        # sits on diagonal d-1 at index i.
+        E = np.maximum(H_prev1[i] - go, E_prev1[i] - ge)
+        # F[i][j] = max(H[i-1][j] - go, F[i-1][j] - ge): index i-1 on
+        # diagonal d-1.
+        F = np.maximum(H_prev1[i - 1] - go, F_prev1[i - 1] - ge)
+        # Diagonal move: cell (i-1, j-1) on diagonal d-2 at index i-1.
+        diag = H_prev2[i - 1] + sub[s_codes[i - 1], t_codes[j - 1]]
+        H = np.maximum(np.maximum(diag, E), F)
+        np.maximum(H, 0, out=H)
+        local = H.max()
+        if local > best:
+            best = local
+
+        # Rotate buffers; fresh diagonals start from the boundaries.
+        H_new = np.zeros(m + 1, dtype=np.int64)
+        E_new = np.full(m + 1, _NEG, dtype=np.int64)
+        F_new = np.full(m + 1, _NEG, dtype=np.int64)
+        H_new[i] = H
+        E_new[i] = E
+        F_new[i] = F
+        H_prev2 = H_prev1
+        H_prev1, E_prev1, F_prev1 = H_new, E_new, F_new
+    return WavefrontResult(score=int(best), cells=cells, diagonals=diagonals)

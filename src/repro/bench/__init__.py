@@ -1,0 +1,72 @@
+"""Benchmark harness: paper workloads, table and figure regeneration."""
+
+from .figures import (
+    Fig5Result,
+    Fig6Result,
+    FigTimelineResult,
+    HeadlineResult,
+    fig5_schedule,
+    fig6_adjustment,
+    fig7_dedicated,
+    fig8_nondedicated,
+    headline,
+)
+from .report import (
+    cell_rows_to_csv,
+    fig6_to_csv,
+    format_cell_rows,
+    format_fig6,
+    format_grid,
+    format_headline,
+    format_policy_rows,
+)
+from .sensitivity import SensitivityPoint, sensitivity_study
+from .tables import (
+    CellRow,
+    PolicyRow,
+    run_configuration,
+    table1_policies,
+    table2_databases,
+    table3_sse,
+    table4_gpu,
+    table5_hybrid,
+)
+from .workloads import (
+    paper_query_lengths,
+    paper_workloads,
+    tasks_for_profile,
+    uniform_tasks,
+)
+
+__all__ = [
+    "Fig5Result",
+    "Fig6Result",
+    "FigTimelineResult",
+    "HeadlineResult",
+    "fig5_schedule",
+    "fig6_adjustment",
+    "fig7_dedicated",
+    "fig8_nondedicated",
+    "headline",
+    "format_cell_rows",
+    "format_fig6",
+    "format_grid",
+    "format_headline",
+    "format_policy_rows",
+    "cell_rows_to_csv",
+    "fig6_to_csv",
+    "SensitivityPoint",
+    "sensitivity_study",
+    "CellRow",
+    "PolicyRow",
+    "run_configuration",
+    "table1_policies",
+    "table2_databases",
+    "table3_sse",
+    "table4_gpu",
+    "table5_hybrid",
+    "paper_query_lengths",
+    "paper_workloads",
+    "tasks_for_profile",
+    "uniform_tasks",
+]

@@ -1,0 +1,117 @@
+"""Plain-text rendering of benchmark results (the tables the paper prints)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from .figures import Fig6Result, HeadlineResult
+from .tables import CellRow, PolicyRow
+
+__all__ = [
+    "format_grid",
+    "format_cell_rows",
+    "format_policy_rows",
+    "format_fig6",
+    "format_headline",
+    "cell_rows_to_csv",
+    "fig6_to_csv",
+]
+
+
+def format_grid(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Align columns of a simple text table."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_cell_rows(rows: list[CellRow], title: str) -> str:
+    """Render a Table III/IV/V-style sweep: databases x configurations.
+
+    Each cell shows ``seconds / GCUPS`` exactly as the paper's tables
+    stack them.
+    """
+    by_database: dict[str, dict[str, CellRow]] = defaultdict(dict)
+    configurations: list[str] = []
+    for row in rows:
+        if row.configuration not in configurations:
+            configurations.append(row.configuration)
+        by_database[row.database][row.configuration] = row
+    headers = ["Database"] + [f"{c} (s / GCUPS)" for c in configurations]
+    body = []
+    for database, cells in by_database.items():
+        body.append(
+            [database]
+            + [
+                f"{cells[c].seconds:9.1f} / {cells[c].gcups:7.2f}"
+                for c in configurations
+            ]
+        )
+    return f"{title}\n{format_grid(headers, body)}"
+
+
+def format_policy_rows(rows: list[PolicyRow], title: str) -> str:
+    headers = ["Policy", "Reassign", "Makespan (s)", "Replicas"]
+    body = [
+        [r.policy, "yes" if r.reassignment else "no", f"{r.makespan:.2f}",
+         r.replicas]
+        for r in rows
+    ]
+    return f"{title}\n{format_grid(headers, body)}"
+
+
+def format_fig6(result: Fig6Result) -> str:
+    headers = ["Configuration", "GCUPS with", "GCUPS without", "Gain %"]
+    body = [
+        [conf, f"{w:.2f}", f"{wo:.2f}", f"{gain:+.1f}"]
+        for conf, w, wo, gain in result.rows()
+    ]
+    return (
+        f"Fig. 6 - workload adjustment on {result.database}\n"
+        + format_grid(headers, body)
+    )
+
+
+def cell_rows_to_csv(rows: list[CellRow]) -> str:
+    """Machine-readable form of a Table III/IV/V sweep."""
+    lines = ["database,configuration,seconds,gcups"]
+    for row in rows:
+        database = row.database.replace(",", ";")
+        lines.append(
+            f"{database},{row.configuration},{row.seconds:.3f},"
+            f"{row.gcups:.4f}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def fig6_to_csv(result: Fig6Result) -> str:
+    """Machine-readable form of the Fig. 6 comparison."""
+    lines = ["configuration,gcups_with,gcups_without,gain_percent"]
+    for configuration, with_adj, without, gain in result.rows():
+        lines.append(
+            f"{configuration},{with_adj:.4f},{without:.4f},{gain:.2f}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def format_headline(result: HeadlineResult) -> str:
+    return (
+        "Headline (SwissProt, 40 queries)\n"
+        f"  1 SSE core:           {result.one_sse_seconds:10.1f} s\n"
+        f"  4 GPUs + 4 SSE cores: {result.full_hybrid_seconds:10.1f} s "
+        f"({result.full_hybrid_gcups:.1f} GCUPS)\n"
+        f"  speedup:              {result.speedup:10.1f} x\n"
+        f"  adjustment saving:    {result.adjustment_saving_percent:10.1f} %"
+    )

@@ -1,0 +1,135 @@
+"""Fig. 3: the three ways to parallelize SW, made quantitative.
+
+Section II-B of the paper catalogues three decompositions:
+
+* **fine-grained** (Fig. 3a) — one matrix computed by several PEs in a
+  column-blocked pipeline; PEs exchange border columns, and "very close
+  to the end of the matrix computation, only P3 is calculating";
+* **coarse-grained** (Fig. 3b) — each PE gets the query and a database
+  subset; no communication, balanced as long as subsets are;
+* **very coarse-grained** (Fig. 3c) — each PE compares a different
+  query to the whole database; "this approach can easily lead to load
+  imbalance" — the imbalance the paper's adjustment mechanism targets.
+
+This module models all three analytically (pipeline fill/drain,
+per-border communication, per-subset residue imbalance, per-query makespan)
+so the taxonomy's qualitative claims become checkable numbers; the
+:mod:`benchmarks.bench_fig3_strategies` harness regenerates the
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "StrategyOutcome",
+    "fine_grained",
+    "coarse_grained",
+    "very_coarse_grained",
+]
+
+
+@dataclass(frozen=True)
+class StrategyOutcome:
+    """Predicted execution of one decomposition."""
+
+    strategy: str
+    num_pes: int
+    seconds: float
+    ideal_seconds: float
+
+    @property
+    def efficiency(self) -> float:
+        """Parallel efficiency vs the ideal (work / P) schedule."""
+        return self.ideal_seconds / self.seconds if self.seconds else 0.0
+
+
+def _total_cells(query_lengths: np.ndarray, database_residues: int) -> int:
+    return int(query_lengths.sum()) * database_residues
+
+
+def fine_grained(
+    query_lengths: np.ndarray,
+    database_residues: int,
+    num_pes: int,
+    cell_rate: float,
+    block_columns: int = 256,
+    border_latency: float = 5e-6,
+) -> StrategyOutcome:
+    """Fig. 3a: every matrix is column-block pipelined over all PEs.
+
+    The query (matrix rows) is split across PEs; the subject dimension
+    advances in blocks of ``block_columns``.  Each matrix of ``m x n``
+    cells costs a pipeline of ``n / B + P - 1`` stages of
+    ``(m / P) * B`` cells (the fill/drain is the ``P - 1`` term the
+    paper's "only P3 is calculating" remark describes) plus one border
+    message per stage per PE boundary.
+    """
+    if num_pes < 1:
+        raise ValueError("need at least one PE")
+    total = 0.0
+    for m in query_lengths:
+        n = database_residues
+        stages = -(-n // block_columns) + num_pes - 1
+        stage_cells = (m / num_pes) * block_columns
+        compute = stages * stage_cells / cell_rate
+        comm = stages * (num_pes - 1) * border_latency
+        total += compute + comm
+    ideal = _total_cells(query_lengths, database_residues) / (
+        cell_rate * num_pes
+    )
+    return StrategyOutcome("fine-grained", num_pes, total, ideal)
+
+
+def coarse_grained(
+    query_lengths: np.ndarray,
+    database_residues: int,
+    num_pes: int,
+    cell_rate: float,
+    subset_imbalance: float = 0.02,
+) -> StrategyOutcome:
+    """Fig. 3b: each PE scans a database subset for every query.
+
+    Subsets are residue-balanced up to ``subset_imbalance`` (sequence
+    boundaries prevent perfect splits); queries are processed one after
+    another with a barrier per query (all PEs finish query ``q`` before
+    ``q+1`` starts, as in the paper's description).
+    """
+    if num_pes < 1:
+        raise ValueError("need at least one PE")
+    per_pe_residues = database_residues / num_pes * (1 + subset_imbalance)
+    total = float(query_lengths.sum()) * per_pe_residues / cell_rate
+    ideal = _total_cells(query_lengths, database_residues) / (
+        cell_rate * num_pes
+    )
+    return StrategyOutcome("coarse-grained", num_pes, total, ideal)
+
+
+def very_coarse_grained(
+    query_lengths: np.ndarray,
+    database_residues: int,
+    num_pes: int,
+    cell_rate: float,
+) -> StrategyOutcome:
+    """Fig. 3c: one whole query x database comparison per PE.
+
+    Tasks are self-scheduled (longest queue drains first); the makespan
+    is the classic list-scheduling bound realized greedily, and the
+    tail of the last, possibly huge, task is fully exposed — the load
+    imbalance the paper calls out and later fixes with replication.
+    """
+    if num_pes < 1:
+        raise ValueError("need at least one PE")
+    finish = np.zeros(num_pes)
+    for m in query_lengths:  # submission order = file order
+        pe = int(finish.argmin())
+        finish[pe] += m * database_residues / cell_rate
+    ideal = _total_cells(query_lengths, database_residues) / (
+        cell_rate * num_pes
+    )
+    return StrategyOutcome(
+        "very coarse-grained", num_pes, float(finish.max()), ideal
+    )

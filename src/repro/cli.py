@@ -1,0 +1,521 @@
+"""Command-line interface: ``repro-sw`` / ``python -m repro``.
+
+Subcommands mirror the paper's workflow:
+
+* ``search``  — compare a query FASTA against a database FASTA on a set
+  of worker engines (the real execution environment of Fig. 4);
+* ``index``   — convert a FASTA file to the paper's indexed format;
+* ``simulate``— run a workload on the simulated hybrid platform;
+* ``tables``  — regenerate the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .align import (
+    DEFAULT_GAPS,
+    affine_gap,
+    align_linear_space,
+    get_matrix,
+    nw_align,
+    semiglobal_align,
+)
+from .bench import (
+    fig5_schedule,
+    fig6_adjustment,
+    format_cell_rows,
+    format_fig6,
+    format_headline,
+    format_policy_rows,
+    headline,
+    table1_policies,
+    table3_sse,
+    table4_gpu,
+    table5_hybrid,
+    tasks_for_profile,
+)
+from .core import (
+    HybridRuntime,
+    InterSequenceEngine,
+    StripedSSEEngine,
+    make_policy,
+)
+from .sequences import SequenceDatabase, get_profile, index_fasta, read_fasta
+from .simulate import HybridSimulator, gantt, hybrid_platform
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree for repro-sw."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sw",
+        description="Smith-Waterman on hybrid platforms with dynamic "
+        "workload adjustment (IPDPSW 2013 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    search = sub.add_parser("search", help="query x database SW search")
+    search.add_argument("query", help="query FASTA file")
+    search.add_argument("database", help="database FASTA file")
+    search.add_argument("--matrix", default="blosum62")
+    search.add_argument("--gap-open", type=int, default=DEFAULT_GAPS.open)
+    search.add_argument("--gap-extend", type=int, default=DEFAULT_GAPS.extend)
+    search.add_argument("--gpus", type=int, default=1,
+                        help="inter-sequence engines to spawn")
+    search.add_argument("--sse", type=int, default=1,
+                        help="striped engines to spawn")
+    search.add_argument("--policy", default="pss",
+                        choices=["ss", "pss", "fixed", "wfixed"])
+    search.add_argument("--no-adjustment", action="store_true")
+    search.add_argument("--top", type=int, default=5)
+    search.add_argument(
+        "--evalue", action="store_true",
+        help="annotate hits with Karlin-Altschul E-values/bit scores",
+    )
+    search.add_argument(
+        "--chunks", type=int, default=1,
+        help="database chunks per query (coarse-grained decomposition; "
+        "1 = the paper's very coarse tasks)",
+    )
+
+    align = sub.add_parser("align", help="pairwise alignment of two FASTAs")
+    align.add_argument("query", help="FASTA with the query (first record)")
+    align.add_argument("subject", help="FASTA with the subject (first record)")
+    align.add_argument(
+        "--mode", default="local",
+        choices=["local", "global", "semiglobal"],
+    )
+    align.add_argument("--matrix", default="blosum62")
+    align.add_argument("--gap-open", type=int, default=DEFAULT_GAPS.open)
+    align.add_argument("--gap-extend", type=int, default=DEFAULT_GAPS.extend)
+
+    index = sub.add_parser("index", help="convert FASTA to indexed format")
+    index.add_argument("fasta")
+    index.add_argument("output")
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="distributed search: TCP master + slave worker processes",
+    )
+    cluster.add_argument("query", help="query FASTA file")
+    cluster.add_argument("database", help="database FASTA file")
+    cluster.add_argument(
+        "--workers", default="gpu,sse",
+        help="comma-separated engine kinds, one worker each "
+        "(gpu/sse/scan), e.g. 'gpu,gpu,sse'",
+    )
+    cluster.add_argument("--policy", default="pss",
+                         choices=["ss", "pss", "fixed", "wfixed"])
+    cluster.add_argument("--no-adjustment", action="store_true")
+    cluster.add_argument("--top", type=int, default=5)
+    cluster.add_argument(
+        "--threads", action="store_true",
+        help="run workers as threads instead of processes",
+    )
+
+    simulate = sub.add_parser(
+        "simulate", help="simulate a paper workload on a hybrid platform"
+    )
+    simulate.add_argument("--database", default="swissprot",
+                          help="profile name or alias (e.g. swissprot, dog)")
+    simulate.add_argument("--queries", type=int, default=40)
+    simulate.add_argument("--gpus", type=int, default=4)
+    simulate.add_argument("--sse", type=int, default=4)
+    simulate.add_argument("--fpgas", type=int, default=0)
+    simulate.add_argument("--policy", default="pss",
+                          choices=["ss", "pss", "fixed", "wfixed"])
+    simulate.add_argument("--no-adjustment", action="store_true")
+    simulate.add_argument("--gantt", action="store_true")
+    simulate.add_argument("--svg", metavar="FILE", default=None,
+                          help="write the schedule as an SVG Gantt chart")
+
+    generate = sub.add_parser(
+        "generate",
+        help="materialize a synthetic workload (FASTA query + database)",
+    )
+    generate.add_argument("--database", default="dog",
+                          help="Table II profile name or alias")
+    generate.add_argument("--scale", type=float, default=0.01,
+                          help="fraction of the published sequence count")
+    generate.add_argument("--queries", type=int, default=40)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True,
+                          help="output directory")
+
+    inspect = sub.add_parser(
+        "inspect", help="print the header/stats of an indexed file"
+    )
+    inspect.add_argument("indexed")
+    inspect.add_argument("--records", type=int, default=3,
+                         help="number of leading records to preview")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a standalone TCP master for remote workers "
+        "(the paper's multi-host deployment)",
+    )
+    serve.add_argument("query", help="query FASTA file")
+    serve.add_argument("database", help="database FASTA file")
+    serve.add_argument("--host", default="0.0.0.0")
+    serve.add_argument("--port", type=int, default=7171)
+    serve.add_argument("--policy", default="pss",
+                       choices=["ss", "pss", "fixed", "wfixed"])
+    serve.add_argument("--no-adjustment", action="store_true")
+    serve.add_argument("--heartbeat", type=float, default=30.0,
+                       help="silent-worker reap timeout in seconds")
+    serve.add_argument("--timeout", type=float, default=3600.0)
+    serve.add_argument("--top", type=int, default=5)
+    serve.add_argument(
+        "--export", default=None,
+        help="directory to write the indexed query/database files that "
+        "workers must be pointed at (default: a temp directory)",
+    )
+
+    worker = sub.add_parser(
+        "worker", help="run a standalone slave against a remote master"
+    )
+    worker.add_argument("--host", required=True)
+    worker.add_argument("--port", type=int, required=True)
+    worker.add_argument("--pe-id", required=True)
+    worker.add_argument("--engine", default="sse",
+                        choices=["gpu", "sse", "scan"])
+    worker.add_argument("--queries", required=True,
+                        help="indexed query file (from `serve --export`)")
+    worker.add_argument("--database", required=True,
+                        help="indexed database file")
+    worker.add_argument("--matrix", default="blosum62")
+    worker.add_argument("--gap-open", type=int, default=10)
+    worker.add_argument("--gap-extend", type=int, default=2)
+    worker.add_argument("--top", type=int, default=5)
+    worker.add_argument("--chunk-size", type=int, default=16)
+
+    tables = sub.add_parser("tables", help="regenerate paper tables/figures")
+    tables.add_argument(
+        "which",
+        choices=["1", "3", "4", "5", "fig5", "fig6", "headline", "all"],
+    )
+    tables.add_argument(
+        "--csv", metavar="DIR", default=None,
+        help="also write machine-readable CSV files into DIR",
+    )
+    return parser
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    matrix = get_matrix(args.matrix)
+    gaps = affine_gap(args.gap_open, args.gap_extend)
+    queries = read_fasta(args.query, alphabet=matrix.alphabet)
+    database = SequenceDatabase.from_fasta(
+        args.database, alphabet=matrix.alphabet
+    )
+    engines = {}
+    for i in range(args.gpus):
+        engines[f"gpu{i}"] = InterSequenceEngine(matrix, gaps, top=args.top)
+    for i in range(args.sse):
+        engines[f"sse{i}"] = StripedSSEEngine(matrix, gaps, top=args.top)
+    runtime = HybridRuntime(
+        engines,
+        policy=make_policy(args.policy),
+        adjustment=not args.no_adjustment,
+    )
+    report = runtime.run(
+        queries, database, chunks_per_query=args.chunks, top=args.top
+    )
+    params = None
+    if args.evalue:
+        from .align.statistics import stock_parameters
+
+        params = stock_parameters(matrix, gaps)
+        if params is None:
+            import numpy as np
+
+            from .align.statistics import calibrate
+
+            params = calibrate(matrix, gaps, np.random.default_rng(0))
+    for query in queries:
+        print(f"# query {query.id} ({len(query)} residues)")
+        for hit in report.results[query.id]:
+            stats = ""
+            if params is not None:
+                evalue = params.evalue(
+                    hit.score, len(query), database.total_residues
+                )
+                stats = (
+                    f" bits={params.bit_score(hit.score):<7.1f}"
+                    f" E={evalue:.2g}"
+                )
+            print(
+                f"  {hit.subject_id:<30} score={hit.score:<6}"
+                f" length={hit.subject_length}{stats}"
+            )
+    print(
+        f"# makespan {report.makespan:.2f}s"
+        f"  {report.gcups:.4f} GCUPS  tasks by PE: {report.tasks_by_pe}"
+    )
+    return 0
+
+
+def _cmd_align(args: argparse.Namespace) -> int:
+    matrix = get_matrix(args.matrix)
+    gaps = affine_gap(args.gap_open, args.gap_extend)
+    query = read_fasta(args.query, alphabet=matrix.alphabet)[0]
+    subject = read_fasta(args.subject, alphabet=matrix.alphabet)[0]
+    if args.mode == "local":
+        alignment = align_linear_space(query, subject, matrix, gaps)
+    elif args.mode == "global":
+        alignment = nw_align(query, subject, matrix, gaps)
+    else:
+        alignment = semiglobal_align(query, subject, matrix, gaps)
+    print(f"# mode={args.mode} matrix={matrix.name} gaps={gaps}")
+    print(alignment.pretty())
+    print(f"# CIGAR {alignment.cigar()}")
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    stats = index_fasta(args.fasta, args.output)
+    print(
+        f"indexed {stats.count} sequences (longest {stats.longest}) "
+        f"-> {args.output}"
+    )
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from .cluster import run_cluster
+
+    kinds = [k.strip() for k in args.workers.split(",") if k.strip()]
+    workers = {f"{kind}{i}": kind for i, kind in enumerate(kinds)}
+    report = run_cluster(
+        args.query,
+        args.database,
+        workers,
+        policy=make_policy(args.policy),
+        adjustment=not args.no_adjustment,
+        top=args.top,
+        use_processes=not args.threads,
+    )
+    for query_id, hits in report.results.items():
+        print(f"# query {query_id}")
+        for hit in hits:
+            print(f"  {hit.subject_id:<30} score={hit.score:<6}"
+                  f" length={hit.subject_length}")
+    print(f"# makespan {report.makespan:.2f}s  {report.gcups:.4f} GCUPS  "
+          f"workers: {sorted(workers)}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    profile = get_profile(args.database)
+    tasks = tasks_for_profile(profile, args.queries)
+    simulator = HybridSimulator(
+        hybrid_platform(args.gpus, args.sse, num_fpgas=args.fpgas),
+        policy=make_policy(args.policy),
+        adjustment=not args.no_adjustment,
+    )
+    report = simulator.run(tasks)
+    extras = f" + {args.fpgas} FPGAs" if args.fpgas else ""
+    print(
+        f"{profile.name}: {args.gpus} GPUs + {args.sse} SSE cores{extras}, "
+        f"policy={report.policy_name}, adjustment={report.adjustment}"
+    )
+    print(
+        f"  makespan {report.makespan:.1f}s  {report.gcups:.2f} GCUPS  "
+        f"replicas {report.replicas_assigned}  won {report.tasks_won}"
+    )
+    if args.gantt:
+        print(gantt(report))
+    if args.svg:
+        from .simulate import write_gantt_svg
+
+        write_gantt_svg(
+            report, args.svg,
+            title=f"{profile.name} on {args.gpus} GPUs + {args.sse} SSEs",
+        )
+        print(f"(wrote {args.svg})")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    import os
+
+    import numpy as np
+
+    from .sequences import query_set, write_fasta
+
+    profile = get_profile(args.database)
+    rng = np.random.default_rng(args.seed)
+    os.makedirs(args.out, exist_ok=True)
+    database = profile.materialize(rng, scale=args.scale)
+    db_path = os.path.join(args.out, "database.fasta")
+    write_fasta(database, db_path)
+    queries = query_set(
+        args.queries, rng,
+        min_length=profile.shortest,
+        max_length=min(profile.longest, 5000),
+    )
+    q_path = os.path.join(args.out, "queries.fasta")
+    write_fasta(queries, q_path)
+    print(f"database: {db_path} ({len(database)} sequences, "
+          f"{database.total_residues} residues)")
+    print(f"queries:  {q_path} ({len(queries)} sequences, "
+          f"{sum(len(q) for q in queries)} residues)")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from .sequences import IndexedReader
+
+    with IndexedReader(args.indexed) as reader:
+        print(f"records: {len(reader)}")
+        print(f"longest: {reader.longest} residues")
+        offsets = reader.offsets
+        if offsets:
+            print(f"offset table: {offsets[0]} .. {offsets[-1]}")
+        for record in reader[: args.records]:
+            preview = record.residues[:50]
+            ellipsis = "..." if len(record) > 50 else ""
+            print(f"  >{record.id} ({len(record)} aa) {preview}{ellipsis}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
+    import tempfile
+
+    from .cluster import MasterServer
+    from .core.runtime import build_tasks
+    from .sequences import SequenceDatabase, write_indexed
+
+    queries = read_fasta(args.query)
+    database = SequenceDatabase.from_fasta(args.database)
+    export_dir = args.export or tempfile.mkdtemp(prefix="repro-serve-")
+    os.makedirs(export_dir, exist_ok=True)
+    q_path = os.path.join(export_dir, "queries.seqx")
+    d_path = os.path.join(export_dir, "database.seqx")
+    write_indexed(queries, q_path)
+    write_indexed(list(database), d_path)
+
+    server = MasterServer(
+        build_tasks(queries, database),
+        policy=make_policy(args.policy),
+        adjustment=not args.no_adjustment,
+        host=args.host,
+        port=args.port,
+        heartbeat_timeout=args.heartbeat,
+    )
+    server.start()
+    host, port = server.address
+    print(f"master listening on {host}:{port}")
+    print(f"indexed files for workers:\n  {q_path}\n  {d_path}")
+    print("start workers with e.g.:")
+    print(
+        f"  repro-sw worker --host <this-host> --port {port} "
+        f"--pe-id sse0 --engine sse --queries {q_path} "
+        f"--database {d_path}"
+    )
+    try:
+        server.wait_finished(timeout=args.timeout)
+        print("\nall tasks finished; merged results:")
+        for query in queries:
+            hits = server.results()[query.id][: args.top]
+            print(f"# query {query.id}")
+            for hit in hits:
+                print(f"  {hit.subject_id:<30} score={hit.score}")
+        return 0
+    finally:
+        server.stop()
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .cluster import WorkerConfig, run_worker
+
+    config = WorkerConfig(
+        host=args.host,
+        port=args.port,
+        pe_id=args.pe_id,
+        engine=args.engine,
+        query_path=args.queries,
+        database_path=args.database,
+        matrix=args.matrix,
+        gap_open=args.gap_open,
+        gap_extend=args.gap_extend,
+        top=args.top,
+        chunk_size=args.chunk_size,
+    )
+    completed = run_worker(config)
+    print(f"worker {args.pe_id} completed {completed} tasks")
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    import os
+
+    from .bench import cell_rows_to_csv, fig6_to_csv
+
+    which = args.which
+    csv_dir = args.csv
+    if csv_dir:
+        os.makedirs(csv_dir, exist_ok=True)
+
+    def save_csv(name: str, text: str) -> None:
+        if csv_dir:
+            path = os.path.join(csv_dir, name)
+            with open(path, "w", encoding="ascii") as handle:
+                handle.write(text)
+            print(f"(wrote {path})")
+
+    if which in ("1", "all"):
+        print(format_policy_rows(table1_policies(), "Table I (policy survey)"))
+        print()
+    if which in ("3", "all"):
+        rows = table3_sse()
+        print(format_cell_rows(rows, "Table III (SSE cores)"))
+        save_csv("table3_sse.csv", cell_rows_to_csv(rows))
+        print()
+    if which in ("4", "all"):
+        rows = table4_gpu()
+        print(format_cell_rows(rows, "Table IV (GPUs)"))
+        save_csv("table4_gpu.csv", cell_rows_to_csv(rows))
+        print()
+    if which in ("5", "all"):
+        rows = table5_hybrid()
+        print(format_cell_rows(rows, "Table V (hybrid)"))
+        save_csv("table5_hybrid.csv", cell_rows_to_csv(rows))
+        print()
+    if which in ("fig5", "all"):
+        print(fig5_schedule().render())
+        print()
+    if which in ("fig6", "all"):
+        result = fig6_adjustment()
+        print(format_fig6(result))
+        save_csv("fig6_adjustment.csv", fig6_to_csv(result))
+        print()
+    if which in ("headline", "all"):
+        print(format_headline(headline()))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "search": _cmd_search,
+        "align": _cmd_align,
+        "index": _cmd_index,
+        "cluster": _cmd_cluster,
+        "simulate": _cmd_simulate,
+        "generate": _cmd_generate,
+        "inspect": _cmd_inspect,
+        "serve": _cmd_serve,
+        "worker": _cmd_worker,
+        "tables": _cmd_tables,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

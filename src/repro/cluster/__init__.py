@@ -1,0 +1,29 @@
+"""Distributed master/slave runtime over TCP (the paper's deployment)."""
+
+from .launcher import ClusterReport, run_cluster
+from .protocol import (
+    ProtocolError,
+    decode_hit,
+    decode_task,
+    encode_hit,
+    encode_task,
+    recv_message,
+    send_message,
+)
+from .server import MasterServer
+from .worker import WorkerConfig, run_worker
+
+__all__ = [
+    "ClusterReport",
+    "run_cluster",
+    "MasterServer",
+    "WorkerConfig",
+    "run_worker",
+    "ProtocolError",
+    "send_message",
+    "recv_message",
+    "encode_task",
+    "decode_task",
+    "encode_hit",
+    "decode_hit",
+]

@@ -1,0 +1,118 @@
+"""Wire protocol of the distributed master/slave runtime.
+
+The paper's environment runs the master and the slaves as separate
+processes on two hosts joined by Gigabit Ethernet.  This module defines
+the message vocabulary of that interaction — a direct transcription of
+Fig. 4's arrows — and a tiny newline-delimited JSON framing so the
+protocol is debuggable with ``nc``.
+
+Message types (all carry ``type`` plus the listed fields):
+
+==============  =====================================================
+``register``    pe_id
+``request``     pe_id
+``assign``      tasks[], replicas[], done, wait    (master -> slave)
+``progress``    pe_id, cells, interval
+``ack``         cancel[]                           (master -> slave;
+                piggybacks pending cancellations)
+``complete``    pe_id, task_id, elapsed, cells, hits[]
+``cancelled``   pe_id, task_id
+``error``       message
+==============  =====================================================
+
+Tasks travel as plain dicts mirroring :class:`repro.core.task.Task`;
+hits mirror :class:`repro.align.api.SearchHit`.  Slaves fetch the
+actual residues themselves from the shared indexed files (Section
+IV-B's design: the offsets make any query one ``seek`` away), so
+messages stay tiny.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+from ..align.api import SearchHit
+from ..core.task import Task
+
+__all__ = [
+    "ProtocolError",
+    "send_message",
+    "recv_message",
+    "encode_task",
+    "decode_task",
+    "encode_hit",
+    "decode_hit",
+]
+
+#: Upper bound on one frame; a sanity guard against stream corruption.
+MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+
+class ProtocolError(RuntimeError):
+    """Malformed or unexpected wire traffic."""
+
+
+def send_message(sock: socket.socket, message: dict[str, Any]) -> None:
+    """Serialize one message as a JSON line."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError("message exceeds frame limit")
+    sock.sendall(payload + b"\n")
+
+
+def recv_message(reader) -> dict[str, Any] | None:
+    """Read one JSON line from a file-like reader; ``None`` on EOF."""
+    line = reader.readline(MAX_FRAME_BYTES + 1)
+    if not line:
+        return None
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError("frame exceeds limit")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"bad frame: {exc}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError("frame is not a typed message")
+    return message
+
+
+def encode_task(task: Task) -> dict[str, Any]:
+    return {
+        "task_id": task.task_id,
+        "query_id": task.query_id,
+        "query_length": task.query_length,
+        "cells": task.cells,
+        "query_index": task.query_index,
+    }
+
+
+def decode_task(data: dict[str, Any]) -> Task:
+    try:
+        return Task(
+            task_id=int(data["task_id"]),
+            query_id=str(data["query_id"]),
+            query_length=int(data["query_length"]),
+            cells=int(data["cells"]),
+            query_index=int(data["query_index"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad task payload: {exc}") from exc
+
+
+def encode_hit(hit: SearchHit) -> list[Any]:
+    return [hit.subject_id, hit.subject_index, hit.score, hit.subject_length]
+
+
+def decode_hit(data: list[Any]) -> SearchHit:
+    try:
+        subject_id, subject_index, score, subject_length = data
+        return SearchHit(
+            subject_id=str(subject_id),
+            subject_index=int(subject_index),
+            score=int(score),
+            subject_length=int(subject_length),
+        )
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad hit payload: {exc}") from exc

@@ -1,0 +1,237 @@
+"""The master as a TCP server.
+
+Wraps :class:`repro.core.master.Master` behind a threaded socket server:
+each slave keeps one persistent connection whose handler translates
+wire messages into master calls.  Replica cancellations are delivered
+by piggybacking on the acknowledgement of the loser's next ``progress``
+or ``request`` message — the slave polls the master often (every engine
+chunk), so cancellation latency is one chunk, the same granularity the
+threaded runtime achieves.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+import time
+
+from ..align.api import SearchHit
+from ..core.master import Master, TraceEvent
+from ..core.policies import AllocationPolicy, PackageWeightedSelfScheduling
+from ..core.task import Task, TaskResult
+from .protocol import (
+    ProtocolError,
+    decode_hit,
+    encode_task,
+    recv_message,
+    send_message,
+)
+
+__all__ = ["MasterServer"]
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One slave connection."""
+
+    server: "MasterServer"
+
+    def handle(self) -> None:  # noqa: C901 - protocol dispatch
+        server = self.server
+        pe_id: str | None = None
+        while True:
+            try:
+                message = recv_message(self.rfile)
+            except ProtocolError as exc:
+                send_message(self.connection, {"type": "error",
+                                               "message": str(exc)})
+                return
+            if message is None:
+                return  # slave hung up
+            kind = message.get("type")
+            if kind == "register":
+                pe_id = str(message["pe_id"])
+                with server.lock:
+                    server.master.register(pe_id, server.clock())
+                    server.cancel_flags.setdefault(pe_id, set())
+                send_message(self.connection, {"type": "ack", "cancel": []})
+            elif kind == "request":
+                pe_id = str(message["pe_id"])
+                with server.lock:
+                    assignment = server.master.on_request(
+                        pe_id, server.clock()
+                    )
+                    cancel = sorted(server.cancel_flags.get(pe_id, ()))
+                    server.cancel_flags.get(pe_id, set()).clear()
+                send_message(
+                    self.connection,
+                    {
+                        "type": "assign",
+                        "tasks": [encode_task(t) for t in assignment.tasks],
+                        "replicas": [
+                            encode_task(t) for t in assignment.replicas
+                        ],
+                        "done": assignment.done,
+                        "wait": assignment.empty,
+                        "cancel": cancel,
+                    },
+                )
+            elif kind == "progress":
+                pe_id = str(message["pe_id"])
+                with server.lock:
+                    server.master.on_progress(
+                        pe_id,
+                        server.clock(),
+                        float(message["cells"]),
+                        float(message["interval"]),
+                    )
+                    cancel = sorted(server.cancel_flags.get(pe_id, ()))
+                    server.cancel_flags.get(pe_id, set()).clear()
+                send_message(
+                    self.connection, {"type": "ack", "cancel": cancel}
+                )
+            elif kind == "complete":
+                pe_id = str(message["pe_id"])
+                result = TaskResult(
+                    task_id=int(message["task_id"]),
+                    pe_id=pe_id,
+                    elapsed=float(message["elapsed"]),
+                    cells=int(message["cells"]),
+                    payload=tuple(
+                        decode_hit(h) for h in message.get("hits", [])
+                    ),
+                )
+                with server.lock:
+                    losers = server.master.on_complete(
+                        pe_id, result, server.clock()
+                    )
+                    for loser in losers:
+                        server.cancel_flags.setdefault(loser, set()).add(
+                            result.task_id
+                        )
+                    cancel = sorted(server.cancel_flags.get(pe_id, ()))
+                    server.cancel_flags.get(pe_id, set()).clear()
+                send_message(
+                    self.connection, {"type": "ack", "cancel": cancel}
+                )
+            elif kind == "cancelled":
+                pe_id = str(message["pe_id"])
+                with server.lock:
+                    server.master.on_cancelled(
+                        pe_id, int(message["task_id"])
+                    )
+                send_message(self.connection, {"type": "ack", "cancel": []})
+            else:
+                send_message(
+                    self.connection,
+                    {"type": "error", "message": f"unknown type {kind!r}"},
+                )
+                return
+
+
+class MasterServer(socketserver.ThreadingTCPServer):
+    """Threaded TCP master bound to ``(host, port)``.
+
+    ``port=0`` picks a free port (see :attr:`address`).  Run with
+    :meth:`start` (background thread) and stop with :meth:`shutdown`.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        tasks: list[Task],
+        policy: AllocationPolicy | None = None,
+        adjustment: bool = True,
+        omega: int = 8,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        heartbeat_timeout: float | None = None,
+    ):
+        super().__init__((host, port), _Handler)
+        self.master = Master(
+            list(tasks),
+            policy=policy or PackageWeightedSelfScheduling(),
+            adjustment=adjustment,
+            omega=omega,
+        )
+        self.lock = threading.Lock()
+        self.cancel_flags: dict[str, set[int]] = {}
+        #: Silent-slave failure detection: workers quiet for longer than
+        #: this many seconds are deregistered and their tasks re-queued.
+        #: ``None`` disables reaping.
+        self.heartbeat_timeout = heartbeat_timeout
+        self._started = time.perf_counter()
+        self._thread: threading.Thread | None = None
+        self._reaper: threading.Thread | None = None
+        self._stopping = threading.Event()
+
+    # ------------------------------------------------------------------
+    def clock(self) -> float:
+        return time.perf_counter() - self._started
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self.server_address[:2]
+        return str(host), int(port)
+
+    def start(self) -> None:
+        """Serve in a daemon thread until :meth:`shutdown`."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="master-server", daemon=True
+        )
+        self._thread.start()
+        if self.heartbeat_timeout is not None:
+            self._reaper = threading.Thread(
+                target=self._reap_loop, name="master-reaper", daemon=True
+            )
+            self._reaper.start()
+
+    def _reap_loop(self) -> None:
+        assert self.heartbeat_timeout is not None
+        poll = max(self.heartbeat_timeout / 4, 0.01)
+        while not self._stopping.wait(poll):
+            with self.lock:
+                if self.master.finished:
+                    return
+                if self.master.num_pes:
+                    self.master.reap_silent(
+                        self.clock(), self.heartbeat_timeout
+                    )
+
+    def stop(self) -> None:
+        self._stopping.set()
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        if self._reaper is not None:
+            self._reaper.join(timeout=5)
+
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        with self.lock:
+            return self.master.finished
+
+    def wait_finished(self, timeout: float = 120.0, poll: float = 0.01) -> None:
+        """Block until every task is finished (or raise on timeout)."""
+        deadline = time.perf_counter() + timeout
+        while not self.finished:
+            if time.perf_counter() > deadline:
+                raise TimeoutError("workload did not finish in time")
+            time.sleep(poll)
+
+    def results(self) -> dict[str, tuple[SearchHit, ...]]:
+        """Merged per-query hits (requires :attr:`finished`)."""
+        with self.lock:
+            merged = self.master.merged_results()
+            out: dict[str, tuple[SearchHit, ...]] = {}
+            for result in merged:
+                task = self.master.pool.task(result.task_id)
+                out[task.query_id] = result.payload  # type: ignore[assignment]
+            return out
+
+    def trace(self) -> list[TraceEvent]:
+        with self.lock:
+            return list(self.master.trace)

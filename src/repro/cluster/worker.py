@@ -1,0 +1,186 @@
+"""The slave process: connect, register, execute, notify.
+
+A worker is fully described by a :class:`WorkerConfig` (so it can be
+spawned in a separate process): where the master listens, which engine
+class to instantiate, and the paths of the *indexed* query/database
+files — slaves read sequence data directly from those files, exactly
+the role the paper's indexed format plays (Section IV-B), so the wire
+carries only task ids and scores.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from dataclasses import dataclass
+
+from ..align.gaps import affine_gap
+from ..align.scoring import get_matrix
+from ..core.engines import ChunkProgress, Engine, InterSequenceEngine, ScanEngine, StripedSSEEngine
+from ..core.task import Task
+from ..sequences.database import SequenceDatabase
+from ..sequences.indexed import IndexedReader
+from .protocol import (
+    ProtocolError,
+    decode_task,
+    encode_hit,
+    recv_message,
+    send_message,
+)
+
+__all__ = ["WorkerConfig", "run_worker"]
+
+def _gpu_dual(*args, **kwargs) -> Engine:
+    return InterSequenceEngine(*args, dual_precision=True, **kwargs)
+
+
+_ENGINE_CLASSES: dict[str, "type[Engine] | object"] = {
+    "gpu": InterSequenceEngine,
+    "gpu-dual": _gpu_dual,  # CUDASW++-style capped pass + exact re-run
+    "sse": StripedSSEEngine,
+    "scan": ScanEngine,
+}
+
+#: Idle wait between polls when the master says "wait".
+_WAIT_SECONDS = 0.02
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything needed to run one slave (picklable for spawning)."""
+
+    host: str
+    port: int
+    pe_id: str
+    engine: str  # "gpu" | "sse" | "scan"
+    query_path: str
+    database_path: str
+    matrix: str = "blosum62"
+    gap_open: int = 10
+    gap_extend: int = 2
+    top: int = 10
+    chunk_size: int = 16
+
+    def build_engine(self) -> Engine:
+        try:
+            cls = _ENGINE_CLASSES[self.engine]
+        except KeyError:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; "
+                f"known: {sorted(_ENGINE_CLASSES)}"
+            ) from None
+        return cls(
+            get_matrix(self.matrix),
+            affine_gap(self.gap_open, self.gap_extend),
+            top=self.top,
+            chunk_size=self.chunk_size,
+        )
+
+
+class _Link:
+    """One persistent connection with request/response semantics."""
+
+    def __init__(self, host: str, port: int):
+        self._sock = socket.create_connection((host, port), timeout=60)
+        self._reader = self._sock.makefile("rb")
+        self.cancelled: set[int] = set()
+
+    def call(self, message: dict) -> dict:
+        send_message(self._sock, message)
+        reply = recv_message(self._reader)
+        if reply is None:
+            raise ProtocolError("master closed the connection")
+        if reply.get("type") == "error":
+            raise ProtocolError(f"master error: {reply.get('message')}")
+        self.cancelled.update(int(t) for t in reply.get("cancel", []))
+        return reply
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+
+def run_worker(config: WorkerConfig) -> int:
+    """Slave main loop; returns the number of tasks completed.
+
+    Designed to run inside a separate process
+    (``multiprocessing.Process(target=run_worker, args=(config,))``) but
+    equally callable from a thread in tests.
+    """
+    engine = config.build_engine()
+    matrix = get_matrix(config.matrix)
+    with IndexedReader(config.query_path, alphabet=matrix.alphabet) as queries:
+        database = SequenceDatabase.from_indexed(
+            config.database_path, alphabet=matrix.alphabet
+        )
+        link = _Link(config.host, config.port)
+        completed = 0
+        try:
+            link.call({"type": "register", "pe_id": config.pe_id})
+            while True:
+                reply = link.call({"type": "request", "pe_id": config.pe_id})
+                if reply.get("done"):
+                    return completed
+                if reply.get("wait"):
+                    time.sleep(_WAIT_SECONDS)
+                    continue
+                tasks = [decode_task(t) for t in reply.get("tasks", [])]
+                tasks += [decode_task(t) for t in reply.get("replicas", [])]
+                for task in tasks:
+                    completed += _execute(
+                        link, engine, config, queries, database, task
+                    )
+        finally:
+            link.close()
+
+
+def _execute(
+    link: _Link,
+    engine: Engine,
+    config: WorkerConfig,
+    queries: IndexedReader,
+    database: SequenceDatabase,
+    task: Task,
+) -> int:
+    query = queries[task.query_index]
+    started = time.perf_counter()
+    last = started
+
+    def progress(chunk: ChunkProgress) -> bool:
+        nonlocal last
+        now = time.perf_counter()
+        link.call(
+            {
+                "type": "progress",
+                "pe_id": config.pe_id,
+                "cells": chunk.cells,
+                "interval": max(now - last, 1e-9),
+            }
+        )
+        last = now
+        return task.task_id not in link.cancelled
+
+    hits = engine.search(query, database, progress=progress)
+    if hits is None:  # cancelled mid-task
+        link.cancelled.discard(task.task_id)
+        link.call(
+            {
+                "type": "cancelled",
+                "pe_id": config.pe_id,
+                "task_id": task.task_id,
+            }
+        )
+        return 0
+    link.call(
+        {
+            "type": "complete",
+            "pe_id": config.pe_id,
+            "task_id": task.task_id,
+            "elapsed": max(time.perf_counter() - started, 1e-9),
+            "cells": task.cells,
+            "hits": [encode_hit(h) for h in hits],
+        }
+    )
+    return 1

@@ -1,0 +1,54 @@
+"""Core contribution: tasks, policies, adjustment, master/slave runtime."""
+
+from .engines import (
+    Engine,
+    InterSequenceEngine,
+    ScanEngine,
+    StripedSSEEngine,
+    ThrottledEngine,
+)
+from .history import DEFAULT_OMEGA, HistoryBook, RateEstimator, RateSample
+from .master import Assignment, Master, TraceEvent
+from .policies import (
+    AllocationPolicy,
+    FixedSplit,
+    PackageWeightedSelfScheduling,
+    PolicyContext,
+    SelfScheduling,
+    WeightedFixed,
+    make_policy,
+)
+from .results import merge_hits, offset_hits
+from .runtime import HybridRuntime, RunReport, build_tasks
+from .task import Task, TaskPool, TaskResult, TaskState
+
+__all__ = [
+    "Engine",
+    "StripedSSEEngine",
+    "InterSequenceEngine",
+    "ScanEngine",
+    "ThrottledEngine",
+    "HistoryBook",
+    "RateEstimator",
+    "RateSample",
+    "DEFAULT_OMEGA",
+    "Assignment",
+    "Master",
+    "TraceEvent",
+    "AllocationPolicy",
+    "PolicyContext",
+    "SelfScheduling",
+    "PackageWeightedSelfScheduling",
+    "FixedSplit",
+    "WeightedFixed",
+    "make_policy",
+    "HybridRuntime",
+    "RunReport",
+    "build_tasks",
+    "merge_hits",
+    "offset_hits",
+    "Task",
+    "TaskPool",
+    "TaskResult",
+    "TaskState",
+]

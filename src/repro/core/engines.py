@@ -1,0 +1,323 @@
+"""Slave execution engines: how a PE actually runs one task.
+
+Section IV-C of the paper: GPUs run CUDASW++ 2.0 ("encapsulated and
+easily integrated"), multicores run the adapted Farrar SSE kernel.  The
+engines here wrap this project's equivalents of those two codes behind
+one interface, plus the plain scan kernel as a baseline:
+
+* :class:`StripedSSEEngine` — the adapted-Farrar striped kernel, one
+  subject at a time (what one SSE core does);
+* :class:`InterSequenceEngine` — the CUDASW++-style lane-packed kernel
+  (what one GPU does);
+* :class:`ScanEngine` — the column-scan kernel (reference-grade slave).
+
+Engines process the database in chunks so the worker loop can emit
+progress notifications and honour cancellations between chunks — a task
+is abortable at chunk granularity, which is what makes post-finish
+replica cancellation cheap.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..align.api import SearchHit
+from ..align.gaps import DEFAULT_GAPS, GapModel
+from ..align.intersequence import pack_database, sw_score_batch, _padded_profile
+from ..align.columnwise import sw_score_scan
+from ..align.scoring import SubstitutionMatrix
+from ..align.striped import (
+    SCORE_CAP_8BIT,
+    SCORE_CAP_16BIT,
+    SaturationOverflow,
+    StripedProfile,
+    sw_score_striped_once,
+)
+from ..sequences.database import SequenceDatabase
+from ..sequences.records import Sequence
+
+__all__ = [
+    "ChunkProgress",
+    "Engine",
+    "StripedSSEEngine",
+    "InterSequenceEngine",
+    "ScanEngine",
+    "ThrottledEngine",
+]
+
+
+class ChunkProgress:
+    """Progress callback payload: cells just processed in one chunk."""
+
+    __slots__ = ("cells",)
+
+    def __init__(self, cells: int):
+        self.cells = cells
+
+
+ProgressCallback = Callable[[ChunkProgress], bool]
+"""Called between chunks; returning ``False`` aborts the task."""
+
+
+class Engine(abc.ABC):
+    """One PE's compute capability."""
+
+    #: Class of processing element this engine models ("sse" or "gpu");
+    #: used for display and by the platform builders.
+    pe_class: str = "generic"
+
+    def __init__(
+        self,
+        matrix: SubstitutionMatrix,
+        gaps: GapModel = DEFAULT_GAPS,
+        top: int = 10,
+        chunk_size: int = 64,
+    ):
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        self.matrix = matrix
+        self.gaps = gaps
+        self.top = top
+        self.chunk_size = chunk_size
+
+    def search(
+        self,
+        query: Sequence,
+        database: SequenceDatabase,
+        progress: ProgressCallback | None = None,
+    ) -> tuple[SearchHit, ...] | None:
+        """Run one task; ``None`` means the task was aborted mid-flight."""
+        best: list[tuple[int, int]] = []  # min-heap of (score, -index)
+        for index, score, cells in self._score_chunks(query, database):
+            entry = (score, -index)
+            if len(best) < self.top:
+                heapq.heappush(best, entry)
+            elif entry > best[0]:
+                heapq.heapreplace(best, entry)
+            if progress is not None and not progress(ChunkProgress(cells)):
+                return None
+        ranked = sorted(best, key=lambda e: (-e[0], -e[1]))
+        return tuple(
+            SearchHit(
+                subject_id=database[-neg_index].id,
+                subject_index=-neg_index,
+                score=score,
+                subject_length=len(database[-neg_index]),
+            )
+            for score, neg_index in ranked
+        )
+
+    @abc.abstractmethod
+    def _score_chunks(
+        self, query: Sequence, database: SequenceDatabase
+    ) -> Iterator[tuple[int, int, int]]:
+        """Yield ``(subject_index, score, chunk_cells)`` triples.
+
+        ``chunk_cells`` is non-zero only on the last subject of each
+        chunk, carrying the whole chunk's cell count (progress is
+        reported at chunk granularity).
+        """
+
+
+class StripedSSEEngine(Engine):
+    """One SSE core running the adapted Farrar kernel (Section IV-C).
+
+    The striped query profile — Farrar's most expensive setup step — is
+    built once per (query, precision) and reused across every database
+    subject, as the real SSE code does.
+    """
+
+    pe_class = "sse"
+
+    def __init__(self, *args, lanes: int = 16, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.lanes = lanes
+
+    def _score_one(
+        self,
+        profiles: dict[int, StripedProfile],
+        query_codes,
+        subject_codes,
+    ) -> int:
+        plans = (
+            (SCORE_CAP_8BIT, self.lanes),
+            (SCORE_CAP_16BIT, max(1, self.lanes // 2)),
+            (int(1 << 40), max(1, self.lanes // 2)),
+        )
+        for cap, lanes in plans:
+            profile = profiles.get(cap)
+            if profile is None:
+                profile = StripedProfile.build(
+                    query_codes, self.matrix, lanes=lanes
+                )
+                profiles[cap] = profile
+            try:
+                score, _ = sw_score_striped_once(
+                    profile, subject_codes, self.gaps, cap
+                )
+                return score
+            except SaturationOverflow:
+                continue
+        raise AssertionError("unreachable: uncapped pass cannot saturate")
+
+    def _score_chunks(self, query, database):
+        from ..align.reference import _codes
+
+        query_codes = _codes(query, self.matrix)
+        profiles: dict[int, StripedProfile] = {}
+        pending_cells = 0
+        for index, subject in enumerate(database):
+            subject_codes = _codes(subject, self.matrix)
+            if len(query_codes) == 0 or len(subject_codes) == 0:
+                score = 0
+            else:
+                score = self._score_one(profiles, query_codes, subject_codes)
+            pending_cells += len(query_codes) * len(subject_codes)
+            last_of_chunk = (index + 1) % self.chunk_size == 0
+            last_overall = index + 1 == len(database)
+            if last_of_chunk or last_overall:
+                yield index, score, pending_cells
+                pending_cells = 0
+            else:
+                yield index, score, 0
+
+
+class InterSequenceEngine(Engine):
+    """One GPU-analogue running the lane-packed CUDASW++-style kernel.
+
+    ``dual_precision=True`` enables the capped-first-pass pipeline
+    (CUDASW++'s limited-precision kernel + exact recompute of the rare
+    saturating subjects); scores are bit-identical either way.
+    """
+
+    pe_class = "gpu"
+
+    def __init__(
+        self, *args, lanes: int = 32, dual_precision: bool = False, **kwargs
+    ):
+        super().__init__(*args, **kwargs)
+        self.lanes = lanes
+        self.dual_precision = dual_precision
+
+    def _score_chunks(self, query, database):
+        from ..align.intersequence import sw_score_batch_capped
+        from ..align.reference import _codes
+        from ..sequences.database import SequenceDatabase as _DB
+
+        query_codes = _codes(query, self.matrix)
+        profile = _padded_profile(query_codes, self.matrix)
+        for pack in pack_database(database, self.matrix, lanes=self.lanes):
+            if self.dual_precision:
+                scores, saturated = sw_score_batch_capped(
+                    query_codes, pack, self.matrix, self.gaps,
+                    profile=profile,
+                )
+                for lane in np.flatnonzero(saturated):
+                    redo = next(
+                        pack_database(
+                            _DB([database[int(pack.order[lane])]],
+                                name="redo"),
+                            self.matrix,
+                            lanes=1,
+                        )
+                    )
+                    scores[lane] = sw_score_batch(
+                        query_codes, redo, self.matrix, self.gaps,
+                        profile=profile,
+                    )[0]
+            else:
+                scores = sw_score_batch(
+                    query_codes, pack, self.matrix, self.gaps,
+                    profile=profile,
+                )
+            chunk_cells = len(query_codes) * pack.cells_per_query_residue
+            for lane, db_index in enumerate(pack.order):
+                is_last = lane + 1 == len(pack.order)
+                yield int(db_index), int(scores[lane]), (
+                    chunk_cells if is_last else 0
+                )
+
+
+class ScanEngine(Engine):
+    """Baseline slave running the column-scan kernel pair by pair."""
+
+    pe_class = "scan"
+
+    def _score_chunks(self, query, database):
+        pending_cells = 0
+        for index, subject in enumerate(database):
+            result = sw_score_scan(query, subject, self.matrix, self.gaps)
+            pending_cells += result.cells
+            last_of_chunk = (index + 1) % self.chunk_size == 0
+            last_overall = index + 1 == len(database)
+            if last_of_chunk or last_overall:
+                yield index, result.score, pending_cells
+                pending_cells = 0
+            else:
+                yield index, result.score, 0
+
+
+class ThrottledEngine(Engine):
+    """Wrap an engine with an artificial per-chunk delay.
+
+    Test/demonstration harness: makes a PE deterministically slow (or
+    slow *from a given wall-clock moment*, emulating the superpi
+    experiment on the real runtime) so that replication and PSS
+    adaptation can be exercised reproducibly with real kernels.
+    """
+
+    pe_class = "throttled"
+
+    def __init__(
+        self,
+        inner: Engine,
+        delay_per_chunk: float,
+        start_after: float = 0.0,
+    ):
+        if delay_per_chunk < 0 or start_after < 0:
+            raise ValueError("delays must be non-negative")
+        # Note: deliberately *not* calling super().__init__; all search
+        # behaviour is delegated to the wrapped engine.
+        self.inner = inner
+        self.delay_per_chunk = delay_per_chunk
+        self.start_after = start_after
+        self._started = None  # lazily bound on first use
+
+    @property
+    def matrix(self):  # type: ignore[override]
+        return self.inner.matrix
+
+    @property
+    def gaps(self):  # type: ignore[override]
+        return self.inner.gaps
+
+    @property
+    def top(self):  # type: ignore[override]
+        return self.inner.top
+
+    @property
+    def chunk_size(self):  # type: ignore[override]
+        return self.inner.chunk_size
+
+    def search(self, query, database, progress=None):
+        import time
+
+        if self._started is None:
+            self._started = time.perf_counter()
+
+        def throttled_progress(chunk: ChunkProgress) -> bool:
+            elapsed = time.perf_counter() - self._started
+            if elapsed >= self.start_after and self.delay_per_chunk > 0:
+                time.sleep(self.delay_per_chunk)
+            if progress is None:
+                return True
+            return progress(chunk)
+
+        return self.inner.search(query, database, progress=throttled_progress)
+
+    def _score_chunks(self, query, database):  # pragma: no cover
+        raise NotImplementedError("ThrottledEngine delegates search()")

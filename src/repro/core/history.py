@@ -1,0 +1,122 @@
+"""Per-PE progress histories and rate estimation (the PSS input).
+
+Section IV-A-2: *"the master analyzes periodic notifications sent by the
+slave PEs, reporting the progress in processing tasks.  It then
+calculates the weighted mean from the last Ω notifications sent by each
+p_i slave PE.  A small Ω indicates that only very recent histories will
+be considered ...; high values for Ω indicate that not only recent
+histories will be considered but also older ones."*
+
+A notification carries the cells processed since the previous
+notification and the elapsed interval; the estimator keeps the last Ω
+samples and combines them with linearly decaying weights (newest sample
+weight Ω, oldest weight 1), which is the behaviour the quote describes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["RateSample", "RateEstimator", "HistoryBook"]
+
+#: Default notification-window length (the paper leaves Ω free; the
+#: ablation benchmark sweeps it).
+DEFAULT_OMEGA = 8
+
+
+@dataclass(frozen=True)
+class RateSample:
+    """One progress notification: *cells* processed over *interval* s."""
+
+    time: float
+    cells: float
+    interval: float
+
+    @property
+    def rate(self) -> float:
+        """Observed throughput in cells/second."""
+        return self.cells / self.interval if self.interval > 0 else 0.0
+
+
+class RateEstimator:
+    """Ω-window weighted-mean throughput estimator for one PE."""
+
+    def __init__(self, omega: int = DEFAULT_OMEGA):
+        if omega < 1:
+            raise ValueError("omega must be at least 1")
+        self._omega = omega
+        self._samples: deque[RateSample] = deque(maxlen=omega)
+
+    @property
+    def omega(self) -> int:
+        return self._omega
+
+    @property
+    def num_samples(self) -> int:
+        return len(self._samples)
+
+    def observe(self, sample: RateSample) -> None:
+        if sample.interval < 0 or sample.cells < 0:
+            raise ValueError("samples must be non-negative")
+        if sample.interval == 0:
+            return  # zero-length interval carries no rate information
+        self._samples.append(sample)
+
+    def rate(self) -> float | None:
+        """Weighted mean rate, or ``None`` before any notification.
+
+        The newest of the k retained samples gets weight k, the oldest
+        weight 1 — a linear decay over the Ω window.
+        """
+        if not self._samples:
+            return None
+        total = 0.0
+        weight_sum = 0.0
+        for age_rank, sample in enumerate(self._samples, start=1):
+            total += age_rank * sample.rate
+            weight_sum += age_rank
+        return total / weight_sum
+
+    def clear(self) -> None:
+        self._samples.clear()
+
+
+class HistoryBook:
+    """Rate estimators for every registered PE."""
+
+    def __init__(self, omega: int = DEFAULT_OMEGA):
+        self._omega = omega
+        self._estimators: dict[str, RateEstimator] = {}
+
+    def register(self, pe_id: str) -> None:
+        self._estimators.setdefault(pe_id, RateEstimator(self._omega))
+
+    def remove(self, pe_id: str) -> None:
+        """Forget a departed PE (its rate must not skew Phi for others)."""
+        self._estimators.pop(pe_id, None)
+
+    def observe(self, pe_id: str, sample: RateSample) -> None:
+        if pe_id not in self._estimators:
+            raise KeyError(f"unregistered PE {pe_id!r}")
+        self._estimators[pe_id].observe(sample)
+
+    def rate(self, pe_id: str) -> float | None:
+        return self._estimators[pe_id].rate()
+
+    def rates(self) -> dict[str, float | None]:
+        return {pe: est.rate() for pe, est in self._estimators.items()}
+
+    def known_rates(self) -> dict[str, float]:
+        """Rates of PEs that have reported at least once."""
+        return {
+            pe: rate
+            for pe, rate in self.rates().items()
+            if rate is not None and rate > 0
+        }
+
+    def __contains__(self, pe_id: str) -> bool:
+        return pe_id in self._estimators
+
+    def __len__(self) -> int:
+        return len(self._estimators)

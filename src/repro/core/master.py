@@ -1,0 +1,295 @@
+"""The master process: registration, allocation, adjustment, merging.
+
+Fig. 4 of the paper: the master acquires and converts the sequence
+files, waits for slaves to register, allocates tasks according to the
+user-selected policy, applies the workload-adjustment mechanism when the
+ready queue drains, and merges the results the slaves send back.
+
+:class:`Master` is *pure scheduling logic* — it has no threads, sockets
+or clocks of its own.  The threaded runtime and the discrete-event
+simulator both drive it through the same four entry points
+(:meth:`register`, :meth:`on_request`, :meth:`on_progress`,
+:meth:`on_complete`), which is what lets the simulator make paper-scale
+claims about exactly the code that also runs for real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .history import DEFAULT_OMEGA, HistoryBook, RateSample
+from .policies import AllocationPolicy, PolicyContext
+from .task import Task, TaskPool, TaskResult
+
+__all__ = ["Assignment", "TraceEvent", "Master"]
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """Master's reply to one task request."""
+
+    tasks: tuple[Task, ...] = ()
+    replicas: tuple[Task, ...] = ()
+    done: bool = False
+
+    @property
+    def empty(self) -> bool:
+        """True when the slave got nothing and should wait (not exit)."""
+        return not self.tasks and not self.replicas and not self.done
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One entry of the master's execution trace (feeds Figs. 5-8)."""
+
+    kind: str  # "register" | "assign" | "replica" | "complete" | "progress" | "cancel"
+    time: float
+    pe_id: str
+    task_id: int = -1
+    value: float = 0.0  # rate for progress events; 1.0 for winning completes
+
+
+@dataclass
+class _PEState:
+    """Master-side bookkeeping for one slave."""
+
+    queue: list[int] = field(default_factory=list)  # pending task ids, FIFO
+    granted: int = 0  # ready tasks ever granted (drives Fixed/WFixed)
+    last_contact: float = 0.0  # time of the slave's latest message
+
+
+class Master:
+    """Scheduling brain of the execution environment.
+
+    Parameters
+    ----------
+    tasks:
+        The full workload (already converted to :class:`Task` records).
+    policy:
+        The user-selected allocation policy (Section IV-A).
+    adjustment:
+        Enables the workload-adjustment mechanism (Section IV-A-3).
+        Benchmarks toggle this to regenerate Fig. 6.
+    omega:
+        PSS notification-window length.
+    """
+
+    def __init__(
+        self,
+        tasks: list[Task],
+        policy: AllocationPolicy,
+        adjustment: bool = True,
+        omega: int = DEFAULT_OMEGA,
+    ):
+        self.pool = TaskPool(tasks)
+        self.policy = policy
+        self.adjustment = adjustment
+        self.history = HistoryBook(omega)
+        self.results: dict[int, TaskResult] = {}
+        self.trace: list[TraceEvent] = []
+        self._pes: dict[str, _PEState] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_pes(self) -> int:
+        return len(self._pes)
+
+    @property
+    def finished(self) -> bool:
+        return self.pool.all_finished
+
+    def pending_of(self, pe_id: str) -> tuple[int, ...]:
+        return tuple(self._pes[pe_id].queue)
+
+    def merged_results(self) -> list[TaskResult]:
+        """Winning result of every task, in task-id order (Fig. 4 merge)."""
+        if not self.pool.all_finished:
+            raise RuntimeError("cannot merge: tasks still outstanding")
+        return [self.results[task_id] for task_id in sorted(self.results)]
+
+    # ------------------------------------------------------------------
+    # Slave-facing protocol
+    # ------------------------------------------------------------------
+    def register(self, pe_id: str, now: float = 0.0) -> None:
+        """A slave announces itself (Fig. 4, *register with master*)."""
+        if pe_id in self._pes:
+            raise ValueError(f"PE {pe_id!r} registered twice")
+        self._pes[pe_id] = _PEState(last_contact=now)
+        self.history.register(pe_id)
+        self.trace.append(TraceEvent("register", now, pe_id))
+
+    def last_contact(self, pe_id: str) -> float:
+        """Time of the slave's most recent message."""
+        return self._pes[pe_id].last_contact
+
+    def reap_silent(self, now: float, timeout: float) -> tuple[str, ...]:
+        """Deregister every slave silent for longer than *timeout*.
+
+        Failure detection for the distributed runtime: a crashed worker
+        process stops sending progress notifications; reaping it
+        releases its tasks back to the ready queue so the remaining
+        slaves finish the workload.  Returns the reaped PE ids.
+        """
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        silent = [
+            pe_id
+            for pe_id, state in self._pes.items()
+            if now - state.last_contact > timeout
+        ]
+        for pe_id in silent:
+            self.deregister(pe_id, now)
+        return tuple(silent)
+
+    def deregister(self, pe_id: str, now: float = 0.0) -> tuple[int, ...]:
+        """A slave leaves the platform (churn or failure).
+
+        Every task the slave still held is released; tasks it was the
+        sole executor of transition back to READY, so no work is lost —
+        the robustness the paper's future-work section asks for.
+        Returns the released task ids.
+        """
+        state = self._pes.pop(pe_id, None)
+        if state is None:
+            raise KeyError(f"PE {pe_id!r} is not registered")
+        released = tuple(state.queue)
+        for task_id in released:
+            self.pool.release(task_id, pe_id)
+        self.history.remove(pe_id)
+        self.trace.append(TraceEvent("deregister", now, pe_id))
+        return released
+
+    def on_progress(
+        self, pe_id: str, now: float, cells: float, interval: float
+    ) -> None:
+        """Periodic progress notification (the PSS input stream)."""
+        self._pes[pe_id].last_contact = now
+        sample = RateSample(time=now, cells=cells, interval=interval)
+        self.history.observe(pe_id, sample)
+        self.trace.append(
+            TraceEvent("progress", now, pe_id, value=sample.rate)
+        )
+
+    def on_request(self, pe_id: str, now: float) -> Assignment:
+        """An idle slave asks for work.
+
+        Ready tasks are granted according to the policy; once the ready
+        queue is empty the workload-adjustment mechanism hands out a
+        replica of an executing task instead.  An :class:`Assignment`
+        with ``done=True`` tells the slave the whole workload finished.
+        """
+        state = self._pes[pe_id]
+        state.last_contact = now
+        self.trace.append(TraceEvent("request", now, pe_id))
+        if self.pool.all_finished:
+            return Assignment(done=True)
+
+        ctx = PolicyContext(
+            pe_id=pe_id,
+            num_pes=len(self._pes),
+            total_tasks=len(self.pool),
+            ready_tasks=self.pool.num_ready,
+            tasks_already_assigned={
+                pe: st.granted for pe, st in self._pes.items()
+            },
+            history=self.history,
+        )
+        count = self.policy.batch_size(ctx)
+        tasks = self.pool.acquire(pe_id, count) if count > 0 else []
+        if tasks:
+            state.granted += len(tasks)
+            state.queue.extend(t.task_id for t in tasks)
+            for t in tasks:
+                self.trace.append(TraceEvent("assign", now, pe_id, t.task_id))
+            return Assignment(tasks=tuple(tasks))
+
+        if self.adjustment:
+            candidates = self.pool.replica_candidates(pe_id)
+            if candidates:
+                chosen = self._pick_replica(candidates)
+                replica = self.pool.assign_replica(pe_id, chosen.task_id)
+                state.queue.append(replica.task_id)
+                self.trace.append(
+                    TraceEvent("replica", now, pe_id, replica.task_id)
+                )
+                return Assignment(replicas=(replica,))
+        return Assignment(done=self.pool.all_finished)
+
+    def on_complete(
+        self, pe_id: str, result: TaskResult, now: float
+    ) -> frozenset[str]:
+        """A slave finished a task; returns the PEs to cancel.
+
+        The first completion wins and its result is merged; a stale
+        completion (the task already finished elsewhere) is dropped, as
+        the mechanism prescribes.
+        """
+        state = self._pes[pe_id]
+        state.last_contact = now
+        if result.task_id in state.queue:
+            state.queue.remove(result.task_id)
+        first, losers = self.pool.complete(result.task_id, pe_id)
+        if first:
+            self.results[result.task_id] = result
+        self.trace.append(
+            TraceEvent(
+                "complete", now, pe_id, result.task_id, value=1.0 if first else 0.0
+            )
+        )
+        for loser in losers:
+            self.trace.append(TraceEvent("cancel", now, loser, result.task_id))
+        return losers
+
+    def on_cancelled(self, pe_id: str, task_id: int) -> None:
+        """A slave acknowledges dropping a cancelled (or failed) task.
+
+        Tolerates acknowledgements from PEs that already deregistered
+        (their tasks were released at departure).
+        """
+        state = self._pes.get(pe_id)
+        if state is None:
+            return
+        if task_id in state.queue:
+            state.queue.remove(task_id)
+        self.pool.release(task_id, pe_id)
+
+    # ------------------------------------------------------------------
+    # Replica selection
+    # ------------------------------------------------------------------
+    def _pick_replica(self, candidates: list[Task]) -> Task:
+        """Choose the executing task most worth duplicating.
+
+        Heuristic: the task whose earliest estimated completion (over
+        its current executors, from the master's queue bookkeeping and
+        the Ω-window rates) is the *latest* — i.e. the task most likely
+        to retard the end of the computation, the exact situation the
+        mechanism exists for.  Ties fall back to fewest executors, then
+        task id, keeping the choice deterministic.
+        """
+        rates = self.history.known_rates()
+
+        def earliest_finish(task: Task) -> float:
+            best = float("inf")
+            for pe in self.pool.executors(task.task_id):
+                rate = rates.get(pe)
+                if rate is None or rate <= 0:
+                    continue
+                queue = self._pes[pe].queue
+                pending_cells = 0
+                for queued_id in queue:
+                    pending_cells += self.pool.task(queued_id).cells
+                    if queued_id == task.task_id:
+                        break
+                best = min(best, pending_cells / rate)
+            return best
+
+        return max(
+            candidates,
+            key=lambda t: (
+                earliest_finish(t),
+                -len(self.pool.executors(t.task_id)),
+                -t.task_id,
+            ),
+        )

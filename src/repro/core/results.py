@@ -1,0 +1,63 @@
+"""Result merging: combine per-task hit lists at the master.
+
+With the paper's very coarse decomposition each query maps to exactly
+one task and merging is trivial.  With the chunked (coarse-grained,
+Fig. 3b) decomposition a query's hits arrive as one ranked list per
+database chunk; the master must merge them into a single ranked list —
+``merge_hits`` is that reduction, with the same deterministic tie
+breaking as :func:`repro.align.api.database_search`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence as TypingSequence
+
+from ..align.api import SearchHit
+
+__all__ = ["merge_hits", "offset_hits"]
+
+
+def offset_hits(
+    hits: TypingSequence[SearchHit], subject_offset: int
+) -> tuple[SearchHit, ...]:
+    """Rebase chunk-relative subject indices to whole-database indices."""
+    if subject_offset < 0:
+        raise ValueError("subject_offset must be non-negative")
+    if subject_offset == 0:
+        return tuple(hits)
+    return tuple(
+        SearchHit(
+            subject_id=hit.subject_id,
+            subject_index=hit.subject_index + subject_offset,
+            score=hit.score,
+            subject_length=hit.subject_length,
+            evalue=hit.evalue,
+            bit_score=hit.bit_score,
+            strand=hit.strand,
+        )
+        for hit in hits
+    )
+
+
+def merge_hits(
+    hit_lists: Iterable[TypingSequence[SearchHit]], top: int = 10
+) -> tuple[SearchHit, ...]:
+    """Merge ranked hit lists into one, best-first.
+
+    Duplicate subject indices (a subject scored by several replicas)
+    keep their best-scoring entry.  Ordering matches a single-pass
+    search: descending score, then ascending database index.
+    """
+    best_by_subject: dict[int, SearchHit] = {}
+    for hits in hit_lists:
+        for hit in hits:
+            current = best_by_subject.get(hit.subject_index)
+            if current is None or hit.score > current.score:
+                best_by_subject[hit.subject_index] = hit
+    ranked = sorted(
+        best_by_subject.values(),
+        key=lambda hit: (-hit.score, hit.subject_index),
+    )
+    if top <= 0:
+        return tuple(ranked)
+    return tuple(ranked[:top])

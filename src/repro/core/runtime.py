@@ -1,0 +1,296 @@
+"""Threaded master/slave runtime with real kernels.
+
+This is the execution environment of Fig. 4 running for real: one
+worker thread per PE, each driving its engine over actual sequence
+data, with the shared :class:`~repro.core.master.Master` arbitrating
+behind a lock (the lock plays the role of the Gigabit Ethernet link —
+every interaction slaves have with the master goes through it).
+
+The same master also runs under virtual time in :mod:`repro.simulate`;
+this runtime exists so that correctness-scale workloads exercise the
+full stack end to end: indexed files, engines, policies, adjustment,
+cancellation, merging.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..align.api import SearchHit
+from ..sequences.database import SequenceDatabase
+from ..sequences.records import Sequence
+from .engines import ChunkProgress, Engine
+from .master import Master, TraceEvent
+from .policies import AllocationPolicy, PackageWeightedSelfScheduling
+from .results import merge_hits, offset_hits
+from .task import Task, TaskResult
+
+__all__ = ["RunReport", "HybridRuntime", "build_tasks"]
+
+#: Idle slaves poll the master at this period when told to wait.
+_WAIT_POLL_SECONDS = 0.002
+
+
+def build_tasks(
+    queries: list[Sequence],
+    database: SequenceDatabase,
+    chunks: list[SequenceDatabase] | None = None,
+) -> list[Task]:
+    """Build the task list for a workload.
+
+    With the default single chunk this is the paper's very
+    coarse-grained decomposition (one task per query x whole database);
+    passing the output of :meth:`SequenceDatabase.chunks` produces the
+    coarse-grained (Fig. 3b) variant, one task per (query, chunk).
+    """
+    if chunks is None:
+        chunks = [database]
+    tasks = []
+    for q_index, query in enumerate(queries):
+        for c_index, chunk in enumerate(chunks):
+            tasks.append(
+                Task(
+                    task_id=q_index * len(chunks) + c_index,
+                    query_id=query.id,
+                    query_length=len(query),
+                    cells=len(query) * chunk.total_residues,
+                    query_index=q_index,
+                    chunk_index=c_index,
+                )
+            )
+    return tasks
+
+
+@dataclass
+class RunReport:
+    """Outcome of one full workload execution."""
+
+    makespan: float
+    total_cells: int
+    results: dict[str, tuple[SearchHit, ...]]  # query_id -> ranked hits
+    trace: list[TraceEvent]
+    tasks_by_pe: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def gcups(self) -> float:
+        return self.total_cells / self.makespan / 1e9 if self.makespan else 0.0
+
+
+class _SharedMaster:
+    """Lock-guarded facade over :class:`Master` (the 'network')."""
+
+    def __init__(self, master: Master):
+        self._master = master
+        self._lock = threading.Lock()
+
+    def register(self, pe_id: str, now: float):
+        with self._lock:
+            self._master.register(pe_id, now)
+
+    def request(self, pe_id: str, now: float):
+        with self._lock:
+            return self._master.on_request(pe_id, now)
+
+    def progress(self, pe_id: str, now: float, cells: float, interval: float):
+        with self._lock:
+            self._master.on_progress(pe_id, now, cells, interval)
+
+    def complete(self, pe_id: str, result: TaskResult, now: float):
+        with self._lock:
+            return self._master.on_complete(pe_id, result, now)
+
+    def cancelled(self, pe_id: str, task_id: int):
+        with self._lock:
+            self._master.on_cancelled(pe_id, task_id)
+
+
+class _Worker(threading.Thread):
+    """One slave PE: request -> execute -> notify, until done."""
+
+    def __init__(
+        self,
+        pe_id: str,
+        engine: Engine,
+        shared: _SharedMaster,
+        queries: list[Sequence],
+        chunks: list[SequenceDatabase],
+        chunk_offsets: list[int],
+        cancel_flags: dict[str, set[int]],
+        cancel_lock: threading.Lock,
+        clock,
+    ):
+        super().__init__(name=pe_id, daemon=True)
+        self.pe_id = pe_id
+        self.engine = engine
+        self.shared = shared
+        self.queries = queries
+        self.chunks = chunks
+        self.chunk_offsets = chunk_offsets
+        self.cancel_flags = cancel_flags
+        self.cancel_lock = cancel_lock
+        self.clock = clock
+        self.tasks_done = 0
+        self.error: BaseException | None = None
+
+    def run(self) -> None:
+        try:
+            self._serve()
+        except BaseException as exc:  # surfaced by the runtime
+            self.error = exc
+
+    def _cancelled(self, task_id: int) -> bool:
+        with self.cancel_lock:
+            return task_id in self.cancel_flags[self.pe_id]
+
+    def _serve(self) -> None:
+        while True:
+            assignment = self.shared.request(self.pe_id, self.clock())
+            if assignment.done:
+                return
+            if assignment.empty:
+                time.sleep(_WAIT_POLL_SECONDS)
+                continue
+            for task in (*assignment.tasks, *assignment.replicas):
+                self._execute(task)
+
+    def _execute(self, task: Task) -> None:
+        query = self.queries[task.query_index]
+        database = self.chunks[task.chunk_index]
+        started = self.clock()
+        last_notify = started
+        state = {"last": last_notify}
+
+        def progress(chunk: ChunkProgress) -> bool:
+            now = self.clock()
+            interval = now - state["last"]
+            state["last"] = now
+            self.shared.progress(self.pe_id, now, chunk.cells, interval)
+            return not self._cancelled(task.task_id)
+
+        hits = self.engine.search(query, database, progress=progress)
+        now = self.clock()
+        if hits is None:  # aborted by cancellation
+            self.shared.cancelled(self.pe_id, task.task_id)
+            return
+        result = TaskResult(
+            task_id=task.task_id,
+            pe_id=self.pe_id,
+            elapsed=max(now - started, 1e-9),
+            cells=task.cells,
+            payload=offset_hits(hits, self.chunk_offsets[task.chunk_index]),
+        )
+        losers = self.shared.complete(self.pe_id, result, now)
+        self.tasks_done += 1
+        with self.cancel_lock:
+            for loser in losers:
+                self.cancel_flags[loser].add(task.task_id)
+
+
+class HybridRuntime:
+    """Run a whole workload on a set of engine-backed worker threads.
+
+    ``engines`` maps PE ids to :class:`Engine` instances, e.g. two
+    GPU-analogues and four SSE-analogues for a miniature of the paper's
+    platform.
+    """
+
+    def __init__(
+        self,
+        engines: dict[str, Engine],
+        policy: AllocationPolicy | None = None,
+        adjustment: bool = True,
+        omega: int = 8,
+    ):
+        if not engines:
+            raise ValueError("at least one engine is required")
+        self.engines = dict(engines)
+        self.policy = policy or PackageWeightedSelfScheduling()
+        self.adjustment = adjustment
+        self.omega = omega
+
+    def run(
+        self,
+        queries: list[Sequence],
+        database: SequenceDatabase,
+        chunks_per_query: int = 1,
+        top: int = 10,
+    ) -> RunReport:
+        """Execute the workload; returns merged per-query hit lists.
+
+        ``chunks_per_query > 1`` switches to the coarse-grained
+        decomposition: the database is split into that many contiguous
+        chunks and every (query, chunk) pair becomes a task; the master
+        merges the per-chunk hit lists (Fig. 4's *merge results*).
+        """
+        if chunks_per_query < 1:
+            raise ValueError("chunks_per_query must be at least 1")
+        if chunks_per_query == 1:
+            chunks = [database]
+        else:
+            chunk_size = -(-len(database) // chunks_per_query)
+            chunks = list(database.chunks(chunk_size))
+        offsets = []
+        position = 0
+        for chunk in chunks:
+            offsets.append(position)
+            position += len(chunk)
+
+        tasks = build_tasks(queries, database, chunks=chunks)
+        master = Master(
+            tasks,
+            policy=self.policy,
+            adjustment=self.adjustment,
+            omega=self.omega,
+        )
+        shared = _SharedMaster(master)
+        start = time.perf_counter()
+
+        def clock() -> float:
+            return time.perf_counter() - start
+
+        cancel_lock = threading.Lock()
+        cancel_flags: dict[str, set[int]] = {pe: set() for pe in self.engines}
+        workers = [
+            _Worker(
+                pe_id,
+                engine,
+                shared,
+                queries,
+                chunks,
+                offsets,
+                cancel_flags,
+                cancel_lock,
+                clock,
+            )
+            for pe_id, engine in self.engines.items()
+        ]
+        for worker in workers:
+            shared.register(worker.pe_id, clock())
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        for worker in workers:
+            if worker.error is not None:
+                raise worker.error
+        makespan = clock()
+
+        by_query: dict[str, list[tuple[SearchHit, ...]]] = {}
+        for task_result in master.merged_results():
+            task = master.pool.task(task_result.task_id)
+            by_query.setdefault(task.query_id, []).append(
+                task_result.payload  # type: ignore[arg-type]
+            )
+        results = {
+            query_id: merge_hits(hit_lists, top=top)
+            for query_id, hit_lists in by_query.items()
+        }
+        return RunReport(
+            makespan=makespan,
+            total_cells=sum(t.cells for t in tasks),
+            results=results,
+            trace=list(master.trace),
+            tasks_by_pe={w.pe_id: w.tasks_done for w in workers},
+        )

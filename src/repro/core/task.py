@@ -1,0 +1,229 @@
+"""Task model and task pool — the heart of Section IV.
+
+The paper defines a task as *the comparison of one query sequence to one
+genomic database* (very coarse-grained, Fig. 3c) and gives each task one
+of three states: **ready**, **executing**, **finished** (Section
+IV-A-3).  The workload-adjustment mechanism follows directly from the
+state machine: an idle PE that finds no *ready* task receives a
+**replica** of an *executing* one; the first executor to finish wins and
+the others are cancelled.
+
+:class:`TaskPool` owns that state machine and its invariants.  It is
+deliberately free of any notion of time or transport so that the
+threaded runtime (:mod:`repro.core.runtime`) and the discrete-event
+simulator (:mod:`repro.simulate`) drive the *same* scheduling logic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = ["TaskState", "Task", "TaskResult", "TaskPool"]
+
+
+class TaskState(enum.Enum):
+    """The paper's three task states."""
+
+    READY = "ready"
+    EXECUTING = "executing"
+    FINISHED = "finished"
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of work: one query against one whole database.
+
+    ``cells`` (query length x database residues) is the task's exact
+    cost in DP-cell updates; every performance model and GCUPS figure is
+    derived from it.  ``query_index`` points into the indexed query file
+    so slaves can fetch the sequence with one seek (Section IV-B).
+
+    ``chunk_index`` identifies the database chunk for the coarse-grained
+    (Fig. 3b) decomposition; the paper's very coarse tasks always use
+    chunk 0 of a single-chunk database.
+    """
+
+    task_id: int
+    query_id: str
+    query_length: int
+    cells: int
+    query_index: int = -1
+    chunk_index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.query_length < 0 or self.cells < 0:
+            raise ValueError("task sizes must be non-negative")
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """What a slave hands back for one finished task."""
+
+    task_id: int
+    pe_id: str
+    elapsed: float
+    cells: int
+    payload: object = None  # e.g. a tuple of SearchHit from a real engine
+
+    @property
+    def gcups(self) -> float:
+        return self.cells / self.elapsed / 1e9 if self.elapsed > 0 else 0.0
+
+
+class TaskPoolError(RuntimeError):
+    """Raised on an illegal task-state transition."""
+
+
+@dataclass
+class _TaskRecord:
+    task: Task
+    state: TaskState = TaskState.READY
+    executors: set[str] = field(default_factory=set)
+    finished_by: str | None = None
+
+
+class TaskPool:
+    """State machine over a fixed set of tasks, with replication.
+
+    Invariants maintained (and asserted by the test suite):
+
+    * a task is FINISHED at most once, by exactly one PE;
+    * a READY task has no executors; an EXECUTING task has >= 1;
+    * replicas are only created for EXECUTING tasks and never handed to
+      a PE that is already executing the same task;
+    * FINISHED is absorbing — no transition leaves it.
+    """
+
+    def __init__(self, tasks: Iterable[Task]):
+        self._records: dict[int, _TaskRecord] = {}
+        self._ready: list[int] = []
+        for task in tasks:
+            if task.task_id in self._records:
+                raise ValueError(f"duplicate task id {task.task_id}")
+            self._records[task.task_id] = _TaskRecord(task)
+            self._ready.append(task.task_id)
+        self._ready.reverse()  # pop() from the end = FIFO by insertion
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def task(self, task_id: int) -> Task:
+        return self._records[task_id].task
+
+    def state(self, task_id: int) -> TaskState:
+        return self._records[task_id].state
+
+    def executors(self, task_id: int) -> frozenset[str]:
+        return frozenset(self._records[task_id].executors)
+
+    def finished_by(self, task_id: int) -> str | None:
+        return self._records[task_id].finished_by
+
+    @property
+    def num_ready(self) -> int:
+        return len(self._ready)
+
+    @property
+    def num_executing(self) -> int:
+        return sum(
+            1
+            for r in self._records.values()
+            if r.state is TaskState.EXECUTING
+        )
+
+    @property
+    def num_finished(self) -> int:
+        return sum(
+            1 for r in self._records.values() if r.state is TaskState.FINISHED
+        )
+
+    @property
+    def all_finished(self) -> bool:
+        return self.num_finished == len(self._records)
+
+    def executing_tasks(self) -> list[Task]:
+        return [
+            r.task
+            for r in self._records.values()
+            if r.state is TaskState.EXECUTING
+        ]
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+    def acquire(self, pe_id: str, count: int) -> list[Task]:
+        """Hand up to *count* READY tasks to *pe_id* (FIFO order)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        granted: list[Task] = []
+        while self._ready and len(granted) < count:
+            task_id = self._ready.pop()
+            record = self._records[task_id]
+            record.state = TaskState.EXECUTING
+            record.executors.add(pe_id)
+            granted.append(record.task)
+        return granted
+
+    def replica_candidates(self, pe_id: str) -> list[Task]:
+        """EXECUTING tasks that *pe_id* is not already working on."""
+        return [
+            r.task
+            for r in self._records.values()
+            if r.state is TaskState.EXECUTING and pe_id not in r.executors
+        ]
+
+    def assign_replica(self, pe_id: str, task_id: int) -> Task:
+        """Give *pe_id* a replica of an EXECUTING task (the adjustment)."""
+        record = self._records[task_id]
+        if record.state is not TaskState.EXECUTING:
+            raise TaskPoolError(
+                f"cannot replicate task {task_id} in state {record.state}"
+            )
+        if pe_id in record.executors:
+            raise TaskPoolError(
+                f"PE {pe_id!r} already executes task {task_id}"
+            )
+        record.executors.add(pe_id)
+        return record.task
+
+    def complete(self, task_id: int, pe_id: str) -> tuple[bool, frozenset[str]]:
+        """Record that *pe_id* finished *task_id*.
+
+        Returns ``(first, losers)``: *first* is False for a stale
+        completion (another executor won the race — the result must be
+        discarded), and *losers* is the set of other PEs whose replicas
+        should now be cancelled.
+        """
+        record = self._records[task_id]
+        if record.state is TaskState.FINISHED:
+            return False, frozenset()
+        if pe_id not in record.executors:
+            raise TaskPoolError(
+                f"PE {pe_id!r} completed task {task_id} it never acquired"
+            )
+        record.state = TaskState.FINISHED
+        record.finished_by = pe_id
+        losers = frozenset(record.executors - {pe_id})
+        record.executors = {pe_id}
+        return True, losers
+
+    def release(self, task_id: int, pe_id: str) -> None:
+        """*pe_id* stops executing *task_id* (cancellation or failure).
+
+        If this removed the last executor of a still-unfinished task,
+        the task transitions back to READY so no work is ever lost —
+        the robustness property the paper's future-work section asks for
+        (nodes leaving the platform mid-run).
+        """
+        record = self._records[task_id]
+        if record.state is TaskState.FINISHED:
+            return  # post-finish cancellation: nothing to do
+        record.executors.discard(pe_id)
+        if not record.executors:
+            record.state = TaskState.READY
+            self._ready.insert(0, task_id)  # back of the FIFO

@@ -1,0 +1,85 @@
+"""Sequence substrate: alphabets, records, I/O formats and databases."""
+
+from .alphabet import DNA, PROTEIN, RNA, Alphabet, get_alphabet, infer_alphabet
+from .database import DatabaseStats, SequenceDatabase
+from .fasta import FastaError, format_fasta, iter_fasta, read_fasta, write_fasta
+from .indexed import (
+    IndexedFileError,
+    IndexedReader,
+    IndexedWriter,
+    index_fasta,
+    write_indexed,
+)
+from .profiles import (
+    ENSEMBL_DOG,
+    ENSEMBL_RAT,
+    PAPER_DATABASES,
+    REFSEQ_HUMAN,
+    REFSEQ_MOUSE,
+    SWISSPROT,
+    DatabaseProfile,
+    get_profile,
+)
+from .records import Sequence
+from .synthetic import (
+    AMINO_ACID_FREQUENCIES,
+    implant_homology,
+    mutate,
+    query_set,
+    random_database,
+    random_sequence,
+)
+from .complexity import (
+    entropy_profile,
+    low_complexity_regions,
+    mask_low_complexity,
+)
+from .translate import (
+    GENETIC_CODE,
+    reading_frames,
+    six_frame_translations,
+    translate,
+)
+
+__all__ = [
+    "Alphabet",
+    "DNA",
+    "RNA",
+    "PROTEIN",
+    "get_alphabet",
+    "infer_alphabet",
+    "Sequence",
+    "SequenceDatabase",
+    "DatabaseStats",
+    "FastaError",
+    "iter_fasta",
+    "read_fasta",
+    "write_fasta",
+    "format_fasta",
+    "IndexedFileError",
+    "IndexedReader",
+    "IndexedWriter",
+    "write_indexed",
+    "index_fasta",
+    "DatabaseProfile",
+    "PAPER_DATABASES",
+    "ENSEMBL_DOG",
+    "ENSEMBL_RAT",
+    "REFSEQ_HUMAN",
+    "REFSEQ_MOUSE",
+    "SWISSPROT",
+    "get_profile",
+    "AMINO_ACID_FREQUENCIES",
+    "random_sequence",
+    "random_database",
+    "query_set",
+    "mutate",
+    "implant_homology",
+    "GENETIC_CODE",
+    "translate",
+    "reading_frames",
+    "six_frame_translations",
+    "entropy_profile",
+    "low_complexity_regions",
+    "mask_low_complexity",
+]

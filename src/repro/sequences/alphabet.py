@@ -1,0 +1,165 @@
+"""Biological alphabets and residue encoding.
+
+The paper (Section II) treats biological sequences as strings over one of
+three alphabets: DNA ``{A,T,G,C}``, RNA ``{A,U,G,C}`` and the 20-letter
+protein alphabet.  Every kernel in :mod:`repro.align` operates on
+*encoded* sequences — compact ``numpy`` ``int8`` arrays of residue codes —
+so that substitution scores can be fetched with a single fancy-index into
+the scoring matrix.  This module owns the mapping between residue
+characters and codes.
+
+Unknown characters map to a dedicated *wildcard* code (``X`` for
+proteins, ``N`` for nucleotides) whose substitution scores are neutral or
+mildly negative, matching the convention of BLOSUM-style matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "Alphabet",
+    "DNA",
+    "RNA",
+    "PROTEIN",
+    "infer_alphabet",
+]
+
+
+@dataclass(frozen=True)
+class Alphabet:
+    """An ordered residue alphabet with an int8 encoding.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (``"dna"``, ``"rna"``, ``"protein"``).
+    letters:
+        The canonical residue letters, in code order: ``letters[i]`` has
+        code ``i``.
+    wildcard:
+        Letter every unknown input character is coerced to.  Must be a
+        member of ``letters``.
+    """
+
+    name: str
+    letters: str
+    wildcard: str
+    _encode_table: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(set(self.letters)) != len(self.letters):
+            raise ValueError(f"duplicate letters in alphabet {self.name!r}")
+        if self.wildcard not in self.letters:
+            raise ValueError(
+                f"wildcard {self.wildcard!r} not in alphabet {self.name!r}"
+            )
+        table = np.full(256, self.letters.index(self.wildcard), dtype=np.int8)
+        for code, letter in enumerate(self.letters):
+            table[ord(letter)] = code
+            table[ord(letter.lower())] = code
+        # Bypass frozen-dataclass immutability for the derived cache.
+        object.__setattr__(self, "_encode_table", table)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of residue codes (including the wildcard)."""
+        return len(self.letters)
+
+    @property
+    def wildcard_code(self) -> int:
+        return self.letters.index(self.wildcard)
+
+    def __len__(self) -> int:  # pragma: no cover - trivial
+        return self.size
+
+    def __contains__(self, letter: str) -> bool:
+        return letter.upper() in self.letters
+
+    def code_of(self, letter: str) -> int:
+        """Return the code for a single residue letter.
+
+        Unknown letters map to the wildcard code, mirroring
+        :meth:`encode`.
+        """
+        if len(letter) != 1:
+            raise ValueError("code_of expects a single character")
+        return int(self._encode_table[ord(letter)])
+
+    # ------------------------------------------------------------------
+    # Encoding / decoding
+    # ------------------------------------------------------------------
+    def encode(self, sequence: str | bytes) -> np.ndarray:
+        """Encode a residue string into an ``int8`` code array.
+
+        Characters outside the alphabet (including gaps and whitespace
+        that leaked through parsing) are coerced to the wildcard code;
+        validation belongs to the parsers, not to the hot encode path.
+        """
+        if isinstance(sequence, str):
+            raw = sequence.encode("ascii", errors="replace")
+        else:
+            raw = bytes(sequence)
+        return self._encode_table[np.frombuffer(raw, dtype=np.uint8)]
+
+    def decode(self, codes: np.ndarray) -> str:
+        """Inverse of :meth:`encode` (canonical upper-case letters)."""
+        codes = np.asarray(codes)
+        if codes.size and (codes.min() < 0 or codes.max() >= self.size):
+            raise ValueError("residue code out of range for alphabet")
+        lookup = np.frombuffer(self.letters.encode("ascii"), dtype=np.uint8)
+        return lookup[codes].tobytes().decode("ascii")
+
+    def validate(self, sequence: str) -> bool:
+        """True when *sequence* contains only canonical letters."""
+        return all(ch.upper() in self.letters for ch in sequence)
+
+
+#: DNA alphabet, Section II of the paper: Sigma = {A, T, G, C} (+ N wildcard).
+DNA = Alphabet(name="dna", letters="ACGTN", wildcard="N")
+
+#: RNA alphabet: Sigma = {A, U, G, C} (+ N wildcard).
+RNA = Alphabet(name="rna", letters="ACGUN", wildcard="N")
+
+#: Protein alphabet: the 20 standard amino acids in the BLOSUM row order
+#: used by :mod:`repro.align.scoring`, plus B/Z/X ambiguity codes and the
+#: ``*`` stop symbol so real database files round-trip.
+PROTEIN = Alphabet(
+    name="protein",
+    letters="ARNDCQEGHILKMFPSTWYVBZX*",
+    wildcard="X",
+)
+
+_BY_NAME = {a.name: a for a in (DNA, RNA, PROTEIN)}
+
+
+def get_alphabet(name: str) -> Alphabet:
+    """Look an alphabet up by its :attr:`Alphabet.name`."""
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown alphabet {name!r}; expected one of {sorted(_BY_NAME)}"
+        ) from None
+
+
+def infer_alphabet(sequence: str) -> Alphabet:
+    """Guess the alphabet of a residue string.
+
+    Uses the classic heuristic: if >=90% of the residues are ACGTUN the
+    sequence is treated as nucleic acid (DNA unless it contains ``U``),
+    otherwise as protein.  Empty sequences default to protein, the
+    paper's evaluation domain.
+    """
+    if not sequence:
+        return PROTEIN
+    upper = sequence.upper()
+    nucleic = sum(upper.count(ch) for ch in "ACGTUN")
+    if nucleic / len(upper) >= 0.9:
+        return RNA if "U" in upper else DNA
+    return PROTEIN

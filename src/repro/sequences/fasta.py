@@ -1,0 +1,149 @@
+"""FASTA reading and writing.
+
+Biological "databases" such as UniProtKB/SwissProt are, as the paper
+notes (Section IV-B), *huge flat files where the sequences are put
+together*.  This module parses and emits that flat format; the random
+access layer the paper proposes on top of it lives in
+:mod:`repro.sequences.indexed`.
+
+The parser is deliberately forgiving (blank lines, ``;`` comment lines
+from the ancient FASTA dialect, CRLF endings, lower-case residues) but
+strict about structure: residue data before the first header is an
+error.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Iterable, Iterator, TextIO
+
+from .alphabet import Alphabet
+from .records import Sequence
+
+__all__ = [
+    "FastaError",
+    "iter_fasta",
+    "read_fasta",
+    "write_fasta",
+    "format_fasta",
+]
+
+#: Residues per line emitted by :func:`write_fasta`.
+LINE_WIDTH = 60
+
+
+class FastaError(ValueError):
+    """Raised on malformed FASTA input."""
+
+
+def _open_text(source: str | os.PathLike | TextIO) -> tuple[TextIO, bool]:
+    """Return ``(handle, owns_handle)`` for a path or open handle."""
+    if hasattr(source, "read"):
+        return source, False  # type: ignore[return-value]
+    return open(os.fspath(source), "r", encoding="ascii", errors="replace"), True
+
+
+def iter_fasta(
+    source: str | os.PathLike | TextIO,
+    alphabet: Alphabet | None = None,
+) -> Iterator[Sequence]:
+    """Stream :class:`Sequence` records from a FASTA file or handle.
+
+    Parameters
+    ----------
+    source:
+        Path or open text handle.
+    alphabet:
+        Force an alphabet for every record instead of inferring one per
+        record (recommended for large protein databases: inference scans
+        each sequence).
+    """
+    handle, owns = _open_text(source)
+    try:
+        header: str | None = None
+        chunks: list[str] = []
+        lineno = 0
+        for line in handle:
+            lineno += 1
+            line = line.rstrip("\r\n")
+            if not line or line.startswith(";"):
+                continue
+            if line.startswith(">"):
+                if header is not None:
+                    yield _make_record(header, chunks, alphabet)
+                header = line[1:].strip()
+                chunks = []
+            else:
+                if header is None:
+                    raise FastaError(
+                        f"residue data before first '>' header (line {lineno})"
+                    )
+                chunks.append(line.strip())
+        if header is not None:
+            yield _make_record(header, chunks, alphabet)
+    finally:
+        if owns:
+            handle.close()
+
+
+def _make_record(
+    header: str, chunks: list[str], alphabet: Alphabet | None
+) -> Sequence:
+    seq_id, _, description = header.partition(" ")
+    if not seq_id:
+        raise FastaError("empty FASTA header")
+    return Sequence(
+        id=seq_id,
+        residues="".join(chunks),
+        description=description.strip(),
+        alphabet=alphabet,
+    )
+
+
+def read_fasta(
+    source: str | os.PathLike | TextIO,
+    alphabet: Alphabet | None = None,
+) -> list[Sequence]:
+    """Eagerly read every record of a FASTA file into a list."""
+    return list(iter_fasta(source, alphabet=alphabet))
+
+
+def format_fasta(records: Iterable[Sequence], width: int = LINE_WIDTH) -> str:
+    """Render records as FASTA text (used by tests and examples)."""
+    buffer = io.StringIO()
+    write_fasta(records, buffer, width=width)
+    return buffer.getvalue()
+
+
+def write_fasta(
+    records: Iterable[Sequence],
+    destination: str | os.PathLike | TextIO,
+    width: int = LINE_WIDTH,
+) -> int:
+    """Write records to *destination*; returns the record count.
+
+    Lines are wrapped at *width* residues.  ``width <= 0`` writes each
+    sequence on a single line (the layout the indexed format prefers,
+    since one offset then addresses the entire residue string).
+    """
+    if hasattr(destination, "write"):
+        handle, owns = destination, False  # type: ignore[assignment]
+    else:
+        handle = open(os.fspath(destination), "w", encoding="ascii")
+        owns = True
+    count = 0
+    try:
+        for record in records:
+            handle.write(f">{record.header}\n")
+            residues = record.residues
+            if width <= 0:
+                handle.write(residues + "\n")
+            else:
+                for start in range(0, len(residues), width):
+                    handle.write(residues[start : start + width] + "\n")
+            count += 1
+    finally:
+        if owns:
+            handle.close()
+    return count

@@ -1,0 +1,241 @@
+"""The paper's indexed sequence-file format (Section IV-B).
+
+FASTA files force a sequential scan to reach the *k*-th sequence.  The
+paper proposes an indexed format that records
+
+* the total number of sequences,
+* the size of the biggest sequence, and
+* the byte offset of the beginning of each sequence,
+
+so that "using the offsets, we can quickly retrieve the beginning of a
+sequence that is in the middle of the file".  The master uses it to hand
+a slave the *k*-th query without shipping the whole query file.
+
+Layout (little-endian)::
+
+    magic    8 bytes   b"REPROSQ1"
+    count    uint64    number of sequences
+    longest  uint64    length (residues) of the longest sequence
+    offsets  count x uint64   byte offset of each record's header
+    records  count x [ hdr_len:uint32, header bytes,
+                        seq_len:uint32,  residue bytes ]
+
+Offsets point at the ``hdr_len`` field of each record, relative to the
+start of the file, so a reader can ``seek`` straight to any record.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence as TypingSequence
+
+from .alphabet import Alphabet
+from .fasta import iter_fasta
+from .records import Sequence
+
+__all__ = [
+    "IndexedFileError",
+    "IndexedWriter",
+    "IndexedReader",
+    "write_indexed",
+    "index_fasta",
+]
+
+MAGIC = b"REPROSQ1"
+_HEADER_STRUCT = struct.Struct("<8sQQ")
+_U64 = struct.Struct("<Q")
+_U32 = struct.Struct("<I")
+
+
+class IndexedFileError(ValueError):
+    """Raised on a corrupt or truncated indexed file."""
+
+
+@dataclass(frozen=True)
+class IndexStats:
+    """Summary carried in the file header."""
+
+    count: int
+    longest: int
+
+
+class IndexedWriter:
+    """Two-pass writer: buffer records, then emit header + offset table.
+
+    The offset table length depends on the record count, so the writer
+    buffers serialized records in memory and lays the file out on
+    :meth:`close`.  Databases in this project are at most hundreds of MB,
+    which is acceptable for an in-memory pass; a disk-backed second pass
+    would drop in behind the same interface.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self._path = os.fspath(path)
+        self._records: list[bytes] = []
+        self._longest = 0
+        self._closed = False
+
+    def add(self, record: Sequence) -> None:
+        if self._closed:
+            raise IndexedFileError("writer already closed")
+        header = record.header.encode("ascii", errors="replace")
+        residues = record.residues.encode("ascii")
+        blob = (
+            _U32.pack(len(header))
+            + header
+            + _U32.pack(len(residues))
+            + residues
+        )
+        self._records.append(blob)
+        self._longest = max(self._longest, len(residues))
+
+    def close(self) -> IndexStats:
+        if self._closed:
+            raise IndexedFileError("writer already closed")
+        self._closed = True
+        count = len(self._records)
+        preamble = _HEADER_STRUCT.size + count * _U64.size
+        offsets = []
+        position = preamble
+        for blob in self._records:
+            offsets.append(position)
+            position += len(blob)
+        with open(self._path, "wb") as handle:
+            handle.write(_HEADER_STRUCT.pack(MAGIC, count, self._longest))
+            for offset in offsets:
+                handle.write(_U64.pack(offset))
+            for blob in self._records:
+                handle.write(blob)
+        return IndexStats(count=count, longest=self._longest)
+
+    def __enter__(self) -> "IndexedWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if not self._closed:
+            self.close()
+
+
+def write_indexed(
+    records: Iterable[Sequence], path: str | os.PathLike
+) -> IndexStats:
+    """Serialize *records* into an indexed file at *path*."""
+    with IndexedWriter(path) as writer:
+        for record in records:
+            writer.add(record)
+    return writer.close() if not writer._closed else IndexStats(
+        count=len(writer._records), longest=writer._longest
+    )
+
+
+def index_fasta(
+    fasta_path: str | os.PathLike,
+    indexed_path: str | os.PathLike,
+    alphabet: Alphabet | None = None,
+) -> IndexStats:
+    """Convert a FASTA flat file to the indexed format.
+
+    This is the master's *convert format* step in Fig. 4 of the paper.
+    """
+    with IndexedWriter(indexed_path) as writer:
+        for record in iter_fasta(fasta_path, alphabet=alphabet):
+            writer.add(record)
+    # ``close`` already ran via ``__exit__``; recompute stats from header.
+    with IndexedReader(indexed_path) as reader:
+        return IndexStats(count=len(reader), longest=reader.longest)
+
+
+class IndexedReader(TypingSequence[Sequence]):
+    """Random-access reader over an indexed sequence file.
+
+    Implements the :class:`collections.abc.Sequence` protocol so callers
+    can use ``reader[k]``, ``len(reader)`` and iteration transparently.
+    Records are decoded on demand; nothing besides the offset table is
+    held in memory.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        alphabet: Alphabet | None = None,
+    ):
+        self._path = os.fspath(path)
+        self._alphabet = alphabet
+        self._handle = open(self._path, "rb")
+        raw = self._handle.read(_HEADER_STRUCT.size)
+        if len(raw) != _HEADER_STRUCT.size:
+            raise IndexedFileError("file too short for header")
+        magic, count, longest = _HEADER_STRUCT.unpack(raw)
+        if magic != MAGIC:
+            raise IndexedFileError(
+                f"bad magic {magic!r}; not an indexed sequence file"
+            )
+        self._count = count
+        self._longest = longest
+        table = self._handle.read(count * _U64.size)
+        if len(table) != count * _U64.size:
+            raise IndexedFileError("truncated offset table")
+        self._offsets = [
+            _U64.unpack_from(table, i * _U64.size)[0] for i in range(count)
+        ]
+
+    # ------------------------------------------------------------------
+    @property
+    def longest(self) -> int:
+        """Length of the longest sequence (from the header)."""
+        return self._longest
+
+    @property
+    def offsets(self) -> list[int]:
+        """Byte offset of each record (copy; the table is immutable)."""
+        return list(self._offsets)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(self._count))]
+        if index < 0:
+            index += self._count
+        if not (0 <= index < self._count):
+            raise IndexError("record index out of range")
+        return self._read_at(self._offsets[index])
+
+    def __iter__(self) -> Iterator[Sequence]:
+        for offset in self._offsets:
+            yield self._read_at(offset)
+
+    def _read_at(self, offset: int) -> Sequence:
+        self._handle.seek(offset)
+        hdr_len = self._read_u32()
+        header = self._handle.read(hdr_len).decode("ascii", errors="replace")
+        seq_len = self._read_u32()
+        residues = self._handle.read(seq_len)
+        if len(residues) != seq_len:
+            raise IndexedFileError("truncated record body")
+        seq_id, _, description = header.partition(" ")
+        return Sequence(
+            id=seq_id,
+            residues=residues.decode("ascii"),
+            description=description.strip(),
+            alphabet=self._alphabet,
+        )
+
+    def _read_u32(self) -> int:
+        raw = self._handle.read(_U32.size)
+        if len(raw) != _U32.size:
+            raise IndexedFileError("truncated record header")
+        return _U32.unpack(raw)[0]
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "IndexedReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

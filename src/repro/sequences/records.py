@@ -1,0 +1,90 @@
+"""Sequence record type shared by parsers, databases and kernels.
+
+A :class:`Sequence` couples an identifier/description with the residue
+string and caches its encoded form so repeated alignments against the
+same record do not pay the encode cost again (the paper's master converts
+every input file to a "more suitable" format exactly once, Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .alphabet import Alphabet, infer_alphabet
+
+__all__ = ["Sequence"]
+
+
+@dataclass
+class Sequence:
+    """One biological sequence.
+
+    Parameters
+    ----------
+    id:
+        Accession / identifier (the first whitespace-delimited token of a
+        FASTA header).
+    residues:
+        The residue string, canonical upper case.
+    description:
+        The remainder of the FASTA header, possibly empty.
+    alphabet:
+        Residue alphabet; inferred from the residues when omitted.
+    """
+
+    id: str
+    residues: str
+    description: str = ""
+    alphabet: Alphabet | None = None
+    _codes: np.ndarray | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.residues = self.residues.upper()
+        if self.alphabet is None:
+            self.alphabet = infer_alphabet(self.residues)
+
+    def __len__(self) -> int:
+        return len(self.residues)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f">{self.id} ({len(self)} aa)"
+
+    @property
+    def codes(self) -> np.ndarray:
+        """Encoded residues (``int8``), computed lazily and cached."""
+        if self._codes is None:
+            assert self.alphabet is not None
+            self._codes = self.alphabet.encode(self.residues)
+        return self._codes
+
+    @property
+    def header(self) -> str:
+        """FASTA header line content (without the leading ``>``)."""
+        return f"{self.id} {self.description}".strip()
+
+    def slice(self, start: int, stop: int) -> "Sequence":
+        """Subsequence record covering ``residues[start:stop]``.
+
+        The id is suffixed with the 1-based inclusive coordinate range,
+        the convention used by segment-based tools (cf. the paper's
+        discussion of query segmentation in Meng & Chaudhary [13]).
+        """
+        if not (0 <= start <= stop <= len(self.residues)):
+            raise IndexError("slice out of bounds")
+        return Sequence(
+            id=f"{self.id}/{start + 1}-{stop}",
+            residues=self.residues[start:stop],
+            description=self.description,
+            alphabet=self.alphabet,
+        )
+
+    def reversed(self) -> "Sequence":
+        """Record with the residue order reversed (used by Hirschberg)."""
+        return Sequence(
+            id=f"{self.id}(rev)",
+            residues=self.residues[::-1],
+            description=self.description,
+            alphabet=self.alphabet,
+        )

@@ -1,0 +1,113 @@
+"""DNA/RNA translation: codons, reading frames, six-frame search prep.
+
+A sequence-comparison library that handles both nucleotide and protein
+data needs the bridge between them: translated search (the BLASTX
+family) compares a DNA query against a protein database by translating
+all six reading frames.  This module implements the standard genetic
+code and the frame machinery; the translated-search example composes it
+with the protein search stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .alphabet import DNA, PROTEIN, RNA
+from .records import Sequence
+
+__all__ = [
+    "GENETIC_CODE",
+    "translate",
+    "reading_frames",
+    "six_frame_translations",
+]
+
+#: The standard genetic code (NCBI translation table 1), DNA codons.
+#: ``*`` marks stop codons (a letter of the protein alphabet here, so
+#: translations round-trip through the scoring machinery).
+GENETIC_CODE: dict[str, str] = {
+    "TTT": "F", "TTC": "F", "TTA": "L", "TTG": "L",
+    "CTT": "L", "CTC": "L", "CTA": "L", "CTG": "L",
+    "ATT": "I", "ATC": "I", "ATA": "I", "ATG": "M",
+    "GTT": "V", "GTC": "V", "GTA": "V", "GTG": "V",
+    "TCT": "S", "TCC": "S", "TCA": "S", "TCG": "S",
+    "CCT": "P", "CCC": "P", "CCA": "P", "CCG": "P",
+    "ACT": "T", "ACC": "T", "ACA": "T", "ACG": "T",
+    "GCT": "A", "GCC": "A", "GCA": "A", "GCG": "A",
+    "TAT": "Y", "TAC": "Y", "TAA": "*", "TAG": "*",
+    "CAT": "H", "CAC": "H", "CAA": "Q", "CAG": "Q",
+    "AAT": "N", "AAC": "N", "AAA": "K", "AAG": "K",
+    "GAT": "D", "GAC": "D", "GAA": "E", "GAG": "E",
+    "TGT": "C", "TGC": "C", "TGA": "*", "TGG": "W",
+    "CGT": "R", "CGC": "R", "CGA": "R", "CGG": "R",
+    "AGT": "S", "AGC": "S", "AGA": "R", "AGG": "R",
+    "GGT": "G", "GGC": "G", "GGA": "G", "GGG": "G",
+}
+
+
+@dataclass(frozen=True)
+class _Frame:
+    """One reading frame of a nucleotide sequence."""
+
+    frame: int  # +1, +2, +3, -1, -2, -3
+    protein: Sequence
+
+
+def translate(sequence: Sequence, frame: int = 1) -> Sequence:
+    """Translate one reading frame of a DNA/RNA sequence.
+
+    ``frame`` is +1/+2/+3 for the forward strand (0-, 1-, 2-base
+    offset) and -1/-2/-3 for the reverse complement.  Codons containing
+    ambiguous bases translate to ``X``; trailing bases that do not fill
+    a codon are dropped.
+    """
+    if frame not in (1, 2, 3, -1, -2, -3):
+        raise ValueError("frame must be one of +-1, +-2, +-3")
+    alphabet = sequence.alphabet
+    if alphabet not in (DNA, RNA):
+        raise ValueError("translation requires a nucleotide sequence")
+    residues = sequence.residues
+    if alphabet is RNA:
+        residues = residues.replace("U", "T")
+    if frame < 0:
+        from ..align.dna import reverse_complement
+
+        source = reverse_complement(
+            Sequence(id=sequence.id, residues=residues, alphabet=DNA)
+        ).residues
+    else:
+        source = residues
+    offset = abs(frame) - 1
+    codons = (
+        source[i : i + 3]
+        for i in range(offset, len(source) - 2, 3)
+    )
+    amino = "".join(GENETIC_CODE.get(codon, "X") for codon in codons)
+    sign = "+" if frame > 0 else "-"
+    return Sequence(
+        id=f"{sequence.id}|frame{sign}{abs(frame)}",
+        residues=amino,
+        description=sequence.description,
+        alphabet=PROTEIN,
+    )
+
+
+def reading_frames(sequence: Sequence, strands: str = "both") -> list[int]:
+    """The frame numbers to translate for the requested strands."""
+    if strands == "forward":
+        return [1, 2, 3]
+    if strands == "reverse":
+        return [-1, -2, -3]
+    if strands == "both":
+        return [1, 2, 3, -1, -2, -3]
+    raise ValueError("strands must be 'forward', 'reverse' or 'both'")
+
+
+def six_frame_translations(
+    sequence: Sequence, strands: str = "both"
+) -> list[Sequence]:
+    """All translations of *sequence* (the BLASTX query preparation)."""
+    return [
+        translate(sequence, frame)
+        for frame in reading_frames(sequence, strands)
+    ]

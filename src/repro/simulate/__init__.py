@@ -1,0 +1,60 @@
+"""Hybrid-platform simulation substrate: DES, PE models, load, traces."""
+
+from .des import HybridSimulator, PESpec, SimReport, TaskInterval
+from .events import EventHandle, EventQueue
+from .loadgen import competing_process, os_jitter, step_load
+from .pe_models import FPGAModel, GPUModel, PEModel, SSECoreModel, UniformModel
+from .platform import (
+    CONFIGURATIONS,
+    fpgas,
+    gpus,
+    hybrid_platform,
+    paper_platform,
+    sse_cores,
+)
+from .metrics import PEUsage, ScheduleMetrics, schedule_metrics
+from .network import (
+    GIGABIT_ETHERNET,
+    SHARED_MEMORY,
+    LinkModel,
+    MessageSizes,
+    NetworkModel,
+)
+from .svg import gantt_svg, write_gantt_svg
+from .trace import binned_rate_series, gantt, rate_series
+
+__all__ = [
+    "HybridSimulator",
+    "PESpec",
+    "SimReport",
+    "TaskInterval",
+    "EventQueue",
+    "EventHandle",
+    "step_load",
+    "competing_process",
+    "os_jitter",
+    "PEModel",
+    "SSECoreModel",
+    "GPUModel",
+    "FPGAModel",
+    "UniformModel",
+    "gpus",
+    "sse_cores",
+    "fpgas",
+    "hybrid_platform",
+    "paper_platform",
+    "CONFIGURATIONS",
+    "gantt",
+    "gantt_svg",
+    "write_gantt_svg",
+    "rate_series",
+    "binned_rate_series",
+    "PEUsage",
+    "ScheduleMetrics",
+    "schedule_metrics",
+    "LinkModel",
+    "NetworkModel",
+    "MessageSizes",
+    "GIGABIT_ETHERNET",
+    "SHARED_MEMORY",
+]

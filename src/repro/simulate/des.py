@@ -1,0 +1,571 @@
+"""Discrete-event simulator of the hybrid platform.
+
+Runs the *actual* :class:`~repro.core.master.Master` — same policies,
+same workload-adjustment mechanism, same traces — against virtual PEs
+whose speeds come from the calibrated models in
+:mod:`repro.simulate.pe_models`.  This is the substitution that lets the
+benchmarks regenerate every table and figure of the paper at full
+published scale (tens of teracells) on a laptop: scheduling decisions
+are real, only the DP arithmetic is replaced by its exact cell count.
+
+Semantics mirrored from the paper's environment:
+
+* slaves register, then ask for work; the first allocation is whatever
+  the policy grants with no history (one task);
+* slaves notify progress every ``notify_interval`` seconds (the PSS
+  input stream);
+* a slave executes its assigned batch sequentially and asks for more
+  when the batch drains;
+* when no ready task exists the master hands out replicas of executing
+  tasks (if adjustment is on); the first finisher wins and the master
+  cancels the losers, which abort at once and ask for more work;
+* communication costs ``comm_latency`` per hop (Gigabit Ethernet scale);
+* non-dedicated load (the superpi experiment) is a per-PE piecewise-
+  constant capacity multiplier that re-times in-flight work.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..core.master import Master, TraceEvent
+from ..core.policies import AllocationPolicy, PackageWeightedSelfScheduling
+from ..core.task import Task, TaskResult
+from .events import EventHandle, EventQueue
+from .network import NetworkModel
+from .pe_models import PEModel
+
+__all__ = ["PESpec", "TaskInterval", "SimReport", "HybridSimulator"]
+
+
+@dataclass(frozen=True)
+class PESpec:
+    """One simulated processing element.
+
+    ``load_profile`` is a sequence of ``(time, capacity)`` steps; the PE
+    runs at ``capacity`` (1.0 = dedicated) from each step time until the
+    next.  An empty profile means fully dedicated.
+
+    ``join_time``/``leave_time`` model platform churn (the paper's
+    future-work scenario): the PE registers with the master at
+    ``join_time`` and deregisters at ``leave_time`` — any tasks it still
+    holds are released back to the ready queue, so no work is lost.
+
+    ``host`` locates the PE for the optional host-aware network model
+    (the paper's two hosts on Gigabit Ethernet).
+    """
+
+    pe_id: str
+    model: PEModel
+    load_profile: tuple[tuple[float, float], ...] = ()
+    join_time: float = 0.0
+    leave_time: float | None = None
+    host: str = "host0"
+
+    def __post_init__(self) -> None:
+        if self.join_time < 0:
+            raise ValueError("join_time must be non-negative")
+        if self.leave_time is not None and self.leave_time <= self.join_time:
+            raise ValueError("leave_time must come after join_time")
+
+
+@dataclass(frozen=True)
+class TaskInterval:
+    """One PE-task execution interval (drives the Gantt renderings)."""
+
+    pe_id: str
+    task_id: int
+    start: float
+    end: float
+    outcome: str  # "won" | "lost" | "cancelled"
+
+
+@dataclass
+class SimReport:
+    """Everything a benchmark needs from one simulated run."""
+
+    makespan: float
+    total_cells: int
+    tasks_won: dict[str, int]
+    replicas_assigned: int
+    intervals: list[TaskInterval]
+    trace: list[TraceEvent]
+    policy_name: str
+    adjustment: bool
+    results: dict[int, TaskResult] = field(default_factory=dict)
+
+    @property
+    def gcups(self) -> float:
+        """Aggregate useful throughput: total cells / makespan / 1e9."""
+        return self.total_cells / self.makespan / 1e9 if self.makespan else 0.0
+
+    def progress_series(self, pe_id: str) -> list[tuple[float, float]]:
+        """(time, cells/s) samples of one PE — the Fig. 7/8 time series."""
+        return [
+            (event.time, event.value)
+            for event in self.trace
+            if event.kind == "progress" and event.pe_id == pe_id
+        ]
+
+    def to_json(self) -> str:
+        """Serialize the report for external analysis/plotting tools.
+
+        Includes the summary, per-PE wins, every task interval and the
+        full master trace; progress samples carry their raw cells/s
+        rates.
+        """
+        import json
+
+        return json.dumps(
+            {
+                "makespan": self.makespan,
+                "total_cells": self.total_cells,
+                "gcups": self.gcups,
+                "policy": self.policy_name,
+                "adjustment": self.adjustment,
+                "replicas_assigned": self.replicas_assigned,
+                "tasks_won": self.tasks_won,
+                "intervals": [
+                    {
+                        "pe": iv.pe_id,
+                        "task": iv.task_id,
+                        "start": iv.start,
+                        "end": iv.end,
+                        "outcome": iv.outcome,
+                    }
+                    for iv in self.intervals
+                ],
+                "trace": [
+                    {
+                        "kind": e.kind,
+                        "time": e.time,
+                        "pe": e.pe_id,
+                        "task": e.task_id,
+                        "value": e.value,
+                    }
+                    for e in self.trace
+                ],
+            },
+            indent=2,
+        )
+
+
+class _SimPE:
+    """Runtime state of one virtual PE."""
+
+    __slots__ = (
+        "spec", "capacity", "queue", "current", "total_work", "done_work",
+        "rate", "task_start", "last_update", "processed", "last_reported",
+        "completion", "finished", "intervals",
+    )
+
+    def __init__(self, spec: PESpec):
+        self.spec = spec
+        self.capacity = 1.0
+        self.queue: deque[Task] = deque()
+        self.current: Task | None = None
+        self.total_work = 0.0
+        self.done_work = 0.0
+        self.rate = 0.0  # work units per second at current capacity
+        self.task_start = 0.0
+        self.last_update = 0.0
+        self.processed = 0.0  # cumulative work units, feeds notifications
+        self.last_reported = 0.0
+        self.completion: EventHandle | None = None
+        self.finished = False
+        self.intervals: list[TaskInterval] = []
+
+    @property
+    def pe_id(self) -> str:
+        """The PE identifier from the spec."""
+        return self.spec.pe_id
+
+
+class HybridSimulator:
+    """Simulate one workload on a set of PE specs.
+
+    Parameters default to the paper's environment: PSS policy,
+    adjustment on, half-second progress notifications, and a 1 ms
+    master round-trip hop.
+    """
+
+    def __init__(
+        self,
+        pes: list[PESpec],
+        policy: AllocationPolicy | None = None,
+        adjustment: bool = True,
+        omega: int = 8,
+        comm_latency: float = 0.001,
+        notify_interval: float = 0.5,
+        retry_interval: float = 0.25,
+        network: "NetworkModel | None" = None,
+        master_service_time: float = 0.0,
+        checkpoint_replicas: bool = False,
+    ):
+        if not pes:
+            raise ValueError("at least one PE is required")
+        ids = [spec.pe_id for spec in pes]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate PE ids")
+        self.specs = list(pes)
+        self.policy = policy or PackageWeightedSelfScheduling()
+        self.adjustment = adjustment
+        self.omega = omega
+        self.comm_latency = comm_latency
+        self.notify_interval = notify_interval
+        self.retry_interval = retry_interval
+        #: Optional host-aware message-cost model; when set it replaces
+        #: the flat ``comm_latency`` for requests, deliveries and result
+        #: uploads.
+        self.network = network
+        #: CPU time the master spends handling one task request.  The
+        #: master is a single serial resource: overlapping requests
+        #: queue behind each other, which is what eventually bottlenecks
+        #: per-task policies (SS) on large platforms.
+        if master_service_time < 0:
+            raise ValueError("master_service_time must be non-negative")
+        self.master_service_time = master_service_time
+        #: Ablation knob (beyond the paper): when True, a replica starts
+        #: from the most-advanced executor's checkpoint instead of from
+        #: scratch — the idealized "task migration" upper bound on what
+        #: the replication mechanism could gain if tasks were
+        #: checkpointable.
+        self.checkpoint_replicas = checkpoint_replicas
+
+    # ------------------------------------------------------------------
+    def run(self, tasks: list[Task]) -> SimReport:
+        """Simulate the workload to completion; returns the report.
+
+        Registers every (non-late-joining) PE, pumps the event queue
+        until it drains, then derives the makespan, per-PE wins, task
+        intervals and trace from the master's records.
+        """
+        queue = EventQueue()
+        master = Master(
+            list(tasks),
+            policy=self.policy,
+            adjustment=self.adjustment,
+            omega=self.omega,
+        )
+        pes = {spec.pe_id: _SimPE(spec) for spec in self.specs}
+        state = _RunState(queue, master, pes, self)
+
+        for spec in self.specs:
+            pe = pes[spec.pe_id]
+            if spec.join_time <= 0:
+                master.register(spec.pe_id, 0.0)
+                queue.schedule(
+                    state._uplink(pe), lambda p=pe: state.on_request(p)
+                )
+                queue.schedule(
+                    self.notify_interval, lambda p=pe: state.on_notify(p)
+                )
+            else:
+                queue.schedule(
+                    spec.join_time, lambda p=pe: state.on_join(p)
+                )
+            if spec.leave_time is not None:
+                queue.schedule(
+                    spec.leave_time, lambda p=pe: state.on_leave(p)
+                )
+            for at, capacity in spec.load_profile:
+                queue.schedule(
+                    at, lambda p=pe, c=capacity: state.on_load(p, c)
+                )
+        queue.run()
+
+        if not master.finished:
+            raise RuntimeError("simulation drained without finishing tasks")
+        makespan = max(
+            (e.time for e in master.trace if e.kind == "complete" and e.value),
+            default=0.0,
+        )
+        intervals: list[TaskInterval] = []
+        for pe in pes.values():
+            intervals.extend(pe.intervals)
+        tasks_won = {spec.pe_id: 0 for spec in self.specs}
+        for task_id in master.results:
+            winner = master.pool.finished_by(task_id)
+            assert winner is not None
+            tasks_won[winner] += 1
+        replicas = sum(1 for e in master.trace if e.kind == "replica")
+        return SimReport(
+            makespan=makespan,
+            total_cells=sum(t.cells for t in tasks),
+            tasks_won=tasks_won,
+            replicas_assigned=replicas,
+            intervals=sorted(intervals, key=lambda iv: (iv.start, iv.pe_id)),
+            trace=list(master.trace),
+            policy_name=getattr(self.policy, "name", "custom"),
+            adjustment=self.adjustment,
+            results=dict(master.results),
+        )
+
+
+class _RunState:
+    """Event handlers binding the master to the virtual PEs."""
+
+    def __init__(
+        self,
+        queue: EventQueue,
+        master: Master,
+        pes: dict[str, _SimPE],
+        config: HybridSimulator,
+    ):
+        self.queue = queue
+        self.master = master
+        self.pes = pes
+        self.config = config
+        self._master_free_at = 0.0  # serial master-CPU availability
+
+    # -- communication costs ----------------------------------------------
+    def _uplink(self, pe: _SimPE) -> float:
+        """Slave -> master message cost (request)."""
+        network = self.config.network
+        if network is None:
+            return self.config.comm_latency
+        return network.request_seconds(pe.spec.host)
+
+    def _downlink(self, pe: _SimPE, num_tasks: int) -> float:
+        """Master -> slave assignment delivery cost."""
+        network = self.config.network
+        if network is None:
+            return self.config.comm_latency
+        return network.assignment_seconds(pe.spec.host, num_tasks)
+
+    def _upload(self, pe: _SimPE) -> float:
+        """Slave -> master result upload cost (0 under the flat model,
+        which charges only the request/delivery hops, preserving the
+        paper's 'negligible communication' scenarios)."""
+        network = self.config.network
+        if network is None:
+            return 0.0
+        return network.result_seconds(pe.spec.host)
+
+    # -- bookkeeping ----------------------------------------------------
+    def _advance(self, pe: _SimPE) -> None:
+        """Accrue work done by the in-flight task up to the current time."""
+        now = self.queue.now
+        if pe.current is not None and pe.rate > 0:
+            delta = (now - pe.last_update) * pe.rate
+            usable = min(delta, pe.total_work - pe.done_work)
+            pe.done_work += usable
+            pe.processed += usable
+        pe.last_update = now
+
+    def _schedule_completion(self, pe: _SimPE) -> None:
+        assert pe.current is not None
+        if pe.completion is not None:
+            pe.completion.cancel()
+            pe.completion = None
+        if pe.rate <= 0:
+            return  # stalled until capacity returns
+        remaining = max(0.0, pe.total_work - pe.done_work)
+        task = pe.current
+        pe.completion = self.queue.schedule(
+            self.queue.now + remaining / pe.rate + self._upload(pe),
+            lambda p=pe, t=task: self.on_complete(p, t),
+        )
+
+    def _start_next(self, pe: _SimPE) -> None:
+        if pe.current is not None or not pe.queue:
+            return
+        task = pe.queue.popleft()
+        model = pe.spec.model
+        pe.current = task
+        pe.total_work = model.work_units(task)
+        pe.done_work = 0.0
+        if self.config.checkpoint_replicas:
+            pe.done_work = pe.total_work * self._checkpoint_fraction(
+                task, exclude=pe
+            )
+        pe.rate = model.task_rate(task) * pe.capacity
+        pe.task_start = self.queue.now
+        pe.last_update = self.queue.now
+        self._schedule_completion(pe)
+
+    def _checkpoint_fraction(self, task, exclude: _SimPE) -> float:
+        """Progress fraction of the task's most-advanced other executor.
+
+        Only meaningful under ``checkpoint_replicas``: an idealized
+        migration hands the replica the winner-so-far's checkpoint.
+        """
+        best = 0.0
+        for other in self.pes.values():
+            if other is exclude or other.current is None:
+                continue
+            if other.current.task_id != task.task_id:
+                continue
+            self._advance(other)
+            if other.total_work > 0:
+                best = max(best, other.done_work / other.total_work)
+        return min(best, 1.0)
+
+    def _become_idle(self, pe: _SimPE) -> None:
+        if pe.queue:
+            self._start_next(pe)
+        else:
+            self.queue.schedule(
+                self.queue.now + self._uplink(pe),
+                lambda p=pe: self.on_request(p),
+            )
+
+    # -- event handlers ---------------------------------------------------
+    def on_request(self, pe: _SimPE) -> None:
+        """An idle slave asks the master for work."""
+        if pe.finished:
+            return
+        assignment = self.master.on_request(pe.pe_id, self.queue.now)
+        if assignment.done:
+            pe.finished = True
+            return
+        if assignment.empty:
+            self.queue.schedule(
+                self.queue.now + self.config.retry_interval,
+                lambda p=pe: self.on_request(p),
+            )
+            return
+        pe.queue.extend(assignment.tasks)
+        pe.queue.extend(assignment.replicas)
+        granted = len(assignment.tasks) + len(assignment.replicas)
+        # Preparing an allocation costs serial master CPU (reading the
+        # indexed files, packaging tasks); concurrent grants queue
+        # behind each other.  Idle polls are trivial lookups and are
+        # not charged — the paper's master "waits" alongside idle
+        # slaves rather than re-planning for them.
+        now = self.queue.now
+        service = self.config.master_service_time
+        if service > 0:
+            start = max(now, self._master_free_at)
+            self._master_free_at = start + service
+            ready_at = self._master_free_at
+        else:
+            ready_at = now
+        # Delivery hop back to the slave before execution starts.
+        self.queue.schedule(
+            ready_at + self._downlink(pe, granted),
+            lambda p=pe: self._start_next(p),
+        )
+
+    def on_complete(self, pe: _SimPE, task: Task) -> None:
+        """A slave finishes (or loses the race for) a task."""
+        self._advance(pe)
+        pe.done_work = pe.total_work  # authoritative at completion time
+        now = self.queue.now
+        result = TaskResult(
+            task_id=task.task_id,
+            pe_id=pe.pe_id,
+            elapsed=max(now - pe.task_start, 1e-12),
+            cells=task.cells,
+        )
+        losers = self.master.on_complete(pe.pe_id, result, now)
+        won = self.master.pool.finished_by(task.task_id) == pe.pe_id
+        pe.intervals.append(
+            TaskInterval(
+                pe_id=pe.pe_id,
+                task_id=task.task_id,
+                start=pe.task_start,
+                end=now,
+                outcome="won" if won else "lost",
+            )
+        )
+        pe.current = None
+        pe.completion = None
+        for loser_id in losers:
+            self._cancel(self.pes[loser_id], task.task_id)
+        self._become_idle(pe)
+
+    def _cancel(self, pe: _SimPE, task_id: int) -> None:
+        """Master-initiated cancellation of a losing replica."""
+        if pe.current is not None and pe.current.task_id == task_id:
+            self._advance(pe)
+            if pe.completion is not None:
+                pe.completion.cancel()
+                pe.completion = None
+            pe.intervals.append(
+                TaskInterval(
+                    pe_id=pe.pe_id,
+                    task_id=task_id,
+                    start=pe.task_start,
+                    end=self.queue.now,
+                    outcome="cancelled",
+                )
+            )
+            self.master.on_cancelled(pe.pe_id, task_id)
+            pe.current = None
+            self._become_idle(pe)
+            return
+        for queued in list(pe.queue):
+            if queued.task_id == task_id:
+                pe.queue.remove(queued)
+                self.master.on_cancelled(pe.pe_id, task_id)
+                if pe.current is None and not pe.queue:
+                    # The cancellation emptied an idle PE's queue (its
+                    # granted replica lost the race before delivery);
+                    # without a fresh request the PE would stall forever.
+                    self._become_idle(pe)
+                return
+
+    def on_notify(self, pe: _SimPE) -> None:
+        """Periodic progress notification (the PSS input stream)."""
+        if pe.finished:
+            return
+        self._advance(pe)
+        delta = pe.processed - pe.last_reported
+        if delta > 0:
+            self.master.on_progress(
+                pe.pe_id, self.queue.now, delta, self.config.notify_interval
+            )
+            pe.last_reported = pe.processed
+        self.queue.schedule(
+            self.queue.now + self.config.notify_interval,
+            lambda p=pe: self.on_notify(p),
+        )
+
+    def on_join(self, pe: _SimPE) -> None:
+        """Platform churn: a PE arrives mid-run and registers."""
+        if self.master.finished:
+            pe.finished = True
+            return
+        now = self.queue.now
+        self.master.register(pe.pe_id, now)
+        self.queue.schedule(
+            now + self._uplink(pe), lambda p=pe: self.on_request(p)
+        )
+        self.queue.schedule(
+            now + self.config.notify_interval, lambda p=pe: self.on_notify(p)
+        )
+
+    def on_leave(self, pe: _SimPE) -> None:
+        """Platform churn: a PE departs; its tasks go back to READY."""
+        if pe.finished:
+            return
+        pe.finished = True  # stops notify/request events
+        if pe.completion is not None:
+            pe.completion.cancel()
+            pe.completion = None
+        if pe.current is not None:
+            self._advance(pe)
+            pe.intervals.append(
+                TaskInterval(
+                    pe_id=pe.pe_id,
+                    task_id=pe.current.task_id,
+                    start=pe.task_start,
+                    end=self.queue.now,
+                    outcome="cancelled",
+                )
+            )
+            pe.current = None
+        pe.queue.clear()
+        self.master.deregister(pe.pe_id, self.queue.now)
+
+    def on_load(self, pe: _SimPE, capacity: float) -> None:
+        """External-load step: re-time the in-flight task (superpi model)."""
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self._advance(pe)
+        pe.capacity = capacity
+        if pe.current is not None:
+            pe.rate = pe.spec.model.task_rate(pe.current) * capacity
+            self._schedule_completion(pe)

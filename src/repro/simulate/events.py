@@ -1,0 +1,104 @@
+"""Deterministic discrete-event queue.
+
+A tiny priority queue specialized for simulation: events are ordered by
+``(time, sequence)`` so simultaneous events fire in scheduling order —
+which is what makes runs bit-reproducible and lets the Fig. 5
+walk-through be asserted exactly.  Cancellation is by handle; cancelled
+events stay in the heap but are skipped on pop (lazy deletion).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["EventHandle", "EventQueue"]
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Opaque handle returned by :meth:`EventQueue.schedule`."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: _Entry):
+        self._entry = entry
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time of the event."""
+        return self._entry.time
+
+    @property
+    def active(self) -> bool:
+        """False once cancelled."""
+        return not self._entry.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (lazy deletion)."""
+        self._entry.cancelled = True
+
+
+class EventQueue:
+    """Time-ordered action queue with lazy cancellation."""
+
+    def __init__(self):
+        self._heap: list[_Entry] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def schedule(
+        self, time: float, action: Callable[[], None]
+    ) -> EventHandle:
+        """Enqueue *action* to fire at *time* (>= now)."""
+        if time < self._now - 1e-12:
+            raise ValueError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        entry = _Entry(time=max(time, self._now), seq=next(self._counter),
+                       action=action)
+        heapq.heappush(self._heap, entry)
+        return EventHandle(entry)
+
+    def run(self, until: float | None = None, max_events: int = 50_000_000) -> float:
+        """Process events in order; returns the final simulation time.
+
+        Stops when the queue drains or the next event is later than
+        *until*.  ``max_events`` is a runaway guard — simulations here
+        are finite by construction, so hitting it indicates a bug.
+        """
+        processed = 0
+        while self._heap:
+            entry = self._heap[0]
+            if entry.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and entry.time > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._heap)
+            self._now = entry.time
+            entry.action()
+            processed += 1
+            if processed > max_events:
+                raise RuntimeError(
+                    "event budget exhausted; simulation is not terminating"
+                )
+        return self._now

@@ -1,0 +1,95 @@
+"""External-load generation for the non-dedicated experiments.
+
+Section V-C introduces local load by running the compute-intensive
+*superpi* benchmark on core 0 after 60 s: the core's GCUPS drop "to
+less than a half" while the application competes for the CPU.  These
+helpers build the capacity step-profiles that reproduce that experiment
+(Fig. 8) and the small OS-service jitter visible even in the dedicated
+run (Fig. 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["step_load", "competing_process", "os_jitter", "combine_profiles"]
+
+LoadProfile = tuple[tuple[float, float], ...]
+
+
+def combine_profiles(*profiles: LoadProfile) -> LoadProfile:
+    """Compose step profiles multiplicatively.
+
+    Independent load sources (a competing process *and* OS jitter)
+    each scale the remaining capacity; at any instant the effective
+    capacity is the product of every source's current value.  The
+    result is a single step profile with a step at every source's step
+    time.
+    """
+    sources = [list(p) for p in profiles if p]
+    if not sources:
+        return ()
+    times = sorted({at for profile in sources for at, _ in profile})
+    combined: list[tuple[float, float]] = []
+    for at in times:
+        capacity = 1.0
+        for profile in sources:
+            current = 1.0
+            for step_at, step_cap in profile:
+                if step_at <= at:
+                    current = step_cap
+                else:
+                    break
+            capacity *= current
+        combined.append((at, capacity))
+    return tuple(combined)
+
+
+def step_load(*steps: tuple[float, float]) -> LoadProfile:
+    """Piecewise-constant capacity profile from explicit (time, cap) steps."""
+    ordered = tuple(sorted(steps))
+    for at, capacity in ordered:
+        if at < 0:
+            raise ValueError("step times must be non-negative")
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+    return ordered
+
+
+def competing_process(
+    start: float,
+    capacity: float = 0.45,
+    stop: float | None = None,
+) -> LoadProfile:
+    """One CPU-bound competitor (the superpi model).
+
+    Two runnable threads on one core each get about half of it; the
+    default 0.45 reflects the paper's "reduced to less than a half".
+    ``stop`` restores full capacity when the competitor exits.
+    """
+    steps: list[tuple[float, float]] = [(start, capacity)]
+    if stop is not None:
+        if stop <= start:
+            raise ValueError("stop must come after start")
+        steps.append((stop, 1.0))
+    return step_load(*steps)
+
+
+def os_jitter(
+    duration: float,
+    rng: np.random.Generator,
+    period: float = 5.0,
+    amplitude: float = 0.04,
+) -> LoadProfile:
+    """Small random capacity dips modelling OS services (Fig. 7).
+
+    Every *period* seconds the capacity is redrawn from
+    ``1 - U(0, amplitude)`` — the paper notes "a small variation in the
+    GCUPs of each core, probably due to some operating system's
+    services" even on a dedicated machine.
+    """
+    if duration <= 0:
+        return ()
+    times = np.arange(period, duration, period)
+    caps = 1.0 - rng.uniform(0.0, amplitude, size=len(times))
+    return tuple((float(t), float(c)) for t, c in zip(times, caps))

@@ -1,0 +1,100 @@
+"""Schedule quality metrics derived from a simulation report.
+
+The paper argues about *load balance* — these helpers quantify it:
+per-PE busy time and utilization, the work wasted on cancelled/lost
+replicas (the price of the adjustment mechanism), and the imbalance of
+the finishing times (the tail the mechanism removes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .des import SimReport
+
+__all__ = ["PEUsage", "ScheduleMetrics", "schedule_metrics"]
+
+
+@dataclass(frozen=True)
+class PEUsage:
+    """Busy-time accounting for one PE."""
+
+    pe_id: str
+    busy_seconds: float
+    useful_seconds: float  # intervals that won their task
+    wasted_seconds: float  # lost or cancelled replica intervals
+    last_finish: float
+
+    @property
+    def efficiency(self) -> float:
+        """Useful fraction of busy time (1.0 = no replica waste)."""
+        return self.useful_seconds / self.busy_seconds if self.busy_seconds else 1.0
+
+
+@dataclass(frozen=True)
+class ScheduleMetrics:
+    """Whole-run schedule quality."""
+
+    makespan: float
+    per_pe: dict[str, PEUsage]
+
+    @property
+    def mean_utilization(self) -> float:
+        """Mean busy/makespan over PEs (1.0 = perfectly packed)."""
+        if not self.per_pe or self.makespan <= 0:
+            return 0.0
+        return sum(
+            usage.busy_seconds / self.makespan
+            for usage in self.per_pe.values()
+        ) / len(self.per_pe)
+
+    @property
+    def replica_waste_fraction(self) -> float:
+        """Wasted busy time / total busy time across the platform."""
+        busy = sum(u.busy_seconds for u in self.per_pe.values())
+        wasted = sum(u.wasted_seconds for u in self.per_pe.values())
+        return wasted / busy if busy else 0.0
+
+    @property
+    def finish_spread(self) -> float:
+        """Latest minus earliest per-PE finishing time — the tail."""
+        finishes = [
+            u.last_finish for u in self.per_pe.values() if u.last_finish > 0
+        ]
+        if len(finishes) < 2:
+            return 0.0
+        return max(finishes) - min(finishes)
+
+
+def schedule_metrics(report: SimReport) -> ScheduleMetrics:
+    """Compute :class:`ScheduleMetrics` from a simulation report."""
+    busy: dict[str, float] = {}
+    useful: dict[str, float] = {}
+    wasted: dict[str, float] = {}
+    last: dict[str, float] = {}
+    for pe_id in report.tasks_won:
+        busy[pe_id] = useful[pe_id] = wasted[pe_id] = 0.0
+        last[pe_id] = 0.0
+    for interval in report.intervals:
+        duration = interval.end - interval.start
+        busy.setdefault(interval.pe_id, 0.0)
+        useful.setdefault(interval.pe_id, 0.0)
+        wasted.setdefault(interval.pe_id, 0.0)
+        last.setdefault(interval.pe_id, 0.0)
+        busy[interval.pe_id] += duration
+        if interval.outcome == "won":
+            useful[interval.pe_id] += duration
+        else:
+            wasted[interval.pe_id] += duration
+        last[interval.pe_id] = max(last[interval.pe_id], interval.end)
+    per_pe = {
+        pe_id: PEUsage(
+            pe_id=pe_id,
+            busy_seconds=busy[pe_id],
+            useful_seconds=useful[pe_id],
+            wasted_seconds=wasted[pe_id],
+            last_finish=last[pe_id],
+        )
+        for pe_id in busy
+    }
+    return ScheduleMetrics(makespan=report.makespan, per_pe=per_pe)

@@ -1,0 +1,117 @@
+"""Network model: message-size-aware communication costs.
+
+The paper's platform is "2 hosts interconnected by Gigabit Ethernet";
+slaves on the master's own host talk over shared memory, slaves on the
+other host pay wire latency plus serialization time.  This module
+models both with the classic linear cost model
+
+.. math::
+
+   t(bytes) = \\alpha + bytes / \\beta
+
+(per-message latency ``alpha``, bandwidth ``beta``), plus the message
+sizes of the master/slave protocol so the simulator can charge each
+interaction accurately instead of using one flat constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "LinkModel",
+    "NetworkModel",
+    "GIGABIT_ETHERNET",
+    "SHARED_MEMORY",
+    "MessageSizes",
+]
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """One link's linear cost model."""
+
+    latency_seconds: float
+    bandwidth_bytes_per_second: float
+    name: str = "link"
+
+    def __post_init__(self) -> None:
+        if self.latency_seconds < 0:
+            raise ValueError("latency must be non-negative")
+        if self.bandwidth_bytes_per_second <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    def transfer_seconds(self, message_bytes: int) -> float:
+        """One-way cost of a *message_bytes*-sized message."""
+        if message_bytes < 0:
+            raise ValueError("message size must be non-negative")
+        return (
+            self.latency_seconds
+            + message_bytes / self.bandwidth_bytes_per_second
+        )
+
+
+#: Gigabit Ethernet with typical kernel/NIC latency (the paper's wire).
+GIGABIT_ETHERNET = LinkModel(
+    latency_seconds=120e-6,
+    bandwidth_bytes_per_second=118e6,  # ~1 Gbit/s payload rate
+    name="gigabit-ethernet",
+)
+
+#: Same-host master/slave interaction (pipe / shared memory).
+SHARED_MEMORY = LinkModel(
+    latency_seconds=4e-6,
+    bandwidth_bytes_per_second=6e9,
+    name="shared-memory",
+)
+
+
+@dataclass(frozen=True)
+class MessageSizes:
+    """Wire sizes of the protocol messages (JSON-line measurements)."""
+
+    request: int = 64
+    per_task: int = 128
+    progress: int = 96
+    per_hit: int = 72
+    top_hits: int = 10
+
+    @property
+    def result(self) -> int:
+        """Bytes of one completed-task result message."""
+        return 64 + self.per_hit * self.top_hits
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Host-aware communication costs for the master/slave protocol.
+
+    The master lives on ``master_host``; slaves on that host use the
+    ``local`` link, every other slave uses ``remote``.
+    """
+
+    local: LinkModel = SHARED_MEMORY
+    remote: LinkModel = GIGABIT_ETHERNET
+    master_host: str = "host0"
+    sizes: MessageSizes = MessageSizes()
+
+    def link_for(self, host: str) -> LinkModel:
+        """The link a slave on *host* uses to reach the master."""
+        return self.local if host == self.master_host else self.remote
+
+    def request_seconds(self, host: str) -> float:
+        """Slave -> master task request (one way)."""
+        return self.link_for(host).transfer_seconds(self.sizes.request)
+
+    def assignment_seconds(self, host: str, num_tasks: int) -> float:
+        """Master -> slave assignment delivery."""
+        payload = self.sizes.request + self.sizes.per_task * max(1, num_tasks)
+        return self.link_for(host).transfer_seconds(payload)
+
+    def progress_seconds(self, host: str) -> float:
+        """Slave -> master progress-notification cost."""
+        return self.link_for(host).transfer_seconds(self.sizes.progress)
+
+    def result_seconds(self, host: str) -> float:
+        """Slave -> master completed-task result upload."""
+        return self.link_for(host).transfer_seconds(self.sizes.result)

@@ -1,0 +1,108 @@
+"""Platform builders: compose PEs into the paper's test environments.
+
+The evaluation platform (Section V) is two hosts on Gigabit Ethernet,
+each with 2 NVidia GTX 580 GPUs and one Intel i7 (4 SSE cores).  These
+helpers build that platform — and every sub-configuration the tables
+sweep (1/2/4/8 SSE cores; 1/2/4 GPUs; the five hybrid combinations) —
+as lists of :class:`~repro.simulate.des.PESpec`.
+"""
+
+from __future__ import annotations
+
+from .des import PESpec
+from .pe_models import FPGAModel, GPUModel, PEModel, SSECoreModel
+
+__all__ = [
+    "gpus",
+    "sse_cores",
+    "fpgas",
+    "hybrid_platform",
+    "paper_platform",
+    "CONFIGURATIONS",
+]
+
+
+def gpus(
+    count: int, model: GPUModel | None = None, host: str = "host0"
+) -> list[PESpec]:
+    """``count`` GPU PEs named ``gpu0..`` on *host*."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    model = model or GPUModel()
+    return [PESpec(f"gpu{i}", model, host=host) for i in range(count)]
+
+
+def sse_cores(
+    count: int,
+    model: SSECoreModel | None = None,
+    load_profiles: dict[int, tuple[tuple[float, float], ...]] | None = None,
+    host: str = "host0",
+) -> list[PESpec]:
+    """``count`` SSE-core PEs named ``sse0..``, optionally with load.
+
+    ``load_profiles`` maps core indices to capacity step profiles — the
+    non-dedicated experiments put a superpi-style profile on core 0.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    model = model or SSECoreModel()
+    profiles = load_profiles or {}
+    return [
+        PESpec(f"sse{i}", model, load_profile=profiles.get(i, ()), host=host)
+        for i in range(count)
+    ]
+
+
+def fpgas(count: int, model: FPGAModel | None = None) -> list[PESpec]:
+    """``count`` FPGA PEs named ``fpga0..`` (future-work integration)."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    model = model or FPGAModel()
+    return [PESpec(f"fpga{i}", model) for i in range(count)]
+
+
+def hybrid_platform(
+    num_gpus: int,
+    num_sse: int,
+    num_fpgas: int = 0,
+    gpu_model: GPUModel | None = None,
+    sse_model: SSECoreModel | None = None,
+    fpga_model: FPGAModel | None = None,
+) -> list[PESpec]:
+    """``num_gpus`` GPUs + ``num_sse`` SSE cores (+ optional FPGAs)."""
+    return (
+        gpus(num_gpus, gpu_model)
+        + sse_cores(num_sse, sse_model)
+        + fpgas(num_fpgas, fpga_model)
+    )
+
+
+def paper_platform() -> list[PESpec]:
+    """The full Section V platform: 4 GPUs + 4 SSE cores on two hosts.
+
+    Each host contributes 2 GPUs; the master and the 4 SSE cores (one
+    i7's worth) live on host0, so gpu2/gpu3 sit across the Gigabit
+    Ethernet link when a :class:`~repro.simulate.network.NetworkModel`
+    is in play.
+    """
+    specs = hybrid_platform(4, 4)
+    return [
+        PESpec(
+            spec.pe_id,
+            spec.model,
+            load_profile=spec.load_profile,
+            host="host1" if spec.pe_id in ("gpu2", "gpu3") else "host0",
+        )
+        for spec in specs
+    ]
+
+
+#: The execution configurations of Fig. 6, in presentation order.
+CONFIGURATIONS: tuple[tuple[str, int, int], ...] = (
+    ("1GPU", 1, 0),
+    ("1GPU+4SSEs", 1, 4),
+    ("2GPUs", 2, 0),
+    ("2GPUs+4SSEs", 2, 4),
+    ("4GPUs", 4, 0),
+    ("4GPUs+4SSEs", 4, 4),
+)

@@ -1,0 +1,125 @@
+"""SVG rendering of simulation schedules (no plotting dependencies).
+
+The ASCII Gantt (:func:`repro.simulate.trace.gantt`) is for terminals;
+this module emits a standalone SVG file of the same schedule for
+reports and papers — pure string assembly, viewable in any browser.
+
+Won tasks are colored by PE class, lost/cancelled replicas are hatched
+gray, and the time axis is labeled; the visual vocabulary mirrors the
+paper's Fig. 5.
+"""
+
+from __future__ import annotations
+
+import html
+
+from .des import SimReport
+
+__all__ = ["gantt_svg", "write_gantt_svg"]
+
+_ROW_HEIGHT = 26
+_ROW_GAP = 8
+_LEFT_MARGIN = 90
+_TOP_MARGIN = 40
+_WIDTH = 860
+_AXIS_HEIGHT = 30
+
+_CLASS_COLORS = {
+    "gpu": "#4878a8",
+    "sse": "#6aa84f",
+    "fpga": "#b07aa1",
+    "scan": "#c2a878",
+}
+_DEFAULT_COLOR = "#888888"
+_LOST_COLOR = "#bbbbbb"
+
+
+def _color_for(pe_id: str) -> str:
+    for prefix, color in _CLASS_COLORS.items():
+        if pe_id.startswith(prefix):
+            return color
+    return _DEFAULT_COLOR
+
+
+def gantt_svg(report: SimReport, title: str = "") -> str:
+    """Render the report's schedule as an SVG document string."""
+    pe_ids = sorted({iv.pe_id for iv in report.intervals})
+    horizon = max((iv.end for iv in report.intervals), default=1.0)
+    if horizon <= 0:
+        horizon = 1.0
+    plot_width = _WIDTH - _LEFT_MARGIN - 20
+    height = (
+        _TOP_MARGIN
+        + len(pe_ids) * (_ROW_HEIGHT + _ROW_GAP)
+        + _AXIS_HEIGHT
+    )
+
+    def x(t: float) -> float:
+        return _LEFT_MARGIN + t / horizon * plot_width
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{height}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{_WIDTH}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{_LEFT_MARGIN}" y="20" font-size="14" '
+            f'font-weight="bold">{html.escape(title)}</text>'
+        )
+    rows = {pe: i for i, pe in enumerate(pe_ids)}
+    for pe, row in rows.items():
+        y = _TOP_MARGIN + row * (_ROW_HEIGHT + _ROW_GAP)
+        parts.append(
+            f'<text x="{_LEFT_MARGIN - 8}" y="{y + _ROW_HEIGHT - 9}" '
+            f'text-anchor="end">{html.escape(pe)}</text>'
+        )
+        parts.append(
+            f'<line x1="{_LEFT_MARGIN}" y1="{y + _ROW_HEIGHT}" '
+            f'x2="{_WIDTH - 20}" y2="{y + _ROW_HEIGHT}" '
+            f'stroke="#eeeeee"/>'
+        )
+    for interval in report.intervals:
+        y = _TOP_MARGIN + rows[interval.pe_id] * (_ROW_HEIGHT + _ROW_GAP)
+        x0 = x(interval.start)
+        width = max(x(interval.end) - x0, 1.0)
+        won = interval.outcome == "won"
+        color = _color_for(interval.pe_id) if won else _LOST_COLOR
+        opacity = "1.0" if won else "0.6"
+        parts.append(
+            f'<rect x="{x0:.1f}" y="{y}" width="{width:.1f}" '
+            f'height="{_ROW_HEIGHT - 4}" fill="{color}" '
+            f'fill-opacity="{opacity}" stroke="white" stroke-width="0.5">'
+            f"<title>task {interval.task_id} on "
+            f"{html.escape(interval.pe_id)}: "
+            f"{interval.start:.2f}-{interval.end:.2f}s "
+            f"({interval.outcome})</title></rect>"
+        )
+        if width > 18:
+            parts.append(
+                f'<text x="{x0 + 3:.1f}" y="{y + _ROW_HEIGHT - 9}" '
+                f'fill="white" font-size="10">{interval.task_id}</text>'
+            )
+    axis_y = _TOP_MARGIN + len(pe_ids) * (_ROW_HEIGHT + _ROW_GAP) + 12
+    parts.append(
+        f'<line x1="{_LEFT_MARGIN}" y1="{axis_y}" x2="{_WIDTH - 20}" '
+        f'y2="{axis_y}" stroke="#333333"/>'
+    )
+    for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+        t = fraction * horizon
+        parts.append(
+            f'<text x="{x(t):.1f}" y="{axis_y + 16}" '
+            f'text-anchor="middle">{t:.1f}s</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_gantt_svg(
+    report: SimReport, path: str, title: str = ""
+) -> str:
+    """Write the SVG to *path*; returns the path for chaining."""
+    document = gantt_svg(report, title=title)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(document)
+    return path

@@ -1,0 +1,97 @@
+"""Trace rendering: ASCII Gantt charts and per-PE rate series.
+
+The paper presents its scheduling behaviour visually — Fig. 5 is a
+task-per-PE Gantt chart, Figs. 7/8 are per-core GCUPS time series.
+These helpers turn a :class:`~repro.simulate.des.SimReport` into the
+text equivalents the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+from .des import SimReport, TaskInterval
+
+__all__ = ["gantt", "rate_series", "binned_rate_series"]
+
+
+def gantt(
+    report: SimReport,
+    width: int = 72,
+    label_width: int = 8,
+) -> str:
+    """Render the run as an ASCII Gantt chart (one row per PE).
+
+    Winning task intervals print their task id digits, lost/cancelled
+    replicas print ``x`` — making the workload-adjustment mechanism's
+    duplicated tails directly visible, as in Fig. 5.
+    """
+    if not report.intervals:
+        return "(empty run)"
+    horizon = max(iv.end for iv in report.intervals)
+    if horizon <= 0:
+        return "(zero-length run)"
+    scale = width / horizon
+    rows: dict[str, list[str]] = {}
+    for interval in report.intervals:
+        row = rows.setdefault(interval.pe_id, [" "] * width)
+        start = int(interval.start * scale)
+        end = max(start + 1, int(interval.end * scale))
+        marker = _marker(interval)
+        for col in range(start, min(end, width)):
+            row[col] = marker
+    lines = [
+        f"{pe_id:<{label_width}}|{''.join(cells)}|"
+        for pe_id, cells in sorted(rows.items())
+    ]
+    padding = max(0, width - 12)
+    axis = f"{'':<{label_width}} 0{'':<{padding}}{horizon:10.1f}s"
+    return "\n".join(lines + [axis])
+
+
+def _marker(interval: TaskInterval) -> str:
+    if interval.outcome != "won":
+        return "x"
+    return str(interval.task_id % 10)
+
+
+def rate_series(
+    report: SimReport, pe_id: str, to_gcups: bool = True
+) -> list[tuple[float, float]]:
+    """(time, rate) samples for one PE from its progress notifications."""
+    factor = 1e-9 if to_gcups else 1.0
+    return [
+        (time, rate * factor)
+        for time, rate in report.progress_series(pe_id)
+    ]
+
+
+def binned_rate_series(
+    report: SimReport,
+    pe_id: str,
+    bin_seconds: float = 5.0,
+    to_gcups: bool = True,
+) -> list[tuple[float, float]]:
+    """Rate series averaged into fixed time bins (smooths Fig. 7/8).
+
+    Bins with no samples (idle PE) are reported as zero rate, making
+    starvation visible instead of silently interpolated away.
+    """
+    samples = rate_series(report, pe_id, to_gcups=to_gcups)
+    if bin_seconds <= 0:
+        raise ValueError("bin_seconds must be positive")
+    if not samples:
+        return []
+    horizon = max(t for t, _ in samples)
+    bins = int(horizon / bin_seconds) + 1
+    sums = [0.0] * bins
+    counts = [0] * bins
+    for time, rate in samples:
+        index = min(int(time / bin_seconds), bins - 1)
+        sums[index] += rate
+        counts[index] += 1
+    return [
+        (
+            (index + 0.5) * bin_seconds,
+            sums[index] / counts[index] if counts[index] else 0.0,
+        )
+        for index in range(bins)
+    ]

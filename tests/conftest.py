@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.align import BLOSUM62, DEFAULT_GAPS, linear_gap, match_mismatch
+from repro.sequences import PROTEIN, Sequence, random_database, random_sequence
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def blosum62():
+    return BLOSUM62
+
+
+@pytest.fixture
+def default_gaps():
+    return DEFAULT_GAPS
+
+
+@pytest.fixture
+def dna_scheme():
+    """The paper's Fig. 1 scoring: ma=+1, mi=-1, g=-2."""
+    return match_mismatch(1, -1), linear_gap(2)
+
+
+@pytest.fixture
+def small_proteins(rng) -> list[Sequence]:
+    """A handful of short random protein sequences."""
+    return [
+        random_sequence(length, rng, seq_id=f"p{i}")
+        for i, length in enumerate((12, 25, 33, 47, 60))
+    ]
+
+
+@pytest.fixture
+def mini_database(rng):
+    return random_database(25, 50.0, rng, name="mini")
+
+
+def make_protein(residues: str, seq_id: str = "seq") -> Sequence:
+    return Sequence(id=seq_id, residues=residues, alphabet=PROTEIN)

@@ -1,0 +1,111 @@
+"""Unit tests for repro.sequences.alphabet."""
+
+import numpy as np
+import pytest
+
+from repro.sequences.alphabet import (
+    DNA,
+    PROTEIN,
+    RNA,
+    Alphabet,
+    get_alphabet,
+    infer_alphabet,
+)
+
+
+class TestAlphabetBasics:
+    def test_sizes(self):
+        assert DNA.size == 5
+        assert RNA.size == 5
+        assert PROTEIN.size == 24
+
+    def test_wildcards(self):
+        assert DNA.wildcard == "N"
+        assert PROTEIN.wildcard == "X"
+        assert DNA.wildcard_code == DNA.letters.index("N")
+
+    def test_contains_is_case_insensitive(self):
+        assert "a" in DNA
+        assert "A" in DNA
+        assert "Z" not in DNA
+
+    def test_code_of_roundtrips_each_letter(self):
+        for alphabet in (DNA, RNA, PROTEIN):
+            for code, letter in enumerate(alphabet.letters):
+                assert alphabet.code_of(letter) == code
+                assert alphabet.code_of(letter.lower()) == code
+
+    def test_code_of_unknown_maps_to_wildcard(self):
+        assert DNA.code_of("Z") == DNA.wildcard_code
+        assert PROTEIN.code_of("U") == PROTEIN.wildcard_code
+
+    def test_code_of_rejects_multichar(self):
+        with pytest.raises(ValueError):
+            DNA.code_of("AC")
+
+    def test_duplicate_letters_rejected(self):
+        with pytest.raises(ValueError):
+            Alphabet(name="bad", letters="AAC", wildcard="A")
+
+    def test_wildcard_must_be_member(self):
+        with pytest.raises(ValueError):
+            Alphabet(name="bad", letters="ACGT", wildcard="N")
+
+
+class TestEncodeDecode:
+    def test_encode_returns_int8(self):
+        codes = DNA.encode("ACGT")
+        assert codes.dtype == np.int8
+        assert codes.tolist() == [0, 1, 2, 3]
+
+    def test_encode_lowercase(self):
+        assert DNA.encode("acgt").tolist() == DNA.encode("ACGT").tolist()
+
+    def test_encode_unknown_becomes_wildcard(self):
+        codes = DNA.encode("AXG")
+        assert codes[1] == DNA.wildcard_code
+
+    def test_encode_empty(self):
+        assert DNA.encode("").size == 0
+
+    def test_encode_accepts_bytes(self):
+        assert DNA.encode(b"ACGT").tolist() == [0, 1, 2, 3]
+
+    def test_decode_roundtrip(self):
+        text = "MKVLAWYRNDCEQGHIST"
+        assert PROTEIN.decode(PROTEIN.encode(text)) == text
+
+    def test_decode_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            DNA.decode(np.array([0, 99], dtype=np.int8))
+
+    def test_validate(self):
+        assert DNA.validate("acgtACGT")
+        assert not DNA.validate("ACGU")
+
+
+class TestInference:
+    def test_dna(self):
+        assert infer_alphabet("ACGTACGTACGT") is DNA
+
+    def test_rna(self):
+        assert infer_alphabet("ACGUACGUACGU") is RNA
+
+    def test_protein(self):
+        assert infer_alphabet("MKVLAWYRND") is PROTEIN
+
+    def test_empty_defaults_to_protein(self):
+        assert infer_alphabet("") is PROTEIN
+
+    def test_mostly_nucleic_with_wildcards(self):
+        assert infer_alphabet("ACGTN" * 10) is DNA
+
+
+class TestRegistry:
+    def test_get_alphabet(self):
+        assert get_alphabet("dna") is DNA
+        assert get_alphabet("PROTEIN") is PROTEIN
+
+    def test_get_alphabet_unknown(self):
+        with pytest.raises(KeyError):
+            get_alphabet("klingon")

@@ -1,0 +1,147 @@
+"""Unit tests for the high-level search API."""
+
+import pytest
+
+from repro.align import (
+    BLOSUM62,
+    DEFAULT_GAPS,
+    database_search,
+    sw_align,
+    sw_score,
+    sw_score_reference,
+)
+from repro.sequences import Sequence, SequenceDatabase, random_sequence
+
+
+class TestSwScore:
+    @pytest.mark.parametrize(
+        "kernel", ["scan", "striped", "reference", "intersequence"]
+    )
+    def test_all_kernels_agree(self, rng, default_gaps, kernel):
+        s = random_sequence(40, rng, seq_id="s")
+        t = random_sequence(55, rng, seq_id="t")
+        expected = sw_score_reference(s, t, BLOSUM62, default_gaps)
+        assert sw_score(s, t, gaps=default_gaps, kernel=kernel) == expected
+
+    def test_default_matrix_resolution(self, rng):
+        s = random_sequence(20, rng)
+        assert sw_score(s, s) > 0  # BLOSUM62 picked automatically
+
+    def test_unknown_kernel(self, rng):
+        s = random_sequence(5, rng)
+        with pytest.raises(ValueError):
+            sw_score(s, s, kernel="quantum")
+
+
+class TestSwAlign:
+    def test_small_uses_quadratic_path(self, rng, default_gaps):
+        s = random_sequence(30, rng, seq_id="s")
+        t = random_sequence(30, rng, seq_id="t")
+        alignment = sw_align(s, t)
+        assert alignment.rescore(BLOSUM62, default_gaps) == alignment.score
+
+    def test_large_switches_to_linear_space(self, rng, default_gaps, monkeypatch):
+        import repro.align.api as api
+
+        monkeypatch.setattr(api, "_FULL_MATRIX_CELL_LIMIT", 100)
+        s = random_sequence(40, rng, seq_id="s")
+        t = random_sequence(40, rng, seq_id="t")
+        alignment = sw_align(s, t)
+        assert alignment.score == sw_score_reference(
+            s, t, BLOSUM62, default_gaps
+        )
+
+
+class TestDatabaseSearch:
+    def test_ranking_descending(self, rng, mini_database):
+        query = random_sequence(40, rng, seq_id="q")
+        result = database_search(query, mini_database, top=10)
+        scores = result.scores()
+        assert scores == sorted(scores, reverse=True)
+        assert len(result.hits) == 10
+
+    def test_ties_broken_by_database_order(self):
+        db = SequenceDatabase(
+            [Sequence(id=f"d{i}", residues="MKVLAW") for i in range(4)]
+        )
+        result = database_search(
+            Sequence(id="q", residues="MKVLAW"), db, top=4
+        )
+        assert [h.subject_index for h in result.hits] == [0, 1, 2, 3]
+
+    def test_scores_match_reference(self, rng, mini_database, default_gaps):
+        query = random_sequence(25, rng, seq_id="q")
+        result = database_search(query, mini_database, top=len(mini_database))
+        for hit in result.hits:
+            assert hit.score == sw_score_reference(
+                query, mini_database[hit.subject_index], BLOSUM62, default_gaps
+            )
+
+    def test_top_zero_means_all(self, rng, mini_database):
+        query = random_sequence(15, rng, seq_id="q")
+        result = database_search(query, mini_database, top=0)
+        assert len(result.hits) == len(mini_database)
+
+    def test_top_clamped(self, rng, mini_database):
+        query = random_sequence(15, rng, seq_id="q")
+        result = database_search(query, mini_database, top=10_000)
+        assert len(result.hits) == len(mini_database)
+
+    def test_cells_accounting(self, rng, mini_database):
+        query = random_sequence(15, rng, seq_id="q")
+        result = database_search(query, mini_database)
+        assert result.cells == 15 * mini_database.total_residues
+
+    def test_best_on_empty_result(self):
+        db = SequenceDatabase([])
+        result = database_search(
+            Sequence(id="q", residues="MKVLAW"), db
+        )
+        with pytest.raises(ValueError):
+            result.best
+
+    def test_homolog_ranks_first(self, rng, mini_database):
+        from repro.sequences import implant_homology
+
+        query = random_sequence(50, rng, seq_id="needle")
+        planted = implant_homology(
+            mini_database, query, [7], rng, substitution_rate=0.1
+        )
+        result = database_search(query, planted, top=3)
+        assert result.best.subject_id == "homolog_of_needle@7"
+
+
+class TestSearchAndAlign:
+    def test_pipeline_consistency(self, rng, mini_database):
+        from repro.align import search_and_align
+
+        query = random_sequence(35, rng, seq_id="q")
+        pairs = search_and_align(query, mini_database, top=4)
+        assert len(pairs) == 4
+        for alignment, hit in pairs:
+            assert alignment.score == hit.score
+            assert alignment.subject_id == hit.subject_id
+            assert alignment.rescore(BLOSUM62, DEFAULT_GAPS) == hit.score
+            assert hit.evalue is not None  # "auto" statistics default
+
+    def test_order_is_best_first(self, rng, mini_database):
+        from repro.align import search_and_align
+
+        query = random_sequence(25, rng, seq_id="q")
+        pairs = search_and_align(query, mini_database, top=6)
+        scores = [hit.score for _, hit in pairs]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_feeds_report_writers(self, rng, mini_database):
+        from repro.align import pairwise_report, search_and_align
+        from repro.align.io_formats import alignment_to_tabular
+
+        query = random_sequence(30, rng, seq_id="q")
+        pairs = search_and_align(query, mini_database, top=2)
+        report = pairwise_report(pairs, database_name="mini")
+        assert report.count(">>") == 2
+        for alignment, hit in pairs:
+            line = alignment_to_tabular(
+                alignment, evalue=hit.evalue, bit_score=hit.bit_score
+            )
+            assert len(line.split("\t")) == 12

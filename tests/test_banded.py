@@ -1,0 +1,77 @@
+"""Unit tests for banded Smith-Waterman."""
+
+import pytest
+
+from repro.align import BLOSUM62, DEFAULT_GAPS, sw_score_banded, sw_score_reference
+from repro.sequences import mutate, random_sequence
+
+
+class TestBandedCorrectness:
+    def test_full_width_band_is_exact(self, rng, default_gaps):
+        for _ in range(10):
+            a = random_sequence(int(rng.integers(5, 45)), rng)
+            b = random_sequence(int(rng.integers(5, 45)), rng)
+            band = max(len(a), len(b))
+            assert (
+                sw_score_banded(a, b, BLOSUM62, default_gaps, band).score
+                == sw_score_reference(a, b, BLOSUM62, default_gaps)
+            )
+
+    def test_banded_never_exceeds_full(self, rng, default_gaps):
+        for band in (0, 2, 5, 10):
+            a = random_sequence(40, rng)
+            b = random_sequence(50, rng)
+            banded = sw_score_banded(a, b, BLOSUM62, default_gaps, band)
+            assert banded.score <= sw_score_reference(
+                a, b, BLOSUM62, default_gaps
+            )
+
+    def test_homologous_pair_exact_with_modest_band(self, rng, default_gaps):
+        """Near-diagonal optima fit a small band exactly."""
+        for _ in range(8):
+            a = random_sequence(60, rng)
+            b = mutate(a, rng, substitution_rate=0.15, indel_rate=0.03)
+            assert (
+                sw_score_banded(a, b, BLOSUM62, default_gaps, band=10).score
+                == sw_score_reference(a, b, BLOSUM62, default_gaps)
+            )
+
+    def test_band_zero_is_diagonal_only(self, default_gaps):
+        from repro.sequences import Sequence
+
+        a = Sequence(id="a", residues="WWWW")
+        result = sw_score_banded(a, a, BLOSUM62, default_gaps, band=0)
+        assert result.score == 4 * 11  # pure diagonal self-match
+
+    def test_shift_recovers_offset_match(self, rng, default_gaps):
+        """A match far off the main diagonal needs a shifted band."""
+        from repro.sequences import Sequence
+
+        core = random_sequence(20, rng).residues
+        a = Sequence(id="a", residues=core)
+        b = Sequence(id="b", residues="A" * 60 + core)
+        # Centred band of width 5 misses the match entirely...
+        centred = sw_score_banded(a, b, BLOSUM62, default_gaps, band=5)
+        # ...but shifting the band onto the i - j = -60 diagonal finds it.
+        shifted = sw_score_banded(
+            a, b, BLOSUM62, default_gaps, band=5, shift=-60
+        )
+        full = sw_score_reference(a, b, BLOSUM62, default_gaps)
+        assert shifted.score == full
+        assert centred.score < full
+
+
+class TestBandedMechanics:
+    def test_cell_count_reduced(self, rng, default_gaps):
+        a = random_sequence(60, rng)
+        b = random_sequence(60, rng)
+        banded = sw_score_banded(a, b, BLOSUM62, default_gaps, band=5)
+        assert banded.cells < 60 * 60
+        assert banded.cells <= 60 * 11  # <= (2*band + 1) per column
+
+    def test_empty_inputs(self, default_gaps):
+        assert sw_score_banded("", "ACD", BLOSUM62, default_gaps, 5).score == 0
+
+    def test_negative_band_rejected(self, default_gaps):
+        with pytest.raises(ValueError):
+            sw_score_banded("ACD", "ACD", BLOSUM62, default_gaps, -1)

@@ -1,0 +1,52 @@
+"""Unit tests for the calibration derivations."""
+
+import pytest
+
+from repro.bench.calibration import (
+    PAPER_ONE_SSE_SECONDS,
+    calibration_report,
+    solve_sse_rate,
+)
+from repro.simulate import GPUModel, SSECoreModel
+
+
+class TestSolver:
+    def test_sse_rate_from_anchor(self):
+        rate = solve_sse_rate()
+        assert rate == pytest.approx(2.8e9, rel=0.02)
+
+    def test_rate_scales_inversely_with_time(self):
+        assert solve_sse_rate(one_core_seconds=2 * PAPER_ONE_SSE_SECONDS) == (
+            pytest.approx(solve_sse_rate() / 2)
+        )
+
+    def test_custom_database_size(self):
+        rate = solve_sse_rate(database_residues=100_000_000)
+        assert rate == pytest.approx(102_000 * 1e8 / PAPER_ONE_SSE_SECONDS)
+
+
+class TestReport:
+    def test_stock_models_hit_anchors(self):
+        checks = {c.anchor: c for c in calibration_report()}
+        assert checks[
+            "1 SSE core x SwissProt wallclock (s)"
+        ].relative_error < 0.02
+        assert checks["solved SSE rate (GCUPS)"].relative_error < 0.01
+
+    def test_detuned_model_detected(self):
+        checks = {
+            c.anchor: c
+            for c in calibration_report(sse=SSECoreModel(gcups=1.0))
+        }
+        assert checks[
+            "1 SSE core x SwissProt wallclock (s)"
+        ].relative_error > 0.5
+
+    def test_gpu_overhead_drives_ratio(self):
+        """Removing the per-task overhead kills the SwissProt/Dog gap."""
+        flat_gpu = GPUModel(launch_seconds=0.0, load_seconds_per_residue=0.0)
+        checks = {
+            c.anchor: c for c in calibration_report(gpu=flat_gpu)
+        }
+        ratio = checks["GPU GCUPS ratio SwissProt/Dog"].model_value
+        assert ratio == pytest.approx(1.0, abs=0.01)

@@ -1,0 +1,210 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.sequences import query_set, random_database, write_fasta
+
+
+@pytest.fixture(scope="module")
+def fasta_files(tmp_path_factory):
+    rng = np.random.default_rng(11)
+    root = tmp_path_factory.mktemp("cli")
+    db_path = root / "db.fasta"
+    q_path = root / "q.fasta"
+    write_fasta(random_database(20, 50.0, rng, name="clidb"), db_path)
+    write_fasta(query_set(2, rng, 20, 40), q_path)
+    return str(q_path), str(db_path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_search_defaults(self, fasta_files):
+        q, db = fasta_files
+        args = build_parser().parse_args(["search", q, db])
+        assert args.policy == "pss"
+        assert args.matrix == "blosum62"
+
+    def test_bad_policy_rejected(self, fasta_files):
+        q, db = fasta_files
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", q, db, "--policy", "rr"])
+
+
+class TestCommands:
+    def test_search(self, fasta_files, capsys):
+        q, db = fasta_files
+        code = main(
+            ["search", q, db, "--gpus", "1", "--sse", "1", "--top", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# query query000" in out
+        assert "makespan" in out
+
+    def test_index(self, fasta_files, tmp_path, capsys):
+        _, db = fasta_files
+        out_path = tmp_path / "db.seqx"
+        assert main(["index", db, str(out_path)]) == 0
+        assert "indexed 20 sequences" in capsys.readouterr().out
+        assert out_path.exists()
+
+    def test_simulate(self, capsys):
+        code = main(
+            [
+                "simulate", "--database", "dog", "--queries", "10",
+                "--gpus", "1", "--sse", "2", "--gantt",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Ensembl Dog Proteins" in out
+        assert "GCUPS" in out
+        assert "|" in out  # the Gantt chart
+
+    def test_simulate_policies(self, capsys):
+        for policy in ("ss", "fixed", "wfixed"):
+            assert main(
+                [
+                    "simulate", "--database", "rat", "--queries", "6",
+                    "--gpus", "1", "--sse", "1", "--policy", policy,
+                ]
+            ) == 0
+
+    def test_search_chunked_decomposition(self, fasta_files, capsys):
+        q, db = fasta_files
+        code = main(
+            ["search", q, db, "--gpus", "1", "--top", "3", "--chunks", "3"]
+        )
+        assert code == 0
+        plain_out = capsys.readouterr().out
+        code = main(["search", q, db, "--gpus", "1", "--top", "3"])
+        assert code == 0
+        chunkless_out = capsys.readouterr().out
+        # Hit lines identical regardless of decomposition.
+        plain_hits = [l for l in plain_out.splitlines() if "score=" in l]
+        chunkless_hits = [
+            l for l in chunkless_out.splitlines() if "score=" in l
+        ]
+        assert plain_hits == chunkless_hits
+
+    def test_search_with_evalues(self, fasta_files, capsys):
+        q, db = fasta_files
+        code = main(["search", q, db, "--top", "2", "--evalue"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "E=" in out
+        assert "bits=" in out
+
+    @pytest.mark.parametrize("mode", ["local", "global", "semiglobal"])
+    def test_align_modes(self, fasta_files, capsys, mode):
+        q, db = fasta_files
+        assert main(["align", q, db, "--mode", mode]) == 0
+        out = capsys.readouterr().out
+        assert f"mode={mode}" in out
+        assert "CIGAR" in out
+
+    def test_cluster_threaded(self, fasta_files, capsys):
+        q, db = fasta_files
+        code = main(
+            ["cluster", q, db, "--workers", "gpu,scan", "--top", "2",
+             "--threads"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# query query000" in out
+        assert "workers: ['gpu0', 'scan1']" in out
+
+    def test_generate_and_inspect(self, tmp_path, capsys):
+        out = tmp_path / "wl"
+        code = main(
+            ["generate", "--database", "dog", "--scale", "0.001",
+             "--queries", "3", "--out", str(out)]
+        )
+        assert code == 0
+        assert (out / "database.fasta").exists()
+        assert (out / "queries.fasta").exists()
+        capsys.readouterr()
+        indexed = tmp_path / "db.seqx"
+        main(["index", str(out / "database.fasta"), str(indexed)])
+        capsys.readouterr()
+        assert main(["inspect", str(indexed), "--records", "2"]) == 0
+        text = capsys.readouterr().out
+        assert "records: 25" in text
+        assert "longest:" in text
+
+    def test_simulate_with_fpga(self, capsys):
+        code = main(
+            ["simulate", "--database", "rat", "--queries", "6",
+             "--gpus", "1", "--sse", "1", "--fpgas", "1"]
+        )
+        assert code == 0
+        assert "1 FPGAs" in capsys.readouterr().out
+
+    def test_serve_and_worker_commands(self, fasta_files, tmp_path, capsys):
+        """The multi-host deployment path: `serve` in a thread, `worker`
+        connecting to it."""
+        import threading
+        import time
+
+        q, db = fasta_files
+        export = tmp_path / "export"
+        serve_result = {}
+
+        def serve():
+            serve_result["code"] = main(
+                ["serve", q, db, "--host", "127.0.0.1", "--port", "0",
+                 "--export", str(export), "--timeout", "60"]
+            )
+
+        # Port 0 would be auto-assigned; we need a fixed port for the
+        # worker, so pick one deterministically instead.
+        port = "7391"
+
+        def serve_fixed():
+            serve_result["code"] = main(
+                ["serve", q, db, "--host", "127.0.0.1", "--port", port,
+                 "--export", str(export), "--timeout", "60"]
+            )
+
+        thread = threading.Thread(target=serve_fixed, daemon=True)
+        thread.start()
+        deadline = time.perf_counter() + 10
+        while not (export / "queries.seqx").exists():
+            assert time.perf_counter() < deadline, "server never exported"
+            time.sleep(0.05)
+        time.sleep(0.2)  # let the socket come up
+        code = main(
+            ["worker", "--host", "127.0.0.1", "--port", port,
+             "--pe-id", "w0", "--engine", "gpu",
+             "--queries", str(export / "queries.seqx"),
+             "--database", str(export / "database.seqx")]
+        )
+        assert code == 0
+        thread.join(timeout=30)
+        assert serve_result["code"] == 0
+        out = capsys.readouterr().out
+        assert "worker w0 completed" in out
+        assert "all tasks finished" in out
+
+    def test_tables_fig5(self, capsys):
+        assert main(["tables", "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "with workload adjustment (14s)" in out
+
+    def test_tables_policy_table(self, capsys):
+        assert main(["tables", "1"]) == 0
+        assert "PSS+reassign" in capsys.readouterr().out
+
+    def test_tables_csv_export(self, tmp_path, capsys):
+        out = tmp_path / "csv"
+        assert main(["tables", "4", "--csv", str(out)]) == 0
+        csv_path = out / "table4_gpu.csv"
+        assert csv_path.exists()
+        lines = csv_path.read_text().splitlines()
+        assert lines[0] == "database,configuration,seconds,gcups"
+        assert len(lines) == 1 + 5 * 3  # 5 databases x 3 configs

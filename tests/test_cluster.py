@@ -1,0 +1,244 @@
+"""Tests for the distributed TCP master/slave runtime."""
+
+import io
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.align import BLOSUM62, DEFAULT_GAPS, SearchHit, database_search
+from repro.cluster import (
+    ClusterReport,
+    MasterServer,
+    ProtocolError,
+    WorkerConfig,
+    decode_hit,
+    decode_task,
+    encode_hit,
+    encode_task,
+    recv_message,
+    run_cluster,
+    send_message,
+)
+from repro.core import SelfScheduling, Task
+from repro.sequences import query_set, random_database
+
+
+class TestProtocol:
+    def test_task_roundtrip(self):
+        task = Task(task_id=3, query_id="q3", query_length=120,
+                    cells=120 * 1000, query_index=3)
+        assert decode_task(encode_task(task)) == task
+
+    def test_hit_roundtrip(self):
+        hit = SearchHit(subject_id="sp|X", subject_index=7, score=88,
+                        subject_length=140)
+        assert decode_hit(encode_hit(hit)) == hit
+
+    def test_bad_task_payload(self):
+        with pytest.raises(ProtocolError):
+            decode_task({"task_id": "not-a-number"})
+
+    def test_message_framing_over_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            send_message(a, {"type": "register", "pe_id": "x"})
+            reader = b.makefile("rb")
+            message = recv_message(reader)
+            assert message == {"type": "register", "pe_id": "x"}
+        finally:
+            a.close()
+            b.close()
+
+    def test_recv_eof_returns_none(self):
+        reader = io.BytesIO(b"")
+        assert recv_message(reader) is None
+
+    def test_recv_garbage_raises(self):
+        reader = io.BytesIO(b"not json\n")
+        with pytest.raises(ProtocolError):
+            recv_message(reader)
+
+    def test_recv_untyped_raises(self):
+        reader = io.BytesIO(b'{"no_type": 1}\n')
+        with pytest.raises(ProtocolError):
+            recv_message(reader)
+
+    def test_oversized_frame_rejected_on_send(self):
+        a, b = socket.socketpair()
+        try:
+            with pytest.raises(ProtocolError):
+                send_message(
+                    a, {"type": "blob", "data": "x" * (5 * 1024 * 1024)}
+                )
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_frame_rejected_on_recv(self):
+        from repro.cluster.protocol import MAX_FRAME_BYTES
+
+        reader = io.BytesIO(b"x" * (MAX_FRAME_BYTES + 10) + b"\n")
+        with pytest.raises(ProtocolError):
+            recv_message(reader)
+
+
+class TestMasterServer:
+    def _talk(self, server, messages):
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=10) as sock:
+            reader = sock.makefile("rb")
+            replies = []
+            for message in messages:
+                send_message(sock, message)
+                replies.append(recv_message(reader))
+            return replies
+
+    @pytest.fixture
+    def server(self):
+        tasks = [
+            Task(task_id=i, query_id=f"q{i}", query_length=10,
+                 cells=100, query_index=i)
+            for i in range(2)
+        ]
+        server = MasterServer(tasks, policy=SelfScheduling())
+        server.start()
+        yield server
+        server.stop()
+
+    def test_register_request_complete_cycle(self, server):
+        replies = self._talk(
+            server,
+            [
+                {"type": "register", "pe_id": "w0"},
+                {"type": "request", "pe_id": "w0"},
+            ],
+        )
+        assert replies[0]["type"] == "ack"
+        assignment = replies[1]
+        assert assignment["type"] == "assign"
+        assert len(assignment["tasks"]) == 1
+        task = assignment["tasks"][0]
+        self._talk(
+            server,
+            [
+                {
+                    "type": "complete",
+                    "pe_id": "w0",
+                    "task_id": task["task_id"],
+                    "elapsed": 0.1,
+                    "cells": task["cells"],
+                    "hits": [],
+                },
+            ],
+        )
+        assert not server.finished  # one task left
+
+    def test_unknown_message_errors(self, server):
+        replies = self._talk(
+            server,
+            [
+                {"type": "register", "pe_id": "w1"},
+                {"type": "frobnicate"},
+            ],
+        )
+        assert replies[1]["type"] == "error"
+
+    def test_wait_finished_timeout(self, server):
+        with pytest.raises(TimeoutError):
+            server.wait_finished(timeout=0.05, poll=0.01)
+
+
+@pytest.fixture(scope="module")
+def cluster_workload():
+    import numpy as np
+
+    rng = np.random.default_rng(17)
+    queries = query_set(4, rng, min_length=20, max_length=50)
+    database = random_database(25, 50.0, rng, name="cluster-db")
+    expected = {
+        q.id: database_search(q, database, BLOSUM62, DEFAULT_GAPS, top=10).hits
+        for q in queries
+    }
+    return queries, database, expected
+
+
+class TestEndToEnd:
+    def _check(self, report: ClusterReport, expected):
+        for query_id, hits in expected.items():
+            got = report.results[query_id]
+            assert [(h.subject_index, h.score) for h in got] == [
+                (h.subject_index, h.score) for h in hits
+            ]
+
+    def test_threaded_workers(self, cluster_workload):
+        queries, database, expected = cluster_workload
+        report = run_cluster(
+            queries,
+            database,
+            {"gpu0": "gpu", "sse0": "sse"},
+            use_processes=False,
+            timeout=120,
+        )
+        self._check(report, expected)
+        assert report.total_cells == sum(
+            len(q) * database.total_residues for q in queries
+        )
+
+    def test_process_workers(self, cluster_workload):
+        queries, database, expected = cluster_workload
+        report = run_cluster(
+            queries,
+            database,
+            {"gpu0": "gpu", "scan0": "scan"},
+            use_processes=True,
+            timeout=180,
+        )
+        self._check(report, expected)
+
+    def test_single_worker(self, cluster_workload):
+        queries, database, expected = cluster_workload
+        report = run_cluster(
+            queries,
+            database,
+            {"solo": "gpu"},
+            use_processes=False,
+            timeout=120,
+        )
+        self._check(report, expected)
+        # Every assignment went to the only worker.
+        assigns = [e for e in report.trace if e.kind == "assign"]
+        assert all(e.pe_id == "solo" for e in assigns)
+
+    def test_no_workers_rejected(self, cluster_workload):
+        queries, database, _ = cluster_workload
+        with pytest.raises(ValueError):
+            run_cluster(queries, database, {})
+
+    def test_unknown_engine_kind(self):
+        config = WorkerConfig(
+            host="127.0.0.1", port=1, pe_id="x", engine="tpu",
+            query_path="q", database_path="d",
+        )
+        with pytest.raises(ValueError):
+            config.build_engine()
+
+    def test_dual_precision_engine_kind(self):
+        config = WorkerConfig(
+            host="127.0.0.1", port=1, pe_id="x", engine="gpu-dual",
+            query_path="q", database_path="d",
+        )
+        engine = config.build_engine()
+        assert engine.dual_precision is True
+
+    def test_dual_precision_workers_end_to_end(self, cluster_workload):
+        queries, database, expected = cluster_workload
+        report = run_cluster(
+            queries,
+            database,
+            {"gpu0": "gpu-dual"},
+            use_processes=False,
+            timeout=120,
+        )
+        self._check(report, expected)

@@ -1,0 +1,79 @@
+"""Unit tests for the numpy column-scan kernel."""
+
+import numpy as np
+import pytest
+
+from repro.align import (
+    affine_gap,
+    linear_gap,
+    match_mismatch,
+    sw_matrix,
+    sw_score_reference,
+    sw_score_scan,
+)
+from repro.sequences import Sequence, random_sequence
+
+
+class TestAgreementWithReference:
+    @pytest.mark.parametrize("go,ge", [(10, 2), (5, 5), (12, 1), (3, 3)])
+    def test_protein_random(self, rng, blosum62, go, ge):
+        gaps = affine_gap(go, ge)
+        for _ in range(6):
+            s = random_sequence(int(rng.integers(5, 60)), rng)
+            t = random_sequence(int(rng.integers(5, 60)), rng)
+            expected = sw_score_reference(s, t, blosum62, gaps)
+            assert sw_score_scan(s, t, blosum62, gaps).score == expected
+
+    def test_dna_linear(self, rng, dna_scheme):
+        matrix, gaps = dna_scheme
+        from repro.sequences import DNA
+
+        for _ in range(8):
+            s = random_sequence(int(rng.integers(3, 40)), rng, alphabet=DNA)
+            t = random_sequence(int(rng.integers(3, 40)), rng, alphabet=DNA)
+            expected = sw_score_reference(s, t, matrix, gaps)
+            assert sw_score_scan(s, t, matrix, gaps).score == expected
+
+    def test_paper_figure2(self, dna_scheme):
+        matrix, gaps = dna_scheme
+        s = Sequence(id="s", residues="GCTGACCT")
+        t = Sequence(id="t", residues="GAAGCTA")
+        assert sw_score_scan(s, t, matrix, gaps).score == 3
+
+    def test_gap_heavy_case(self, blosum62):
+        """Cases engineered to stress the lazy-F fixpoint."""
+        gaps = affine_gap(2, 1)
+        s = Sequence(id="s", residues="W" * 30)
+        t = Sequence(id="t", residues="W" + "A" * 20 + "W" * 10)
+        assert (
+            sw_score_scan(s, t, blosum62, gaps).score
+            == sw_score_reference(s, t, blosum62, gaps)
+        )
+
+
+class TestResultMetadata:
+    def test_end_matches_reference_argmax(self, blosum62, default_gaps, rng):
+        s = random_sequence(30, rng)
+        t = random_sequence(45, rng)
+        scan = sw_score_scan(s, t, blosum62, default_gaps)
+        matrices = sw_matrix(s, t, blosum62, default_gaps)
+        i, j = scan.end
+        assert int(matrices.H[i, j]) == scan.score
+
+    def test_cells_counted(self, blosum62, default_gaps, rng):
+        s = random_sequence(12, rng)
+        t = random_sequence(20, rng)
+        assert sw_score_scan(s, t, blosum62, default_gaps).cells == 240
+
+    def test_empty_inputs(self, blosum62, default_gaps):
+        result = sw_score_scan("", "ACD", blosum62, default_gaps)
+        assert result.score == 0
+        assert result.cells == 0
+
+    def test_fixpoint_rounds_at_least_one_per_column(
+        self, blosum62, default_gaps, rng
+    ):
+        s = random_sequence(10, rng)
+        t = random_sequence(25, rng)
+        result = sw_score_scan(s, t, blosum62, default_gaps)
+        assert result.fixpoint_rounds >= 25

@@ -1,0 +1,108 @@
+"""Unit tests for low-complexity masking."""
+
+import numpy as np
+import pytest
+
+from repro.sequences import PROTEIN, Sequence, random_sequence
+from repro.sequences.complexity import (
+    entropy_profile,
+    low_complexity_regions,
+    mask_low_complexity,
+)
+
+
+class TestEntropyProfile:
+    def test_homopolymer_zero_entropy(self):
+        seq = Sequence(id="x", residues="A" * 30, alphabet=PROTEIN)
+        profile = entropy_profile(seq, window=10)
+        assert np.allclose(profile, 0.0)
+
+    def test_max_entropy_window(self):
+        # 12 distinct residues in a 12-window: entropy = log2(12).
+        seq = Sequence(id="x", residues="ARNDCQEGHILK", alphabet=PROTEIN)
+        profile = entropy_profile(seq, window=12)
+        assert profile[0] == pytest.approx(np.log2(12))
+
+    def test_short_sequence_empty_profile(self):
+        seq = Sequence(id="x", residues="AR", alphabet=PROTEIN)
+        assert entropy_profile(seq, window=12).size == 0
+
+    def test_window_validation(self):
+        seq = Sequence(id="x", residues="ARND", alphabet=PROTEIN)
+        with pytest.raises(ValueError):
+            entropy_profile(seq, window=1)
+
+    def test_random_protein_high_entropy(self, rng):
+        seq = random_sequence(200, rng)
+        profile = entropy_profile(seq, window=12)
+        assert profile.mean() > 3.0
+
+
+class TestRegions:
+    def test_homopolymer_run_flagged(self, rng):
+        left = random_sequence(40, rng).residues
+        right = random_sequence(40, rng).residues
+        seq = Sequence(id="x", residues=left + "Q" * 25 + right,
+                       alphabet=PROTEIN)
+        regions = low_complexity_regions(seq)
+        assert len(regions) == 1
+        start, end = regions[0]
+        # The flagged span covers the run (allowing window-edge slack).
+        assert start <= 40 + 3
+        assert end >= 40 + 25 - 3
+
+    def test_clean_sequence_unflagged(self, rng):
+        seq = random_sequence(150, rng)
+        assert low_complexity_regions(seq) == []
+
+    def test_run_at_end(self, rng):
+        seq = Sequence(
+            id="x",
+            residues=random_sequence(40, rng).residues + "A" * 20,
+            alphabet=PROTEIN,
+        )
+        regions = low_complexity_regions(seq)
+        assert regions
+        assert regions[-1][1] == len(seq)
+
+
+class TestMasking:
+    def test_masked_residues_are_wildcard(self, rng):
+        seq = Sequence(
+            id="x",
+            residues=random_sequence(30, rng).residues + "P" * 20
+            + random_sequence(30, rng).residues,
+            alphabet=PROTEIN,
+        )
+        masked = mask_low_complexity(seq)
+        assert "X" in masked.residues
+        assert len(masked) == len(seq)
+        assert masked.id == seq.id
+
+    def test_clean_sequence_returned_unchanged(self, rng):
+        seq = random_sequence(100, rng)
+        assert mask_low_complexity(seq) is seq
+
+    def test_masking_kills_spurious_score(self, rng):
+        """A poly-Q run must stop producing a big SW score once masked."""
+        from repro.align import BLOSUM62, DEFAULT_GAPS, sw_score_scan
+
+        query = Sequence(
+            id="q",
+            residues=random_sequence(30, rng).residues + "Q" * 30,
+            alphabet=PROTEIN,
+        )
+        subject = Sequence(
+            id="t",
+            residues="Q" * 30 + random_sequence(30, rng).residues,
+            alphabet=PROTEIN,
+        )
+        raw = sw_score_scan(query, subject, BLOSUM62, DEFAULT_GAPS).score
+        masked = sw_score_scan(
+            mask_low_complexity(query),
+            mask_low_complexity(subject),
+            BLOSUM62,
+            DEFAULT_GAPS,
+        ).score
+        assert raw >= 30 * BLOSUM62.score("Q", "Q")
+        assert masked < raw / 3

@@ -1,0 +1,95 @@
+"""Tests for remaining uncovered branches found in final review."""
+
+import numpy as np
+import pytest
+
+from repro.align import Alignment
+from repro.align.io_formats import pairwise_report
+from repro.bench import fig7_dedicated, run_configuration, tasks_for_profile
+from repro.core import SelfScheduling
+from repro.sequences import ENSEMBL_RAT, Sequence, write_indexed
+from repro.simulate import gantt_svg
+from repro.simulate.des import SimReport
+
+
+class TestFigureVariants:
+    def test_fig7_without_jitter_is_flat(self):
+        result = fig7_dedicated(num_queries=10, jitter_seed=None)
+        for series in result.series.values():
+            rates = [r for _, r in series if r > 0]
+            # No jitter: every busy bin shows the nominal rate.
+            assert max(rates) - min(rates) < 0.15
+
+    def test_run_configuration_policy_override(self):
+        tasks = tasks_for_profile(ENSEMBL_RAT, num_queries=6)
+        report = run_configuration(tasks, 1, 1, policy=SelfScheduling())
+        assert report.policy_name == "ss"
+        assert sum(report.tasks_won.values()) == 6
+
+
+class TestFormatsVariants:
+    def test_pairwise_report_without_statistics(self):
+        alignment = Alignment(
+            query_id="q", subject_id="t", score=12,
+            aligned_query="ACDE", aligned_subject="ACDE",
+            query_start=0, query_end=4, subject_start=0, subject_end=4,
+        )
+        report = pairwise_report([(alignment, None)])
+        assert ">>t" in report
+        assert "score: 12" in report
+        assert "E(" not in report  # no stats block without a hit
+
+
+class TestIndexedVariants:
+    def test_write_indexed_returns_stats(self, tmp_path):
+        records = [
+            Sequence(id="a", residues="MKVL"),
+            Sequence(id="b", residues="MKVLAWYRND"),
+        ]
+        stats = write_indexed(records, tmp_path / "x.seqx")
+        assert stats.count == 2
+        assert stats.longest == 10
+
+
+class TestSvgVariants:
+    def test_empty_report_renders(self):
+        empty = SimReport(
+            makespan=0.0, total_cells=0, tasks_won={}, replicas_assigned=0,
+            intervals=[], trace=[], policy_name="pss", adjustment=True,
+        )
+        import xml.etree.ElementTree as ET
+
+        ET.fromstring(gantt_svg(empty, title="empty"))
+
+
+class TestLauncherVariants:
+    def test_run_cluster_accepts_fasta_paths(self, tmp_path):
+        from repro.align import BLOSUM62, DEFAULT_GAPS, database_search
+        from repro.cluster import run_cluster
+        from repro.sequences import (
+            SequenceDatabase,
+            query_set,
+            random_database,
+            write_fasta,
+        )
+
+        rng = np.random.default_rng(41)
+        queries = query_set(2, rng, 15, 25)
+        database = random_database(10, 30.0, rng, name="paths")
+        q_path = tmp_path / "q.fasta"
+        d_path = tmp_path / "d.fasta"
+        write_fasta(queries, q_path)
+        write_fasta(database, d_path)
+        report = run_cluster(
+            str(q_path), str(d_path), {"solo": "gpu"},
+            use_processes=False, timeout=60,
+        )
+        loaded = SequenceDatabase.from_fasta(d_path)
+        for query in queries:
+            expected = database_search(
+                query, loaded, BLOSUM62, DEFAULT_GAPS, top=10
+            ).hits
+            got = report.results[query.id]
+            assert [(h.subject_id, h.score) for h in got] == [
+                (h.subject_id, h.score) for h in expected
+            ]

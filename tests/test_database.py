@@ -1,0 +1,96 @@
+"""Unit tests for repro.sequences.database."""
+
+import numpy as np
+import pytest
+
+from repro.sequences import (
+    PROTEIN,
+    Sequence,
+    SequenceDatabase,
+    write_fasta,
+    write_indexed,
+)
+
+
+@pytest.fixture
+def db():
+    return SequenceDatabase(
+        [
+            Sequence(id="a", residues="MKVLAW"),
+            Sequence(id="b", residues="AC"),
+            Sequence(id="c", residues="MKVLAWYRNDQQ"),
+        ],
+        name="demo",
+    )
+
+
+class TestBasics:
+    def test_len_and_iter(self, db):
+        assert len(db) == 3
+        assert [r.id for r in db] == ["a", "b", "c"]
+
+    def test_getitem(self, db):
+        assert db[1].id == "b"
+        assert db[-1].id == "c"
+
+    def test_total_residues(self, db):
+        assert db.total_residues == 6 + 2 + 12
+
+    def test_lengths_read_only(self, db):
+        lengths = db.lengths
+        assert lengths.tolist() == [6, 2, 12]
+        with pytest.raises(ValueError):
+            lengths[0] = 99
+
+    def test_stats(self, db):
+        stats = db.stats()
+        assert stats.name == "demo"
+        assert stats.num_sequences == 3
+        assert stats.shortest == 2
+        assert stats.longest == 12
+        assert stats.mean_length == pytest.approx(20 / 3)
+        assert stats.row() == ("demo", 3, 2, 12)
+
+    def test_empty_stats(self):
+        stats = SequenceDatabase([], name="void").stats()
+        assert stats.num_sequences == 0
+        assert stats.mean_length == 0.0
+
+
+class TestLayoutHelpers:
+    def test_order_by_length(self, db):
+        order = db.order_by_length()
+        assert [db[int(i)].id for i in order] == ["b", "a", "c"]
+
+    def test_order_stable_for_ties(self):
+        db = SequenceDatabase(
+            [Sequence(id=f"s{i}", residues="ACDE") for i in range(4)]
+        )
+        assert db.order_by_length().tolist() == [0, 1, 2, 3]
+
+    def test_chunks(self, db):
+        chunks = list(db.chunks(2))
+        assert [len(c) for c in chunks] == [2, 1]
+        assert chunks[0][0].id == "a"
+        assert chunks[1][0].id == "c"
+        assert sum(c.total_residues for c in chunks) == db.total_residues
+
+    def test_chunks_invalid(self, db):
+        with pytest.raises(ValueError):
+            list(db.chunks(0))
+
+
+class TestConstruction:
+    def test_from_fasta(self, tmp_path, db):
+        path = tmp_path / "db.fasta"
+        write_fasta(db, path)
+        loaded = SequenceDatabase.from_fasta(path, name="loaded")
+        assert loaded.name == "loaded"
+        assert [r.id for r in loaded] == [r.id for r in db]
+        assert loaded.alphabet is PROTEIN
+
+    def test_from_indexed(self, tmp_path, db):
+        path = tmp_path / "db.seqx"
+        write_indexed(db, path)
+        loaded = SequenceDatabase.from_indexed(path)
+        assert loaded.total_residues == db.total_residues

@@ -1,0 +1,331 @@
+"""Unit and scenario tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.bench import uniform_tasks
+from repro.core import SelfScheduling, Task
+from repro.simulate import (
+    HybridSimulator,
+    PESpec,
+    SSECoreModel,
+    UniformModel,
+    step_load,
+)
+
+
+def fig5_platform():
+    return [
+        PESpec("gpu1", UniformModel(rate=6.0, pe_class_name="gpu")),
+        PESpec("sse1", UniformModel(rate=1.0, pe_class_name="sse")),
+        PESpec("sse2", UniformModel(rate=1.0, pe_class_name="sse")),
+        PESpec("sse3", UniformModel(rate=1.0, pe_class_name="sse")),
+    ]
+
+
+def simulate(tasks, pes, **kwargs):
+    defaults = dict(comm_latency=0.0, notify_interval=0.5)
+    defaults.update(kwargs)
+    return HybridSimulator(pes, **defaults).run(tasks)
+
+
+class TestFig5Scenario:
+    """The paper's Section IV-A-3 walk-through, asserted exactly."""
+
+    def test_with_adjustment_14s(self):
+        report = simulate(uniform_tasks(20), fig5_platform())
+        assert report.makespan == pytest.approx(14.0)
+
+    def test_without_adjustment_18s(self):
+        report = simulate(
+            uniform_tasks(20), fig5_platform(), adjustment=False
+        )
+        assert report.makespan == pytest.approx(18.0)
+
+    def test_gpu_wins_replicated_task(self):
+        report = simulate(uniform_tasks(20), fig5_platform())
+        winners = [
+            e for e in report.trace if e.kind == "complete" and e.value
+        ]
+        last = max(winners, key=lambda e: e.time)
+        assert last.pe_id == "gpu1"
+        assert report.replicas_assigned >= 1
+
+    def test_all_tasks_won_exactly_once(self):
+        report = simulate(uniform_tasks(20), fig5_platform())
+        assert sum(report.tasks_won.values()) == 20
+
+    def test_cancelled_intervals_recorded(self):
+        report = simulate(uniform_tasks(20), fig5_platform())
+        outcomes = {iv.outcome for iv in report.intervals}
+        assert "cancelled" in outcomes  # SSE replicas were aborted
+        assert "won" in outcomes
+
+
+class TestJsonExport:
+    def test_roundtrips_through_json(self):
+        import json
+
+        report = simulate(uniform_tasks(6), fig5_platform())
+        data = json.loads(report.to_json())
+        assert data["makespan"] == report.makespan
+        assert data["tasks_won"] == report.tasks_won
+        assert len(data["intervals"]) == len(report.intervals)
+        assert {e["kind"] for e in data["trace"]} >= {"assign", "complete"}
+
+
+class TestMasterServiceTime:
+    def test_serializes_allocations(self):
+        """Two simultaneous grants queue behind one master CPU."""
+        tasks = uniform_tasks(2, cells=10)
+        pes = [
+            PESpec("a", UniformModel(rate=10.0)),
+            PESpec("b", UniformModel(rate=10.0)),
+        ]
+        report = simulate(tasks, pes, master_service_time=0.5)
+        # First delivery at 0.5, second at 1.0; each task takes 1 s.
+        assert report.makespan == pytest.approx(2.0)
+
+    def test_zero_service_unchanged(self):
+        tasks = uniform_tasks(4, cells=10)
+        pes = [PESpec("a", UniformModel(rate=10.0))]
+        baseline = simulate(tasks, pes)
+        assert baseline.makespan == pytest.approx(4.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            HybridSimulator(
+                [PESpec("a", UniformModel(rate=1.0))],
+                master_service_time=-1.0,
+            )
+
+    def test_pre_delivery_cancellation_does_not_stall(self):
+        """Regression: a replica cancelled while still queued (delivery
+        delayed by master service time) must not strand its PE — the
+        PE re-requests and the simulation terminates."""
+        from repro.core import PackageWeightedSelfScheduling
+
+        tasks = [
+            Task(task_id=i, query_id=f"t{i}", query_length=1, cells=6)
+            for i in range(120)
+        ]
+        pes = [
+            *[
+                PESpec(f"gpu{i}", UniformModel(rate=6.0))
+                for i in range(8)
+            ],
+            *[PESpec(f"sse{i}", UniformModel(rate=1.0)) for i in range(8)],
+        ]
+        sim = HybridSimulator(
+            pes,
+            policy=PackageWeightedSelfScheduling(max_batch=8),
+            adjustment=True,
+            comm_latency=0.0,
+            master_service_time=0.05,
+        )
+        report = sim.run(tasks)  # must terminate
+        assert sum(report.tasks_won.values()) == 120
+
+
+class TestCheckpointReplicas:
+    def test_replica_resumes_from_checkpoint(self):
+        """With migration, the Fig. 5 endgame improves: the GPU picks up
+        t20 at SSE1's progress point instead of restarting it."""
+        baseline = simulate(uniform_tasks(20), fig5_platform())
+        migrated = HybridSimulator(
+            fig5_platform(),
+            comm_latency=0.0,
+            notify_interval=0.5,
+            checkpoint_replicas=True,
+        ).run(uniform_tasks(20))
+        assert migrated.makespan <= baseline.makespan
+        assert sum(migrated.tasks_won.values()) == 20
+
+    def test_scores_of_work_unchanged(self):
+        """Migration changes timing only; every task still finishes."""
+        report = HybridSimulator(
+            fig5_platform(), comm_latency=0.0, checkpoint_replicas=True
+        ).run(uniform_tasks(7))
+        assert sorted(
+            e.task_id for e in report.trace
+            if e.kind == "complete" and e.value
+        ) == list(range(7))
+
+
+class TestCombinedScenarios:
+    def test_churn_under_load(self):
+        """Leave + external load + adjustment interact safely."""
+        from repro.simulate import step_load
+
+        pes = [
+            PESpec("steady", UniformModel(rate=2.0)),
+            PESpec(
+                "stressed",
+                UniformModel(rate=2.0),
+                load_profile=step_load((2.0, 0.3)),
+            ),
+            PESpec("quitter", UniformModel(rate=2.0), leave_time=4.0),
+        ]
+        report = simulate(uniform_tasks(15, cells=4), pes)
+        assert sum(report.tasks_won.values()) == 15
+        # The steady PE carries the most weight.
+        assert report.tasks_won["steady"] == max(report.tasks_won.values())
+
+    def test_network_with_churn(self):
+        from repro.simulate import NetworkModel
+
+        pes = [
+            PESpec("local", UniformModel(rate=1.0), host="host0"),
+            PESpec(
+                "remote", UniformModel(rate=1.0), host="host1",
+                leave_time=5.0,
+            ),
+        ]
+        sim = HybridSimulator(pes, network=NetworkModel())
+        report = sim.run(uniform_tasks(8, cells=2))
+        assert sum(report.tasks_won.values()) == 8
+
+
+class TestDeterminism:
+    def test_identical_runs(self):
+        a = simulate(uniform_tasks(20), fig5_platform())
+        b = simulate(uniform_tasks(20), fig5_platform())
+        assert a.makespan == b.makespan
+        assert a.tasks_won == b.tasks_won
+        assert [
+            (e.kind, e.time, e.pe_id, e.task_id) for e in a.trace
+        ] == [(e.kind, e.time, e.pe_id, e.task_id) for e in b.trace]
+
+
+class TestLoadEvents:
+    def test_halved_capacity_doubles_single_task(self):
+        tasks = [Task(task_id=0, query_id="q", query_length=1, cells=100)]
+        pes = [
+            PESpec(
+                "pe0",
+                UniformModel(rate=10.0),
+                load_profile=step_load((0.0, 0.5)),
+            )
+        ]
+        report = simulate(tasks, pes)
+        assert report.makespan == pytest.approx(20.0)
+
+    def test_mid_task_load_change_retimes(self):
+        tasks = [Task(task_id=0, query_id="q", query_length=1, cells=100)]
+        pes = [
+            PESpec(
+                "pe0",
+                UniformModel(rate=10.0),
+                load_profile=step_load((5.0, 0.5)),
+            )
+        ]
+        # 5 s at full rate does 50 cells; remaining 50 at half rate = 10 s.
+        report = simulate(tasks, pes)
+        assert report.makespan == pytest.approx(15.0)
+
+    def test_capacity_restored(self):
+        tasks = [Task(task_id=0, query_id="q", query_length=1, cells=100)]
+        pes = [
+            PESpec(
+                "pe0",
+                UniformModel(rate=10.0),
+                load_profile=step_load((2.0, 0.0), (4.0, 1.0)),
+            )
+        ]
+        # 2 s of work, 2 s stalled, then 8 s to finish.
+        report = simulate(tasks, pes)
+        assert report.makespan == pytest.approx(12.0)
+
+    def test_progress_reflects_load(self):
+        tasks = [Task(task_id=0, query_id="q", query_length=1, cells=200)]
+        pes = [
+            PESpec(
+                "pe0",
+                UniformModel(rate=10.0),
+                load_profile=step_load((10.0, 0.5)),
+            )
+        ]
+        report = simulate(tasks, pes)
+        series = report.progress_series("pe0")
+        early = [rate for t, rate in series if t <= 10.0]
+        late = [rate for t, rate in series if t > 11.0]
+        assert min(early) == pytest.approx(10.0)
+        assert max(late) == pytest.approx(5.0)
+
+
+class TestSchedulingBehaviour:
+    def test_ss_policy_round_trips_per_task(self):
+        report = simulate(
+            uniform_tasks(8),
+            fig5_platform(),
+            policy=SelfScheduling(),
+        )
+        assigns = [e for e in report.trace if e.kind == "assign"]
+        assert len(assigns) == 8  # one grant per task
+
+    def test_waiting_pe_eventually_terminates(self):
+        # One task, two PEs, adjustment off: the idle PE must poll,
+        # observe completion, and exit cleanly.
+        tasks = [Task(task_id=0, query_id="q", query_length=1, cells=10)]
+        pes = [
+            PESpec("fast", UniformModel(rate=10.0)),
+            PESpec("slow", UniformModel(rate=1.0)),
+        ]
+        report = simulate(tasks, pes, adjustment=False)
+        assert report.makespan == pytest.approx(1.0)
+
+    def test_comm_latency_delays_start(self):
+        tasks = [Task(task_id=0, query_id="q", query_length=1, cells=10)]
+        pes = [PESpec("pe0", UniformModel(rate=10.0))]
+        report = simulate(tasks, pes, comm_latency=0.1)
+        # Request reaches the master at 0.1, the task is delivered at
+        # 0.2, execution takes 1 s; completion is observed at 1.2.
+        assert report.makespan == pytest.approx(1.2)
+
+    def test_duplicate_pe_ids_rejected(self):
+        pes = [
+            PESpec("pe0", UniformModel(rate=1.0)),
+            PESpec("pe0", UniformModel(rate=2.0)),
+        ]
+        with pytest.raises(ValueError):
+            HybridSimulator(pes)
+
+    def test_empty_platform_rejected(self):
+        with pytest.raises(ValueError):
+            HybridSimulator([])
+
+    def test_gcups_accounting(self):
+        report = simulate(uniform_tasks(20), fig5_platform())
+        assert report.total_cells == 20 * 6
+        assert report.gcups == pytest.approx(
+            report.total_cells / report.makespan / 1e9
+        )
+
+    def test_heterogeneous_share_follows_speed(self):
+        """The 6x GPU should win roughly 2/3 of the tasks (Fig. 5: 14/20)."""
+        report = simulate(uniform_tasks(20), fig5_platform())
+        assert report.tasks_won["gpu1"] >= 12
+
+    def test_empty_workload(self):
+        report = simulate([], fig5_platform())
+        assert report.makespan == 0.0
+        assert sum(report.tasks_won.values()) == 0
+        assert report.intervals == []
+
+    def test_single_task_single_pe(self):
+        report = simulate(
+            uniform_tasks(1), [PESpec("solo", UniformModel(rate=6.0))]
+        )
+        assert report.makespan == pytest.approx(1.0)
+        assert report.tasks_won == {"solo": 1}
+
+    def test_more_pes_than_tasks(self):
+        """Extra PEs replicate the few tasks but cannot slow them down.
+
+        Initial allocation hands t1 to the GPU and t2 to SSE1; at t=1
+        the idle GPU replicates t2 and wins it at t=2 — six times
+        earlier than SSE1 would have finished alone.
+        """
+        report = simulate(uniform_tasks(2), fig5_platform())
+        assert report.makespan == pytest.approx(2.0)
+        assert report.tasks_won == {"gpu1": 2, "sse1": 0, "sse2": 0,
+                                    "sse3": 0}

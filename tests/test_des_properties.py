@@ -1,0 +1,143 @@
+"""Property-based tests of the discrete-event simulator.
+
+Randomized platforms x workloads x features (policies, adjustment,
+churn, load, master service time) must always satisfy the scheduler's
+global invariants: every task finishes exactly once, the makespan never
+beats the work/capacity bound, traces are internally consistent and
+runs are deterministic.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    PackageWeightedSelfScheduling,
+    SelfScheduling,
+    Task,
+)
+from repro.simulate import HybridSimulator, PESpec, UniformModel
+
+task_lists = st.lists(
+    st.integers(min_value=1, max_value=60), min_size=1, max_size=25
+).map(
+    lambda cells: [
+        Task(task_id=i, query_id=f"t{i}", query_length=1, cells=c)
+        for i, c in enumerate(cells)
+    ]
+)
+
+platforms = st.lists(
+    st.floats(min_value=0.5, max_value=12.0), min_size=1, max_size=6
+).map(
+    lambda rates: [
+        PESpec(f"pe{i}", UniformModel(rate=r)) for i, r in enumerate(rates)
+    ]
+)
+
+policies = st.sampled_from(["ss", "pss"])
+
+
+def _run(tasks, pes, policy_name, adjustment, service=0.0):
+    policy = (
+        SelfScheduling()
+        if policy_name == "ss"
+        else PackageWeightedSelfScheduling(max_batch=8)
+    )
+    simulator = HybridSimulator(
+        list(pes),
+        policy=policy,
+        adjustment=adjustment,
+        comm_latency=0.0,
+        master_service_time=service,
+    )
+    return simulator.run(list(tasks))
+
+
+class TestGlobalInvariants:
+    @given(task_lists, platforms, policies, st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_every_task_finishes_exactly_once(
+        self, tasks, pes, policy, adjustment
+    ):
+        report = _run(tasks, pes, policy, adjustment)
+        winners = [
+            e.task_id
+            for e in report.trace
+            if e.kind == "complete" and e.value
+        ]
+        assert sorted(winners) == [t.task_id for t in tasks]
+        assert sum(report.tasks_won.values()) == len(tasks)
+
+    @given(task_lists, platforms, policies, st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_makespan_at_least_work_over_capacity(
+        self, tasks, pes, policy, adjustment
+    ):
+        report = _run(tasks, pes, policy, adjustment)
+        total_work = sum(t.cells for t in tasks)
+        capacity = sum(spec.model.rate for spec in pes)
+        # The platform cannot beat its aggregate rate; also no single
+        # task can finish faster than the fastest PE computes it.
+        assert report.makespan >= total_work / capacity - 1e-9
+        fastest = max(spec.model.rate for spec in pes)
+        assert report.makespan >= max(
+            t.cells for t in tasks
+        ) / fastest - 1e-9
+
+    @given(task_lists, platforms, policies)
+    @settings(max_examples=25, deadline=None)
+    def test_adjustment_never_hurts_without_overheads(
+        self, tasks, pes, policy
+    ):
+        """With free communication, replicating can only remove tail."""
+        plain = _run(tasks, pes, policy, adjustment=False)
+        adjusted = _run(tasks, pes, policy, adjustment=True)
+        assert adjusted.makespan <= plain.makespan + 1e-9
+
+    @given(task_lists, platforms, policies, st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_determinism(self, tasks, pes, policy, adjustment):
+        first = _run(tasks, pes, policy, adjustment)
+        second = _run(tasks, pes, policy, adjustment)
+        assert first.makespan == second.makespan
+        assert first.tasks_won == second.tasks_won
+
+    @given(task_lists, platforms)
+    @settings(max_examples=25, deadline=None)
+    def test_trace_time_monotone_and_intervals_well_formed(
+        self, tasks, pes
+    ):
+        report = _run(tasks, pes, "pss", True)
+        times = [e.time for e in report.trace]
+        assert times == sorted(times)
+        for interval in report.intervals:
+            assert interval.end >= interval.start >= 0.0
+            assert interval.outcome in ("won", "lost", "cancelled")
+
+    @given(task_lists, platforms, st.floats(min_value=0.0, max_value=0.3))
+    @settings(max_examples=25, deadline=None)
+    def test_master_service_time_preserves_correctness(
+        self, tasks, pes, service
+    ):
+        """Service time may *reshuffle* the greedy schedule (Graham's
+        list-scheduling anomalies allow a delayed grant to shorten the
+        makespan on heterogeneous platforms), but it can never lose
+        work or beat the capacity bound."""
+        loaded = _run(tasks, pes, "ss", False, service=service)
+        assert sum(loaded.tasks_won.values()) == len(tasks)
+        capacity = sum(spec.model.rate for spec in pes)
+        total_work = sum(t.cells for t in tasks)
+        assert loaded.makespan >= total_work / capacity - 1e-9
+
+    @given(task_lists, st.floats(min_value=0.0, max_value=0.3))
+    @settings(max_examples=25, deadline=None)
+    def test_master_service_time_monotone_on_single_pe(
+        self, tasks, service
+    ):
+        """With one PE there is no anomaly: service delay only adds."""
+        pes = [PESpec("solo", UniformModel(rate=2.0))]
+        free = _run(tasks, pes, "ss", False, service=0.0)
+        loaded = _run(tasks, pes, "ss", False, service=service)
+        assert loaded.makespan >= free.makespan - 1e-9

@@ -1,0 +1,119 @@
+"""Unit tests for nucleotide helpers (reverse complement, two strands)."""
+
+import pytest
+
+from repro.align import (
+    linear_gap,
+    match_mismatch,
+    reverse_complement,
+    sw_score_both_strands,
+    sw_score_scan,
+)
+from repro.sequences import DNA, RNA, Sequence, random_sequence
+
+
+@pytest.fixture
+def dna_scoring():
+    return match_mismatch(1, -1), linear_gap(2)
+
+
+class TestReverseComplement:
+    def test_dna(self):
+        seq = Sequence(id="x", residues="ACGTN", alphabet=DNA)
+        assert reverse_complement(seq).residues == "NACGT"
+
+    def test_rna(self):
+        seq = Sequence(id="x", residues="ACGU", alphabet=RNA)
+        assert reverse_complement(seq).residues == "ACGU"  # palindrome
+
+    def test_involution(self, rng):
+        seq = random_sequence(50, rng, alphabet=DNA, seq_id="x")
+        double = reverse_complement(reverse_complement(seq))
+        assert double.residues == seq.residues
+
+    def test_protein_rejected(self, rng):
+        protein = random_sequence(10, rng, seq_id="p")
+        with pytest.raises(ValueError):
+            reverse_complement(protein)
+
+    def test_id_annotated(self):
+        seq = Sequence(id="x", residues="ACGT", alphabet=DNA)
+        assert reverse_complement(seq).id == "x(rc)"
+
+
+class TestBothStrands:
+    def test_forward_match(self, dna_scoring, rng):
+        matrix, gaps = dna_scoring
+        seq = random_sequence(30, rng, alphabet=DNA, seq_id="q")
+        hit = sw_score_both_strands(seq, seq, matrix, gaps)
+        assert hit.strand == "+"
+        assert hit.is_forward
+        assert hit.score == 30
+
+    def test_reverse_match_detected(self, dna_scoring, rng):
+        matrix, gaps = dna_scoring
+        subject = random_sequence(40, rng, alphabet=DNA, seq_id="t")
+        query = reverse_complement(subject)
+        hit = sw_score_both_strands(query, subject, matrix, gaps)
+        assert hit.strand == "-"
+        assert hit.score == 40
+
+    def test_score_is_max_of_strands(self, dna_scoring, rng):
+        matrix, gaps = dna_scoring
+        query = random_sequence(25, rng, alphabet=DNA, seq_id="q")
+        subject = random_sequence(35, rng, alphabet=DNA, seq_id="t")
+        forward = sw_score_scan(query, subject, matrix, gaps).score
+        reverse = sw_score_scan(
+            reverse_complement(query), subject, matrix, gaps
+        ).score
+        hit = sw_score_both_strands(query, subject, matrix, gaps)
+        assert hit.score == max(forward, reverse)
+
+
+class TestTwoStrandDatabaseSearch:
+    def test_reverse_strand_subject_found(self, dna_scoring, rng):
+        from repro.align import database_search
+        from repro.sequences import Sequence, SequenceDatabase
+
+        matrix, gaps = dna_scoring
+        target = random_sequence(50, rng, alphabet=DNA, seq_id="target")
+        decoys = [
+            random_sequence(50, rng, alphabet=DNA, seq_id=f"d{i}")
+            for i in range(10)
+        ]
+        db = SequenceDatabase([target] + decoys, name="strands")
+        query = reverse_complement(target)
+        forward_only = database_search(
+            query, db, matrix, gaps, top=1, strands="forward"
+        )
+        both = database_search(
+            query, db, matrix, gaps, top=1, strands="both"
+        )
+        assert both.best.subject_id == "target"
+        assert both.best.strand == "-"
+        assert both.best.score == 50
+        assert forward_only.best.score < 50
+
+    def test_forward_hits_marked_plus(self, dna_scoring, rng):
+        from repro.align import database_search
+        from repro.sequences import SequenceDatabase
+
+        matrix, gaps = dna_scoring
+        subject = random_sequence(40, rng, alphabet=DNA, seq_id="s")
+        db = SequenceDatabase([subject])
+        result = database_search(
+            subject, db, matrix, gaps, top=1, strands="both"
+        )
+        assert result.best.strand == "+"
+
+    def test_invalid_strands(self, dna_scoring, rng):
+        from repro.align import database_search
+        from repro.sequences import SequenceDatabase
+
+        matrix, gaps = dna_scoring
+        subject = random_sequence(10, rng, alphabet=DNA, seq_id="s")
+        with pytest.raises(ValueError):
+            database_search(
+                subject, SequenceDatabase([subject]), matrix, gaps,
+                strands="sideways",
+            )

@@ -1,0 +1,170 @@
+"""Cross-module edge cases collected during review."""
+
+import math
+
+import pytest
+
+from repro.align import BLOSUM62, DEFAULT_GAPS
+from repro.core import Master, SelfScheduling, Task, WeightedFixed
+from repro.core.policies import PolicyContext
+from repro.core.history import HistoryBook
+from repro.simulate import (
+    FPGAModel,
+    HybridSimulator,
+    PESpec,
+    UniformModel,
+    binned_rate_series,
+    gantt,
+)
+from repro.sequences import DNA, PROTEIN, Sequence, infer_alphabet
+
+
+def make_tasks(n):
+    return [
+        Task(task_id=i, query_id=f"q{i}", query_length=1, cells=2)
+        for i in range(n)
+    ]
+
+
+class TestSequencesEdges:
+    def test_full_range_slice(self):
+        seq = Sequence(id="x", residues="ACGT", alphabet=DNA)
+        assert seq.slice(0, 4).residues == "ACGT"
+
+    def test_inference_at_threshold(self):
+        # Exactly 90% nucleic characters counts as DNA.
+        residues = "ACGTACGTA" + "L"  # 9/10 nucleic
+        assert infer_alphabet(residues) is DNA
+        residues = "ACGTACGT" + "LL"  # 8/10
+        assert infer_alphabet(residues) is PROTEIN
+
+    def test_sequence_equality_ignores_code_cache(self):
+        a = Sequence(id="x", residues="ACGT", alphabet=DNA)
+        b = Sequence(id="x", residues="ACGT", alphabet=DNA)
+        _ = a.codes  # populate one side's cache only
+        assert a == b
+
+
+class TestModelEdges:
+    def test_fpga_segment_boundaries(self):
+        model = FPGAModel(max_query_length=1024, segment_overlap=128)
+        assert model.segments(1024) == 1
+        assert model.segments(1025) == 2
+        assert model.segments(1024 + (1024 - 128)) == 2
+        assert model.segments(1024 + (1024 - 128) + 1) == 3
+
+    def test_gap_model_str_roundtrip_info(self):
+        assert str(DEFAULT_GAPS) == "affine(open=10, extend=2)"
+
+    def test_blosum_wildcard_row_never_positive_offdiag(self):
+        x = BLOSUM62.alphabet.code_of("X")
+        row = BLOSUM62.scores[x]
+        assert row.max() <= 0  # X never rewards a match
+
+
+class TestMasterEdges:
+    def test_request_after_finish_is_done(self):
+        master = Master(make_tasks(1), policy=SelfScheduling())
+        master.register("a")
+        master.register("b")
+        grant = master.on_request("a", 0.0)
+        from repro.core import TaskResult
+
+        master.on_complete(
+            "a",
+            TaskResult(task_id=grant.tasks[0].task_id, pe_id="a",
+                       elapsed=1.0, cells=2),
+            1.0,
+        )
+        assert master.on_request("b", 2.0).done
+
+    def test_wfixed_zero_total_weight_degrades_gracefully(self):
+        policy = WeightedFixed({"a": 0.0})
+        history = HistoryBook()
+        history.register("a")
+        ctx = PolicyContext(
+            pe_id="a",
+            num_pes=1,
+            total_tasks=5,
+            ready_tasks=5,
+            tasks_already_assigned={"a": 0},
+            history=history,
+        )
+        assert policy.batch_size(ctx) == 1  # falls back to SS-like
+
+    def test_assignment_empty_predicate(self):
+        from repro.core.master import Assignment
+
+        assert Assignment().empty
+        assert not Assignment(done=True).empty
+
+
+class TestSimulateEdges:
+    def test_gantt_narrow_width(self):
+        sim = HybridSimulator(
+            [PESpec("pe0", UniformModel(rate=1.0))], comm_latency=0.0
+        )
+        report = sim.run(make_tasks(3))
+        text = gantt(report, width=10)
+        assert "|" in text and "pe0" in text
+
+    def test_binned_series_bin_larger_than_horizon(self):
+        sim = HybridSimulator(
+            [PESpec("pe0", UniformModel(rate=1.0))],
+            comm_latency=0.0,
+            notify_interval=0.5,
+        )
+        report = sim.run(make_tasks(4))
+        series = binned_rate_series(report, "pe0", bin_seconds=1e6)
+        assert len(series) == 1
+
+    def test_zero_capacity_from_start_then_restored(self):
+        from repro.simulate import step_load
+
+        spec = PESpec(
+            "pe0",
+            UniformModel(rate=1.0),
+            load_profile=step_load((0.0, 0.0), (5.0, 1.0)),
+        )
+        report = HybridSimulator([spec], comm_latency=0.0).run(make_tasks(1))
+        assert report.makespan == pytest.approx(7.0)  # 5 stalled + 2 work
+
+    def test_event_queue_len_after_run(self):
+        from repro.simulate import EventQueue
+
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None)
+        queue.run()
+        assert len(queue) == 0
+
+
+class TestStatisticsEdges:
+    def test_pvalue_saturates_at_one(self):
+        from repro.align import KarlinAltschul
+
+        ka = KarlinAltschul(lam=0.3, k=0.1)
+        p = ka.pvalue(1, 10_000, 10_000_000)
+        assert p == pytest.approx(1.0)
+
+    def test_bit_score_monotone(self):
+        from repro.align import KarlinAltschul
+
+        ka = KarlinAltschul(lam=0.3, k=0.1)
+        bits = [ka.bit_score(s) for s in (10, 20, 40, 80)]
+        assert bits == sorted(bits)
+        assert not math.isnan(bits[0])
+
+
+class TestNetworkEdges:
+    def test_message_sizes_defaults(self):
+        from repro.simulate import MessageSizes
+
+        sizes = MessageSizes()
+        assert sizes.result == 64 + 72 * 10
+
+    def test_self_hosted_master_link_is_local(self):
+        from repro.simulate import NetworkModel
+
+        network = NetworkModel(master_host="hostX")
+        assert network.link_for("hostX").name == "shared-memory"
+        assert network.link_for("hostY").name == "gigabit-ethernet"

@@ -1,0 +1,92 @@
+"""Unit tests for the deterministic event queue."""
+
+import pytest
+
+from repro.simulate import EventQueue
+
+
+class TestOrdering:
+    def test_time_order(self):
+        queue = EventQueue()
+        log = []
+        queue.schedule(2.0, lambda: log.append("b"))
+        queue.schedule(1.0, lambda: log.append("a"))
+        queue.schedule(3.0, lambda: log.append("c"))
+        queue.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_fire_in_schedule_order(self):
+        queue = EventQueue()
+        log = []
+        for name in "abcd":
+            queue.schedule(1.0, lambda n=name: log.append(n))
+        queue.run()
+        assert log == ["a", "b", "c", "d"]
+
+    def test_now_advances(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(5.0, lambda: seen.append(queue.now))
+        assert queue.run() == 5.0
+        assert seen == [5.0]
+
+    def test_events_scheduled_during_run(self):
+        queue = EventQueue()
+        log = []
+
+        def first():
+            log.append(("first", queue.now))
+            queue.schedule(queue.now + 1.0, second)
+
+        def second():
+            log.append(("second", queue.now))
+
+        queue.schedule(1.0, first)
+        queue.run()
+        assert log == [("first", 1.0), ("second", 2.0)]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        queue = EventQueue()
+        log = []
+        handle = queue.schedule(1.0, lambda: log.append("x"))
+        handle.cancel()
+        queue.run()
+        assert log == []
+        assert not handle.active
+
+    def test_len_ignores_cancelled(self):
+        queue = EventQueue()
+        handle = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        assert len(queue) == 2
+        handle.cancel()
+        assert len(queue) == 1
+
+
+class TestGuards:
+    def test_past_scheduling_rejected(self):
+        queue = EventQueue()
+        queue.schedule(5.0, lambda: None)
+        queue.run()
+        with pytest.raises(ValueError):
+            queue.schedule(1.0, lambda: None)
+
+    def test_until_stops_early(self):
+        queue = EventQueue()
+        log = []
+        queue.schedule(1.0, lambda: log.append(1))
+        queue.schedule(10.0, lambda: log.append(10))
+        assert queue.run(until=5.0) == 5.0
+        assert log == [1]
+
+    def test_runaway_guard(self):
+        queue = EventQueue()
+
+        def loop():
+            queue.schedule(queue.now, loop)
+
+        queue.schedule(0.0, loop)
+        with pytest.raises(RuntimeError):
+            queue.run(max_events=100)

@@ -1,0 +1,49 @@
+"""Smoke tests: the example scripts must run end to end.
+
+Each example is executed in-process via ``runpy`` so failures carry a
+usable traceback.  Only the quick examples run here (the full set is
+exercised manually / by CI at longer timeouts); together they still
+cover every subsystem: kernels, runtime, DES, churn, DNA, statistics.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+QUICK_EXAMPLES = [
+    "quickstart.py",
+    "read_mapping.py",
+    "policy_comparison.py",
+    "elastic_platform.py",
+    "nondedicated_adaptive.py",
+]
+
+
+@pytest.mark.parametrize("script", QUICK_EXAMPLES)
+def test_example_runs(script, capsys):
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    saved_argv = sys.argv
+    sys.argv = [str(path)]
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_example_inventory():
+    """Every example advertised by the README exists and is runnable
+    Python (compiles)."""
+    scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 8
+    for script in scripts:
+        source = (EXAMPLES / script).read_text()
+        compile(source, script, "exec")
+        assert '"""' in source[:200], f"{script} lacks a docstring"
+        assert "def main()" in source, f"{script} lacks a main()"

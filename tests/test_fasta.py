@@ -1,0 +1,107 @@
+"""Unit tests for repro.sequences.fasta."""
+
+import io
+
+import pytest
+
+from repro.sequences import (
+    PROTEIN,
+    FastaError,
+    Sequence,
+    format_fasta,
+    iter_fasta,
+    read_fasta,
+    write_fasta,
+)
+
+SAMPLE = """>seq1 first protein
+MKVLAW
+YRND
+>seq2
+ACDEFG
+"""
+
+
+class TestParsing:
+    def test_basic(self):
+        records = read_fasta(io.StringIO(SAMPLE))
+        assert [r.id for r in records] == ["seq1", "seq2"]
+        assert records[0].residues == "MKVLAWYRND"
+        assert records[0].description == "first protein"
+        assert records[1].description == ""
+
+    def test_streaming_iterator(self):
+        stream = iter_fasta(io.StringIO(SAMPLE))
+        first = next(stream)
+        assert first.id == "seq1"
+        assert next(stream).id == "seq2"
+        with pytest.raises(StopIteration):
+            next(stream)
+
+    def test_blank_lines_and_comments_skipped(self):
+        text = ";comment\n\n>a\nAC\n\nGT\n;tail\n"
+        records = read_fasta(io.StringIO(text))
+        assert records[0].residues == "ACGT"
+
+    def test_crlf(self):
+        text = ">a desc\r\nACGT\r\n"
+        records = read_fasta(io.StringIO(text))
+        assert records[0].residues == "ACGT"
+        assert records[0].description == "desc"
+
+    def test_lowercase_residues_uppercased(self):
+        records = read_fasta(io.StringIO(">a\nacgt\n"))
+        assert records[0].residues == "ACGT"
+
+    def test_data_before_header_raises(self):
+        with pytest.raises(FastaError):
+            read_fasta(io.StringIO("ACGT\n>a\nACGT\n"))
+
+    def test_empty_header_raises(self):
+        with pytest.raises(FastaError):
+            read_fasta(io.StringIO(">\nACGT\n"))
+
+    def test_empty_file(self):
+        assert read_fasta(io.StringIO("")) == []
+
+    def test_forced_alphabet(self):
+        records = read_fasta(io.StringIO(">a\nACGT\n"), alphabet=PROTEIN)
+        assert records[0].alphabet is PROTEIN
+
+    def test_from_path(self, tmp_path):
+        path = tmp_path / "db.fasta"
+        path.write_text(SAMPLE)
+        records = read_fasta(path)
+        assert len(records) == 2
+
+
+class TestWriting:
+    def test_roundtrip(self, tmp_path):
+        records = [
+            Sequence(id="a", residues="ACGT" * 40, description="long one"),
+            Sequence(id="b", residues="MKVLAW"),
+        ]
+        path = tmp_path / "out.fasta"
+        count = write_fasta(records, path)
+        assert count == 2
+        back = read_fasta(path)
+        assert [r.id for r in back] == ["a", "b"]
+        assert back[0].residues == records[0].residues
+        assert back[0].description == "long one"
+
+    def test_line_wrapping(self):
+        text = format_fasta(
+            [Sequence(id="a", residues="A" * 130)], width=60
+        )
+        body = [line for line in text.splitlines() if not line.startswith(">")]
+        assert [len(line) for line in body] == [60, 60, 10]
+
+    def test_single_line_mode(self):
+        text = format_fasta([Sequence(id="a", residues="A" * 130)], width=0)
+        body = [line for line in text.splitlines() if not line.startswith(">")]
+        assert len(body) == 1
+
+    def test_write_to_handle(self):
+        buffer = io.StringIO()
+        write_fasta([Sequence(id="a", residues="ACGT")], buffer)
+        assert buffer.getvalue().startswith(">a\n")

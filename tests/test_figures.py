@@ -1,0 +1,113 @@
+"""Tests asserting the paper's figure-level claims on regenerated data."""
+
+import pytest
+
+from repro.bench import (
+    fig5_schedule,
+    fig6_adjustment,
+    fig7_dedicated,
+    fig8_nondedicated,
+    headline,
+)
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return fig6_adjustment()
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return fig7_dedicated()
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return fig8_nondedicated()
+
+
+class TestFig5:
+    def test_paper_numbers_exact(self):
+        result = fig5_schedule()
+        assert result.makespans == (14.0, 18.0)
+
+    def test_render_mentions_both(self):
+        text = fig5_schedule().render()
+        assert "(a) with workload adjustment (14s)" in text
+        assert "(b) without workload adjustment (18s)" in text
+
+
+class TestFig6:
+    def test_negligible_impact_when_homogeneous(self, fig6):
+        for config in ("1GPU", "2GPUs", "4GPUs"):
+            assert abs(fig6.gain_percent(config)) < 8.0
+
+    def test_large_gain_on_hybrids(self, fig6):
+        assert fig6.gain_percent("1GPU+4SSEs") > 15.0
+        assert fig6.gain_percent("2GPUs+4SSEs") > 15.0
+        assert fig6.gain_percent("4GPUs+4SSEs") > 80.0
+
+    def test_hybrid_with_adjustment_beats_gpu_only(self, fig6):
+        rows = dict(zip(fig6.configurations, fig6.gcups_with))
+        assert rows["1GPU+4SSEs"] > rows["1GPU"]
+        assert rows["2GPUs+4SSEs"] > rows["2GPUs"]
+        assert rows["4GPUs+4SSEs"] > rows["4GPUs"]
+
+    def test_without_adjustment_hybrid_can_fall_below_gpu_only(self, fig6):
+        """The paper's motivating observation: "without this mechanism,
+        many of the hybrid executions would not be better than the
+        GPU-only executions"."""
+        rows_without = dict(zip(fig6.configurations, fig6.gcups_without))
+        assert rows_without["4GPUs+4SSEs"] < rows_without["4GPUs"]
+
+
+class TestFig7:
+    def test_all_cores_busy_throughout(self, fig7):
+        for pe in ("sse0", "sse1", "sse2", "sse3"):
+            series = [r for _, r in fig7.series[pe]]
+            busy = [r for r in series[:-1] if r > 0]
+            assert len(busy) >= len(series) - 3
+
+    def test_small_jitter_only(self, fig7):
+        """Dedicated run: rates stay within a few percent of 2.8 GCUPS."""
+        for pe in ("sse0", "sse1", "sse2", "sse3"):
+            rates = [r for _, r in fig7.series[pe] if r > 0]
+            assert max(rates) <= 2.85
+            assert min(rates) >= 2.4
+
+
+class TestFig8:
+    def test_core0_rate_halves_after_load(self, fig8):
+        before = [r for t, r in fig8.series["sse0"] if 10 <= t < 55 and r > 0]
+        after = [r for t, r in fig8.series["sse0"] if 70 <= t < 110 and r > 0]
+        assert min(before) > 2.4
+        assert max(after) < 1.5  # "reduced to less than a half"
+
+    def test_other_cores_unaffected(self, fig8):
+        for pe in ("sse1", "sse2", "sse3"):
+            rates = [r for t, r in fig8.series[pe] if 70 <= t < 110 and r > 0]
+            assert min(rates) > 2.4
+
+    def test_wallclock_augmentation_below_capacity_loss(self, fig7, fig8):
+        """Paper: +12.1% wallclock for ~15% capacity loss — PSS adapts,
+        so the augmentation is positive but below the raw loss."""
+        augmentation = fig8.wallclock / fig7.wallclock - 1.0
+        assert 0.0 < augmentation < 0.16
+
+
+class TestHeadline:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return headline()
+
+    def test_one_sse_core_near_7190s(self, result):
+        assert result.one_sse_seconds == pytest.approx(7_190, rel=0.05)
+
+    def test_hybrid_near_112s(self, result):
+        assert result.full_hybrid_seconds == pytest.approx(112, rel=0.25)
+
+    def test_speedup_order_of_magnitude(self, result):
+        assert result.speedup > 45
+
+    def test_adjustment_saving_near_57_percent(self, result):
+        assert result.adjustment_saving_percent == pytest.approx(57.2, abs=12)

@@ -1,0 +1,43 @@
+"""Unit tests for gap models."""
+
+import pytest
+
+from repro.align import DEFAULT_GAPS, GapModel, affine_gap, linear_gap
+
+
+class TestGapModel:
+    def test_linear(self):
+        gaps = linear_gap(2)
+        assert gaps.is_linear
+        assert gaps.cost(1) == 2
+        assert gaps.cost(5) == 10
+
+    def test_affine(self):
+        gaps = affine_gap(10, 2)
+        assert not gaps.is_linear
+        assert gaps.cost(1) == 10
+        assert gaps.cost(2) == 12
+        assert gaps.cost(5) == 18
+
+    def test_zero_length(self):
+        assert affine_gap(10, 2).cost(0) == 0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            affine_gap(10, 2).cost(-1)
+
+    def test_negative_penalties_rejected(self):
+        with pytest.raises(ValueError):
+            GapModel(open=-1, extend=0)
+
+    def test_extend_cannot_exceed_open(self):
+        with pytest.raises(ValueError):
+            GapModel(open=2, extend=5)
+
+    def test_default(self):
+        assert DEFAULT_GAPS.open == 10
+        assert DEFAULT_GAPS.extend == 2
+
+    def test_str(self):
+        assert "linear" in str(linear_gap(3))
+        assert "affine" in str(affine_gap(10, 2))

@@ -1,0 +1,117 @@
+"""Unit tests for linear-space alignment (Hirschberg / Myers-Miller)."""
+
+import pytest
+
+from repro.align import (
+    affine_gap,
+    align_linear_space,
+    global_align_linear_space,
+    linear_gap,
+    match_mismatch,
+    sw_align_reference,
+    sw_score_reference,
+)
+from repro.sequences import random_sequence
+
+from conftest import make_protein
+
+
+class TestLocalLinearSpace:
+    @pytest.mark.parametrize("go,ge", [(10, 2), (5, 5), (4, 1)])
+    def test_score_and_rescore_match_reference(
+        self, rng, blosum62, go, ge
+    ):
+        gaps = affine_gap(go, ge)
+        for _ in range(8):
+            s = random_sequence(int(rng.integers(5, 80)), rng, seq_id="s")
+            t = random_sequence(int(rng.integers(5, 80)), rng, seq_id="t")
+            expected = sw_score_reference(s, t, blosum62, gaps)
+            alignment = align_linear_space(s, t, blosum62, gaps)
+            assert alignment.score == expected
+            assert alignment.rescore(blosum62, gaps) == expected
+
+    def test_coordinates_consistent(self, rng, blosum62, default_gaps):
+        s = random_sequence(60, rng, seq_id="s")
+        t = random_sequence(60, rng, seq_id="t")
+        alignment = align_linear_space(s, t, blosum62, default_gaps)
+        assert (
+            s.residues[alignment.query_start : alignment.query_end]
+            == alignment.aligned_query.replace("-", "")
+        )
+        assert (
+            t.residues[alignment.subject_start : alignment.subject_end]
+            == alignment.aligned_subject.replace("-", "")
+        )
+
+    def test_zero_score(self, blosum62, default_gaps):
+        s = make_protein("PPPP", "s")
+        t = make_protein("WWWW", "t")
+        alignment = align_linear_space(s, t, blosum62, default_gaps)
+        assert alignment.score == sw_score_reference(
+            s, t, blosum62, default_gaps
+        )
+
+    def test_matches_quadratic_traceback_score(self, rng, blosum62):
+        gaps = affine_gap(6, 1)
+        s = random_sequence(50, rng, seq_id="s")
+        t = random_sequence(70, rng, seq_id="t")
+        quadratic = sw_align_reference(s, t, blosum62, gaps)
+        linear = align_linear_space(s, t, blosum62, gaps)
+        assert linear.score == quadratic.score
+        # Co-optimal alignments may differ; both must price identically.
+        assert linear.rescore(blosum62, gaps) == quadratic.rescore(
+            blosum62, gaps
+        )
+
+    def test_long_sequences(self, rng, blosum62, default_gaps):
+        s = random_sequence(400, rng, seq_id="s")
+        t = random_sequence(500, rng, seq_id="t")
+        alignment = align_linear_space(s, t, blosum62, default_gaps)
+        assert alignment.rescore(blosum62, default_gaps) == alignment.score
+
+    def test_linear_gap_model(self, rng):
+        matrix = match_mismatch(2, -1)
+        gaps = linear_gap(2)
+        from repro.sequences import DNA
+
+        for _ in range(5):
+            s = random_sequence(int(rng.integers(4, 50)), rng, alphabet=DNA,
+                                seq_id="s")
+            t = random_sequence(int(rng.integers(4, 50)), rng, alphabet=DNA,
+                                seq_id="t")
+            alignment = align_linear_space(s, t, matrix, gaps)
+            assert alignment.score == sw_score_reference(s, t, matrix, gaps)
+            assert alignment.rescore(matrix, gaps) == alignment.score
+
+
+class TestGlobalLinearSpace:
+    def test_identical(self, blosum62, default_gaps):
+        s = make_protein("MKVLAWYRND", "s")
+        q, t = global_align_linear_space(s, s, blosum62, default_gaps)
+        assert q == t == s.residues
+
+    def test_forced_deletion(self, blosum62, default_gaps):
+        s = make_protein("MKVLAWYRND", "s")
+        t = make_protein("MKVLYRND", "t")
+        q, u = global_align_linear_space(s, t, blosum62, default_gaps)
+        assert q.replace("-", "") == s.residues
+        assert u.replace("-", "") == t.residues
+        assert u.count("-") == 2
+
+    def test_all_gaps_cases(self, blosum62, default_gaps):
+        s = make_protein("MKV", "s")
+        empty = make_protein("", "t")
+        q, t = global_align_linear_space(s, empty, blosum62, default_gaps)
+        assert q == "MKV"
+        assert t == "---"
+        q, t = global_align_linear_space(empty, s, blosum62, default_gaps)
+        assert q == "---"
+        assert t == "MKV"
+
+    def test_single_residue_query(self, blosum62, default_gaps):
+        s = make_protein("W", "s")
+        t = make_protein("AWAA", "t")
+        q, u = global_align_linear_space(s, t, blosum62, default_gaps)
+        assert q.replace("-", "") == "W"
+        assert u.replace("-", "") == "AWAA"
+        assert len(q) == len(u)

@@ -1,0 +1,109 @@
+"""Unit tests for the Omega-window rate estimation (PSS input)."""
+
+import pytest
+
+from repro.core import HistoryBook, RateEstimator, RateSample
+
+
+def sample(time: float, cells: float, interval: float = 1.0) -> RateSample:
+    return RateSample(time=time, cells=cells, interval=interval)
+
+
+class TestRateSample:
+    def test_rate(self):
+        assert sample(0, 50, 2.0).rate == 25.0
+
+    def test_zero_interval_rate(self):
+        assert sample(0, 50, 0.0).rate == 0.0
+
+
+class TestRateEstimator:
+    def test_no_samples_returns_none(self):
+        assert RateEstimator().rate() is None
+
+    def test_single_sample(self):
+        estimator = RateEstimator()
+        estimator.observe(sample(0, 42))
+        assert estimator.rate() == pytest.approx(42.0)
+
+    def test_weighted_mean_prefers_recent(self):
+        estimator = RateEstimator(omega=2)
+        estimator.observe(sample(0, 10))
+        estimator.observe(sample(1, 40))
+        # Weights 1 (old) and 2 (new): (10 + 80) / 3 = 30.
+        assert estimator.rate() == pytest.approx(30.0)
+
+    def test_window_evicts_old_samples(self):
+        estimator = RateEstimator(omega=3)
+        for t, cells in enumerate([100, 1, 1, 1]):
+            estimator.observe(sample(t, cells))
+        # The 100-rate sample fell out of the window.
+        assert estimator.rate() == pytest.approx(1.0)
+
+    def test_small_omega_reacts_faster(self):
+        fast = RateEstimator(omega=1)
+        slow = RateEstimator(omega=8)
+        for t in range(8):
+            for est in (fast, slow):
+                est.observe(sample(t, 10))
+        for est in (fast, slow):
+            est.observe(sample(9, 100))
+        assert fast.rate() == pytest.approx(100.0)
+        assert slow.rate() < 50.0
+
+    def test_mean_bounded_by_extremes(self):
+        estimator = RateEstimator(omega=5)
+        rates = [3, 8, 2, 9, 4]
+        for t, cells in enumerate(rates):
+            estimator.observe(sample(t, cells))
+        assert min(rates) <= estimator.rate() <= max(rates)
+
+    def test_zero_interval_samples_skipped(self):
+        estimator = RateEstimator()
+        estimator.observe(sample(0, 10, interval=0.0))
+        assert estimator.rate() is None
+
+    def test_negative_rejected(self):
+        estimator = RateEstimator()
+        with pytest.raises(ValueError):
+            estimator.observe(sample(0, -1))
+
+    def test_omega_validation(self):
+        with pytest.raises(ValueError):
+            RateEstimator(omega=0)
+
+    def test_clear(self):
+        estimator = RateEstimator()
+        estimator.observe(sample(0, 10))
+        estimator.clear()
+        assert estimator.rate() is None
+
+
+class TestHistoryBook:
+    def test_register_and_observe(self):
+        book = HistoryBook()
+        book.register("pe0")
+        book.observe("pe0", sample(0, 7))
+        assert book.rate("pe0") == pytest.approx(7.0)
+        assert "pe0" in book
+        assert len(book) == 1
+
+    def test_unregistered_pe_rejected(self):
+        book = HistoryBook()
+        with pytest.raises(KeyError):
+            book.observe("ghost", sample(0, 1))
+
+    def test_known_rates_excludes_silent_pes(self):
+        book = HistoryBook()
+        book.register("pe0")
+        book.register("pe1")
+        book.observe("pe0", sample(0, 5))
+        assert book.known_rates() == {"pe0": pytest.approx(5.0)}
+        assert book.rates()["pe1"] is None
+
+    def test_register_idempotent(self):
+        book = HistoryBook()
+        book.register("pe0")
+        book.observe("pe0", sample(0, 5))
+        book.register("pe0")  # must not clear history
+        assert book.rate("pe0") == pytest.approx(5.0)

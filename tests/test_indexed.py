@@ -1,0 +1,121 @@
+"""Unit tests for the paper's indexed sequence format (Section IV-B)."""
+
+import pytest
+
+from repro.sequences import (
+    IndexedFileError,
+    IndexedReader,
+    IndexedWriter,
+    Sequence,
+    index_fasta,
+    write_fasta,
+    write_indexed,
+)
+
+
+@pytest.fixture
+def records():
+    return [
+        Sequence(id="a", residues="ACGTACGT", description="first"),
+        Sequence(id="b", residues="MKVLAWYRNDMKVLAWYRND"),
+        Sequence(id="c", residues="AC"),
+    ]
+
+
+@pytest.fixture
+def indexed_path(tmp_path, records):
+    path = tmp_path / "db.seqx"
+    write_indexed(records, path)
+    return path
+
+
+class TestRoundtrip:
+    def test_count_and_longest(self, indexed_path):
+        with IndexedReader(indexed_path) as reader:
+            assert len(reader) == 3
+            assert reader.longest == 20
+
+    def test_records_roundtrip(self, indexed_path, records):
+        with IndexedReader(indexed_path) as reader:
+            for original, loaded in zip(records, reader):
+                assert loaded.id == original.id
+                assert loaded.residues == original.residues
+                assert loaded.description == original.description
+
+    def test_random_access(self, indexed_path):
+        with IndexedReader(indexed_path) as reader:
+            assert reader[1].id == "b"
+            assert reader[-1].id == "c"
+            assert reader[0].id == "a"  # seek back works
+
+    def test_slice_access(self, indexed_path):
+        with IndexedReader(indexed_path) as reader:
+            assert [r.id for r in reader[0:2]] == ["a", "b"]
+
+    def test_out_of_range(self, indexed_path):
+        with IndexedReader(indexed_path) as reader:
+            with pytest.raises(IndexError):
+                reader[3]
+
+    def test_offsets_monotonic(self, indexed_path):
+        with IndexedReader(indexed_path) as reader:
+            offsets = reader.offsets
+            assert offsets == sorted(offsets)
+            assert all(isinstance(v, int) for v in offsets)
+
+    def test_empty_database(self, tmp_path):
+        path = tmp_path / "empty.seqx"
+        write_indexed([], path)
+        with IndexedReader(path) as reader:
+            assert len(reader) == 0
+            assert reader.longest == 0
+
+
+class TestIndexFasta:
+    def test_convert(self, tmp_path, records):
+        fasta = tmp_path / "db.fasta"
+        write_fasta(records, fasta)
+        out = tmp_path / "db.seqx"
+        stats = index_fasta(fasta, out)
+        assert stats.count == 3
+        assert stats.longest == 20
+        with IndexedReader(out) as reader:
+            assert reader[2].residues == "AC"
+
+
+class TestCorruption:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.seqx"
+        path.write_bytes(b"NOTMAGIC" + b"\x00" * 32)
+        with pytest.raises(IndexedFileError):
+            IndexedReader(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "short.seqx"
+        path.write_bytes(b"REPRO")
+        with pytest.raises(IndexedFileError):
+            IndexedReader(path)
+
+    def test_truncated_offsets(self, tmp_path):
+        import struct
+
+        path = tmp_path / "trunc.seqx"
+        path.write_bytes(struct.pack("<8sQQ", b"REPROSQ1", 5, 10) + b"\x00" * 8)
+        with pytest.raises(IndexedFileError):
+            IndexedReader(path)
+
+    def test_truncated_body(self, tmp_path, records, indexed_path):
+        data = indexed_path.read_bytes()
+        clipped = tmp_path / "clip.seqx"
+        clipped.write_bytes(data[:-5])
+        with IndexedReader(clipped) as reader:
+            with pytest.raises(IndexedFileError):
+                reader[2]
+
+    def test_writer_double_close(self, tmp_path):
+        writer = IndexedWriter(tmp_path / "x.seqx")
+        writer.close()
+        with pytest.raises(IndexedFileError):
+            writer.close()
+        with pytest.raises(IndexedFileError):
+            writer.add(Sequence(id="a", residues="AC"))

@@ -1,0 +1,107 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.align import BLOSUM62, DEFAULT_GAPS, database_search, sw_align
+from repro.core import (
+    HybridRuntime,
+    InterSequenceEngine,
+    PackageWeightedSelfScheduling,
+    ScanEngine,
+    StripedSSEEngine,
+)
+from repro.sequences import (
+    SequenceDatabase,
+    implant_homology,
+    index_fasta,
+    query_set,
+    random_database,
+    write_fasta,
+)
+
+
+class TestFileToSearchPipeline:
+    """FASTA -> indexed format -> hybrid runtime -> merged results."""
+
+    def test_full_pipeline(self, tmp_path, rng):
+        database = random_database(30, 60.0, rng, name="pipe")
+        queries = query_set(3, rng, min_length=25, max_length=50)
+
+        fasta_path = tmp_path / "db.fasta"
+        write_fasta(database, fasta_path)
+        indexed_path = tmp_path / "db.seqx"
+        stats = index_fasta(fasta_path, indexed_path)
+        assert stats.count == 30
+
+        loaded = SequenceDatabase.from_indexed(indexed_path, name="pipe")
+        assert loaded.total_residues == database.total_residues
+
+        runtime = HybridRuntime(
+            {
+                "gpu0": InterSequenceEngine(BLOSUM62, DEFAULT_GAPS,
+                                            chunk_size=8),
+                "sse0": StripedSSEEngine(BLOSUM62, DEFAULT_GAPS, chunk_size=8),
+                "scan0": ScanEngine(BLOSUM62, DEFAULT_GAPS, chunk_size=8),
+            },
+            policy=PackageWeightedSelfScheduling(),
+        )
+        report = runtime.run(queries, loaded)
+        for query in queries:
+            expected = database_search(
+                query, loaded, BLOSUM62, DEFAULT_GAPS, top=10
+            ).hits
+            got = report.results[query.id]
+            assert [(h.subject_index, h.score) for h in got] == [
+                (h.subject_index, h.score) for h in expected
+            ]
+
+
+class TestBiologicalScenario:
+    """Planted homologs must surface as the top hit, with a sensible
+    alignment behind the score."""
+
+    def test_homolog_detection_and_alignment(self, rng):
+        database = random_database(40, 90.0, rng, name="genome")
+        query = query_set(1, rng, min_length=80, max_length=80)[0]
+        planted = implant_homology(
+            database, query, [11, 29], rng, substitution_rate=0.12
+        )
+        result = database_search(query, planted, top=5)
+        top_ids = {hit.subject_id for hit in result.hits[:2]}
+        assert top_ids == {
+            f"homolog_of_{query.id}@11",
+            f"homolog_of_{query.id}@29",
+        }
+        # Alignment of the best hit spans most of the query.
+        best = planted[result.best.subject_index]
+        alignment = sw_align(query, best)
+        assert alignment.score == result.best.score
+        assert alignment.identity > 0.6
+        assert (alignment.query_end - alignment.query_start) > 0.7 * len(query)
+
+
+class TestSimulationMatchesRealScheduling:
+    """The DES and the threaded runtime share the Master; on an SS
+    workload the number of assignments must match exactly."""
+
+    def test_assignment_counts_agree(self, rng):
+        from repro.bench import uniform_tasks
+        from repro.core import SelfScheduling
+        from repro.simulate import HybridSimulator, PESpec, UniformModel
+
+        tasks = uniform_tasks(10)
+        sim = HybridSimulator(
+            [
+                PESpec("a", UniformModel(rate=2.0)),
+                PESpec("b", UniformModel(rate=1.0)),
+            ],
+            policy=SelfScheduling(),
+            comm_latency=0.0,
+        )
+        report = sim.run(tasks)
+        assigns = [e for e in report.trace if e.kind == "assign"]
+        assert len(assigns) == 10
+        assert sum(report.tasks_won.values()) == 10
+        # The 2x PE completes about twice the tasks.
+        assert report.tasks_won["a"] > report.tasks_won["b"]

@@ -1,0 +1,111 @@
+"""Unit tests for the tabular / pairwise output writers."""
+
+import io
+
+import pytest
+
+from repro.align import (
+    Alignment,
+    BLOSUM62,
+    DEFAULT_GAPS,
+    SearchHit,
+    database_search,
+    sw_align,
+)
+from repro.align.io_formats import (
+    alignment_to_tabular,
+    hits_to_tabular,
+    pairwise_report,
+    write_tabular,
+)
+from repro.sequences import random_sequence
+
+
+@pytest.fixture
+def alignment():
+    return Alignment(
+        query_id="q1", subject_id="s1", score=42,
+        aligned_query="ACG-TACGT", aligned_subject="ACGATAC-T",
+        query_start=2, query_end=10, subject_start=5, subject_end=13,
+    )
+
+
+class TestAlignmentTabular:
+    def test_twelve_columns(self, alignment):
+        line = alignment_to_tabular(alignment, evalue=1e-5, bit_score=30.2)
+        fields = line.split("\t")
+        assert len(fields) == 12
+        assert fields[0] == "q1"
+        assert fields[1] == "s1"
+        assert fields[10] == "1e-05"
+        assert fields[11] == "30.2"
+
+    def test_one_based_coordinates(self, alignment):
+        fields = alignment_to_tabular(alignment).split("\t")
+        assert fields[6] == "3"  # qstart = 2 + 1
+        assert fields[7] == "10"
+        assert fields[8] == "6"
+        assert fields[9] == "13"
+
+    def test_gap_opens_counted_as_runs(self, alignment):
+        fields = alignment_to_tabular(alignment).split("\t")
+        assert fields[5] == "2"  # two distinct gap runs
+
+    def test_score_fallback_without_statistics(self, alignment):
+        fields = alignment_to_tabular(alignment).split("\t")
+        assert fields[10] == "*"
+        assert fields[11] == "42"
+
+    def test_identity_percent(self, alignment):
+        fields = alignment_to_tabular(alignment).split("\t")
+        # 7 matches over 9 columns.
+        assert fields[2] == f"{100 * 7 / 9:.2f}"
+
+
+class TestHitsTabular:
+    def test_search_result_rows(self, rng, mini_database):
+        query = random_sequence(30, rng, seq_id="q")
+        result = database_search(
+            query, mini_database, top=4, statistics="auto"
+        )
+        rows = hits_to_tabular(result)
+        assert len(rows) == 4
+        for row, hit in zip(rows, result.hits):
+            fields = row.split("\t")
+            assert fields[1] == hit.subject_id
+            assert fields[11] == f"{hit.bit_score:.1f}"
+
+
+class TestWriteTabular:
+    def test_header_and_rows(self):
+        text = write_tabular(["a\tb", "c\td"])
+        lines = text.splitlines()
+        assert lines[0].startswith("# qseqid\tsseqid")
+        assert lines[1:] == ["a\tb", "c\td"]
+
+    def test_no_header(self):
+        assert write_tabular(["x"], header=False) == "x\n"
+
+    def test_writes_to_handle(self):
+        buffer = io.StringIO()
+        write_tabular(["x"], destination=buffer)
+        assert "x" in buffer.getvalue()
+
+
+class TestPairwiseReport:
+    def test_blocks(self, rng, mini_database):
+        query = random_sequence(30, rng, seq_id="q")
+        result = database_search(
+            query, mini_database, top=2, statistics="auto"
+        )
+        pairs = []
+        for hit in result.hits:
+            alignment = sw_align(
+                query, mini_database[hit.subject_index], BLOSUM62,
+                DEFAULT_GAPS,
+            )
+            pairs.append((alignment, hit))
+        report = pairwise_report(pairs, database_name=mini_database.name)
+        assert report.count(">>") == 2
+        assert "identity:" in report
+        assert "E(mini):" in report

@@ -1,0 +1,72 @@
+"""Unit tests for external-load profile generation."""
+
+import numpy as np
+import pytest
+
+from repro.simulate import competing_process, os_jitter, step_load
+from repro.simulate.loadgen import combine_profiles
+
+
+class TestStepLoad:
+    def test_sorted(self):
+        profile = step_load((5.0, 0.5), (1.0, 0.8))
+        assert profile == ((1.0, 0.8), (5.0, 0.5))
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            step_load((-1.0, 0.5))
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            step_load((1.0, -0.5))
+
+
+class TestCompetingProcess:
+    def test_superpi_default(self):
+        profile = competing_process(60.0)
+        assert profile == ((60.0, 0.45),)
+
+    def test_with_stop(self):
+        profile = competing_process(60.0, 0.5, stop=120.0)
+        assert profile == ((60.0, 0.5), (120.0, 1.0))
+
+    def test_stop_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            competing_process(60.0, stop=30.0)
+
+
+class TestOsJitter:
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        profile = os_jitter(100.0, rng, period=5.0, amplitude=0.04)
+        assert len(profile) == 19  # steps at 5, 10, ..., 95
+        for _, capacity in profile:
+            assert 0.96 <= capacity <= 1.0
+
+    def test_zero_duration(self):
+        rng = np.random.default_rng(0)
+        assert os_jitter(0.0, rng) == ()
+
+
+class TestCombineProfiles:
+    def test_multiplicative(self):
+        jitter = ((10.0, 0.9),)
+        load = ((5.0, 0.5),)
+        combined = combine_profiles(jitter, load)
+        assert combined == ((5.0, 0.5), (10.0, 0.45))
+
+    def test_load_persists_through_later_jitter_steps(self):
+        """The Fig. 8 regression: jitter steps after the superpi start
+        must not silently restore full capacity."""
+        jitter = ((65.0, 0.98), (70.0, 0.99))
+        superpi = ((60.0, 0.45),)
+        combined = dict(combine_profiles(jitter, superpi))
+        assert combined[65.0] == pytest.approx(0.98 * 0.45)
+        assert combined[70.0] == pytest.approx(0.99 * 0.45)
+
+    def test_empty(self):
+        assert combine_profiles() == ()
+        assert combine_profiles((), ()) == ()
+
+    def test_single_passthrough(self):
+        assert combine_profiles(((1.0, 0.5),)) == ((1.0, 0.5),)

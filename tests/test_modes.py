@@ -1,0 +1,121 @@
+"""Unit tests for global and semiglobal alignment modes."""
+
+import pytest
+
+from repro.align import (
+    BLOSUM62,
+    DEFAULT_GAPS,
+    affine_gap,
+    nw_align,
+    nw_score,
+    semiglobal_align,
+    semiglobal_score,
+    sw_score_reference,
+)
+from repro.sequences import Sequence, random_sequence
+
+from conftest import make_protein
+
+
+class TestGlobal:
+    def test_identical(self):
+        s = make_protein("MKVLAWYRND")
+        assert nw_score(s, s, BLOSUM62, DEFAULT_GAPS) == sum(
+            BLOSUM62.score(c, c) for c in s.residues
+        )
+
+    def test_empty_cases(self):
+        s = make_protein("MKV")
+        empty = make_protein("")
+        assert nw_score(s, empty, BLOSUM62, DEFAULT_GAPS) == -DEFAULT_GAPS.cost(3)
+        assert nw_score(empty, s, BLOSUM62, DEFAULT_GAPS) == -DEFAULT_GAPS.cost(3)
+        assert nw_score(empty, empty, BLOSUM62, DEFAULT_GAPS) == 0
+
+    def test_symmetry(self, rng):
+        a = random_sequence(25, rng, seq_id="a")
+        b = random_sequence(30, rng, seq_id="b")
+        assert nw_score(a, b, BLOSUM62, DEFAULT_GAPS) == nw_score(
+            b, a, BLOSUM62, DEFAULT_GAPS
+        )
+
+    def test_global_le_local(self, rng):
+        """Global score never exceeds local (local can trim bad flanks)."""
+        for _ in range(8):
+            a = random_sequence(int(rng.integers(3, 40)), rng)
+            b = random_sequence(int(rng.integers(3, 40)), rng)
+            assert nw_score(a, b, BLOSUM62, DEFAULT_GAPS) <= (
+                sw_score_reference(a, b, BLOSUM62, DEFAULT_GAPS)
+            )
+
+    def test_alignment_consumes_both_fully(self, rng):
+        a = random_sequence(20, rng, seq_id="a")
+        b = random_sequence(28, rng, seq_id="b")
+        alignment = nw_align(a, b, BLOSUM62, DEFAULT_GAPS)
+        assert alignment.aligned_query.replace("-", "") == a.residues
+        assert alignment.aligned_subject.replace("-", "") == b.residues
+        assert alignment.score == nw_score(a, b, BLOSUM62, DEFAULT_GAPS)
+
+    def test_gap_model_variants(self, rng):
+        a = random_sequence(15, rng, seq_id="a")
+        b = random_sequence(22, rng, seq_id="b")
+        for gaps in (affine_gap(5, 5), affine_gap(12, 1)):
+            alignment = nw_align(a, b, BLOSUM62, gaps)
+            assert alignment.rescore(BLOSUM62, gaps) == alignment.score
+
+
+class TestSemiglobal:
+    def test_embedded_query_found_exactly(self, rng):
+        core = random_sequence(30, rng, seq_id="core")
+        host = Sequence(
+            id="host",
+            residues=(
+                random_sequence(25, rng).residues
+                + core.residues
+                + random_sequence(40, rng).residues
+            ),
+        )
+        score = semiglobal_score(core, host, BLOSUM62, DEFAULT_GAPS)
+        assert score == sum(BLOSUM62.score(c, c) for c in core.residues)
+        alignment = semiglobal_align(core, host, BLOSUM62, DEFAULT_GAPS)
+        assert alignment.subject_start == 25
+        assert alignment.subject_end == 55
+        assert alignment.identity == 1.0
+
+    def test_align_score_matches_score_kernel(self, rng):
+        for _ in range(8):
+            s = random_sequence(int(rng.integers(2, 25)), rng, seq_id="s")
+            t = random_sequence(int(rng.integers(2, 25)), rng, seq_id="t")
+            alignment = semiglobal_align(s, t, BLOSUM62, DEFAULT_GAPS)
+            assert alignment.score == semiglobal_score(
+                s, t, BLOSUM62, DEFAULT_GAPS
+            )
+            assert alignment.rescore(BLOSUM62, DEFAULT_GAPS) == alignment.score
+
+    def test_between_global_and_local(self, rng):
+        for _ in range(6):
+            s = random_sequence(15, rng)
+            t = random_sequence(35, rng)
+            glob = nw_score(s, t, BLOSUM62, DEFAULT_GAPS)
+            semi = semiglobal_score(s, t, BLOSUM62, DEFAULT_GAPS)
+            local = sw_score_reference(s, t, BLOSUM62, DEFAULT_GAPS)
+            assert glob <= semi <= local
+
+    def test_query_fully_consumed(self, rng):
+        s = random_sequence(12, rng, seq_id="s")
+        t = random_sequence(30, rng, seq_id="t")
+        alignment = semiglobal_align(s, t, BLOSUM62, DEFAULT_GAPS)
+        assert alignment.aligned_query.replace("-", "") == s.residues
+        assert alignment.query_start == 0
+        assert alignment.query_end == len(s)
+
+    def test_empty_subject(self):
+        s = make_protein("MKV")
+        t = make_protein("", "t")
+        assert semiglobal_score(s, t, BLOSUM62, DEFAULT_GAPS) == (
+            -DEFAULT_GAPS.cost(3)
+        )
+
+    def test_empty_query(self):
+        s = make_protein("", "s")
+        t = make_protein("MKV", "t")
+        assert semiglobal_score(s, t, BLOSUM62, DEFAULT_GAPS) == 0

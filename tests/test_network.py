@@ -1,0 +1,109 @@
+"""Unit tests for the network model and its DES integration."""
+
+import pytest
+
+from repro.bench import uniform_tasks
+from repro.simulate import (
+    GIGABIT_ETHERNET,
+    SHARED_MEMORY,
+    HybridSimulator,
+    LinkModel,
+    MessageSizes,
+    NetworkModel,
+    PESpec,
+    UniformModel,
+)
+
+
+class TestLinkModel:
+    def test_linear_cost(self):
+        link = LinkModel(latency_seconds=1e-3,
+                         bandwidth_bytes_per_second=1e6)
+        assert link.transfer_seconds(0) == pytest.approx(1e-3)
+        assert link.transfer_seconds(1_000_000) == pytest.approx(1.001)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkModel(latency_seconds=-1, bandwidth_bytes_per_second=1)
+        with pytest.raises(ValueError):
+            LinkModel(latency_seconds=0, bandwidth_bytes_per_second=0)
+        with pytest.raises(ValueError):
+            GIGABIT_ETHERNET.transfer_seconds(-1)
+
+    def test_profiles_ordering(self):
+        # Shared memory is orders of magnitude cheaper than the wire.
+        assert SHARED_MEMORY.transfer_seconds(128) < (
+            GIGABIT_ETHERNET.transfer_seconds(128) / 10
+        )
+
+
+class TestNetworkModel:
+    def test_local_vs_remote(self):
+        network = NetworkModel(master_host="host0")
+        assert network.request_seconds("host0") < network.request_seconds(
+            "host1"
+        )
+
+    def test_assignment_scales_with_tasks(self):
+        network = NetworkModel()
+        assert network.assignment_seconds("host1", 10) > (
+            network.assignment_seconds("host1", 1)
+        )
+
+    def test_result_size_follows_top_hits(self):
+        small = NetworkModel(sizes=MessageSizes(top_hits=1))
+        large = NetworkModel(sizes=MessageSizes(top_hits=100))
+        assert large.result_seconds("host1") > small.result_seconds("host1")
+
+
+class TestDESIntegration:
+    def _platform(self, host: str) -> list[PESpec]:
+        return [PESpec("pe0", UniformModel(rate=1.0), host=host)]
+
+    def test_remote_host_pays_more(self):
+        tasks = uniform_tasks(20, cells=1)
+        network = NetworkModel()
+        local = HybridSimulator(
+            self._platform("host0"), network=network
+        ).run(list(tasks))
+        remote = HybridSimulator(
+            self._platform("host1"), network=network
+        ).run(list(tasks))
+        assert remote.makespan > local.makespan
+
+    def test_network_overrides_flat_latency(self):
+        tasks = uniform_tasks(5, cells=1)
+        network = NetworkModel()
+        with_network = HybridSimulator(
+            self._platform("host0"),
+            comm_latency=10.0,  # must be ignored
+            network=network,
+        ).run(list(tasks))
+        assert with_network.makespan < 10.0
+
+    def test_paper_platform_two_hosts(self):
+        from repro.simulate import paper_platform
+
+        specs = paper_platform()
+        hosts = {spec.pe_id: spec.host for spec in specs}
+        assert hosts["gpu0"] == "host0"
+        assert hosts["gpu2"] == "host1"
+        assert hosts["sse0"] == "host0"
+
+    def test_gige_overhead_is_small_at_paper_scale(self):
+        """Sanity: GigE messaging is negligible against paper tasks —
+        the premise of the 'communication time is negligible' remark."""
+        from repro.bench import tasks_for_profile
+        from repro.sequences import ENSEMBL_DOG
+        from repro.simulate import paper_platform
+
+        tasks = tasks_for_profile(ENSEMBL_DOG, num_queries=20)
+        flat = HybridSimulator(paper_platform(), comm_latency=0.0).run(
+            list(tasks)
+        )
+        networked = HybridSimulator(
+            paper_platform(), network=NetworkModel()
+        ).run(list(tasks))
+        # Sub-millisecond messaging shifts event timing (and therefore
+        # the exact schedule) but not the outcome scale: within 10%.
+        assert networked.makespan == pytest.approx(flat.makespan, rel=0.10)

@@ -1,0 +1,49 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.bench.paper import main, reproduce_all
+
+
+@pytest.fixture(scope="module")
+def outcome(tmp_path_factory):
+    out_dir = tmp_path_factory.mktemp("report")
+    checks = reproduce_all(str(out_dir))
+    return out_dir, checks
+
+
+class TestReproduceAll:
+    def test_every_claim_holds(self, outcome):
+        _, checks = outcome
+        failed = [c for c in checks if not c.holds]
+        assert not failed, failed
+
+    def test_claim_count(self, outcome):
+        _, checks = outcome
+        assert len(checks) == 8
+
+    def test_artifacts_written(self, outcome):
+        out_dir, _ = outcome
+        for name in (
+            "REPORT.md",
+            "table3.csv",
+            "table4.csv",
+            "table5.csv",
+            "fig6.csv",
+            "fig5_schedule.svg",
+            "hybrid_schedule.svg",
+        ):
+            assert (out_dir / name).exists(), name
+
+    def test_report_structure(self, outcome):
+        out_dir, _ = outcome
+        report = (out_dir / "REPORT.md").read_text()
+        assert "## Claim checklist" in report
+        assert "## Table III" in report
+        assert "## Fig. 5" in report
+        assert "**NO**" not in report  # no failing claim
+
+    def test_main_exit_code(self, tmp_path, capsys):
+        assert main([str(tmp_path / "r")]) == 0
+        out = capsys.readouterr().out
+        assert out.count("[ok  ]") == 8

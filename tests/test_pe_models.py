@@ -1,0 +1,87 @@
+"""Unit tests for the calibrated PE performance models."""
+
+import pytest
+
+from repro.core import Task
+from repro.simulate import GPUModel, SSECoreModel, UniformModel
+
+
+def task(query_length: int, database_residues: int) -> Task:
+    return Task(
+        task_id=0,
+        query_id="q",
+        query_length=query_length,
+        cells=query_length * database_residues,
+    )
+
+
+class TestSSECoreModel:
+    def test_long_query_rate_near_nominal(self):
+        model = SSECoreModel()
+        rate = model.task_rate(task(2500, 10_000_000))
+        assert rate == pytest.approx(2.8e9, rel=0.02)
+
+    def test_short_query_penalty(self):
+        model = SSECoreModel()
+        assert model.task_rate(task(25, 1000)) < model.task_rate(
+            task(2500, 1000)
+        )
+
+    def test_swissprot_calibration(self):
+        """40 queries x SwissProt on one core must land near 7,190 s."""
+        from repro.bench import tasks_for_profile
+        from repro.sequences import SWISSPROT
+
+        model = SSECoreModel()
+        total = sum(model.task_seconds(t) for t in tasks_for_profile(SWISSPROT))
+        assert total == pytest.approx(7_190, rel=0.05)
+
+    def test_overhead_constant(self):
+        model = SSECoreModel()
+        assert model.task_overhead(task(10, 10)) == pytest.approx(0.02)
+
+
+class TestGPUModel:
+    def test_overhead_scales_with_database(self):
+        model = GPUModel()
+        small = model.task_overhead(task(1000, 10_000_000))
+        large = model.task_overhead(task(1000, 200_000_000))
+        assert large > small
+        assert small > model.launch_seconds  # includes db load
+
+    def test_rate_saturates_with_query_length(self):
+        model = GPUModel()
+        assert model.task_rate(task(5000, 1)) > model.task_rate(task(100, 1))
+        assert model.task_rate(task(5000, 1)) <= model.peak_gcups * 1e9
+
+    def test_effective_gcups_doubles_on_huge_database(self):
+        """Table IV's observation: SwissProt tasks amortize the per-task
+        overhead ~2x better than the small proteome tasks."""
+        model = GPUModel()
+        small = task(2500, 12_000_000)
+        large = task(2500, 197_000_000)
+        small_gcups = small.cells / model.task_seconds(small) / 1e9
+        large_gcups = large.cells / model.task_seconds(large) / 1e9
+        assert large_gcups / small_gcups > 1.6
+
+    def test_gpu_much_faster_than_sse(self):
+        gpu, sse = GPUModel(), SSECoreModel()
+        t = task(2500, 197_000_000)
+        assert gpu.task_seconds(t) * 5 < sse.task_seconds(t)
+
+
+class TestUniformModel:
+    def test_constant(self):
+        model = UniformModel(rate=6.0)
+        assert model.task_rate(task(1, 6)) == 6.0
+        assert model.task_overhead(task(1, 6)) == 0.0
+        assert model.task_seconds(task(1, 6)) == pytest.approx(1.0)
+
+    def test_work_units_fold_overhead(self):
+        model = SSECoreModel()
+        t = task(2500, 1_000_000)
+        expected = t.cells + model.task_overhead(t) * model.task_rate(t)
+        assert model.work_units(t) == pytest.approx(expected)
+
+    def test_pe_class_name(self):
+        assert UniformModel(rate=1.0, pe_class_name="gpu").pe_class == "gpu"

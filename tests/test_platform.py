@@ -1,0 +1,57 @@
+"""Unit tests for the platform builders."""
+
+import pytest
+
+from repro.simulate import (
+    CONFIGURATIONS,
+    GPUModel,
+    SSECoreModel,
+    gpus,
+    hybrid_platform,
+    paper_platform,
+    sse_cores,
+)
+
+
+class TestBuilders:
+    def test_gpus(self):
+        specs = gpus(3)
+        assert [s.pe_id for s in specs] == ["gpu0", "gpu1", "gpu2"]
+        assert all(isinstance(s.model, GPUModel) for s in specs)
+
+    def test_sse_cores(self):
+        specs = sse_cores(2)
+        assert [s.pe_id for s in specs] == ["sse0", "sse1"]
+        assert all(isinstance(s.model, SSECoreModel) for s in specs)
+
+    def test_sse_load_profiles(self):
+        profile = ((60.0, 0.45),)
+        specs = sse_cores(4, load_profiles={0: profile})
+        assert specs[0].load_profile == profile
+        assert specs[1].load_profile == ()
+
+    def test_hybrid(self):
+        specs = hybrid_platform(2, 4)
+        ids = [s.pe_id for s in specs]
+        assert ids == ["gpu0", "gpu1", "sse0", "sse1", "sse2", "sse3"]
+
+    def test_paper_platform(self):
+        specs = paper_platform()
+        classes = [s.model.pe_class for s in specs]
+        assert classes.count("gpu") == 4
+        assert classes.count("sse") == 4
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gpus(-1)
+        with pytest.raises(ValueError):
+            sse_cores(-1)
+
+
+class TestConfigurations:
+    def test_fig6_order(self):
+        labels = [c[0] for c in CONFIGURATIONS]
+        assert labels == [
+            "1GPU", "1GPU+4SSEs", "2GPUs", "2GPUs+4SSEs", "4GPUs",
+            "4GPUs+4SSEs",
+        ]

@@ -1,0 +1,145 @@
+"""Unit tests for the allocation policies (Section IV-A)."""
+
+import pytest
+
+from repro.core import (
+    FixedSplit,
+    HistoryBook,
+    PackageWeightedSelfScheduling,
+    PolicyContext,
+    RateSample,
+    SelfScheduling,
+    WeightedFixed,
+    make_policy,
+)
+
+
+def context(
+    pe_id: str = "pe0",
+    num_pes: int = 4,
+    total: int = 20,
+    ready: int = 20,
+    assigned: dict[str, int] | None = None,
+    rates: dict[str, float] | None = None,
+) -> PolicyContext:
+    history = HistoryBook()
+    assigned = assigned if assigned is not None else {
+        f"pe{i}": 0 for i in range(num_pes)
+    }
+    for pe in assigned:
+        history.register(pe)
+    for pe, rate in (rates or {}).items():
+        history.observe(pe, RateSample(time=0.0, cells=rate, interval=1.0))
+    return PolicyContext(
+        pe_id=pe_id,
+        num_pes=num_pes,
+        total_tasks=total,
+        ready_tasks=ready,
+        tasks_already_assigned=assigned,
+        history=history,
+    )
+
+
+class TestSelfScheduling:
+    def test_always_one(self):
+        assert SelfScheduling().batch_size(context()) == 1
+
+    def test_zero_when_empty(self):
+        assert SelfScheduling().batch_size(context(ready=0)) == 0
+
+
+class TestPSS:
+    def test_bootstrap_without_history(self):
+        """First allocation: one work unit per slave (no rates known)."""
+        assert PackageWeightedSelfScheduling().batch_size(context()) == 1
+
+    def test_fig5_weights(self):
+        """GPU 6x faster than the slowest PE receives 6 tasks."""
+        rates = {"pe0": 6.0, "pe1": 1.0, "pe2": 1.0, "pe3": 1.0}
+        policy = PackageWeightedSelfScheduling()
+        assert policy.batch_size(context("pe0", rates=rates)) == 6
+        assert policy.batch_size(context("pe1", rates=rates)) == 1
+
+    def test_phi_of_slowest_is_one(self):
+        rates = {"pe0": 2.0, "pe1": 10.0}
+        policy = PackageWeightedSelfScheduling()
+        ctx = context("pe0", num_pes=2, assigned={"pe0": 0, "pe1": 0},
+                      rates=rates)
+        assert policy.phi(ctx) == pytest.approx(1.0)
+
+    def test_clamped_by_ready(self):
+        rates = {"pe0": 100.0, "pe1": 1.0}
+        policy = PackageWeightedSelfScheduling()
+        ctx = context("pe0", num_pes=2, ready=3,
+                      assigned={"pe0": 0, "pe1": 0}, rates=rates)
+        assert policy.batch_size(ctx) == 3
+
+    def test_max_batch_cap(self):
+        rates = {"pe0": 100.0, "pe1": 1.0}
+        policy = PackageWeightedSelfScheduling(max_batch=4)
+        ctx = context("pe0", num_pes=2, assigned={"pe0": 0, "pe1": 0},
+                      rates=rates)
+        assert policy.batch_size(ctx) == 4
+
+    def test_unknown_own_rate_gets_one(self):
+        rates = {"pe1": 50.0}
+        ctx = context("pe0", rates=rates)
+        assert PackageWeightedSelfScheduling().batch_size(ctx) == 1
+
+    def test_rounding(self):
+        rates = {"pe0": 2.6, "pe1": 1.0}
+        ctx = context("pe0", num_pes=2, assigned={"pe0": 0, "pe1": 0},
+                      rates=rates)
+        assert PackageWeightedSelfScheduling().batch_size(ctx) == 3
+
+
+class TestFixedSplit:
+    def test_even_share_up_front(self):
+        policy = FixedSplit()
+        assert policy.batch_size(context("pe0", num_pes=4, total=20)) == 5
+
+    def test_nothing_after_share_consumed(self):
+        policy = FixedSplit()
+        assigned = {"pe0": 5, "pe1": 0, "pe2": 0, "pe3": 0}
+        assert policy.batch_size(context("pe0", assigned=assigned)) == 0
+
+    def test_ceil_division(self):
+        policy = FixedSplit()
+        assert policy.batch_size(
+            context("pe0", num_pes=3, total=10, ready=10,
+                    assigned={"pe0": 0, "pe1": 0, "pe2": 0})
+        ) == 4
+
+
+class TestWeightedFixed:
+    def test_proportional_shares(self):
+        policy = WeightedFixed({"pe0": 6.0, "pe1": 1.0, "pe2": 1.0,
+                                "pe3": 1.0})
+        ctx = context("pe0", total=18)
+        assert policy.batch_size(ctx) == 12  # 18 * 6/9
+        ctx = context("pe1", total=18)
+        assert policy.batch_size(ctx) == 2
+
+    def test_unknown_pe_defaults_to_weight_one(self):
+        policy = WeightedFixed({"pe0": 3.0})
+        ctx = context("pe1", num_pes=2, total=8,
+                      assigned={"pe0": 0, "pe1": 0})
+        assert policy.batch_size(ctx) == 2  # 8 * 1/4
+
+    def test_share_consumed(self):
+        policy = WeightedFixed({"pe0": 1.0, "pe1": 1.0})
+        ctx = context("pe0", num_pes=2, total=10,
+                      assigned={"pe0": 5, "pe1": 0})
+        assert policy.batch_size(ctx) == 0
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert make_policy("ss").name == "ss"
+        assert make_policy("PSS").name == "pss"
+        assert make_policy("fixed").name == "fixed"
+        assert make_policy("wfixed", weights={"a": 2.0}).name == "wfixed"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_policy("round-robin")

@@ -1,0 +1,67 @@
+"""Unit tests for the Table II database profiles."""
+
+import numpy as np
+import pytest
+
+from repro.sequences import (
+    ENSEMBL_DOG,
+    PAPER_DATABASES,
+    SWISSPROT,
+    get_profile,
+)
+
+
+class TestTableII:
+    def test_sequence_counts_match_paper(self):
+        counts = {p.name: p.num_sequences for p in PAPER_DATABASES}
+        assert counts["Ensembl Dog Proteins"] == 25_160
+        assert counts["Ensembl Rat Proteins"] == 32_971
+        assert counts["RefSeq Human Proteins"] == 34_705
+        assert counts["RefSeq Mouse Proteins"] == 29_437
+        assert counts["UniProtDB/SwissProt"] == 537_505
+
+    def test_swissprot_is_largest(self):
+        assert SWISSPROT.total_residues == max(
+            p.total_residues for p in PAPER_DATABASES
+        )
+
+    def test_query_bounds(self):
+        for profile in PAPER_DATABASES:
+            assert profile.shortest == 100
+            assert 4_900 <= profile.longest <= 5_000
+
+    def test_swissprot_calibration(self):
+        # 40 queries totalling ~102k residues at 2.8 GCUPS should take
+        # about 7,190 s (the paper's 1-SSE-core headline).
+        seconds = 102_000 * SWISSPROT.total_residues / 2.8e9
+        assert seconds == pytest.approx(7_190, rel=0.02)
+
+
+class TestLookup:
+    def test_aliases(self):
+        assert get_profile("dog") is ENSEMBL_DOG
+        assert get_profile("swissprot") is SWISSPROT
+        assert get_profile("UniProtDB/SwissProt") is SWISSPROT
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_profile("zebrafish")
+
+
+class TestMaterialize:
+    def test_scaled_geometry(self, rng):
+        db = ENSEMBL_DOG.materialize(rng, scale=0.005)
+        assert len(db) == round(25_160 * 0.005)
+        assert db.stats().mean_length == pytest.approx(
+            ENSEMBL_DOG.mean_length, rel=0.3
+        )
+
+    def test_materialize_scaled_cap(self, rng):
+        db = SWISSPROT.materialize_scaled(rng, max_sequences=50)
+        assert len(db) == 50
+
+    def test_invalid_scale(self, rng):
+        with pytest.raises(ValueError):
+            ENSEMBL_DOG.materialize(rng, scale=0.0)
+        with pytest.raises(ValueError):
+            ENSEMBL_DOG.materialize(rng, scale=1.5)

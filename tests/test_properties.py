@@ -1,0 +1,226 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align import (
+    BLOSUM62,
+    DEFAULT_GAPS,
+    affine_gap,
+    align_linear_space,
+    sw_score_reference,
+    sw_score_scan,
+    sw_score_striped,
+)
+from repro.core import Task, TaskPool, TaskState
+from repro.core.history import RateEstimator, RateSample
+from repro.sequences import (
+    PROTEIN,
+    Sequence,
+    SequenceDatabase,
+    read_fasta,
+    write_fasta,
+    write_indexed,
+)
+from repro.sequences.indexed import IndexedReader
+
+# Strategy: protein strings over the 20 canonical residues.
+proteins = st.text(alphabet="ARNDCQEGHILKMFPSTWYV", min_size=0, max_size=28)
+nonempty_proteins = st.text(
+    alphabet="ARNDCQEGHILKMFPSTWYV", min_size=1, max_size=28
+)
+gap_models = st.tuples(
+    st.integers(min_value=1, max_value=12), st.integers(min_value=0, max_value=6)
+).map(lambda pair: affine_gap(max(pair), min(pair)))
+
+
+def seq(residues: str, seq_id: str = "s") -> Sequence:
+    return Sequence(id=seq_id, residues=residues, alphabet=PROTEIN)
+
+
+class TestSWScoreProperties:
+    @given(proteins, proteins)
+    @settings(max_examples=60, deadline=None)
+    def test_score_nonnegative_and_bounded(self, a, b):
+        score = sw_score_reference(seq(a), seq(b), BLOSUM62, DEFAULT_GAPS)
+        assert 0 <= score <= min(len(a), len(b)) * BLOSUM62.max_score
+
+    @given(proteins, proteins)
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry(self, a, b):
+        assert sw_score_reference(
+            seq(a), seq(b), BLOSUM62, DEFAULT_GAPS
+        ) == sw_score_reference(seq(b), seq(a), BLOSUM62, DEFAULT_GAPS)
+
+    @given(nonempty_proteins)
+    @settings(max_examples=40, deadline=None)
+    def test_self_score_is_sum_of_diagonal(self, a):
+        """SW(s, s) with no gaps equals the self-substitution sum, and
+        gaps can never improve on it for BLOSUM-style matrices."""
+        expected = sum(BLOSUM62.score(ch, ch) for ch in a)
+        assert (
+            sw_score_reference(seq(a), seq(a), BLOSUM62, DEFAULT_GAPS)
+            == expected
+        )
+
+    @given(proteins, proteins, nonempty_proteins)
+    @settings(max_examples=40, deadline=None)
+    def test_extension_monotonicity(self, a, b, suffix):
+        """Appending subject residues can never lower the local score."""
+        base = sw_score_reference(seq(a), seq(b), BLOSUM62, DEFAULT_GAPS)
+        extended = sw_score_reference(
+            seq(a), seq(b + suffix), BLOSUM62, DEFAULT_GAPS
+        )
+        assert extended >= base
+
+    @given(proteins, proteins, gap_models)
+    @settings(max_examples=60, deadline=None)
+    def test_scan_kernel_matches_reference(self, a, b, gaps):
+        assert (
+            sw_score_scan(seq(a), seq(b), BLOSUM62, gaps).score
+            == sw_score_reference(seq(a), seq(b), BLOSUM62, gaps)
+        )
+
+    @given(proteins, proteins, gap_models, st.sampled_from([2, 5, 16]))
+    @settings(max_examples=40, deadline=None)
+    def test_striped_kernel_matches_reference(self, a, b, gaps, lanes):
+        assert (
+            sw_score_striped(seq(a), seq(b), BLOSUM62, gaps, lanes=lanes).score
+            == sw_score_reference(seq(a), seq(b), BLOSUM62, gaps)
+        )
+
+    @given(nonempty_proteins, nonempty_proteins, gap_models)
+    @settings(max_examples=30, deadline=None)
+    def test_linear_space_alignment_exact(self, a, b, gaps):
+        alignment = align_linear_space(seq(a, "a"), seq(b, "b"), BLOSUM62, gaps)
+        expected = sw_score_reference(seq(a), seq(b), BLOSUM62, gaps)
+        assert alignment.score == expected
+        assert alignment.rescore(BLOSUM62, gaps) == expected
+
+
+class TestRoundtripProperties:
+    record_lists = st.lists(
+        st.tuples(
+            st.text(alphabet="abcdefgh123", min_size=1, max_size=8),
+            st.text(alphabet="ARNDCQEGHILKMFPSTWYV", min_size=0, max_size=40),
+        ),
+        min_size=0,
+        max_size=8,
+    )
+
+    @given(raw=record_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_indexed_roundtrip(self, tmp_path_factory, raw):
+        records = [
+            Sequence(id=f"{name}_{i}", residues=res, alphabet=PROTEIN)
+            for i, (name, res) in enumerate(raw)
+        ]
+        path = tmp_path_factory.mktemp("idx") / "db.seqx"
+        write_indexed(records, path)
+        with IndexedReader(path) as reader:
+            assert len(reader) == len(records)
+            for original, loaded in zip(records, reader):
+                assert loaded.id == original.id
+                assert loaded.residues == original.residues
+
+    @given(record_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_fasta_roundtrip(self, raw):
+        records = [
+            Sequence(id=f"{name}_{i}", residues=res, alphabet=PROTEIN)
+            for i, (name, res) in enumerate(raw)
+            if res  # FASTA cannot represent empty records unambiguously
+        ]
+        buffer = io.StringIO()
+        write_fasta(records, buffer)
+        buffer.seek(0)
+        loaded = read_fasta(buffer, alphabet=PROTEIN)
+        assert [(r.id, r.residues) for r in loaded] == [
+            (r.id, r.residues) for r in records
+        ]
+
+
+class TestTaskPoolProperties:
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.lists(st.integers(min_value=0, max_value=5), max_size=40),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_random_walk_preserves_invariants(self, num_tasks, ops):
+        """Drive the pool with an arbitrary interleaving of acquire /
+        replicate / complete / release and check the state invariants
+        after every step."""
+        pool = TaskPool(
+            [
+                Task(task_id=i, query_id=f"q{i}", query_length=1, cells=1)
+                for i in range(num_tasks)
+            ]
+        )
+        pes = ["pe0", "pe1", "pe2"]
+        rng = np.random.default_rng(0)
+        for op in ops:
+            pe = pes[int(rng.integers(len(pes)))]
+            if op == 0:
+                pool.acquire(pe, 1)
+            elif op == 1:
+                candidates = pool.replica_candidates(pe)
+                if candidates:
+                    pool.assign_replica(pe, candidates[0].task_id)
+            elif op in (2, 3):
+                executing = [
+                    t for t in pool.executing_tasks()
+                    if pe in pool.executors(t.task_id)
+                ]
+                if executing:
+                    if op == 2:
+                        pool.complete(executing[0].task_id, pe)
+                    else:
+                        pool.release(executing[0].task_id, pe)
+            # Invariants after every operation:
+            ready = executing = finished = 0
+            for task_id in range(num_tasks):
+                state = pool.state(task_id)
+                executors = pool.executors(task_id)
+                if state is TaskState.READY:
+                    ready += 1
+                    assert not executors
+                elif state is TaskState.EXECUTING:
+                    executing += 1
+                    assert executors
+                else:
+                    finished += 1
+                    assert pool.finished_by(task_id) in executors
+            assert ready == pool.num_ready
+            assert executing == pool.num_executing
+            assert finished == pool.num_finished
+            assert ready + executing + finished == num_tasks
+
+
+class TestEstimatorProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=1e6),
+                st.floats(min_value=0.01, max_value=100.0),
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_weighted_mean_within_sample_range(self, samples, omega):
+        estimator = RateEstimator(omega=omega)
+        for t, (cells, interval) in enumerate(samples):
+            estimator.observe(
+                RateSample(time=float(t), cells=cells, interval=interval)
+            )
+        rates = [c / i for c, i in samples][-omega:]
+        rate = estimator.rate()
+        assert min(rates) - 1e-9 <= rate <= max(rates) + 1e-9

@@ -1,0 +1,147 @@
+"""Second property-based batch: extension modules and orderings."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align import (
+    BLOSUM62,
+    DEFAULT_GAPS,
+    SearchHit,
+    affine_gap,
+    nw_score,
+    semiglobal_score,
+    sw_score_banded,
+    sw_score_reference,
+    sw_score_wavefront,
+)
+from repro.core import merge_hits
+from repro.sequences import PROTEIN, Sequence
+
+proteins = st.text(alphabet="ARNDCQEGHILKMFPSTWYV", min_size=0, max_size=24)
+nonempty = st.text(alphabet="ARNDCQEGHILKMFPSTWYV", min_size=1, max_size=24)
+gap_models = st.tuples(
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=0, max_value=6),
+).map(lambda pair: affine_gap(max(pair), min(pair)))
+
+
+def seq(residues: str, seq_id: str = "s") -> Sequence:
+    return Sequence(id=seq_id, residues=residues, alphabet=PROTEIN)
+
+
+class TestKernelProperties:
+    @given(proteins, proteins, gap_models)
+    @settings(max_examples=50, deadline=None)
+    def test_wavefront_matches_reference(self, a, b, gaps):
+        assert (
+            sw_score_wavefront(seq(a), seq(b), BLOSUM62, gaps).score
+            == sw_score_reference(seq(a), seq(b), BLOSUM62, gaps)
+        )
+
+    @given(proteins, proteins, st.integers(min_value=0, max_value=30))
+    @settings(max_examples=50, deadline=None)
+    def test_banded_bounded_by_full(self, a, b, band):
+        banded = sw_score_banded(
+            seq(a), seq(b), BLOSUM62, DEFAULT_GAPS, band
+        ).score
+        full = sw_score_reference(seq(a), seq(b), BLOSUM62, DEFAULT_GAPS)
+        assert 0 <= banded <= full
+
+    @given(proteins, proteins)
+    @settings(max_examples=50, deadline=None)
+    def test_banded_monotone_in_band(self, a, b):
+        scores = [
+            sw_score_banded(seq(a), seq(b), BLOSUM62, DEFAULT_GAPS, band).score
+            for band in (0, 3, 8, 30)
+        ]
+        assert scores == sorted(scores)
+
+    @given(proteins, proteins, gap_models)
+    @settings(max_examples=50, deadline=None)
+    def test_mode_ordering(self, a, b, gaps):
+        """global <= semiglobal <= local, always."""
+        glob = nw_score(seq(a), seq(b), BLOSUM62, gaps)
+        semi = semiglobal_score(seq(a), seq(b), BLOSUM62, gaps)
+        local = sw_score_reference(seq(a), seq(b), BLOSUM62, gaps)
+        assert glob <= semi <= local
+
+    @given(nonempty, gap_models)
+    @settings(max_examples=30, deadline=None)
+    def test_global_self_alignment_is_identity(self, a, gaps):
+        expected = sum(BLOSUM62.score(ch, ch) for ch in a)
+        assert nw_score(seq(a), seq(a), BLOSUM62, gaps) == expected
+
+
+class TestMergeProperties:
+    hits_strategy = st.lists(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=30),
+                st.integers(min_value=0, max_value=500),
+            ),
+            max_size=10,
+        ),
+        max_size=5,
+    )
+
+    @staticmethod
+    def _to_hits(pairs):
+        return [
+            SearchHit(
+                subject_id=f"s{index}",
+                subject_index=index,
+                score=score,
+                subject_length=50,
+            )
+            for index, score in pairs
+        ]
+
+    @given(hits_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_ranked_union(self, raw_lists):
+        hit_lists = [self._to_hits(pairs) for pairs in raw_lists]
+        merged = merge_hits(hit_lists, top=0)
+        # Ranked best-first with deterministic ties.
+        keys = [(-h.score, h.subject_index) for h in merged]
+        assert keys == sorted(keys)
+        # One entry per subject, carrying its best score.
+        best: dict[int, int] = {}
+        for hits in hit_lists:
+            for hit in hits:
+                best[hit.subject_index] = max(
+                    best.get(hit.subject_index, -1), hit.score
+                )
+        assert {h.subject_index: h.score for h in merged} == best
+
+    @given(hits_strategy, st.integers(min_value=1, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_merge_associativity_of_splitting(self, raw_lists, split):
+        """Merging in one pass equals merging pre-merged halves."""
+        hit_lists = [self._to_hits(pairs) for pairs in raw_lists]
+        direct = merge_hits(hit_lists, top=0)
+        left = merge_hits(hit_lists[:split], top=0)
+        right = merge_hits(hit_lists[split:], top=0)
+        recombined = merge_hits([left, right], top=0)
+        assert direct == recombined
+
+
+class TestStrategyProperties:
+    @given(
+        st.lists(
+            st.integers(min_value=50, max_value=5000), min_size=1, max_size=30
+        ),
+        st.integers(min_value=1, max_value=32),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_very_coarse_never_beats_ideal(self, lengths, num_pes):
+        import numpy as np
+
+        from repro.bench.strategies import very_coarse_grained
+
+        outcome = very_coarse_grained(
+            np.array(lengths), 1_000_000, num_pes, 1e9
+        )
+        assert outcome.seconds >= outcome.ideal_seconds - 1e-9
+        assert 0 < outcome.efficiency <= 1.0 + 1e-9

@@ -1,0 +1,54 @@
+"""Documentation hygiene: the README's code must actually run."""
+
+import re
+from pathlib import Path
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+def test_readme_quickstart_executes(capsys):
+    """The first python block in the README is the quickstart; run it."""
+    text = README.read_text()
+    blocks = re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+    assert blocks, "README has no python quickstart block"
+    namespace: dict = {}
+    exec(compile(blocks[0], "README.md", "exec"), namespace)  # noqa: S102
+    out = capsys.readouterr().out
+    assert out.strip(), "quickstart printed nothing"
+
+
+def test_readme_mentions_all_examples():
+    text = README.read_text()
+    examples = Path(__file__).resolve().parent.parent / "examples"
+    for script in examples.glob("*.py"):
+        assert script.name in text, f"README does not mention {script.name}"
+
+
+def test_package_docstring_quickstart_executes(capsys):
+    """The `import repro` docstring example must run as written."""
+    import repro
+
+    doc = repro.__doc__
+    assert doc is not None
+    lines = doc.splitlines()
+    start = next(
+        i for i, line in enumerate(lines) if line.strip() == "Quickstart::"
+    )
+    snippet = []
+    for line in lines[start + 1 :]:
+        if line.strip() and not line.startswith("    "):
+            break
+        snippet.append(line[4:] if line.startswith("    ") else line)
+    code = "\n".join(snippet)
+    namespace: dict = {}
+    exec(compile(code, "repro.__doc__", "exec"), namespace)  # noqa: S102
+    assert capsys.readouterr().out.strip()
+
+
+def test_readme_architecture_paths_exist():
+    """Every module path quoted in the architecture block must exist."""
+    text = README.read_text()
+    root = Path(__file__).resolve().parent.parent / "src" / "repro"
+    for match in re.findall(r"^\s+(\w+\.py)\s", text, flags=re.MULTILINE):
+        found = list(root.rglob(match))
+        assert found, f"README mentions missing module {match}"

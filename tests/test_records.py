@@ -1,0 +1,65 @@
+"""Unit tests for repro.sequences.records."""
+
+import pytest
+
+from repro.sequences import DNA, PROTEIN, Sequence
+
+
+class TestSequence:
+    def test_uppercases_residues(self):
+        seq = Sequence(id="x", residues="acgt")
+        assert seq.residues == "ACGT"
+
+    def test_len(self):
+        assert len(Sequence(id="x", residues="ACGT")) == 4
+
+    def test_alphabet_inferred(self):
+        assert Sequence(id="x", residues="ACGTACGTAC").alphabet is DNA
+        assert Sequence(id="x", residues="MKVLAWYRND").alphabet is PROTEIN
+
+    def test_codes_cached(self):
+        seq = Sequence(id="x", residues="ACGT")
+        first = seq.codes
+        assert seq.codes is first  # same array object, no re-encode
+
+    def test_codes_values(self):
+        seq = Sequence(id="x", residues="ACGT", alphabet=DNA)
+        assert seq.codes.tolist() == [0, 1, 2, 3]
+
+    def test_header(self):
+        seq = Sequence(id="sp|P1", residues="ACGT", description="test protein")
+        assert seq.header == "sp|P1 test protein"
+        assert Sequence(id="a", residues="A").header == "a"
+
+
+class TestSlice:
+    def test_slice_coordinates_in_id(self):
+        seq = Sequence(id="q", residues="ACGTACGT", alphabet=DNA)
+        part = seq.slice(2, 6)
+        assert part.residues == "GTAC"
+        assert part.id == "q/3-6"
+        assert part.alphabet is DNA
+
+    def test_slice_empty(self):
+        seq = Sequence(id="q", residues="ACGT")
+        assert part_len(seq.slice(2, 2)) == 0
+
+    def test_slice_bounds_checked(self):
+        seq = Sequence(id="q", residues="ACGT")
+        with pytest.raises(IndexError):
+            seq.slice(-1, 2)
+        with pytest.raises(IndexError):
+            seq.slice(2, 9)
+        with pytest.raises(IndexError):
+            seq.slice(3, 2)
+
+    def test_reversed(self):
+        seq = Sequence(id="q", residues="ACGT", alphabet=DNA)
+        rev = seq.reversed()
+        assert rev.residues == "TGCA"
+        assert rev.alphabet is DNA
+        assert "rev" in rev.id
+
+
+def part_len(seq: Sequence) -> int:
+    return len(seq)

@@ -1,0 +1,94 @@
+"""Unit tests for the textbook SW reference kernel (Section II-A)."""
+
+import numpy as np
+import pytest
+
+from repro.align import linear_gap, match_mismatch, sw_matrix, sw_score_reference
+from repro.align.reference import NEG_INF
+from repro.sequences import Sequence
+
+from conftest import make_protein
+
+
+class TestPaperExamples:
+    def test_figure2_score(self, dna_scheme):
+        """The paper's Fig. 2 matrix has optimum 3 (ma=1, mi=-1, g=-2)."""
+        matrix, gaps = dna_scheme
+        s = Sequence(id="s", residues="GCTGACCT")
+        t = Sequence(id="t", residues="GAAGCTA")
+        assert sw_score_reference(s, t, matrix, gaps) == 3
+
+    def test_boundaries_are_zero(self, dna_scheme):
+        matrix, gaps = dna_scheme
+        result = sw_matrix("ACGT", "TGCA", matrix, gaps)
+        assert result.H[0].tolist() == [0] * 5
+        assert result.H[:, 0].tolist() == [0] * 5
+
+    def test_gap_boundaries_minus_infinity(self, dna_scheme):
+        matrix, gaps = dna_scheme
+        result = sw_matrix("AC", "AC", matrix, gaps)
+        assert result.E[0, 0] == NEG_INF
+        assert result.F[0, 1] == NEG_INF
+
+
+class TestScores:
+    def test_identical_sequences(self, dna_scheme):
+        matrix, gaps = dna_scheme
+        assert sw_score_reference("ACGTACGT", "ACGTACGT", matrix, gaps) == 8
+
+    def test_disjoint_sequences_score_zero(self, dna_scheme):
+        matrix, gaps = dna_scheme
+        assert sw_score_reference("AAAA", "TTTT", matrix, gaps) == 0
+
+    def test_empty_inputs(self, dna_scheme):
+        matrix, gaps = dna_scheme
+        assert sw_score_reference("", "ACGT", matrix, gaps) == 0
+        assert sw_score_reference("ACGT", "", matrix, gaps) == 0
+        assert sw_score_reference("", "", matrix, gaps) == 0
+
+    def test_symmetry(self, blosum62, default_gaps, small_proteins):
+        a, b = small_proteins[1], small_proteins[2]
+        assert sw_score_reference(
+            a, b, blosum62, default_gaps
+        ) == sw_score_reference(b, a, blosum62, default_gaps)
+
+    def test_local_beats_global_prefix(self, dna_scheme):
+        # A strong internal match must be found despite bad flanks.
+        matrix, gaps = dna_scheme
+        s = "TTTT" + "ACGTACGT" + "TTTT"
+        t = "GGGG" + "ACGTACGT" + "GGGG"
+        assert sw_score_reference(s, t, matrix, gaps) == 8
+
+    def test_affine_prefers_single_long_gap(self, blosum62):
+        """With affine gaps one long gap beats two short ones."""
+        from repro.align import affine_gap
+
+        s = make_protein("MKVLAWYRND")
+        t = make_protein("MKVLAW" + "GGGG" + "YRND")
+        linear = sw_score_reference(s, t, blosum62, affine_gap(4, 4))
+        affine = sw_score_reference(s, t, blosum62, affine_gap(4, 1))
+        assert affine > linear
+
+    def test_end_position_is_argmax(self, blosum62, default_gaps):
+        s = make_protein("MKVLAWYRNDCE")
+        t = make_protein("QQMKVLAWYRNDCEQQ")
+        result = sw_matrix(s, t, blosum62, default_gaps)
+        i, j = result.end
+        assert result.H[i, j] == result.score
+        assert result.score == result.H.max()
+
+    def test_score_nonnegative(self, blosum62, default_gaps, small_proteins):
+        for a in small_proteins:
+            for b in small_proteins:
+                assert sw_score_reference(a, b, blosum62, default_gaps) >= 0
+
+    def test_score_upper_bound(self, blosum62, default_gaps):
+        s = make_protein("WWWW")
+        assert (
+            sw_score_reference(s, s, blosum62, default_gaps)
+            <= 4 * blosum62.max_score
+        )
+
+    def test_string_inputs_accepted(self, dna_scheme):
+        matrix, gaps = dna_scheme
+        assert sw_score_reference("ACGT", "ACGT", matrix, gaps) == 4

@@ -1,0 +1,96 @@
+"""Unit tests for the text/CSV report renderers."""
+
+import pytest
+
+from repro.bench import (
+    CellRow,
+    cell_rows_to_csv,
+    fig6_to_csv,
+    format_cell_rows,
+    format_grid,
+    format_headline,
+    format_policy_rows,
+)
+from repro.bench.figures import Fig6Result, HeadlineResult
+from repro.bench.tables import PolicyRow
+
+
+@pytest.fixture
+def rows():
+    return [
+        CellRow("DB One", "1 GPU", 100.0, 10.0),
+        CellRow("DB One", "2 GPU", 50.0, 20.0),
+        CellRow("DB Two", "1 GPU", 200.0, 5.0),
+        CellRow("DB Two", "2 GPU", 100.0, 10.0),
+    ]
+
+
+class TestFormatGrid:
+    def test_alignment(self):
+        text = format_grid(["a", "long-header"], [["xx", 1], ["y", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a ")
+        assert set(lines[1]) <= {"-", " "}
+        # Columns align: every row has the separator at the same offset.
+        offsets = {line.index(" ") for line in lines if line.strip()}
+        assert len(offsets) >= 1
+
+    def test_handles_non_string_cells(self):
+        text = format_grid(["n"], [[1], [2.5]])
+        assert "2.5" in text
+
+
+class TestCellRowRendering:
+    def test_databases_grouped(self, rows):
+        text = format_cell_rows(rows, "Title")
+        assert text.startswith("Title")
+        assert text.count("DB One") == 1
+        assert text.count("DB Two") == 1
+        assert "1 GPU (s / GCUPS)" in text
+
+    def test_csv(self, rows):
+        csv = cell_rows_to_csv(rows)
+        lines = csv.strip().splitlines()
+        assert lines[0] == "database,configuration,seconds,gcups"
+        assert lines[1] == "DB One,1 GPU,100.000,10.0000"
+        assert len(lines) == 5
+
+    def test_csv_escapes_commas(self):
+        csv = cell_rows_to_csv([CellRow("a,b", "c", 1.0, 2.0)])
+        assert "a;b" in csv
+
+
+class TestFigureRendering:
+    def test_fig6_csv(self):
+        result = Fig6Result(
+            database="db",
+            configurations=("1GPU", "1GPU+4SSEs"),
+            gcups_with=(10.0, 12.0),
+            gcups_without=(10.0, 6.0),
+        )
+        csv = fig6_to_csv(result)
+        lines = csv.strip().splitlines()
+        assert lines[0] == (
+            "configuration,gcups_with,gcups_without,gain_percent"
+        )
+        assert lines[2].startswith("1GPU+4SSEs,12.0000,6.0000,100.00")
+
+    def test_headline_text(self):
+        result = HeadlineResult(
+            one_sse_seconds=7190.0,
+            full_hybrid_seconds=112.0,
+            full_hybrid_gcups=179.0,
+            adjustment_saving_percent=57.2,
+        )
+        text = format_headline(result)
+        assert "7190.0 s" in text
+        assert "64.2 x" in text  # 7190 / 112
+
+    def test_policy_rows(self):
+        text = format_policy_rows(
+            [PolicyRow("SS", False, 18.0, 0),
+             PolicyRow("PSS+reassign", True, 14.0, 3)],
+            "T",
+        )
+        assert "yes" in text and "no" in text
+        assert "14.00" in text

@@ -1,0 +1,112 @@
+"""Unit tests for result merging (coarse-grained decomposition)."""
+
+import pytest
+
+from repro.align import SearchHit
+from repro.core import merge_hits, offset_hits
+
+
+def hit(index: int, score: int, subject_id: str | None = None) -> SearchHit:
+    return SearchHit(
+        subject_id=subject_id or f"s{index}",
+        subject_index=index,
+        score=score,
+        subject_length=100,
+    )
+
+
+class TestOffsetHits:
+    def test_offsets_applied(self):
+        hits = offset_hits([hit(0, 10), hit(3, 8)], 20)
+        assert [h.subject_index for h in hits] == [20, 23]
+        assert [h.score for h in hits] == [10, 8]
+
+    def test_zero_offset_identity(self):
+        original = (hit(1, 5),)
+        assert offset_hits(original, 0) == original
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            offset_hits([hit(0, 1)], -1)
+
+    def test_statistics_preserved(self):
+        annotated = SearchHit(
+            subject_id="x", subject_index=2, score=40,
+            subject_length=50, evalue=1e-5, bit_score=25.0,
+        )
+        moved = offset_hits([annotated], 10)[0]
+        assert moved.evalue == 1e-5
+        assert moved.bit_score == 25.0
+
+
+class TestMergeHits:
+    def test_best_first_order(self):
+        merged = merge_hits([[hit(0, 10)], [hit(1, 30)], [hit(2, 20)]])
+        assert [h.score for h in merged] == [30, 20, 10]
+
+    def test_tie_broken_by_index(self):
+        merged = merge_hits([[hit(5, 10)], [hit(2, 10)]])
+        assert [h.subject_index for h in merged] == [2, 5]
+
+    def test_duplicates_keep_best(self):
+        merged = merge_hits([[hit(3, 10)], [hit(3, 25)]])
+        assert len(merged) == 1
+        assert merged[0].score == 25
+
+    def test_top_limits(self):
+        lists = [[hit(i, i) for i in range(10)]]
+        assert len(merge_hits(lists, top=4)) == 4
+        assert len(merge_hits(lists, top=0)) == 10
+
+    def test_empty(self):
+        assert merge_hits([]) == ()
+        assert merge_hits([[], []]) == ()
+
+
+class TestChunkedRuntime:
+    def test_chunked_matches_single_chunk(self, rng):
+        from repro.align import BLOSUM62, DEFAULT_GAPS, database_search
+        from repro.core import HybridRuntime, InterSequenceEngine
+        from repro.sequences import query_set, random_database
+
+        queries = query_set(2, rng, 20, 40)
+        database = random_database(20, 50.0, rng, name="chunks")
+        runtime = HybridRuntime(
+            {"solo": InterSequenceEngine(BLOSUM62, DEFAULT_GAPS,
+                                         chunk_size=8)}
+        )
+        report = runtime.run(queries, database, chunks_per_query=3)
+        for query in queries:
+            expected = database_search(
+                query, database, BLOSUM62, DEFAULT_GAPS, top=10
+            ).hits
+            got = report.results[query.id]
+            assert [(h.subject_index, h.score) for h in got] == [
+                (h.subject_index, h.score) for h in expected
+            ]
+
+    def test_task_count_scales_with_chunks(self, rng):
+        from repro.core import build_tasks
+        from repro.sequences import query_set, random_database
+
+        queries = query_set(3, rng, 10, 20)
+        database = random_database(10, 30.0, rng)
+        chunks = list(database.chunks(4))
+        tasks = build_tasks(queries, database, chunks=chunks)
+        assert len(tasks) == 3 * len(chunks)
+        assert sum(t.cells for t in tasks) == sum(
+            len(q) * database.total_residues for q in queries
+        )
+
+    def test_invalid_chunks_per_query(self, rng):
+        from repro.align import BLOSUM62, DEFAULT_GAPS
+        from repro.core import HybridRuntime, ScanEngine
+        from repro.sequences import query_set, random_database
+
+        runtime = HybridRuntime({"a": ScanEngine(BLOSUM62, DEFAULT_GAPS)})
+        with pytest.raises(ValueError):
+            runtime.run(
+                query_set(1, rng, 10, 10),
+                random_database(5, 20.0, rng),
+                chunks_per_query=0,
+            )

@@ -1,0 +1,162 @@
+"""Unit tests for substitution matrices and scoring."""
+
+import numpy as np
+import pytest
+
+from repro.align import (
+    BLOSUM50,
+    BLOSUM62,
+    DNA_SIMPLE,
+    default_matrix_for,
+    get_matrix,
+    match_mismatch,
+)
+from repro.align.scoring import SubstitutionMatrix
+from repro.sequences import DNA, PROTEIN, RNA
+
+
+class TestBlosum62:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("A", "A", 4),
+            ("W", "W", 11),
+            ("C", "C", 9),
+            ("A", "R", -1),
+            ("W", "T", -2),
+            ("E", "Q", 2),
+            ("I", "L", 2),
+            ("G", "P", -2),
+            ("X", "X", -1),
+            ("*", "*", 1),
+            ("A", "*", -4),
+            ("B", "D", 4),
+            ("Z", "E", 4),
+        ],
+    )
+    def test_spot_values(self, a, b, expected):
+        assert BLOSUM62.score(a, b) == expected
+
+    def test_symmetric(self):
+        assert np.array_equal(BLOSUM62.scores, BLOSUM62.scores.T)
+
+    def test_diagonal_dominates_its_row_off_diagonals(self):
+        # Self-substitution is the max of each canonical residue's row.
+        for i in range(20):
+            row = BLOSUM62.scores[i, :20]
+            assert BLOSUM62.scores[i, i] == row.max()
+
+    def test_bounds(self):
+        assert BLOSUM62.max_score == 11
+        assert BLOSUM62.min_score == -4
+
+
+class TestBlosum50:
+    def test_spot_values(self):
+        assert BLOSUM50.score("W", "W") == 15
+        assert BLOSUM50.score("A", "A") == 5
+        assert BLOSUM50.score("C", "C") == 13
+        assert BLOSUM50.score("D", "N") == 2
+
+    def test_symmetric(self):
+        assert np.array_equal(BLOSUM50.scores, BLOSUM50.scores.T)
+
+
+class TestMatchMismatch:
+    def test_paper_scheme(self):
+        matrix = match_mismatch(1, -1)
+        assert matrix.score("A", "A") == 1
+        assert matrix.score("A", "C") == -1
+
+    def test_wildcard_neutral(self):
+        matrix = match_mismatch(1, -1, wildcard_score=0)
+        assert matrix.score("N", "A") == 0
+        assert matrix.score("N", "N") == 0
+
+    def test_custom_values(self):
+        matrix = match_mismatch(5, -4)
+        assert matrix.score("G", "G") == 5
+        assert matrix.score("G", "T") == -4
+
+
+class TestMatrixMechanics:
+    def test_profile_for(self):
+        codes = DNA.encode("ACGT")
+        profile = DNA_SIMPLE.profile_for(codes)
+        assert profile.shape == (DNA.size, 4)
+        # Row for residue A: +1 against the A column, -1 elsewhere.
+        a = DNA.code_of("A")
+        assert profile[a].tolist() == [1, -1, -1, -1]
+
+    def test_asymmetric_rejected(self):
+        bad = np.zeros((DNA.size, DNA.size), dtype=np.int16)
+        bad[0, 1] = 3
+        with pytest.raises(ValueError):
+            SubstitutionMatrix(name="bad", alphabet=DNA, scores=bad)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            SubstitutionMatrix(
+                name="bad", alphabet=DNA, scores=np.zeros((3, 3))
+            )
+
+    def test_scores_immutable(self):
+        with pytest.raises(ValueError):
+            BLOSUM62.scores[0, 0] = 99
+
+
+class TestMatrixFile:
+    def _write_blosum62(self, tmp_path):
+        from repro.align.scoring import _BLOSUM62_TEXT
+
+        path = tmp_path / "custom.mat"
+        path.write_text("# custom matrix\n" + _BLOSUM62_TEXT.strip() + "\n")
+        return path
+
+    def test_roundtrip_blosum62(self, tmp_path):
+        from repro.align.scoring import load_matrix_file
+
+        loaded = load_matrix_file(self._write_blosum62(tmp_path))
+        assert np.array_equal(loaded.scores, BLOSUM62.scores)
+        assert loaded.name == "custom.mat"
+
+    def test_missing_letters_get_minimum(self, tmp_path):
+        from repro.align.scoring import load_matrix_file
+
+        path = tmp_path / "tiny.mat"
+        path.write_text("   A  R\nA  4 -1\nR -1  5\n")
+        loaded = load_matrix_file(path)
+        assert loaded.score("A", "A") == 4
+        assert loaded.score("A", "R") == -1
+        assert loaded.score("W", "W") == -1  # absent -> file minimum
+
+    def test_ragged_row_rejected(self, tmp_path):
+        from repro.align.scoring import load_matrix_file
+
+        path = tmp_path / "bad.mat"
+        path.write_text("   A  R\nA  4\n")
+        with pytest.raises(ValueError):
+            load_matrix_file(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        from repro.align.scoring import load_matrix_file
+
+        path = tmp_path / "empty.mat"
+        path.write_text("# nothing here\n")
+        with pytest.raises(ValueError):
+            load_matrix_file(path)
+
+
+class TestRegistry:
+    def test_get_matrix(self):
+        assert get_matrix("blosum62") is BLOSUM62
+        assert get_matrix("BLOSUM50") is BLOSUM50
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_matrix("pam1000")
+
+    def test_defaults(self):
+        assert default_matrix_for(PROTEIN) is BLOSUM62
+        assert default_matrix_for(DNA) is DNA_SIMPLE
+        assert default_matrix_for(RNA).alphabet is RNA

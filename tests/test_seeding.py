@@ -1,0 +1,136 @@
+"""Unit tests for the k-mer seeding prefilter."""
+
+import pytest
+
+from repro.align import BLOSUM62, DEFAULT_GAPS, database_search
+from repro.align.seeding import (
+    KmerIndex,
+    seed_candidates,
+    seeded_search,
+)
+from repro.sequences import (
+    Sequence,
+    SequenceDatabase,
+    implant_homology,
+    random_database,
+    random_sequence,
+)
+
+
+@pytest.fixture(scope="module")
+def planted(tmp_path_factory):
+    import numpy as np
+
+    rng = np.random.default_rng(77)
+    database = random_database(80, 100.0, rng, name="seeded")
+    query = random_sequence(70, rng, seq_id="needle")
+    database = implant_homology(
+        database, query, [5, 50], rng, substitution_rate=0.08
+    )
+    return query, database
+
+
+class TestKmerIndex:
+    def test_lookup(self):
+        db = SequenceDatabase(
+            [Sequence(id="a", residues="MKVLMKVL"),
+             Sequence(id="b", residues="WWWWMKVL")]
+        )
+        index = KmerIndex(db, k=4)
+        hits = index.lookup("MKVL")
+        assert (0, 0) in hits and (0, 4) in hits and (1, 4) in hits
+
+    def test_wildcards_skipped(self):
+        db = SequenceDatabase([Sequence(id="a", residues="MKXVLA")])
+        index = KmerIndex(db, k=3)
+        assert index.lookup("MKX") == []
+        assert index.lookup("VLA") == [(0, 3)]
+
+    def test_wrong_k_rejected(self):
+        db = SequenceDatabase([Sequence(id="a", residues="MKVLA")])
+        index = KmerIndex(db, k=4)
+        with pytest.raises(ValueError):
+            index.lookup("MK")
+
+    def test_invalid_k(self):
+        db = SequenceDatabase([])
+        with pytest.raises(ValueError):
+            KmerIndex(db, k=0)
+
+
+class TestSeedCandidates:
+    def test_homologs_are_top_candidates(self, planted):
+        query, database = planted
+        index = KmerIndex(database, k=4)
+        candidates = seed_candidates(query, index, min_seeds=3)
+        top_ids = {database[c.subject_index].id for c in candidates[:2]}
+        assert top_ids == {
+            f"homolog_of_{query.id}@5",
+            f"homolog_of_{query.id}@50",
+        }
+
+    def test_diagonal_of_exact_copy(self):
+        core = "MKVLAWYRNDCEQGHISTPF"
+        db = SequenceDatabase(
+            [Sequence(id="host", residues="AAAAA" + core)]
+        )
+        index = KmerIndex(db, k=5)
+        query = Sequence(id="q", residues=core)
+        candidates = seed_candidates(query, index, min_seeds=2)
+        assert candidates[0].best_diagonal == -5
+
+    def test_min_seeds_validation(self, planted):
+        query, database = planted
+        index = KmerIndex(database, k=4)
+        with pytest.raises(ValueError):
+            seed_candidates(query, index, min_seeds=0)
+
+
+class TestSeededSearch:
+    def test_finds_planted_homologs(self, planted):
+        query, database = planted
+        index = KmerIndex(database, k=4)
+        result = seeded_search(query, index, top=2)
+        exact = database_search(query, database, BLOSUM62, DEFAULT_GAPS,
+                                top=2)
+        assert [h.subject_id for h in result.hits] == [
+            h.subject_id for h in exact.hits
+        ]
+        assert [h.score for h in result.hits] == [
+            h.score for h in exact.hits
+        ]
+
+    def test_far_fewer_cells_than_exact(self, planted):
+        query, database = planted
+        index = KmerIndex(database, k=4)
+        heuristic = seeded_search(query, index, min_seeds=3)
+        exact_cells = len(query) * database.total_residues
+        assert heuristic.cells < exact_cells / 2
+
+    def test_banded_variant_agrees_on_strong_hits(self, planted):
+        query, database = planted
+        index = KmerIndex(database, k=4)
+        full = seeded_search(query, index, top=2)
+        banded = seeded_search(query, index, top=2, band=16)
+        assert [h.subject_id for h in banded.hits] == [
+            h.subject_id for h in full.hits
+        ]
+        assert banded.hits[0].score == full.hits[0].score
+        assert banded.cells < full.cells
+
+    def test_heuristic_can_miss_weak_homology(self, rng):
+        """The sensitivity trade-off: no shared k-mer, no candidate."""
+        query = random_sequence(24, rng, seq_id="q")
+        # A subject matching the query perfectly but with every 3rd
+        # residue substituted kills all 4-mers.
+        mutated = list(query.residues)
+        for i in range(0, len(mutated), 3):
+            mutated[i] = "W" if mutated[i] != "W" else "Y"
+        db = SequenceDatabase(
+            [Sequence(id="weak", residues="".join(mutated))]
+        )
+        index = KmerIndex(db, k=4)
+        heuristic = seeded_search(query, index, min_seeds=1)
+        exact = database_search(query, db, BLOSUM62, DEFAULT_GAPS, top=1)
+        assert exact.hits[0].score > 0
+        assert len(heuristic.hits) == 0  # missed by seeding

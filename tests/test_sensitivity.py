@@ -1,0 +1,43 @@
+"""Unit tests for the sensitivity study harness."""
+
+import pytest
+
+from repro.bench import SensitivityPoint, sensitivity_study
+
+
+@pytest.fixture(scope="module")
+def points():
+    return sensitivity_study(
+        rates=(0.1, 0.6),
+        trials=3,
+        database_size=15,
+        query_length=50,
+    )
+
+
+class TestStudy:
+    def test_one_point_per_rate(self, points):
+        assert [p.substitution_rate for p in points] == [0.1, 0.6]
+        assert all(p.trials == 3 for p in points)
+
+    def test_recall_bounds(self, points):
+        for point in points:
+            assert 0.0 <= point.exact_recall <= 1.0
+            assert 0.0 <= point.seeded_recall <= 1.0
+
+    def test_exact_at_least_as_sensitive(self, points):
+        for point in points:
+            assert point.exact_recall >= point.seeded_recall
+
+    def test_identity_decreases_with_divergence(self, points):
+        assert points[0].mean_identity > points[1].mean_identity
+
+    def test_close_homology_perfect(self, points):
+        assert points[0].exact_recall == 1.0
+
+    def test_deterministic(self):
+        a = sensitivity_study(rates=(0.2,), trials=2, database_size=10,
+                              query_length=40, seed=3)
+        b = sensitivity_study(rates=(0.2,), trials=2, database_size=10,
+                              query_length=40, seed=3)
+        assert a == b

@@ -1,0 +1,139 @@
+"""Unit tests for Karlin-Altschul statistics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.align import (
+    BLOSUM50,
+    BLOSUM62,
+    DEFAULT_GAPS,
+    KarlinAltschul,
+    affine_gap,
+    calibrate,
+    database_search,
+    fit_gumbel,
+    stock_parameters,
+)
+from repro.sequences import random_database, random_sequence
+
+
+class TestKarlinAltschul:
+    def test_evalue_decreases_with_score(self):
+        ka = KarlinAltschul(lam=0.3, k=0.1)
+        assert ka.evalue(50, 100, 10_000) > ka.evalue(60, 100, 10_000)
+
+    def test_evalue_scales_with_search_space(self):
+        ka = KarlinAltschul(lam=0.3, k=0.1)
+        small = ka.evalue(40, 100, 1_000)
+        big = ka.evalue(40, 100, 10_000)
+        assert big == pytest.approx(10 * small)
+
+    def test_bit_score_formula(self):
+        ka = KarlinAltschul(lam=0.3, k=0.1)
+        expected = (0.3 * 50 - math.log(0.1)) / math.log(2)
+        assert ka.bit_score(50) == pytest.approx(expected)
+
+    def test_pvalue_bounded(self):
+        ka = KarlinAltschul(lam=0.3, k=0.1)
+        p = ka.pvalue(30, 200, 100_000)
+        assert 0.0 <= p <= 1.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            KarlinAltschul(lam=0.0, k=0.1)
+        with pytest.raises(ValueError):
+            KarlinAltschul(lam=0.3, k=-1.0)
+
+    def test_invalid_search_space(self):
+        ka = KarlinAltschul(lam=0.3, k=0.1)
+        with pytest.raises(ValueError):
+            ka.evalue(10, 0, 100)
+
+
+class TestGumbelFit:
+    def test_recovers_known_parameters(self, rng):
+        """Sampling from a Gumbel and fitting must recover lambda/K."""
+        lam_true, k_true, space = 0.30, 0.05, 120.0 * 400.0
+        beta = 1.0 / lam_true
+        mu = math.log(k_true * space) / lam_true
+        samples = rng.gumbel(mu, beta, size=20_000)
+        fitted = fit_gumbel(samples, space)
+        assert fitted.lam == pytest.approx(lam_true, rel=0.05)
+        assert fitted.k == pytest.approx(k_true, rel=0.5)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            fit_gumbel(np.ones(5), 100.0)
+
+    def test_degenerate_sample(self):
+        with pytest.raises(ValueError):
+            fit_gumbel(np.full(20, 42.0), 100.0)
+
+
+class TestCalibration:
+    def test_blosum62_ballpark(self):
+        ka = calibrate(
+            BLOSUM62, DEFAULT_GAPS, np.random.default_rng(3), samples=50
+        )
+        # Gapped BLOSUM62 lambda is ~0.25-0.35 across fitting methods.
+        assert 0.2 < ka.lam < 0.45
+
+    def test_stock_parameters_close_to_fresh_fit(self):
+        stock = stock_parameters(BLOSUM62, DEFAULT_GAPS)
+        assert stock is not None
+        fresh = calibrate(
+            BLOSUM62, DEFAULT_GAPS, np.random.default_rng(4), samples=60
+        )
+        assert fresh.lam == pytest.approx(stock.lam, rel=0.25)
+
+    def test_stock_unknown_combination(self):
+        assert stock_parameters(BLOSUM50, affine_gap(7, 3)) is None
+
+
+class TestSearchIntegration:
+    def test_auto_statistics_annotates_hits(self, rng, mini_database):
+        query = random_sequence(40, rng, seq_id="q")
+        result = database_search(
+            query, mini_database, top=5, statistics="auto"
+        )
+        for hit in result.hits:
+            assert hit.evalue is not None and hit.evalue > 0
+            assert hit.bit_score is not None
+        # Better scores -> smaller E-values.
+        evalues = [h.evalue for h in result.hits]
+        assert evalues == sorted(evalues)
+
+    def test_no_statistics_by_default(self, rng, mini_database):
+        query = random_sequence(20, rng, seq_id="q")
+        result = database_search(query, mini_database, top=3)
+        assert all(h.evalue is None for h in result.hits)
+
+    def test_evalue_cutoff_filters_noise(self, rng):
+        from repro.sequences import implant_homology
+
+        database = random_database(60, 120.0, rng, name="cut")
+        query = random_sequence(100, rng, seq_id="needle")
+        planted = implant_homology(database, query, [10], rng)
+        result = database_search(
+            query, planted, top=0, statistics="auto", evalue_cutoff=1e-3
+        )
+        assert len(result.hits) >= 1
+        assert all(h.evalue <= 1e-3 for h in result.hits)
+        assert result.hits[0].subject_id.startswith("homolog_of_")
+
+    def test_evalue_cutoff_requires_statistics(self, rng, mini_database):
+        query = random_sequence(20, rng, seq_id="q")
+        with pytest.raises(ValueError):
+            database_search(query, mini_database, evalue_cutoff=10.0)
+
+    def test_true_homolog_has_tiny_evalue(self, rng):
+        from repro.sequences import implant_homology
+
+        database = random_database(60, 120.0, rng, name="ev")
+        query = random_sequence(100, rng, seq_id="needle")
+        planted = implant_homology(database, query, [10], rng)
+        result = database_search(query, planted, top=2, statistics="auto")
+        assert result.hits[0].evalue < 1e-6
+        assert result.hits[1].evalue > result.hits[0].evalue * 1e3

@@ -1,0 +1,48 @@
+"""Unit tests for cell/GCUPS accounting."""
+
+import pytest
+
+from repro.align import gcups, pair_cells, task_cells, workload_cells
+from repro.sequences import Sequence, SequenceDatabase
+
+
+@pytest.fixture
+def db():
+    return SequenceDatabase(
+        [Sequence(id="a", residues="MKVL"), Sequence(id="b", residues="AWYRND")]
+    )
+
+
+class TestCells:
+    def test_pair_cells(self):
+        q = Sequence(id="q", residues="MKVLAW")
+        t = Sequence(id="t", residues="ACDE")
+        assert pair_cells(q, t) == 24
+        assert pair_cells(6, 4) == 24
+
+    def test_pair_cells_negative(self):
+        with pytest.raises(ValueError):
+            pair_cells(-1, 4)
+
+    def test_task_cells(self, db):
+        q = Sequence(id="q", residues="MKVLAW")
+        assert task_cells(q, db) == 6 * 10
+        assert task_cells(6, 10) == 60
+
+    def test_workload_cells(self, db):
+        queries = [
+            Sequence(id="q1", residues="MK"),
+            Sequence(id="q2", residues="MKVL"),
+        ]
+        assert workload_cells(queries, db) == (2 + 4) * 10
+        assert workload_cells([2, 4], 10) == 60
+
+
+class TestGcups:
+    def test_value(self):
+        assert gcups(2.8e9, 1.0) == pytest.approx(2.8)
+        assert gcups(1e9, 2.0) == pytest.approx(0.5)
+
+    def test_zero_time_rejected(self):
+        with pytest.raises(ValueError):
+            gcups(100, 0.0)

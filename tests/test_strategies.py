@@ -1,0 +1,79 @@
+"""Unit tests for the Fig. 3 decomposition models."""
+
+import numpy as np
+import pytest
+
+from repro.bench import paper_query_lengths
+from repro.bench.strategies import (
+    coarse_grained,
+    fine_grained,
+    very_coarse_grained,
+)
+
+RATE = 2.8e9
+RESIDUES = 12_000_000
+
+
+@pytest.fixture(scope="module")
+def lengths():
+    return paper_query_lengths()
+
+
+class TestFineGrained:
+    def test_single_pe_matches_ideal(self, lengths):
+        outcome = fine_grained(lengths, RESIDUES, 1, RATE,
+                               border_latency=0.0)
+        assert outcome.efficiency == pytest.approx(1.0, rel=1e-6)
+
+    def test_fill_drain_grows_with_pes(self, lengths):
+        efficiencies = [
+            fine_grained(lengths, RESIDUES, p, RATE).efficiency
+            for p in (2, 4, 8, 16)
+        ]
+        assert efficiencies == sorted(efficiencies, reverse=True)
+
+    def test_bigger_blocks_fewer_messages(self, lengths):
+        small = fine_grained(lengths, RESIDUES, 8, RATE, block_columns=64)
+        big = fine_grained(lengths, RESIDUES, 8, RATE, block_columns=1024)
+        # Fewer stages -> less communication, but longer fill/drain;
+        # with GigE-scale latency the communication term dominates.
+        assert big.seconds < small.seconds
+
+    def test_invalid_pes(self, lengths):
+        with pytest.raises(ValueError):
+            fine_grained(lengths, RESIDUES, 0, RATE)
+
+
+class TestCoarseGrained:
+    def test_nearly_ideal(self, lengths):
+        outcome = coarse_grained(lengths, RESIDUES, 8, RATE)
+        assert outcome.efficiency > 0.95
+
+    def test_perfect_with_zero_imbalance(self, lengths):
+        outcome = coarse_grained(
+            lengths, RESIDUES, 8, RATE, subset_imbalance=0.0
+        )
+        assert outcome.efficiency == pytest.approx(1.0)
+
+
+class TestVeryCoarseGrained:
+    def test_imbalance_grows_with_pes(self, lengths):
+        efficiencies = [
+            very_coarse_grained(lengths, RESIDUES, p, RATE).efficiency
+            for p in (2, 4, 8, 16)
+        ]
+        assert efficiencies[0] > efficiencies[-1]
+
+    def test_one_task_per_pe_fully_exposed(self):
+        # P tasks on P PEs: makespan = longest task, however unequal.
+        lengths = np.array([100, 100, 100, 5000])
+        outcome = very_coarse_grained(lengths, RESIDUES, 4, RATE)
+        assert outcome.seconds == pytest.approx(
+            5000 * RESIDUES / RATE
+        )
+        assert outcome.efficiency < 0.30
+
+    def test_never_beats_ideal(self, lengths):
+        for p in (2, 4, 8):
+            outcome = very_coarse_grained(lengths, RESIDUES, p, RATE)
+            assert outcome.seconds >= outcome.ideal_seconds - 1e-9

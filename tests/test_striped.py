@@ -1,0 +1,120 @@
+"""Unit tests for the adapted-Farrar striped kernel (Section IV-C)."""
+
+import numpy as np
+import pytest
+
+from repro.align import (
+    SCORE_CAP_8BIT,
+    SCORE_CAP_16BIT,
+    SaturationOverflow,
+    StripedProfile,
+    affine_gap,
+    sw_score_reference,
+    sw_score_striped,
+)
+from repro.align.striped import sw_score_striped_once
+from repro.sequences import Sequence, random_sequence
+
+from conftest import make_protein
+
+
+class TestStripedProfile:
+    def test_layout(self, blosum62):
+        codes = blosum62.alphabet.encode("ARNDCQE")  # m = 7
+        profile = StripedProfile.build(codes, blosum62, lanes=4)
+        assert profile.seglen == 2  # ceil(7 / 4)
+        assert profile.lanes == 4
+        # Position l * seglen + i: lane 1, vector 0 = query position 2 (N).
+        n_code = blosum62.alphabet.code_of("N")
+        assert profile.scores[n_code][0, 1] == blosum62.score("N", "N")
+
+    def test_padding_is_strongly_negative(self, blosum62):
+        codes = blosum62.alphabet.encode("ARN")  # m = 3, lanes 4 -> 1 pad
+        profile = StripedProfile.build(codes, blosum62, lanes=4)
+        assert profile.scores[0][0, 3] < -1_000_000
+
+    def test_empty_query_rejected(self, blosum62):
+        with pytest.raises(ValueError):
+            StripedProfile.build(np.array([], dtype=np.int8), blosum62)
+
+    def test_bad_lanes_rejected(self, blosum62):
+        codes = blosum62.alphabet.encode("ARN")
+        with pytest.raises(ValueError):
+            StripedProfile.build(codes, blosum62, lanes=0)
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("lanes", [2, 4, 16])
+    def test_matches_reference(self, rng, blosum62, default_gaps, lanes):
+        for _ in range(6):
+            s = random_sequence(int(rng.integers(4, 70)), rng)
+            t = random_sequence(int(rng.integers(4, 70)), rng)
+            expected = sw_score_reference(s, t, blosum62, default_gaps)
+            result = sw_score_striped(
+                s, t, blosum62, default_gaps, lanes=lanes
+            )
+            assert result.score == expected
+
+    def test_query_shorter_than_lanes(self, blosum62, default_gaps):
+        s = make_protein("MK", "s")
+        t = make_protein("MKVLAW", "t")
+        expected = sw_score_reference(s, t, blosum62, default_gaps)
+        assert (
+            sw_score_striped(s, t, blosum62, default_gaps, lanes=16).score
+            == expected
+        )
+
+    def test_tight_gap_model_stresses_lazy_f(self, blosum62):
+        gaps = affine_gap(1, 1)
+        s = make_protein("WAWAWAWAWAWAWAWAWAWA", "s")
+        t = make_protein("WWWWWWWWWW", "t")
+        expected = sw_score_reference(s, t, blosum62, gaps)
+        assert sw_score_striped(s, t, blosum62, gaps).score == expected
+
+    def test_zero_open_gap_terminates(self, blosum62):
+        """ge == 0 must not hang the lazy-F loop (saturation semantics)."""
+        gaps = affine_gap(3, 0)
+        s = make_protein("MKVLAWYRNDMKVLAWYRND", "s")
+        t = make_protein("MKVLAWMKVLAW", "t")
+        expected = sw_score_reference(s, t, blosum62, gaps)
+        assert sw_score_striped(s, t, blosum62, gaps).score == expected
+
+    def test_empty_inputs(self, blosum62, default_gaps):
+        assert sw_score_striped("", "ACD", blosum62, default_gaps).score == 0
+        assert sw_score_striped("ACD", "", blosum62, default_gaps).score == 0
+
+
+class TestPrecisionPipeline:
+    def test_small_score_uses_8bit(self, blosum62, default_gaps, rng):
+        s = random_sequence(20, rng)
+        t = random_sequence(20, rng)
+        result = sw_score_striped(s, t, blosum62, default_gaps)
+        assert result.precision == 8
+        assert result.score < SCORE_CAP_8BIT
+
+    def test_overflow_falls_back_to_16bit(self, blosum62, default_gaps):
+        # Self-alignment of 60 tryptophans scores 660 > 255.
+        s = make_protein("W" * 60, "s")
+        result = sw_score_striped(s, s, blosum62, default_gaps)
+        assert result.score == 60 * 11
+        assert result.precision == 16
+
+    def test_8bit_pass_raises_saturation(self, blosum62, default_gaps):
+        s = make_protein("W" * 60, "s")
+        codes = blosum62.alphabet.encode(s.residues)
+        profile = StripedProfile.build(codes, blosum62, lanes=16)
+        with pytest.raises(SaturationOverflow):
+            sw_score_striped_once(
+                profile, codes, default_gaps, cap=SCORE_CAP_8BIT
+            )
+
+    def test_extreme_score_uses_unbounded_pass(self, blosum62, default_gaps):
+        s = make_protein("W" * 3200, "s")
+        result = sw_score_striped(s, s, blosum62, default_gaps)
+        assert result.score == 3200 * 11  # 35,200 > 32,767
+        assert result.precision == 64
+
+    def test_cells_counted(self, blosum62, default_gaps, rng):
+        s = random_sequence(11, rng)
+        t = random_sequence(13, rng)
+        assert sw_score_striped(s, t, blosum62, default_gaps).cells == 143

@@ -1,0 +1,56 @@
+"""Unit tests for the SVG Gantt renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.bench import fig5_schedule
+from repro.simulate import gantt_svg, write_gantt_svg
+
+
+@pytest.fixture(scope="module")
+def report():
+    return fig5_schedule().with_adjustment
+
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+class TestGanttSvg:
+    def test_valid_xml(self, report):
+        document = gantt_svg(report, title="Fig. 5")
+        root = ET.fromstring(document)
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_rect_per_interval_plus_background(self, report):
+        root = ET.fromstring(gantt_svg(report))
+        rects = root.findall(f".//{SVG_NS}rect")
+        assert len(rects) == 1 + len(report.intervals)
+
+    def test_rows_labelled_with_pe_ids(self, report):
+        document = gantt_svg(report)
+        for pe_id in report.tasks_won:
+            assert f">{pe_id}</text>" in document
+
+    def test_title_escaped(self, report):
+        document = gantt_svg(report, title="a < b & c")
+        assert "a &lt; b &amp; c" in document
+        ET.fromstring(document)  # still valid XML
+
+    def test_lost_intervals_grayed(self, report):
+        document = gantt_svg(report)
+        assert "#bbbbbb" in document  # cancelled SSE replicas
+
+    def test_axis_shows_horizon(self, report):
+        assert f"{report.makespan:.1f}s" in gantt_svg(report)
+
+    def test_write_to_file(self, report, tmp_path):
+        path = tmp_path / "schedule.svg"
+        returned = write_gantt_svg(report, str(path), title="t")
+        assert returned == str(path)
+        ET.parse(path)  # parses from disk
+
+    def test_tooltips_carry_task_details(self, report):
+        root = ET.fromstring(gantt_svg(report))
+        titles = [t.text for t in root.findall(f".//{SVG_NS}title")]
+        assert any("task 0 on" in t for t in titles)

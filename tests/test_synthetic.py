@@ -1,0 +1,130 @@
+"""Unit tests for repro.sequences.synthetic."""
+
+import numpy as np
+import pytest
+
+from repro.sequences import (
+    AMINO_ACID_FREQUENCIES,
+    DNA,
+    PROTEIN,
+    implant_homology,
+    mutate,
+    query_set,
+    random_database,
+    random_sequence,
+)
+
+
+class TestRandomSequence:
+    def test_length_and_alphabet(self, rng):
+        seq = random_sequence(50, rng)
+        assert len(seq) == 50
+        assert seq.alphabet is PROTEIN
+        assert all(ch in PROTEIN.letters[:20] for ch in seq.residues)
+
+    def test_dna(self, rng):
+        seq = random_sequence(30, rng, alphabet=DNA)
+        assert set(seq.residues) <= set("ACGT")
+
+    def test_zero_length(self, rng):
+        assert len(random_sequence(0, rng)) == 0
+
+    def test_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_sequence(-1, rng)
+
+    def test_deterministic_with_seed(self):
+        a = random_sequence(40, np.random.default_rng(7))
+        b = random_sequence(40, np.random.default_rng(7))
+        assert a.residues == b.residues
+
+    def test_frequencies_sum_to_one(self):
+        assert AMINO_ACID_FREQUENCIES.sum() == pytest.approx(1.0)
+        assert len(AMINO_ACID_FREQUENCIES) == 20
+
+
+class TestRandomDatabase:
+    def test_geometry(self, rng):
+        db = random_database(200, 120.0, rng, name="x", min_length=30)
+        assert len(db) == 200
+        assert db.lengths.min() >= 30
+        # Gamma mean should land near the target with 200 samples.
+        assert db.stats().mean_length == pytest.approx(120.0, rel=0.25)
+
+    def test_max_length_clip(self, rng):
+        db = random_database(100, 100.0, rng, max_length=150)
+        assert db.lengths.max() <= 150
+
+    def test_empty(self, rng):
+        assert len(random_database(0, 100.0, rng)) == 0
+
+    def test_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_database(-1, 10.0, rng)
+
+    def test_ids_unique(self, rng):
+        db = random_database(50, 40.0, rng)
+        assert len({r.id for r in db}) == 50
+
+    def test_ids_survive_fasta_roundtrip(self, rng):
+        """Names with spaces must not truncate record ids (the FASTA id
+        is the first header token)."""
+        import io
+
+        from repro.sequences import read_fasta, write_fasta
+
+        db = random_database(5, 30.0, rng, name="Ensembl Dog Proteins")
+        buffer = io.StringIO()
+        write_fasta(db, buffer)
+        buffer.seek(0)
+        loaded = read_fasta(buffer)
+        assert [r.id for r in loaded] == [r.id for r in db]
+        assert len({r.id for r in loaded}) == 5
+
+
+class TestQuerySet:
+    def test_paper_design(self, rng):
+        queries = query_set(40, rng, min_length=100, max_length=5000)
+        lengths = [len(q) for q in queries]
+        assert lengths[0] == 100
+        assert lengths[-1] == 5000
+        # Equally distributed: uniform spacing of ~125.6 residues.
+        diffs = np.diff(lengths)
+        assert diffs.max() - diffs.min() <= 1
+
+    def test_single(self, rng):
+        assert len(query_set(1, rng, 100, 5000)[0]) == 100
+
+    def test_empty(self, rng):
+        assert query_set(0, rng) == []
+
+
+class TestMutate:
+    def test_zero_rates_identity(self, rng):
+        seq = random_sequence(80, rng)
+        copy = mutate(seq, rng, substitution_rate=0.0, indel_rate=0.0)
+        assert copy.residues == seq.residues
+
+    def test_high_substitution_changes_sequence(self, rng):
+        seq = random_sequence(200, rng)
+        copy = mutate(seq, rng, substitution_rate=0.9, indel_rate=0.0)
+        assert copy.residues != seq.residues
+        assert len(copy) == len(seq)  # no indels requested
+
+    def test_invalid_rates(self, rng):
+        seq = random_sequence(10, rng)
+        with pytest.raises(ValueError):
+            mutate(seq, rng, substitution_rate=1.5)
+
+
+class TestImplantHomology:
+    def test_planted_record_present(self, rng, mini_database):
+        query = random_sequence(60, rng, seq_id="needle")
+        planted = implant_homology(mini_database, query, [3], rng)
+        assert "homolog_of_needle@3" in [r.id for r in planted]
+        assert len(planted) == len(mini_database)
+
+    def test_out_of_range(self, rng, mini_database):
+        query = random_sequence(10, rng)
+        with pytest.raises(IndexError):
+            implant_homology(mini_database, query, [999], rng)

@@ -1,0 +1,154 @@
+"""Tests asserting the paper's table-level claims on the regenerated data."""
+
+import pytest
+
+from repro.bench import (
+    table1_policies,
+    table2_databases,
+    table3_sse,
+    table4_gpu,
+    table5_hybrid,
+)
+from repro.sequences import ENSEMBL_DOG, SWISSPROT
+
+
+def by_config(rows, database):
+    return {
+        row.configuration: row for row in rows if row.database == database
+    }
+
+
+@pytest.fixture(scope="module")
+def t3():
+    return table3_sse(databases=(ENSEMBL_DOG, SWISSPROT))
+
+
+@pytest.fixture(scope="module")
+def t4():
+    return table4_gpu()
+
+
+@pytest.fixture(scope="module")
+def t5():
+    return table5_hybrid(databases=(ENSEMBL_DOG, SWISSPROT))
+
+
+class TestTable2:
+    def test_rows(self):
+        rows = table2_databases()
+        assert len(rows) == 5
+        assert rows[-1] == ("UniProtDB/SwissProt", 537_505, 100, 4_998)
+
+
+class TestTable3:
+    """SSE cores: "speedups close to linear are obtained for all
+    databases"."""
+
+    def test_near_linear_speedup(self, t3):
+        """Close-to-linear scaling, with the 8-core tail effect bounded.
+
+        With 40 very coarse tasks on 8 equal PEs the biggest task (4.8%
+        of the work) caps the speedup at ~6.3-7.9 depending on when it
+        is submitted; the paper's "close to linear" claim is asserted as
+        >= 78% parallel efficiency up to 4 cores and >= 75% at 8.
+        """
+        for database in (ENSEMBL_DOG.name, SWISSPROT.name):
+            rows = by_config(t3, database)
+            base = rows["1 SSE"].seconds
+            for cores in (2, 4):
+                speedup = base / rows[f"{cores} SSE"].seconds
+                assert speedup == pytest.approx(cores, rel=0.12)
+            assert base / rows["8 SSE"].seconds >= 6.0
+
+    def test_longest_first_order_recovers_linear_8_cores(self):
+        """Ordering ablation: LPT submission removes most of the tail."""
+        from repro.bench import run_configuration, tasks_for_profile
+
+        tasks = tasks_for_profile(ENSEMBL_DOG, order="longest")
+        eight = run_configuration(list(tasks), 0, 8)
+        one = run_configuration(
+            tasks_for_profile(ENSEMBL_DOG, order="longest"), 0, 1
+        )
+        assert one.makespan / eight.makespan >= 7.5
+
+    def test_one_core_rate_is_farrar_class(self, t3):
+        rows = by_config(t3, SWISSPROT.name)
+        assert rows["1 SSE"].gcups == pytest.approx(2.8, rel=0.05)
+
+    def test_swissprot_headline_seconds(self, t3):
+        rows = by_config(t3, SWISSPROT.name)
+        assert rows["1 SSE"].seconds == pytest.approx(7_190, rel=0.05)
+
+
+class TestTable4:
+    """GPUs: near-linear scaling; much better GCUPS on SwissProt."""
+
+    def test_near_linear_speedup(self, t4):
+        rows = by_config(t4, SWISSPROT.name)
+        base = rows["1 GPU"].seconds
+        assert base / rows["2 GPU"].seconds == pytest.approx(2, rel=0.15)
+        assert base / rows["4 GPU"].seconds == pytest.approx(4, rel=0.20)
+
+    def test_swissprot_gcups_about_double_small_databases(self, t4):
+        swiss = by_config(t4, SWISSPROT.name)["4 GPU"].gcups
+        small = by_config(t4, ENSEMBL_DOG.name)["4 GPU"].gcups
+        assert 1.5 <= swiss / small <= 3.0
+
+    def test_gpu_beats_sse_everywhere(self, t4, t3):
+        for database in (ENSEMBL_DOG.name, SWISSPROT.name):
+            gpu = by_config(t4, database)["1 GPU"].gcups
+            sse = by_config(t3, database)["1 SSE"].gcups
+            assert gpu > 4 * sse
+
+
+class TestTable5:
+    """Hybrid: adding SSEs helps 1-2 GPU configs; on the small databases
+    4 GPUs alone stay competitive with 4 GPUs + 4 SSEs; SwissProt's best
+    configuration is the full hybrid."""
+
+    def test_hybrid_beats_gpu_only_on_swissprot(self, t5, t4):
+        hybrid = by_config(t5, SWISSPROT.name)
+        gpu_only = by_config(t4, SWISSPROT.name)
+        assert hybrid["1 GPU+4 SSE"].gcups > gpu_only["1 GPU"].gcups
+        assert hybrid["2 GPU+4 SSE"].gcups > gpu_only["2 GPU"].gcups
+        assert hybrid["4 GPU+4 SSE"].gcups > gpu_only["4 GPU"].gcups
+
+    def test_more_sse_helps_single_gpu(self, t5):
+        rows = by_config(t5, SWISSPROT.name)
+        assert rows["1 GPU+4 SSE"].gcups > rows["1 GPU+1 SSE"].gcups
+
+    def test_small_database_gpu_only_competitive(self, t5, t4):
+        """Paper: "better results are obtained with the 4 GPUs execution
+        for the first four databases" — the SSE contribution is
+        negligible-to-negative there.  We assert the weaker, robust form:
+        the hybrid gains far less on Dog than on SwissProt."""
+        dog_gain = (
+            by_config(t5, ENSEMBL_DOG.name)["4 GPU+4 SSE"].gcups
+            / by_config(t4, ENSEMBL_DOG.name)["4 GPU"].gcups
+        )
+        swiss_gain = (
+            by_config(t5, SWISSPROT.name)["4 GPU+4 SSE"].gcups
+            / by_config(t4, SWISSPROT.name)["4 GPU"].gcups
+        )
+        assert dog_gain < 1.10
+        assert dog_gain < swiss_gain + 0.05
+
+
+class TestTable1Policies:
+    def test_reassignment_wins(self):
+        rows = {r.policy: r for r in table1_policies()}
+        assert rows["PSS+reassign"].makespan <= rows["PSS"].makespan
+        assert rows["SS+reassign"].makespan <= rows["SS"].makespan
+        # The Fig. 5 numbers: reassignment saves 4 s on this platform.
+        assert rows["PSS+reassign"].makespan == pytest.approx(14.0)
+        assert rows["PSS"].makespan == pytest.approx(18.0)
+
+    def test_fixed_is_worst(self):
+        rows = {r.policy: r for r in table1_policies()}
+        worst = max(r.makespan for r in rows.values())
+        assert rows["Fixed"].makespan == worst
+
+    def test_replica_counts(self):
+        rows = {r.policy: r for r in table1_policies()}
+        assert rows["Fixed"].replicas == 0
+        assert rows["PSS+reassign"].replicas > 0

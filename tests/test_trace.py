@@ -1,0 +1,78 @@
+"""Unit tests for trace rendering (Gantt charts, rate series)."""
+
+import pytest
+
+from repro.bench import fig5_schedule, uniform_tasks
+from repro.simulate import (
+    HybridSimulator,
+    PESpec,
+    UniformModel,
+    binned_rate_series,
+    gantt,
+    rate_series,
+)
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return fig5_schedule()
+
+
+class TestGantt:
+    def test_one_row_per_pe(self, fig5):
+        text = gantt(fig5.with_adjustment)
+        lines = [line for line in text.splitlines() if "|" in line]
+        assert len(lines) == 4  # gpu1 + 3 SSEs
+
+    def test_cancelled_replicas_marked(self, fig5):
+        text = gantt(fig5.with_adjustment)
+        assert "x" in text
+
+    def test_no_cancellations_without_adjustment(self, fig5):
+        text = gantt(fig5.without_adjustment)
+        assert "x" not in text
+
+    def test_axis_shows_horizon(self, fig5):
+        assert "14.0s" in gantt(fig5.with_adjustment)
+        assert "18.0s" in gantt(fig5.without_adjustment)
+
+    def test_empty_report(self):
+        from repro.simulate.des import SimReport
+
+        empty = SimReport(
+            makespan=0.0, total_cells=0, tasks_won={}, replicas_assigned=0,
+            intervals=[], trace=[], policy_name="pss", adjustment=True,
+        )
+        assert gantt(empty) == "(empty run)"
+
+
+class TestRateSeries:
+    @pytest.fixture(scope="class")
+    def report(self):
+        sim = HybridSimulator(
+            [PESpec("pe0", UniformModel(rate=2e9))],
+            comm_latency=0.0,
+            notify_interval=0.5,
+        )
+        return sim.run(uniform_tasks(4, cells=2_000_000_000))
+
+    def test_gcups_conversion(self, report):
+        series = rate_series(report, "pe0")
+        assert series
+        assert all(rate == pytest.approx(2.0) for _, rate in series)
+
+    def test_raw_rates(self, report):
+        series = rate_series(report, "pe0", to_gcups=False)
+        assert series[0][1] == pytest.approx(2e9)
+
+    def test_binned(self, report):
+        binned = binned_rate_series(report, "pe0", bin_seconds=1.0)
+        assert binned
+        assert all(rate == pytest.approx(2.0) for _, rate in binned)
+
+    def test_binned_validates(self, report):
+        with pytest.raises(ValueError):
+            binned_rate_series(report, "pe0", bin_seconds=0.0)
+
+    def test_unknown_pe_empty(self, report):
+        assert rate_series(report, "ghost") == []

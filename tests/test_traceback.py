@@ -1,0 +1,135 @@
+"""Unit tests for Phase 2: traceback and the Alignment type."""
+
+import pytest
+
+from repro.align import (
+    Alignment,
+    linear_gap,
+    match_mismatch,
+    sw_align_reference,
+    sw_matrix,
+    traceback,
+)
+from repro.sequences import Sequence
+
+from conftest import make_protein
+
+
+class TestAlignmentType:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Alignment(
+                query_id="q", subject_id="t", score=1,
+                aligned_query="AC", aligned_subject="A",
+                query_start=0, query_end=2, subject_start=0, subject_end=1,
+            )
+
+    def test_identity_and_matches(self):
+        alignment = Alignment(
+            query_id="q", subject_id="t", score=5,
+            aligned_query="ACG-T", aligned_subject="ACGAT",
+            query_start=0, query_end=4, subject_start=0, subject_end=5,
+        )
+        assert alignment.length == 5
+        assert alignment.matches == 4
+        assert alignment.gaps == 1
+        assert alignment.identity == pytest.approx(0.8)
+
+    def test_midline(self):
+        alignment = Alignment(
+            query_id="q", subject_id="t", score=1,
+            aligned_query="AC-T", aligned_subject="AGCT",
+            query_start=0, query_end=3, subject_start=0, subject_end=4,
+        )
+        assert alignment.midline() == "|  |"
+
+    def test_cigar(self):
+        alignment = Alignment(
+            query_id="q", subject_id="t", score=1,
+            aligned_query="ACGT--A", aligned_subject="AC--GTA",
+            query_start=0, query_end=5, subject_start=0, subject_end=5,
+        )
+        assert alignment.cigar() == "2M2I2D1M"
+
+    def test_pretty_contains_coordinates(self):
+        alignment = Alignment(
+            query_id="q", subject_id="t", score=4,
+            aligned_query="ACGT", aligned_subject="ACGT",
+            query_start=10, query_end=14, subject_start=2, subject_end=6,
+        )
+        text = alignment.pretty(width=2)
+        assert "q x t" in text
+        assert "Query      11" in text  # 1-based rendering
+        assert "Sbjct       3" in text
+
+
+class TestTraceback:
+    def test_perfect_match(self, dna_scheme):
+        matrix, gaps = dna_scheme
+        s = Sequence(id="s", residues="ACGT")
+        t = Sequence(id="t", residues="ACGT")
+        alignment = sw_align_reference(s, t, matrix, gaps)
+        assert alignment.aligned_query == "ACGT"
+        assert alignment.aligned_subject == "ACGT"
+        assert alignment.score == 4
+        assert alignment.identity == 1.0
+
+    def test_internal_match_coordinates(self, dna_scheme):
+        matrix, gaps = dna_scheme
+        s = Sequence(id="s", residues="TTACGTTT")
+        t = Sequence(id="t", residues="GGACGGG")
+        alignment = sw_align_reference(s, t, matrix, gaps)
+        assert alignment.aligned_query == "ACG"
+        assert (
+            s.residues[alignment.query_start : alignment.query_end]
+            == alignment.aligned_query.replace("-", "")
+        )
+        assert (
+            t.residues[alignment.subject_start : alignment.subject_end]
+            == alignment.aligned_subject.replace("-", "")
+        )
+
+    def test_rescore_equals_score_many_cases(
+        self, blosum62, default_gaps, small_proteins
+    ):
+        for s in small_proteins:
+            for t in small_proteins:
+                alignment = sw_align_reference(s, t, blosum62, default_gaps)
+                assert alignment.rescore(blosum62, default_gaps) == (
+                    alignment.score
+                )
+
+    def test_gapped_alignment(self, blosum62):
+        from repro.align import affine_gap
+
+        gaps = affine_gap(5, 1)
+        s = make_protein("MKVLAWYRND", "s")
+        t = make_protein("MKVLAWQQQYRND", "t")
+        alignment = sw_align_reference(s, t, blosum62, gaps)
+        assert "-" in alignment.aligned_query
+        assert alignment.rescore(blosum62, gaps) == alignment.score
+
+    def test_zero_score_gives_empty_alignment(self, dna_scheme):
+        matrix, gaps = dna_scheme
+        s = Sequence(id="s", residues="AAAA")
+        t = Sequence(id="t", residues="TTTT")
+        alignment = sw_align_reference(s, t, matrix, gaps)
+        assert alignment.score == 0
+        assert alignment.length == 0
+
+    def test_linear_gap_traceback(self):
+        matrix = match_mismatch(2, -1)
+        gaps = linear_gap(1)
+        s = Sequence(id="s", residues="ACGTACGT")
+        t = Sequence(id="t", residues="ACGACGT")
+        alignment = sw_align_reference(s, t, matrix, gaps)
+        assert alignment.rescore(matrix, gaps) == alignment.score
+
+    def test_traceback_explicit_matrices(self, dna_scheme):
+        matrix, gaps = dna_scheme
+        s = Sequence(id="s", residues="GCTGACCT")
+        t = Sequence(id="t", residues="GAAGCTA")
+        matrices = sw_matrix(s, t, matrix, gaps)
+        alignment = traceback(s, t, matrices, matrix, gaps)
+        assert alignment.score == 3
+        assert alignment.rescore(matrix, gaps) == 3

@@ -1,0 +1,112 @@
+"""Unit tests for DNA/RNA translation."""
+
+import pytest
+
+from repro.sequences import DNA, PROTEIN, RNA, Sequence
+from repro.sequences.translate import (
+    GENETIC_CODE,
+    reading_frames,
+    six_frame_translations,
+    translate,
+)
+
+
+class TestGeneticCode:
+    def test_complete(self):
+        assert len(GENETIC_CODE) == 64
+
+    def test_stop_codons(self):
+        stops = [codon for codon, aa in GENETIC_CODE.items() if aa == "*"]
+        assert sorted(stops) == ["TAA", "TAG", "TGA"]
+
+    def test_start_codon(self):
+        assert GENETIC_CODE["ATG"] == "M"
+
+    def test_amino_acids_in_protein_alphabet(self):
+        for aa in GENETIC_CODE.values():
+            assert aa in PROTEIN.letters
+
+
+class TestTranslate:
+    def test_forward_frame1(self):
+        seq = Sequence(id="x", residues="ATGAAATGA", alphabet=DNA)
+        assert translate(seq).residues == "MK*"
+
+    def test_forward_frame_offsets(self):
+        seq = Sequence(id="x", residues="GATGAAA", alphabet=DNA)
+        assert translate(seq, 2).residues == "MK"  # skips the leading G
+        assert translate(seq, 3).residues == "*"  # TGA is a stop codon
+
+    def test_reverse_frames_use_reverse_complement(self):
+        # revcomp(ATGAAA) = TTTCAT; frame -1 reads TTT CAT = F H.
+        seq = Sequence(id="x", residues="ATGAAA", alphabet=DNA)
+        assert translate(seq, -1).residues == "FH"
+
+    def test_rna_input(self):
+        seq = Sequence(id="x", residues="AUGAAA", alphabet=RNA)
+        assert translate(seq).residues == "MK"
+
+    def test_ambiguous_base_gives_x(self):
+        seq = Sequence(id="x", residues="ATGNNN", alphabet=DNA)
+        assert translate(seq).residues == "MX"
+
+    def test_partial_codon_dropped(self):
+        seq = Sequence(id="x", residues="ATGAA", alphabet=DNA)
+        assert translate(seq).residues == "M"
+
+    def test_protein_rejected(self):
+        seq = Sequence(id="x", residues="MKVLAW")
+        with pytest.raises(ValueError):
+            translate(seq)
+
+    def test_bad_frame(self):
+        seq = Sequence(id="x", residues="ATG", alphabet=DNA)
+        with pytest.raises(ValueError):
+            translate(seq, 4)
+
+    def test_frame_in_id(self):
+        seq = Sequence(id="gene", residues="ATGATG", alphabet=DNA)
+        assert translate(seq, 1).id == "gene|frame+1"
+        assert translate(seq, -2).id == "gene|frame-2"
+
+    def test_output_is_protein(self):
+        seq = Sequence(id="x", residues="ATGATG", alphabet=DNA)
+        assert translate(seq).alphabet is PROTEIN
+
+
+class TestFrames:
+    def test_reading_frames(self):
+        seq = Sequence(id="x", residues="ATG", alphabet=DNA)
+        assert reading_frames(seq, "forward") == [1, 2, 3]
+        assert reading_frames(seq, "reverse") == [-1, -2, -3]
+        assert reading_frames(seq, "both") == [1, 2, 3, -1, -2, -3]
+        with pytest.raises(ValueError):
+            reading_frames(seq, "sideways")
+
+    def test_six_frames(self):
+        seq = Sequence(id="x", residues="ATGAAATTTGGG", alphabet=DNA)
+        frames = six_frame_translations(seq)
+        assert len(frames) == 6
+        assert len({f.id for f in frames}) == 6
+
+    def test_translated_homology_recovered(self, rng):
+        """A protein encoded in DNA is found by translated search."""
+        from repro.align import BLOSUM62, DEFAULT_GAPS, sw_score_scan
+        from repro.sequences import random_sequence
+
+        protein = random_sequence(40, rng, seq_id="prot")
+        # Reverse-translate naively (pick one codon per residue).
+        codon_for = {aa: codon for codon, aa in GENETIC_CODE.items()}
+        dna = Sequence(
+            id="gene",
+            residues="".join(codon_for[aa] for aa in protein.residues),
+            alphabet=DNA,
+        )
+        frames = six_frame_translations(dna)
+        scores = [
+            sw_score_scan(frame, protein, BLOSUM62, DEFAULT_GAPS).score
+            for frame in frames
+        ]
+        ideal = sum(BLOSUM62.score(c, c) for c in protein.residues)
+        assert max(scores) == ideal
+        assert scores.index(max(scores)) == 0  # frame +1

@@ -1,0 +1,69 @@
+"""Unit tests for the anti-diagonal wavefront kernel (Fig. 3a)."""
+
+import pytest
+
+from repro.align import (
+    affine_gap,
+    linear_gap,
+    match_mismatch,
+    sw_score,
+    sw_score_reference,
+    sw_score_wavefront,
+)
+from repro.sequences import Sequence, random_sequence
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("go,ge", [(10, 2), (5, 5), (3, 1)])
+    def test_matches_reference(self, rng, blosum62, go, ge):
+        gaps = affine_gap(go, ge)
+        for _ in range(8):
+            a = random_sequence(int(rng.integers(2, 55)), rng)
+            b = random_sequence(int(rng.integers(2, 55)), rng)
+            assert (
+                sw_score_wavefront(a, b, blosum62, gaps).score
+                == sw_score_reference(a, b, blosum62, gaps)
+            )
+
+    def test_paper_figure2(self):
+        matrix, gaps = match_mismatch(1, -1), linear_gap(2)
+        s = Sequence(id="s", residues="GCTGACCT")
+        t = Sequence(id="t", residues="GAAGCTA")
+        assert sw_score_wavefront(s, t, matrix, gaps).score == 3
+
+    def test_asymmetric_shapes(self, blosum62, default_gaps, rng):
+        a = random_sequence(3, rng)
+        b = random_sequence(60, rng)
+        assert (
+            sw_score_wavefront(a, b, blosum62, default_gaps).score
+            == sw_score_reference(a, b, blosum62, default_gaps)
+        )
+        assert (
+            sw_score_wavefront(b, a, blosum62, default_gaps).score
+            == sw_score_reference(b, a, blosum62, default_gaps)
+        )
+
+    def test_single_residues(self, blosum62, default_gaps):
+        s = Sequence(id="s", residues="W")
+        assert sw_score_wavefront(s, s, blosum62, default_gaps).score == 11
+
+
+class TestMetadata:
+    def test_empty_inputs(self, blosum62, default_gaps):
+        result = sw_score_wavefront("", "ACD", blosum62, default_gaps)
+        assert result.score == 0
+        assert result.cells == 0
+
+    def test_cells_and_diagonals(self, blosum62, default_gaps, rng):
+        a = random_sequence(10, rng)
+        b = random_sequence(15, rng)
+        result = sw_score_wavefront(a, b, blosum62, default_gaps)
+        assert result.cells == 150
+        assert result.diagonals == 10 + 15 - 1
+
+    def test_api_kernel_name(self, rng, default_gaps):
+        a = random_sequence(20, rng, seq_id="a")
+        b = random_sequence(25, rng, seq_id="b")
+        assert sw_score(a, b, kernel="wavefront") == sw_score(
+            a, b, kernel="reference"
+        )

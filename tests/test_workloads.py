@@ -1,0 +1,70 @@
+"""Unit tests for the benchmark workload definitions."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    paper_query_lengths,
+    paper_workloads,
+    tasks_for_profile,
+    uniform_tasks,
+)
+from repro.sequences import SWISSPROT
+
+
+class TestQueryLengths:
+    def test_paper_grid(self):
+        lengths = paper_query_lengths()
+        assert len(lengths) == 40
+        assert lengths[0] == 100
+        assert lengths[-1] == 5000
+        assert int(lengths.sum()) == pytest.approx(102_000, rel=0.01)
+
+    def test_single_and_empty(self):
+        assert paper_query_lengths(1).tolist() == [100]
+        assert paper_query_lengths(0).size == 0
+
+
+class TestTasksForProfile:
+    def test_cells_geometry(self):
+        tasks = tasks_for_profile(SWISSPROT, order="sorted")
+        assert len(tasks) == 40
+        assert tasks[0].cells == 100 * SWISSPROT.total_residues
+        assert tasks[-1].cells == 5000 * SWISSPROT.total_residues
+
+    def test_shuffled_is_deterministic(self):
+        a = tasks_for_profile(SWISSPROT, seed=9)
+        b = tasks_for_profile(SWISSPROT, seed=9)
+        assert [t.query_length for t in a] == [t.query_length for t in b]
+
+    def test_shuffled_is_a_permutation_of_sorted(self):
+        shuffled = tasks_for_profile(SWISSPROT)
+        ordered = tasks_for_profile(SWISSPROT, order="sorted")
+        assert sorted(t.query_length for t in shuffled) == [
+            t.query_length for t in ordered
+        ]
+
+    def test_unknown_order(self):
+        with pytest.raises(ValueError):
+            tasks_for_profile(SWISSPROT, order="random")
+
+    def test_task_ids_sequential(self):
+        tasks = tasks_for_profile(SWISSPROT)
+        assert [t.task_id for t in tasks] == list(range(40))
+
+
+class TestPaperWorkloads:
+    def test_all_five_databases(self):
+        workloads = paper_workloads()
+        assert len(workloads) == 5
+        assert "UniProtDB/SwissProt" in workloads
+        for tasks in workloads.values():
+            assert len(tasks) == 40
+
+
+class TestUniformTasks:
+    def test_fig5_tasks(self):
+        tasks = uniform_tasks(20, cells=6)
+        assert len(tasks) == 20
+        assert all(t.cells == 6 for t in tasks)
+        assert tasks[0].query_id == "t1"
