@@ -1,0 +1,74 @@
+"""Observability smoke benchmark: one tiny run per execution environment.
+
+Runs a miniature workload through the discrete-event simulator and
+through the threaded runtime, records both ``repro.metrics.v1``
+snapshots for ``--metrics-out``, and asserts the acceptance criterion
+of the observability layer: both environments expose the *same* set of
+scheduling metric names, because both drive the same instrumented
+:class:`repro.core.master.Master`.
+
+Used by ``scripts/check.sh`` as the post-test smoke stage::
+
+    pytest benchmarks/bench_metrics_smoke.py --benchmark-only \
+        --metrics-out metrics.json
+"""
+
+import numpy as np
+
+from repro.align import BLOSUM62, DEFAULT_GAPS
+from repro.bench import uniform_tasks
+from repro.core import HybridRuntime, ScanEngine
+from repro.observability import MetricsRegistry
+from repro.sequences import query_set, random_database
+from repro.simulate import HybridSimulator, PESpec, UniformModel
+
+from conftest import record_metrics
+
+
+def _des_run():
+    sim = HybridSimulator(
+        [
+            PESpec("gpu1", UniformModel(rate=6.0, pe_class_name="gpu")),
+            PESpec("sse1", UniformModel(rate=1.0, pe_class_name="sse")),
+        ],
+        comm_latency=0.0,
+        notify_interval=0.5,
+    )
+    return sim.run(uniform_tasks(12))
+
+
+def _threaded_run():
+    rng = np.random.default_rng(7)
+    queries = query_set(3, rng, min_length=20, max_length=30)
+    database = random_database(24, 40.0, rng, name="smoke")
+    runtime = HybridRuntime(
+        {
+            "a": ScanEngine(BLOSUM62, DEFAULT_GAPS, chunk_size=8),
+            "b": ScanEngine(BLOSUM62, DEFAULT_GAPS, chunk_size=8),
+        }
+    )
+    return runtime.run(queries, database)
+
+
+def _metric_names(snapshot: dict) -> set[str]:
+    return set(MetricsRegistry.from_snapshot(snapshot).names())
+
+
+def test_metrics_smoke(benchmark):
+    des_report = benchmark.pedantic(_des_run, rounds=1, iterations=1)
+    threaded_report = _threaded_run()
+
+    record_metrics("des_smoke", des_report.metrics)
+    record_metrics("threaded_smoke", threaded_report.metrics)
+
+    # Both snapshots must parse back into a registry...
+    des_names = _metric_names(des_report.metrics)
+    threaded_names = _metric_names(threaded_report.metrics)
+
+    # ...and the simulated and the real runtime must report under
+    # identical metric names (they share the instrumented Master).
+    assert des_names == threaded_names
+    assert "tasks_completed_total" in des_names
+    assert "run_makespan_seconds" in des_names
+
+    benchmark.extra_info["metric_families"] = len(des_names)

@@ -7,11 +7,22 @@ tables are visible even under pytest's output capture::
 
     pytest benchmarks/ --benchmark-only
 
+Passing ``--metrics-out FILE`` additionally collects every metrics
+snapshot a benchmark registers through :func:`record_metrics` and
+writes them as one JSON document at the end of the session::
+
+    pytest benchmarks/bench_metrics_smoke.py --metrics-out metrics.json
+
+The document maps benchmark names to ``repro.metrics.v1`` snapshots
+(see ``docs/observability.md``).
 """
 
 from __future__ import annotations
 
+import json
+
 _REPORTS: list[str] = []
+_SNAPSHOTS: dict[str, dict] = {}
 
 
 def emit(title: str, body: str) -> None:
@@ -19,7 +30,30 @@ def emit(title: str, body: str) -> None:
     _REPORTS.append(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{body}")
 
 
-def pytest_terminal_summary(terminalreporter):
+def record_metrics(name: str, snapshot: dict) -> None:
+    """Register a run's metrics snapshot for ``--metrics-out``."""
+    _SNAPSHOTS[name] = snapshot
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--metrics-out",
+        action="store",
+        default=None,
+        metavar="FILE",
+        help="write collected repro.metrics.v1 snapshots as JSON",
+    )
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    path = config.getoption("--metrics-out")
+    if path and _SNAPSHOTS:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(_SNAPSHOTS, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        terminalreporter.write_line(
+            f"wrote {len(_SNAPSHOTS)} metrics snapshot(s) to {path}"
+        )
     if _REPORTS:
         terminalreporter.write_line("")
         terminalreporter.write_line(

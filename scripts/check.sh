@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# One-stop local gate: tier-1 test suite, then a short observability
+# smoke benchmark that writes a metrics snapshot and validates it.
+#
+# Usage: scripts/check.sh
+# Runs from any cwd; needs only the in-repo package (no installs).
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$REPO_ROOT"
+export PYTHONPATH="$REPO_ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 test suite =="
+python -m pytest -x -q
+
+echo
+echo "== observability smoke benchmark =="
+METRICS_OUT="$(mktemp -t repro-metrics-XXXXXX.json)"
+trap 'rm -f "$METRICS_OUT"' EXIT
+python -m pytest benchmarks/bench_metrics_smoke.py --benchmark-only \
+    --benchmark-min-rounds=1 -q --metrics-out "$METRICS_OUT"
+
+echo
+echo "== validating metrics snapshot =="
+python - "$METRICS_OUT" <<'PY'
+import json
+import sys
+
+from repro.observability import MetricsRegistry
+
+with open(sys.argv[1], encoding="utf-8") as handle:
+    snapshots = json.load(handle)
+if not snapshots:
+    sys.exit("no snapshots were written")
+for name, snapshot in sorted(snapshots.items()):
+    registry = MetricsRegistry.from_snapshot(snapshot)
+    text = registry.prometheus_text()
+    print(f"{name}: {len(registry.names())} metric families, "
+          f"{len(text.splitlines())} exposition lines")
+print("snapshot validation OK")
+PY
+
+echo
+echo "all checks passed"

@@ -16,6 +16,9 @@ The package is layered bottom-up:
   ready/executing/finished states, the SS/PSS/Fixed/WFixed allocation
   policies, the dynamic workload-adjustment (replication) mechanism,
   and the master/slave runtime;
+* :mod:`repro.observability` — dependency-free metrics registry,
+  clock-agnostic timers and the unified JSONL event log every
+  execution environment reports through;
 * :mod:`repro.simulate` — a discrete-event simulator of the paper's
   GPU + SSE platform driving the *same* master, used to regenerate the
   published tables and figures at full scale;
@@ -64,6 +67,7 @@ from .core import (
     TaskState,
     WeightedFixed,
 )
+from .observability import EventLog, MetricsRegistry, Timer
 from .sequences import (
     DNA,
     PAPER_DATABASES,
@@ -137,6 +141,10 @@ __all__ = [
     "random_database",
     "query_set",
     "PAPER_DATABASES",
+    # observability
+    "MetricsRegistry",
+    "EventLog",
+    "Timer",
     # simulate
     "HybridSimulator",
     "PESpec",

@@ -105,14 +105,21 @@ class Alignment:
         Phase 2 emitted an alignment worth exactly :attr:`score`.
         """
         total = 0
-        in_gap = False
+        # Gap state is tracked per sequence: a deletion run followed
+        # immediately by an insertion run is *two* gap runs under the
+        # Gotoh model, each paying its own open cost.
+        in_query_gap = False
+        in_subject_gap = False
         for a, b in zip(self.aligned_query, self.aligned_subject):
-            if a == GAP_CHAR or b == GAP_CHAR:
-                total -= gaps.extend if in_gap else gaps.open
-                in_gap = True
+            if a == GAP_CHAR:
+                total -= gaps.extend if in_query_gap else gaps.open
+                in_query_gap, in_subject_gap = True, False
+            elif b == GAP_CHAR:
+                total -= gaps.extend if in_subject_gap else gaps.open
+                in_query_gap, in_subject_gap = False, True
             else:
                 total += matrix.score(a, b)
-                in_gap = False
+                in_query_gap = in_subject_gap = False
         return total
 
     def pretty(self, width: int = 60) -> str:

@@ -6,7 +6,10 @@ Subcommands mirror the paper's workflow:
   of worker engines (the real execution environment of Fig. 4);
 * ``index``   — convert a FASTA file to the paper's indexed format;
 * ``simulate``— run a workload on the simulated hybrid platform;
-* ``tables``  — regenerate the paper's tables and figures.
+* ``tables``  — regenerate the paper's tables and figures;
+* ``metrics`` — render/validate a metrics snapshot (JSON in,
+  Prometheus text or JSON out); ``search``/``simulate``/``cluster``
+  write such snapshots via ``--metrics-out``.
 """
 
 from __future__ import annotations
@@ -80,6 +83,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="database chunks per query (coarse-grained decomposition; "
         "1 = the paper's very coarse tasks)",
     )
+    _add_telemetry_flags(search)
 
     align = sub.add_parser("align", help="pairwise alignment of two FASTAs")
     align.add_argument("query", help="FASTA with the query (first record)")
@@ -115,6 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--threads", action="store_true",
         help="run workers as threads instead of processes",
     )
+    _add_telemetry_flags(cluster)
 
     simulate = sub.add_parser(
         "simulate", help="simulate a paper workload on a hybrid platform"
@@ -131,6 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--gantt", action="store_true")
     simulate.add_argument("--svg", metavar="FILE", default=None,
                           help="write the schedule as an SVG Gantt chart")
+    _add_telemetry_flags(simulate)
 
     generate = sub.add_parser(
         "generate",
@@ -201,7 +207,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv", metavar="DIR", default=None,
         help="also write machine-readable CSV files into DIR",
     )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="render/validate a metrics snapshot written by --metrics-out",
+    )
+    metrics.add_argument("snapshot", help="metrics snapshot JSON file")
+    metrics.add_argument(
+        "--format", default="prom", choices=["prom", "json", "names"],
+        help="prom: Prometheus text exposition; json: normalized "
+        "snapshot; names: metric names only",
+    )
     return parser
+
+
+def _add_telemetry_flags(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="write the run's metrics snapshot as JSON",
+    )
+    command.add_argument(
+        "--events-out", metavar="FILE", default=None,
+        help="write the run's structured event log as JSONL",
+    )
+
+
+def _write_telemetry(args: argparse.Namespace, metrics: dict, events) -> None:
+    """Honour --metrics-out / --events-out on a finished run report."""
+    import json
+
+    if getattr(args, "metrics_out", None):
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(metrics, handle, indent=2)
+            handle.write("\n")
+        print(f"(wrote metrics snapshot {args.metrics_out})")
+    if getattr(args, "events_out", None):
+        events.to_jsonl(args.events_out)
+        print(f"(wrote event log {args.events_out})")
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
@@ -255,6 +297,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         f"# makespan {report.makespan:.2f}s"
         f"  {report.gcups:.4f} GCUPS  tasks by PE: {report.tasks_by_pe}"
     )
+    _write_telemetry(args, report.metrics, report.events)
     return 0
 
 
@@ -305,6 +348,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                   f" length={hit.subject_length}")
     print(f"# makespan {report.makespan:.2f}s  {report.gcups:.4f} GCUPS  "
           f"workers: {sorted(workers)}")
+    _write_telemetry(args, report.metrics, report.events)
     return 0
 
 
@@ -336,6 +380,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             title=f"{profile.name} on {args.gpus} GPUs + {args.sse} SSEs",
         )
         print(f"(wrote {args.svg})")
+    _write_telemetry(args, report.metrics, report.events)
     return 0
 
 
@@ -451,6 +496,25 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Validate a ``repro.metrics.v1`` snapshot and render it."""
+    import json
+
+    from .observability import MetricsRegistry
+
+    with open(args.snapshot, "r", encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    registry = MetricsRegistry.from_snapshot(snapshot)  # validates
+    if args.format == "prom":
+        sys.stdout.write(registry.prometheus_text())
+    elif args.format == "json":
+        print(registry.to_json())
+    else:
+        for name in registry.names():
+            print(name)
+    return 0
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
     import os
 
@@ -513,6 +577,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "worker": _cmd_worker,
         "tables": _cmd_tables,
+        "metrics": _cmd_metrics,
     }
     return handlers[args.command](args)
 

@@ -19,6 +19,7 @@ from ..align.api import SearchHit
 from ..core.policies import AllocationPolicy
 from ..core.runtime import build_tasks
 from ..core.master import TraceEvent
+from ..observability import EventLog, MetricsRegistry, merge_snapshots
 from ..sequences.database import SequenceDatabase
 from ..sequences.fasta import read_fasta
 from ..sequences.indexed import write_indexed
@@ -37,6 +38,11 @@ class ClusterReport:
     total_cells: int
     results: dict[str, tuple[SearchHit, ...]]
     trace: list[TraceEvent] = field(default_factory=list)
+    #: Merged metrics snapshot: master + transport (+ worker-side
+    #: round-trips when workers ran as threads).
+    metrics: dict = field(default_factory=dict)
+    #: The master's unified structured event log.
+    events: EventLog = field(default_factory=EventLog)
 
     @property
     def gcups(self) -> float:
@@ -104,6 +110,9 @@ def run_cluster(
         host, port = server.address
         started = time.perf_counter()
         procs: list = []
+        # Worker-side metrics live in the worker's process; only the
+        # thread deployment can share a registry with the launcher.
+        worker_metrics = None if use_processes else MetricsRegistry()
         try:
             for pe_id, engine in workers.items():
                 config = WorkerConfig(
@@ -127,7 +136,9 @@ def run_cluster(
                     import threading
 
                     proc = threading.Thread(
-                        target=run_worker, args=(config,), daemon=True
+                        target=run_worker,
+                        args=(config, worker_metrics),
+                        daemon=True,
                     )
                 proc.start()
                 procs.append(proc)
@@ -137,6 +148,11 @@ def run_cluster(
                 proc.join(timeout=30)
             results = server.results()
             trace = server.trace()
+            snapshots = [server.metrics_snapshot()]
+            if worker_metrics is not None:
+                snapshots.append(worker_metrics.snapshot())
+            metrics = merge_snapshots(*snapshots)
+            events = server.events
         finally:
             for proc in procs:
                 if use_processes and proc.is_alive():
@@ -147,4 +163,6 @@ def run_cluster(
         total_cells=sum(t.cells for t in tasks),
         results=results,
         trace=trace,
+        metrics=metrics,
+        events=events,
     )

@@ -19,6 +19,11 @@ from ..align.api import SearchHit
 from ..core.master import Master, TraceEvent
 from ..core.policies import AllocationPolicy, PackageWeightedSelfScheduling
 from ..core.task import Task, TaskResult
+from ..observability import (
+    EventLog,
+    MetricsRegistry,
+    cluster_server_instruments,
+)
 from .protocol import (
     ProtocolError,
     decode_hit,
@@ -37,95 +42,114 @@ class _Handler(socketserver.StreamRequestHandler):
 
     def handle(self) -> None:  # noqa: C901 - protocol dispatch
         server = self.server
-        pe_id: str | None = None
+        server.inst.connections.inc()
         while True:
             try:
                 message = recv_message(self.rfile)
             except ProtocolError as exc:
+                server.inst.protocol_errors.inc()
                 send_message(self.connection, {"type": "error",
                                                "message": str(exc)})
                 return
             if message is None:
                 return  # slave hung up
             kind = message.get("type")
-            if kind == "register":
-                pe_id = str(message["pe_id"])
-                with server.lock:
-                    server.master.register(pe_id, server.clock())
-                    server.cancel_flags.setdefault(pe_id, set())
-                send_message(self.connection, {"type": "ack", "cancel": []})
-            elif kind == "request":
-                pe_id = str(message["pe_id"])
-                with server.lock:
-                    assignment = server.master.on_request(
-                        pe_id, server.clock()
+            started = time.perf_counter()
+            try:
+                if not self._dispatch(server, message, kind):
+                    return
+            finally:
+                # Master-side service time per message: recv done ->
+                # reply written (the in-host half of the round trip).
+                label = str(kind)
+                server.inst.messages.labels(type=label).inc()
+                server.inst.rpc_seconds.labels(type=label).observe(
+                    time.perf_counter() - started
+                )
+
+    def _dispatch(self, server: "MasterServer", message: dict,
+                  kind: object) -> bool:
+        """Handle one message; False ends the connection."""
+        if kind == "register":
+            pe_id = str(message["pe_id"])
+            with server.lock:
+                server.master.register(pe_id, server.clock())
+                server.cancel_flags.setdefault(pe_id, set())
+            send_message(self.connection, {"type": "ack", "cancel": []})
+        elif kind == "request":
+            pe_id = str(message["pe_id"])
+            with server.lock:
+                assignment = server.master.on_request(
+                    pe_id, server.clock()
+                )
+                cancel = sorted(server.cancel_flags.get(pe_id, ()))
+                server.cancel_flags.get(pe_id, set()).clear()
+            send_message(
+                self.connection,
+                {
+                    "type": "assign",
+                    "tasks": [encode_task(t) for t in assignment.tasks],
+                    "replicas": [
+                        encode_task(t) for t in assignment.replicas
+                    ],
+                    "done": assignment.done,
+                    "wait": assignment.empty,
+                    "cancel": cancel,
+                },
+            )
+        elif kind == "progress":
+            pe_id = str(message["pe_id"])
+            with server.lock:
+                server.master.on_progress(
+                    pe_id,
+                    server.clock(),
+                    float(message["cells"]),
+                    float(message["interval"]),
+                )
+                cancel = sorted(server.cancel_flags.get(pe_id, ()))
+                server.cancel_flags.get(pe_id, set()).clear()
+            send_message(
+                self.connection, {"type": "ack", "cancel": cancel}
+            )
+        elif kind == "complete":
+            pe_id = str(message["pe_id"])
+            result = TaskResult(
+                task_id=int(message["task_id"]),
+                pe_id=pe_id,
+                elapsed=float(message["elapsed"]),
+                cells=int(message["cells"]),
+                payload=tuple(
+                    decode_hit(h) for h in message.get("hits", [])
+                ),
+            )
+            with server.lock:
+                losers = server.master.on_complete(
+                    pe_id, result, server.clock()
+                )
+                for loser in losers:
+                    server.cancel_flags.setdefault(loser, set()).add(
+                        result.task_id
                     )
-                    cancel = sorted(server.cancel_flags.get(pe_id, ()))
-                    server.cancel_flags.get(pe_id, set()).clear()
-                send_message(
-                    self.connection,
-                    {
-                        "type": "assign",
-                        "tasks": [encode_task(t) for t in assignment.tasks],
-                        "replicas": [
-                            encode_task(t) for t in assignment.replicas
-                        ],
-                        "done": assignment.done,
-                        "wait": assignment.empty,
-                        "cancel": cancel,
-                    },
+                cancel = sorted(server.cancel_flags.get(pe_id, ()))
+                server.cancel_flags.get(pe_id, set()).clear()
+            send_message(
+                self.connection, {"type": "ack", "cancel": cancel}
+            )
+        elif kind == "cancelled":
+            pe_id = str(message["pe_id"])
+            with server.lock:
+                server.master.on_cancelled(
+                    pe_id, int(message["task_id"])
                 )
-            elif kind == "progress":
-                pe_id = str(message["pe_id"])
-                with server.lock:
-                    server.master.on_progress(
-                        pe_id,
-                        server.clock(),
-                        float(message["cells"]),
-                        float(message["interval"]),
-                    )
-                    cancel = sorted(server.cancel_flags.get(pe_id, ()))
-                    server.cancel_flags.get(pe_id, set()).clear()
-                send_message(
-                    self.connection, {"type": "ack", "cancel": cancel}
-                )
-            elif kind == "complete":
-                pe_id = str(message["pe_id"])
-                result = TaskResult(
-                    task_id=int(message["task_id"]),
-                    pe_id=pe_id,
-                    elapsed=float(message["elapsed"]),
-                    cells=int(message["cells"]),
-                    payload=tuple(
-                        decode_hit(h) for h in message.get("hits", [])
-                    ),
-                )
-                with server.lock:
-                    losers = server.master.on_complete(
-                        pe_id, result, server.clock()
-                    )
-                    for loser in losers:
-                        server.cancel_flags.setdefault(loser, set()).add(
-                            result.task_id
-                        )
-                    cancel = sorted(server.cancel_flags.get(pe_id, ()))
-                    server.cancel_flags.get(pe_id, set()).clear()
-                send_message(
-                    self.connection, {"type": "ack", "cancel": cancel}
-                )
-            elif kind == "cancelled":
-                pe_id = str(message["pe_id"])
-                with server.lock:
-                    server.master.on_cancelled(
-                        pe_id, int(message["task_id"])
-                    )
-                send_message(self.connection, {"type": "ack", "cancel": []})
-            else:
-                send_message(
-                    self.connection,
-                    {"type": "error", "message": f"unknown type {kind!r}"},
-                )
-                return
+            send_message(self.connection, {"type": "ack", "cancel": []})
+        else:
+            server.inst.protocol_errors.inc()
+            send_message(
+                self.connection,
+                {"type": "error", "message": f"unknown type {kind!r}"},
+            )
+            return False
+        return True
 
 
 class MasterServer(socketserver.ThreadingTCPServer):
@@ -149,11 +173,16 @@ class MasterServer(socketserver.ThreadingTCPServer):
         heartbeat_timeout: float | None = None,
     ):
         super().__init__((host, port), _Handler)
+        self.metrics = MetricsRegistry()
+        self.events = EventLog()
+        self.inst = cluster_server_instruments(self.metrics)
         self.master = Master(
             list(tasks),
             policy=policy or PackageWeightedSelfScheduling(),
             adjustment=adjustment,
             omega=omega,
+            metrics=self.metrics,
+            events=self.events,
         )
         self.lock = threading.Lock()
         self.cancel_flags: dict[str, set[int]] = {}
@@ -235,3 +264,8 @@ class MasterServer(socketserver.ThreadingTCPServer):
     def trace(self) -> list[TraceEvent]:
         with self.lock:
             return list(self.master.trace)
+
+    def metrics_snapshot(self) -> dict:
+        """Master + transport metrics as a ``repro.metrics.v1`` dict."""
+        with self.lock:
+            return self.metrics.snapshot()

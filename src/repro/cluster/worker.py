@@ -18,6 +18,7 @@ from ..align.gaps import affine_gap
 from ..align.scoring import get_matrix
 from ..core.engines import ChunkProgress, Engine, InterSequenceEngine, ScanEngine, StripedSSEEngine
 from ..core.task import Task
+from ..observability import MetricsRegistry, cluster_worker_instruments
 from ..sequences.database import SequenceDatabase
 from ..sequences.indexed import IndexedReader
 from .protocol import (
@@ -78,16 +79,26 @@ class WorkerConfig:
 
 
 class _Link:
-    """One persistent connection with request/response semantics."""
+    """One persistent connection with request/response semantics.
 
-    def __init__(self, host: str, port: int):
+    ``observe`` is an optional ``(message_type, seconds) -> None`` sink
+    fed the worker-observed round-trip time of every call.
+    """
+
+    def __init__(self, host: str, port: int, observe=None):
         self._sock = socket.create_connection((host, port), timeout=60)
         self._reader = self._sock.makefile("rb")
         self.cancelled: set[int] = set()
+        self._observe = observe
 
     def call(self, message: dict) -> dict:
+        started = time.perf_counter()
         send_message(self._sock, message)
         reply = recv_message(self._reader)
+        if self._observe is not None:
+            self._observe(
+                str(message.get("type")), time.perf_counter() - started
+            )
         if reply is None:
             raise ProtocolError("master closed the connection")
         if reply.get("type") == "error":
@@ -102,20 +113,35 @@ class _Link:
             self._sock.close()
 
 
-def run_worker(config: WorkerConfig) -> int:
+def run_worker(
+    config: WorkerConfig, metrics: MetricsRegistry | None = None
+) -> int:
     """Slave main loop; returns the number of tasks completed.
 
     Designed to run inside a separate process
     (``multiprocessing.Process(target=run_worker, args=(config,))``) but
-    equally callable from a thread in tests.
+    equally callable from a thread in tests.  Passing a shared
+    *metrics* registry (thread deployments only — registries do not
+    cross process boundaries) collects the worker-observed round-trip
+    times and connection counts under the ``cluster_*`` names.
     """
     engine = config.build_engine()
     matrix = get_matrix(config.matrix)
+    inst = cluster_worker_instruments(
+        metrics if metrics is not None else MetricsRegistry()
+    )
+
+    def observe_roundtrip(message_type: str, seconds: float) -> None:
+        inst.roundtrip_seconds.labels(
+            pe=config.pe_id, type=message_type
+        ).observe(seconds)
+
     with IndexedReader(config.query_path, alphabet=matrix.alphabet) as queries:
         database = SequenceDatabase.from_indexed(
             config.database_path, alphabet=matrix.alphabet
         )
-        link = _Link(config.host, config.port)
+        link = _Link(config.host, config.port, observe=observe_roundtrip)
+        inst.connects.labels(pe=config.pe_id).inc()
         completed = 0
         try:
             link.call({"type": "register", "pe_id": config.pe_id})

@@ -15,6 +15,7 @@ weight Ω, oldest weight 1), which is the behaviour the quote describes.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass
 
@@ -71,12 +72,17 @@ class RateEstimator:
         """
         if not self._samples:
             return None
-        total = 0.0
-        weight_sum = 0.0
-        for age_rank, sample in enumerate(self._samples, start=1):
-            total += age_rank * sample.rate
-            weight_sum += age_rank
-        return total / weight_sum
+        rates = [sample.rate for sample in self._samples]
+        k = len(rates)
+        total = math.fsum(
+            age_rank * rate for age_rank, rate in enumerate(rates, start=1)
+        )
+        weight_sum = k * (k + 1) / 2.0
+        mean = total / weight_sum
+        # A weighted mean must lie within the sample range; clamp away
+        # the residual division rounding so the invariant holds exactly
+        # (and constant inputs reproduce the constant bit-for-bit).
+        return min(max(mean, min(rates)), max(rates))
 
     def clear(self) -> None:
         self._samples.clear()

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..observability import EventLog, MetricsRegistry, master_instruments
 from .history import DEFAULT_OMEGA, HistoryBook, RateSample
 from .policies import AllocationPolicy, PolicyContext
 from .task import Task, TaskPool, TaskResult
@@ -72,6 +73,14 @@ class Master:
         Benchmarks toggle this to regenerate Fig. 6.
     omega:
         PSS notification-window length.
+    metrics:
+        Shared :class:`~repro.observability.MetricsRegistry`; created
+        fresh when omitted.  Every scheduling decision is counted here
+        under the canonical names, so the DES and the threaded runtime
+        (which both drive this class) report identical telemetry.
+    events:
+        Shared :class:`~repro.observability.EventLog`; every legacy
+        :class:`TraceEvent` is mirrored into it as a structured record.
     """
 
     def __init__(
@@ -80,6 +89,8 @@ class Master:
         policy: AllocationPolicy,
         adjustment: bool = True,
         omega: int = DEFAULT_OMEGA,
+        metrics: MetricsRegistry | None = None,
+        events: EventLog | None = None,
     ):
         self.pool = TaskPool(tasks)
         self.policy = policy
@@ -88,6 +99,36 @@ class Master:
         self.results: dict[int, TaskResult] = {}
         self.trace: list[TraceEvent] = []
         self._pes: dict[str, _PEState] = {}
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events = events if events is not None else EventLog()
+        self._inst = master_instruments(self.metrics)
+        self._sync_pool_gauges()
+
+    # ------------------------------------------------------------------
+    # Instrumentation plumbing
+    # ------------------------------------------------------------------
+    def _record(
+        self,
+        kind: str,
+        now: float,
+        pe_id: str,
+        task_id: int = -1,
+        value: float = 0.0,
+    ) -> None:
+        """Append to the legacy trace and mirror into the event log."""
+        self.trace.append(TraceEvent(kind, now, pe_id, task_id, value))
+        self.events.emit(kind, now, pe=pe_id, task=task_id, value=value)
+        self._inst.events.labels(kind=kind).inc()
+
+    def _sync_pool_gauges(self) -> None:
+        self._inst.ready_tasks.set(self.pool.num_ready)
+        self._inst.executing_tasks.set(self.pool.num_executing)
+        self._inst.registered_pes.set(len(self._pes))
+
+    def _sync_queue_gauge(self, pe_id: str) -> None:
+        state = self._pes.get(pe_id)
+        depth = len(state.queue) if state is not None else 0
+        self._inst.queue_depth.labels(pe=pe_id).set(depth)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -118,7 +159,9 @@ class Master:
             raise ValueError(f"PE {pe_id!r} registered twice")
         self._pes[pe_id] = _PEState(last_contact=now)
         self.history.register(pe_id)
-        self.trace.append(TraceEvent("register", now, pe_id))
+        self._record("register", now, pe_id)
+        self._sync_pool_gauges()
+        self._sync_queue_gauge(pe_id)
 
     def last_contact(self, pe_id: str) -> float:
         """Time of the slave's most recent message."""
@@ -158,7 +201,9 @@ class Master:
         for task_id in released:
             self.pool.release(task_id, pe_id)
         self.history.remove(pe_id)
-        self.trace.append(TraceEvent("deregister", now, pe_id))
+        self._record("deregister", now, pe_id)
+        self._sync_pool_gauges()
+        self._sync_queue_gauge(pe_id)
         return released
 
     def on_progress(
@@ -168,9 +213,11 @@ class Master:
         self._pes[pe_id].last_contact = now
         sample = RateSample(time=now, cells=cells, interval=interval)
         self.history.observe(pe_id, sample)
-        self.trace.append(
-            TraceEvent("progress", now, pe_id, value=sample.rate)
-        )
+        self._record("progress", now, pe_id, value=sample.rate)
+        self._inst.progress_notifications.labels(pe=pe_id).inc()
+        estimated = self.history.rate(pe_id)
+        if estimated is not None:
+            self._inst.estimated_rate.labels(pe=pe_id).set(estimated)
 
     def on_request(self, pe_id: str, now: float) -> Assignment:
         """An idle slave asks for work.
@@ -182,7 +229,7 @@ class Master:
         """
         state = self._pes[pe_id]
         state.last_contact = now
-        self.trace.append(TraceEvent("request", now, pe_id))
+        self._record("request", now, pe_id)
         if self.pool.all_finished:
             return Assignment(done=True)
 
@@ -202,7 +249,10 @@ class Master:
             state.granted += len(tasks)
             state.queue.extend(t.task_id for t in tasks)
             for t in tasks:
-                self.trace.append(TraceEvent("assign", now, pe_id, t.task_id))
+                self._record("assign", now, pe_id, t.task_id)
+            self._inst.tasks_assigned.labels(pe=pe_id).inc(len(tasks))
+            self._sync_pool_gauges()
+            self._sync_queue_gauge(pe_id)
             return Assignment(tasks=tuple(tasks))
 
         if self.adjustment:
@@ -211,10 +261,13 @@ class Master:
                 chosen = self._pick_replica(candidates)
                 replica = self.pool.assign_replica(pe_id, chosen.task_id)
                 state.queue.append(replica.task_id)
-                self.trace.append(
-                    TraceEvent("replica", now, pe_id, replica.task_id)
-                )
+                self._record("replica", now, pe_id, replica.task_id)
+                self._inst.replicas_assigned.labels(pe=pe_id).inc()
+                self._sync_pool_gauges()
+                self._sync_queue_gauge(pe_id)
                 return Assignment(replicas=(replica,))
+        if not self.pool.all_finished:
+            self._inst.wait_polls.labels(pe=pe_id).inc()
         return Assignment(done=self.pool.all_finished)
 
     def on_complete(
@@ -233,13 +286,23 @@ class Master:
         first, losers = self.pool.complete(result.task_id, pe_id)
         if first:
             self.results[result.task_id] = result
-        self.trace.append(
-            TraceEvent(
-                "complete", now, pe_id, result.task_id, value=1.0 if first else 0.0
-            )
+        self._record(
+            "complete", now, pe_id, result.task_id, value=1.0 if first else 0.0
         )
+        outcome = "won" if first else "stale"
+        self._inst.tasks_completed.labels(pe=pe_id, outcome=outcome).inc()
+        if result.elapsed > 0:
+            self._inst.task_latency.labels(pe=pe_id).observe(result.elapsed)
+            self._inst.busy_seconds.labels(pe=pe_id).inc(result.elapsed)
+            self._inst.realized_rate.labels(pe=pe_id).set(
+                result.cells / result.elapsed
+            )
+        self._inst.cells_completed.labels(pe=pe_id).inc(result.cells)
         for loser in losers:
-            self.trace.append(TraceEvent("cancel", now, loser, result.task_id))
+            self._record("cancel", now, loser, result.task_id)
+            self._inst.tasks_cancelled.labels(pe=loser).inc()
+        self._sync_pool_gauges()
+        self._sync_queue_gauge(pe_id)
         return losers
 
     def on_cancelled(self, pe_id: str, task_id: int) -> None:
@@ -254,6 +317,8 @@ class Master:
         if task_id in state.queue:
             state.queue.remove(task_id)
         self.pool.release(task_id, pe_id)
+        self._sync_pool_gauges()
+        self._sync_queue_gauge(pe_id)
 
     # ------------------------------------------------------------------
     # Replica selection

@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..align.api import SearchHit
+from ..observability import EventLog, MetricsRegistry, finalize_run_metrics
 from ..sequences.database import SequenceDatabase
 from ..sequences.records import Sequence
 from .engines import ChunkProgress, Engine
@@ -72,6 +73,10 @@ class RunReport:
     results: dict[str, tuple[SearchHit, ...]]  # query_id -> ranked hits
     trace: list[TraceEvent]
     tasks_by_pe: dict[str, int] = field(default_factory=dict)
+    #: Metrics snapshot (``repro.metrics.v1``) of the run's registry.
+    metrics: dict = field(default_factory=dict)
+    #: The unified structured event log backing :attr:`trace`.
+    events: EventLog = field(default_factory=EventLog)
 
     @property
     def gcups(self) -> float:
@@ -238,11 +243,15 @@ class HybridRuntime:
             position += len(chunk)
 
         tasks = build_tasks(queries, database, chunks=chunks)
+        metrics = MetricsRegistry()
+        events = EventLog()
         master = Master(
             tasks,
             policy=self.policy,
             adjustment=self.adjustment,
             omega=self.omega,
+            metrics=metrics,
+            events=events,
         )
         shared = _SharedMaster(master)
         start = time.perf_counter()
@@ -287,10 +296,14 @@ class HybridRuntime:
             query_id: merge_hits(hit_lists, top=top)
             for query_id, hit_lists in by_query.items()
         }
+        total_cells = sum(t.cells for t in tasks)
+        finalize_run_metrics(metrics, makespan, total_cells)
         return RunReport(
             makespan=makespan,
-            total_cells=sum(t.cells for t in tasks),
+            total_cells=total_cells,
             results=results,
             trace=list(master.trace),
             tasks_by_pe={w.pe_id: w.tasks_done for w in workers},
+            metrics=metrics.snapshot(),
+            events=events,
         )

@@ -1,0 +1,45 @@
+"""Unified observability: metrics, timers and structured event logs.
+
+The instrumentation substrate every execution environment reports
+through — the in-process threaded runtime, the discrete-event
+simulator and the TCP cluster all emit the *same* metric names (see
+:mod:`repro.observability.conventions`) and the same JSONL event
+schema, so schedule-quality telemetry is comparable across them.
+Dependency-free by design; see ``docs/observability.md`` for the
+naming contract and export formats.
+"""
+
+from .conventions import (
+    cluster_server_instruments,
+    cluster_worker_instruments,
+    finalize_run_metrics,
+    master_instruments,
+)
+from .events import EventLog
+from .registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    merge_snapshots,
+)
+from .timer import Stopwatch, Timer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "merge_snapshots",
+    "EventLog",
+    "Timer",
+    "Stopwatch",
+    "master_instruments",
+    "cluster_server_instruments",
+    "cluster_worker_instruments",
+    "finalize_run_metrics",
+]

@@ -1,0 +1,198 @@
+"""Canonical metric names shared by every execution environment.
+
+The DES and the threaded runtime drive the *same*
+:class:`~repro.core.master.Master`, so most telemetry is declared once,
+here, and both environments inherit identical metric names — the
+property the parity tests (and any cross-run comparison of
+``BENCH_*.json`` telemetry) depend on.  Cluster transports add their
+own ``cluster_*`` families on top.
+
+Naming rules (documented in ``docs/observability.md``):
+
+* snake_case, unit-suffixed (``_seconds``, ``_cells``, ``_total`` for
+  counters);
+* the PE identity label is always ``pe``; categorical labels are
+  lower-case (``kind``, ``outcome``, ``type``);
+* the same physical quantity never appears under two names.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from .registry import MetricsRegistry
+
+__all__ = [
+    "master_instruments",
+    "cluster_server_instruments",
+    "cluster_worker_instruments",
+    "finalize_run_metrics",
+]
+
+#: Task-latency bucket bounds: spans millisecond in-process tasks up to
+#: multi-hour simulated SwissProt scans.
+TASK_LATENCY_BUCKETS = (
+    0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0, 1800.0,
+    7200.0, float("inf"),
+)
+
+#: RPC/notification bucket bounds: microseconds to seconds.
+RPC_BUCKETS = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0,
+    float("inf"),
+)
+
+
+def master_instruments(registry: MetricsRegistry) -> SimpleNamespace:
+    """Declare (get-or-create) every master/scheduling metric family."""
+    return SimpleNamespace(
+        events=registry.counter(
+            "master_events_total",
+            "Master protocol events by kind",
+            ("kind",),
+        ),
+        tasks_assigned=registry.counter(
+            "tasks_assigned_total",
+            "Ready tasks granted to a PE",
+            ("pe",),
+        ),
+        replicas_assigned=registry.counter(
+            "replicas_assigned_total",
+            "Workload-adjustment replicas granted to a PE",
+            ("pe",),
+        ),
+        tasks_completed=registry.counter(
+            "tasks_completed_total",
+            "Task completions by PE and race outcome (won/stale)",
+            ("pe", "outcome"),
+        ),
+        tasks_cancelled=registry.counter(
+            "tasks_cancelled_total",
+            "Replica cancellations issued to a PE",
+            ("pe",),
+        ),
+        progress_notifications=registry.counter(
+            "progress_notifications_total",
+            "PSS progress notifications received from a PE",
+            ("pe",),
+        ),
+        wait_polls=registry.counter(
+            "worker_wait_polls_total",
+            "Empty assignments (PE told to wait and retry)",
+            ("pe",),
+        ),
+        registered_pes=registry.gauge(
+            "registered_pes",
+            "PEs currently registered with the master",
+        ),
+        ready_tasks=registry.gauge(
+            "ready_tasks",
+            "Tasks in the READY state",
+        ),
+        executing_tasks=registry.gauge(
+            "executing_tasks",
+            "Tasks in the EXECUTING state",
+        ),
+        queue_depth=registry.gauge(
+            "pe_queue_depth",
+            "Tasks currently queued on a PE (master's view)",
+            ("pe",),
+        ),
+        estimated_rate=registry.gauge(
+            "pe_estimated_rate_cells_per_second",
+            "Omega-window weighted-mean rate estimate (the PSS input)",
+            ("pe",),
+        ),
+        realized_rate=registry.gauge(
+            "pe_realized_rate_cells_per_second",
+            "Realized rate of the PE's latest completed task",
+            ("pe",),
+        ),
+        task_latency=registry.histogram(
+            "task_latency_seconds",
+            "Per-task execution latency as reported at completion",
+            ("pe",),
+            buckets=TASK_LATENCY_BUCKETS,
+        ),
+        busy_seconds=registry.counter(
+            "pe_busy_seconds_total",
+            "Cumulative task-execution seconds per PE",
+            ("pe",),
+        ),
+        cells_completed=registry.counter(
+            "cells_completed_total",
+            "Matrix cells of completed tasks per PE (incl. stale)",
+            ("pe",),
+        ),
+    )
+
+
+def cluster_server_instruments(registry: MetricsRegistry) -> SimpleNamespace:
+    """Master-server transport metrics (one side of the wire)."""
+    return SimpleNamespace(
+        messages=registry.counter(
+            "cluster_messages_total",
+            "Wire messages handled by the master server, by type",
+            ("type",),
+        ),
+        rpc_seconds=registry.histogram(
+            "cluster_rpc_seconds",
+            "Master-side service time per message, by type",
+            ("type",),
+            buckets=RPC_BUCKETS,
+        ),
+        connections=registry.counter(
+            "cluster_connections_total",
+            "Slave connections accepted by the master server",
+        ),
+        protocol_errors=registry.counter(
+            "cluster_protocol_errors_total",
+            "Malformed or unknown wire messages",
+        ),
+    )
+
+
+def cluster_worker_instruments(registry: MetricsRegistry) -> SimpleNamespace:
+    """Worker-side transport metrics (the other side of the wire)."""
+    return SimpleNamespace(
+        roundtrip_seconds=registry.histogram(
+            "cluster_roundtrip_seconds",
+            "Worker-observed request/notification round-trip time",
+            ("pe", "type"),
+            buckets=RPC_BUCKETS,
+        ),
+        connects=registry.counter(
+            "cluster_worker_connects_total",
+            "Connections (and reconnections) a worker opened",
+            ("pe",),
+        ),
+    )
+
+
+def finalize_run_metrics(
+    registry: MetricsRegistry, makespan: float, total_cells: float
+) -> None:
+    """Stamp whole-run summary gauges (identical in DES and runtime).
+
+    Derives per-PE utilization from the accumulated busy-seconds
+    counter, so it only needs the numbers every environment already
+    has.
+    """
+    registry.gauge(
+        "run_makespan_seconds", "End-to-end makespan of the run"
+    ).set(makespan)
+    registry.gauge(
+        "run_total_cells", "Matrix cells in the workload"
+    ).set(total_cells)
+    registry.gauge(
+        "run_gcups", "Aggregate useful throughput of the run"
+    ).set(total_cells / makespan / 1e9 if makespan > 0 else 0.0)
+    utilization = registry.gauge(
+        "pe_utilization_ratio",
+        "Per-PE busy seconds / makespan (1.0 = perfectly packed)",
+        ("pe",),
+    )
+    busy = registry.get("pe_busy_seconds_total")
+    if busy is not None and makespan > 0:
+        for labels, child in busy.series():
+            utilization.labels(**labels).set(child.value / makespan)

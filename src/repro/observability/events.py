@@ -1,0 +1,156 @@
+"""Structured JSONL event log.
+
+One log format for every layer.  Previously the master
+(:mod:`repro.core.master`), the cluster launcher
+(:mod:`repro.cluster.launcher`) and the simulator's renderers
+(:mod:`repro.simulate.trace`) each grew their own ad-hoc trace list;
+this module is the single machine-readable form that subsumes them.
+
+Every event is one JSON object per line with two required keys —
+``kind`` (event type) and ``time`` (seconds, wall or virtual, from the
+host runtime's clock) — plus free-form scalar fields.  The master's
+scheduling events use ``pe`` / ``task`` / ``value``, matching the
+legacy :class:`~repro.core.master.TraceEvent` tuple exactly, so the
+conversion helpers below are lossless in both directions.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+from typing import IO, Iterable, Iterator, Mapping
+
+__all__ = ["EventLog"]
+
+_RESERVED = ("kind", "time")
+
+
+class EventLog:
+    """An in-memory, optionally streamed, append-only event list.
+
+    Parameters
+    ----------
+    sink:
+        Optional text file-like object; when given, every event is
+        additionally written to it as one JSON line at emit time
+        (crash-durable tracing for long cluster runs).
+    """
+
+    def __init__(self, sink: IO[str] | None = None):
+        self._events: list[dict] = []
+        self._sink = sink
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, time: float, **fields: object) -> dict:
+        """Append one event; returns the stored dict."""
+        if not kind:
+            raise ValueError("event kind must be non-empty")
+        for key in _RESERVED:
+            if key in fields:
+                raise ValueError(f"field {key!r} is reserved")
+        event: dict = {"kind": str(kind), "time": float(time)}
+        event.update(fields)
+        with self._lock:
+            self._events.append(event)
+            if self._sink is not None:
+                self._sink.write(json.dumps(event, sort_keys=False) + "\n")
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[dict]:
+        with self._lock:
+            return iter(list(self._events))
+
+    def filter(self, kind: str | None = None, **fields: object) -> list[dict]:
+        """Events matching the kind and every given field value."""
+        out = []
+        for event in self:
+            if kind is not None and event["kind"] != kind:
+                continue
+            if any(event.get(key) != value for key, value in fields.items()):
+                continue
+            out.append(event)
+        return out
+
+    # ------------------------------------------------------------------
+    # JSONL round-trip
+    # ------------------------------------------------------------------
+    def to_jsonl(self, target: str | IO[str]) -> None:
+        """Write every event as one JSON object per line."""
+        if isinstance(target, str):
+            with open(target, "w", encoding="utf-8") as handle:
+                self.to_jsonl(handle)
+            return
+        for event in self:
+            target.write(json.dumps(event, sort_keys=False) + "\n")
+
+    def to_jsonl_text(self) -> str:
+        buffer = io.StringIO()
+        self.to_jsonl(buffer)
+        return buffer.getvalue()
+
+    @classmethod
+    def from_jsonl(cls, source: str | IO[str]) -> "EventLog":
+        """Parse a JSONL stream (path or file-like) back into a log."""
+        if isinstance(source, str):
+            with open(source, "r", encoding="utf-8") as handle:
+                return cls.from_jsonl(handle)
+        log = cls()
+        for line_number, line in enumerate(source, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"line {line_number}: invalid JSON ({exc})"
+                ) from None
+            if not isinstance(event, Mapping) or "kind" not in event \
+                    or "time" not in event:
+                raise ValueError(
+                    f"line {line_number}: events need 'kind' and 'time'"
+                )
+            fields = {
+                key: value for key, value in event.items()
+                if key not in _RESERVED
+            }
+            log.emit(event["kind"], event["time"], **fields)
+        return log
+
+    # ------------------------------------------------------------------
+    # Legacy TraceEvent interop
+    # ------------------------------------------------------------------
+    def to_trace_events(self) -> list:
+        """Master scheduling events as legacy ``TraceEvent`` records."""
+        from ..core.master import TraceEvent  # local import: layering
+
+        return [
+            TraceEvent(
+                kind=event["kind"],
+                time=event["time"],
+                pe_id=str(event.get("pe", "")),
+                task_id=int(event.get("task", -1)),
+                value=float(event.get("value", 0.0)),
+            )
+            for event in self
+            if "pe" in event
+        ]
+
+    @classmethod
+    def from_trace_events(cls, trace: Iterable) -> "EventLog":
+        """Wrap legacy ``TraceEvent`` records into the unified form."""
+        log = cls()
+        for event in trace:
+            log.emit(
+                event.kind,
+                event.time,
+                pe=event.pe_id,
+                task=event.task_id,
+                value=event.value,
+            )
+        return log

@@ -1,0 +1,489 @@
+"""Dependency-free metrics: counters, gauges and histograms with labels.
+
+The paper's evaluation (Figs. 5-8, Tables III-V) is entirely an
+exercise in *schedule telemetry* — per-PE throughput, utilization and
+the price of replication.  This module is the substrate that carries
+those numbers: a :class:`MetricsRegistry` holding named metric
+families, each family fanning out into labelled series, exportable as
+a JSON snapshot (machine consumption, exact round-trip) or
+Prometheus-style text exposition (human eyeballs, `promtool`, scrape
+endpoints).
+
+Design constraints, in order:
+
+* **stdlib only** — the registry must import on the barest container;
+* **thread-safe** — the threaded runtime and the cluster server mutate
+  metrics from many threads; every read-modify-write takes a lock;
+* **clock-free** — metrics never read a clock themselves, so the same
+  registry works under virtual (DES) and wall time (see
+  :mod:`repro.observability.timer`).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from bisect import bisect_left
+from typing import Iterable, Iterator, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "merge_snapshots",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram bucket upper bounds (seconds-flavoured: they span
+#: sub-millisecond RPC hops up to DES makespans of hours).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
+    50.0, 100.0, 500.0, 1000.0, 5000.0, float("inf"),
+)
+
+
+class Counter:
+    """Monotonically increasing value (e.g. tasks assigned)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """Value that can go up and down (e.g. ready-queue depth)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Bucketed distribution (e.g. task latency).
+
+    ``buckets`` are upper bounds; a terminal ``+inf`` bucket is added
+    when missing, so every observation lands somewhere.
+    """
+
+    __slots__ = ("_bounds", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        bounds = sorted(set(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("at least one bucket bound is required")
+        if bounds[-1] != float("inf"):
+            bounds.append(float("inf"))
+        self._bounds = tuple(bounds)
+        self._counts = [0] * len(self._bounds)
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self._bounds, float(value))
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def bounds(self) -> tuple[float, ...]:
+        return self._bounds
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """Prometheus-style ``(le, cumulative count)`` pairs."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        with self._lock:
+            for bound, count in zip(self._bounds, self._counts):
+                running += count
+                out.append((bound, running))
+        return out
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+
+_METRIC_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """One named metric fanned out over label values.
+
+    With no label names the family holds a single series and proxies
+    the metric interface directly (``family.inc()``), so unlabelled
+    metrics cost no ceremony.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        labelnames: tuple[str, ...] = (),
+        buckets: Iterable[float] | None = None,
+    ):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        if kind not in _METRIC_TYPES:
+            raise ValueError(f"unknown metric type {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._buckets = tuple(buckets) if buckets is not None else None
+        self._children: dict[tuple[str, ...], Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _make_child(self) -> Counter | Gauge | Histogram:
+        if self.kind == "histogram":
+            return Histogram(self._buckets or DEFAULT_BUCKETS)
+        return _METRIC_TYPES[self.kind]()
+
+    def labels(self, **labelvalues: str) -> Counter | Gauge | Histogram:
+        """The child series for these label values (created on demand)."""
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}"
+            )
+        key = tuple(str(labelvalues[label]) for label in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = self._make_child()
+            return child
+
+    def series(self) -> Iterator[tuple[dict[str, str], Counter | Gauge | Histogram]]:
+        with self._lock:
+            items = list(self._children.items())
+        for key, child in sorted(items, key=lambda kv: kv[0]):
+            yield dict(zip(self.labelnames, key)), child
+
+    # -- unlabelled convenience proxies --------------------------------
+    def _solo(self) -> Counter | Gauge | Histogram:
+        if self.labelnames:
+            raise ValueError(f"{self.name} is labelled; use .labels(...)")
+        return self.labels()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)  # type: ignore[union-attr]
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._solo().dec(amount)  # type: ignore[union-attr]
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)  # type: ignore[union-attr]
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)  # type: ignore[union-attr]
+
+    @property
+    def value(self) -> float:
+        return self._solo().value  # type: ignore[union-attr]
+
+
+class MetricsRegistry:
+    """A process-local collection of metric families.
+
+    The ``counter``/``gauge``/``histogram`` constructors are
+    *get-or-create*: asking twice for the same name returns the same
+    family (and re-registering under a different type or label set is
+    an error), which is what lets the DES and the threaded runtime
+    converge on identical metric names by calling the same declaration
+    helpers (:mod:`repro.observability.conventions`).
+    """
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _register(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labelnames: tuple[str, ...],
+        buckets: Iterable[float] | None = None,
+    ) -> MetricFamily:
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if existing.kind != kind or existing.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}{existing.labelnames}"
+                    )
+                return existing
+            family = MetricFamily(name, kind, help, tuple(labelnames), buckets)
+            self._families[name] = family
+            return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Iterable[str] = ()
+    ) -> MetricFamily:
+        return self._register(name, "counter", help, tuple(labelnames))
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Iterable[str] = ()
+    ) -> MetricFamily:
+        return self._register(name, "gauge", help, tuple(labelnames))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Iterable[str] = (),
+        buckets: Iterable[float] | None = None,
+    ) -> MetricFamily:
+        return self._register(name, "histogram", help, tuple(labelnames), buckets)
+
+    # ------------------------------------------------------------------
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._families)
+
+    def get(self, name: str) -> MetricFamily | None:
+        with self._lock:
+            return self._families.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return self.get(name) is not None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._families)
+
+    # ------------------------------------------------------------------
+    # JSON snapshot (exact round-trip)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-safe dict of every family and series.
+
+        Declared-but-never-observed families appear with an empty
+        ``series`` list, so metric *names* survive even on runs that
+        exercised nothing — the parity tests rely on this.
+        """
+        families = []
+        with self._lock:
+            ordered = sorted(self._families.values(), key=lambda f: f.name)
+        for family in ordered:
+            series = []
+            for labels, child in family.series():
+                entry: dict = {"labels": labels}
+                if isinstance(child, Histogram):
+                    entry["sum"] = child.sum
+                    entry["count"] = child.count
+                    entry["buckets"] = [
+                        ["+Inf" if le == float("inf") else le, count]
+                        for le, count in child.cumulative()
+                    ]
+                else:
+                    entry["value"] = child.value
+                series.append(entry)
+            families.append(
+                {
+                    "name": family.name,
+                    "type": family.kind,
+                    "help": family.help,
+                    "labelnames": list(family.labelnames),
+                    "series": series,
+                }
+            )
+        return {"schema": "repro.metrics.v1", "metrics": families}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Mapping) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`snapshot` output (validating)."""
+        if snapshot.get("schema") != "repro.metrics.v1":
+            raise ValueError(
+                f"unrecognised metrics schema {snapshot.get('schema')!r}"
+            )
+        registry = cls()
+        for family_dict in snapshot["metrics"]:
+            name = family_dict["name"]
+            kind = family_dict["type"]
+            labelnames = tuple(family_dict.get("labelnames", ()))
+            help_text = family_dict.get("help", "")
+            buckets = None
+            if kind == "histogram":
+                for entry in family_dict.get("series", ()):
+                    buckets = [
+                        float("inf") if le == "+Inf" else float(le)
+                        for le, _ in entry["buckets"]
+                    ]
+                    break
+            family = registry._register(name, kind, help_text, labelnames, buckets)
+            for entry in family_dict.get("series", ()):
+                child = family.labels(**entry.get("labels", {}))
+                if kind == "histogram":
+                    assert isinstance(child, Histogram)
+                    previous = 0
+                    cumulative = [
+                        (float("inf") if le == "+Inf" else float(le), int(c))
+                        for le, c in entry["buckets"]
+                    ]
+                    for index, (_, count) in enumerate(cumulative):
+                        child._counts[index] = count - previous
+                        previous = count
+                    child._sum = float(entry["sum"])
+                    child._count = int(entry["count"])
+                elif kind == "counter":
+                    child.inc(float(entry["value"]))  # type: ignore[union-attr]
+                else:
+                    child.set(float(entry["value"]))  # type: ignore[union-attr]
+        return registry
+
+    # ------------------------------------------------------------------
+    # Prometheus text exposition
+    # ------------------------------------------------------------------
+    def prometheus_text(self) -> str:
+        """Text exposition (version 0.0.4 style) of every series."""
+        lines: list[str] = []
+        with self._lock:
+            ordered = sorted(self._families.values(), key=lambda f: f.name)
+        for family in ordered:
+            if family.help:
+                lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for labels, child in family.series():
+                if isinstance(child, Histogram):
+                    for le, count in child.cumulative():
+                        bucket_labels = dict(labels)
+                        bucket_labels["le"] = _format_float(le)
+                        lines.append(
+                            f"{family.name}_bucket{_format_labels(bucket_labels)}"
+                            f" {count}"
+                        )
+                    lines.append(
+                        f"{family.name}_sum{_format_labels(labels)}"
+                        f" {_format_float(child.sum)}"
+                    )
+                    lines.append(
+                        f"{family.name}_count{_format_labels(labels)}"
+                        f" {child.count}"
+                    )
+                else:
+                    lines.append(
+                        f"{family.name}{_format_labels(labels)}"
+                        f" {_format_float(child.value)}"
+                    )
+        return "\n".join(lines) + "\n"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"'
+        for key, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+def _format_float(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+# ----------------------------------------------------------------------
+def merge_snapshots(*snapshots: Mapping) -> dict:
+    """Merge snapshot dicts into one (e.g. master-side + worker-side).
+
+    Families are merged by name (types and label sets must agree);
+    series with identical labels are combined — counters and histograms
+    add, gauges keep the last value seen.
+    """
+    merged = MetricsRegistry()
+    for snapshot in snapshots:
+        incoming = MetricsRegistry.from_snapshot(snapshot)
+        for name in incoming.names():
+            family = incoming.get(name)
+            assert family is not None
+            target = merged._register(
+                name, family.kind, family.help, family.labelnames,
+                family._buckets,
+            )
+            for labels, child in family.series():
+                existing = target.labels(**labels)
+                if isinstance(child, Histogram):
+                    assert isinstance(existing, Histogram)
+                    if existing.bounds != child.bounds:
+                        raise ValueError(
+                            f"{name}: histogram bucket bounds disagree"
+                        )
+                    for index, count in enumerate(child._counts):
+                        existing._counts[index] += count
+                    existing._sum += child.sum
+                    existing._count += child.count
+                elif isinstance(child, Counter):
+                    existing.inc(child.value)  # type: ignore[union-attr]
+                else:
+                    existing.set(child.value)  # type: ignore[union-attr]
+    return merged.snapshot()

@@ -1,0 +1,63 @@
+"""Clock-agnostic timing helpers.
+
+The same scheduling code runs under wall time (threaded runtime,
+cluster) and virtual time (the DES), so instrumentation must never call
+``time.perf_counter()`` directly — it asks a :class:`Timer` constructed
+with whichever clock the host runtime uses.  The default is the
+monotonic high-resolution clock; the simulator passes its event-queue
+clock instead, and tests pass a hand-cranked fake.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+__all__ = ["Timer", "Stopwatch"]
+
+
+class Stopwatch:
+    """One in-flight measurement; ``elapsed`` is valid once stopped."""
+
+    __slots__ = ("_clock", "start", "elapsed")
+
+    def __init__(self, clock: Callable[[], float]):
+        self._clock = clock
+        self.start = clock()
+        self.elapsed: float | None = None
+
+    def stop(self) -> float:
+        self.elapsed = self._clock() - self.start
+        return self.elapsed
+
+
+class Timer:
+    """A source of :class:`Stopwatch` instances bound to one clock."""
+
+    __slots__ = ("_clock",)
+
+    def __init__(self, clock: Callable[[], float] | None = None):
+        self._clock = clock if clock is not None else time.perf_counter
+
+    def now(self) -> float:
+        return self._clock()
+
+    def stopwatch(self) -> Stopwatch:
+        return Stopwatch(self._clock)
+
+    @contextmanager
+    def time(self, observe: Callable[[float], None]) -> Iterator[Stopwatch]:
+        """Measure the block and feed the elapsed seconds to *observe*.
+
+        *observe* is any ``float -> None`` sink — typically the
+        ``observe`` method of a histogram series::
+
+            with timer.time(rpc_seconds.labels(type="request").observe):
+                reply = link.call(message)
+        """
+        watch = self.stopwatch()
+        try:
+            yield watch
+        finally:
+            observe(watch.stop())

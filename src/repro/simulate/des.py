@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from ..core.master import Master, TraceEvent
 from ..core.policies import AllocationPolicy, PackageWeightedSelfScheduling
 from ..core.task import Task, TaskResult
+from ..observability import EventLog, MetricsRegistry, finalize_run_metrics
 from .events import EventHandle, EventQueue
 from .network import NetworkModel
 from .pe_models import PEModel
@@ -94,6 +95,11 @@ class SimReport:
     policy_name: str
     adjustment: bool
     results: dict[int, TaskResult] = field(default_factory=dict)
+    #: Metrics snapshot (``repro.metrics.v1``); same metric names as the
+    #: threaded runtime, timestamped in virtual seconds.
+    metrics: dict = field(default_factory=dict)
+    #: The unified structured event log backing :attr:`trace`.
+    events: EventLog = field(default_factory=EventLog)
 
     @property
     def gcups(self) -> float:
@@ -242,11 +248,15 @@ class HybridSimulator:
         intervals and trace from the master's records.
         """
         queue = EventQueue()
+        metrics = MetricsRegistry()
+        events = EventLog()
         master = Master(
             list(tasks),
             policy=self.policy,
             adjustment=self.adjustment,
             omega=self.omega,
+            metrics=metrics,
+            events=events,
         )
         pes = {spec.pe_id: _SimPE(spec) for spec in self.specs}
         state = _RunState(queue, master, pes, self)
@@ -290,9 +300,11 @@ class HybridSimulator:
             assert winner is not None
             tasks_won[winner] += 1
         replicas = sum(1 for e in master.trace if e.kind == "replica")
+        total_cells = sum(t.cells for t in tasks)
+        finalize_run_metrics(metrics, makespan, total_cells)
         return SimReport(
             makespan=makespan,
-            total_cells=sum(t.cells for t in tasks),
+            total_cells=total_cells,
             tasks_won=tasks_won,
             replicas_assigned=replicas,
             intervals=sorted(intervals, key=lambda iv: (iv.start, iv.pe_id)),
@@ -300,6 +312,8 @@ class HybridSimulator:
             policy_name=getattr(self.policy, "name", "custom"),
             adjustment=self.adjustment,
             results=dict(master.results),
+            metrics=metrics.snapshot(),
+            events=events,
         )
 
 

@@ -1,0 +1,302 @@
+"""Unit tests for the observability layer, plus the two cross-cutting
+acceptance checks: DES/threaded metric-name parity and cluster
+round-trip metrics on a loopback run."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.align import BLOSUM62, DEFAULT_GAPS
+from repro.bench import uniform_tasks
+from repro.cluster import run_cluster
+from repro.core import HybridRuntime, ScanEngine
+from repro.core.master import TraceEvent
+from repro.observability import (
+    EventLog,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    merge_snapshots,
+)
+from repro.sequences import query_set, random_database
+from repro.simulate import HybridSimulator, PESpec, UniformModel
+
+
+class TestMetricPrimitives:
+    def test_counter(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("widgets_total", "help text")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(10)
+        gauge.inc()
+        gauge.dec(4)
+        assert gauge.value == 7.0
+
+    def test_histogram_buckets_and_mean(self):
+        hist = Histogram(buckets=[1.0, 2.0])
+        for value in (0.5, 1.5, 99.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(101.0)
+        assert hist.mean == pytest.approx(101.0 / 3)
+        # Terminal +inf bucket is added automatically; counts cumulate.
+        assert hist.cumulative() == [
+            (1.0, 1), (2.0, 2), (float("inf"), 3)
+        ]
+
+    def test_labels_fan_out(self):
+        registry = MetricsRegistry()
+        family = registry.counter("tasks_total", labelnames=["pe"])
+        family.labels(pe="gpu0").inc(3)
+        family.labels(pe="sse0").inc()
+        assert family.labels(pe="gpu0").value == 3.0
+        with pytest.raises(ValueError):
+            family.labels(host="x")  # wrong label set
+        with pytest.raises(ValueError):
+            family.inc()  # labelled family needs .labels()
+
+    def test_get_or_create_and_conflicts(self):
+        registry = MetricsRegistry()
+        first = registry.counter("a_total")
+        assert registry.counter("a_total") is first
+        with pytest.raises(ValueError):
+            registry.gauge("a_total")  # same name, different type
+        with pytest.raises(ValueError):
+            registry.counter("a_total", labelnames=["pe"])
+        with pytest.raises(ValueError):
+            registry.counter("0bad name")
+
+
+class TestSnapshotAndExposition:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("jobs_total", "jobs", ["pe"]).labels(pe="g").inc(4)
+        registry.gauge("depth").set(2.5)
+        hist = registry.histogram("lat_seconds", buckets=[0.1, 1.0])
+        hist.observe(0.05)
+        hist.observe(0.5)
+        registry.counter("declared_but_empty_total", labelnames=["pe"])
+        return registry
+
+    def test_snapshot_round_trip(self):
+        registry = self._populated()
+        snapshot = registry.snapshot()
+        assert snapshot["schema"] == "repro.metrics.v1"
+        rebuilt = MetricsRegistry.from_snapshot(snapshot)
+        assert rebuilt.snapshot() == snapshot
+        # JSON-safe end to end (infinity encodes as the string "+Inf").
+        assert rebuilt.snapshot() == json.loads(registry.to_json())
+        hist = next(
+            f for f in json.loads(registry.to_json())["metrics"]
+            if f["name"] == "lat_seconds"
+        )
+        last_bound = hist["series"][0]["buckets"][-1][0]
+        assert last_bound == "+Inf"
+        assert not isinstance(last_bound, float)
+
+    def test_empty_families_survive_snapshots(self):
+        snapshot = self._populated().snapshot()
+        names = [f["name"] for f in snapshot["metrics"]]
+        assert "declared_but_empty_total" in names
+        assert "declared_but_empty_total" in (
+            MetricsRegistry.from_snapshot(snapshot).names()
+        )
+
+    def test_bad_schema_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry.from_snapshot({"schema": "nope", "metrics": []})
+
+    def test_prometheus_text(self):
+        text = self._populated().prometheus_text()
+        assert '# TYPE jobs_total counter' in text
+        assert 'jobs_total{pe="g"} 4' in text
+        assert 'depth 2.5' in text
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 2' in text
+        assert 'lat_seconds_count 2' in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", labelnames=["q"]).labels(
+            q='a"b\\c\nd'
+        ).inc()
+        assert 'q="a\\"b\\\\c\\nd"' in registry.prometheus_text()
+
+    def test_merge_snapshots(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n_total").inc(2)
+        b.counter("n_total").inc(3)
+        a.gauge("g").set(1)
+        b.gauge("g").set(9)
+        a.histogram("h", buckets=[1.0]).observe(0.5)
+        b.histogram("h", buckets=[1.0]).observe(2.0)
+        merged = MetricsRegistry.from_snapshot(
+            merge_snapshots(a.snapshot(), b.snapshot())
+        )
+        assert merged.get("n_total").labels().value == 5.0
+        assert merged.get("g").labels().value == 9.0  # last wins
+        hist = merged.get("h").labels()
+        assert hist.count == 2
+        assert hist.sum == pytest.approx(2.5)
+
+    def test_merge_rejects_disagreeing_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=[1.0]).observe(0.5)
+        b.histogram("h", buckets=[2.0]).observe(0.5)
+        with pytest.raises(ValueError):
+            merge_snapshots(a.snapshot(), b.snapshot())
+
+
+class TestEventLog:
+    def test_emit_and_filter(self):
+        log = EventLog()
+        log.emit("assign", 1.0, pe="gpu0", task=3)
+        log.emit("complete", 2.0, pe="gpu0", task=3, value=1.0)
+        log.emit("assign", 2.5, pe="sse0", task=4)
+        assert len(log) == 3
+        assert [e["kind"] for e in log] == ["assign", "complete", "assign"]
+        assert len(log.filter("assign")) == 2
+        assert log.filter("assign", pe="sse0")[0]["task"] == 4
+        with pytest.raises(ValueError):
+            log.emit("", 0.0)
+        # The reserved keys collide with emit's own parameters.
+        with pytest.raises(TypeError):
+            log.emit("x", 0.0, **{"time": 1.0})
+
+    def test_jsonl_round_trip(self, tmp_path):
+        log = EventLog()
+        log.emit("register", 0.0, pe="gpu0")
+        log.emit("progress", 0.5, pe="gpu0", cells=100.0)
+        path = str(tmp_path / "events.jsonl")
+        log.to_jsonl(path)
+        back = EventLog.from_jsonl(path)
+        assert list(back) == list(log)
+        assert EventLog.from_jsonl(
+            io.StringIO(log.to_jsonl_text())
+        ).filter("progress")[0]["cells"] == 100.0
+
+    def test_from_jsonl_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            EventLog.from_jsonl(io.StringIO("not json\n"))
+        with pytest.raises(ValueError):
+            EventLog.from_jsonl(io.StringIO('{"kind": "x"}\n'))  # no time
+
+    def test_streaming_sink(self):
+        sink = io.StringIO()
+        log = EventLog(sink=sink)
+        log.emit("assign", 1.0, pe="a")
+        assert json.loads(sink.getvalue()) == {
+            "kind": "assign", "time": 1.0, "pe": "a"
+        }
+
+    def test_trace_event_interop_is_lossless(self):
+        trace = [
+            TraceEvent("assign", 1.0, "gpu0", 7, 0.0),
+            TraceEvent("complete", 2.0, "gpu0", 7, 1.0),
+        ]
+        log = EventLog.from_trace_events(trace)
+        assert log.to_trace_events() == trace
+
+
+class TestTimer:
+    def test_fake_clock(self):
+        ticks = iter([10.0, 12.5, 13.0, 14.0])
+        timer = Timer(clock=lambda: next(ticks))
+        assert timer.now() == 10.0
+        watch = timer.stopwatch()  # starts at 12.5
+        assert watch.stop() == pytest.approx(0.5)  # stops at 13.0
+
+    def test_context_manager_feeds_observe(self):
+        now = [0.0]
+        timer = Timer(clock=lambda: now[0])
+        seen: list[float] = []
+        with timer.time(seen.append):
+            now[0] = 3.25
+        assert seen == [3.25]
+
+    def test_default_clock_is_monotonic(self):
+        timer = Timer()
+        first = timer.now()
+        assert timer.now() >= first
+
+
+class TestEnvironmentParity:
+    """Both execution environments drive the same instrumented Master,
+    so their snapshots must expose identical metric names."""
+
+    def _des_names(self):
+        sim = HybridSimulator(
+            [
+                PESpec("gpu1", UniformModel(rate=6.0, pe_class_name="gpu")),
+                PESpec("sse1", UniformModel(rate=1.0, pe_class_name="sse")),
+            ],
+            comm_latency=0.0,
+            notify_interval=0.5,
+        )
+        report = sim.run(uniform_tasks(8))
+        return set(MetricsRegistry.from_snapshot(report.metrics).names())
+
+    def _threaded_names(self):
+        rng = np.random.default_rng(3)
+        queries = query_set(2, rng, min_length=15, max_length=25)
+        database = random_database(16, 30.0, rng, name="parity")
+        runtime = HybridRuntime(
+            {
+                "a": ScanEngine(BLOSUM62, DEFAULT_GAPS, chunk_size=8),
+                "b": ScanEngine(BLOSUM62, DEFAULT_GAPS, chunk_size=8),
+            }
+        )
+        report = runtime.run(queries, database)
+        return set(MetricsRegistry.from_snapshot(report.metrics).names())
+
+    def test_des_and_threaded_metric_names_match(self):
+        des, threaded = self._des_names(), self._threaded_names()
+        assert des == threaded
+        for required in (
+            "tasks_assigned_total",
+            "tasks_completed_total",
+            "task_latency_seconds",
+            "pe_utilization_ratio",
+            "run_makespan_seconds",
+        ):
+            assert required in des
+
+
+class TestClusterLoopback:
+    def test_round_trip_metrics_present(self):
+        rng = np.random.default_rng(11)
+        queries = query_set(2, rng, min_length=15, max_length=25)
+        database = random_database(12, 30.0, rng, name="loopback")
+        report = run_cluster(
+            queries,
+            database,
+            {"w0": "scan"},
+            use_processes=False,
+            timeout=120,
+        )
+        registry = MetricsRegistry.from_snapshot(report.metrics)
+        names = set(registry.names())
+        # Master-side scheduling metrics...
+        assert "tasks_completed_total" in names
+        # ...transport service times on the server...
+        rpc = list(registry.get("cluster_rpc_seconds").series())
+        assert any(labels["type"] == "request" for labels, _ in rpc)
+        assert sum(hist.count for _, hist in rpc) > 0
+        # ...and worker-observed round trips (shared registry: threads).
+        roundtrip = list(
+            registry.get("cluster_roundtrip_seconds").series()
+        )
+        assert any(labels["pe"] == "w0" for labels, _ in roundtrip)
+        assert all(hist.count > 0 for _, hist in roundtrip)
+        # The structured event log carries the same schedule the legacy
+        # trace does.
+        assert report.events.to_trace_events() == report.trace

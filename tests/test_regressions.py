@@ -1,0 +1,83 @@
+"""Pinned regression tests for bugs found by the property suite.
+
+Each test is a *deterministic* replay of a Hypothesis counterexample —
+no ``@given`` — so the exact failing inputs stay in the suite forever
+even if the property strategies change.
+"""
+
+from repro.align import BLOSUM62, affine_gap, align_linear_space
+from repro.align.reference import sw_score_reference
+from repro.core.history import RateEstimator, RateSample
+from repro.sequences import PROTEIN, Sequence
+
+
+def seq(residues: str, seq_id: str = "s") -> Sequence:
+    return Sequence(id=seq_id, residues=residues, alphabet=PROTEIN)
+
+
+class TestRateEstimatorRegression:
+    """Counterexample from ``test_weighted_mean_within_sample_range``.
+
+    Two identical samples, Ω=2: the naive ``(1*r + 2*r) / 3``
+    accumulation rounded the weighted mean one ulp *below* the (unique)
+    sample rate, violating the weighted-mean range invariant.
+    """
+
+    CELLS = 894785.7978174529
+    INTERVAL = 0.01
+
+    def test_constant_samples_reproduce_the_constant(self):
+        estimator = RateEstimator(omega=2)
+        for t in range(2):
+            estimator.observe(
+                RateSample(
+                    time=float(t), cells=self.CELLS, interval=self.INTERVAL
+                )
+            )
+        rate = self.CELLS / self.INTERVAL
+        # Bit-for-bit: the weighted mean of a constant is the constant.
+        assert estimator.rate() == rate
+
+    def test_weighted_mean_stays_within_sample_range(self):
+        estimator = RateEstimator(omega=3)
+        samples = [(self.CELLS, self.INTERVAL), (self.CELLS * 3, 0.07)]
+        for t, (cells, interval) in enumerate(samples):
+            estimator.observe(
+                RateSample(time=float(t), cells=cells, interval=interval)
+            )
+        rates = [c / i for c, i in samples]
+        rate = estimator.rate()
+        assert min(rates) <= rate <= max(rates)
+
+
+class TestLinearSpaceRescoreRegression:
+    """Counterexample from ``test_linear_space_alignment_exact``.
+
+    ``CAC`` vs ``CDC`` with gap open 1, extend 0: the optimal local
+    alignment is ``CA-C`` / ``C-DC`` (score 16 — two matches at 9, two
+    *separate* one-residue gaps at -1 each).  ``Alignment.rescore``
+    used a single shared gap flag, so the insertion immediately after
+    the deletion was billed as an *extension* of the first gap and the
+    rescore came out one open-extend difference too high (17).
+    """
+
+    GAPS = affine_gap(1, 0)
+
+    def test_pinned_counterexample(self):
+        a, b = seq("CAC", "a"), seq("CDC", "b")
+        expected = sw_score_reference(a, b, BLOSUM62, self.GAPS)
+        assert expected == 16
+
+        alignment = align_linear_space(a, b, BLOSUM62, self.GAPS)
+        assert alignment.score == expected
+        assert alignment.rescore(BLOSUM62, self.GAPS) == expected
+
+    def test_adjacent_opposite_gaps_pay_two_opens(self):
+        """Same defect, wider gap model: deletion run then insertion
+        run must each pay their own open cost."""
+        gaps = affine_gap(10, 2)
+        a, b = seq("CCWCC", "a"), seq("CCHMCC", "b")
+        alignment = align_linear_space(a, b, BLOSUM62, gaps)
+        expected = sw_score_reference(a, b, BLOSUM62, gaps)
+        assert alignment.score == expected
+        assert alignment.rescore(BLOSUM62, gaps) == expected
