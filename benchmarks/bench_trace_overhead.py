@@ -1,0 +1,108 @@
+"""Span-emission overhead benchmark.
+
+Drives a bare :class:`repro.core.master.Master` through a synthetic
+master-protocol loop (request / progress / complete) twice — once with
+span allocation on (the default) and once with ``spans=False`` — and
+reports events/sec for both, i.e. the price of giving every execution
+a causal trace. The instrumented run's event log is analyzed into a
+``repro.trace_report.v1`` document so the benchmark also exercises the
+trace-analysis layer end to end::
+
+    pytest benchmarks/bench_trace_overhead.py --benchmark-only
+"""
+
+import time
+
+from repro.bench import uniform_tasks
+from repro.core import Master, PackageWeightedSelfScheduling, TaskResult
+from repro.observability import TRACE_REPORT_SCHEMA, analyze_events
+
+from conftest import emit
+
+_TASKS = 400
+_PES = ("gpu0", "gpu1", "sse0", "sse1")
+
+
+def _drive(spans: bool) -> Master:
+    """One synthetic run: every task requested, progressed, completed."""
+    master = Master(
+        uniform_tasks(_TASKS, cells=1000),
+        policy=PackageWeightedSelfScheduling(),
+        spans=spans,
+    )
+    now = 0.0
+    for pe in _PES:
+        master.register(pe, now)
+    while not master.finished:
+        idle = True
+        for pe in _PES:
+            assignment = master.on_request(pe, now)
+            if assignment.done:
+                continue
+            for task in (*assignment.tasks, *assignment.replicas):
+                idle = False
+                now += 0.001
+                master.on_progress(
+                    pe, now, cells=task.cells / 2, interval=0.001
+                )
+                now += 0.001
+                losers = master.on_complete(
+                    pe,
+                    TaskResult(
+                        task_id=task.task_id, pe_id=pe,
+                        elapsed=0.002, cells=task.cells,
+                    ),
+                    now,
+                )
+                for loser in losers:
+                    now += 0.0001
+                    master.on_cancelled(loser, task.task_id, now)
+        if idle:
+            break
+    return master
+
+
+def _events_per_second(spans: bool) -> tuple[float, Master]:
+    start = time.perf_counter()
+    master = _drive(spans)
+    elapsed = time.perf_counter() - start
+    return len(master.events) / elapsed, master
+
+
+def test_trace_overhead(benchmark, tmp_path):
+    rate_with, master = benchmark.pedantic(
+        lambda: _events_per_second(True), rounds=1, iterations=1
+    )
+    rate_without, baseline = _events_per_second(False)
+
+    # Same schedule either way; spans only annotate the events.
+    assert len(master.events) == len(baseline.events)
+    assert all(
+        "span" in e for e in master.events if e["kind"] == "assign"
+    )
+    assert not any("span" in e for e in baseline.events)
+
+    # The instrumented log analyzes into a valid trace report.
+    document = analyze_events(master.events).to_document()
+    assert document["schema"] == TRACE_REPORT_SCHEMA
+    artifact = tmp_path / "trace_report.json"
+    import json
+
+    artifact.write_text(json.dumps(document, indent=2) + "\n")
+
+    overhead = (
+        rate_without / rate_with - 1.0 if rate_with > 0 else float("nan")
+    )
+    emit(
+        "Span-emission overhead",
+        f"events: {len(master.events)} per run\n"
+        f"with spans:    {rate_with:12.0f} events/sec\n"
+        f"without spans: {rate_without:12.0f} events/sec\n"
+        f"overhead:      {overhead:12.1%}\n"
+        f"trace report:  {artifact}",
+    )
+    benchmark.extra_info["events_per_run"] = len(master.events)
+    benchmark.extra_info["events_per_sec_with_spans"] = round(rate_with)
+    benchmark.extra_info["events_per_sec_without_spans"] = round(
+        rate_without
+    )

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # One-stop local gate: tier-1 test suite, then a short observability
-# smoke benchmark that writes a metrics snapshot and validates it.
+# smoke benchmark that writes a metrics snapshot and validates it,
+# then a trace round-trip (event log -> `repro trace analyze` ->
+# repro.trace_report.v1 schema check).
 #
 # Usage: scripts/check.sh
 # Runs from any cwd; needs only the in-repo package (no installs).
@@ -16,7 +18,9 @@ python -m pytest -x -q
 echo
 echo "== observability smoke benchmark =="
 METRICS_OUT="$(mktemp -t repro-metrics-XXXXXX.json)"
-trap 'rm -f "$METRICS_OUT"' EXIT
+EVENTS_OUT="$(mktemp -t repro-events-XXXXXX.jsonl)"
+TRACE_OUT="$(mktemp -t repro-trace-XXXXXX.json)"
+trap 'rm -f "$METRICS_OUT" "$EVENTS_OUT" "$TRACE_OUT"' EXIT
 python -m pytest benchmarks/bench_metrics_smoke.py --benchmark-only \
     --benchmark-min-rounds=1 -q --metrics-out "$METRICS_OUT"
 
@@ -38,6 +42,39 @@ for name, snapshot in sorted(snapshots.items()):
     print(f"{name}: {len(registry.names())} metric families, "
           f"{len(text.splitlines())} exposition lines")
 print("snapshot validation OK")
+PY
+
+echo
+echo "== trace analyze round-trip =="
+python -m repro simulate --database rat --queries 6 --gpus 1 --sse 2 \
+    --events-out "$EVENTS_OUT" > /dev/null
+python -m repro trace analyze "$EVENTS_OUT" --format json \
+    --out "$TRACE_OUT" > /dev/null
+python - "$EVENTS_OUT" "$TRACE_OUT" <<'PY'
+import json
+import sys
+
+from repro.observability import (
+    TRACE_REPORT_METRICS,
+    TRACE_REPORT_SCHEMA,
+    EventLog,
+    analyze_events,
+)
+
+events_path, report_path = sys.argv[1:3]
+with open(report_path, encoding="utf-8") as handle:
+    document = json.load(handle)
+if document["schema"] != TRACE_REPORT_SCHEMA:
+    sys.exit(f"unexpected schema tag: {document['schema']!r}")
+missing = sorted(set(TRACE_REPORT_METRICS) - set(document["metrics"]))
+if missing:
+    sys.exit(f"trace report is missing metrics: {missing}")
+# Re-analyzing the same event log must reproduce the document exactly.
+replayed = analyze_events(EventLog.from_jsonl(events_path)).to_document()
+if replayed != document:
+    sys.exit("trace analyze is not deterministic over the event log")
+print(f"trace report OK: {len(document['pes'])} PEs, "
+      f"makespan {document['metrics']['makespan_seconds']:.2f}s")
 PY
 
 echo

@@ -9,7 +9,11 @@ Subcommands mirror the paper's workflow:
 * ``tables``  — regenerate the paper's tables and figures;
 * ``metrics`` — render/validate a metrics snapshot (JSON in,
   Prometheus text or JSON out); ``search``/``simulate``/``cluster``
-  write such snapshots via ``--metrics-out``.
+  write such snapshots via ``--metrics-out``;
+* ``trace``   — analyze an event log written by ``--events-out``:
+  per-PE timelines, scheduling diagnostics, Gantt renderings and
+  run-vs-run diffs (``repro.trace_report.v1`` documents, also written
+  directly by ``--trace-out``).
 """
 
 from __future__ import annotations
@@ -218,6 +222,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="prom: Prometheus text exposition; json: normalized "
         "snapshot; names: metric names only",
     )
+
+    trace = sub.add_parser(
+        "trace",
+        help="analyze an event log written by --events-out "
+        "(timelines, diagnostics, Gantt, diffs)",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    analyze = trace_sub.add_parser(
+        "analyze", help="reconstruct timelines and diagnostics"
+    )
+    analyze.add_argument("events", help="event-log JSONL file")
+    analyze.add_argument(
+        "--format", default="text", choices=["text", "json"],
+    )
+    analyze.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="also write the repro.trace_report.v1 JSON document",
+    )
+    analyze.add_argument("--omega", type=int, default=8,
+                         help="rate-reconstruction window length")
+
+    tgantt = trace_sub.add_parser(
+        "gantt", help="render the reconstructed schedule as a Gantt chart"
+    )
+    tgantt.add_argument("events", help="event-log JSONL file")
+    tgantt.add_argument("--width", type=int, default=72)
+    tgantt.add_argument(
+        "--svg", metavar="FILE", default=None,
+        help="write an SVG rendering instead of ASCII",
+    )
+    tgantt.add_argument("--title", default="")
+    tgantt.add_argument("--omega", type=int, default=8)
+
+    tdiff = trace_sub.add_parser(
+        "diff",
+        help="compare two runs (event logs or trace reports), e.g. "
+        "SS vs PSS",
+    )
+    tdiff.add_argument("first", help="event-log JSONL or trace-report JSON")
+    tdiff.add_argument("second", help="event-log JSONL or trace-report JSON")
+    tdiff.add_argument(
+        "--format", default="text", choices=["text", "json"],
+    )
+    tdiff.add_argument("--omega", type=int, default=8)
     return parser
 
 
@@ -230,10 +279,15 @@ def _add_telemetry_flags(command: argparse.ArgumentParser) -> None:
         "--events-out", metavar="FILE", default=None,
         help="write the run's structured event log as JSONL",
     )
+    command.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="write the run's trace analysis "
+        "(repro.trace_report.v1 JSON)",
+    )
 
 
 def _write_telemetry(args: argparse.Namespace, metrics: dict, events) -> None:
-    """Honour --metrics-out / --events-out on a finished run report."""
+    """Honour --metrics-out/--events-out/--trace-out on a run report."""
     import json
 
     if getattr(args, "metrics_out", None):
@@ -244,6 +298,14 @@ def _write_telemetry(args: argparse.Namespace, metrics: dict, events) -> None:
     if getattr(args, "events_out", None):
         events.to_jsonl(args.events_out)
         print(f"(wrote event log {args.events_out})")
+    if getattr(args, "trace_out", None):
+        from .observability import analyze_events
+
+        document = analyze_events(events).to_document()
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        print(f"(wrote trace report {args.trace_out})")
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
@@ -515,6 +577,88 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_trace_document(path: str, omega: int) -> dict:
+    """Load a run for ``trace diff``: report JSON or event-log JSONL.
+
+    A file whose first JSON object carries the trace-report schema tag
+    is used as-is; anything else is parsed as an event log and
+    analyzed on the fly, so diffing two fresh ``--events-out`` files
+    needs no intermediate ``trace analyze`` step.
+    """
+    import json
+
+    from .observability import (
+        TRACE_REPORT_SCHEMA,
+        EventLog,
+        analyze_events,
+    )
+
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError:
+        document = None  # multiple lines: an event-log JSONL
+    if isinstance(document, dict) and "schema" in document:
+        if document["schema"] == TRACE_REPORT_SCHEMA:
+            return document
+        raise ValueError(
+            f"{path}: JSON document is not a {TRACE_REPORT_SCHEMA} report"
+        )
+    import io
+
+    events = EventLog.from_jsonl(io.StringIO(text))
+    return analyze_events(events, omega=omega).to_document()
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from .observability import EventLog, analyze_events, format_report
+
+    if args.trace_command == "analyze":
+        analysis = analyze_events(
+            EventLog.from_jsonl(args.events), omega=args.omega
+        )
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                json.dump(analysis.to_document(), handle, indent=2)
+                handle.write("\n")
+            print(f"(wrote trace report {args.out})")
+        if args.format == "json":
+            print(json.dumps(analysis.to_document(), indent=2))
+        else:
+            print(format_report(analysis))
+        return 0
+
+    if args.trace_command == "gantt":
+        analysis = analyze_events(
+            EventLog.from_jsonl(args.events), omega=args.omega
+        )
+        intervals = [iv for iv in analysis.intervals if iv.duration > 0]
+        if args.svg:
+            from .simulate.svg import render_gantt_svg
+
+            with open(args.svg, "w", encoding="utf-8") as handle:
+                handle.write(render_gantt_svg(intervals, title=args.title))
+            print(f"(wrote {args.svg})")
+        else:
+            print(gantt(intervals, width=args.width))
+        return 0
+
+    # diff
+    from .observability import diff_documents, format_diff
+
+    first = _load_trace_document(args.first, args.omega)
+    second = _load_trace_document(args.second, args.omega)
+    diff = diff_documents(first, second)
+    if args.format == "json":
+        print(json.dumps(diff, indent=2))
+    else:
+        print(format_diff(diff, labels=(args.first, args.second)))
+    return 0
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
     import os
 
@@ -578,6 +722,7 @@ def main(argv: list[str] | None = None) -> int:
         "worker": _cmd_worker,
         "tables": _cmd_tables,
         "metrics": _cmd_metrics,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

@@ -110,9 +110,12 @@ def run_cluster(
         host, port = server.address
         started = time.perf_counter()
         procs: list = []
-        # Worker-side metrics live in the worker's process; only the
-        # thread deployment can share a registry with the launcher.
+        # Worker-side metrics/events live in the worker's process; only
+        # the thread deployment can share them with the launcher.  The
+        # worker event log runs on the *server's* clock so it merges
+        # cleanly onto the master timeline.
         worker_metrics = None if use_processes else MetricsRegistry()
+        worker_events = None if use_processes else EventLog()
         try:
             for pe_id, engine in workers.items():
                 config = WorkerConfig(
@@ -137,7 +140,8 @@ def run_cluster(
 
                     proc = threading.Thread(
                         target=run_worker,
-                        args=(config, worker_metrics),
+                        args=(config, worker_metrics, worker_events,
+                              server.clock),
                         daemon=True,
                     )
                 proc.start()
@@ -153,6 +157,8 @@ def run_cluster(
                 snapshots.append(worker_metrics.snapshot())
             metrics = merge_snapshots(*snapshots)
             events = server.events
+            if worker_events is not None and len(worker_events):
+                events = EventLog.merge(server.events, worker_events)
         finally:
             for proc in procs:
                 if use_processes and proc.is_alive():

@@ -11,14 +11,23 @@ Message types (all carry ``type`` plus the listed fields):
 ==============  =====================================================
 ``register``    pe_id
 ``request``     pe_id
-``assign``      tasks[], replicas[], done, wait    (master -> slave)
-``progress``    pe_id, cells, interval
+``assign``      tasks[], replicas[], done, wait,   (master -> slave)
+                spans{task_id: {trace, span, parent}}
+``progress``    pe_id, cells, interval [, trace, span, parent]
 ``ack``         cancel[]                           (master -> slave;
                 piggybacks pending cancellations)
 ``complete``    pe_id, task_id, elapsed, cells, hits[]
-``cancelled``   pe_id, task_id
+                [, trace, span, parent]
+``cancelled``   pe_id, task_id [, trace, span, parent]
 ``error``       message
 ==============  =====================================================
+
+The optional ``trace``/``span``/``parent`` fields carry the task's span
+context (see :mod:`repro.observability.spans`): the master allocates it
+when granting work, forwards it in the ``assign`` reply's ``spans``
+map, and slaves echo it on every message about that task so worker-side
+events join the same causal trace.  All span fields are optional —
+older slaves that ignore them still interoperate.
 
 Tasks travel as plain dicts mirroring :class:`repro.core.task.Task`;
 hits mirror :class:`repro.align.api.SearchHit`.  Slaves fetch the
@@ -44,6 +53,7 @@ __all__ = [
     "decode_task",
     "encode_hit",
     "decode_hit",
+    "span_fields",
 ]
 
 #: Upper bound on one frame; a sanity guard against stream corruption.
@@ -99,6 +109,19 @@ def decode_task(data: dict[str, Any]) -> Task:
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ProtocolError(f"bad task payload: {exc}") from exc
+
+
+def span_fields(message: dict[str, Any]) -> dict[str, str]:
+    """Extract the optional span-context fields of one wire message.
+
+    Returns ``{}`` when the peer sent none (pre-span slaves), so
+    callers can splat the result into an event-log ``emit`` unchanged.
+    """
+    return {
+        key: str(message[key])
+        for key in ("trace", "span", "parent")
+        if message.get(key)
+    }
 
 
 def encode_hit(hit: SearchHit) -> list[Any]:

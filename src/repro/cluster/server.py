@@ -84,6 +84,15 @@ class _Handler(socketserver.StreamRequestHandler):
                 )
                 cancel = sorted(server.cancel_flags.get(pe_id, ()))
                 server.cancel_flags.get(pe_id, set()).clear()
+                # Span contexts of the granted executions, forwarded so
+                # worker-side events join the same causal trace.
+                spans = {}
+                for t in (*assignment.tasks, *assignment.replicas):
+                    context = server.master.execution_span(
+                        pe_id, t.task_id
+                    )
+                    if context is not None:
+                        spans[str(t.task_id)] = context.as_fields()
             send_message(
                 self.connection,
                 {
@@ -95,6 +104,7 @@ class _Handler(socketserver.StreamRequestHandler):
                     "done": assignment.done,
                     "wait": assignment.empty,
                     "cancel": cancel,
+                    "spans": spans,
                 },
             )
         elif kind == "progress":
@@ -139,7 +149,7 @@ class _Handler(socketserver.StreamRequestHandler):
             pe_id = str(message["pe_id"])
             with server.lock:
                 server.master.on_cancelled(
-                    pe_id, int(message["task_id"])
+                    pe_id, int(message["task_id"]), server.clock()
                 )
             send_message(self.connection, {"type": "ack", "cancel": []})
         else:

@@ -18,7 +18,11 @@ from ..align.gaps import affine_gap
 from ..align.scoring import get_matrix
 from ..core.engines import ChunkProgress, Engine, InterSequenceEngine, ScanEngine, StripedSSEEngine
 from ..core.task import Task
-from ..observability import MetricsRegistry, cluster_worker_instruments
+from ..observability import (
+    EventLog,
+    MetricsRegistry,
+    cluster_worker_instruments,
+)
 from ..sequences.database import SequenceDatabase
 from ..sequences.indexed import IndexedReader
 from .protocol import (
@@ -89,6 +93,9 @@ class _Link:
         self._sock = socket.create_connection((host, port), timeout=60)
         self._reader = self._sock.makefile("rb")
         self.cancelled: set[int] = set()
+        #: Span context of each granted task, from the assign reply's
+        #: ``spans`` map; echoed back on progress/complete/cancelled.
+        self.spans: dict[int, dict] = {}
         self._observe = observe
 
     def call(self, message: dict) -> dict:
@@ -104,6 +111,13 @@ class _Link:
         if reply.get("type") == "error":
             raise ProtocolError(f"master error: {reply.get('message')}")
         self.cancelled.update(int(t) for t in reply.get("cancel", []))
+        for task_id, fields in (reply.get("spans") or {}).items():
+            if isinstance(fields, dict):
+                self.spans[int(task_id)] = {
+                    key: str(value)
+                    for key, value in fields.items()
+                    if key in ("trace", "span", "parent") and value
+                }
         return reply
 
     def close(self) -> None:
@@ -114,7 +128,10 @@ class _Link:
 
 
 def run_worker(
-    config: WorkerConfig, metrics: MetricsRegistry | None = None
+    config: WorkerConfig,
+    metrics: MetricsRegistry | None = None,
+    events: EventLog | None = None,
+    clock=None,
 ) -> int:
     """Slave main loop; returns the number of tasks completed.
 
@@ -124,12 +141,20 @@ def run_worker(
     *metrics* registry (thread deployments only — registries do not
     cross process boundaries) collects the worker-observed round-trip
     times and connection counts under the ``cluster_*`` names.
+
+    *events* (thread deployments only) records worker-side
+    ``worker_task_start``/``worker_task_end`` events tagged with the
+    span context the master forwarded, timestamped by *clock* (pass the
+    server's clock so worker events merge onto the master timeline;
+    defaults to ``time.perf_counter``).
     """
     engine = config.build_engine()
     matrix = get_matrix(config.matrix)
     inst = cluster_worker_instruments(
         metrics if metrics is not None else MetricsRegistry()
     )
+    if clock is None:
+        clock = time.perf_counter
 
     def observe_roundtrip(message_type: str, seconds: float) -> None:
         inst.roundtrip_seconds.labels(
@@ -156,7 +181,8 @@ def run_worker(
                 tasks += [decode_task(t) for t in reply.get("replicas", [])]
                 for task in tasks:
                     completed += _execute(
-                        link, engine, config, queries, database, task
+                        link, engine, config, queries, database, task,
+                        events, clock,
                     )
         finally:
             link.close()
@@ -169,8 +195,16 @@ def _execute(
     queries: IndexedReader,
     database: SequenceDatabase,
     task: Task,
+    events: EventLog | None = None,
+    clock=time.perf_counter,
 ) -> int:
     query = queries[task.query_index]
+    span = link.spans.get(task.task_id, {})
+    if events is not None:
+        events.emit(
+            "worker_task_start", clock(),
+            pe=config.pe_id, task=task.task_id, **span,
+        )
     started = time.perf_counter()
     last = started
 
@@ -183,6 +217,7 @@ def _execute(
                 "pe_id": config.pe_id,
                 "cells": chunk.cells,
                 "interval": max(now - last, 1e-9),
+                **span,
             }
         )
         last = now
@@ -191,14 +226,23 @@ def _execute(
     hits = engine.search(query, database, progress=progress)
     if hits is None:  # cancelled mid-task
         link.cancelled.discard(task.task_id)
+        link.spans.pop(task.task_id, None)
         link.call(
             {
                 "type": "cancelled",
                 "pe_id": config.pe_id,
                 "task_id": task.task_id,
+                **span,
             }
         )
+        if events is not None:
+            events.emit(
+                "worker_task_end", clock(),
+                pe=config.pe_id, task=task.task_id,
+                outcome="cancelled", **span,
+            )
         return 0
+    link.spans.pop(task.task_id, None)
     link.call(
         {
             "type": "complete",
@@ -207,6 +251,13 @@ def _execute(
             "elapsed": max(time.perf_counter() - started, 1e-9),
             "cells": task.cells,
             "hits": [encode_hit(h) for h in hits],
+            **span,
         }
     )
+    if events is not None:
+        events.emit(
+            "worker_task_end", clock(),
+            pe=config.pe_id, task=task.task_id,
+            outcome="complete", **span,
+        )
     return 1

@@ -17,7 +17,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..observability import EventLog, MetricsRegistry, master_instruments
+from ..observability import (
+    EventLog,
+    MetricsRegistry,
+    SpanContext,
+    execution_span_id,
+    master_instruments,
+    task_trace_id,
+)
 from .history import DEFAULT_OMEGA, HistoryBook, RateSample
 from .policies import AllocationPolicy, PolicyContext
 from .task import Task, TaskPool, TaskResult
@@ -43,7 +50,7 @@ class Assignment:
 class TraceEvent:
     """One entry of the master's execution trace (feeds Figs. 5-8)."""
 
-    kind: str  # "register" | "assign" | "replica" | "complete" | "progress" | "cancel"
+    kind: str  # "register" | "assign" | "replica" | "complete" | "progress" | "cancel" | "cancelled" | ...
     time: float
     pe_id: str
     task_id: int = -1
@@ -81,6 +88,12 @@ class Master:
     events:
         Shared :class:`~repro.observability.EventLog`; every legacy
         :class:`TraceEvent` is mirrored into it as a structured record.
+    spans:
+        Allocate span contexts (``trace``/``span``/``parent`` fields on
+        the emitted events) for every granted execution, so one task's
+        lifecycle is a single causal trace.  Span ids are deterministic
+        functions of the schedule, identical in every environment.  The
+        overhead benchmark toggles this off to price the mechanism.
     """
 
     def __init__(
@@ -91,6 +104,7 @@ class Master:
         omega: int = DEFAULT_OMEGA,
         metrics: MetricsRegistry | None = None,
         events: EventLog | None = None,
+        spans: bool = True,
     ):
         self.pool = TaskPool(tasks)
         self.policy = policy
@@ -102,6 +116,12 @@ class Master:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.events = events if events is not None else EventLog()
         self._inst = master_instruments(self.metrics)
+        self.spans = spans
+        #: Attempt counter per (task, pe) — keeps replica span ids
+        #: unique when a task revisits a PE after a release.
+        self._span_attempts: dict[tuple[int, str], int] = {}
+        #: Open execution-span contexts keyed by (pe, task).
+        self._active_spans: dict[tuple[str, int], SpanContext] = {}
         self._sync_pool_gauges()
 
     # ------------------------------------------------------------------
@@ -114,11 +134,56 @@ class Master:
         pe_id: str,
         task_id: int = -1,
         value: float = 0.0,
+        **extra: object,
     ) -> None:
-        """Append to the legacy trace and mirror into the event log."""
+        """Append to the legacy trace and mirror into the event log.
+
+        ``extra`` fields (span context, progress payloads) go only to
+        the structured log — the legacy :class:`TraceEvent` tuple stays
+        exactly the five fields it always was.
+        """
         self.trace.append(TraceEvent(kind, now, pe_id, task_id, value))
-        self.events.emit(kind, now, pe=pe_id, task=task_id, value=value)
+        self.events.emit(
+            kind, now, pe=pe_id, task=task_id, value=value, **extra
+        )
         self._inst.events.labels(kind=kind).inc()
+
+    def _open_span(self, pe_id: str, task_id: int) -> dict:
+        """Allocate the span context for a freshly granted execution."""
+        if not self.spans:
+            return {}
+        attempt = self._span_attempts.get((task_id, pe_id), 0)
+        self._span_attempts[(task_id, pe_id)] = attempt + 1
+        trace = task_trace_id(task_id)
+        context = SpanContext(
+            trace_id=trace,
+            span_id=execution_span_id(task_id, pe_id, attempt),
+            parent_id=trace,
+        )
+        self._active_spans[(pe_id, task_id)] = context
+        return context.as_fields()
+
+    def _span_fields(
+        self, pe_id: str, task_id: int, close: bool = False
+    ) -> dict:
+        """Context fields of the open execution span, if any."""
+        key = (pe_id, task_id)
+        context = (
+            self._active_spans.pop(key, None)
+            if close
+            else self._active_spans.get(key)
+        )
+        return context.as_fields() if context is not None else {}
+
+    def execution_span(
+        self, pe_id: str, task_id: int
+    ) -> SpanContext | None:
+        """The open span context of one granted execution.
+
+        The cluster server forwards this over the wire so worker-side
+        events join the same causal trace.
+        """
+        return self._active_spans.get((pe_id, task_id))
 
     def _sync_pool_gauges(self) -> None:
         self._inst.ready_tasks.set(self.pool.num_ready)
@@ -200,8 +265,10 @@ class Master:
         released = tuple(state.queue)
         for task_id in released:
             self.pool.release(task_id, pe_id)
+        for key in [k for k in self._active_spans if k[0] == pe_id]:
+            del self._active_spans[key]
         self.history.remove(pe_id)
-        self._record("deregister", now, pe_id)
+        self._record("deregister", now, pe_id, released=list(released))
         self._sync_pool_gauges()
         self._sync_queue_gauge(pe_id)
         return released
@@ -210,10 +277,19 @@ class Master:
         self, pe_id: str, now: float, cells: float, interval: float
     ) -> None:
         """Periodic progress notification (the PSS input stream)."""
-        self._pes[pe_id].last_contact = now
+        state = self._pes[pe_id]
+        state.last_contact = now
         sample = RateSample(time=now, cells=cells, interval=interval)
         self.history.observe(pe_id, sample)
-        self._record("progress", now, pe_id, value=sample.rate)
+        # The queue head is the task the PE is currently executing, so
+        # its span context annotates the notification.
+        span = (
+            self._span_fields(pe_id, state.queue[0]) if state.queue else {}
+        )
+        self._record(
+            "progress", now, pe_id, value=sample.rate,
+            cells=cells, interval=interval, **span,
+        )
         self._inst.progress_notifications.labels(pe=pe_id).inc()
         estimated = self.history.rate(pe_id)
         if estimated is not None:
@@ -249,7 +325,10 @@ class Master:
             state.granted += len(tasks)
             state.queue.extend(t.task_id for t in tasks)
             for t in tasks:
-                self._record("assign", now, pe_id, t.task_id)
+                self._record(
+                    "assign", now, pe_id, t.task_id,
+                    **self._open_span(pe_id, t.task_id),
+                )
             self._inst.tasks_assigned.labels(pe=pe_id).inc(len(tasks))
             self._sync_pool_gauges()
             self._sync_queue_gauge(pe_id)
@@ -261,7 +340,10 @@ class Master:
                 chosen = self._pick_replica(candidates)
                 replica = self.pool.assign_replica(pe_id, chosen.task_id)
                 state.queue.append(replica.task_id)
-                self._record("replica", now, pe_id, replica.task_id)
+                self._record(
+                    "replica", now, pe_id, replica.task_id,
+                    **self._open_span(pe_id, replica.task_id),
+                )
                 self._inst.replicas_assigned.labels(pe=pe_id).inc()
                 self._sync_pool_gauges()
                 self._sync_queue_gauge(pe_id)
@@ -287,7 +369,9 @@ class Master:
         if first:
             self.results[result.task_id] = result
         self._record(
-            "complete", now, pe_id, result.task_id, value=1.0 if first else 0.0
+            "complete", now, pe_id, result.task_id,
+            value=1.0 if first else 0.0,
+            **self._span_fields(pe_id, result.task_id, close=True),
         )
         outcome = "won" if first else "stale"
         self._inst.tasks_completed.labels(pe=pe_id, outcome=outcome).inc()
@@ -299,13 +383,18 @@ class Master:
             )
         self._inst.cells_completed.labels(pe=pe_id).inc(result.cells)
         for loser in losers:
-            self._record("cancel", now, loser, result.task_id)
+            self._record(
+                "cancel", now, loser, result.task_id,
+                **self._span_fields(loser, result.task_id),
+            )
             self._inst.tasks_cancelled.labels(pe=loser).inc()
         self._sync_pool_gauges()
         self._sync_queue_gauge(pe_id)
         return losers
 
-    def on_cancelled(self, pe_id: str, task_id: int) -> None:
+    def on_cancelled(
+        self, pe_id: str, task_id: int, now: float = 0.0
+    ) -> None:
         """A slave acknowledges dropping a cancelled (or failed) task.
 
         Tolerates acknowledgements from PEs that already deregistered
@@ -314,8 +403,13 @@ class Master:
         state = self._pes.get(pe_id)
         if state is None:
             return
+        state.last_contact = max(state.last_contact, now)
         if task_id in state.queue:
             state.queue.remove(task_id)
+        self._record(
+            "cancelled", now, pe_id, task_id,
+            **self._span_fields(pe_id, task_id, close=True),
+        )
         self.pool.release(task_id, pe_id)
         self._sync_pool_gauges()
         self._sync_queue_gauge(pe_id)

@@ -106,9 +106,9 @@ class _SharedMaster:
         with self._lock:
             return self._master.on_complete(pe_id, result, now)
 
-    def cancelled(self, pe_id: str, task_id: int):
+    def cancelled(self, pe_id: str, task_id: int, now: float):
         with self._lock:
-            self._master.on_cancelled(pe_id, task_id)
+            self._master.on_cancelled(pe_id, task_id, now)
 
 
 class _Worker(threading.Thread):
@@ -177,7 +177,7 @@ class _Worker(threading.Thread):
         hits = self.engine.search(query, database, progress=progress)
         now = self.clock()
         if hits is None:  # aborted by cancellation
-            self.shared.cancelled(self.pe_id, task.task_id)
+            self.shared.cancelled(self.pe_id, task.task_id, now)
             return
         result = TaskResult(
             task_id=task.task_id,

@@ -9,13 +9,36 @@ Dependency-free by design; see ``docs/observability.md`` for the
 naming contract and export formats.
 """
 
+from .analysis import (
+    ExecutionInterval,
+    PETimeline,
+    TraceAnalysis,
+    analyze_events,
+    diff_documents,
+    format_diff,
+    format_report,
+)
 from .conventions import (
+    SPAN_END_REASONS,
+    SPAN_NAMES,
+    SPAN_STATUSES,
+    TRACE_REPORT_METRICS,
+    TRACE_REPORT_PE_FIELDS,
+    TRACE_REPORT_SCHEMA,
     cluster_server_instruments,
     cluster_worker_instruments,
     finalize_run_metrics,
     master_instruments,
 )
 from .events import EventLog
+from .spans import (
+    Span,
+    SpanContext,
+    derive_spans,
+    execution_span_id,
+    span_structure,
+    task_trace_id,
+)
 from .registry import (
     DEFAULT_BUCKETS,
     Counter,
@@ -42,4 +65,23 @@ __all__ = [
     "cluster_server_instruments",
     "cluster_worker_instruments",
     "finalize_run_metrics",
+    "Span",
+    "SpanContext",
+    "task_trace_id",
+    "execution_span_id",
+    "derive_spans",
+    "span_structure",
+    "ExecutionInterval",
+    "PETimeline",
+    "TraceAnalysis",
+    "analyze_events",
+    "format_report",
+    "diff_documents",
+    "format_diff",
+    "SPAN_NAMES",
+    "SPAN_STATUSES",
+    "SPAN_END_REASONS",
+    "TRACE_REPORT_SCHEMA",
+    "TRACE_REPORT_METRICS",
+    "TRACE_REPORT_PE_FIELDS",
 ]

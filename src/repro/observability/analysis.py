@@ -1,0 +1,526 @@
+"""Pure-function trace analysis: per-PE timelines and diagnostics.
+
+Reconstructs what the paper's figures show — who ran what, when, and
+how well the load balanced — from nothing but a structured event log
+(a live :class:`~repro.observability.events.EventLog` or one parsed
+back from a ``--events-out`` JSONL file).  The computed diagnostics
+are the ones the paper's evaluation argues with:
+
+* per-PE busy/idle occupancy and utilization;
+* the load-balancing factor (sigma/mu of per-PE busy seconds);
+* the replica-waste ratio (execution seconds spent on losing or
+  cancelled attempts, over all execution seconds);
+* the assignment-latency distribution (seconds a granted task waited
+  in its PE's queue before executing);
+* the Omega-window rate reconstruction per PE (replaying the PSS
+  estimator over the logged progress notifications);
+* the critical path (the longest causal chain of executions ending at
+  the makespan).
+
+Timeline reconstruction replays each PE's FIFO queue: a granted task
+starts executing at ``max(assignment time, previous execution's end)``
+on its PE, and a task cancelled before that point never ran at all —
+exactly the serial-slave semantics every execution environment
+implements, so the analyzer needs no environment-specific input.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .conventions import TRACE_REPORT_METRICS, TRACE_REPORT_SCHEMA
+from .events import EventLog
+from .spans import Span, derive_spans, span_structure
+
+__all__ = [
+    "ExecutionInterval",
+    "PETimeline",
+    "TraceAnalysis",
+    "analyze_events",
+    "format_report",
+    "diff_documents",
+    "format_diff",
+]
+
+#: Default Omega window for the rate reconstruction (matches
+#: :data:`repro.core.history.DEFAULT_OMEGA` without importing it —
+#: observability sits below core in the layering).
+DEFAULT_OMEGA = 8
+
+
+@dataclass(frozen=True)
+class ExecutionInterval:
+    """One reconstructed (task, PE) execution on a PE's timeline."""
+
+    pe_id: str
+    task_id: int
+    assigned: float  # when the master granted the task
+    start: float  # when the PE actually began executing it
+    end: float
+    status: str  # "won" | "stale" | "released" | "open"
+    end_reason: str  # "complete" | "cancelled" | "released" | "open"
+    kind: str  # "task" | "replica"
+
+    @property
+    def duration(self) -> float:
+        return max(self.end - self.start, 0.0)
+
+    @property
+    def queue_wait(self) -> float:
+        """Assignment latency: grant-to-execution queueing delay."""
+        return max(self.start - self.assigned, 0.0)
+
+    @property
+    def outcome(self) -> str:
+        """Gantt-renderer vocabulary (mirrors ``TaskInterval.outcome``)."""
+        if self.status == "won":
+            return "won"
+        if self.end_reason == "complete":
+            return "lost"
+        return "cancelled"
+
+
+@dataclass
+class PETimeline:
+    """One PE's reconstructed schedule and occupancy summary."""
+
+    pe_id: str
+    intervals: list[ExecutionInterval] = field(default_factory=list)
+    registered_at: float = 0.0
+    busy_seconds: float = 0.0
+    idle_seconds: float = 0.0
+    utilization: float = 0.0
+    tasks_won: int = 0
+    tasks_lost: int = 0
+    estimated_rate: float | None = None  # final Omega-window estimate
+    rate_samples: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "busy_seconds": self.busy_seconds,
+            "idle_seconds": self.idle_seconds,
+            "utilization": self.utilization,
+            "tasks_won": self.tasks_won,
+            "tasks_lost": self.tasks_lost,
+            "estimated_rate_cells_per_second": self.estimated_rate,
+            "rate_samples": self.rate_samples,
+        }
+
+
+class _OmegaEstimator:
+    """Minimal replay of the PSS weighted-mean estimator.
+
+    Mirrors :class:`repro.core.history.RateEstimator` (newest of k
+    samples weight k, oldest weight 1, mean clamped into the sample
+    range) without importing core — the analyzer must stay a leaf.
+    """
+
+    def __init__(self, omega: int):
+        if omega < 1:
+            raise ValueError("omega must be at least 1")
+        self._omega = omega
+        self._rates: list[float] = []
+
+    def observe(self, cells: float, interval: float) -> None:
+        if interval <= 0:
+            return
+        self._rates.append(cells / interval)
+        if len(self._rates) > self._omega:
+            self._rates.pop(0)
+
+    def rate(self) -> float | None:
+        if not self._rates:
+            return None
+        k = len(self._rates)
+        total = math.fsum(
+            rank * rate for rank, rate in enumerate(self._rates, start=1)
+        )
+        mean = total / (k * (k + 1) / 2.0)
+        return min(max(mean, min(self._rates)), max(self._rates))
+
+
+@dataclass
+class TraceAnalysis:
+    """Everything :func:`analyze_events` reconstructs from one log."""
+
+    makespan: float
+    horizon: float
+    omega: int
+    timelines: dict[str, PETimeline]
+    spans: list[Span]
+    balancing_factor: float
+    replica_waste_ratio: float
+    total_busy_seconds: float
+    wasted_seconds: float
+    assignment_latency: dict[str, float]
+    critical_path_seconds: float
+    critical_path: list[tuple[str, int]]
+    rate_series: dict[str, list[tuple[float, float]]]
+    events_by_kind: dict[str, int]
+
+    @property
+    def intervals(self) -> list[ExecutionInterval]:
+        """Every execution interval, Gantt-render order."""
+        out = [
+            interval
+            for timeline in self.timelines.values()
+            for interval in timeline.intervals
+        ]
+        return sorted(out, key=lambda iv: (iv.start, iv.pe_id, iv.task_id))
+
+    def to_document(self) -> dict:
+        """The ``repro.trace_report.v1`` JSON document."""
+        return {
+            "schema": TRACE_REPORT_SCHEMA,
+            "omega": self.omega,
+            "metrics": {
+                "makespan_seconds": self.makespan,
+                "balancing_factor": self.balancing_factor,
+                "replica_waste_ratio": self.replica_waste_ratio,
+                "assignment_latency_seconds": dict(self.assignment_latency),
+                "critical_path_seconds": self.critical_path_seconds,
+                "total_busy_seconds": self.total_busy_seconds,
+            },
+            "pes": {
+                pe: timeline.as_dict()
+                for pe, timeline in sorted(self.timelines.items())
+            },
+            "critical_path": [
+                {"pe": pe, "task": task} for pe, task in self.critical_path
+            ],
+            "span_structure": span_structure(self.spans),
+            "spans": [span.as_dict() for span in self.spans],
+            "events_by_kind": dict(sorted(self.events_by_kind.items())),
+        }
+
+    def metric_names(self) -> tuple[str, ...]:
+        """Top-level metric keys (the cross-environment parity set)."""
+        return tuple(sorted(self.to_document()["metrics"]))
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(
+        int(fraction * len(sorted_values)), len(sorted_values) - 1
+    )
+    return sorted_values[index]
+
+
+def analyze_events(
+    events: EventLog | list[dict], omega: int = DEFAULT_OMEGA
+) -> TraceAnalysis:
+    """Reconstruct timelines and diagnostics from an event log."""
+    ordered = sorted(
+        enumerate(events), key=lambda item: (float(item[1]["time"]), item[0])
+    )
+
+    class _Pending:
+        __slots__ = ("task", "assigned", "kind", "end", "status", "reason")
+
+        def __init__(self, task: int, assigned: float, kind: str):
+            self.task = task
+            self.assigned = assigned
+            self.kind = kind
+            self.end: float | None = None
+            self.status = "open"
+            self.reason = "open"
+
+    per_pe: dict[str, list[_Pending]] = {}
+    open_by_key: dict[tuple[str, int], list[_Pending]] = {}
+    registered: dict[str, float] = {}
+    estimators: dict[str, _OmegaEstimator] = {}
+    rate_series: dict[str, list[tuple[float, float]]] = {}
+    events_by_kind: dict[str, int] = {}
+    horizon = 0.0
+    makespan = 0.0
+
+    for _, event in ordered:
+        kind = event["kind"]
+        time = float(event["time"])
+        horizon = max(horizon, time)
+        events_by_kind[kind] = events_by_kind.get(kind, 0) + 1
+        pe = str(event.get("pe", ""))
+        task = int(event.get("task", -1))
+        if kind == "register":
+            registered.setdefault(pe, time)
+            per_pe.setdefault(pe, [])
+        elif kind in ("assign", "replica"):
+            record = _Pending(task, time, kind)
+            per_pe.setdefault(pe, []).append(record)
+            open_by_key.setdefault((pe, task), []).append(record)
+        elif kind == "complete":
+            pending = open_by_key.get((pe, task))
+            if pending:
+                record = pending.pop(0)
+                record.end = time
+                won = bool(event.get("value", 0.0))
+                record.status = "won" if won else "stale"
+                record.reason = "complete"
+                if won:
+                    makespan = max(makespan, time)
+        elif kind == "cancelled":
+            pending = open_by_key.get((pe, task))
+            if pending:
+                record = pending.pop(0)
+                record.end = time
+                record.status = "stale"
+                record.reason = "cancelled"
+        elif kind == "deregister":
+            for (open_pe, _), pending in list(open_by_key.items()):
+                if open_pe != pe:
+                    continue
+                for record in pending:
+                    record.end = time
+                    record.status = "released"
+                    record.reason = "released"
+                pending.clear()
+        elif kind == "progress":
+            estimator = estimators.get(pe)
+            if estimator is None:
+                estimator = estimators[pe] = _OmegaEstimator(omega)
+            cells = float(event.get("cells", event.get("value", 0.0)))
+            interval = float(event.get("interval", 1.0))
+            estimator.observe(cells, interval)
+            estimate = estimator.rate()
+            if estimate is not None:
+                rate_series.setdefault(pe, []).append((time, estimate))
+
+    if makespan <= 0:
+        makespan = horizon
+
+    # Replay each PE's FIFO queue into actual execution intervals.
+    timelines: dict[str, PETimeline] = {}
+    for pe, records in per_pe.items():
+        timeline = PETimeline(pe_id=pe, registered_at=registered.get(pe, 0.0))
+        previous_end = timeline.registered_at
+        for record in records:
+            end = record.end if record.end is not None else horizon
+            start = max(record.assigned, previous_end)
+            if end < start:
+                start = end  # cancelled while queued: never ran
+            else:
+                previous_end = end
+            timeline.intervals.append(
+                ExecutionInterval(
+                    pe_id=pe,
+                    task_id=record.task,
+                    assigned=record.assigned,
+                    start=start,
+                    end=end,
+                    status=record.status if record.end is not None else "open",
+                    end_reason=record.reason,
+                    kind=record.kind,
+                )
+            )
+        timeline.busy_seconds = math.fsum(
+            interval.duration for interval in timeline.intervals
+        )
+        timeline.idle_seconds = max(horizon - timeline.busy_seconds, 0.0)
+        timeline.utilization = (
+            timeline.busy_seconds / makespan if makespan > 0 else 0.0
+        )
+        timeline.tasks_won = sum(
+            1 for interval in timeline.intervals if interval.status == "won"
+        )
+        timeline.tasks_lost = sum(
+            1
+            for interval in timeline.intervals
+            if interval.status in ("stale", "released")
+        )
+        estimator = estimators.get(pe)
+        timeline.estimated_rate = estimator.rate() if estimator else None
+        timeline.rate_samples = len(rate_series.get(pe, []))
+        timelines[pe] = timeline
+
+    busy = [timeline.busy_seconds for timeline in timelines.values()]
+    total_busy = math.fsum(busy)
+    mean_busy = total_busy / len(busy) if busy else 0.0
+    if mean_busy > 0:
+        variance = math.fsum((b - mean_busy) ** 2 for b in busy) / len(busy)
+        balancing_factor = math.sqrt(variance) / mean_busy
+    else:
+        balancing_factor = 0.0
+    wasted = math.fsum(
+        interval.duration
+        for timeline in timelines.values()
+        for interval in timeline.intervals
+        if interval.status != "won"
+    )
+    waste_ratio = wasted / total_busy if total_busy > 0 else 0.0
+
+    waits = sorted(
+        interval.queue_wait
+        for timeline in timelines.values()
+        for interval in timeline.intervals
+        if interval.duration > 0
+    )
+    latency = {
+        "count": float(len(waits)),
+        "mean": math.fsum(waits) / len(waits) if waits else 0.0,
+        "p50": _percentile(waits, 0.50),
+        "p95": _percentile(waits, 0.95),
+        "max": waits[-1] if waits else 0.0,
+    }
+
+    critical_seconds, critical_path = _critical_path(timelines)
+
+    return TraceAnalysis(
+        makespan=makespan,
+        horizon=horizon,
+        omega=omega,
+        timelines=timelines,
+        spans=derive_spans(events),
+        balancing_factor=balancing_factor,
+        replica_waste_ratio=waste_ratio,
+        total_busy_seconds=total_busy,
+        wasted_seconds=wasted,
+        assignment_latency=latency,
+        critical_path_seconds=critical_seconds,
+        critical_path=critical_path,
+        rate_series=rate_series,
+        events_by_kind=events_by_kind,
+    )
+
+
+def _critical_path(
+    timelines: dict[str, PETimeline],
+) -> tuple[float, list[tuple[str, int]]]:
+    """Back-walk the chain of executions that ends at the makespan.
+
+    Starting from the latest-ending execution, each hop follows the
+    queue dependency that delayed the current execution's start: if it
+    began later than its assignment, it was waiting for the previous
+    execution on the same PE (whose end equals its start, exactly, by
+    reconstruction).  The chain ends at an execution that started the
+    moment it was assigned — from there the master, not a predecessor,
+    explains the timing.
+    """
+    started = [
+        interval
+        for timeline in timelines.values()
+        for interval in timeline.intervals
+        if interval.duration > 0
+    ]
+    if not started:
+        return 0.0, []
+    by_pe_end: dict[tuple[str, float], ExecutionInterval] = {
+        (interval.pe_id, interval.end): interval for interval in started
+    }
+    current = max(started, key=lambda interval: interval.end)
+    chain = [current]
+    while current.start > current.assigned:
+        predecessor = by_pe_end.get((current.pe_id, current.start))
+        if predecessor is None or predecessor in chain:
+            break
+        chain.append(predecessor)
+        current = predecessor
+    chain.reverse()
+    length = math.fsum(interval.duration for interval in chain)
+    return length, [(interval.pe_id, interval.task_id) for interval in chain]
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def format_report(analysis: TraceAnalysis) -> str:
+    """Human-readable text rendering of one trace report."""
+    latency = analysis.assignment_latency
+    path = analysis.critical_path
+    lines = [
+        f"trace report ({TRACE_REPORT_SCHEMA})",
+        f"  makespan            {analysis.makespan:12.3f} s",
+        f"  busy (all PEs)      {analysis.total_busy_seconds:12.3f} s",
+        f"  balancing factor    {analysis.balancing_factor:12.3f}"
+        "  (sigma/mu of per-PE busy seconds)",
+        f"  replica waste       {100 * analysis.replica_waste_ratio:11.2f} %"
+        f"  ({analysis.wasted_seconds:.3f} s stale/cancelled)",
+        f"  assignment latency  mean {latency['mean']:.4f} s"
+        f"  p50 {latency['p50']:.4f}  p95 {latency['p95']:.4f}"
+        f"  max {latency['max']:.4f}"
+        f"  (n={int(latency['count'])})",
+        f"  critical path       {analysis.critical_path_seconds:12.3f} s"
+        f"  over {len(path)} execution(s)",
+        "",
+        f"  {'pe':<10} {'busy s':>10} {'idle s':>10} {'util':>6} "
+        f"{'won':>5} {'lost':>5} {'Omega-rate':>12}",
+    ]
+    for pe, timeline in sorted(analysis.timelines.items()):
+        rate = (
+            f"{timeline.estimated_rate:.3g}"
+            if timeline.estimated_rate is not None
+            else "-"
+        )
+        lines.append(
+            f"  {pe:<10} {timeline.busy_seconds:>10.3f} "
+            f"{timeline.idle_seconds:>10.3f} "
+            f"{timeline.utilization:>6.2f} {timeline.tasks_won:>5} "
+            f"{timeline.tasks_lost:>5} {rate:>12}"
+        )
+    return "\n".join(lines)
+
+
+def diff_documents(a: dict, b: dict) -> dict:
+    """Compare two ``repro.trace_report.v1`` documents metric by metric.
+
+    The canonical use is SS-vs-PSS: the paper's argument is exactly the
+    delta in balancing factor, waste and occupancy between two
+    schedules of the same workload.
+    """
+    for name, document in (("first", a), ("second", b)):
+        if document.get("schema") != TRACE_REPORT_SCHEMA:
+            raise ValueError(
+                f"{name} document is not a {TRACE_REPORT_SCHEMA} report"
+            )
+    metrics = {}
+    for key in TRACE_REPORT_METRICS:
+        left = a["metrics"].get(key)
+        right = b["metrics"].get(key)
+        if isinstance(left, dict) or isinstance(right, dict):
+            left = (left or {}).get("mean", 0.0)
+            right = (right or {}).get("mean", 0.0)
+        left = float(left or 0.0)
+        right = float(right or 0.0)
+        metrics[key] = {"a": left, "b": right, "delta": right - left}
+    pes = {}
+    for pe in sorted(set(a.get("pes", {})) | set(b.get("pes", {}))):
+        left = a.get("pes", {}).get(pe, {})
+        right = b.get("pes", {}).get(pe, {})
+        pes[pe] = {
+            "busy_seconds": {
+                "a": float(left.get("busy_seconds", 0.0)),
+                "b": float(right.get("busy_seconds", 0.0)),
+            },
+            "utilization": {
+                "a": float(left.get("utilization", 0.0)),
+                "b": float(right.get("utilization", 0.0)),
+            },
+        }
+    return {"schema": TRACE_REPORT_SCHEMA + "+diff", "metrics": metrics,
+            "pes": pes}
+
+
+def format_diff(diff: dict, labels: tuple[str, str] = ("A", "B")) -> str:
+    """Text rendering of :func:`diff_documents` output."""
+    a_label, b_label = labels
+    lines = [
+        "trace diff",
+        f"  {'metric':<30} {a_label:>14} {b_label:>14} {'delta':>14}",
+    ]
+    for key, row in diff["metrics"].items():
+        lines.append(
+            f"  {key:<30} {row['a']:>14.4f} {row['b']:>14.4f} "
+            f"{row['delta']:>+14.4f}"
+        )
+    lines.append("")
+    lines.append(
+        f"  {'pe occupancy':<30} {a_label:>14} {b_label:>14} {'delta':>14}"
+    )
+    for pe, row in diff["pes"].items():
+        busy = row["busy_seconds"]
+        lines.append(
+            f"  {pe + ' busy s':<30} {busy['a']:>14.3f} {busy['b']:>14.3f} "
+            f"{busy['b'] - busy['a']:>+14.3f}"
+        )
+    return "\n".join(lines)

@@ -27,7 +27,56 @@ __all__ = [
     "cluster_server_instruments",
     "cluster_worker_instruments",
     "finalize_run_metrics",
+    "SPAN_NAMES",
+    "SPAN_STATUSES",
+    "SPAN_END_REASONS",
+    "TRACE_REPORT_SCHEMA",
+    "TRACE_REPORT_METRICS",
+    "TRACE_REPORT_PE_FIELDS",
 ]
+
+# ----------------------------------------------------------------------
+# Span and trace-report conventions
+# ----------------------------------------------------------------------
+# Declared once so the analyzer, the parity tests and external tooling
+# agree on the vocabulary in every execution environment.
+
+#: Span names of a task-lifecycle trace (repro.observability.spans).
+SPAN_NAMES = ("task", "execution")
+
+#: How a span can end: the winning execution (and its completed root)
+#: is ``won``; a losing execution is ``stale`` whether it completed
+#: uselessly or aborted on cancellation; ``released`` marks executions
+#: returned to READY by a deregistering PE; ``open`` never closed.
+SPAN_STATUSES = ("open", "won", "stale", "released")
+
+#: The mechanical reason a span closed (finer-grained than status).
+SPAN_END_REASONS = ("open", "complete", "cancelled", "released")
+
+#: Schema tag of the trace-analysis JSON document.
+TRACE_REPORT_SCHEMA = "repro.trace_report.v1"
+
+#: Top-level metric keys every trace report carries — identical across
+#: the threaded runtime, the DES and the cluster (the parity set).
+TRACE_REPORT_METRICS = (
+    "makespan_seconds",
+    "balancing_factor",
+    "replica_waste_ratio",
+    "assignment_latency_seconds",
+    "critical_path_seconds",
+    "total_busy_seconds",
+)
+
+#: Per-PE keys of the trace report's ``pes`` section.
+TRACE_REPORT_PE_FIELDS = (
+    "busy_seconds",
+    "idle_seconds",
+    "utilization",
+    "tasks_won",
+    "tasks_lost",
+    "estimated_rate_cells_per_second",
+    "rate_samples",
+)
 
 #: Task-latency bucket bounds: spans millisecond in-process tasks up to
 #: multi-hour simulated SwissProt scans.

@@ -65,16 +65,60 @@ class EventLog:
         with self._lock:
             return iter(list(self._events))
 
-    def filter(self, kind: str | None = None, **fields: object) -> list[dict]:
-        """Events matching the kind and every given field value."""
+    def filter(
+        self,
+        kind: str | None = None,
+        since: float | None = None,
+        until: float | None = None,
+        **fields: object,
+    ) -> list[dict]:
+        """Events matching the kind, time window and field values.
+
+        The window is half-open: ``since <= time < until``, so adjacent
+        windows partition a log without double-counting events.
+        """
         out = []
         for event in self:
             if kind is not None and event["kind"] != kind:
+                continue
+            if since is not None and event["time"] < since:
+                continue
+            if until is not None and event["time"] >= until:
                 continue
             if any(event.get(key) != value for key, value in fields.items()):
                 continue
             out.append(event)
         return out
+
+    @classmethod
+    def merge(cls, *logs: "EventLog", sink: IO[str] | None = None) -> "EventLog":
+        """Deterministically merge several logs into one.
+
+        Events are stably ordered by ``(time, pe, seq)`` — ``seq`` being
+        each event's position in the concatenation of the source logs,
+        so ties keep concatenation order (earlier-listed logs first).
+        Merging a master log with per-worker logs therefore yields the
+        same combined timeline on every run, which is what makes
+        ``repro trace`` output reproducible for cluster reports.
+        """
+        entries: list[tuple[float, str, int, dict]] = []
+        seq = 0
+        for log in logs:
+            for event in log:
+                entries.append(
+                    (float(event["time"]), str(event.get("pe", "")), seq,
+                     event)
+                )
+                seq += 1
+        entries.sort(key=lambda entry: entry[:3])
+        merged = cls(sink=sink)
+        for _, _, _, event in entries:
+            fields = {
+                key: value for key, value in event.items()
+                if key not in _RESERVED
+            }
+            merged.emit(event["kind"], event["time"], **fields)
+        return merged
 
     # ------------------------------------------------------------------
     # JSONL round-trip
@@ -95,13 +139,18 @@ class EventLog:
 
     @classmethod
     def from_jsonl(cls, source: str | IO[str]) -> "EventLog":
-        """Parse a JSONL stream (path or file-like) back into a log."""
+        """Parse a JSONL stream (path or file-like) back into a log.
+
+        Tolerant of blank/whitespace-only lines and CRLF line endings —
+        logs that passed through editors, shells or Windows transfers
+        parse identically to pristine ones.
+        """
         if isinstance(source, str):
             with open(source, "r", encoding="utf-8") as handle:
                 return cls.from_jsonl(handle)
         log = cls()
         for line_number, line in enumerate(source, start=1):
-            line = line.strip()
+            line = line.strip()  # drops surrounding whitespace incl. \r
             if not line:
                 continue
             try:

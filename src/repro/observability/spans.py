@@ -1,0 +1,254 @@
+"""Task-lifecycle spans derived from the unified event log.
+
+A *span* is one timed node of a causal trace: every task owns one trace
+(``trace_id``), rooted in a ``task`` span that opens at the first
+assignment and closes when some PE wins the race, with one child
+``execution`` span per (task, PE) attempt — original grant or
+workload-adjustment replica alike.  Span identifiers are deterministic
+functions of the schedule (:func:`task_trace_id`,
+:func:`execution_span_id`), which is what makes traces comparable
+across the threaded runtime, the discrete-event simulator and the TCP
+cluster: the same schedule produces the same ids in every environment,
+on any clock.
+
+The master allocates span contexts as it grants work and stamps them
+onto the events it emits (``trace`` / ``span`` / ``parent`` fields);
+the cluster protocol forwards them to the slaves so worker-side events
+join the same trace.  :func:`derive_spans` reconstructs the spans from
+any event log — including legacy logs that never carried the explicit
+fields, by regenerating the deterministic ids from the schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .events import EventLog
+
+__all__ = [
+    "SpanContext",
+    "Span",
+    "task_trace_id",
+    "execution_span_id",
+    "derive_spans",
+    "span_structure",
+]
+
+
+def task_trace_id(task_id: int) -> str:
+    """Deterministic trace id (and root-span id) of one task."""
+    return f"task-{int(task_id)}"
+
+
+def execution_span_id(task_id: int, pe_id: str, attempt: int) -> str:
+    """Deterministic span id of one (task, PE) execution attempt."""
+    return f"task-{int(task_id)}/{pe_id}#{int(attempt)}"
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The propagated identity of one span (what crosses the wire)."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+
+    def as_fields(self) -> dict[str, str]:
+        """Event-log / wire-message field form (``trace``/``span``/...)."""
+        fields = {"trace": self.trace_id, "span": self.span_id}
+        if self.parent_id is not None:
+            fields["parent"] = self.parent_id
+        return fields
+
+
+@dataclass(frozen=True)
+class Span:
+    """One reconstructed span of a task's lifecycle trace.
+
+    ``status`` says how the race went — ``won`` for the execution whose
+    result was merged (and for the completed root), ``stale`` for a
+    losing execution (whether it completed uselessly or aborted on
+    cancellation — ``end_reason`` keeps that distinction), ``released``
+    when the PE deregistered mid-flight, and ``open`` for spans the log
+    never closed.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    name: str  # "task" | "execution"
+    pe: str | None
+    task: int
+    start: float
+    end: float | None
+    status: str  # "open" | "won" | "stale" | "released"
+    end_reason: str = "open"  # "open" | "complete" | "cancelled" | "released"
+    kind: str = "task"  # grant kind: "task" | "replica"
+
+    @property
+    def duration(self) -> float:
+        return max(self.end - self.start, 0.0) if self.end is not None else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "pe": self.pe,
+            "task": self.task,
+            "start": self.start,
+            "end": self.end,
+            "status": self.status,
+            "end_reason": self.end_reason,
+            "kind": self.kind,
+        }
+
+
+class _OpenExecution:
+    """Mutable bookkeeping for one not-yet-closed execution span."""
+
+    __slots__ = ("context", "start", "kind")
+
+    def __init__(self, context: SpanContext, start: float, kind: str):
+        self.context = context
+        self.start = start
+        self.kind = kind
+
+
+def derive_spans(events: EventLog | list[dict]) -> list[Span]:
+    """Reconstruct the span set from a structured event log.
+
+    Pure function of the events; works on live :class:`EventLog`
+    registries and on logs parsed back from JSONL files.  Events that
+    carry explicit ``trace``/``span`` fields keep them; legacy events
+    get the deterministic ids regenerated from the schedule, so both
+    forms of the same log yield identical spans.
+    """
+    spans: list[Span] = []
+    roots: dict[int, dict] = {}  # task -> {"start", "end", "status"}
+    open_execs: dict[tuple[str, int], list[_OpenExecution]] = {}
+    attempts: dict[tuple[int, str], int] = {}
+
+    def close(
+        record: _OpenExecution,
+        pe: str,
+        task: int,
+        end: float | None,
+        status: str,
+        end_reason: str,
+    ) -> None:
+        context = record.context
+        spans.append(
+            Span(
+                trace_id=context.trace_id,
+                span_id=context.span_id,
+                parent_id=context.parent_id,
+                name="execution",
+                pe=pe,
+                task=task,
+                start=record.start,
+                end=end,
+                status=status,
+                end_reason=end_reason,
+                kind=record.kind,
+            )
+        )
+
+    for event in events:
+        kind = event["kind"]
+        time = float(event["time"])
+        pe = str(event.get("pe", ""))
+        task = int(event.get("task", -1))
+        if kind in ("assign", "replica"):
+            attempt = attempts.get((task, pe), 0)
+            attempts[(task, pe)] = attempt + 1
+            trace = str(event.get("trace") or task_trace_id(task))
+            span = str(
+                event.get("span") or execution_span_id(task, pe, attempt)
+            )
+            parent = event.get("parent")
+            context = SpanContext(
+                trace, span, str(parent) if parent else trace
+            )
+            roots.setdefault(
+                task, {"start": time, "end": None, "status": "open"}
+            )
+            open_execs.setdefault((pe, task), []).append(
+                _OpenExecution(context, time, kind)
+            )
+        elif kind == "complete":
+            pending = open_execs.get((pe, task))
+            won = bool(event.get("value", 0.0))
+            if pending:
+                close(
+                    pending.pop(0), pe, task, time,
+                    "won" if won else "stale", "complete",
+                )
+            if won and task in roots:
+                roots[task]["end"] = time
+                roots[task]["status"] = "won"
+        elif kind == "cancelled":
+            pending = open_execs.get((pe, task))
+            if pending:
+                close(pending.pop(0), pe, task, time, "stale", "cancelled")
+        elif kind == "deregister":
+            for (open_pe, open_task), pending in list(open_execs.items()):
+                if open_pe != pe:
+                    continue
+                for record in pending:
+                    close(
+                        record, open_pe, open_task, time,
+                        "released", "released",
+                    )
+                del open_execs[(open_pe, open_task)]
+
+    # Executions the log never closed stay open (crash or truncation).
+    for (pe, task), pending in open_execs.items():
+        for record in pending:
+            close(record, pe, task, None, "open", "open")
+
+    for task, root in roots.items():
+        trace = task_trace_id(task)
+        spans.append(
+            Span(
+                trace_id=trace,
+                span_id=trace,
+                parent_id=None,
+                name="task",
+                pe=None,
+                task=task,
+                start=root["start"],
+                end=root["end"],
+                status=root["status"],
+                end_reason="complete" if root["status"] == "won" else "open",
+            )
+        )
+    return sorted(spans, key=lambda s: (s.start, s.trace_id, s.span_id))
+
+
+def span_structure(spans: list[Span]) -> dict:
+    """Environment-independent structural summary of a span set.
+
+    Wall-clock and virtual-time runs of the same workload disagree on
+    every timestamp and (for timing-dependent policies) on how many
+    replicas raced, but they must agree on this view: which span names
+    exist, which traces exist, and that every trace crowned exactly one
+    winner.  The cross-environment parity test compares exactly this.
+    """
+    names: set[str] = set()
+    statuses: set[str] = set()
+    won: dict[str, int] = {}
+    traces: set[str] = set()
+    for span in spans:
+        names.add(span.name)
+        statuses.add(span.status)
+        traces.add(span.trace_id)
+        if span.name == "execution" and span.status == "won":
+            won[span.trace_id] = won.get(span.trace_id, 0) + 1
+    return {
+        "span_names": sorted(names),
+        "statuses": sorted(statuses),
+        "traces": sorted(traces),
+        "won_executions_by_trace": {t: won.get(t, 0) for t in sorted(traces)},
+    }

@@ -20,7 +20,7 @@ from .network import (
     MessageSizes,
     NetworkModel,
 )
-from .svg import gantt_svg, write_gantt_svg
+from .svg import gantt_svg, render_gantt_svg, write_gantt_svg
 from .trace import binned_rate_series, gantt, rate_series
 
 __all__ = [
@@ -46,6 +46,7 @@ __all__ = [
     "CONFIGURATIONS",
     "gantt",
     "gantt_svg",
+    "render_gantt_svg",
     "write_gantt_svg",
     "rate_series",
     "binned_rate_series",

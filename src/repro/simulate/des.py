@@ -506,14 +506,14 @@ class _RunState:
                     outcome="cancelled",
                 )
             )
-            self.master.on_cancelled(pe.pe_id, task_id)
+            self.master.on_cancelled(pe.pe_id, task_id, self.queue.now)
             pe.current = None
             self._become_idle(pe)
             return
         for queued in list(pe.queue):
             if queued.task_id == task_id:
                 pe.queue.remove(queued)
-                self.master.on_cancelled(pe.pe_id, task_id)
+                self.master.on_cancelled(pe.pe_id, task_id, self.queue.now)
                 if pe.current is None and not pe.queue:
                     # The cancellation emptied an idle PE's queue (its
                     # granted replica lost the race before delivery);

@@ -1,4 +1,4 @@
-"""SVG rendering of simulation schedules (no plotting dependencies).
+"""SVG rendering of execution schedules (no plotting dependencies).
 
 The ASCII Gantt (:func:`repro.simulate.trace.gantt`) is for terminals;
 this module emits a standalone SVG file of the same schedule for
@@ -7,6 +7,13 @@ reports and papers — pure string assembly, viewable in any browser.
 Won tasks are colored by PE class, lost/cancelled replicas are hatched
 gray, and the time axis is labeled; the visual vocabulary mirrors the
 paper's Fig. 5.
+
+:func:`render_gantt_svg` consumes any iterable of interval records
+with ``pe_id``/``task_id``/``start``/``end``/``outcome`` attributes —
+the simulator's :class:`~repro.simulate.des.TaskInterval` and the trace
+analyzer's :class:`~repro.observability.ExecutionInterval` alike — so
+threaded-runtime and cluster event logs render exactly like simulated
+schedules (``repro trace gantt --svg``).
 """
 
 from __future__ import annotations
@@ -15,7 +22,7 @@ import html
 
 from .des import SimReport
 
-__all__ = ["gantt_svg", "write_gantt_svg"]
+__all__ = ["render_gantt_svg", "gantt_svg", "write_gantt_svg"]
 
 _ROW_HEIGHT = 26
 _ROW_GAP = 8
@@ -41,10 +48,15 @@ def _color_for(pe_id: str) -> str:
     return _DEFAULT_COLOR
 
 
-def gantt_svg(report: SimReport, title: str = "") -> str:
-    """Render the report's schedule as an SVG document string."""
-    pe_ids = sorted({iv.pe_id for iv in report.intervals})
-    horizon = max((iv.end for iv in report.intervals), default=1.0)
+def render_gantt_svg(intervals, title: str = "") -> str:
+    """Render execution intervals as an SVG document string.
+
+    *intervals* is any iterable of records with ``pe_id``, ``task_id``,
+    ``start``, ``end`` and ``outcome`` attributes.
+    """
+    intervals = list(intervals)
+    pe_ids = sorted({iv.pe_id for iv in intervals})
+    horizon = max((iv.end for iv in intervals), default=1.0)
     if horizon <= 0:
         horizon = 1.0
     plot_width = _WIDTH - _LEFT_MARGIN - 20
@@ -79,7 +91,7 @@ def gantt_svg(report: SimReport, title: str = "") -> str:
             f'x2="{_WIDTH - 20}" y2="{y + _ROW_HEIGHT}" '
             f'stroke="#eeeeee"/>'
         )
-    for interval in report.intervals:
+    for interval in intervals:
         y = _TOP_MARGIN + rows[interval.pe_id] * (_ROW_HEIGHT + _ROW_GAP)
         x0 = x(interval.start)
         width = max(x(interval.end) - x0, 1.0)
@@ -115,8 +127,16 @@ def gantt_svg(report: SimReport, title: str = "") -> str:
     return "\n".join(parts)
 
 
+def gantt_svg(report: "SimReport | list", title: str = "") -> str:
+    """Render a report's schedule (or a raw interval list) as SVG."""
+    intervals = (
+        report.intervals if isinstance(report, SimReport) else report
+    )
+    return render_gantt_svg(intervals, title=title)
+
+
 def write_gantt_svg(
-    report: SimReport, path: str, title: str = ""
+    report: "SimReport | list", path: str, title: str = ""
 ) -> str:
     """Write the SVG to *path*; returns the path for chaining."""
     document = gantt_svg(report, title=title)

@@ -14,7 +14,7 @@ __all__ = ["gantt", "rate_series", "binned_rate_series"]
 
 
 def gantt(
-    report: SimReport,
+    report: "SimReport | list",
     width: int = 72,
     label_width: int = 8,
 ) -> str:
@@ -23,15 +23,23 @@ def gantt(
     Winning task intervals print their task id digits, lost/cancelled
     replicas print ``x`` — making the workload-adjustment mechanism's
     duplicated tails directly visible, as in Fig. 5.
+
+    Accepts a :class:`SimReport` or any list of interval records with
+    ``pe_id``/``task_id``/``start``/``end``/``outcome`` attributes
+    (e.g. the trace analyzer's reconstruction of a runtime or cluster
+    event log).
     """
-    if not report.intervals:
+    intervals = (
+        report.intervals if isinstance(report, SimReport) else list(report)
+    )
+    if not intervals:
         return "(empty run)"
-    horizon = max(iv.end for iv in report.intervals)
+    horizon = max(iv.end for iv in intervals)
     if horizon <= 0:
         return "(zero-length run)"
     scale = width / horizon
     rows: dict[str, list[str]] = {}
-    for interval in report.intervals:
+    for interval in intervals:
         row = rows.setdefault(interval.pe_id, [" "] * width)
         start = int(interval.start * scale)
         end = max(start + 1, int(interval.end * scale))

@@ -208,3 +208,94 @@ class TestCommands:
         lines = csv_path.read_text().splitlines()
         assert lines[0] == "database,configuration,seconds,gcups"
         assert len(lines) == 1 + 5 * 3  # 5 databases x 3 configs
+
+
+@pytest.fixture(scope="module")
+def event_log_path(tmp_path_factory):
+    """An event log and trace report produced by a real simulation."""
+    root = tmp_path_factory.mktemp("trace")
+    events = root / "events.jsonl"
+    report = root / "report.json"
+    code = main(
+        ["simulate", "--database", "rat", "--queries", "6",
+         "--gpus", "1", "--sse", "2",
+         "--events-out", str(events), "--trace-out", str(report)]
+    )
+    assert code == 0
+    return str(events), str(report)
+
+
+class TestTraceCommand:
+    def test_analyze_text(self, event_log_path, capsys):
+        events, _ = event_log_path
+        assert main(["trace", "analyze", events]) == 0
+        out = capsys.readouterr().out
+        assert "repro.trace_report.v1" in out
+        assert "balancing factor" in out
+        assert "gpu0" in out
+
+    def test_analyze_json_matches_trace_out(self, event_log_path, capsys):
+        import json
+
+        events, report = event_log_path
+        assert main(["trace", "analyze", events, "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        with open(report, "r", encoding="utf-8") as handle:
+            written = json.load(handle)
+        # `--trace-out` at run time and `trace analyze` after the fact
+        # agree on everything.
+        assert document == written
+
+    def test_analyze_writes_report(self, event_log_path, tmp_path, capsys):
+        import json
+
+        events, _ = event_log_path
+        out = tmp_path / "report.json"
+        assert main(["trace", "analyze", events, "--out", str(out)]) == 0
+        with open(out, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert document["schema"] == "repro.trace_report.v1"
+        assert "makespan_seconds" in document["metrics"]
+
+    def test_gantt_ascii(self, event_log_path, capsys):
+        events, _ = event_log_path
+        assert main(["trace", "gantt", events, "--width", "48"]) == 0
+        out = capsys.readouterr().out
+        assert "gpu0" in out
+        assert "|" in out
+
+    def test_gantt_svg(self, event_log_path, tmp_path, capsys):
+        import xml.etree.ElementTree as ET
+
+        events, _ = event_log_path
+        svg = tmp_path / "schedule.svg"
+        assert main(
+            ["trace", "gantt", events, "--svg", str(svg), "--title", "run"]
+        ) == 0
+        root = ET.parse(svg).getroot()
+        assert root.tag == "{http://www.w3.org/2000/svg}svg"
+
+    def test_diff_event_log_against_report(self, event_log_path, capsys):
+        events, report = event_log_path
+        # One side raw JSONL, the other an analyzed report: both load.
+        assert main(["trace", "diff", events, report]) == 0
+        out = capsys.readouterr().out
+        assert "makespan_seconds" in out
+        # Same run on both sides: all deltas are zero.
+        assert "+0.000" in out or "0.000" in out
+
+    def test_diff_json(self, event_log_path, capsys):
+        import json
+
+        events, _ = event_log_path
+        assert main(
+            ["trace", "diff", events, events, "--format", "json"]
+        ) == 0
+        diff = json.loads(capsys.readouterr().out)
+        assert diff["metrics"]["makespan_seconds"]["delta"] == 0.0
+
+    def test_diff_rejects_foreign_json(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"schema": "something.else.v9"}\n')
+        with pytest.raises(ValueError):
+            main(["trace", "diff", str(bogus), str(bogus)])

@@ -14,11 +14,15 @@ from repro.cluster import run_cluster
 from repro.core import HybridRuntime, ScanEngine
 from repro.core.master import TraceEvent
 from repro.observability import (
+    SPAN_STATUSES,
     EventLog,
     Histogram,
     MetricsRegistry,
     Timer,
+    analyze_events,
+    derive_spans,
     merge_snapshots,
+    span_structure,
 )
 from repro.sequences import query_set, random_database
 from repro.simulate import HybridSimulator, PESpec, UniformModel
@@ -206,6 +210,55 @@ class TestEventLog:
         log = EventLog.from_trace_events(trace)
         assert log.to_trace_events() == trace
 
+    def test_filter_time_window_is_half_open(self):
+        log = EventLog()
+        for t in (0.0, 1.0, 2.0, 3.0):
+            log.emit("tick", t, pe="a")
+        assert [e["time"] for e in log.filter(since=1.0)] == [1.0, 2.0, 3.0]
+        assert [e["time"] for e in log.filter(until=2.0)] == [0.0, 1.0]
+        # since <= t < until: adjacent windows partition the log.
+        first = log.filter(since=0.0, until=2.0)
+        second = log.filter(since=2.0, until=4.0)
+        assert [e["time"] for e in first] == [0.0, 1.0]
+        assert [e["time"] for e in second] == [2.0, 3.0]
+        assert log.filter("tick", since=1.0, until=2.0, pe="a") == [
+            {"kind": "tick", "time": 1.0, "pe": "a"}
+        ]
+        assert log.filter(pe="missing", since=0.0) == []
+
+    def test_from_jsonl_tolerates_blank_lines_and_crlf(self):
+        text = (
+            '{"kind": "register", "time": 0.0, "pe": "a"}\r\n'
+            "\n"
+            "   \r\n"
+            '{"kind": "assign", "time": 1.0, "pe": "a", "task": 0}\r\n'
+            "\n"
+        )
+        log = EventLog.from_jsonl(io.StringIO(text))
+        assert [e["kind"] for e in log] == ["register", "assign"]
+        assert log.filter("assign")[0]["task"] == 0
+
+    def test_merge_orders_deterministically(self):
+        master, worker = EventLog(), EventLog()
+        master.emit("assign", 1.0, pe="b", task=0)
+        master.emit("assign", 1.0, pe="a", task=1)
+        master.emit("complete", 2.0, pe="a", task=1)
+        worker.emit("worker_task_start", 1.0, pe="a", task=1)
+        worker.emit("worker_task_end", 2.0, pe="a", task=1)
+        merged = EventLog.merge(master, worker)
+        assert len(merged) == 5
+        # Stable (time, pe, seq) order: ties broken by pe, then by the
+        # event's position in its source log.
+        assert [(e["time"], e["pe"], e["kind"]) for e in merged] == [
+            (1.0, "a", "assign"),
+            (1.0, "a", "worker_task_start"),
+            (1.0, "b", "assign"),
+            (2.0, "a", "complete"),
+            (2.0, "a", "worker_task_end"),
+        ]
+        # Merging the same logs again yields the identical sequence.
+        assert list(EventLog.merge(master, worker)) == list(merged)
+
 
 class TestTimer:
     def test_fake_clock(self):
@@ -298,5 +351,181 @@ class TestClusterLoopback:
         assert any(labels["pe"] == "w0" for labels, _ in roundtrip)
         assert all(hist.count > 0 for _, hist in roundtrip)
         # The structured event log carries the same schedule the legacy
-        # trace does.
-        assert report.events.to_trace_events() == report.trace
+        # trace does — plus the merged worker-side lifecycle events,
+        # which the legacy trace never had.
+        master_side = [
+            event
+            for event in report.events.to_trace_events()
+            if not event.kind.startswith("worker_")
+        ]
+        assert master_side == report.trace
+        worker_side = report.events.filter("worker_task_start")
+        assert worker_side and all(
+            event["pe"] == "w0" for event in worker_side
+        )
+
+
+def _assert_replica_race_spans(events, expect_race: bool = True):
+    """Every trace crowns exactly one winner; every raced trace has
+    exactly one ``won`` execution and only losing statuses besides."""
+    spans = derive_spans(events)
+    executions = [s for s in spans if s.name == "execution"]
+    assert executions
+    by_trace: dict[str, list] = {}
+    for span in executions:
+        by_trace.setdefault(span.trace_id, []).append(span)
+        assert span.status in SPAN_STATUSES
+    raced = {t: s for t, s in by_trace.items() if len(s) > 1}
+    if expect_race:
+        assert raced, "expected at least one replica race"
+    for trace_id, race in by_trace.items():
+        won = [s for s in race if s.status == "won"]
+        assert len(won) == 1, f"{trace_id}: expected exactly one winner"
+        losers = [s for s in race if s.status != "won"]
+        assert len(losers) == len(race) - 1
+        assert all(s.status in ("stale", "released") for s in losers)
+    # The root task span of every raced trace closed as won.
+    roots = {s.trace_id: s for s in spans if s.name == "task"}
+    for trace_id in raced:
+        assert roots[trace_id].status == "won"
+    return spans
+
+
+class TestReplicaRaceSpans:
+    """Satellite: one ``won`` and one ``stale`` span end per replica
+    race, in every execution environment."""
+
+    def test_des_replica_race(self):
+        sim = HybridSimulator(
+            [
+                PESpec("gpu1", UniformModel(rate=6.0, pe_class_name="gpu")),
+                PESpec("sse1", UniformModel(rate=1.0, pe_class_name="sse")),
+            ],
+            comm_latency=0.0,
+            notify_interval=0.5,
+        )
+        report = sim.run(uniform_tasks(3))
+        assert report.replicas_assigned > 0
+        spans = _assert_replica_race_spans(report.events)
+        # The DES cancels losers, so at least one stale span ended via
+        # cancellation.
+        stale = [s for s in spans if s.status == "stale"]
+        assert any(s.end_reason == "cancelled" for s in stale)
+
+    def test_threaded_replica_race(self):
+        rng = np.random.default_rng(5)
+        queries = query_set(1, rng, min_length=40, max_length=50)
+        database = random_database(40, 40.0, rng, name="race")
+        runtime = HybridRuntime(
+            {
+                "a": ScanEngine(BLOSUM62, DEFAULT_GAPS, chunk_size=4),
+                "b": ScanEngine(BLOSUM62, DEFAULT_GAPS, chunk_size=4),
+            }
+        )
+        report = runtime.run(queries, database)
+        # One task, two workers: the idle worker always gets a replica.
+        _assert_replica_race_spans(report.events)
+
+    def test_cluster_replica_race(self):
+        rng = np.random.default_rng(6)
+        queries = query_set(1, rng, min_length=30, max_length=40)
+        database = random_database(30, 35.0, rng, name="clusterrace")
+        report = run_cluster(
+            queries,
+            database,
+            {"w0": "scan", "w1": "scan"},
+            chunk_size=4,
+            use_processes=False,
+            timeout=120,
+        )
+        spans = _assert_replica_race_spans(report.events)
+        # Worker-side lifecycle events carry the same span ids the
+        # master allocated, so both sides join one causal trace.
+        span_ids = {s.span_id for s in spans if s.name == "execution"}
+        tagged = [
+            event
+            for event in report.events.filter("worker_task_start")
+            if "span" in event
+        ]
+        assert tagged
+        assert all(event["span"] in span_ids for event in tagged)
+
+
+class TestTraceParity:
+    """The analyzer reports identical metric names and span structures
+    for the same workload in all three environments."""
+
+    def _des_events(self):
+        sim = HybridSimulator(
+            [
+                PESpec("a", UniformModel(rate=4.0, pe_class_name="gpu")),
+                PESpec("b", UniformModel(rate=1.0, pe_class_name="sse")),
+            ],
+            comm_latency=0.0,
+        )
+        return sim.run(uniform_tasks(2)).events
+
+    def _threaded_events(self):
+        rng = np.random.default_rng(9)
+        queries = query_set(2, rng, min_length=20, max_length=30)
+        database = random_database(16, 30.0, rng, name="parity3")
+        runtime = HybridRuntime(
+            {
+                "a": ScanEngine(BLOSUM62, DEFAULT_GAPS, chunk_size=8),
+                "b": ScanEngine(BLOSUM62, DEFAULT_GAPS, chunk_size=8),
+            }
+        )
+        return runtime.run(queries, database).events
+
+    def _cluster_events(self):
+        rng = np.random.default_rng(9)
+        queries = query_set(2, rng, min_length=20, max_length=30)
+        database = random_database(16, 30.0, rng, name="parity3")
+        report = run_cluster(
+            queries,
+            database,
+            {"a": "scan", "b": "scan"},
+            use_processes=False,
+            timeout=120,
+        )
+        return report.events
+
+    def test_span_structure_and_metric_names_match(self):
+        analyses = {
+            name: analyze_events(events)
+            for name, events in (
+                ("des", self._des_events()),
+                ("threaded", self._threaded_events()),
+                ("cluster", self._cluster_events()),
+            )
+        }
+        names = {
+            name: analysis.metric_names()
+            for name, analysis in analyses.items()
+        }
+        assert names["des"] == names["threaded"] == names["cluster"]
+        # Same two-task workload everywhere: identical trace ids, one
+        # winning execution per trace, the same span vocabulary.  (The
+        # per-status census is timing-dependent — wall-clock runs race
+        # a different number of replicas each time — so it is exactly
+        # the structure, not the counts, that must agree.)
+        structures = {
+            name: span_structure(analysis.spans)
+            for name, analysis in analyses.items()
+        }
+        reference = structures["des"]
+        for name, structure in structures.items():
+            assert structure["span_names"] == reference["span_names"]
+            assert structure["traces"] == reference["traces"]
+            assert (
+                structure["won_executions_by_trace"]
+                == reference["won_executions_by_trace"]
+            ), name
+            assert set(structure["statuses"]) <= set(SPAN_STATUSES)
+        # And every trace report carries the declared PE sections.
+        for analysis in analyses.values():
+            document = analysis.to_document()
+            for pe_section in document["pes"].values():
+                from repro.observability import TRACE_REPORT_PE_FIELDS
+
+                assert set(pe_section) == set(TRACE_REPORT_PE_FIELDS)

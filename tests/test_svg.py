@@ -5,7 +5,8 @@ import xml.etree.ElementTree as ET
 import pytest
 
 from repro.bench import fig5_schedule
-from repro.simulate import gantt_svg, write_gantt_svg
+from repro.observability import EventLog, analyze_events
+from repro.simulate import gantt_svg, render_gantt_svg, write_gantt_svg
 
 
 @pytest.fixture(scope="module")
@@ -54,3 +55,35 @@ class TestGanttSvg:
         root = ET.fromstring(gantt_svg(report))
         titles = [t.text for t in root.findall(f".//{SVG_NS}title")]
         assert any("task 0 on" in t for t in titles)
+
+
+class TestRenderGanttSvg:
+    """The core renderer is duck-typed over interval records, so
+    analyzer timelines render exactly like simulator reports."""
+
+    def test_accepts_analyzer_intervals(self):
+        log = EventLog()
+        log.emit("register", 0.0, pe="gpu0")
+        log.emit("register", 0.0, pe="sse1")
+        log.emit("assign", 0.0, pe="gpu0", task=0)
+        log.emit("assign", 0.0, pe="sse1", task=1)
+        log.emit("complete", 2.0, pe="gpu0", task=0, value=1.0)
+        log.emit("replica", 2.0, pe="gpu0", task=1)
+        log.emit("complete", 3.0, pe="gpu0", task=1, value=1.0)
+        log.emit("cancelled", 3.5, pe="sse1", task=1)
+        intervals = [
+            iv for iv in analyze_events(log).intervals if iv.duration > 0
+        ]
+        document = render_gantt_svg(intervals, title="analyzer")
+        root = ET.fromstring(document)
+        rects = root.findall(f".//{SVG_NS}rect")
+        assert len(rects) == 1 + len(intervals)
+        assert ">gpu0</text>" in document and ">sse1</text>" in document
+        assert "#bbbbbb" in document  # the lost sse1 execution is grayed
+
+    def test_matches_simreport_rendering(self, report):
+        # gantt_svg(SimReport) and render_gantt_svg(report.intervals)
+        # are the same document.
+        assert gantt_svg(report, title="x") == render_gantt_svg(
+            report.intervals, title="x"
+        )

@@ -1,0 +1,236 @@
+"""Unit tests for the trace-analysis layer: span derivation and the
+per-PE timeline/diagnostics reconstruction, on hand-built event logs
+with known answers."""
+
+import io
+
+import pytest
+
+from repro.core.history import RateEstimator, RateSample
+from repro.observability import (
+    SPAN_END_REASONS,
+    SPAN_NAMES,
+    SPAN_STATUSES,
+    TRACE_REPORT_METRICS,
+    TRACE_REPORT_PE_FIELDS,
+    TRACE_REPORT_SCHEMA,
+    EventLog,
+    analyze_events,
+    derive_spans,
+    diff_documents,
+    execution_span_id,
+    format_diff,
+    format_report,
+    span_structure,
+    task_trace_id,
+)
+
+
+def race_log() -> EventLog:
+    """Two PEs, a batch assignment, a replica race and a cancellation.
+
+    PE ``a`` runs task 0 (0-2s), then queued task 1 (2-5s), then a
+    replica of task 2 (5-7s) which wins; PE ``b`` runs task 2 from 0
+    until the cancellation acknowledgement at 8s.
+    """
+    log = EventLog()
+    log.emit("register", 0.0, pe="a", task=-1, value=0.0)
+    log.emit("register", 0.0, pe="b", task=-1, value=0.0)
+    log.emit("assign", 0.0, pe="a", task=0)
+    log.emit("assign", 0.0, pe="a", task=1)
+    log.emit("assign", 0.0, pe="b", task=2)
+    log.emit("complete", 2.0, pe="a", task=0, value=1.0)
+    log.emit("complete", 5.0, pe="a", task=1, value=1.0)
+    log.emit("replica", 5.0, pe="a", task=2)
+    log.emit("complete", 7.0, pe="a", task=2, value=1.0)
+    log.emit("cancel", 7.0, pe="b", task=2)
+    log.emit("cancelled", 8.0, pe="b", task=2)
+    return log
+
+
+class TestTimelineReconstruction:
+    def test_known_schedule(self):
+        analysis = analyze_events(race_log())
+        assert analysis.makespan == pytest.approx(7.0)
+        assert analysis.horizon == pytest.approx(8.0)
+        a, b = analysis.timelines["a"], analysis.timelines["b"]
+        # a: 2 + 3 + 2 busy; b: 8 busy (ran until the cancel ack).
+        assert a.busy_seconds == pytest.approx(7.0)
+        assert b.busy_seconds == pytest.approx(8.0)
+        assert a.tasks_won == 3 and a.tasks_lost == 0
+        assert b.tasks_won == 0 and b.tasks_lost == 1
+        # Queued task 1 started when task 0 ended, not when granted.
+        task1 = next(iv for iv in a.intervals if iv.task_id == 1)
+        assert task1.start == pytest.approx(2.0)
+        assert task1.queue_wait == pytest.approx(2.0)
+        # Replica-waste: b's 8 stale seconds over 15 total.
+        assert analysis.total_busy_seconds == pytest.approx(15.0)
+        assert analysis.wasted_seconds == pytest.approx(8.0)
+        assert analysis.replica_waste_ratio == pytest.approx(8.0 / 15.0)
+        # sigma/mu of (7, 8).
+        assert analysis.balancing_factor == pytest.approx(0.5 / 7.5)
+        latency = analysis.assignment_latency
+        assert latency["count"] == 4.0
+        assert latency["mean"] == pytest.approx(0.5)
+        assert latency["max"] == pytest.approx(2.0)
+
+    def test_critical_path_follows_queue_chain(self):
+        log = EventLog()
+        log.emit("register", 0.0, pe="a")
+        log.emit("assign", 0.0, pe="a", task=0)
+        log.emit("assign", 0.0, pe="a", task=1)
+        log.emit("assign", 0.0, pe="a", task=2)
+        log.emit("complete", 1.0, pe="a", task=0, value=1.0)
+        log.emit("complete", 4.0, pe="a", task=1, value=1.0)
+        log.emit("complete", 6.0, pe="a", task=2, value=1.0)
+        analysis = analyze_events(log)
+        # Tasks 1 and 2 each waited for their predecessor, so the whole
+        # serial chain is critical.
+        assert analysis.critical_path == [("a", 0), ("a", 1), ("a", 2)]
+        assert analysis.critical_path_seconds == pytest.approx(6.0)
+
+    def test_cancelled_while_queued_never_ran(self):
+        log = EventLog()
+        log.emit("register", 0.0, pe="a")
+        log.emit("assign", 0.0, pe="a", task=0)
+        log.emit("replica", 1.0, pe="a", task=5)
+        # The queued replica loses the race at 2s, before task 0 (which
+        # runs until 4s) ever let it start.
+        log.emit("cancelled", 2.0, pe="a", task=5)
+        log.emit("complete", 4.0, pe="a", task=0, value=1.0)
+        analysis = analyze_events(log)
+        replica = next(
+            iv
+            for iv in analysis.timelines["a"].intervals
+            if iv.task_id == 5
+        )
+        assert replica.duration == 0.0
+        assert replica.end_reason == "cancelled"
+        # Zero-duration intervals count no busy time and no latency.
+        assert analysis.timelines["a"].busy_seconds == pytest.approx(4.0)
+        assert analysis.assignment_latency["count"] == 1.0
+
+    def test_released_on_deregister(self):
+        log = EventLog()
+        log.emit("register", 0.0, pe="a")
+        log.emit("assign", 0.0, pe="a", task=0)
+        log.emit("deregister", 3.0, pe="a", released=[0])
+        analysis = analyze_events(log)
+        interval = analysis.timelines["a"].intervals[0]
+        assert interval.status == "released"
+        assert interval.end == pytest.approx(3.0)
+        spans = derive_spans(log)
+        execution = next(s for s in spans if s.name == "execution")
+        assert execution.status == "released"
+
+    def test_rate_reconstruction_matches_core_estimator(self):
+        samples = [(100.0, 0.5), (300.0, 0.5), (220.0, 0.5), (500.0, 0.5)]
+        log = EventLog()
+        log.emit("register", 0.0, pe="a")
+        reference = RateEstimator(omega=3)
+        for index, (cells, interval) in enumerate(samples):
+            time = 0.5 * (index + 1)
+            log.emit(
+                "progress", time, pe="a",
+                value=cells / interval, cells=cells, interval=interval,
+            )
+            reference.observe(
+                RateSample(time=time, cells=cells, interval=interval)
+            )
+        analysis = analyze_events(log, omega=3)
+        assert analysis.timelines["a"].estimated_rate == pytest.approx(
+            reference.rate()
+        )
+        assert analysis.timelines["a"].rate_samples == len(samples)
+        # The series replays the estimate after every notification.
+        assert len(analysis.rate_series["a"]) == len(samples)
+
+
+class TestSpans:
+    def test_ids_are_deterministic_functions_of_the_schedule(self):
+        assert task_trace_id(7) == "task-7"
+        assert execution_span_id(7, "gpu0", 0) == "task-7/gpu0#0"
+        # A log without explicit span fields regenerates the same ids
+        # the master would have allocated.
+        spans = derive_spans(race_log())
+        ids = {s.span_id for s in spans if s.name == "execution"}
+        assert ids == {
+            "task-0/a#0", "task-1/a#0", "task-2/b#0", "task-2/a#0",
+        }
+
+    def test_race_statuses(self):
+        spans = derive_spans(race_log())
+        by_id = {s.span_id: s for s in spans}
+        assert by_id["task-2/a#0"].status == "won"
+        assert by_id["task-2/b#0"].status == "stale"
+        assert by_id["task-2/b#0"].end_reason == "cancelled"
+        root = by_id["task-2"]
+        assert root.name == "task" and root.status == "won"
+        assert root.end == pytest.approx(7.0)
+        for span in spans:
+            assert span.name in SPAN_NAMES
+            assert span.status in SPAN_STATUSES
+            assert span.end_reason in SPAN_END_REASONS
+
+    def test_open_spans_survive_truncated_logs(self):
+        log = EventLog()
+        log.emit("register", 0.0, pe="a")
+        log.emit("assign", 0.0, pe="a", task=0)
+        spans = derive_spans(log)
+        execution = next(s for s in spans if s.name == "execution")
+        assert execution.status == "open" and execution.end is None
+        assert execution.duration == 0.0
+
+    def test_structure_summary(self):
+        structure = span_structure(derive_spans(race_log()))
+        assert structure["span_names"] == ["execution", "task"]
+        assert structure["traces"] == ["task-0", "task-1", "task-2"]
+        assert structure["won_executions_by_trace"] == {
+            "task-0": 1, "task-1": 1, "task-2": 1,
+        }
+
+
+class TestDocumentAndDiff:
+    def test_document_schema_and_conventions(self):
+        document = analyze_events(race_log()).to_document()
+        assert document["schema"] == TRACE_REPORT_SCHEMA
+        assert set(document["metrics"]) == set(TRACE_REPORT_METRICS)
+        for pe_section in document["pes"].values():
+            assert set(pe_section) == set(TRACE_REPORT_PE_FIELDS)
+        assert document["span_structure"]["traces"] == [
+            "task-0", "task-1", "task-2",
+        ]
+
+    def test_analysis_identical_after_jsonl_round_trip(self):
+        log = race_log()
+        parsed = EventLog.from_jsonl(io.StringIO(log.to_jsonl_text()))
+        assert (
+            analyze_events(parsed).to_document()
+            == analyze_events(log).to_document()
+        )
+
+    def test_diff(self):
+        first = analyze_events(race_log()).to_document()
+        second = analyze_events(race_log()).to_document()
+        diff = diff_documents(first, second)
+        assert set(diff["metrics"]) == set(TRACE_REPORT_METRICS)
+        for row in diff["metrics"].values():
+            assert row["delta"] == pytest.approx(0.0)
+        assert set(diff["pes"]) == {"a", "b"}
+        text = format_diff(diff, labels=("ss", "pss"))
+        assert "makespan_seconds" in text
+        assert "balancing_factor" in text
+        assert "ss" in text and "pss" in text
+
+    def test_diff_rejects_wrong_schema(self):
+        good = analyze_events(race_log()).to_document()
+        with pytest.raises(ValueError):
+            diff_documents(good, {"schema": "nope"})
+
+    def test_format_report(self):
+        text = format_report(analyze_events(race_log()))
+        assert TRACE_REPORT_SCHEMA in text
+        assert "balancing factor" in text
+        assert "replica waste" in text
+        for pe in ("a", "b"):
+            assert f"\n  {pe} " in text
