@@ -1,0 +1,85 @@
+"""Crash-recovery makespan overhead benchmark.
+
+Runs the same workload through the discrete-event simulator twice —
+fault-free, and with a :class:`repro.faults.CrashFault` that kills the
+fastest PE mid-run — and reports the makespan overhead of losing and
+re-queuing that PE's work via the heartbeat reaper.  Both runs use the
+paper's PSS policy with dynamic adjustment, so the number measures the
+price of recovery, not of scheduling::
+
+    pytest benchmarks/bench_fault_recovery.py --benchmark-only
+"""
+
+from repro.bench import uniform_tasks
+from repro.faults import CrashFault, FaultPlan
+from repro.simulate import HybridSimulator, PESpec, UniformModel
+
+from conftest import emit
+
+_TASKS = 64
+_CELLS = 40
+_CRASH_AT = 0.5
+_HEARTBEAT = 2.0
+
+
+def _platform():
+    return [
+        PESpec("gpu0", UniformModel(rate=30.0)),
+        PESpec("sse0", UniformModel(rate=10.0)),
+        PESpec("sse1", UniformModel(rate=10.0)),
+    ]
+
+
+def _run(plan: FaultPlan | None):
+    tasks = uniform_tasks(_TASKS, cells=_CELLS)
+    sim = HybridSimulator(
+        _platform(), faults=plan, heartbeat_timeout=_HEARTBEAT
+    )
+    return sim.run(tasks)
+
+
+def test_fault_recovery_overhead(benchmark):
+    plan = FaultPlan(
+        crashes=(CrashFault(pe_id="gpu0", at_time=_CRASH_AT),)
+    )
+    faulted = benchmark.pedantic(
+        lambda: _run(plan), rounds=1, iterations=1
+    )
+    baseline = _run(None)
+
+    # Every task still finishes exactly once, despite losing the GPU.
+    assert sum(faulted.tasks_won.values()) == _TASKS
+    assert sum(baseline.tasks_won.values()) == _TASKS
+    assert faulted.tasks_won["gpu0"] < baseline.tasks_won["gpu0"]
+
+    kinds = [e["kind"] for e in faulted.events]
+    assert "fault_crash" in kinds
+    reaps = [
+        e
+        for e in faulted.events
+        if e["kind"] == "deregister" and e.get("reason") == "reap"
+    ]
+    assert reaps, "crash must be detected by the heartbeat reaper"
+
+    overhead = faulted.makespan / baseline.makespan - 1.0
+    # Losing the 30-units/s GPU must cost something, but recovery keeps
+    # the slowdown bounded: far below serializing on a single SSE PE.
+    assert overhead > 0.0
+
+    emit(
+        "Crash-recovery makespan overhead",
+        f"tasks:              {_TASKS} x {_CELLS} cells\n"
+        f"crash:              gpu0 @ {_CRASH_AT:.1f}s "
+        f"(heartbeat {_HEARTBEAT:.1f}s)\n"
+        f"fault-free makespan:{baseline.makespan:10.3f}s\n"
+        f"faulted makespan:   {faulted.makespan:10.3f}s\n"
+        f"overhead:           {overhead:10.1%}\n"
+        f"gpu0 wins:          {baseline.tasks_won['gpu0']} -> "
+        f"{faulted.tasks_won['gpu0']}",
+    )
+    benchmark.extra_info["makespan_fault_free"] = round(
+        baseline.makespan, 4
+    )
+    benchmark.extra_info["makespan_faulted"] = round(faulted.makespan, 4)
+    benchmark.extra_info["overhead"] = round(overhead, 4)
+    benchmark.extra_info["reaps"] = len(reaps)

@@ -2,7 +2,10 @@
 # One-stop local gate: tier-1 test suite, then a short observability
 # smoke benchmark that writes a metrics snapshot and validates it,
 # then a trace round-trip (event log -> `repro trace analyze` ->
-# repro.trace_report.v1 schema check).
+# repro.trace_report.v1 schema check), then a chaos stage: one short
+# seeded fault-plan run per environment (DES, threaded runtime, TCP
+# cluster) that must finish every task with fault-free-identical
+# results, with the DES run's fault events surfaced by trace analyze.
 #
 # Usage: scripts/check.sh
 # Runs from any cwd; needs only the in-repo package (no installs).
@@ -20,7 +23,11 @@ echo "== observability smoke benchmark =="
 METRICS_OUT="$(mktemp -t repro-metrics-XXXXXX.json)"
 EVENTS_OUT="$(mktemp -t repro-events-XXXXXX.jsonl)"
 TRACE_OUT="$(mktemp -t repro-trace-XXXXXX.json)"
-trap 'rm -f "$METRICS_OUT" "$EVENTS_OUT" "$TRACE_OUT"' EXIT
+PLAN_OUT="$(mktemp -t repro-plan-XXXXXX.json)"
+FAULT_EVENTS="$(mktemp -t repro-fault-events-XXXXXX.jsonl)"
+FAULT_TRACE="$(mktemp -t repro-fault-trace-XXXXXX.json)"
+trap 'rm -f "$METRICS_OUT" "$EVENTS_OUT" "$TRACE_OUT" \
+    "$PLAN_OUT" "$FAULT_EVENTS" "$FAULT_TRACE"' EXIT
 python -m pytest benchmarks/bench_metrics_smoke.py --benchmark-only \
     --benchmark-min-rounds=1 -q --metrics-out "$METRICS_OUT"
 
@@ -75,6 +82,97 @@ if replayed != document:
     sys.exit("trace analyze is not deterministic over the event log")
 print(f"trace report OK: {len(document['pes'])} PEs, "
       f"makespan {document['metrics']['makespan_seconds']:.2f}s")
+PY
+
+echo
+echo "== chaos stage: DES simulator =="
+python - "$PLAN_OUT" <<'PY'
+import sys
+
+from repro.faults import FaultPlan
+
+plan = FaultPlan.random(["gpu0", "sse0", "sse1"], seed=7, horizon=4.0)
+plan.save(sys.argv[1])
+print(f"seeded fault plan: {len(plan.crashes)} crash(es), "
+      f"{len(plan.stragglers)} straggler(s), "
+      f"{len(plan.partitions)} partition(s), "
+      f"message rate {plan.messages.total_rate:.2f}")
+PY
+python -m repro simulate --database rat --queries 6 --gpus 1 --sse 2 \
+    --faults "$PLAN_OUT" --events-out "$FAULT_EVENTS" > /dev/null
+python -m repro trace analyze "$FAULT_EVENTS" --format json \
+    --out "$FAULT_TRACE" > /dev/null
+python - "$FAULT_TRACE" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1], encoding="utf-8") as handle:
+    document = json.load(handle)
+faults = document.get("faults")
+if not faults:
+    sys.exit("trace report has no faults section")
+if faults["total_injected"] == 0:
+    sys.exit("seeded plan injected no faults")
+if faults["released_tasks"] != faults["recovered_tasks"]:
+    sys.exit(f"released {faults['released_tasks']} task(s) but only "
+             f"{faults['recovered_tasks']} recovered")
+print(f"DES chaos OK: {faults['total_injected']} fault(s) injected "
+      f"({', '.join(faults['injected'])}), "
+      f"{faults['reaps']} reap(s), "
+      f"{faults['recovered_tasks']} task(s) recovered")
+PY
+
+echo
+echo "== chaos stage: threaded runtime + TCP cluster =="
+python - <<'PY'
+import numpy as np
+
+from repro.align import BLOSUM62, DEFAULT_GAPS
+from repro.cluster import run_cluster
+from repro.core import HybridRuntime, ScanEngine
+from repro.faults import CrashFault, FaultPlan
+from repro.sequences import query_set, random_database
+
+
+def hits(results):
+    return {
+        q: [(h.subject_index, h.score) for h in ranked]
+        for q, ranked in results.items()
+    }
+
+
+rng = np.random.default_rng(7)
+queries = query_set(4, rng, min_length=20, max_length=40)
+database = random_database(16, 50.0, rng, name="chaosdb")
+plan = FaultPlan(seed=7, crashes=(CrashFault(pe_id="w1", after_tasks=1),))
+
+
+def engines():
+    return {
+        pe: ScanEngine(BLOSUM62, DEFAULT_GAPS, chunk_size=8)
+        for pe in ("w0", "w1")
+    }
+
+
+baseline = HybridRuntime(engines()).run(queries, database)
+faulted = HybridRuntime(
+    engines(), faults=plan, heartbeat_timeout=0.5
+).run(queries, database)
+assert hits(faulted.results) == hits(baseline.results)
+assert any(e["kind"] == "fault_crash" for e in faulted.events)
+print("threaded chaos OK: crash recovered, results identical")
+
+workers = {"w0": "scan", "w1": "scan"}
+baseline = run_cluster(
+    queries, database, dict(workers), use_processes=False, timeout=60
+)
+faulted = run_cluster(
+    queries, database, dict(workers), use_processes=False, timeout=60,
+    heartbeat_timeout=0.5, faults=plan,
+)
+assert hits(faulted.results) == hits(baseline.results)
+assert any(e["kind"] == "fault_crash" for e in faulted.events)
+print("cluster chaos OK: crash recovered, results identical")
 PY
 
 echo

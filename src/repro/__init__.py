@@ -19,6 +19,9 @@ The package is layered bottom-up:
 * :mod:`repro.observability` — dependency-free metrics registry,
   clock-agnostic timers and the unified JSONL event log every
   execution environment reports through;
+* :mod:`repro.faults` — seed-deterministic fault injection (crashes,
+  stragglers, message faults, partitions) pluggable into every
+  environment, paired with the recovery machinery that survives it;
 * :mod:`repro.simulate` — a discrete-event simulator of the paper's
   GPU + SSE platform driving the *same* master, used to regenerate the
   published tables and figures at full scale;
@@ -66,6 +69,14 @@ from .core import (
     TaskPool,
     TaskState,
     WeightedFixed,
+)
+from .faults import (
+    CrashFault,
+    FaultInjector,
+    FaultPlan,
+    MessageFaults,
+    PartitionFault,
+    StragglerFault,
 )
 from .observability import EventLog, MetricsRegistry, Timer
 from .sequences import (
@@ -141,6 +152,13 @@ __all__ = [
     "random_database",
     "query_set",
     "PAPER_DATABASES",
+    # faults
+    "FaultPlan",
+    "FaultInjector",
+    "CrashFault",
+    "StragglerFault",
+    "MessageFaults",
+    "PartitionFault",
     # observability
     "MetricsRegistry",
     "EventLog",

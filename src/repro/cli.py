@@ -123,6 +123,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--threads", action="store_true",
         help="run workers as threads instead of processes",
     )
+    cluster.add_argument(
+        "--faults", metavar="FILE", default=None,
+        help="inject a repro.fault_plan.v1 JSON plan into the workers",
+    )
+    cluster.add_argument(
+        "--heartbeat", type=float, default=None,
+        help="seconds of silence before a worker is reaped "
+        "(default 10; 0 disables reaping)",
+    )
     _add_telemetry_flags(cluster)
 
     simulate = sub.add_parser(
@@ -140,6 +149,16 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--gantt", action="store_true")
     simulate.add_argument("--svg", metavar="FILE", default=None,
                           help="write the schedule as an SVG Gantt chart")
+    simulate.add_argument(
+        "--faults", metavar="FILE", default=None,
+        help="inject a repro.fault_plan.v1 JSON plan into the simulation",
+    )
+    simulate.add_argument(
+        "--heartbeat", type=float, default=None,
+        help="virtual seconds of silence before a PE is reaped "
+        "(default 10x the notify interval when faults are injected; "
+        "0 disables reaping)",
+    )
     _add_telemetry_flags(simulate)
 
     generate = sub.add_parser(
@@ -389,6 +408,14 @@ def _cmd_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_fault_plan(path: str | None):
+    if path is None:
+        return None
+    from .faults import FaultPlan
+
+    return FaultPlan.load(path)
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
     from .cluster import run_cluster
 
@@ -402,6 +429,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         adjustment=not args.no_adjustment,
         top=args.top,
         use_processes=not args.threads,
+        heartbeat_timeout=args.heartbeat,
+        faults=_load_fault_plan(args.faults),
     )
     for query_id, hits in report.results.items():
         print(f"# query {query_id}")
@@ -421,6 +450,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         hybrid_platform(args.gpus, args.sse, num_fpgas=args.fpgas),
         policy=make_policy(args.policy),
         adjustment=not args.no_adjustment,
+        faults=_load_fault_plan(args.faults),
+        heartbeat_timeout=args.heartbeat,
     )
     report = simulator.run(tasks)
     extras = f" + {args.fpgas} FPGAs" if args.fpgas else ""

@@ -19,6 +19,7 @@ from ..align.api import SearchHit
 from ..core.policies import AllocationPolicy
 from ..core.runtime import build_tasks
 from ..core.master import TraceEvent
+from ..faults import FaultPlan, InjectedCrash
 from ..observability import EventLog, MetricsRegistry, merge_snapshots
 from ..sequences.database import SequenceDatabase
 from ..sequences.fasta import read_fasta
@@ -27,7 +28,30 @@ from ..sequences.records import Sequence
 from .server import MasterServer
 from .worker import WorkerConfig, run_worker
 
-__all__ = ["ClusterReport", "run_cluster"]
+__all__ = ["ClusterReport", "DEFAULT_HEARTBEAT_TIMEOUT", "run_cluster"]
+
+#: Default silence (seconds) before the master reaps a worker — about
+#: 10x a worker's progress-notification cadence, so transient stalls
+#: survive but a dead process is recovered within seconds.  Pass
+#: ``heartbeat_timeout=0`` to opt out of reaping entirely.
+DEFAULT_HEARTBEAT_TIMEOUT = 10.0
+
+
+def _worker_main(
+    config: WorkerConfig,
+    metrics: MetricsRegistry | None = None,
+    events: EventLog | None = None,
+    clock=None,
+    faults: FaultPlan | None = None,
+) -> int:
+    """Process/thread entry point: a planned crash is a silent exit."""
+    try:
+        return run_worker(
+            config, metrics=metrics, events=events, clock=clock,
+            faults=faults,
+        )
+    except InjectedCrash:
+        return 0
 
 
 @dataclass
@@ -71,6 +95,7 @@ def run_cluster(
     timeout: float = 300.0,
     use_processes: bool = True,
     heartbeat_timeout: float | None = None,
+    faults: FaultPlan | None = None,
 ) -> ClusterReport:
     """Run a workload on a freshly spawned local cluster.
 
@@ -86,8 +111,13 @@ def run_cluster(
         ``False`` to run workers in threads — handy on machines where
         process spawning is restricted.
     heartbeat_timeout:
-        Enables silent-worker reaping on the master (seconds of silence
-        before a worker is deregistered and its tasks re-queued).
+        Silent-worker reaping on the master: seconds of silence before
+        a worker is deregistered and its tasks re-queued.  Defaults to
+        :data:`DEFAULT_HEARTBEAT_TIMEOUT`; pass ``0`` to disable
+        reaping (a crashed worker then hangs the run until *timeout*).
+    faults:
+        Optional deterministic :class:`~repro.faults.FaultPlan` every
+        worker injects against (crashes, stragglers, message chaos).
     """
     if isinstance(queries, str):
         queries = read_fasta(queries)
@@ -95,6 +125,10 @@ def run_cluster(
         database = SequenceDatabase.from_fasta(database)
     if not workers:
         raise ValueError("at least one worker is required")
+    if heartbeat_timeout is None:
+        heartbeat_timeout = DEFAULT_HEARTBEAT_TIMEOUT
+    # 0 (or negative) = reaping disabled = server's ``None``.
+    server_heartbeat = heartbeat_timeout if heartbeat_timeout > 0 else None
 
     with tempfile.TemporaryDirectory(prefix="repro-cluster-") as tmp:
         query_path = _materialize_indexed(list(queries), tmp, "queries.seqx")
@@ -104,7 +138,7 @@ def run_cluster(
             tasks,
             policy=policy,
             adjustment=adjustment,
-            heartbeat_timeout=heartbeat_timeout,
+            heartbeat_timeout=server_heartbeat,
         )
         server.start()
         host, port = server.address
@@ -133,15 +167,17 @@ def run_cluster(
                 )
                 if use_processes:
                     proc = multiprocessing.Process(
-                        target=run_worker, args=(config,), daemon=True
+                        target=_worker_main,
+                        args=(config, None, None, None, faults),
+                        daemon=True,
                     )
                 else:
                     import threading
 
                     proc = threading.Thread(
-                        target=run_worker,
+                        target=_worker_main,
                         args=(config, worker_metrics, worker_events,
-                              server.clock),
+                              server.clock, faults),
                         daemon=True,
                     )
                 proc.start()

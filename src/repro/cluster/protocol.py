@@ -9,7 +9,9 @@ protocol is debuggable with ``nc``.
 Message types (all carry ``type`` plus the listed fields):
 
 ==============  =====================================================
-``register``    pe_id
+``register``    pe_id [, attempt]  (attempt > 0 marks a reconnecting
+                worker's fresh incarnation; the master retires the
+                stale registration and re-queues its tasks)
 ``request``     pe_id
 ``assign``      tasks[], replicas[], done, wait,   (master -> slave)
                 spans{task_id: {trace, span, parent}}

@@ -11,6 +11,7 @@ threaded runtime achieves.
 
 from __future__ import annotations
 
+import socket
 import socketserver
 import threading
 import time
@@ -67,18 +68,38 @@ class _Handler(socketserver.StreamRequestHandler):
                     time.perf_counter() - started
                 )
 
+    @staticmethod
+    def _ensure_registered(server: "MasterServer", pe_id: str) -> None:
+        # Caller holds ``server.lock``.  A reaped worker that was only
+        # slow (or partitioned), not dead, keeps talking; re-admit it
+        # transparently instead of erroring its connection away.
+        if not server.master.is_registered(pe_id):
+            server.master.register(pe_id, server.clock())
+            server.cancel_flags.setdefault(pe_id, set())
+
     def _dispatch(self, server: "MasterServer", message: dict,
                   kind: object) -> bool:
         """Handle one message; False ends the connection."""
         if kind == "register":
             pe_id = str(message["pe_id"])
+            attempt = int(message.get("attempt", 0))
             with server.lock:
-                server.master.register(pe_id, server.clock())
-                server.cancel_flags.setdefault(pe_id, set())
+                if server.master.is_registered(pe_id):
+                    # A reconnecting worker's fresh incarnation: retire
+                    # the stale registration so its queued tasks go
+                    # back to READY before the new one starts pulling.
+                    server.master.deregister(
+                        pe_id, server.clock(), reason="reconnect"
+                    )
+                server.master.register(
+                    pe_id, server.clock(), attempt=attempt
+                )
+                server.cancel_flags[pe_id] = set()
             send_message(self.connection, {"type": "ack", "cancel": []})
         elif kind == "request":
             pe_id = str(message["pe_id"])
             with server.lock:
+                self._ensure_registered(server, pe_id)
                 assignment = server.master.on_request(
                     pe_id, server.clock()
                 )
@@ -110,6 +131,7 @@ class _Handler(socketserver.StreamRequestHandler):
         elif kind == "progress":
             pe_id = str(message["pe_id"])
             with server.lock:
+                self._ensure_registered(server, pe_id)
                 server.master.on_progress(
                     pe_id,
                     server.clock(),
@@ -133,6 +155,7 @@ class _Handler(socketserver.StreamRequestHandler):
                 ),
             )
             with server.lock:
+                self._ensure_registered(server, pe_id)
                 losers = server.master.on_complete(
                     pe_id, result, server.clock()
                 )
@@ -148,6 +171,7 @@ class _Handler(socketserver.StreamRequestHandler):
         elif kind == "cancelled":
             pe_id = str(message["pe_id"])
             with server.lock:
+                self._ensure_registered(server, pe_id)
                 server.master.on_cancelled(
                     pe_id, int(message["task_id"]), server.clock()
                 )
@@ -181,19 +205,29 @@ class MasterServer(socketserver.ThreadingTCPServer):
         host: str = "127.0.0.1",
         port: int = 0,
         heartbeat_timeout: float | None = None,
+        master: Master | None = None,
     ):
         super().__init__((host, port), _Handler)
-        self.metrics = MetricsRegistry()
-        self.events = EventLog()
+        if master is not None:
+            # Adopt an existing master (and its metrics/event history):
+            # the master-restart story — a new server process picks up
+            # the workload where the crashed one left off, and
+            # reconnecting workers resume against the same task pool.
+            self.master = master
+            self.metrics = master.metrics
+            self.events = master.events
+        else:
+            self.metrics = MetricsRegistry()
+            self.events = EventLog()
+            self.master = Master(
+                list(tasks),
+                policy=policy or PackageWeightedSelfScheduling(),
+                adjustment=adjustment,
+                omega=omega,
+                metrics=self.metrics,
+                events=self.events,
+            )
         self.inst = cluster_server_instruments(self.metrics)
-        self.master = Master(
-            list(tasks),
-            policy=policy or PackageWeightedSelfScheduling(),
-            adjustment=adjustment,
-            omega=omega,
-            metrics=self.metrics,
-            events=self.events,
-        )
         self.lock = threading.Lock()
         self.cancel_flags: dict[str, set[int]] = {}
         #: Silent-slave failure detection: workers quiet for longer than
@@ -204,6 +238,8 @@ class MasterServer(socketserver.ThreadingTCPServer):
         self._thread: threading.Thread | None = None
         self._reaper: threading.Thread | None = None
         self._stopping = threading.Event()
+        self._connections: set = set()
+        self._conn_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def clock(self) -> float:
@@ -238,10 +274,35 @@ class MasterServer(socketserver.ThreadingTCPServer):
                         self.clock(), self.heartbeat_timeout
                     )
 
+    # Track live slave connections so ``stop`` can sever them: daemon
+    # handler threads otherwise keep serving a "stopped" master, which
+    # would let a simulated master crash go unnoticed by its workers.
+    def process_request(self, request, client_address) -> None:
+        with self._conn_lock:
+            self._connections.add(request)
+        super().process_request(request, client_address)
+
+    def shutdown_request(self, request) -> None:
+        with self._conn_lock:
+            self._connections.discard(request)
+        super().shutdown_request(request)
+
     def stop(self) -> None:
         self._stopping.set()
         self.shutdown()
         self.server_close()
+        with self._conn_lock:
+            lingering = list(self._connections)
+            self._connections.clear()
+        for conn in lingering:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
         if self._thread is not None:
             self._thread.join(timeout=5)
         if self._reaper is not None:
@@ -254,12 +315,36 @@ class MasterServer(socketserver.ThreadingTCPServer):
             return self.master.finished
 
     def wait_finished(self, timeout: float = 120.0, poll: float = 0.01) -> None:
-        """Block until every task is finished (or raise on timeout)."""
+        """Block until every task is finished (or raise on timeout).
+
+        The :class:`TimeoutError` carries a diagnostic snapshot —
+        outstanding task ids, each registered PE's queue depth and the
+        age of its last contact — so a hung run says *which* worker
+        stalled instead of just "did not finish".
+        """
         deadline = time.perf_counter() + timeout
         while not self.finished:
             if time.perf_counter() > deadline:
-                raise TimeoutError("workload did not finish in time")
+                raise TimeoutError(self._timeout_diagnostics(timeout))
             time.sleep(poll)
+
+    def _timeout_diagnostics(self, timeout: float) -> str:
+        with self.lock:
+            now = self.clock()
+            outstanding = self.master.pool.unfinished_ids()
+            pes = [
+                f"{pe_id}: queue={len(self.master.pending_of(pe_id))} "
+                f"last_contact={now - self.master.last_contact(pe_id):.1f}s ago"
+                for pe_id in self.master.registered_pes()
+            ]
+        shown = ", ".join(str(t) for t in outstanding[:20])
+        if len(outstanding) > 20:
+            shown += ", ..."
+        detail = "; ".join(pes) if pes else "no PEs registered"
+        return (
+            f"workload did not finish within {timeout:.1f}s: "
+            f"{len(outstanding)} outstanding task(s) [{shown}]; {detail}"
+        )
 
     def results(self) -> dict[str, tuple[SearchHit, ...]]:
         """Merged per-query hits (requires :attr:`finished`)."""

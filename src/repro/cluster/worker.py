@@ -10,6 +10,7 @@ carries only task ids and scores.
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 from dataclasses import dataclass
@@ -18,6 +19,7 @@ from ..align.gaps import affine_gap
 from ..align.scoring import get_matrix
 from ..core.engines import ChunkProgress, Engine, InterSequenceEngine, ScanEngine, StripedSSEEngine
 from ..core.task import Task
+from ..faults import FaultInjector, FaultPlan, InjectedCrash
 from ..observability import (
     EventLog,
     MetricsRegistry,
@@ -33,7 +35,7 @@ from .protocol import (
     send_message,
 )
 
-__all__ = ["WorkerConfig", "run_worker"]
+__all__ = ["WorkerConfig", "ResilientLink", "run_worker"]
 
 def _gpu_dual(*args, **kwargs) -> Engine:
     return InterSequenceEngine(*args, dual_precision=True, **kwargs)
@@ -49,10 +51,22 @@ _ENGINE_CLASSES: dict[str, "type[Engine] | object"] = {
 #: Idle wait between polls when the master says "wait".
 _WAIT_SECONDS = 0.02
 
+#: Pause before retransmitting a dropped must-deliver message.
+_RETRANSMIT_SECONDS = 0.005
+
 
 @dataclass(frozen=True)
 class WorkerConfig:
-    """Everything needed to run one slave (picklable for spawning)."""
+    """Everything needed to run one slave (picklable for spawning).
+
+    The timeout/backoff fields shape the resilient transport: slow
+    connects and silent masters fail fast (``connect_timeout`` /
+    ``io_timeout`` instead of hanging on the OS default), and a broken
+    link is re-established up to ``reconnect_attempts`` times with
+    exponential backoff between ``backoff_base`` and ``backoff_max``
+    seconds (jittered so a restarted master is not hit by a thundering
+    herd of identical retry schedules).
+    """
 
     host: str
     port: int
@@ -65,6 +79,11 @@ class WorkerConfig:
     gap_extend: int = 2
     top: int = 10
     chunk_size: int = 16
+    connect_timeout: float = 10.0
+    io_timeout: float = 60.0
+    reconnect_attempts: int = 8
+    backoff_base: float = 0.05
+    backoff_max: float = 2.0
 
     def build_engine(self) -> Engine:
         try:
@@ -86,17 +105,38 @@ class _Link:
     """One persistent connection with request/response semantics.
 
     ``observe`` is an optional ``(message_type, seconds) -> None`` sink
-    fed the worker-observed round-trip time of every call.
+    fed the worker-observed round-trip time of every call.  Passing
+    shared ``cancelled``/``spans`` containers lets
+    :class:`ResilientLink` carry task bookkeeping across reconnects.
     """
 
-    def __init__(self, host: str, port: int, observe=None):
-        self._sock = socket.create_connection((host, port), timeout=60)
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        observe=None,
+        connect_timeout: float = 10.0,
+        io_timeout: float = 60.0,
+        cancelled: set[int] | None = None,
+        spans: dict[int, dict] | None = None,
+    ):
+        self._sock = socket.create_connection(
+            (host, port), timeout=connect_timeout
+        )
+        self._sock.settimeout(io_timeout)
+        # The protocol is tiny request/response frames; Nagle only adds
+        # latency here.
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._reader = self._sock.makefile("rb")
-        self.cancelled: set[int] = set()
+        self.cancelled: set[int] = set() if cancelled is None else cancelled
         #: Span context of each granted task, from the assign reply's
         #: ``spans`` map; echoed back on progress/complete/cancelled.
-        self.spans: dict[int, dict] = {}
+        self.spans: dict[int, dict] = {} if spans is None else spans
         self._observe = observe
+
+    def send_raw(self, payload: bytes) -> None:
+        """Ship raw bytes, bypassing framing (fault injection only)."""
+        self._sock.sendall(payload)
 
     def call(self, message: dict) -> dict:
         started = time.perf_counter()
@@ -127,11 +167,147 @@ class _Link:
             self._sock.close()
 
 
+class ResilientLink:
+    """A self-healing connection to the master.
+
+    Wraps :class:`_Link` with reconnect-and-retry semantics: when a
+    call fails with a socket or protocol error the link is dropped and
+    re-established with exponential backoff (deterministically jittered
+    per PE), the worker re-registers under a fresh ``attempt`` id — the
+    master retires the stale registration and re-queues its tasks — and
+    the failed message is re-sent.  Cancellation flags and span
+    contexts live here, not in the transient :class:`_Link`, so they
+    survive reconnects.
+
+    An optional :class:`FaultInjector` perturbs outgoing traffic for
+    chaos tests: partitions stall the worker until the window heals,
+    dropped ``complete``/``cancelled`` frames are retransmitted
+    (at-least-once — the master dedupes), dropped polls simply yield an
+    empty grant, and corrupted frames poison the connection so the
+    reconnect path is exercised for real.
+    """
+
+    def __init__(
+        self,
+        config: WorkerConfig,
+        observe=None,
+        injector: FaultInjector | None = None,
+        clock=None,
+        on_connect=None,
+    ):
+        self._config = config
+        self._observe = observe
+        self._injector = injector
+        self._clock = clock or time.perf_counter
+        self._on_connect = on_connect
+        self.cancelled: set[int] = set()
+        self.spans: dict[int, dict] = {}
+        #: Incarnation counter sent with ``register``; bumped on every
+        #: successful (re-)connect so the master can tell a reconnect
+        #: from a duplicate.
+        self.attempt = 0
+        self._jitter = random.Random(f"repro.worker:{config.pe_id}")
+        self._link: _Link | None = None
+
+    def connect(self) -> None:
+        """(Re-)establish the link and register a fresh incarnation."""
+        config = self._config
+        delay = config.backoff_base
+        for tries in range(config.reconnect_attempts + 1):
+            link = None
+            try:
+                link = _Link(
+                    config.host,
+                    config.port,
+                    observe=self._observe,
+                    connect_timeout=config.connect_timeout,
+                    io_timeout=config.io_timeout,
+                    cancelled=self.cancelled,
+                    spans=self.spans,
+                )
+                message: dict = {"type": "register", "pe_id": config.pe_id}
+                if self.attempt:
+                    message["attempt"] = self.attempt
+                link.call(message)
+            except (OSError, ProtocolError):
+                if link is not None:
+                    link.close()
+                if tries >= config.reconnect_attempts:
+                    raise
+                time.sleep(delay * (0.5 + self._jitter.random()))
+                delay = min(delay * 2, config.backoff_max)
+                continue
+            self._link = link
+            self.attempt += 1
+            if self._on_connect is not None:
+                self._on_connect()
+            return
+
+    def _drop(self) -> None:
+        if self._link is not None:
+            self._link.close()
+            self._link = None
+
+    def _call_once(self, message: dict) -> dict:
+        """One delivery attempt, reconnecting on a broken link."""
+        config = self._config
+        for tries in range(config.reconnect_attempts + 1):
+            if self._link is None:
+                self.connect()
+            assert self._link is not None
+            try:
+                return self._link.call(message)
+            except (OSError, ProtocolError):
+                self._drop()
+                if tries >= config.reconnect_attempts:
+                    raise
+        raise ConnectionError(
+            f"{config.pe_id}: master unreachable after "
+            f"{config.reconnect_attempts} reconnect attempts"
+        )
+
+    def call(self, message: dict) -> dict:
+        mtype = str(message.get("type"))
+        injector = self._injector
+        if injector is not None:
+            pe = self._config.pe_id
+            wait = injector.partition_remaining(pe, self._clock())
+            if wait > 0:
+                time.sleep(wait)
+            action = injector.message_action(pe, mtype, now=self._clock())
+            if action == "drop":
+                if mtype in ("complete", "cancelled"):
+                    # Must-deliver message: the frame is lost, the
+                    # worker notices the missing ack and retransmits.
+                    time.sleep(_RETRANSMIT_SECONDS)
+                else:
+                    # A lost poll just looks like an empty grant.
+                    return {"type": "ack", "wait": True, "cancel": []}
+            elif action == "delay":
+                time.sleep(injector.delay_seconds)
+            elif action == "corrupt":
+                # Poison the stream: the master answers with an error
+                # and hangs up, so the resend below must reconnect.
+                link = self._link
+                if link is not None:
+                    try:
+                        link.send_raw(b"!corrupt-frame!\n")
+                    except OSError:
+                        pass
+            elif action == "duplicate":
+                self._call_once(message)  # extra copy; master dedupes
+        return self._call_once(message)
+
+    def close(self) -> None:
+        self._drop()
+
+
 def run_worker(
     config: WorkerConfig,
     metrics: MetricsRegistry | None = None,
     events: EventLog | None = None,
     clock=None,
+    faults: FaultPlan | FaultInjector | None = None,
 ) -> int:
     """Slave main loop; returns the number of tasks completed.
 
@@ -146,7 +322,14 @@ def run_worker(
     ``worker_task_start``/``worker_task_end`` events tagged with the
     span context the master forwarded, timestamped by *clock* (pass the
     server's clock so worker events merge onto the master timeline;
-    defaults to ``time.perf_counter``).
+    defaults to seconds since this worker started).
+
+    *faults* subjects this worker to a deterministic
+    :class:`~repro.faults.FaultPlan` (or an already-built, possibly
+    shared, :class:`~repro.faults.FaultInjector`): planned crashes
+    raise :class:`~repro.faults.InjectedCrash` — the worker dies
+    silently, exactly like a killed process, and the master's
+    heartbeat reaper recovers its tasks.
     """
     engine = config.build_engine()
     matrix = get_matrix(config.matrix)
@@ -154,23 +337,51 @@ def run_worker(
         metrics if metrics is not None else MetricsRegistry()
     )
     if clock is None:
-        clock = time.perf_counter
+        t0 = time.perf_counter()
+        clock = lambda: time.perf_counter() - t0  # noqa: E731
+    injector: FaultInjector | None
+    if faults is None:
+        injector = None
+    elif isinstance(faults, FaultInjector):
+        injector = faults
+    else:
+        injector = FaultInjector(faults, events=events, clock=clock)
 
     def observe_roundtrip(message_type: str, seconds: float) -> None:
         inst.roundtrip_seconds.labels(
             pe=config.pe_id, type=message_type
         ).observe(seconds)
 
+    completed = 0
+
+    def check_crash() -> None:
+        if injector is not None and injector.crash_due(
+            config.pe_id, clock(), completed
+        ):
+            injector.mark_crashed(config.pe_id, clock())
+            raise InjectedCrash(config.pe_id)
+
+    def straggle(elapsed: float) -> None:
+        if injector is not None:
+            pause = injector.straggle_sleep(config.pe_id, clock(), elapsed)
+            if pause > 0:
+                time.sleep(pause)
+
     with IndexedReader(config.query_path, alphabet=matrix.alphabet) as queries:
         database = SequenceDatabase.from_indexed(
             config.database_path, alphabet=matrix.alphabet
         )
-        link = _Link(config.host, config.port, observe=observe_roundtrip)
-        inst.connects.labels(pe=config.pe_id).inc()
-        completed = 0
+        link = ResilientLink(
+            config,
+            observe=observe_roundtrip,
+            injector=injector,
+            clock=clock,
+            on_connect=lambda: inst.connects.labels(pe=config.pe_id).inc(),
+        )
         try:
-            link.call({"type": "register", "pe_id": config.pe_id})
+            link.connect()
             while True:
+                check_crash()
                 reply = link.call({"type": "request", "pe_id": config.pe_id})
                 if reply.get("done"):
                     return completed
@@ -180,16 +391,21 @@ def run_worker(
                 tasks = [decode_task(t) for t in reply.get("tasks", [])]
                 tasks += [decode_task(t) for t in reply.get("replicas", [])]
                 for task in tasks:
+                    # A task released after a reap can be re-granted to
+                    # this same worker; a stale cancel flag from its
+                    # previous incarnation must not kill the rerun.
+                    link.cancelled.discard(task.task_id)
                     completed += _execute(
                         link, engine, config, queries, database, task,
                         events, clock,
+                        check_crash=check_crash, straggle=straggle,
                     )
         finally:
             link.close()
 
 
 def _execute(
-    link: _Link,
+    link: "_Link | ResilientLink",
     engine: Engine,
     config: WorkerConfig,
     queries: IndexedReader,
@@ -197,6 +413,8 @@ def _execute(
     task: Task,
     events: EventLog | None = None,
     clock=time.perf_counter,
+    check_crash=None,
+    straggle=None,
 ) -> int:
     query = queries[task.query_index]
     span = link.spans.get(task.task_id, {})
@@ -210,6 +428,12 @@ def _execute(
 
     def progress(chunk: ChunkProgress) -> bool:
         nonlocal last
+        if check_crash is not None:
+            check_crash()
+        if straggle is not None:
+            # Dilate the observed chunk time so the master's rate
+            # estimator sees the straggling for real.
+            straggle(time.perf_counter() - last)
         now = time.perf_counter()
         link.call(
             {

@@ -209,6 +209,12 @@ class Master:
     def pending_of(self, pe_id: str) -> tuple[int, ...]:
         return tuple(self._pes[pe_id].queue)
 
+    def is_registered(self, pe_id: str) -> bool:
+        return pe_id in self._pes
+
+    def registered_pes(self) -> tuple[str, ...]:
+        return tuple(self._pes)
+
     def merged_results(self) -> list[TaskResult]:
         """Winning result of every task, in task-id order (Fig. 4 merge)."""
         if not self.pool.all_finished:
@@ -218,13 +224,21 @@ class Master:
     # ------------------------------------------------------------------
     # Slave-facing protocol
     # ------------------------------------------------------------------
-    def register(self, pe_id: str, now: float = 0.0) -> None:
-        """A slave announces itself (Fig. 4, *register with master*)."""
+    def register(self, pe_id: str, now: float = 0.0, attempt: int = 0) -> None:
+        """A slave announces itself (Fig. 4, *register with master*).
+
+        ``attempt`` is the slave's reconnect attempt id — ``0`` for the
+        first registration of a run, incremented by the resilient
+        cluster transport each time the worker re-registers after a
+        reconnect.  It only annotates the event log; re-registration
+        itself is deregister-then-register at the call site.
+        """
         if pe_id in self._pes:
             raise ValueError(f"PE {pe_id!r} registered twice")
         self._pes[pe_id] = _PEState(last_contact=now)
         self.history.register(pe_id)
-        self._record("register", now, pe_id)
+        extra = {"attempt": attempt} if attempt else {}
+        self._record("register", now, pe_id, **extra)
         self._sync_pool_gauges()
         self._sync_queue_gauge(pe_id)
 
@@ -248,10 +262,12 @@ class Master:
             if now - state.last_contact > timeout
         ]
         for pe_id in silent:
-            self.deregister(pe_id, now)
+            self.deregister(pe_id, now, reason="reap")
         return tuple(silent)
 
-    def deregister(self, pe_id: str, now: float = 0.0) -> tuple[int, ...]:
+    def deregister(
+        self, pe_id: str, now: float = 0.0, reason: str = "leave"
+    ) -> tuple[int, ...]:
         """A slave leaves the platform (churn or failure).
 
         Every task the slave still held is released; tasks it was the
@@ -268,7 +284,10 @@ class Master:
         for key in [k for k in self._active_spans if k[0] == pe_id]:
             del self._active_spans[key]
         self.history.remove(pe_id)
-        self._record("deregister", now, pe_id, released=list(released))
+        self._record(
+            "deregister", now, pe_id,
+            released=list(released), reason=reason,
+        )
         self._sync_pool_gauges()
         self._sync_queue_gauge(pe_id)
         return released
@@ -276,8 +295,15 @@ class Master:
     def on_progress(
         self, pe_id: str, now: float, cells: float, interval: float
     ) -> None:
-        """Periodic progress notification (the PSS input stream)."""
-        state = self._pes[pe_id]
+        """Periodic progress notification (the PSS input stream).
+
+        Notifications from PEs that are not (or no longer) registered —
+        e.g. a reaped slave whose messages were in flight — are dropped
+        silently; the slave re-registers on its next request.
+        """
+        state = self._pes.get(pe_id)
+        if state is None:
+            return
         state.last_contact = now
         sample = RateSample(time=now, cells=cells, interval=interval)
         self.history.observe(pe_id, sample)
@@ -358,14 +384,21 @@ class Master:
         """A slave finished a task; returns the PEs to cancel.
 
         The first completion wins and its result is merged; a stale
-        completion (the task already finished elsewhere) is dropped, as
-        the mechanism prescribes.
+        completion (the task already finished elsewhere, or the same
+        result delivered twice by an at-least-once transport) is
+        dropped, as the mechanism prescribes.  Completions from PEs
+        that were reaped or re-registered meanwhile are *adopted*: the
+        work is real, so if the task is still unfinished this result
+        wins and any replicas are cancelled.
         """
-        state = self._pes[pe_id]
-        state.last_contact = now
-        if result.task_id in state.queue:
-            state.queue.remove(result.task_id)
-        first, losers = self.pool.complete(result.task_id, pe_id)
+        state = self._pes.get(pe_id)
+        if state is not None:
+            state.last_contact = now
+            if result.task_id in state.queue:
+                state.queue.remove(result.task_id)
+        first, losers = self.pool.complete(
+            result.task_id, pe_id, adopt=True
+        )
         if first:
             self.results[result.task_id] = result
         self._record(

@@ -19,11 +19,12 @@ import time
 from dataclasses import dataclass, field
 
 from ..align.api import SearchHit
+from ..faults import FaultInjector, FaultPlan, InjectedCrash
 from ..observability import EventLog, MetricsRegistry, finalize_run_metrics
 from ..sequences.database import SequenceDatabase
 from ..sequences.records import Sequence
 from .engines import ChunkProgress, Engine
-from .master import Master, TraceEvent
+from .master import Assignment, Master, TraceEvent
 from .policies import AllocationPolicy, PackageWeightedSelfScheduling
 from .results import merge_hits, offset_hits
 from .task import Task, TaskResult
@@ -32,6 +33,14 @@ __all__ = ["RunReport", "HybridRuntime", "build_tasks"]
 
 #: Idle slaves poll the master at this period when told to wait.
 _WAIT_POLL_SECONDS = 0.002
+
+#: Heartbeat reap timeout used when faults are injected but no explicit
+#: ``heartbeat_timeout`` was given — generous against progress
+#: notifications that arrive every few milliseconds.
+_DEFAULT_HEARTBEAT_SECONDS = 1.0
+
+#: Pause before a dropped-but-required message is retransmitted.
+_RETRANSMIT_SECONDS = 0.005
 
 
 def build_tasks(
@@ -89,6 +98,20 @@ class _SharedMaster:
     def __init__(self, master: Master):
         self._master = master
         self._lock = threading.Lock()
+        self._attempts: dict[str, int] = {}
+
+    def _ensure(self, pe_id: str, now: float) -> None:
+        """Re-register a PE the master reaped while it was still alive.
+
+        Caller holds the lock.  Mirrors the cluster server: a slave
+        that was deregistered (heartbeat reap) but keeps talking simply
+        rejoins under a fresh attempt id; its released tasks are
+        already back in the ready queue.
+        """
+        if not self._master.is_registered(pe_id):
+            attempt = self._attempts.get(pe_id, 0) + 1
+            self._attempts[pe_id] = attempt
+            self._master.register(pe_id, now, attempt=attempt)
 
     def register(self, pe_id: str, now: float):
         with self._lock:
@@ -96,19 +119,121 @@ class _SharedMaster:
 
     def request(self, pe_id: str, now: float):
         with self._lock:
+            self._ensure(pe_id, now)
             return self._master.on_request(pe_id, now)
 
     def progress(self, pe_id: str, now: float, cells: float, interval: float):
         with self._lock:
+            self._ensure(pe_id, now)
             self._master.on_progress(pe_id, now, cells, interval)
 
     def complete(self, pe_id: str, result: TaskResult, now: float):
         with self._lock:
+            self._ensure(pe_id, now)
             return self._master.on_complete(pe_id, result, now)
 
     def cancelled(self, pe_id: str, task_id: int, now: float):
         with self._lock:
+            self._ensure(pe_id, now)
             self._master.on_cancelled(pe_id, task_id, now)
+
+    def reap(self, now: float, timeout: float) -> tuple[str, ...]:
+        with self._lock:
+            if self._master.finished:
+                return ()
+            return self._master.reap_silent(now, timeout)
+
+    @property
+    def finished(self) -> bool:
+        with self._lock:
+            return self._master.finished
+
+
+class _FaultyChannel:
+    """Transport-fault decorator over :class:`_SharedMaster`.
+
+    Models the worker-master link as at-least-once: messages the
+    protocol cannot afford to lose (``complete``/``cancelled``) are
+    retransmitted after a short pause instead of vanishing, while
+    ``request`` polls and ``progress`` samples are genuinely lossy (the
+    worker polls again / the next sample subsumes the lost one).
+    Partitioned PEs stall: their deliveries block until the window
+    heals, which is exactly what lets the heartbeat reaper fire.
+    """
+
+    def __init__(self, shared: _SharedMaster, injector: FaultInjector, clock):
+        self._shared = shared
+        self._injector = injector
+        self._clock = clock
+
+    def register(self, pe_id: str, now: float):
+        self._shared.register(pe_id, now)
+
+    def request(self, pe_id: str, now: float):
+        if self._injector.partition_remaining(pe_id, now) > 0:
+            time.sleep(_WAIT_POLL_SECONDS)
+            return Assignment()
+        action = self._injector.message_action(
+            pe_id, "request", now, allow=("drop", "delay")
+        )
+        if action == "drop":
+            return Assignment()  # lost poll: the worker asks again
+        if action == "delay":
+            time.sleep(self._injector.delay_seconds)
+        return self._shared.request(pe_id, self._clock())
+
+    def progress(self, pe_id: str, now: float, cells: float, interval: float):
+        if self._injector.partition_remaining(pe_id, now) > 0:
+            return  # sample lost in the partition
+        action = self._injector.message_action(
+            pe_id, "progress", now, allow=("drop", "duplicate", "delay")
+        )
+        if action == "drop":
+            return
+        if action == "delay":
+            time.sleep(self._injector.delay_seconds)
+            now = self._clock()
+        self._shared.progress(pe_id, now, cells, interval)
+        if action == "duplicate":
+            self._shared.progress(pe_id, now, cells, interval)
+
+    def complete(self, pe_id: str, result: TaskResult, now: float):
+        wait = self._injector.partition_remaining(pe_id, now)
+        if wait > 0:
+            time.sleep(wait)
+            now = self._clock()
+        action = self._injector.message_action(
+            pe_id, "complete", now, allow=("drop", "duplicate", "delay")
+        )
+        if action == "drop":
+            time.sleep(_RETRANSMIT_SECONDS)  # retransmission pause
+            now = self._clock()
+        elif action == "delay":
+            time.sleep(self._injector.delay_seconds)
+            now = self._clock()
+        losers = self._shared.complete(pe_id, result, now)
+        if action == "duplicate":
+            # The duplicate is stale by definition; the master dedupes.
+            self._shared.complete(pe_id, result, self._clock())
+        return losers
+
+    def cancelled(self, pe_id: str, task_id: int, now: float):
+        wait = self._injector.partition_remaining(pe_id, now)
+        if wait > 0:
+            time.sleep(wait)
+            now = self._clock()
+        action = self._injector.message_action(
+            pe_id, "cancelled", now, allow=("drop", "duplicate", "delay")
+        )
+        if action == "drop":
+            time.sleep(_RETRANSMIT_SECONDS)
+            now = self._clock()
+        elif action == "delay":
+            time.sleep(self._injector.delay_seconds)
+            now = self._clock()
+        self._shared.cancelled(pe_id, task_id, now)
+        if action == "duplicate":
+            self._shared.cancelled(pe_id, task_id, self._clock())
 
 
 class _Worker(threading.Thread):
@@ -125,6 +250,7 @@ class _Worker(threading.Thread):
         cancel_flags: dict[str, set[int]],
         cancel_lock: threading.Lock,
         clock,
+        injector: FaultInjector | None = None,
     ):
         super().__init__(name=pe_id, daemon=True)
         self.pe_id = pe_id
@@ -136,6 +262,7 @@ class _Worker(threading.Thread):
         self.cancel_flags = cancel_flags
         self.cancel_lock = cancel_lock
         self.clock = clock
+        self.injector = injector
         self.tasks_done = 0
         self.error: BaseException | None = None
 
@@ -149,8 +276,18 @@ class _Worker(threading.Thread):
         with self.cancel_lock:
             return task_id in self.cancel_flags[self.pe_id]
 
+    def _check_crash(self) -> None:
+        """Die silently if the fault plan says this PE crashes now."""
+        if self.injector is None:
+            return
+        now = self.clock()
+        if self.injector.crash_due(self.pe_id, now, self.tasks_done):
+            self.injector.mark_crashed(self.pe_id, now)
+            raise InjectedCrash(self.pe_id)
+
     def _serve(self) -> None:
         while True:
+            self._check_crash()
             assignment = self.shared.request(self.pe_id, self.clock())
             if assignment.done:
                 return
@@ -168,9 +305,17 @@ class _Worker(threading.Thread):
         state = {"last": last_notify}
 
         def progress(chunk: ChunkProgress) -> bool:
+            self._check_crash()  # crashes can fire mid-task
             now = self.clock()
             interval = now - state["last"]
             state["last"] = now
+            if self.injector is not None:
+                pause = self.injector.straggle_sleep(
+                    self.pe_id, now, interval
+                )
+                if pause > 0:
+                    time.sleep(pause)
+                    now = self.clock()
             self.shared.progress(self.pe_id, now, chunk.cells, interval)
             return not self._cancelled(task.task_id)
 
@@ -207,6 +352,8 @@ class HybridRuntime:
         policy: AllocationPolicy | None = None,
         adjustment: bool = True,
         omega: int = 8,
+        faults: FaultPlan | None = None,
+        heartbeat_timeout: float | None = None,
     ):
         if not engines:
             raise ValueError("at least one engine is required")
@@ -214,6 +361,11 @@ class HybridRuntime:
         self.policy = policy or PackageWeightedSelfScheduling()
         self.adjustment = adjustment
         self.omega = omega
+        #: Optional fault plan injected at the worker/master boundary.
+        self.faults = faults
+        #: Reap slaves silent for this long.  ``None`` enables a safe
+        #: default whenever faults are injected; ``0`` disables reaping.
+        self.heartbeat_timeout = heartbeat_timeout
 
     def run(
         self,
@@ -259,30 +411,65 @@ class HybridRuntime:
         def clock() -> float:
             return time.perf_counter() - start
 
+        injector = (
+            FaultInjector(self.faults, events=events, clock=clock)
+            if self.faults is not None
+            else None
+        )
+        channel = (
+            _FaultyChannel(shared, injector, clock)
+            if injector is not None
+            else shared
+        )
+        heartbeat = self.heartbeat_timeout
+        if heartbeat is None and self.faults is not None:
+            heartbeat = _DEFAULT_HEARTBEAT_SECONDS
+
         cancel_lock = threading.Lock()
         cancel_flags: dict[str, set[int]] = {pe: set() for pe in self.engines}
         workers = [
             _Worker(
                 pe_id,
                 engine,
-                shared,
+                channel,
                 queries,
                 chunks,
                 offsets,
                 cancel_flags,
                 cancel_lock,
                 clock,
+                injector,
             )
             for pe_id, engine in self.engines.items()
         ]
         for worker in workers:
             shared.register(worker.pe_id, clock())
+
+        reaper_stop = threading.Event()
+        reaper: threading.Thread | None = None
+        if heartbeat:
+            def _reap_loop() -> None:
+                while not reaper_stop.wait(heartbeat / 4):
+                    if shared.finished:
+                        return
+                    shared.reap(clock(), heartbeat)
+
+            reaper = threading.Thread(
+                target=_reap_loop, name="reaper", daemon=True
+            )
+            reaper.start()
+
         for worker in workers:
             worker.start()
         for worker in workers:
             worker.join()
+        reaper_stop.set()
+        if reaper is not None:
+            reaper.join()
         for worker in workers:
-            if worker.error is not None:
+            if worker.error is not None and not isinstance(
+                worker.error, InjectedCrash
+            ):
                 raise worker.error
         makespan = clock()
 

@@ -146,6 +146,14 @@ class TaskPool:
     def all_finished(self) -> bool:
         return self.num_finished == len(self._records)
 
+    def unfinished_ids(self) -> list[int]:
+        """Task ids not yet FINISHED, in id order (for diagnostics)."""
+        return sorted(
+            task_id
+            for task_id, r in self._records.items()
+            if r.state is not TaskState.FINISHED
+        )
+
     def executing_tasks(self) -> list[Task]:
         return [
             r.task
@@ -191,21 +199,35 @@ class TaskPool:
         record.executors.add(pe_id)
         return record.task
 
-    def complete(self, task_id: int, pe_id: str) -> tuple[bool, frozenset[str]]:
+    def complete(
+        self, task_id: int, pe_id: str, adopt: bool = False
+    ) -> tuple[bool, frozenset[str]]:
         """Record that *pe_id* finished *task_id*.
 
         Returns ``(first, losers)``: *first* is False for a stale
         completion (another executor won the race — the result must be
         discarded), and *losers* is the set of other PEs whose replicas
         should now be cancelled.
+
+        With ``adopt=True`` a completion from a PE that is *not* a
+        registered executor of an unfinished task is accepted instead
+        of rejected.  That is the at-least-once path: a reaped or
+        re-registered worker whose queue was released may still hand in
+        real finished work, and discarding it would waste the
+        computation.  First-winner semantics are unchanged — if the
+        task already FINISHED the adoption is stale.
         """
         record = self._records[task_id]
         if record.state is TaskState.FINISHED:
             return False, frozenset()
         if pe_id not in record.executors:
-            raise TaskPoolError(
-                f"PE {pe_id!r} completed task {task_id} it never acquired"
-            )
+            if not adopt:
+                raise TaskPoolError(
+                    f"PE {pe_id!r} completed task {task_id} it never acquired"
+                )
+            if record.state is TaskState.READY:
+                self._ready.remove(task_id)
+            record.executors.add(pe_id)
         record.state = TaskState.FINISHED
         record.finished_by = pe_id
         losers = frozenset(record.executors - {pe_id})
@@ -224,6 +246,9 @@ class TaskPool:
         if record.state is TaskState.FINISHED:
             return  # post-finish cancellation: nothing to do
         record.executors.discard(pe_id)
-        if not record.executors:
+        if not record.executors and record.state is not TaskState.READY:
+            # The READY guard makes release idempotent: an at-least-once
+            # transport may deliver the same cancellation twice, and the
+            # task must not be enqueued twice.
             record.state = TaskState.READY
             self._ready.insert(0, task_id)  # back of the FIFO

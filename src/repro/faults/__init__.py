@@ -1,0 +1,34 @@
+"""Deterministic fault injection for all three execution environments.
+
+``FaultPlan`` describes what goes wrong (crashes, stragglers, message
+faults, partitions) as immutable JSON-serialisable data;
+``FaultInjector`` turns a plan into seed-deterministic runtime
+decisions and records every fired fault into the run's ``EventLog``.
+The DES simulator schedules plan faults as events, the threaded runtime
+and TCP cluster apply them at the transport boundary.  See
+``docs/robustness.md`` for the failure model and recovery guarantees.
+"""
+
+from .injector import MESSAGE_ACTIONS, FaultInjector, InjectedCrash
+from .plan import (
+    FAULT_PLAN_SCHEMA,
+    CrashFault,
+    FaultPlan,
+    FaultPlanError,
+    MessageFaults,
+    PartitionFault,
+    StragglerFault,
+)
+
+__all__ = [
+    "FAULT_PLAN_SCHEMA",
+    "MESSAGE_ACTIONS",
+    "CrashFault",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "InjectedCrash",
+    "MessageFaults",
+    "PartitionFault",
+    "StragglerFault",
+]

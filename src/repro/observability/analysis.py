@@ -15,7 +15,10 @@ are the ones the paper's evaluation argues with:
 * the Omega-window rate reconstruction per PE (replaying the PSS
   estimator over the logged progress notifications);
 * the critical path (the longest causal chain of executions ending at
-  the makespan).
+  the makespan);
+* the fault/recovery summary (``fault_*`` events injected by
+  :mod:`repro.faults`, heartbeat reaps, and the reap -> release ->
+  reassign -> recover chain of every released task).
 
 Timeline reconstruction replays each PE's FIFO queue: a granted task
 starts executing at ``max(assignment time, previous execution's end)``
@@ -158,6 +161,9 @@ class TraceAnalysis:
     critical_path: list[tuple[str, int]]
     rate_series: dict[str, list[tuple[float, float]]]
     events_by_kind: dict[str, int]
+    #: Injected-fault and recovery diagnostics (see ``_fault_summary``);
+    #: all zeros/empty on a fault-free run.
+    faults: dict = field(default_factory=dict)
 
     @property
     def intervals(self) -> list[ExecutionInterval]:
@@ -192,6 +198,7 @@ class TraceAnalysis:
             "span_structure": span_structure(self.spans),
             "spans": [span.as_dict() for span in self.spans],
             "events_by_kind": dict(sorted(self.events_by_kind.items())),
+            "faults": self.faults,
         }
 
     def metric_names(self) -> tuple[str, ...]:
@@ -233,6 +240,11 @@ def analyze_events(
     estimators: dict[str, _OmegaEstimator] = {}
     rate_series: dict[str, list[tuple[float, float]]] = {}
     events_by_kind: dict[str, int] = {}
+    fault_counts: dict[str, int] = {}
+    reap_count = 0
+    recovery_chains: list[dict] = []
+    #: task id -> the newest recovery chain still watching it.
+    release_watch: dict[int, dict] = {}
     horizon = 0.0
     makespan = 0.0
 
@@ -243,6 +255,9 @@ def analyze_events(
         events_by_kind[kind] = events_by_kind.get(kind, 0) + 1
         pe = str(event.get("pe", ""))
         task = int(event.get("task", -1))
+        if kind.startswith("fault_"):
+            name = kind[len("fault_"):]
+            fault_counts[name] = fault_counts.get(name, 0) + 1
         if kind == "register":
             registered.setdefault(pe, time)
             per_pe.setdefault(pe, [])
@@ -250,6 +265,9 @@ def analyze_events(
             record = _Pending(task, time, kind)
             per_pe.setdefault(pe, []).append(record)
             open_by_key.setdefault((pe, task), []).append(record)
+            chain = release_watch.get(task)
+            if chain is not None and task not in chain["reassigned"]:
+                chain["reassigned"].append(task)
         elif kind == "complete":
             pending = open_by_key.get((pe, task))
             if pending:
@@ -260,6 +278,10 @@ def analyze_events(
                 record.reason = "complete"
                 if won:
                     makespan = max(makespan, time)
+            if bool(event.get("value", 0.0)):
+                chain = release_watch.pop(task, None)
+                if chain is not None and task not in chain["recovered"]:
+                    chain["recovered"].append(task)
         elif kind == "cancelled":
             pending = open_by_key.get((pe, task))
             if pending:
@@ -276,6 +298,23 @@ def analyze_events(
                     record.status = "released"
                     record.reason = "released"
                 pending.clear()
+            reason = str(event.get("reason", "leave"))
+            if reason == "reap":
+                reap_count += 1
+            released = [int(t) for t in event.get("released", ())]
+            if released:
+                # One reap/leave -> release -> reassign -> recover chain.
+                chain = {
+                    "pe": pe,
+                    "time": time,
+                    "reason": reason,
+                    "tasks": released,
+                    "reassigned": [],
+                    "recovered": [],
+                }
+                recovery_chains.append(chain)
+                for task_id in released:
+                    release_watch[task_id] = chain
         elif kind == "progress":
             estimator = estimators.get(pe)
             if estimator is None:
@@ -366,6 +405,20 @@ def analyze_events(
 
     critical_seconds, critical_path = _critical_path(timelines)
 
+    faults = {
+        "injected": dict(sorted(fault_counts.items())),
+        "total_injected": sum(fault_counts.values()),
+        "reaps": reap_count,
+        "released_tasks": sum(len(c["tasks"]) for c in recovery_chains),
+        "reassigned_tasks": sum(
+            len(c["reassigned"]) for c in recovery_chains
+        ),
+        "recovered_tasks": sum(
+            len(c["recovered"]) for c in recovery_chains
+        ),
+        "recoveries": recovery_chains,
+    }
+
     return TraceAnalysis(
         makespan=makespan,
         horizon=horizon,
@@ -381,6 +434,7 @@ def analyze_events(
         critical_path=critical_path,
         rate_series=rate_series,
         events_by_kind=events_by_kind,
+        faults=faults,
     )
 
 
@@ -442,6 +496,31 @@ def format_report(analysis: TraceAnalysis) -> str:
         f"  (n={int(latency['count'])})",
         f"  critical path       {analysis.critical_path_seconds:12.3f} s"
         f"  over {len(path)} execution(s)",
+    ]
+    faults = analysis.faults
+    if faults.get("total_injected") or faults.get("reaps"):
+        injected = ", ".join(
+            f"{name}={count}"
+            for name, count in faults.get("injected", {}).items()
+        )
+        lines.append(
+            f"  faults injected     {faults.get('total_injected', 0):8d}"
+            + (f"  ({injected})" if injected else "")
+        )
+        lines.append(
+            f"  recovery            reaps={faults.get('reaps', 0)}"
+            f"  released={faults.get('released_tasks', 0)}"
+            f"  reassigned={faults.get('reassigned_tasks', 0)}"
+            f"  recovered={faults.get('recovered_tasks', 0)}"
+        )
+        for chain in faults.get("recoveries", []):
+            lines.append(
+                f"    {chain['reason']} {chain['pe']} @ "
+                f"{chain['time']:.3f}s released {chain['tasks']} -> "
+                f"reassigned {chain['reassigned']} -> "
+                f"recovered {chain['recovered']}"
+            )
+    lines += [
         "",
         f"  {'pe':<10} {'busy s':>10} {'idle s':>10} {'util':>6} "
         f"{'won':>5} {'lost':>5} {'Omega-rate':>12}",

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from ..core.master import Master, TraceEvent
 from ..core.policies import AllocationPolicy, PackageWeightedSelfScheduling
 from ..core.task import Task, TaskResult
+from ..faults import FaultInjector, FaultPlan
 from ..observability import EventLog, MetricsRegistry, finalize_run_metrics
 from .events import EventHandle, EventQueue
 from .network import NetworkModel
@@ -163,12 +164,15 @@ class _SimPE:
     __slots__ = (
         "spec", "capacity", "queue", "current", "total_work", "done_work",
         "rate", "task_start", "last_update", "processed", "last_reported",
-        "completion", "finished", "intervals",
+        "completion", "finished", "intervals", "fault_factor",
+        "tasks_completed",
     )
 
     def __init__(self, spec: PESpec):
         self.spec = spec
         self.capacity = 1.0
+        self.fault_factor = 1.0  # straggler slow-down multiplier
+        self.tasks_completed = 0  # local completions (drives crash-after-N)
         self.queue: deque[Task] = deque()
         self.current: Task | None = None
         self.total_work = 0.0
@@ -208,6 +212,8 @@ class HybridSimulator:
         network: "NetworkModel | None" = None,
         master_service_time: float = 0.0,
         checkpoint_replicas: bool = False,
+        faults: FaultPlan | None = None,
+        heartbeat_timeout: float | None = None,
     ):
         if not pes:
             raise ValueError("at least one PE is required")
@@ -238,6 +244,14 @@ class HybridSimulator:
         #: the replication mechanism could gain if tasks were
         #: checkpointable.
         self.checkpoint_replicas = checkpoint_replicas
+        #: Optional seed-deterministic fault plan; crashes, stragglers,
+        #: message faults and partitions become scheduled events.
+        self.faults = faults
+        #: Reap slaves silent for this long (virtual seconds).  ``None``
+        #: enables ``10 x notify_interval`` whenever faults are
+        #: injected; ``0`` disables reaping (a crash with no reaper can
+        #: strand tasks and the run will fail loudly).
+        self.heartbeat_timeout = heartbeat_timeout
 
     # ------------------------------------------------------------------
     def run(self, tasks: list[Task]) -> SimReport:
@@ -259,7 +273,38 @@ class HybridSimulator:
             events=events,
         )
         pes = {spec.pe_id: _SimPE(spec) for spec in self.specs}
-        state = _RunState(queue, master, pes, self)
+        injector = None
+        heartbeat = self.heartbeat_timeout
+        if self.faults is not None:
+            injector = FaultInjector(
+                self.faults, events=events, clock=lambda: queue.now
+            )
+            if heartbeat is None:
+                heartbeat = 10 * self.notify_interval
+        state = _RunState(
+            queue, master, pes, self, injector, heartbeat or 0.0
+        )
+
+        if injector is not None:
+            for crash in self.faults.crashes:
+                pe = pes.get(crash.pe_id)
+                if pe is not None and crash.at_time is not None:
+                    queue.schedule(
+                        crash.at_time, lambda p=pe: state.on_crash(p)
+                    )
+            for straggler in self.faults.stragglers:
+                pe = pes.get(straggler.pe_id)
+                if pe is None:
+                    continue
+                queue.schedule(
+                    straggler.start, lambda p=pe: state.on_straggle(p)
+                )
+                if straggler.end is not None:
+                    queue.schedule(
+                        straggler.end, lambda p=pe: state.on_straggle(p)
+                    )
+        if heartbeat:
+            queue.schedule(heartbeat / 4, state.on_reap)
 
         for spec in self.specs:
             pe = pes[spec.pe_id]
@@ -326,12 +371,17 @@ class _RunState:
         master: Master,
         pes: dict[str, _SimPE],
         config: HybridSimulator,
+        injector: FaultInjector | None = None,
+        heartbeat: float = 0.0,
     ):
         self.queue = queue
         self.master = master
         self.pes = pes
         self.config = config
+        self.injector = injector
+        self.heartbeat = heartbeat
         self._master_free_at = 0.0  # serial master-CPU availability
+        self._pending_restarts = 0  # keeps the reaper alive across gaps
 
     # -- communication costs ----------------------------------------------
     def _uplink(self, pe: _SimPE) -> float:
@@ -394,7 +444,7 @@ class _RunState:
             pe.done_work = pe.total_work * self._checkpoint_fraction(
                 task, exclude=pe
             )
-        pe.rate = model.task_rate(task) * pe.capacity
+        pe.rate = model.task_rate(task) * pe.capacity * pe.fault_factor
         pe.task_start = self.queue.now
         pe.last_update = self.queue.now
         self._schedule_completion(pe)
@@ -427,9 +477,53 @@ class _RunState:
 
     # -- event handlers ---------------------------------------------------
     def on_request(self, pe: _SimPE) -> None:
-        """An idle slave asks the master for work."""
+        """An idle slave asks the master for work.
+
+        With faults injected the request first crosses the transport
+        gate: partitioned PEs retry once the window heals, dropped or
+        corrupted requests retry after ``retry_interval`` (the slave
+        gets no reply and asks again), delayed requests arrive late.
+        """
         if pe.finished:
             return
+        if self.injector is not None:
+            now = self.queue.now
+            wait = self.injector.partition_remaining(pe.pe_id, now)
+            if wait > 0:
+                self.queue.schedule(
+                    now + wait + self._uplink(pe),
+                    lambda p=pe: self.on_request(p),
+                )
+                return
+            action = self.injector.message_action(
+                pe.pe_id, "request", now,
+                allow=("drop", "delay", "corrupt"),
+            )
+            if action in ("drop", "corrupt"):
+                self.queue.schedule(
+                    now + self.config.retry_interval,
+                    lambda p=pe: self.on_request(p),
+                )
+                return
+            if action == "delay":
+                self.queue.schedule(
+                    now + self.injector.delay_seconds,
+                    lambda p=pe: self._do_request(p),
+                )
+                return
+        self._do_request(pe)
+
+    def _do_request(self, pe: _SimPE) -> None:
+        """The request actually reaches the master."""
+        if pe.finished:
+            return
+        if (
+            self.injector is not None
+            and not self.master.is_registered(pe.pe_id)
+        ):
+            # The reaper deregistered this PE while it was partitioned
+            # or its messages were lost; it simply rejoins.
+            self.master.register(pe.pe_id, self.queue.now)
         assignment = self.master.on_request(pe.pe_id, self.queue.now)
         if assignment.done:
             pe.finished = True
@@ -463,35 +557,127 @@ class _RunState:
         )
 
     def on_complete(self, pe: _SimPE, task: Task) -> None:
-        """A slave finishes (or loses the race for) a task."""
+        """A slave finishes (or loses the race for) a task.
+
+        The local completion (the PE's own bookkeeping) is separated
+        from the delivery of the result to the master so the transport
+        gate can drop, duplicate, delay or defer the upload; the PE
+        moves on to its next task either way.
+        """
         self._advance(pe)
         pe.done_work = pe.total_work  # authoritative at completion time
         now = self.queue.now
+        pe.tasks_completed += 1
         result = TaskResult(
             task_id=task.task_id,
             pe_id=pe.pe_id,
             elapsed=max(now - pe.task_start, 1e-12),
             cells=task.cells,
         )
-        losers = self.master.on_complete(pe.pe_id, result, now)
-        won = self.master.pool.finished_by(task.task_id) == pe.pe_id
-        pe.intervals.append(
-            TaskInterval(
-                pe_id=pe.pe_id,
-                task_id=task.task_id,
-                start=pe.task_start,
-                end=now,
-                outcome="won" if won else "lost",
-            )
-        )
+        start, end = pe.task_start, now
         pe.current = None
         pe.completion = None
+        crash_now = (
+            self.injector is not None
+            and self.injector.crash_due(pe.pe_id, now, pe.tasks_completed)
+        )
+        self._send_complete(pe, task, result, start, end, {"recorded": False})
+        if crash_now:
+            self.on_crash(pe)
+            return
+        self._become_idle(pe)
+
+    def _send_complete(
+        self,
+        pe: _SimPE,
+        task: Task,
+        result: TaskResult,
+        start: float,
+        end: float,
+        pending: dict,
+    ) -> None:
+        """Transport gate for the result upload (at-least-once).
+
+        A dropped/corrupted upload is retransmitted after
+        ``retry_interval``; a partitioned PE's upload is held until the
+        window heals; a PE that crashed before its deferred upload left
+        the host loses the result entirely (the reaper recovers the
+        task).  ``pending`` makes the execution interval recorded
+        exactly once even when the message is duplicated.
+        """
+        now = self.queue.now
+        if self.injector is not None:
+            if self.injector.crashed(pe.pe_id):
+                return  # died with the result still on the host
+            wait = self.injector.partition_remaining(pe.pe_id, now)
+            if wait > 0:
+                self.queue.schedule(
+                    now + wait + self._upload(pe),
+                    lambda: self._send_complete(
+                        pe, task, result, start, end, pending
+                    ),
+                )
+                return
+            action = self.injector.message_action(
+                pe.pe_id, "complete", now,
+                allow=("drop", "duplicate", "delay", "corrupt"),
+            )
+            if action in ("drop", "corrupt"):
+                self.queue.schedule(
+                    now + self.config.retry_interval,
+                    lambda: self._send_complete(
+                        pe, task, result, start, end, pending
+                    ),
+                )
+                return
+            if action == "delay":
+                self.queue.schedule(
+                    now + self.injector.delay_seconds,
+                    lambda: self._deliver_complete(
+                        pe, task, result, start, end, pending
+                    ),
+                )
+                return
+            if action == "duplicate":
+                self._deliver_complete(pe, task, result, start, end, pending)
+        self._deliver_complete(pe, task, result, start, end, pending)
+
+    def _deliver_complete(
+        self,
+        pe: _SimPE,
+        task: Task,
+        result: TaskResult,
+        start: float,
+        end: float,
+        pending: dict,
+    ) -> None:
+        """The result reaches the master; first delivery decides the race."""
+        losers = self.master.on_complete(pe.pe_id, result, self.queue.now)
+        won = self.master.pool.finished_by(task.task_id) == pe.pe_id
+        if not pending["recorded"]:
+            pending["recorded"] = True
+            pe.intervals.append(
+                TaskInterval(
+                    pe_id=pe.pe_id,
+                    task_id=task.task_id,
+                    start=start,
+                    end=end,
+                    outcome="won" if won else "lost",
+                )
+            )
         for loser_id in losers:
             self._cancel(self.pes[loser_id], task.task_id)
-        self._become_idle(pe)
 
     def _cancel(self, pe: _SimPE, task_id: int) -> None:
         """Master-initiated cancellation of a losing replica."""
+        if (
+            self.injector is not None
+            and self.injector.partitioned(pe.pe_id, self.queue.now)
+        ):
+            # The cancel message cannot reach a partitioned PE: it
+            # keeps computing and its eventual completion arrives
+            # stale, exactly as on a real network.
+            return
         if pe.current is not None and pe.current.task_id == task_id:
             self._advance(pe)
             if pe.completion is not None:
@@ -522,18 +708,51 @@ class _RunState:
                 return
 
     def on_notify(self, pe: _SimPE) -> None:
-        """Periodic progress notification (the PSS input stream)."""
+        """Periodic progress notification (the PSS input stream).
+
+        Samples lost to drops or partitions are not retransmitted —
+        the next successful notification reports the accumulated delta,
+        which is exactly how a cumulative progress counter behaves.
+        """
         if pe.finished:
             return
         self._advance(pe)
+        now = self.queue.now
         delta = pe.processed - pe.last_reported
-        if delta > 0:
+        deliver = delta > 0
+        if deliver and self.injector is not None:
+            if self.injector.partition_remaining(pe.pe_id, now) > 0:
+                deliver = False
+            else:
+                action = self.injector.message_action(
+                    pe.pe_id, "progress", now,
+                    allow=("drop", "duplicate", "delay", "corrupt"),
+                )
+                if action in ("drop", "corrupt"):
+                    deliver = False
+                elif action == "delay":
+                    deliver = False
+                    pe.last_reported = pe.processed
+                    interval = self.config.notify_interval
+                    self.queue.schedule(
+                        now + self.injector.delay_seconds,
+                        lambda p=pe, d=delta, i=interval: (
+                            self.master.on_progress(
+                                p.pe_id, self.queue.now, d, i
+                            )
+                        ),
+                    )
+                elif action == "duplicate":
+                    self.master.on_progress(
+                        pe.pe_id, now, delta, self.config.notify_interval
+                    )
+        if deliver:
             self.master.on_progress(
-                pe.pe_id, self.queue.now, delta, self.config.notify_interval
+                pe.pe_id, now, delta, self.config.notify_interval
             )
             pe.last_reported = pe.processed
         self.queue.schedule(
-            self.queue.now + self.config.notify_interval,
+            now + self.config.notify_interval,
             lambda p=pe: self.on_notify(p),
         )
 
@@ -581,5 +800,107 @@ class _RunState:
         self._advance(pe)
         pe.capacity = capacity
         if pe.current is not None:
-            pe.rate = pe.spec.model.task_rate(pe.current) * capacity
+            pe.rate = (
+                pe.spec.model.task_rate(pe.current)
+                * capacity
+                * pe.fault_factor
+            )
             self._schedule_completion(pe)
+
+    # -- fault handlers ---------------------------------------------------
+    def on_crash(self, pe: _SimPE) -> None:
+        """Injected crash: the PE dies silently, mid-task or not.
+
+        Unlike :meth:`on_leave` there is no goodbye to the master — its
+        tasks stay EXECUTING until the heartbeat reaper notices the
+        silence and releases them, which is the whole recovery path
+        this layer exists to exercise.
+        """
+        if pe.finished or self.injector is None:
+            return
+        now = self.queue.now
+        if not self.injector.mark_crashed(pe.pe_id, now):
+            return
+        pe.finished = True
+        if pe.completion is not None:
+            pe.completion.cancel()
+            pe.completion = None
+        if pe.current is not None:
+            self._advance(pe)
+            pe.intervals.append(
+                TaskInterval(
+                    pe_id=pe.pe_id,
+                    task_id=pe.current.task_id,
+                    start=pe.task_start,
+                    end=now,
+                    outcome="cancelled",
+                )
+            )
+            pe.current = None
+        pe.queue.clear()
+        spec = self.injector.crash_spec(pe.pe_id)
+        if spec is not None and spec.restart_after is not None:
+            self._pending_restarts += 1
+            self.queue.schedule(
+                now + spec.restart_after, lambda p=pe: self.on_restart(p)
+            )
+
+    def on_restart(self, pe: _SimPE) -> None:
+        """A crashed PE comes back as a fresh incarnation."""
+        self._pending_restarts -= 1
+        if self.master.finished:
+            return
+        now = self.queue.now
+        self.injector.mark_restarted(pe.pe_id, now)
+        if self.master.is_registered(pe.pe_id):
+            # The reaper never noticed the crash; retire the stale
+            # incarnation (releasing any tasks it still held) first.
+            self.master.deregister(pe.pe_id, now, reason="restart")
+        self.master.register(pe.pe_id, now)
+        pe.finished = False
+        pe.current = None
+        pe.completion = None
+        pe.queue.clear()
+        pe.tasks_completed = 0
+        self.queue.schedule(
+            now + self._uplink(pe), lambda p=pe: self.on_request(p)
+        )
+        self.queue.schedule(
+            now + self.config.notify_interval,
+            lambda p=pe: self.on_notify(p),
+        )
+
+    def on_straggle(self, pe: _SimPE) -> None:
+        """A straggler window opens or closes: re-time in-flight work."""
+        if self.injector is None:
+            return
+        self._advance(pe)
+        pe.fault_factor = self.injector.rate_factor(
+            pe.pe_id, self.queue.now
+        )
+        if pe.current is not None and not pe.finished:
+            pe.rate = (
+                pe.spec.model.task_rate(pe.current)
+                * pe.capacity
+                * pe.fault_factor
+            )
+            self._schedule_completion(pe)
+
+    def on_reap(self) -> None:
+        """Periodic heartbeat sweep: deregister silent PEs.
+
+        Stops rescheduling itself once the workload finished, or once
+        every PE is gone with no restart pending (the run can then only
+        drain — and fail loudly — rather than spin forever).
+        """
+        if self.master.finished:
+            return
+        self.master.reap_silent(self.queue.now, self.heartbeat)
+        if (
+            all(p.finished for p in self.pes.values())
+            and self._pending_restarts == 0
+        ):
+            return
+        self.queue.schedule(
+            self.queue.now + self.heartbeat / 4, self.on_reap
+        )

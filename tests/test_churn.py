@@ -192,6 +192,113 @@ class TestHeartbeats:
             server.stop()
 
 
+class TestReplicaRaceWithFailures:
+    """Replica races interacting with failures (master-level,
+    deterministic): whichever side of the race dies, the task still
+    finishes exactly once and the survivor's result wins."""
+
+    def _master_with_replica(self):
+        """One task EXECUTING on 'orig' with a replica handed to 'rep'."""
+        from repro.core import Master
+
+        master = Master(make_tasks(1, cells=10), policy=SelfScheduling())
+        master.register("orig", now=0.0)
+        master.register("rep", now=0.0)
+        task = master.on_request("orig", 0.1).tasks[0]
+        replica = master.on_request("rep", 0.2).replicas[0]
+        assert replica.task_id == task.task_id
+        return master, task
+
+    def test_sole_executor_dies_after_replica_handed_out(self):
+        from repro.core import TaskResult
+
+        master, task = self._master_with_replica()
+        master.reap_silent(now=100.0, timeout=1.0)  # both went silent
+        # Task is back to READY; a newcomer finishes it.
+        master.register("new", now=100.0)
+        regrant = master.on_request("new", 100.1).tasks
+        assert [t.task_id for t in regrant] == [task.task_id]
+        losers = master.on_complete(
+            "new",
+            TaskResult(task_id=task.task_id, pe_id="new", elapsed=1.0,
+                       cells=10),
+            now=101.0,
+        )
+        assert losers == frozenset()
+        assert master.pool.finished_by(task.task_id) == "new"
+
+    def test_original_dies_replica_wins(self):
+        from repro.core import TaskResult
+
+        master, task = self._master_with_replica()
+        master.deregister("orig", 0.5, reason="reap")
+        # The replica holder is now the sole executor; it must win
+        # without producing any losers.
+        losers = master.on_complete(
+            "rep",
+            TaskResult(task_id=task.task_id, pe_id="rep", elapsed=1.0,
+                       cells=10),
+            now=1.0,
+        )
+        assert losers == frozenset()
+        assert master.pool.finished_by(task.task_id) == "rep"
+        assert master.pool.all_finished
+
+    def test_replica_holder_dies_original_wins(self):
+        from repro.core import TaskResult
+
+        master, task = self._master_with_replica()
+        master.deregister("rep", 0.5, reason="reap")
+        losers = master.on_complete(
+            "orig",
+            TaskResult(task_id=task.task_id, pe_id="orig", elapsed=1.0,
+                       cells=10),
+            now=1.0,
+        )
+        assert losers == frozenset()
+        assert master.pool.finished_by(task.task_id) == "orig"
+
+    def test_dead_original_result_adopted_if_it_arrives_first(self):
+        """The reaped original's in-flight result lands before the
+        replica finishes: adoption accepts it and cancels the replica."""
+        from repro.core import TaskResult
+
+        master, task = self._master_with_replica()
+        master.deregister("orig", 0.5, reason="reap")
+        losers = master.on_complete(
+            "orig",
+            TaskResult(task_id=task.task_id, pe_id="orig", elapsed=1.0,
+                       cells=10),
+            now=0.6,
+        )
+        assert losers == frozenset({"rep"})
+        assert master.pool.finished_by(task.task_id) == "orig"
+        # The replica's own (now stale) completion is dropped quietly.
+        losers = master.on_complete(
+            "rep",
+            TaskResult(task_id=task.task_id, pe_id="rep", elapsed=1.0,
+                       cells=10),
+            now=0.7,
+        )
+        assert losers == frozenset()
+        assert master.pool.finished_by(task.task_id) == "orig"
+
+    def test_simulated_crash_of_sole_executor_with_live_replica(self):
+        """End-to-end in the DES: the original crashes mid-race and the
+        replica carries the task home."""
+        from repro.faults import CrashFault, FaultPlan
+
+        tasks = make_tasks(6, cells=30)
+        pes = [
+            PESpec("doomed", UniformModel(rate=10.0)),
+            PESpec("backup", UniformModel(rate=10.0)),
+        ]
+        plan = FaultPlan(crashes=(CrashFault(pe_id="doomed", at_time=0.5),))
+        report = HybridSimulator(pes, faults=plan).run(tasks)
+        assert sum(report.tasks_won.values()) == 6
+        assert report.tasks_won["backup"] >= 1
+
+
 class TestSimulatedChurn:
     def test_leave_mid_run_loses_no_work(self):
         pes = [

@@ -19,6 +19,7 @@ from repro.cluster import (
     encode_task,
     recv_message,
     run_cluster,
+    run_worker,
     send_message,
 )
 from repro.core import SelfScheduling, Task
@@ -242,3 +243,200 @@ class TestEndToEnd:
             timeout=120,
         )
         self._check(report, expected)
+
+
+class TestResilience:
+    """Retry/backoff, reconnect, idempotent results, reaping defaults."""
+
+    def _tasks(self, n=2):
+        return [
+            Task(task_id=i, query_id=f"q{i}", query_length=10,
+                 cells=100, query_index=i)
+            for i in range(n)
+        ]
+
+    def test_timeout_error_carries_diagnostics(self):
+        server = MasterServer(self._tasks(3), policy=SelfScheduling())
+        server.start()
+        try:
+            host, port = server.address
+            with socket.create_connection((host, port), timeout=10) as sock:
+                reader = sock.makefile("rb")
+                send_message(sock, {"type": "register", "pe_id": "w0"})
+                recv_message(reader)
+                send_message(sock, {"type": "request", "pe_id": "w0"})
+                recv_message(reader)
+                with pytest.raises(TimeoutError) as excinfo:
+                    server.wait_finished(timeout=0.05, poll=0.01)
+        finally:
+            server.stop()
+        message = str(excinfo.value)
+        assert "3 outstanding task(s)" in message
+        assert "w0: queue=1" in message
+        assert "last_contact=" in message
+
+    def test_re_register_retires_stale_incarnation(self):
+        """A second register for the same PE (fresh attempt id) must be
+        accepted, releasing the stale incarnation's tasks."""
+        server = MasterServer(self._tasks(2), policy=SelfScheduling())
+        server.start()
+        try:
+            host, port = server.address
+            with socket.create_connection((host, port), timeout=10) as sock:
+                reader = sock.makefile("rb")
+                send_message(sock, {"type": "register", "pe_id": "w0"})
+                recv_message(reader)
+                send_message(sock, {"type": "request", "pe_id": "w0"})
+                assert recv_message(reader)["tasks"]
+            with socket.create_connection((host, port), timeout=10) as sock:
+                reader = sock.makefile("rb")
+                send_message(
+                    sock,
+                    {"type": "register", "pe_id": "w0", "attempt": 1},
+                )
+                reply = recv_message(reader)
+                assert reply["type"] == "ack"
+            with server.lock:
+                assert server.master.pool.num_ready == 2  # task released
+                events = [
+                    e for e in server.events
+                    if e["kind"] == "deregister"
+                ]
+            assert any(e.get("reason") == "reconnect" for e in events)
+        finally:
+            server.stop()
+
+    def test_duplicate_complete_is_deduped(self):
+        server = MasterServer(self._tasks(1), policy=SelfScheduling())
+        server.start()
+        try:
+            host, port = server.address
+            with socket.create_connection((host, port), timeout=10) as sock:
+                reader = sock.makefile("rb")
+                send_message(sock, {"type": "register", "pe_id": "w0"})
+                recv_message(reader)
+                send_message(sock, {"type": "request", "pe_id": "w0"})
+                task = recv_message(reader)["tasks"][0]
+                done = {
+                    "type": "complete",
+                    "pe_id": "w0",
+                    "task_id": task["task_id"],
+                    "elapsed": 0.1,
+                    "cells": task["cells"],
+                    "hits": [],
+                }
+                send_message(sock, done)
+                recv_message(reader)
+                send_message(sock, done)  # at-least-once retransmission
+                recv_message(reader)
+            with server.lock:
+                assert server.master.pool.num_finished == 1
+                wins = [
+                    e for e in server.master.trace
+                    if e.kind == "complete" and e.value == 1.0
+                ]
+            assert len(wins) == 1
+        finally:
+            server.stop()
+
+    def test_post_reap_result_is_adopted(self):
+        """A reaped worker's in-flight result must still count."""
+        server = MasterServer(
+            self._tasks(1), policy=SelfScheduling(), heartbeat_timeout=0.2
+        )
+        server.start()
+        try:
+            host, port = server.address
+            with socket.create_connection((host, port), timeout=10) as sock:
+                reader = sock.makefile("rb")
+                send_message(sock, {"type": "register", "pe_id": "w0"})
+                recv_message(reader)
+                send_message(sock, {"type": "request", "pe_id": "w0"})
+                task = recv_message(reader)["tasks"][0]
+                deadline = time.perf_counter() + 5.0
+                while time.perf_counter() < deadline:
+                    with server.lock:
+                        if not server.master.is_registered("w0"):
+                            break
+                    time.sleep(0.05)
+                with server.lock:
+                    assert not server.master.is_registered("w0")
+                send_message(
+                    sock,
+                    {
+                        "type": "complete",
+                        "pe_id": "w0",
+                        "task_id": task["task_id"],
+                        "elapsed": 0.5,
+                        "cells": task["cells"],
+                        "hits": [],
+                    },
+                )
+                assert recv_message(reader)["type"] == "ack"
+            with server.lock:
+                assert server.master.pool.finished_by(task["task_id"]) == "w0"
+                assert server.master.is_registered("w0")  # re-admitted
+        finally:
+            server.stop()
+
+    def test_worker_survives_master_restart(self, tmp_path):
+        """Workers reconnect with backoff + fresh attempt ids when the
+        master goes away mid-run and comes back on the same port."""
+        import numpy as np
+
+        from repro.core.runtime import build_tasks
+        from repro.sequences import write_indexed
+
+        rng = np.random.default_rng(29)
+        queries = query_set(8, rng, min_length=80, max_length=120)
+        database = random_database(60, 90.0, rng, name="restart-db")
+        q_path = str(tmp_path / "q.seqx")
+        d_path = str(tmp_path / "d.seqx")
+        write_indexed(queries, q_path)
+        write_indexed(list(database), d_path)
+        server = MasterServer(
+            build_tasks(queries, database), heartbeat_timeout=1.0
+        )
+        server.start()
+        host, port = server.address
+        configs = [
+            WorkerConfig(
+                host=host, port=port, pe_id=pe, engine="scan",
+                query_path=q_path, database_path=d_path,
+                backoff_base=0.05, backoff_max=0.5, reconnect_attempts=12,
+            )
+            for pe in ("w0", "w1")
+        ]
+        threads = [
+            threading.Thread(target=run_worker, args=(c,), daemon=True)
+            for c in configs
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.4)  # let real work start
+        master = server.master
+        server.stop()  # the master "crashes"
+        time.sleep(0.3)  # workers are now retrying with backoff
+        restarted = MasterServer(
+            [], host=host, port=port, master=master, heartbeat_timeout=1.0
+        )
+        restarted.start()
+        try:
+            restarted.wait_finished(timeout=120)
+            for thread in threads:
+                thread.join(timeout=30)
+            results = restarted.results()
+        finally:
+            restarted.stop()
+        for query in queries:
+            expected = database_search(
+                query, database, BLOSUM62, DEFAULT_GAPS, top=10
+            ).hits
+            assert [(h.subject_index, h.score) for h in results[query.id]] == [
+                (h.subject_index, h.score) for h in expected
+            ]
+        reconnects = [
+            e for e in master.events
+            if e["kind"] == "register" and e.get("attempt")
+        ]
+        assert reconnects  # at least one worker re-registered

@@ -234,3 +234,65 @@ class TestDocumentAndDiff:
         assert "replica waste" in text
         for pe in ("a", "b"):
             assert f"\n  {pe} " in text
+
+
+class TestFaultDiagnostics:
+    def faulted_log(self) -> EventLog:
+        """PE ``a`` crashes mid-task, is reaped, and PE ``b`` recovers
+        its task; message faults fire along the way."""
+        log = EventLog()
+        log.emit("register", 0.0, pe="a", task=-1)
+        log.emit("register", 0.0, pe="b", task=-1)
+        log.emit("assign", 0.0, pe="a", task=0)
+        log.emit("assign", 0.0, pe="b", task=1)
+        log.emit("fault_drop", 0.5, pe="b", message="progress")
+        log.emit("fault_crash", 1.0, pe="a", reason="crash")
+        log.emit("complete", 2.0, pe="b", task=1, value=1.0)
+        log.emit("deregister", 3.0, pe="a", released=[0], reason="reap")
+        log.emit("assign", 3.1, pe="b", task=0)
+        log.emit("complete", 5.0, pe="b", task=0, value=1.0)
+        return log
+
+    def test_fault_summary(self):
+        analysis = analyze_events(self.faulted_log())
+        faults = analysis.faults
+        assert faults["injected"] == {"crash": 1, "drop": 1}
+        assert faults["total_injected"] == 2
+        assert faults["reaps"] == 1
+        assert faults["released_tasks"] == 1
+        assert faults["reassigned_tasks"] == 1
+        assert faults["recovered_tasks"] == 1
+        (chain,) = faults["recoveries"]
+        assert chain["pe"] == "a"
+        assert chain["reason"] == "reap"
+        assert chain["tasks"] == [0]
+        assert chain["reassigned"] == [0]
+        assert chain["recovered"] == [0]
+
+    def test_fault_free_run_reports_zeros(self):
+        analysis = analyze_events(race_log())
+        assert analysis.faults["total_injected"] == 0
+        assert analysis.faults["reaps"] == 0
+        assert analysis.faults["recoveries"] == []
+        # And the rendered report stays silent about faults.
+        assert "faults injected" not in format_report(analysis)
+
+    def test_fault_section_in_document_and_report(self):
+        analysis = analyze_events(self.faulted_log())
+        document = analysis.to_document()
+        assert document["faults"] == analysis.faults
+        # Top-level metric parity set is untouched by the new section.
+        assert analysis.metric_names() == tuple(sorted(TRACE_REPORT_METRICS))
+        rendered = format_report(analysis)
+        assert "faults injected" in rendered
+        assert "reap a @ 3.000s released [0]" in rendered
+
+    def test_unfinished_release_not_counted_recovered(self):
+        log = EventLog()
+        log.emit("register", 0.0, pe="a", task=-1)
+        log.emit("assign", 0.0, pe="a", task=0)
+        log.emit("deregister", 1.0, pe="a", released=[0], reason="reap")
+        analysis = analyze_events(log)
+        assert analysis.faults["released_tasks"] == 1
+        assert analysis.faults["reassigned_tasks"] == 0
+        assert analysis.faults["recovered_tasks"] == 0
