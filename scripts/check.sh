@@ -5,7 +5,11 @@
 # repro.trace_report.v1 schema check), then a chaos stage: one short
 # seeded fault-plan run per environment (DES, threaded runtime, TCP
 # cluster) that must finish every task with fault-free-identical
-# results, with the DES run's fault events surfaced by trace analyze.
+# results, with the DES run's fault events surfaced by trace analyze,
+# and finally a durability stage: a seeded master-kill/resume
+# round-trip per environment over a --checkpoint directory, plus
+# `repro journal verify` on the produced journal (and a negative
+# check that a flipped byte is detected).
 #
 # Usage: scripts/check.sh
 # Runs from any cwd; needs only the in-repo package (no installs).
@@ -174,6 +178,147 @@ assert hits(faulted.results) == hits(baseline.results)
 assert any(e["kind"] == "fault_crash" for e in faulted.events)
 print("cluster chaos OK: crash recovered, results identical")
 PY
+
+echo
+echo "== durability stage: master kill + resume, all environments =="
+CKPT_DIR="$(mktemp -d -t repro-ckpt-XXXXXX)"
+trap 'rm -f "$METRICS_OUT" "$EVENTS_OUT" "$TRACE_OUT" \
+    "$PLAN_OUT" "$FAULT_EVENTS" "$FAULT_TRACE"; rm -rf "$CKPT_DIR"' EXIT
+python - "$CKPT_DIR" <<'PY'
+import os
+import shutil
+import sys
+
+import numpy as np
+
+from repro.align import BLOSUM62, DEFAULT_GAPS
+from repro.cluster import run_cluster
+from repro.core import HybridRuntime, ScanEngine, Task
+from repro.faults import FaultPlan, MasterCrashed, MasterCrashFault
+from repro.simulate import HybridSimulator, PESpec, UniformModel
+
+root = sys.argv[1]
+
+
+def hits(results):
+    return {
+        q: [(h.subject_index, h.score) for h in ranked]
+        for q, ranked in results.items()
+    }
+
+
+# -- DES: modeled master crash + recovery ------------------------------
+tasks = [
+    Task(task_id=i, query_id=f"q{i}", query_length=300,
+         cells=2_000_000_000, query_index=i)
+    for i in range(12)
+]
+platform = [
+    PESpec("gpu0", UniformModel(rate=30e9)),
+    PESpec("sse0", UniformModel(rate=10e9)),
+]
+baseline = HybridSimulator(platform).run(list(tasks))
+plan = FaultPlan(master_crash=MasterCrashFault(
+    at_time=baseline.makespan / 2, recovery_after=0.2,
+))
+des_dir = os.path.join(root, "des")
+report = HybridSimulator(
+    platform, faults=plan, checkpoint_dir=des_dir,
+).run(list(tasks))
+assert sorted(report.results) == sorted(baseline.results)
+kinds = [e["kind"] for e in report.events]
+assert kinds.count("fault_master_crash") == 1
+assert kinds.count("recovery_resume") == 1
+restored = {e["task"] for e in report.events
+            if e["kind"] == "recovery_task"}
+assert restored, "mid-run crash must have recovered finished work"
+print(f"DES durability OK: crash at {plan.master_crash.at_time:.2f}s, "
+      f"{len(restored)} task(s) restored, all {len(tasks)} finished")
+
+# -- threaded runtime: kill mid-run, resume from the journal -----------
+from repro.sequences import query_set, random_database
+
+rng = np.random.default_rng(7)
+queries = query_set(6, rng, min_length=20, max_length=40)
+database = random_database(25, 50.0, rng, name="durdb")
+
+
+def engines():
+    return {
+        pe: ScanEngine(BLOSUM62, DEFAULT_GAPS, chunk_size=8)
+        for pe in ("w0", "w1")
+    }
+
+
+thr_dir = os.path.join(root, "threaded")
+baseline = HybridRuntime(engines()).run(queries, database)
+# The crash is armed on the wall clock, so a fast machine may finish
+# the workload before it fires; retry with an earlier kill if so.
+for at_time in (0.05, 0.02, 0.005, 0.0):
+    shutil.rmtree(thr_dir, ignore_errors=True)
+    crash_plan = FaultPlan(master_crash=MasterCrashFault(at_time=at_time))
+    try:
+        HybridRuntime(
+            engines(), faults=crash_plan, checkpoint_dir=thr_dir,
+        ).run(queries, database)
+    except MasterCrashed:
+        break
+else:
+    sys.exit("master crash never fired, even at at_time=0.0")
+resumed = HybridRuntime(
+    engines(), checkpoint_dir=thr_dir,
+).run(queries, database)
+assert hits(resumed.results) == hits(baseline.results)
+kinds = [e["kind"] for e in resumed.events]
+assert kinds.count("recovery_resume") == 1
+restored = {e["task"] for e in resumed.events
+            if e["kind"] == "recovery_task"}
+assigned = {e["task"] for e in resumed.events
+            if e["kind"] in ("assign", "replica")}
+assert restored.isdisjoint(assigned), "a restored task was re-executed"
+print(f"threaded durability OK: resumed with {len(restored)} restored, "
+      f"{len(assigned)} recomputed, results identical")
+
+# -- cluster: run, then a second incarnation adopts the journal --------
+cl_dir = os.path.join(root, "cluster")
+workers = {"w0": "scan", "w1": "scan"}
+first = run_cluster(
+    queries, database, dict(workers), use_processes=False, timeout=60,
+    checkpoint_dir=cl_dir,
+)
+assert hits(first.results) == hits(baseline.results)
+resumed = run_cluster(
+    queries, database, dict(workers), use_processes=False, timeout=60,
+    checkpoint_dir=cl_dir,
+)
+assert hits(resumed.results) == hits(baseline.results)
+kinds = [e["kind"] for e in resumed.events]
+assert kinds.count("recovery_resume") == 1
+assert "assign" not in kinds, "restarted master re-executed work"
+print("cluster durability OK: restarted master adopted the journal, "
+      "zero tasks re-executed")
+PY
+
+echo
+echo "== journal verify =="
+python -m repro journal verify "$CKPT_DIR/threaded"
+python -m repro journal inspect "$CKPT_DIR/cluster" > /dev/null
+# Negative check: a flipped byte must be detected.
+python - "$CKPT_DIR/threaded/journal.jsonl" <<'PY'
+import sys
+
+path = sys.argv[1]
+with open(path, "rb") as handle:
+    lines = handle.read().split(b"\n")
+lines[0] = lines[0][:-4] + b"beef"
+with open(path, "wb") as handle:
+    handle.write(b"\n".join(lines))
+PY
+if python -m repro journal verify "$CKPT_DIR/threaded" 2>/dev/null; then
+    echo "journal verify missed a corrupted record" >&2
+    exit 1
+fi
+echo "corruption detection OK: flipped byte rejected"
 
 echo
 echo "all checks passed"

@@ -13,7 +13,10 @@ Subcommands mirror the paper's workflow:
 * ``trace``   — analyze an event log written by ``--events-out``:
   per-PE timelines, scheduling diagnostics, Gantt renderings and
   run-vs-run diffs (``repro.trace_report.v1`` documents, also written
-  directly by ``--trace-out``).
+  directly by ``--trace-out``);
+* ``journal`` — inspect/verify a ``--checkpoint`` directory's
+  write-ahead journal and snapshot (``repro journal verify`` checks
+  every record's CRC).
 """
 
 from __future__ import annotations
@@ -87,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="database chunks per query (coarse-grained decomposition; "
         "1 = the paper's very coarse tasks)",
     )
+    _add_checkpoint_flag(search)
     _add_telemetry_flags(search)
 
     align = sub.add_parser("align", help="pairwise alignment of two FASTAs")
@@ -132,6 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds of silence before a worker is reaped "
         "(default 10; 0 disables reaping)",
     )
+    _add_checkpoint_flag(cluster)
     _add_telemetry_flags(cluster)
 
     simulate = sub.add_parser(
@@ -159,6 +164,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 10x the notify interval when faults are injected; "
         "0 disables reaping)",
     )
+    _add_checkpoint_flag(simulate)
     _add_telemetry_flags(simulate)
 
     generate = sub.add_parser(
@@ -202,6 +208,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory to write the indexed query/database files that "
         "workers must be pointed at (default: a temp directory)",
     )
+    _add_checkpoint_flag(serve)
 
     worker = sub.add_parser(
         "worker", help="run a standalone slave against a remote master"
@@ -286,7 +293,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", default="text", choices=["text", "json"],
     )
     tdiff.add_argument("--omega", type=int, default=8)
+
+    journal = sub.add_parser(
+        "journal",
+        help="inspect/verify a checkpoint journal written by --checkpoint",
+    )
+    journal_sub = journal.add_subparsers(dest="journal_command",
+                                         required=True)
+
+    jinspect = journal_sub.add_parser(
+        "inspect", help="summarize a journal: records, tasks, PEs"
+    )
+    jinspect.add_argument(
+        "path", help="checkpoint directory or journal.jsonl file"
+    )
+    jinspect.add_argument(
+        "--format", default="text", choices=["text", "json"],
+    )
+
+    jverify = journal_sub.add_parser(
+        "verify",
+        help="check every record's CRC and the snapshot/journal schema",
+    )
+    jverify.add_argument(
+        "path", help="checkpoint directory or journal.jsonl file"
+    )
     return parser
+
+
+def _add_checkpoint_flag(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--checkpoint", metavar="DIR", default=None,
+        help="journal master state under DIR (crash-safe write-ahead "
+        "log); re-running with the same DIR resumes, skipping tasks "
+        "that already finished",
+    )
 
 
 def _add_telemetry_flags(command: argparse.ArgumentParser) -> None:
@@ -343,6 +384,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         engines,
         policy=make_policy(args.policy),
         adjustment=not args.no_adjustment,
+        checkpoint_dir=args.checkpoint,
     )
     report = runtime.run(
         queries, database, chunks_per_query=args.chunks, top=args.top
@@ -431,6 +473,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         use_processes=not args.threads,
         heartbeat_timeout=args.heartbeat,
         faults=_load_fault_plan(args.faults),
+        checkpoint_dir=args.checkpoint,
     )
     for query_id, hits in report.results.items():
         print(f"# query {query_id}")
@@ -452,6 +495,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         adjustment=not args.no_adjustment,
         faults=_load_fault_plan(args.faults),
         heartbeat_timeout=args.heartbeat,
+        checkpoint_dir=args.checkpoint,
     )
     report = simulator.run(tasks)
     extras = f" + {args.fpgas} FPGAs" if args.fpgas else ""
@@ -544,6 +588,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         heartbeat_timeout=args.heartbeat,
+        checkpoint=args.checkpoint,
     )
     server.start()
     host, port = server.address
@@ -690,6 +735,136 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _journal_paths(path: str) -> tuple[str, str | None]:
+    """Resolve a CLI path to (journal file, snapshot file or None)."""
+    import os
+
+    from .durability import CheckpointStore
+
+    if os.path.isdir(path):
+        journal = os.path.join(path, CheckpointStore.JOURNAL_NAME)
+        snapshot = os.path.join(path, CheckpointStore.SNAPSHOT_NAME)
+        return journal, snapshot if os.path.exists(snapshot) else None
+    sibling = os.path.join(
+        os.path.dirname(path) or ".", CheckpointStore.SNAPSHOT_NAME
+    )
+    return path, sibling if os.path.exists(sibling) else None
+
+
+def _cmd_journal(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .durability import JOURNAL_SCHEMA, SNAPSHOT_SCHEMA, scan_journal
+
+    journal_path, snapshot_path = _journal_paths(args.path)
+    if not os.path.exists(journal_path) and snapshot_path is None:
+        print(f"error: no journal at {journal_path}", file=sys.stderr)
+        return 1
+    scan = scan_journal(journal_path)
+    if not scan.ok:
+        print(
+            f"error: {journal_path}: corrupt record at line "
+            f"{scan.error_line}: {scan.error}",
+            file=sys.stderr,
+        )
+        return 1
+
+    header = next(
+        (r for r in scan.records if r.get("type") == "header"), None
+    )
+    if header is not None and header.get("schema") != JOURNAL_SCHEMA:
+        print(
+            f"error: {journal_path}: unsupported journal schema "
+            f"{header.get('schema')!r}",
+            file=sys.stderr,
+        )
+        return 1
+
+    snapshot = None
+    if snapshot_path is not None:
+        with open(snapshot_path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        if text.strip():
+            try:
+                snapshot = json.loads(text)
+            except json.JSONDecodeError as err:
+                print(
+                    f"error: {snapshot_path}: unreadable snapshot: {err}",
+                    file=sys.stderr,
+                )
+                return 1
+            if snapshot.get("schema") != SNAPSHOT_SCHEMA:
+                print(
+                    f"error: {snapshot_path}: not a "
+                    f"{SNAPSHOT_SCHEMA} snapshot",
+                    file=sys.stderr,
+                )
+                return 1
+
+    by_type: dict[str, int] = {}
+    finished: dict[int, str] = {}
+    pes: set[str] = set()
+    if snapshot is not None:
+        for record in snapshot.get("finished", []):
+            finished.setdefault(record["task"], record["pe"])
+            pes.add(record["pe"])
+    for record in scan.records:
+        kind = record.get("type", "?")
+        by_type[kind] = by_type.get(kind, 0) + 1
+        if kind == "complete":
+            finished.setdefault(record["task"], record["pe"])
+            pes.add(record["pe"])
+        elif kind == "register":
+            pes.add(record["pe"])
+
+    if args.journal_command == "verify":
+        print(f"{journal_path}: {len(scan.records)} records ok "
+              f"({scan.good_bytes} bytes)")
+        if scan.torn:
+            print("  torn final record (tolerated; truncated on resume)")
+        if snapshot_path is not None:
+            print(f"{snapshot_path}: snapshot ok "
+                  f"({len((snapshot or {}).get('finished', []))} "
+                  f"finished tasks)")
+        print(f"finished tasks: {len(finished)}")
+        return 0
+
+    # inspect
+    workload = (header or {}).get("workload") or (
+        (snapshot or {}).get("workload")
+    )
+    if args.format == "json":
+        document = {
+            "journal": journal_path,
+            "snapshot": snapshot_path,
+            "records": len(scan.records),
+            "records_by_type": dict(sorted(by_type.items())),
+            "torn_tail": scan.torn,
+            "workload": workload,
+            "finished_tasks": sorted(finished),
+            "pes": sorted(pes),
+        }
+        print(json.dumps(document, indent=2))
+        return 0
+    print(f"journal:  {journal_path} ({len(scan.records)} records"
+          f"{', torn tail' if scan.torn else ''})")
+    if snapshot_path is not None:
+        print(f"snapshot: {snapshot_path} "
+              f"({len((snapshot or {}).get('finished', []))} "
+              f"finished tasks)")
+    if workload:
+        print(f"workload: {workload.get('tasks')} tasks, "
+              f"{workload.get('cells')} cells, "
+              f"digest {workload.get('digest', '')[:12]}")
+    for kind in sorted(by_type):
+        print(f"  {kind:<12} {by_type[kind]}")
+    print(f"finished tasks ({len(finished)}): "
+          f"{', '.join(str(t) for t in sorted(finished)) or '-'}")
+    print(f"PEs seen ({len(pes)}): {', '.join(sorted(pes)) or '-'}")
+    return 0
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
     import os
 
@@ -754,6 +929,7 @@ def main(argv: list[str] | None = None) -> int:
         "tables": _cmd_tables,
         "metrics": _cmd_metrics,
         "trace": _cmd_trace,
+        "journal": _cmd_journal,
     }
     return handlers[args.command](args)
 

@@ -96,6 +96,7 @@ def run_cluster(
     use_processes: bool = True,
     heartbeat_timeout: float | None = None,
     faults: FaultPlan | None = None,
+    checkpoint_dir: str | None = None,
 ) -> ClusterReport:
     """Run a workload on a freshly spawned local cluster.
 
@@ -118,6 +119,10 @@ def run_cluster(
     faults:
         Optional deterministic :class:`~repro.faults.FaultPlan` every
         worker injects against (crashes, stragglers, message chaos).
+    checkpoint_dir:
+        Journal the master's state under this directory.  A directory
+        left behind by a killed run is recovered before workers spawn,
+        so the restarted cluster executes only the remaining tasks.
     """
     if isinstance(queries, str):
         queries = read_fasta(queries)
@@ -139,6 +144,7 @@ def run_cluster(
             policy=policy,
             adjustment=adjustment,
             heartbeat_timeout=server_heartbeat,
+            checkpoint=checkpoint_dir,
         )
         server.start()
         host, port = server.address

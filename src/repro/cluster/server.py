@@ -20,6 +20,7 @@ from ..align.api import SearchHit
 from ..core.master import Master, TraceEvent
 from ..core.policies import AllocationPolicy, PackageWeightedSelfScheduling
 from ..core.task import Task, TaskResult
+from ..durability import CheckpointStore, restore_into, workload_fingerprint
 from ..observability import (
     EventLog,
     MetricsRegistry,
@@ -206,9 +207,41 @@ class MasterServer(socketserver.ThreadingTCPServer):
         port: int = 0,
         heartbeat_timeout: float | None = None,
         master: Master | None = None,
+        checkpoint: "str | CheckpointStore | None" = None,
     ):
         super().__init__((host, port), _Handler)
-        if master is not None:
+        if master is not None and checkpoint is not None:
+            raise ValueError(
+                "pass either master= (adopt live state) or checkpoint= "
+                "(recover from disk), not both"
+            )
+        self._store: CheckpointStore | None = None
+        if checkpoint is not None:
+            # Master-restart-from-disk: open (or resume) the journal and
+            # restore every durable winning result before any worker
+            # connects.  A server killed mid-run and restarted with the
+            # same checkpoint directory keeps only the remaining tasks.
+            store = (
+                checkpoint
+                if isinstance(checkpoint, CheckpointStore)
+                else CheckpointStore(checkpoint)
+            )
+            recovered = store.open(workload_fingerprint(list(tasks)))
+            self._store = store
+            self.metrics = MetricsRegistry()
+            self.events = EventLog()
+            self.master = Master(
+                list(tasks),
+                policy=policy or PackageWeightedSelfScheduling(),
+                adjustment=adjustment,
+                omega=omega,
+                metrics=self.metrics,
+                events=self.events,
+                journal=store,
+            )
+            if not recovered.empty:
+                restore_into(self.master, recovered, now=0.0)
+        elif master is not None:
             # Adopt an existing master (and its metrics/event history):
             # the master-restart story — a new server process picks up
             # the workload where the crashed one left off, and
@@ -307,6 +340,9 @@ class MasterServer(socketserver.ThreadingTCPServer):
             self._thread.join(timeout=5)
         if self._reaper is not None:
             self._reaper.join(timeout=5)
+        if self._store is not None:
+            self._store.close()
+            self._store = None
 
     # ------------------------------------------------------------------
     @property

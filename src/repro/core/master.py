@@ -94,6 +94,12 @@ class Master:
         lifecycle is a single causal trace.  Span ids are deterministic
         functions of the schedule, identical in every environment.  The
         overhead benchmark toggles this off to price the mechanism.
+    journal:
+        Optional durability sink (duck-typed to
+        :class:`~repro.durability.CheckpointStore`): every registration,
+        retirement, assignment, winning completion and cancellation is
+        journaled through it, so a crashed master can be rebuilt from
+        disk.  ``None`` (the default) journals nothing.
     """
 
     def __init__(
@@ -105,6 +111,7 @@ class Master:
         metrics: MetricsRegistry | None = None,
         events: EventLog | None = None,
         spans: bool = True,
+        journal: object | None = None,
     ):
         self.pool = TaskPool(tasks)
         self.policy = policy
@@ -117,6 +124,7 @@ class Master:
         self.events = events if events is not None else EventLog()
         self._inst = master_instruments(self.metrics)
         self.spans = spans
+        self.journal = journal
         #: Attempt counter per (task, pe) — keeps replica span ids
         #: unique when a task revisits a PE after a release.
         self._span_attempts: dict[tuple[int, str], int] = {}
@@ -239,6 +247,8 @@ class Master:
         self.history.register(pe_id)
         extra = {"attempt": attempt} if attempt else {}
         self._record("register", now, pe_id, **extra)
+        if self.journal is not None:
+            self.journal.on_register(pe_id, now, attempt)
         self._sync_pool_gauges()
         self._sync_queue_gauge(pe_id)
 
@@ -288,6 +298,8 @@ class Master:
             "deregister", now, pe_id,
             released=list(released), reason=reason,
         )
+        if self.journal is not None:
+            self.journal.on_deregister(pe_id, now, reason, released)
         self._sync_pool_gauges()
         self._sync_queue_gauge(pe_id)
         return released
@@ -355,6 +367,8 @@ class Master:
                     "assign", now, pe_id, t.task_id,
                     **self._open_span(pe_id, t.task_id),
                 )
+                if self.journal is not None:
+                    self.journal.on_assign(pe_id, t.task_id, now, "assign")
             self._inst.tasks_assigned.labels(pe=pe_id).inc(len(tasks))
             self._sync_pool_gauges()
             self._sync_queue_gauge(pe_id)
@@ -370,6 +384,10 @@ class Master:
                     "replica", now, pe_id, replica.task_id,
                     **self._open_span(pe_id, replica.task_id),
                 )
+                if self.journal is not None:
+                    self.journal.on_assign(
+                        pe_id, replica.task_id, now, "replica"
+                    )
                 self._inst.replicas_assigned.labels(pe=pe_id).inc()
                 self._sync_pool_gauges()
                 self._sync_queue_gauge(pe_id)
@@ -401,6 +419,8 @@ class Master:
         )
         if first:
             self.results[result.task_id] = result
+        if self.journal is not None:
+            self.journal.on_complete(result, first, losers, now)
         self._record(
             "complete", now, pe_id, result.task_id,
             value=1.0 if first else 0.0,
@@ -443,9 +463,33 @@ class Master:
             "cancelled", now, pe_id, task_id,
             **self._span_fields(pe_id, task_id, close=True),
         )
+        if self.journal is not None:
+            self.journal.on_cancelled(pe_id, task_id, now)
         self.pool.release(task_id, pe_id)
         self._sync_pool_gauges()
         self._sync_queue_gauge(pe_id)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def restore_result(self, result: TaskResult, now: float = 0.0) -> bool:
+        """Adopt a journaled winning result during crash recovery.
+
+        The task transitions straight to FINISHED (without re-executing)
+        and the result rejoins :attr:`results` so the final merge is
+        identical to the fault-free run.  Emits a ``recovery_task``
+        event; deliberately does *not* re-journal — the record being
+        restored is already durable.  Returns False when the task is
+        already finished (snapshot/journal overlap).
+        """
+        if not self.pool.restore_finished(result.task_id, result.pe_id):
+            return False
+        self.results[result.task_id] = result
+        self._record(
+            "recovery_task", now, result.pe_id, result.task_id, value=1.0
+        )
+        self._sync_pool_gauges()
+        return True
 
     # ------------------------------------------------------------------
     # Replica selection

@@ -19,7 +19,8 @@ import time
 from dataclasses import dataclass, field
 
 from ..align.api import SearchHit
-from ..faults import FaultInjector, FaultPlan, InjectedCrash
+from ..durability import CheckpointStore, restore_into, workload_fingerprint
+from ..faults import FaultInjector, FaultPlan, InjectedCrash, MasterCrashed
 from ..observability import EventLog, MetricsRegistry, finalize_run_metrics
 from ..sequences.database import SequenceDatabase
 from ..sequences.records import Sequence
@@ -93,12 +94,38 @@ class RunReport:
 
 
 class _SharedMaster:
-    """Lock-guarded facade over :class:`Master` (the 'network')."""
+    """Lock-guarded facade over :class:`Master` (the 'network').
 
-    def __init__(self, master: Master):
+    ``crash_at`` arms the plan's master-crash fault: once the clock
+    passes it, every interaction with the master raises
+    :class:`MasterCrashed` — from the slaves' point of view the master
+    simply stops answering, exactly like a killed process.  Only the
+    journal (written before the crash fired) survives.
+    """
+
+    def __init__(
+        self,
+        master: Master,
+        crash_at: float | None = None,
+        injector: FaultInjector | None = None,
+    ):
         self._master = master
         self._lock = threading.Lock()
         self._attempts: dict[str, int] = {}
+        self._crash_at = crash_at
+        self._injector = injector
+        self.crashed = False
+
+    def _check_crash(self, now: float) -> None:
+        """Caller holds the lock."""
+        if self._crash_at is None:
+            return
+        if not self.crashed and now >= self._crash_at:
+            self.crashed = True
+            if self._injector is not None:
+                self._injector.record("master_crash", time=now)
+        if self.crashed:
+            raise MasterCrashed(self._crash_at)
 
     def _ensure(self, pe_id: str, now: float) -> None:
         """Re-register a PE the master reaped while it was still alive.
@@ -119,26 +146,31 @@ class _SharedMaster:
 
     def request(self, pe_id: str, now: float):
         with self._lock:
+            self._check_crash(now)
             self._ensure(pe_id, now)
             return self._master.on_request(pe_id, now)
 
     def progress(self, pe_id: str, now: float, cells: float, interval: float):
         with self._lock:
+            self._check_crash(now)
             self._ensure(pe_id, now)
             self._master.on_progress(pe_id, now, cells, interval)
 
     def complete(self, pe_id: str, result: TaskResult, now: float):
         with self._lock:
+            self._check_crash(now)
             self._ensure(pe_id, now)
             return self._master.on_complete(pe_id, result, now)
 
     def cancelled(self, pe_id: str, task_id: int, now: float):
         with self._lock:
+            self._check_crash(now)
             self._ensure(pe_id, now)
             self._master.on_cancelled(pe_id, task_id, now)
 
     def reap(self, now: float, timeout: float) -> tuple[str, ...]:
         with self._lock:
+            self._check_crash(now)
             if self._master.finished:
                 return ()
             return self._master.reap_silent(now, timeout)
@@ -294,6 +326,12 @@ class _Worker(threading.Thread):
             if assignment.empty:
                 time.sleep(_WAIT_POLL_SECONDS)
                 continue
+            with self.cancel_lock:
+                # A fresh grant supersedes any cancel flag left over
+                # from a previous attempt at the same task (reap,
+                # release, re-assign back to this PE).
+                for task in (*assignment.tasks, *assignment.replicas):
+                    self.cancel_flags[self.pe_id].discard(task.task_id)
             for task in (*assignment.tasks, *assignment.replicas):
                 self._execute(task)
 
@@ -354,6 +392,9 @@ class HybridRuntime:
         omega: int = 8,
         faults: FaultPlan | None = None,
         heartbeat_timeout: float | None = None,
+        checkpoint_dir: str | None = None,
+        checkpoint_sync_every: int = 1,
+        checkpoint_compact_every: int = 0,
     ):
         if not engines:
             raise ValueError("at least one engine is required")
@@ -366,6 +407,12 @@ class HybridRuntime:
         #: Reap slaves silent for this long.  ``None`` enables a safe
         #: default whenever faults are injected; ``0`` disables reaping.
         self.heartbeat_timeout = heartbeat_timeout
+        #: Journal master state under this directory; a directory left
+        #: behind by a crashed run is recovered before workers start,
+        #: so finished tasks are never recomputed.
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_sync_every = checkpoint_sync_every
+        self.checkpoint_compact_every = checkpoint_compact_every
 
     def run(
         self,
@@ -397,6 +444,19 @@ class HybridRuntime:
         tasks = build_tasks(queries, database, chunks=chunks)
         metrics = MetricsRegistry()
         events = EventLog()
+        start = time.perf_counter()
+
+        def clock() -> float:
+            return time.perf_counter() - start
+
+        store: CheckpointStore | None = None
+        if self.checkpoint_dir is not None:
+            store = CheckpointStore(
+                self.checkpoint_dir,
+                sync_every=self.checkpoint_sync_every,
+                compact_every=self.checkpoint_compact_every,
+            )
+            recovered = store.open(workload_fingerprint(tasks))
         master = Master(
             tasks,
             policy=self.policy,
@@ -404,18 +464,21 @@ class HybridRuntime:
             omega=self.omega,
             metrics=metrics,
             events=events,
+            journal=store,
         )
-        shared = _SharedMaster(master)
-        start = time.perf_counter()
-
-        def clock() -> float:
-            return time.perf_counter() - start
-
+        if store is not None and not recovered.empty:
+            restore_into(master, recovered, now=clock())
         injector = (
             FaultInjector(self.faults, events=events, clock=clock)
             if self.faults is not None
             else None
         )
+        crash_at = (
+            self.faults.master_crash.at_time
+            if self.faults is not None and self.faults.master_crash
+            else None
+        )
+        shared = _SharedMaster(master, crash_at=crash_at, injector=injector)
         channel = (
             _FaultyChannel(shared, injector, clock)
             if injector is not None
@@ -452,25 +515,36 @@ class HybridRuntime:
                 while not reaper_stop.wait(heartbeat / 4):
                     if shared.finished:
                         return
-                    shared.reap(clock(), heartbeat)
+                    try:
+                        shared.reap(clock(), heartbeat)
+                    except MasterCrashed:
+                        return
 
             reaper = threading.Thread(
                 target=_reap_loop, name="reaper", daemon=True
             )
             reaper.start()
 
-        for worker in workers:
-            worker.start()
-        for worker in workers:
-            worker.join()
-        reaper_stop.set()
-        if reaper is not None:
-            reaper.join()
+        try:
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
+        finally:
+            reaper_stop.set()
+            if reaper is not None:
+                reaper.join()
+            if store is not None:
+                store.close()
         for worker in workers:
             if worker.error is not None and not isinstance(
-                worker.error, InjectedCrash
+                worker.error, (InjectedCrash, MasterCrashed)
             ):
                 raise worker.error
+        if shared.crashed:
+            # The journal holds everything completed before the crash;
+            # running again with the same checkpoint_dir resumes there.
+            raise MasterCrashed(crash_at)
         makespan = clock()
 
         by_query: dict[str, list[tuple[SearchHit, ...]]] = {}

@@ -234,6 +234,29 @@ class TaskPool:
         record.executors = {pe_id}
         return True, losers
 
+    def restore_finished(self, task_id: int, pe_id: str) -> bool:
+        """Mark *task_id* FINISHED by *pe_id* during journal recovery.
+
+        Only valid on a READY task of a freshly built pool (recovery
+        replays the journal before any scheduling happens).  Returns
+        False if the task is already FINISHED — snapshot and journal
+        legitimately overlap, so restoring twice is a no-op — and
+        raises :class:`TaskPoolError` on an EXECUTING task, which would
+        mean recovery raced live scheduling.
+        """
+        record = self._records[task_id]
+        if record.state is TaskState.FINISHED:
+            return False
+        if record.state is not TaskState.READY:
+            raise TaskPoolError(
+                f"cannot restore task {task_id} in state {record.state}"
+            )
+        self._ready.remove(task_id)
+        record.state = TaskState.FINISHED
+        record.finished_by = pe_id
+        record.executors = {pe_id}
+        return True
+
     def release(self, task_id: int, pe_id: str) -> None:
         """*pe_id* stops executing *task_id* (cancellation or failure).
 

@@ -1,0 +1,431 @@
+"""Checkpoint store: journal + compacted snapshot + recovery.
+
+A :class:`CheckpointStore` owns one directory holding a write-ahead
+journal (``journal.jsonl``, :mod:`repro.durability.journal`) and an
+optional compacted snapshot (``snapshot.json``, ``repro.snapshot.v1``).
+It doubles as the :class:`~repro.core.master.Master`'s journal sink:
+the master calls the ``on_*`` hooks on every scheduling transition and
+the store turns them into durable records.
+
+Recovery replays snapshot + journal: every journaled winning
+completion is restored onto a fresh master via
+:func:`restore_into` (the task transitions READY → FINISHED without
+re-execution and its :class:`~repro.core.task.TaskResult` — payload
+included — rejoins ``master.results``), while tasks that were merely
+assigned or in flight simply stay READY and are re-scheduled.  A torn
+final record is dropped and truncated away; anything worse raises
+:class:`~repro.durability.journal.JournalError`.
+
+Snapshots are written atomically (tmp file, fsync, ``os.replace``,
+directory fsync) so a crash during compaction can never destroy the
+previous snapshot; compaction then restarts the journal with a bare
+header, bounding replay time on long runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..align.api import SearchHit
+from ..core.task import Task, TaskResult
+from .journal import (
+    JOURNAL_SCHEMA,
+    SNAPSHOT_SCHEMA,
+    Journal,
+    JournalError,
+    scan_journal,
+)
+
+__all__ = [
+    "CheckpointStore",
+    "RecoveredState",
+    "workload_fingerprint",
+    "restore_into",
+]
+
+
+def workload_fingerprint(tasks: list[Task]) -> dict:
+    """Identify a workload so a checkpoint can refuse the wrong one.
+
+    The digest covers every task's identity and size; resuming a
+    checkpoint against a different workload is a loud
+    :class:`JournalError` instead of silently merged garbage.
+    """
+    hasher = hashlib.sha256()
+    for task in sorted(tasks, key=lambda t: t.task_id):
+        hasher.update(
+            f"{task.task_id}:{task.query_id}:{task.query_length}:"
+            f"{task.cells}:{task.chunk_index}\n".encode("utf-8")
+        )
+    return {
+        "tasks": len(tasks),
+        "cells": sum(t.cells for t in tasks),
+        "digest": hasher.hexdigest(),
+    }
+
+
+def _encode_payload(payload: object) -> object:
+    """JSON-encode a TaskResult payload (hit tuples or None)."""
+    if payload is None:
+        return None
+    if isinstance(payload, (tuple, list)) and all(
+        isinstance(hit, SearchHit) for hit in payload
+    ):
+        return {
+            "hits": [
+                [h.subject_id, h.subject_index, h.score, h.subject_length]
+                for h in payload
+            ]
+        }
+    raise JournalError(
+        f"cannot journal result payload of type {type(payload).__name__}"
+    )
+
+
+def _decode_payload(encoded: object) -> object:
+    if encoded is None:
+        return None
+    if isinstance(encoded, dict) and "hits" in encoded:
+        return tuple(
+            SearchHit(
+                subject_id=str(sid),
+                subject_index=int(sidx),
+                score=int(score),
+                subject_length=int(slen),
+            )
+            for sid, sidx, score, slen in encoded["hits"]
+        )
+    raise JournalError(f"unrecognized journaled payload: {encoded!r}")
+
+
+def _complete_record(result: TaskResult, now: float) -> dict:
+    return {
+        "type": "complete",
+        "time": now,
+        "task": result.task_id,
+        "pe": result.pe_id,
+        "elapsed": result.elapsed,
+        "cells": result.cells,
+        "payload": _encode_payload(result.payload),
+    }
+
+
+def _decode_result(record: dict) -> TaskResult:
+    return TaskResult(
+        task_id=int(record["task"]),
+        pe_id=str(record["pe"]),
+        elapsed=float(record["elapsed"]),
+        cells=int(record["cells"]),
+        payload=_decode_payload(record.get("payload")),
+    )
+
+
+@dataclass
+class RecoveredState:
+    """Everything recovery extracted from one checkpoint directory."""
+
+    #: Winning ``complete`` records, task-id order (first write wins).
+    finished_records: list[dict] = field(default_factory=list)
+    header: dict | None = None
+    journal_records: int = 0
+    journal_good_bytes: int = 0
+    torn_tail: bool = False
+    snapshot_tasks: int = 0
+
+    @property
+    def empty(self) -> bool:
+        return not self.finished_records and self.header is None
+
+    def results(self) -> list[TaskResult]:
+        """The recovered winning results, payloads decoded."""
+        return [_decode_result(r) for r in self.finished_records]
+
+
+class CheckpointStore:
+    """Journal + snapshot pair under one directory.
+
+    Acts as the master's journal sink (the ``on_*`` hooks) and as the
+    recovery source (:meth:`recover`/:meth:`open`).  ``sync_every``
+    maps straight onto :class:`Journal`; ``compact_every`` writes a
+    snapshot and restarts the journal every N winning completions
+    (``0`` disables compaction).
+    """
+
+    JOURNAL_NAME = "journal.jsonl"
+    SNAPSHOT_NAME = "snapshot.json"
+
+    def __init__(
+        self,
+        directory: str | Path,
+        sync_every: int = 1,
+        compact_every: int = 0,
+    ):
+        if compact_every < 0:
+            raise ValueError("compact_every must be non-negative")
+        self.directory = Path(directory)
+        self.sync_every = sync_every
+        self.compact_every = compact_every
+        self._journal: Journal | None = None
+        self._workload: dict | None = None
+        #: task id -> winning complete record (journaled or recovered).
+        self._finished: dict[int, dict] = {}
+        self._since_compaction = 0
+
+    @property
+    def journal_path(self) -> Path:
+        return self.directory / self.JOURNAL_NAME
+
+    @property
+    def snapshot_path(self) -> Path:
+        return self.directory / self.SNAPSHOT_NAME
+
+    # -- recovery -------------------------------------------------------
+    def _load_snapshot(self, workload: dict | None) -> list[dict]:
+        path = self.snapshot_path
+        if not path.exists():
+            return []
+        text = path.read_text(encoding="utf-8")
+        if not text.strip():
+            return []  # an empty snapshot is the same as no snapshot
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise JournalError(f"{path}: unreadable snapshot: {exc}") from None
+        if not isinstance(document, dict) or (
+            document.get("schema") != SNAPSHOT_SCHEMA
+        ):
+            raise JournalError(
+                f"{path}: not a {SNAPSHOT_SCHEMA} snapshot"
+            )
+        self._check_workload(workload, document.get("workload"), path)
+        finished = document.get("finished", [])
+        if not isinstance(finished, list):
+            raise JournalError(f"{path}: malformed finished list")
+        return finished
+
+    @staticmethod
+    def _check_workload(
+        expected: dict | None, found: object, path: Path
+    ) -> None:
+        if expected is None or found is None:
+            return
+        if expected.get("digest") != (found or {}).get("digest"):
+            raise JournalError(
+                f"{path}: checkpoint belongs to a different workload "
+                f"(digest {(found or {}).get('digest')!r}, "
+                f"expected {expected.get('digest')!r})"
+            )
+
+    def recover(self, workload: dict | None = None) -> RecoveredState:
+        """Replay snapshot + journal into a :class:`RecoveredState`.
+
+        Read-only: safe to call on a directory another process wrote,
+        or mid-run on an open store (after :meth:`sync`).  Passing the
+        current ``workload`` fingerprint validates the checkpoint
+        against it.
+        """
+        state = RecoveredState()
+        for record in self._load_snapshot(workload):
+            task_id = int(record["task"])
+            if task_id not in self._snapshot_seen(state):
+                state.finished_records.append(record)
+        state.snapshot_tasks = len(state.finished_records)
+
+        scan = scan_journal(self.journal_path)
+        if not scan.ok:
+            raise JournalError(
+                f"{self.journal_path}: corrupt record at line "
+                f"{scan.error_line}: {scan.error}"
+            )
+        state.torn_tail = scan.torn
+        state.journal_records = len(scan.records)
+        state.journal_good_bytes = scan.good_bytes
+        seen = {int(r["task"]) for r in state.finished_records}
+        for record in scan.records:
+            kind = record.get("type")
+            if kind == "header":
+                if record.get("schema") != JOURNAL_SCHEMA:
+                    raise JournalError(
+                        f"{self.journal_path}: unsupported journal schema "
+                        f"{record.get('schema')!r}"
+                    )
+                self._check_workload(
+                    workload, record.get("workload"), self.journal_path
+                )
+                if state.header is None:
+                    state.header = record
+            elif kind == "complete":
+                task_id = int(record["task"])
+                if task_id not in seen:
+                    seen.add(task_id)
+                    state.finished_records.append(record)
+        state.finished_records.sort(key=lambda r: int(r["task"]))
+        return state
+
+    @staticmethod
+    def _snapshot_seen(state: RecoveredState) -> set[int]:
+        return {int(r["task"]) for r in state.finished_records}
+
+    def open(self, workload: dict) -> RecoveredState:
+        """Recover what exists, heal a torn tail, open for appending.
+
+        Creates the directory on first use; writes a header record when
+        the journal is fresh (or was just compacted away).  Returns the
+        recovered state so the caller can restore it onto its master.
+        """
+        if self._journal is not None:
+            raise JournalError("checkpoint store is already open")
+        self.directory.mkdir(parents=True, exist_ok=True)
+        recovered = self.recover(workload)
+        if recovered.torn_tail:
+            with open(self.journal_path, "r+b") as handle:
+                handle.truncate(recovered.journal_good_bytes)
+        self._workload = dict(workload)
+        self._finished = {
+            int(r["task"]): r for r in recovered.finished_records
+        }
+        self._since_compaction = 0
+        self._journal = Journal(self.journal_path, self.sync_every)
+        if recovered.header is None:
+            self._append(self._header_record())
+        return recovered
+
+    def _header_record(self, now: float = 0.0) -> dict:
+        return {
+            "type": "header",
+            "schema": JOURNAL_SCHEMA,
+            "workload": self._workload,
+            "time": now,
+        }
+
+    # -- journal sink (the Master's hooks) ------------------------------
+    def _append(self, record: dict) -> None:
+        if self._journal is None:
+            raise JournalError("checkpoint store is not open")
+        self._journal.append(record)
+
+    def on_register(self, pe_id: str, now: float, attempt: int = 0) -> None:
+        self._append(
+            {"type": "register", "time": now, "pe": pe_id,
+             "attempt": attempt}
+        )
+
+    def on_deregister(
+        self, pe_id: str, now: float, reason: str, released: tuple[int, ...]
+    ) -> None:
+        self._append(
+            {"type": "deregister", "time": now, "pe": pe_id,
+             "reason": reason, "released": list(released)}
+        )
+
+    def on_assign(
+        self, pe_id: str, task_id: int, now: float, kind: str = "assign"
+    ) -> None:
+        self._append(
+            {"type": "assign", "time": now, "pe": pe_id, "task": task_id,
+             "kind": kind}
+        )
+
+    def on_complete(
+        self,
+        result: TaskResult,
+        first: bool,
+        losers: frozenset[str],
+        now: float,
+    ) -> None:
+        if not first:
+            return  # a stale completion changes no durable state
+        record = _complete_record(result, now)
+        self._append(record)
+        self._finished[result.task_id] = record
+        for loser in sorted(losers):
+            self._append(
+                {"type": "cancel", "time": now, "pe": loser,
+                 "task": result.task_id}
+            )
+        self._since_compaction += 1
+        if self.compact_every and (
+            self._since_compaction >= self.compact_every
+        ):
+            self.compact(now)
+
+    def on_cancelled(self, pe_id: str, task_id: int, now: float) -> None:
+        self._append(
+            {"type": "cancelled", "time": now, "pe": pe_id, "task": task_id}
+        )
+
+    # -- snapshots ------------------------------------------------------
+    def compact(self, now: float = 0.0) -> None:
+        """Snapshot all finished results atomically, restart the journal.
+
+        Write order is what makes this crash-safe: the snapshot reaches
+        disk (tmp + fsync + rename + directory fsync) *before* the
+        journal is truncated, so every instant in time has either the
+        old journal or the new snapshot holding the full finished set.
+        """
+        if self._journal is None:
+            raise JournalError("checkpoint store is not open")
+        document = {
+            "schema": SNAPSHOT_SCHEMA,
+            "workload": self._workload,
+            "time": now,
+            "finished": [
+                self._finished[task_id] for task_id in sorted(self._finished)
+            ],
+        }
+        tmp = self.snapshot_path.with_name(self.SNAPSHOT_NAME + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, separators=(",", ":"))
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.snapshot_path)
+        directory_fd = os.open(self.directory, os.O_RDONLY)
+        try:
+            os.fsync(directory_fd)
+        finally:
+            os.close(directory_fd)
+        self._journal.close()
+        self._journal = Journal(
+            self.journal_path, self.sync_every, fresh=True
+        )
+        self._append(self._header_record(now))
+        self._since_compaction = 0
+
+    # -- lifecycle ------------------------------------------------------
+    def sync(self) -> None:
+        if self._journal is not None:
+            self._journal.sync()
+
+    def close(self) -> None:
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+
+
+def restore_into(master, recovered: RecoveredState, now: float = 0.0) -> int:
+    """Mark every recovered result finished on a fresh master.
+
+    Emits one ``recovery_task`` event per restored task (via
+    ``Master.restore_result``) and a single ``recovery_resume``
+    summary event, so ``repro trace analyze`` can report recovered
+    versus recomputed work.  Returns the number of restored tasks.
+    """
+    restored = 0
+    for result in recovered.results():
+        if master.restore_result(result, now):
+            restored += 1
+    master.events.emit(
+        "recovery_resume",
+        now,
+        pe="",
+        restored=restored,
+        journal_records=recovered.journal_records,
+        snapshot_tasks=recovered.snapshot_tasks,
+        torn_tail=recovered.torn_tail,
+    )
+    return restored

@@ -1,0 +1,207 @@
+"""Append-only CRC-checksummed write-ahead journal (``repro.journal.v1``).
+
+One journal is one JSONL file.  Every line is a single JSON object with
+an embedded ``"crc"`` field: the CRC-32 (as eight lowercase hex digits)
+of the record serialized *without* the crc field, keys sorted, compact
+separators.  Because the body serialization is canonical, a record
+round-trips bit-exactly and any torn or flipped byte is detected.
+
+Failure semantics, chosen to match what a crash can physically do to an
+append-only file:
+
+* a damaged **final** record is a torn write — the machine died mid
+  ``write``.  Readers drop it silently (the run resumes from the last
+  durable record) and :meth:`CheckpointStore.open` truncates it away
+  before appending;
+* a damaged record **before** the end is real corruption — storage
+  rot, truncation by a third party — and raises :class:`JournalError`
+  loudly rather than resuming from silently wrong state.
+
+Durability is controlled by ``sync_every``: ``1`` fsyncs after every
+record (every completion is durable before the master acknowledges
+it), ``N`` batches the fsync every N records, and ``0`` never fsyncs
+(the OS flushes whenever it likes — fastest, weakest).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "SNAPSHOT_SCHEMA",
+    "JournalError",
+    "Journal",
+    "JournalScan",
+    "encode_record",
+    "decode_record",
+    "scan_journal",
+    "read_journal",
+]
+
+JOURNAL_SCHEMA = "repro.journal.v1"
+SNAPSHOT_SCHEMA = "repro.snapshot.v1"
+
+
+class JournalError(RuntimeError):
+    """A journal or snapshot failed validation (corruption, mismatch)."""
+
+
+def _canonical(record: dict) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def encode_record(record: dict) -> str:
+    """Serialize one record as a CRC-checksummed journal line."""
+    if "crc" in record:
+        raise JournalError("record must not carry a crc field of its own")
+    crc = format(zlib.crc32(_canonical(record).encode("utf-8")), "08x")
+    return _canonical({**record, "crc": crc})
+
+
+def decode_record(line: str) -> dict:
+    """Parse and validate one journal line; raises :class:`JournalError`."""
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise JournalError(f"unparseable journal record: {exc}") from None
+    if not isinstance(record, dict):
+        raise JournalError("journal record is not a JSON object")
+    crc = record.pop("crc", None)
+    if not isinstance(crc, str):
+        raise JournalError("journal record carries no crc")
+    expected = format(zlib.crc32(_canonical(record).encode("utf-8")), "08x")
+    if crc != expected:
+        raise JournalError(
+            f"crc mismatch: recorded {crc}, computed {expected}"
+        )
+    return record
+
+
+class Journal:
+    """Append-only writer over one journal file.
+
+    ``sync_every=1`` (the default) fsyncs after every appended record;
+    ``N > 1`` fsyncs every N records; ``0`` never fsyncs explicitly.
+    ``fresh=True`` truncates any existing file (used by compaction).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        sync_every: int = 1,
+        fresh: bool = False,
+    ):
+        if sync_every < 0:
+            raise ValueError("sync_every must be non-negative")
+        self.path = Path(path)
+        self.sync_every = sync_every
+        self._handle = open(
+            self.path, "w" if fresh else "a", encoding="utf-8"
+        )
+        self._unsynced = 0
+        self.appended = 0
+
+    def append(self, record: dict) -> None:
+        self._handle.write(encode_record(record) + "\n")
+        self.appended += 1
+        self._unsynced += 1
+        if self.sync_every and self._unsynced >= self.sync_every:
+            self.sync()
+        else:
+            self._handle.flush()
+
+    def sync(self) -> None:
+        """Flush and fsync everything appended so far."""
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._unsynced = 0
+
+    def close(self) -> None:
+        if self._handle.closed:
+            return
+        self._handle.flush()
+        if self.sync_every:
+            os.fsync(self._handle.fileno())
+        self._handle.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+@dataclass
+class JournalScan:
+    """Outcome of scanning one journal file front to back."""
+
+    records: list[dict] = field(default_factory=list)
+    #: Byte offset where the valid prefix ends (truncate here to heal
+    #: a torn tail before appending).
+    good_bytes: int = 0
+    #: A damaged final record was dropped (crash mid-append).
+    torn: bool = False
+    #: Mid-file corruption: description and 1-based line number.
+    error: str | None = None
+    error_line: int | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def scan_journal(path: str | Path) -> JournalScan:
+    """Scan a journal, validating every record's CRC.
+
+    Never raises on file content: a damaged final record sets
+    ``torn``, damage anywhere earlier sets ``error``/``error_line``
+    (and scanning stops there).  A missing file scans as empty.
+    """
+    path = Path(path)
+    if not path.exists():
+        return JournalScan()
+    data = path.read_bytes()
+    scan = JournalScan()
+    pos = 0
+    line_no = 0
+    while pos < len(data):
+        newline = data.find(b"\n", pos)
+        if newline == -1:
+            line, end = data[pos:], len(data)
+        else:
+            line, end = data[pos:newline], newline + 1
+        line_no += 1
+        stripped = line.strip()
+        if stripped:
+            try:
+                scan.records.append(decode_record(stripped.decode("utf-8")))
+            except (JournalError, UnicodeDecodeError) as exc:
+                if data[end:].strip():
+                    scan.error = str(exc)
+                    scan.error_line = line_no
+                else:
+                    scan.torn = True
+                return scan
+        scan.good_bytes = end
+        pos = end
+    return scan
+
+
+def read_journal(path: str | Path) -> tuple[list[dict], bool]:
+    """All valid records of a journal, plus the torn-tail flag.
+
+    Raises :class:`JournalError` on mid-file corruption; a torn final
+    record is tolerated (dropped) because that is what a crash during
+    an append legitimately leaves behind.
+    """
+    scan = scan_journal(path)
+    if not scan.ok:
+        raise JournalError(
+            f"{path}: corrupt record at line {scan.error_line}: {scan.error}"
+        )
+    return scan.records, scan.torn

@@ -9,12 +9,18 @@ and TCP cluster apply them at the transport boundary.  See
 ``docs/robustness.md`` for the failure model and recovery guarantees.
 """
 
-from .injector import MESSAGE_ACTIONS, FaultInjector, InjectedCrash
+from .injector import (
+    MESSAGE_ACTIONS,
+    FaultInjector,
+    InjectedCrash,
+    MasterCrashed,
+)
 from .plan import (
     FAULT_PLAN_SCHEMA,
     CrashFault,
     FaultPlan,
     FaultPlanError,
+    MasterCrashFault,
     MessageFaults,
     PartitionFault,
     StragglerFault,
@@ -28,6 +34,8 @@ __all__ = [
     "FaultPlan",
     "FaultPlanError",
     "InjectedCrash",
+    "MasterCrashed",
+    "MasterCrashFault",
     "MessageFaults",
     "PartitionFault",
     "StragglerFault",

@@ -19,7 +19,12 @@ from typing import Callable, Iterable
 from ..observability import EventLog
 from .plan import CrashFault, FaultPlan, PartitionFault
 
-__all__ = ["FaultInjector", "InjectedCrash", "MESSAGE_ACTIONS"]
+__all__ = [
+    "FaultInjector",
+    "InjectedCrash",
+    "MasterCrashed",
+    "MESSAGE_ACTIONS",
+]
 
 #: Cumulative-threshold order for message fault decisions.
 MESSAGE_ACTIONS = ("drop", "duplicate", "delay", "corrupt")
@@ -32,6 +37,22 @@ class InjectedCrash(RuntimeError):
         super().__init__(f"injected crash of {pe_id} ({reason})")
         self.pe_id = pe_id
         self.reason = reason
+
+
+class MasterCrashed(RuntimeError):
+    """The plan's master crash fired: the scheduling brain is gone.
+
+    Wall-clock environments raise this out of the run so the caller can
+    restart with the same ``--checkpoint`` directory; recovery then
+    replays the journal instead of recomputing finished tasks.
+    """
+
+    def __init__(self, at_time: float) -> None:
+        super().__init__(
+            f"injected master crash at t={at_time:.3f}s "
+            "(resume from the checkpoint directory)"
+        )
+        self.at_time = at_time
 
 
 class FaultInjector:

@@ -28,6 +28,7 @@ __all__ = [
     "FAULT_PLAN_SCHEMA",
     "FaultPlanError",
     "CrashFault",
+    "MasterCrashFault",
     "StragglerFault",
     "MessageFaults",
     "PartitionFault",
@@ -74,6 +75,30 @@ class CrashFault:
     @property
     def permanent(self) -> bool:
         return self.restart_after is None
+
+
+@dataclass(frozen=True)
+class MasterCrashFault:
+    """Kill the *master* at ``at_time`` seconds into the run.
+
+    The inverse of :class:`CrashFault`: the scheduling brain dies with
+    every in-memory result, and only the write-ahead journal
+    (:mod:`repro.durability`) survives.  ``recovery_after`` is how long
+    the master stays down before a replacement recovers from the
+    checkpoint; the DES models the window explicitly (slave traffic
+    stalls and is retried), while wall-clock environments surface the
+    crash as :class:`~repro.faults.injector.MasterCrashed` and leave
+    the restart to the caller.
+    """
+
+    at_time: float
+    recovery_after: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.at_time < 0:
+            raise FaultPlanError("master crash at_time must be >= 0")
+        if self.recovery_after < 0:
+            raise FaultPlanError("recovery_after must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -175,6 +200,7 @@ class FaultPlan:
     stragglers: tuple[StragglerFault, ...] = ()
     messages: MessageFaults = field(default_factory=MessageFaults)
     partitions: tuple[PartitionFault, ...] = ()
+    master_crash: MasterCrashFault | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "crashes", tuple(self.crashes))
@@ -194,6 +220,7 @@ class FaultPlan:
             not self.crashes
             and not self.stragglers
             and not self.partitions
+            and self.master_crash is None
             and self.messages.total_rate == 0.0
         )
 
@@ -208,6 +235,24 @@ class FaultPlan:
         doomed = {c.pe_id for c in self.crashes if c.permanent}
         return tuple(pe for pe in pe_ids if pe not in doomed)
 
+    def without_master_crash(self) -> "FaultPlan":
+        """The same plan minus the master crash.
+
+        Resume runs use this: the crash already fired in the run being
+        resumed, and the fault's ``at_time`` is relative to run start,
+        so carrying it into the restarted run would kill the master
+        again at the same offset.
+        """
+        if self.master_crash is None:
+            return self
+        return FaultPlan(
+            seed=self.seed,
+            crashes=self.crashes,
+            stragglers=self.stragglers,
+            messages=self.messages,
+            partitions=self.partitions,
+        )
+
     # -- JSON round-trip ------------------------------------------------
 
     def to_dict(self) -> dict:
@@ -221,6 +266,11 @@ class FaultPlan:
                 {"pe_ids": list(p.pe_ids), "start": p.start, "end": p.end}
                 for p in self.partitions
             ],
+            "master_crash": (
+                asdict(self.master_crash)
+                if self.master_crash is not None
+                else None
+            ),
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -247,6 +297,11 @@ class FaultPlan:
                     end=p["end"],
                 )
                 for p in payload.get("partitions", ())
+            ),
+            master_crash=(
+                MasterCrashFault(**payload["master_crash"])
+                if payload.get("master_crash")
+                else None
             ),
         )
 
@@ -279,6 +334,7 @@ class FaultPlan:
         max_delay_seconds: float = 0.02,
         max_corrupt_rate: float = 0.05,
         allow_restarts: bool = False,
+        master_crash_probability: float = 0.0,
     ) -> "FaultPlan":
         """A bounded random plan that always leaves >= 1 surviving PE.
 
@@ -362,10 +418,23 @@ class FaultPlan:
                 )
             )
 
+        # Drawn last so plans generated before master crashes existed
+        # stay byte-identical for the same seed when the probability
+        # keeps its default of 0.
+        master_crash = None
+        if master_crash_probability > 0 and (
+            rng.random() < master_crash_probability
+        ):
+            master_crash = MasterCrashFault(
+                at_time=rng.uniform(0.2, 0.6) * horizon,
+                recovery_after=rng.uniform(0.05, 0.25) * horizon,
+            )
+
         return cls(
             seed=seed,
             crashes=tuple(crashes),
             stragglers=stragglers,
             messages=messages,
             partitions=tuple(partitions),
+            master_crash=master_crash,
         )

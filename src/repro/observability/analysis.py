@@ -164,6 +164,9 @@ class TraceAnalysis:
     #: Injected-fault and recovery diagnostics (see ``_fault_summary``);
     #: all zeros/empty on a fault-free run.
     faults: dict = field(default_factory=dict)
+    #: Checkpoint-resume diagnostics: how many tasks this run restored
+    #: from a journal (``recovery_*`` events) versus recomputed.
+    recovery: dict = field(default_factory=dict)
 
     @property
     def intervals(self) -> list[ExecutionInterval]:
@@ -199,6 +202,7 @@ class TraceAnalysis:
             "spans": [span.as_dict() for span in self.spans],
             "events_by_kind": dict(sorted(self.events_by_kind.items())),
             "faults": self.faults,
+            "recovery": self.recovery,
         }
 
     def metric_names(self) -> tuple[str, ...]:
@@ -419,6 +423,15 @@ def analyze_events(
         "recoveries": recovery_chains,
     }
 
+    recovery = {
+        "resumes": events_by_kind.get("recovery_resume", 0),
+        "recovered_tasks": events_by_kind.get("recovery_task", 0),
+        "recomputed_tasks": sum(
+            t.tasks_won for t in timelines.values()
+        ),
+        "master_crashes": fault_counts.get("master_crash", 0),
+    }
+
     return TraceAnalysis(
         makespan=makespan,
         horizon=horizon,
@@ -435,6 +448,7 @@ def analyze_events(
         rate_series=rate_series,
         events_by_kind=events_by_kind,
         faults=faults,
+        recovery=recovery,
     )
 
 
@@ -520,6 +534,15 @@ def format_report(analysis: TraceAnalysis) -> str:
                 f"reassigned {chain['reassigned']} -> "
                 f"recovered {chain['recovered']}"
             )
+    recovery = analysis.recovery
+    if recovery.get("resumes") or recovery.get("master_crashes"):
+        lines.append(
+            f"  checkpoint resume   "
+            f"resumes={recovery.get('resumes', 0)}"
+            f"  restored={recovery.get('recovered_tasks', 0)}"
+            f"  recomputed={recovery.get('recomputed_tasks', 0)}"
+            f"  master_crashes={recovery.get('master_crashes', 0)}"
+        )
     lines += [
         "",
         f"  {'pe':<10} {'busy s':>10} {'idle s':>10} {'util':>6} "

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from ..core.master import Master, TraceEvent
 from ..core.policies import AllocationPolicy, PackageWeightedSelfScheduling
 from ..core.task import Task, TaskResult
+from ..durability import CheckpointStore, restore_into, workload_fingerprint
 from ..faults import FaultInjector, FaultPlan
 from ..observability import EventLog, MetricsRegistry, finalize_run_metrics
 from .events import EventHandle, EventQueue
@@ -214,6 +215,9 @@ class HybridSimulator:
         checkpoint_replicas: bool = False,
         faults: FaultPlan | None = None,
         heartbeat_timeout: float | None = None,
+        checkpoint_dir: str | None = None,
+        checkpoint_sync_every: int = 1,
+        checkpoint_compact_every: int = 0,
     ):
         if not pes:
             raise ValueError("at least one PE is required")
@@ -252,6 +256,12 @@ class HybridSimulator:
         #: injected; ``0`` disables reaping (a crash with no reaper can
         #: strand tasks and the run will fail loudly).
         self.heartbeat_timeout = heartbeat_timeout
+        #: Journal master state under this directory (virtual-time runs
+        #: journal too: the records are what makes the ``master_crash``
+        #: fault recoverable, and an aborted run's directory resumes).
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_sync_every = checkpoint_sync_every
+        self.checkpoint_compact_every = checkpoint_compact_every
 
     # ------------------------------------------------------------------
     def run(self, tasks: list[Task]) -> SimReport:
@@ -264,6 +274,25 @@ class HybridSimulator:
         queue = EventQueue()
         metrics = MetricsRegistry()
         events = EventLog()
+        store: CheckpointStore | None = None
+        workload = workload_fingerprint(list(tasks))
+        if self.checkpoint_dir is not None:
+            store = CheckpointStore(
+                self.checkpoint_dir,
+                sync_every=self.checkpoint_sync_every,
+                compact_every=self.checkpoint_compact_every,
+            )
+            recovered = store.open(workload)
+        if (
+            self.faults is not None
+            and self.faults.master_crash is not None
+            and store is None
+        ):
+            raise ValueError(
+                "a master_crash fault requires checkpoint_dir: without a "
+                "journal there is nothing for the replacement master to "
+                "recover from"
+            )
         master = Master(
             list(tasks),
             policy=self.policy,
@@ -271,7 +300,10 @@ class HybridSimulator:
             omega=self.omega,
             metrics=metrics,
             events=events,
+            journal=store,
         )
+        if store is not None and not recovered.empty:
+            restore_into(master, recovered, now=0.0)
         pes = {spec.pe_id: _SimPE(spec) for spec in self.specs}
         injector = None
         heartbeat = self.heartbeat_timeout
@@ -282,10 +314,15 @@ class HybridSimulator:
             if heartbeat is None:
                 heartbeat = 10 * self.notify_interval
         state = _RunState(
-            queue, master, pes, self, injector, heartbeat or 0.0
+            queue, master, pes, self, injector, heartbeat or 0.0,
+            tasks=list(tasks), store=store, workload=workload,
         )
 
         if injector is not None:
+            if self.faults.master_crash is not None:
+                queue.schedule(
+                    self.faults.master_crash.at_time, state.on_master_crash
+                )
             for crash in self.faults.crashes:
                 pe = pes.get(crash.pe_id)
                 if pe is not None and crash.at_time is not None:
@@ -328,12 +365,20 @@ class HybridSimulator:
                 queue.schedule(
                     at, lambda p=pe, c=capacity: state.on_load(p, c)
                 )
-        queue.run()
+        try:
+            queue.run()
+        finally:
+            if state.store is not None:
+                state.store.close()
 
+        # A master crash replaces state.master mid-run; everything below
+        # must look at the surviving master and the stitched trace.
+        master = state.master
+        full_trace = state.trace_prefix + list(master.trace)
         if not master.finished:
             raise RuntimeError("simulation drained without finishing tasks")
         makespan = max(
-            (e.time for e in master.trace if e.kind == "complete" and e.value),
+            (e.time for e in full_trace if e.kind == "complete" and e.value),
             default=0.0,
         )
         intervals: list[TaskInterval] = []
@@ -344,7 +389,7 @@ class HybridSimulator:
             winner = master.pool.finished_by(task_id)
             assert winner is not None
             tasks_won[winner] += 1
-        replicas = sum(1 for e in master.trace if e.kind == "replica")
+        replicas = sum(1 for e in full_trace if e.kind == "replica")
         total_cells = sum(t.cells for t in tasks)
         finalize_run_metrics(metrics, makespan, total_cells)
         return SimReport(
@@ -353,7 +398,7 @@ class HybridSimulator:
             tasks_won=tasks_won,
             replicas_assigned=replicas,
             intervals=sorted(intervals, key=lambda iv: (iv.start, iv.pe_id)),
-            trace=list(master.trace),
+            trace=full_trace,
             policy_name=getattr(self.policy, "name", "custom"),
             adjustment=self.adjustment,
             results=dict(master.results),
@@ -373,6 +418,9 @@ class _RunState:
         config: HybridSimulator,
         injector: FaultInjector | None = None,
         heartbeat: float = 0.0,
+        tasks: list[Task] | None = None,
+        store: CheckpointStore | None = None,
+        workload: dict | None = None,
     ):
         self.queue = queue
         self.master = master
@@ -380,8 +428,19 @@ class _RunState:
         self.config = config
         self.injector = injector
         self.heartbeat = heartbeat
+        self.tasks = tasks if tasks is not None else []
+        self.store = store
+        self.workload = workload
+        #: Trace of masters that crashed, stitched before the survivor's.
+        self.trace_prefix: list[TraceEvent] = []
+        #: The master is unreachable until this virtual time (a
+        #: ``master_crash`` fault fired and recovery is in progress).
+        self.master_down_until = 0.0
         self._master_free_at = 0.0  # serial master-CPU availability
         self._pending_restarts = 0  # keeps the reaper alive across gaps
+
+    def _master_down(self) -> bool:
+        return self.queue.now < self.master_down_until
 
     # -- communication costs ----------------------------------------------
     def _uplink(self, pe: _SimPE) -> float:
@@ -516,6 +575,14 @@ class _RunState:
     def _do_request(self, pe: _SimPE) -> None:
         """The request actually reaches the master."""
         if pe.finished:
+            return
+        if self._master_down():
+            # No reply from a dead master: the slave retries once the
+            # replacement is back up.
+            self.queue.schedule(
+                self.master_down_until + self._uplink(pe),
+                lambda p=pe: self.on_request(p),
+            )
             return
         if (
             self.injector is not None
@@ -652,6 +719,17 @@ class _RunState:
         pending: dict,
     ) -> None:
         """The result reaches the master; first delivery decides the race."""
+        if self._master_down():
+            # The upload bounced off a dead master; the slave holds the
+            # result and retransmits after recovery (at-least-once), so
+            # work finished during the outage is adopted, not redone.
+            self.queue.schedule(
+                self.master_down_until + self._upload(pe),
+                lambda: self._deliver_complete(
+                    pe, task, result, start, end, pending
+                ),
+            )
+            return
         losers = self.master.on_complete(pe.pe_id, result, self.queue.now)
         won = self.master.pool.finished_by(task.task_id) == pe.pe_id
         if not pending["recorded"]:
@@ -719,7 +797,9 @@ class _RunState:
         self._advance(pe)
         now = self.queue.now
         delta = pe.processed - pe.last_reported
-        deliver = delta > 0
+        # A down master hears nothing; the next sample after recovery
+        # carries the accumulated delta.
+        deliver = delta > 0 and not self._master_down()
         if deliver and self.injector is not None:
             if self.injector.partition_remaining(pe.pe_id, now) > 0:
                 deliver = False
@@ -761,6 +841,11 @@ class _RunState:
         if self.master.finished:
             pe.finished = True
             return
+        if self._master_down():
+            self.queue.schedule(
+                self.master_down_until, lambda p=pe: self.on_join(p)
+            )
+            return
         now = self.queue.now
         self.master.register(pe.pe_id, now)
         self.queue.schedule(
@@ -791,7 +876,10 @@ class _RunState:
             )
             pe.current = None
         pe.queue.clear()
-        self.master.deregister(pe.pe_id, self.queue.now)
+        if self.master.is_registered(pe.pe_id):
+            # A recovered master may not have heard from this PE yet (it
+            # re-registers on its next request); nothing to retire then.
+            self.master.deregister(pe.pe_id, self.queue.now)
 
     def on_load(self, pe: _SimPE, capacity: float) -> None:
         """External-load step: re-time the in-flight task (superpi model)."""
@@ -847,6 +935,11 @@ class _RunState:
 
     def on_restart(self, pe: _SimPE) -> None:
         """A crashed PE comes back as a fresh incarnation."""
+        if self._master_down():
+            self.queue.schedule(
+                self.master_down_until, lambda p=pe: self.on_restart(p)
+            )
+            return
         self._pending_restarts -= 1
         if self.master.finished:
             return
@@ -886,6 +979,57 @@ class _RunState:
             )
             self._schedule_completion(pe)
 
+    def on_master_crash(self) -> None:
+        """The plan's ``master_crash`` fault fires: the brain dies.
+
+        Every in-memory structure of the current master is lost; only
+        the journal survives.  The outage window ``[now, now +
+        recovery_after)`` bounces all slave traffic (gates in
+        :meth:`_do_request`, :meth:`_deliver_complete`, :meth:`on_notify`
+        and friends), after which :meth:`on_master_recover` rebuilds a
+        replacement from the checkpoint directory.
+        """
+        if self.master.finished:
+            return  # nothing left to lose
+        fault = self.config.faults.master_crash
+        now = self.queue.now
+        self.injector.record("master_crash", time=now)
+        self.master_down_until = now + fault.recovery_after
+        self.queue.schedule(self.master_down_until, self.on_master_recover)
+
+    def on_master_recover(self) -> None:
+        """A replacement master recovers from the journal and takes over.
+
+        The old master's trace is stitched into :attr:`trace_prefix`
+        (it happened; the report keeps it), its metrics/event log carry
+        over — they model persistent telemetry sinks — and every
+        journaled winning result is restored, so finished tasks are
+        never re-executed.  Slaves re-register lazily on their next
+        request, exactly like reaped PEs.
+        """
+        now = self.queue.now
+        dead = self.master
+        self.trace_prefix.extend(dead.trace)
+        self.store.close()
+        store = CheckpointStore(
+            self.config.checkpoint_dir,
+            sync_every=self.config.checkpoint_sync_every,
+            compact_every=self.config.checkpoint_compact_every,
+        )
+        recovered = store.open(self.workload)
+        replacement = Master(
+            list(self.tasks),
+            policy=self.config.policy,
+            adjustment=self.config.adjustment,
+            omega=self.config.omega,
+            metrics=dead.metrics,
+            events=dead.events,
+            journal=store,
+        )
+        restore_into(replacement, recovered, now=now)
+        self.master = replacement
+        self.store = store
+
     def on_reap(self) -> None:
         """Periodic heartbeat sweep: deregister silent PEs.
 
@@ -895,7 +1039,10 @@ class _RunState:
         """
         if self.master.finished:
             return
-        self.master.reap_silent(self.queue.now, self.heartbeat)
+        if not self._master_down():
+            # A dead master reaps nobody; the replacement starts with a
+            # clean slate anyway (no PE is registered until it speaks).
+            self.master.reap_silent(self.queue.now, self.heartbeat)
         if (
             all(p.finished for p in self.pes.values())
             and self._pending_restarts == 0

@@ -383,3 +383,65 @@ class TestFPGAModel:
         report = HybridSimulator(pes).run(tasks)
         assert sum(report.tasks_won.values()) == 10
         assert "fpga0" in report.tasks_won
+
+
+class TestReapWithReplicaTwin:
+    """Regression: reaping one executor of a replicated task must leave
+    the task either executing on the twin or schedulable — never lost."""
+
+    @staticmethod
+    def _result(task_id, pe_id):
+        from repro.core.task import TaskResult
+
+        return TaskResult(
+            task_id=task_id, pe_id=pe_id, elapsed=0.5, cells=100
+        )
+
+    def _master(self):
+        master = Master(
+            make_tasks(1), policy=SelfScheduling(), adjustment=True
+        )
+        master.register("a", now=0.0)
+        master.register("b", now=0.0)
+        grant = master.on_request("a", 0.1)
+        assert [t.task_id for t in grant.tasks] == [0]
+        grant = master.on_request("b", 0.2)
+        assert [t.task_id for t in grant.replicas] == [0]
+        return master
+
+    def test_task_stays_with_surviving_twin(self):
+        master = self._master()
+        master.on_progress("b", 5.0, 100.0, 1.0)  # only b stays alive
+        assert master.reap_silent(now=6.0, timeout=3.0) == ("a",)
+        assert master.pool.executors(0) == frozenset({"b"})
+        assert master.pool.num_ready == 0  # not double-queued
+        master.on_complete("b", self._result(0, "b"), 7.0)
+        assert master.finished
+
+    def test_task_requeued_when_both_executors_reaped(self):
+        master = self._master()
+        assert set(master.reap_silent(now=10.0, timeout=3.0)) == {"a", "b"}
+        assert master.pool.num_ready == 1  # requeued exactly once
+        master.register("c", now=11.0)
+        grant = master.on_request("c", 11.5)
+        assert [t.task_id for t in grant.tasks] == [0]
+        master.on_complete("c", self._result(0, "c"), 12.0)
+        assert master.finished
+
+    def test_reaped_pe_result_adopted_and_twin_cancelled(self):
+        master = self._master()
+        master.on_progress("b", 5.0, 100.0, 1.0)
+        master.reap_silent(now=6.0, timeout=3.0)  # reaps a
+        # a's completion was in flight: real work, adopt it.
+        losers = master.on_complete("a", self._result(0, "a"), 6.5)
+        assert losers == frozenset({"b"})
+        assert master.finished
+        assert master.results[0].pe_id == "a"
+
+    def test_new_pe_can_replicate_after_reap(self):
+        master = self._master()
+        master.on_progress("b", 5.0, 100.0, 1.0)
+        master.reap_silent(now=6.0, timeout=3.0)
+        master.register("c", now=6.5)
+        grant = master.on_request("c", 7.0)
+        assert [t.task_id for t in grant.replicas] == [0]
