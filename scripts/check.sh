@@ -23,6 +23,39 @@ echo "== tier-1 test suite =="
 python -m pytest -x -q
 
 echo
+echo "== conformance stage: batched CLI vs per-query CLI =="
+# The pytest-level conformance suite (tests/test_conformance.py) runs
+# as part of tier-1 above; this stage proves the same bit-exactness
+# end-to-end through the CLI: the identical workload searched with and
+# without --batch/--cache must print identical hits.
+CONF_DIR="$(mktemp -d -t repro-conf-XXXXXX)"
+python - "$CONF_DIR" <<'PY'
+import sys
+
+import numpy as np
+
+from repro.sequences import query_set, random_database, write_fasta
+
+rng = np.random.default_rng(5)
+root = sys.argv[1]
+write_fasta(query_set(6, rng, min_length=30, max_length=90),
+            f"{root}/queries.fasta")
+write_fasta(random_database(30, 60.0, rng, name="conformance"),
+            f"{root}/database.fasta")
+PY
+python -m repro search "$CONF_DIR/queries.fasta" \
+    "$CONF_DIR/database.fasta" --top 5 \
+    | grep -v '^# makespan' > "$CONF_DIR/plain.txt"
+python -m repro search "$CONF_DIR/queries.fasta" \
+    "$CONF_DIR/database.fasta" --top 5 --batch 4 --cache \
+    | grep -v '^# makespan' > "$CONF_DIR/batched.txt"
+diff "$CONF_DIR/plain.txt" "$CONF_DIR/batched.txt"
+python -m repro simulate --database rat --queries 6 --gpus 1 --sse 2 \
+    --batch 3 --cache > /dev/null
+rm -rf "$CONF_DIR"
+echo "conformance OK: batched hits identical, batched simulate runs"
+
+echo
 echo "== observability smoke benchmark =="
 METRICS_OUT="$(mktemp -t repro-metrics-XXXXXX.json)"
 EVENTS_OUT="$(mktemp -t repro-events-XXXXXX.jsonl)"

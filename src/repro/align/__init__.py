@@ -20,6 +20,12 @@ from .io_formats import (
     write_tabular,
 )
 from .modes import nw_align, nw_score, semiglobal_align, semiglobal_score
+from .multiquery import (
+    MultiQueryProfile,
+    build_multi_profile,
+    sw_score_batch_multi,
+    sw_score_database_multi,
+)
 from .intersequence import (
     DualPrecisionResult,
     LanePack,
@@ -86,6 +92,10 @@ __all__ = [
     "write_tabular",
     "pairwise_report",
     "LanePack",
+    "MultiQueryProfile",
+    "build_multi_profile",
+    "sw_score_batch_multi",
+    "sw_score_database_multi",
     "pack_database",
     "sw_score_batch",
     "sw_score_database",

@@ -90,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="database chunks per query (coarse-grained decomposition; "
         "1 = the paper's very coarse tasks)",
     )
+    _add_batching_flags(search)
     _add_checkpoint_flag(search)
     _add_telemetry_flags(search)
 
@@ -136,6 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds of silence before a worker is reaped "
         "(default 10; 0 disables reaping)",
     )
+    _add_batching_flags(cluster)
     _add_checkpoint_flag(cluster)
     _add_telemetry_flags(cluster)
 
@@ -164,6 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 10x the notify interval when faults are injected; "
         "0 disables reaping)",
     )
+    _add_batching_flags(simulate)
     _add_checkpoint_flag(simulate)
     _add_telemetry_flags(simulate)
 
@@ -321,6 +324,22 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_batching_flags(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--batch", type=int, default=1, metavar="K",
+        help="coalesce up to K compatible queries per assignment into "
+        "one multi-query sweep (1 = the paper's per-task granularity; "
+        "results are bit-identical either way)",
+    )
+    command.add_argument(
+        "--cache", action="store_true",
+        help="enable the process-wide pack/profile caches so repeated "
+        "tasks skip database conversion (the simulator models timing "
+        "only, so there the flag is accepted but has no kernel state "
+        "to cache)",
+    )
+
+
 def _add_checkpoint_flag(command: argparse.ArgumentParser) -> None:
     command.add_argument(
         "--checkpoint", metavar="DIR", default=None,
@@ -377,14 +396,19 @@ def _cmd_search(args: argparse.Namespace) -> int:
     )
     engines = {}
     for i in range(args.gpus):
-        engines[f"gpu{i}"] = InterSequenceEngine(matrix, gaps, top=args.top)
+        engines[f"gpu{i}"] = InterSequenceEngine(
+            matrix, gaps, top=args.top, cache=args.cache
+        )
     for i in range(args.sse):
-        engines[f"sse{i}"] = StripedSSEEngine(matrix, gaps, top=args.top)
+        engines[f"sse{i}"] = StripedSSEEngine(
+            matrix, gaps, top=args.top, cache=args.cache
+        )
     runtime = HybridRuntime(
         engines,
         policy=make_policy(args.policy),
         adjustment=not args.no_adjustment,
         checkpoint_dir=args.checkpoint,
+        batch=args.batch,
     )
     report = runtime.run(
         queries, database, chunks_per_query=args.chunks, top=args.top
@@ -474,6 +498,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         heartbeat_timeout=args.heartbeat,
         faults=_load_fault_plan(args.faults),
         checkpoint_dir=args.checkpoint,
+        batch=args.batch,
+        cache=args.cache,
     )
     for query_id, hits in report.results.items():
         print(f"# query {query_id}")
@@ -496,6 +522,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         faults=_load_fault_plan(args.faults),
         heartbeat_timeout=args.heartbeat,
         checkpoint_dir=args.checkpoint,
+        batch=args.batch,
     )
     report = simulator.run(tasks)
     extras = f" + {args.fpgas} FPGAs" if args.fpgas else ""

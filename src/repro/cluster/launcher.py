@@ -97,6 +97,8 @@ def run_cluster(
     heartbeat_timeout: float | None = None,
     faults: FaultPlan | None = None,
     checkpoint_dir: str | None = None,
+    batch: int = 1,
+    cache: bool = False,
 ) -> ClusterReport:
     """Run a workload on a freshly spawned local cluster.
 
@@ -123,6 +125,13 @@ def run_cluster(
         Journal the master's state under this directory.  A directory
         left behind by a killed run is recovered before workers spawn,
         so the restarted cluster executes only the remaining tasks.
+    batch:
+        Coalesce up to this many compatible queries per assignment into
+        one multi-query engine sweep (1 = the paper's per-task shape).
+        Results are bit-identical either way.
+    cache:
+        Enable each worker's process-wide pack/profile caches so
+        repeated tasks skip database conversion.
     """
     if isinstance(queries, str):
         queries = read_fasta(queries)
@@ -145,6 +154,7 @@ def run_cluster(
             adjustment=adjustment,
             heartbeat_timeout=server_heartbeat,
             checkpoint=checkpoint_dir,
+            batch=batch,
         )
         server.start()
         host, port = server.address
@@ -170,6 +180,8 @@ def run_cluster(
                     gap_extend=gap_extend,
                     top=top,
                     chunk_size=chunk_size,
+                    batch=batch,
+                    cache=cache,
                 )
                 if use_processes:
                     proc = multiprocessing.Process(

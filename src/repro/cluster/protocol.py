@@ -14,7 +14,11 @@ Message types (all carry ``type`` plus the listed fields):
                 stale registration and re-queues its tasks)
 ``request``     pe_id
 ``assign``      tasks[], replicas[], done, wait,   (master -> slave)
-                spans{task_id: {trace, span, parent}}
+                spans{task_id: {trace, span, parent}} [, batch]
+                (``batch`` > 1 invites the slave to coalesce up to that
+                many granted tasks into one multi-query sweep; slaves
+                that ignore it simply execute singly — results are
+                identical either way)
 ``progress``    pe_id, cells, interval [, trace, span, parent]
 ``ack``         cancel[]                           (master -> slave;
                 piggybacks pending cancellations)

@@ -127,6 +127,10 @@ class _Handler(socketserver.StreamRequestHandler):
                     "wait": assignment.empty,
                     "cancel": cancel,
                     "spans": spans,
+                    # Master-selected coalescing width: workers group
+                    # granted tasks into multi-query sweeps up to this
+                    # size (1 = execute singly).
+                    "batch": server.master.batch,
                 },
             )
         elif kind == "progress":
@@ -208,6 +212,7 @@ class MasterServer(socketserver.ThreadingTCPServer):
         heartbeat_timeout: float | None = None,
         master: Master | None = None,
         checkpoint: "str | CheckpointStore | None" = None,
+        batch: int = 1,
     ):
         super().__init__((host, port), _Handler)
         if master is not None and checkpoint is not None:
@@ -238,6 +243,7 @@ class MasterServer(socketserver.ThreadingTCPServer):
                 metrics=self.metrics,
                 events=self.events,
                 journal=store,
+                batch=batch,
             )
             if not recovered.empty:
                 restore_into(self.master, recovered, now=0.0)
@@ -259,6 +265,7 @@ class MasterServer(socketserver.ThreadingTCPServer):
                 omega=omega,
                 metrics=self.metrics,
                 events=self.events,
+                batch=batch,
             )
         self.inst = cluster_server_instruments(self.metrics)
         self.lock = threading.Lock()

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from ..align.gaps import affine_gap
 from ..align.scoring import get_matrix
 from ..core.engines import ChunkProgress, Engine, InterSequenceEngine, ScanEngine, StripedSSEEngine
-from ..core.task import Task
+from ..core.task import Task, TaskBatch, group_into_batches
 from ..faults import FaultInjector, FaultPlan, InjectedCrash
 from ..observability import (
     EventLog,
@@ -79,6 +79,12 @@ class WorkerConfig:
     gap_extend: int = 2
     top: int = 10
     chunk_size: int = 16
+    #: Fallback coalescing width when the master's ``assign`` reply
+    #: carries no ``batch`` field; the reply's value wins otherwise.
+    batch: int = 1
+    #: Enable the process-wide pack/profile caches in this worker's
+    #: engine, so repeated tasks skip database conversion.
+    cache: bool = False
     connect_timeout: float = 10.0
     io_timeout: float = 60.0
     reconnect_attempts: int = 8
@@ -98,6 +104,7 @@ class WorkerConfig:
             affine_gap(self.gap_open, self.gap_extend),
             top=self.top,
             chunk_size=self.chunk_size,
+            cache=self.cache,
         )
 
 
@@ -389,12 +396,39 @@ def run_worker(
                     time.sleep(_WAIT_SECONDS)
                     continue
                 tasks = [decode_task(t) for t in reply.get("tasks", [])]
-                tasks += [decode_task(t) for t in reply.get("replicas", [])]
-                for task in tasks:
+                replicas = [
+                    decode_task(t) for t in reply.get("replicas", [])
+                ]
+                for task in (*tasks, *replicas):
                     # A task released after a reap can be re-granted to
                     # this same worker; a stale cancel flag from its
                     # previous incarnation must not kill the rerun.
                     link.cancelled.discard(task.task_id)
+                width = int(reply.get("batch", config.batch) or 1)
+                if width > 1 and len(tasks) > 1:
+                    for group in group_into_batches(tasks, width):
+                        if len(group) == 1:
+                            completed += _execute(
+                                link, engine, config, queries, database,
+                                group.tasks[0], events, clock,
+                                check_crash=check_crash, straggle=straggle,
+                            )
+                        else:
+                            completed += _execute_batch(
+                                link, engine, config, queries, database,
+                                group, events, clock,
+                                check_crash=check_crash, straggle=straggle,
+                            )
+                else:
+                    for task in tasks:
+                        completed += _execute(
+                            link, engine, config, queries, database, task,
+                            events, clock,
+                            check_crash=check_crash, straggle=straggle,
+                        )
+                # Replicas always run singly: each races another PE's
+                # in-flight copy of the same task.
+                for task in replicas:
                     completed += _execute(
                         link, engine, config, queries, database, task,
                         events, clock,
@@ -485,3 +519,106 @@ def _execute(
             outcome="complete", **span,
         )
     return 1
+
+
+def _execute_batch(
+    link: "_Link | ResilientLink",
+    engine: Engine,
+    config: WorkerConfig,
+    queries: IndexedReader,
+    database: SequenceDatabase,
+    group: TaskBatch,
+    events: EventLog | None = None,
+    clock=time.perf_counter,
+    check_crash=None,
+    straggle=None,
+) -> int:
+    """One multi-query sweep over *group*, fanned out per task.
+
+    Every member still produces its own ``progress`` stream and its own
+    ``complete``/``cancelled`` message (with that task's span context),
+    so the master observes the exact singleton protocol; only the
+    engine call is shared.  The sweep's wall-clock time is apportioned
+    to members by cell share.  Returns the number completed.
+    """
+    tasks = group.tasks
+    query_records = [queries[t.query_index] for t in tasks]
+    spans = {t.task_id: link.spans.get(t.task_id, {}) for t in tasks}
+    if events is not None:
+        for task in tasks:
+            events.emit(
+                "worker_task_start", clock(),
+                pe=config.pe_id, task=task.task_id,
+                **spans[task.task_id],
+            )
+    started = time.perf_counter()
+    state = {"last": started}
+
+    def progress(position: int, chunk: ChunkProgress) -> bool:
+        if check_crash is not None:
+            check_crash()
+        if straggle is not None:
+            straggle(time.perf_counter() - state["last"])
+        now = time.perf_counter()
+        task = tasks[position]
+        link.call(
+            {
+                "type": "progress",
+                "pe_id": config.pe_id,
+                "cells": chunk.cells,
+                "interval": max(now - state["last"], 1e-9),
+                **spans[task.task_id],
+            }
+        )
+        state["last"] = now
+        return task.task_id not in link.cancelled
+
+    def cancelled(position: int) -> bool:
+        return tasks[position].task_id in link.cancelled
+
+    hit_lists = engine.search_batch(
+        query_records, database, progress=progress, cancelled=cancelled
+    )
+    total_elapsed = max(time.perf_counter() - started, 1e-9)
+    total_cells = group.cells
+    done = 0
+    for task, hits in zip(tasks, hit_lists):
+        span = spans[task.task_id]
+        link.spans.pop(task.task_id, None)
+        if hits is None:  # cancelled mid-sweep
+            link.cancelled.discard(task.task_id)
+            link.call(
+                {
+                    "type": "cancelled",
+                    "pe_id": config.pe_id,
+                    "task_id": task.task_id,
+                    **span,
+                }
+            )
+            if events is not None:
+                events.emit(
+                    "worker_task_end", clock(),
+                    pe=config.pe_id, task=task.task_id,
+                    outcome="cancelled", **span,
+                )
+            continue
+        share = task.cells / total_cells if total_cells else 1.0
+        link.call(
+            {
+                "type": "complete",
+                "pe_id": config.pe_id,
+                "task_id": task.task_id,
+                "elapsed": max(total_elapsed * share, 1e-9),
+                "cells": task.cells,
+                "hits": [encode_hit(h) for h in hits],
+                **span,
+            }
+        )
+        if events is not None:
+            events.emit(
+                "worker_task_end", clock(),
+                pe=config.pe_id, task=task.task_id,
+                outcome="complete", **span,
+            )
+        done += 1
+    return done

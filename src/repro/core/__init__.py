@@ -1,6 +1,14 @@
 """Core contribution: tasks, policies, adjustment, master/slave runtime."""
 
+from .caching import (
+    KeyedLRU,
+    PackCache,
+    ProfileCache,
+    default_pack_cache,
+    default_profile_cache,
+)
 from .engines import (
+    BatchedEngine,
     Engine,
     InterSequenceEngine,
     ScanEngine,
@@ -20,7 +28,14 @@ from .policies import (
 )
 from .results import merge_hits, offset_hits
 from .runtime import HybridRuntime, RunReport, build_tasks
-from .task import Task, TaskPool, TaskResult, TaskState
+from .task import (
+    Task,
+    TaskBatch,
+    TaskPool,
+    TaskResult,
+    TaskState,
+    group_into_batches,
+)
 
 __all__ = [
     "Engine",
@@ -28,6 +43,12 @@ __all__ = [
     "InterSequenceEngine",
     "ScanEngine",
     "ThrottledEngine",
+    "BatchedEngine",
+    "KeyedLRU",
+    "PackCache",
+    "ProfileCache",
+    "default_pack_cache",
+    "default_profile_cache",
     "HistoryBook",
     "RateEstimator",
     "RateSample",
@@ -48,7 +69,9 @@ __all__ = [
     "merge_hits",
     "offset_hits",
     "Task",
+    "TaskBatch",
     "TaskPool",
     "TaskResult",
     "TaskState",
+    "group_into_batches",
 ]

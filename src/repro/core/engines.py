@@ -29,6 +29,7 @@ from ..align.api import SearchHit
 from ..align.gaps import DEFAULT_GAPS, GapModel
 from ..align.intersequence import pack_database, sw_score_batch, _padded_profile
 from ..align.columnwise import sw_score_scan
+from ..align.multiquery import build_multi_profile, sw_score_batch_multi
 from ..align.scoring import SubstitutionMatrix
 from ..align.striped import (
     SCORE_CAP_8BIT,
@@ -39,6 +40,7 @@ from ..align.striped import (
 )
 from ..sequences.database import SequenceDatabase
 from ..sequences.records import Sequence
+from .caching import default_pack_cache, default_profile_cache
 
 __all__ = [
     "ChunkProgress",
@@ -47,6 +49,7 @@ __all__ = [
     "InterSequenceEngine",
     "ScanEngine",
     "ThrottledEngine",
+    "BatchedEngine",
 ]
 
 
@@ -62,6 +65,12 @@ class ChunkProgress:
 ProgressCallback = Callable[[ChunkProgress], bool]
 """Called between chunks; returning ``False`` aborts the task."""
 
+BatchProgressCallback = Callable[[int, ChunkProgress], bool]
+"""Batch variant: ``(query_position, chunk)``; ``False`` aborts that query."""
+
+CancelledCallback = Callable[[int], bool]
+"""Polled between chunks: has the batch's ``query_position`` been cancelled?"""
+
 
 class Engine(abc.ABC):
     """One PE's compute capability."""
@@ -70,12 +79,18 @@ class Engine(abc.ABC):
     #: used for display and by the platform builders.
     pe_class: str = "generic"
 
+    #: Pack/profile caches (bound when constructed with ``cache=True``);
+    #: class-level ``None`` so wrappers that skip ``__init__`` stay inert.
+    pack_cache = None
+    profile_cache = None
+
     def __init__(
         self,
         matrix: SubstitutionMatrix,
         gaps: GapModel = DEFAULT_GAPS,
         top: int = 10,
         chunk_size: int = 64,
+        cache: bool = False,
     ):
         if chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
@@ -83,6 +98,15 @@ class Engine(abc.ABC):
         self.gaps = gaps
         self.top = top
         self.chunk_size = chunk_size
+        if cache:
+            self.pack_cache = default_pack_cache()
+            self.profile_cache = default_profile_cache()
+
+    def bind_caches(self, registry) -> None:
+        """Mirror this engine's cache accounting into *registry*."""
+        for cache in (self.pack_cache, self.profile_cache):
+            if cache is not None:
+                cache.bind(registry)
 
     def search(
         self,
@@ -109,6 +133,53 @@ class Engine(abc.ABC):
                 subject_length=len(database[-neg_index]),
             )
             for score, neg_index in ranked
+        )
+
+    def search_batch(
+        self,
+        queries: list[Sequence],
+        database: SequenceDatabase,
+        progress: BatchProgressCallback | None = None,
+        cancelled: CancelledCallback | None = None,
+    ) -> list[tuple[SearchHit, ...] | None]:
+        """Run several tasks against one database in a single call.
+
+        The generic implementation just loops :meth:`search`; engines
+        with a native multi-query kernel override it.  Results align
+        with *queries*; a ``None`` slot means that query was aborted
+        (its progress callback returned ``False`` or *cancelled* said
+        so).  Per-query outputs are bit-identical to singleton calls.
+        """
+        results: list[tuple[SearchHit, ...] | None] = []
+        for position, query in enumerate(queries):
+            if cancelled is not None and cancelled(position):
+                results.append(None)
+                continue
+            per_query = None
+            if progress is not None:
+                def per_query(chunk, _position=position):
+                    return progress(_position, chunk)
+            results.append(self.search(query, database, progress=per_query))
+        return results
+
+    def _hits_from_scores(
+        self, scores: np.ndarray, database: SequenceDatabase
+    ) -> tuple[SearchHit, ...]:
+        """Top-k hits from a full score vector, matching :meth:`search`.
+
+        A stable sort on descending score reproduces the heap's exact
+        ordering contract (score desc, database index asc on ties), so
+        batch-path hits are byte-identical to the singleton path.
+        """
+        order = np.argsort(-scores, kind="stable")[: self.top]
+        return tuple(
+            SearchHit(
+                subject_id=database[int(index)].id,
+                subject_index=int(index),
+                score=int(scores[int(index)]),
+                subject_length=len(database[int(index)]),
+            )
+            for index in order
         )
 
     @abc.abstractmethod
@@ -151,9 +222,7 @@ class StripedSSEEngine(Engine):
         for cap, lanes in plans:
             profile = profiles.get(cap)
             if profile is None:
-                profile = StripedProfile.build(
-                    query_codes, self.matrix, lanes=lanes
-                )
+                profile = self._striped_profile(query_codes, lanes)
                 profiles[cap] = profile
             try:
                 score, _ = sw_score_striped_once(
@@ -163,6 +232,21 @@ class StripedSSEEngine(Engine):
             except SaturationOverflow:
                 continue
         raise AssertionError("unreachable: uncapped pass cannot saturate")
+
+    def _striped_profile(self, query_codes, lanes: int) -> StripedProfile:
+        if self.profile_cache is None:
+            return StripedProfile.build(query_codes, self.matrix, lanes=lanes)
+
+        def build() -> StripedProfile:
+            profile = StripedProfile.build(
+                query_codes, self.matrix, lanes=lanes
+            )
+            profile.scores.setflags(write=False)
+            return profile
+
+        return self.profile_cache.get_or_build(
+            "striped", query_codes.tobytes(), self.matrix, (int(lanes),), build
+        )
 
     def _score_chunks(self, query, database):
         from ..align.reference import _codes
@@ -203,14 +287,84 @@ class InterSequenceEngine(Engine):
         self.lanes = lanes
         self.dual_precision = dual_precision
 
+    def _packs(self, database):
+        """Lane packs for *database*: cached conversion when enabled."""
+        if self.pack_cache is None:
+            return pack_database(database, self.matrix, lanes=self.lanes)
+        return self.pack_cache.packs(database, self.matrix, self.lanes)
+
+    def _query_profile(self, query_codes):
+        if self.profile_cache is None:
+            return _padded_profile(query_codes, self.matrix)
+
+        def build():
+            profile = _padded_profile(query_codes, self.matrix)
+            profile.setflags(write=False)
+            return profile
+
+        return self.profile_cache.get_or_build(
+            "padded", query_codes.tobytes(), self.matrix, (), build
+        )
+
+    def _multi_profile(self, queries_codes):
+        if self.profile_cache is None:
+            return build_multi_profile(queries_codes, self.matrix)
+        key = tuple(codes.tobytes() for codes in queries_codes)
+        return self.profile_cache.get_or_build(
+            "multi",
+            key,
+            self.matrix,
+            (),
+            lambda: build_multi_profile(queries_codes, self.matrix),
+        )
+
+    def search_batch(self, queries, database, progress=None, cancelled=None):
+        """Native multi-query sweep: all queries share each lane pack.
+
+        One 3-D DP sweep (:func:`~repro.align.multiquery.sw_score_batch_multi`)
+        advances every query over a pack simultaneously, so the pack
+        loop, the profile gather and the lazy-F fixpoint are paid once
+        per batch.  Abort/cancel granularity stays per pack, exactly as
+        in the singleton path.
+        """
+        from ..align.reference import _codes
+
+        if not queries:
+            return []
+        queries_codes = [_codes(q, self.matrix) for q in queries]
+        mq = self._multi_profile(queries_codes)
+        scores = np.zeros((len(queries), len(database)), dtype=np.int64)
+        aborted = [False] * len(queries)
+        for pack in self._packs(database):
+            batch = sw_score_batch_multi(mq, pack, self.gaps)
+            scores[:, pack.order] = batch
+            for position in range(len(queries)):
+                if aborted[position]:
+                    continue
+                if cancelled is not None and cancelled(position):
+                    aborted[position] = True
+                    continue
+                if progress is not None:
+                    cells = (
+                        len(queries_codes[position])
+                        * pack.cells_per_query_residue
+                    )
+                    if not progress(position, ChunkProgress(cells)):
+                        aborted[position] = True
+        return [
+            None if aborted[position]
+            else self._hits_from_scores(scores[position], database)
+            for position in range(len(queries))
+        ]
+
     def _score_chunks(self, query, database):
         from ..align.intersequence import sw_score_batch_capped
         from ..align.reference import _codes
         from ..sequences.database import SequenceDatabase as _DB
 
         query_codes = _codes(query, self.matrix)
-        profile = _padded_profile(query_codes, self.matrix)
-        for pack in pack_database(database, self.matrix, lanes=self.lanes):
+        profile = self._query_profile(query_codes)
+        for pack in self._packs(database):
             if self.dual_precision:
                 scores, saturated = sw_score_batch_capped(
                     query_codes, pack, self.matrix, self.gaps,
@@ -303,6 +457,17 @@ class ThrottledEngine(Engine):
     def chunk_size(self):  # type: ignore[override]
         return self.inner.chunk_size
 
+    @property
+    def pack_cache(self):  # type: ignore[override]
+        return self.inner.pack_cache
+
+    @property
+    def profile_cache(self):  # type: ignore[override]
+        return self.inner.profile_cache
+
+    def bind_caches(self, registry):
+        self.inner.bind_caches(registry)
+
     def search(self, query, database, progress=None):
         import time
 
@@ -321,3 +486,80 @@ class ThrottledEngine(Engine):
 
     def _score_chunks(self, query, database):  # pragma: no cover
         raise NotImplementedError("ThrottledEngine delegates search()")
+
+
+class BatchedEngine(Engine):
+    """Coalesce up to ``max_batch`` compatible queries per engine call.
+
+    The wrapper is the policy half of query batching: it slices an
+    incoming query list into groups of at most ``max_batch`` and hands
+    each group to the wrapped engine's :meth:`~Engine.search_batch`
+    (native 3-D sweep on the inter-sequence engine, a plain loop
+    elsewhere).  "Compatible" means sharing this engine's matrix, gap
+    model and database — exactly what one assignment batch guarantees.
+    Singleton searches pass straight through.
+    """
+
+    pe_class = "batched"
+
+    def __init__(self, inner: Engine, max_batch: int = 8):
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        # Like ThrottledEngine: no super().__init__; behaviour delegates.
+        self.inner = inner
+        self.max_batch = max_batch
+
+    @property
+    def matrix(self):  # type: ignore[override]
+        return self.inner.matrix
+
+    @property
+    def gaps(self):  # type: ignore[override]
+        return self.inner.gaps
+
+    @property
+    def top(self):  # type: ignore[override]
+        return self.inner.top
+
+    @property
+    def chunk_size(self):  # type: ignore[override]
+        return self.inner.chunk_size
+
+    @property
+    def pack_cache(self):  # type: ignore[override]
+        return self.inner.pack_cache
+
+    @property
+    def profile_cache(self):  # type: ignore[override]
+        return self.inner.profile_cache
+
+    def bind_caches(self, registry):
+        self.inner.bind_caches(registry)
+
+    def search(self, query, database, progress=None):
+        return self.inner.search(query, database, progress=progress)
+
+    def search_batch(self, queries, database, progress=None, cancelled=None):
+        results: list[tuple[SearchHit, ...] | None] = []
+        for start in range(0, len(queries), self.max_batch):
+            group = queries[start : start + self.max_batch]
+            group_progress = None
+            group_cancelled = None
+            if progress is not None:
+                def group_progress(position, chunk, _start=start):
+                    return progress(_start + position, chunk)
+            if cancelled is not None:
+                def group_cancelled(position, _start=start):
+                    return cancelled(_start + position)
+            results.extend(
+                self.inner.search_batch(
+                    group,
+                    database,
+                    progress=group_progress,
+                    cancelled=group_cancelled,
+                )
+            )
+        return results
+
+    def _score_chunks(self, query, database):  # pragma: no cover
+        raise NotImplementedError("BatchedEngine delegates search()")

@@ -100,6 +100,15 @@ class Master:
         retirement, assignment, winning completion and cancellation is
         journaled through it, so a crashed master can be rebuilt from
         disk.  ``None`` (the default) journals nothing.
+    batch:
+        Minimum tasks granted per non-empty assignment (default 1 =
+        the paper's behaviour).  With ``batch=K`` a request that the
+        policy would satisfy with fewer tasks is widened to up to K, so
+        a slave can coalesce compatible queries into one multi-query
+        sweep.  Widening never shrinks a policy grant, every task is
+        still journaled/traced individually, and replicas are unaffected
+        — so results, recovery sets and replica semantics are identical
+        to singleton assignment.
     """
 
     def __init__(
@@ -112,7 +121,10 @@ class Master:
         events: EventLog | None = None,
         spans: bool = True,
         journal: object | None = None,
+        batch: int = 1,
     ):
+        if batch < 1:
+            raise ValueError("batch must be at least 1")
         self.pool = TaskPool(tasks)
         self.policy = policy
         self.adjustment = adjustment
@@ -125,6 +137,7 @@ class Master:
         self._inst = master_instruments(self.metrics)
         self.spans = spans
         self.journal = journal
+        self.batch = batch
         #: Attempt counter per (task, pe) — keeps replica span ids
         #: unique when a task revisits a PE after a release.
         self._span_attempts: dict[tuple[int, str], int] = {}
@@ -358,8 +371,14 @@ class Master:
             history=self.history,
         )
         count = self.policy.batch_size(ctx)
+        if count > 0 and self.batch > 1:
+            # Widen (never shrink) the grant so the slave can coalesce
+            # the tasks into one multi-query sweep.
+            count = max(count, self.batch)
         tasks = self.pool.acquire(pe_id, count) if count > 0 else []
         if tasks:
+            if len(tasks) > 1 and self.batch > 1:
+                self._record("batch", now, pe_id, value=float(len(tasks)))
             state.granted += len(tasks)
             state.queue.extend(t.task_id for t in tasks)
             for t in tasks:

@@ -28,7 +28,7 @@ from .engines import ChunkProgress, Engine
 from .master import Assignment, Master, TraceEvent
 from .policies import AllocationPolicy, PackageWeightedSelfScheduling
 from .results import merge_hits, offset_hits
-from .task import Task, TaskResult
+from .task import Task, TaskBatch, TaskResult, group_into_batches
 
 __all__ = ["RunReport", "HybridRuntime", "build_tasks"]
 
@@ -283,6 +283,7 @@ class _Worker(threading.Thread):
         cancel_lock: threading.Lock,
         clock,
         injector: FaultInjector | None = None,
+        batch: int = 1,
     ):
         super().__init__(name=pe_id, daemon=True)
         self.pe_id = pe_id
@@ -295,6 +296,7 @@ class _Worker(threading.Thread):
         self.cancel_lock = cancel_lock
         self.clock = clock
         self.injector = injector
+        self.batch = batch
         self.tasks_done = 0
         self.error: BaseException | None = None
 
@@ -332,7 +334,19 @@ class _Worker(threading.Thread):
                 # release, re-assign back to this PE).
                 for task in (*assignment.tasks, *assignment.replicas):
                     self.cancel_flags[self.pe_id].discard(task.task_id)
-            for task in (*assignment.tasks, *assignment.replicas):
+            if self.batch > 1 and len(assignment.tasks) > 1:
+                for group in group_into_batches(assignment.tasks, self.batch):
+                    if len(group) == 1:
+                        self._execute(group.tasks[0])
+                    else:
+                        self._execute_batch(group)
+            else:
+                for task in assignment.tasks:
+                    self._execute(task)
+            # Replicas always execute singly: a replica races another
+            # PE's in-flight copy, so coalescing it would only delay
+            # the first completion the mechanism is trying to speed up.
+            for task in assignment.replicas:
                 self._execute(task)
 
     def _execute(self, task: Task) -> None:
@@ -375,6 +389,66 @@ class _Worker(threading.Thread):
             for loser in losers:
                 self.cancel_flags[loser].add(task.task_id)
 
+    def _execute_batch(self, group: TaskBatch) -> None:
+        """One multi-query sweep, fanned back out to per-task messages.
+
+        The engine scores every member of *group* in one call; each
+        task still completes (or acknowledges cancellation)
+        individually, so the master's bookkeeping, the journal and any
+        replica race see exactly the per-task protocol they would under
+        singleton execution.  The batch's wall-clock time is
+        apportioned to members by their cell share.
+        """
+        tasks = group.tasks
+        queries = [self.queries[t.query_index] for t in tasks]
+        database = self.chunks[group.chunk_index]
+        started = self.clock()
+        state = {"last": started}
+
+        def progress(position: int, chunk: ChunkProgress) -> bool:
+            self._check_crash()
+            now = self.clock()
+            interval = now - state["last"]
+            state["last"] = now
+            if self.injector is not None:
+                pause = self.injector.straggle_sleep(
+                    self.pe_id, now, interval
+                )
+                if pause > 0:
+                    time.sleep(pause)
+                    now = self.clock()
+            self.shared.progress(self.pe_id, now, chunk.cells, interval)
+            return not self._cancelled(tasks[position].task_id)
+
+        def cancelled(position: int) -> bool:
+            return self._cancelled(tasks[position].task_id)
+
+        hit_lists = self.engine.search_batch(
+            queries, database, progress=progress, cancelled=cancelled
+        )
+        now = self.clock()
+        total_elapsed = max(now - started, 1e-9)
+        total_cells = group.cells
+        for task, hits in zip(tasks, hit_lists):
+            if hits is None:  # aborted by cancellation
+                self.shared.cancelled(self.pe_id, task.task_id, self.clock())
+                continue
+            share = task.cells / total_cells if total_cells else 1.0
+            result = TaskResult(
+                task_id=task.task_id,
+                pe_id=self.pe_id,
+                elapsed=max(total_elapsed * share, 1e-9),
+                cells=task.cells,
+                payload=offset_hits(
+                    hits, self.chunk_offsets[task.chunk_index]
+                ),
+            )
+            losers = self.shared.complete(self.pe_id, result, self.clock())
+            self.tasks_done += 1
+            with self.cancel_lock:
+                for loser in losers:
+                    self.cancel_flags[loser].add(task.task_id)
+
 
 class HybridRuntime:
     """Run a whole workload on a set of engine-backed worker threads.
@@ -395,9 +469,12 @@ class HybridRuntime:
         checkpoint_dir: str | None = None,
         checkpoint_sync_every: int = 1,
         checkpoint_compact_every: int = 0,
+        batch: int = 1,
     ):
         if not engines:
             raise ValueError("at least one engine is required")
+        if batch < 1:
+            raise ValueError("batch must be at least 1")
         self.engines = dict(engines)
         self.policy = policy or PackageWeightedSelfScheduling()
         self.adjustment = adjustment
@@ -413,6 +490,9 @@ class HybridRuntime:
         self.checkpoint_dir = checkpoint_dir
         self.checkpoint_sync_every = checkpoint_sync_every
         self.checkpoint_compact_every = checkpoint_compact_every
+        #: Coalesce up to this many compatible tasks per assignment into
+        #: one multi-query engine sweep (1 = the paper's behaviour).
+        self.batch = batch
 
     def run(
         self,
@@ -465,7 +545,10 @@ class HybridRuntime:
             metrics=metrics,
             events=events,
             journal=store,
+            batch=self.batch,
         )
+        for engine in self.engines.values():
+            engine.bind_caches(metrics)
         if store is not None and not recovered.empty:
             restore_into(master, recovered, now=clock())
         injector = (
@@ -502,6 +585,7 @@ class HybridRuntime:
                 cancel_lock,
                 clock,
                 injector,
+                batch=self.batch,
             )
             for pe_id, engine in self.engines.items()
         ]

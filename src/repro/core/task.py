@@ -20,7 +20,14 @@ import enum
 from dataclasses import dataclass, field
 from typing import Iterable
 
-__all__ = ["TaskState", "Task", "TaskResult", "TaskPool"]
+__all__ = [
+    "TaskState",
+    "Task",
+    "TaskBatch",
+    "TaskResult",
+    "TaskPool",
+    "group_into_batches",
+]
 
 
 class TaskState(enum.Enum):
@@ -55,6 +62,69 @@ class Task:
     def __post_init__(self) -> None:
         if self.query_length < 0 or self.cells < 0:
             raise ValueError("task sizes must be non-negative")
+
+
+@dataclass(frozen=True)
+class TaskBatch:
+    """Several compatible tasks one slave executes in a single sweep.
+
+    A batch is a *worker-side* grouping of an assignment: the master
+    still tracks, journals and replicates the member tasks individually
+    (batch → per-task fan-out on completion), so scheduling semantics
+    are untouched.  Compatibility means the tasks share one database
+    chunk (``chunk_index``), which is what lets one multi-query kernel
+    sweep serve them all.
+    """
+
+    tasks: tuple[Task, ...]
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise ValueError("a batch needs at least one task")
+        chunks = {t.chunk_index for t in self.tasks}
+        if len(chunks) != 1:
+            raise ValueError(
+                f"batch spans database chunks {sorted(chunks)}; "
+                "members must share one chunk"
+            )
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def chunk_index(self) -> int:
+        return self.tasks[0].chunk_index
+
+    @property
+    def cells(self) -> int:
+        return sum(t.cells for t in self.tasks)
+
+
+def group_into_batches(
+    tasks: Iterable[Task], max_batch: int
+) -> list[TaskBatch]:
+    """Group an assignment into compatible batches of at most *max_batch*.
+
+    Tasks are grouped by database chunk in arrival order — assignment
+    order is preserved within and across batches, so per-task effects
+    (progress, completion fan-out) happen in the same order a singleton
+    worker would produce them.
+    """
+    if max_batch < 1:
+        raise ValueError("max_batch must be at least 1")
+    batches: list[TaskBatch] = []
+    current: list[Task] = []
+    for task in tasks:
+        if current and (
+            task.chunk_index != current[0].chunk_index
+            or len(current) >= max_batch
+        ):
+            batches.append(TaskBatch(tasks=tuple(current)))
+            current = []
+        current.append(task)
+    if current:
+        batches.append(TaskBatch(tasks=tuple(current)))
+    return batches
 
 
 @dataclass(frozen=True)

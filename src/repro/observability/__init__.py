@@ -25,6 +25,7 @@ from .conventions import (
     TRACE_REPORT_METRICS,
     TRACE_REPORT_PE_FIELDS,
     TRACE_REPORT_SCHEMA,
+    cache_instruments,
     cluster_server_instruments,
     cluster_worker_instruments,
     finalize_run_metrics,
@@ -62,6 +63,7 @@ __all__ = [
     "Timer",
     "Stopwatch",
     "master_instruments",
+    "cache_instruments",
     "cluster_server_instruments",
     "cluster_worker_instruments",
     "finalize_run_metrics",

@@ -24,6 +24,7 @@ from .registry import MetricsRegistry
 
 __all__ = [
     "master_instruments",
+    "cache_instruments",
     "cluster_server_instruments",
     "cluster_worker_instruments",
     "finalize_run_metrics",
@@ -172,6 +173,32 @@ def master_instruments(registry: MetricsRegistry) -> SimpleNamespace:
             "cells_completed_total",
             "Matrix cells of completed tasks per PE (incl. stale)",
             ("pe",),
+        ),
+    )
+
+
+def cache_instruments(registry: MetricsRegistry) -> SimpleNamespace:
+    """Pack/profile cache metrics (the ``cache`` label names the cache)."""
+    return SimpleNamespace(
+        hits=registry.counter(
+            "cache_hits_total",
+            "Cache lookups served from a resident entry",
+            ("cache",),
+        ),
+        misses=registry.counter(
+            "cache_misses_total",
+            "Cache lookups that had to build the entry",
+            ("cache",),
+        ),
+        evictions=registry.counter(
+            "cache_evictions_total",
+            "Entries evicted by the LRU capacity bound",
+            ("cache",),
+        ),
+        entries=registry.gauge(
+            "cache_entries",
+            "Entries currently resident in the cache",
+            ("cache",),
         ),
     )
 

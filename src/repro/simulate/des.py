@@ -218,9 +218,12 @@ class HybridSimulator:
         checkpoint_dir: str | None = None,
         checkpoint_sync_every: int = 1,
         checkpoint_compact_every: int = 0,
+        batch: int = 1,
     ):
         if not pes:
             raise ValueError("at least one PE is required")
+        if batch < 1:
+            raise ValueError("batch must be at least 1")
         ids = [spec.pe_id for spec in pes]
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate PE ids")
@@ -262,6 +265,11 @@ class HybridSimulator:
         self.checkpoint_dir = checkpoint_dir
         self.checkpoint_sync_every = checkpoint_sync_every
         self.checkpoint_compact_every = checkpoint_compact_every
+        #: Minimum tasks per non-empty grant (see ``Master(batch=...)``).
+        #: A simulated slave still executes its batch sequentially, so
+        #: batching here models the amortized request round-trips, not a
+        #: kernel-level speedup.
+        self.batch = batch
 
     # ------------------------------------------------------------------
     def run(self, tasks: list[Task]) -> SimReport:
@@ -301,6 +309,7 @@ class HybridSimulator:
             metrics=metrics,
             events=events,
             journal=store,
+            batch=self.batch,
         )
         if store is not None and not recovered.empty:
             restore_into(master, recovered, now=0.0)
@@ -1025,6 +1034,7 @@ class _RunState:
             metrics=dead.metrics,
             events=dead.events,
             journal=store,
+            batch=self.config.batch,
         )
         restore_into(replacement, recovered, now=now)
         self.master = replacement

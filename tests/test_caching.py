@@ -1,0 +1,251 @@
+"""Cache-correctness tests: metrics, eviction, and immutability.
+
+Covers the :class:`~repro.core.KeyedLRU` accounting (hit/miss/eviction
+counts locally and mirrored into a bound
+:class:`~repro.observability.MetricsRegistry`), eviction under a small
+capacity, and the regression that a cached :class:`LanePack` or profile
+is never mutated by a search (the arrays are frozen, so mutation is a
+hard ``ValueError`` instead of silent corruption).
+"""
+
+import numpy as np
+import pytest
+
+from repro.align import BLOSUM62, DEFAULT_GAPS
+from repro.core import (
+    InterSequenceEngine,
+    KeyedLRU,
+    PackCache,
+    ProfileCache,
+    StripedSSEEngine,
+)
+from repro.observability import MetricsRegistry
+from repro.sequences import Sequence, random_database, random_sequence
+
+
+def cache_series(snapshot: dict, family: str) -> dict[str, float]:
+    """Map cache-name label -> value for one ``cache_*`` family."""
+    for entry in snapshot["metrics"]:
+        if entry["name"] == family:
+            return {
+                s["labels"]["cache"]: s["value"] for s in entry["series"]
+            }
+    raise AssertionError(f"{family} missing from snapshot")
+
+
+class TestKeyedLRU:
+    def test_build_once_then_hit(self):
+        lru = KeyedLRU(4, name="t")
+        builds = []
+        value = lru.get_or_build("k", lambda: builds.append(1) or "v")
+        again = lru.get_or_build("k", lambda: builds.append(1) or "v2")
+        assert value == again == "v"
+        assert builds == [1]
+        assert (lru.hits, lru.misses, lru.evictions) == (1, 1, 0)
+
+    def test_eviction_under_small_capacity(self):
+        lru = KeyedLRU(2, name="tiny")
+        for key in ("a", "b", "c"):
+            lru.get_or_build(key, lambda key=key: key.upper())
+        assert len(lru) == 2
+        assert lru.evictions == 1
+        # "a" (least recently used) was evicted; "b"/"c" are resident.
+        assert lru.get_or_build("b", lambda: "rebuilt") == "B"
+        assert lru.hits == 1
+        lru.get_or_build("a", lambda: "rebuilt")
+        assert lru.misses == 5 - 1  # every call above except the "b" hit
+
+    def test_lru_order_respects_recency(self):
+        lru = KeyedLRU(2, name="recency")
+        lru.get_or_build("a", lambda: 1)
+        lru.get_or_build("b", lambda: 2)
+        lru.get_or_build("a", lambda: -1)  # refresh "a"
+        lru.get_or_build("c", lambda: 3)  # evicts "b", not "a"
+        assert lru.get_or_build("a", lambda: -2) == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            KeyedLRU(0)
+
+    def test_bound_registry_mirrors_counts(self):
+        registry = MetricsRegistry()
+        lru = KeyedLRU(2, name="bound")
+        lru.bind(registry)
+        lru.get_or_build("a", lambda: 1)
+        lru.get_or_build("a", lambda: 1)
+        lru.get_or_build("b", lambda: 2)
+        lru.get_or_build("c", lambda: 3)  # evicts "a"
+        snapshot = registry.snapshot()
+        assert cache_series(snapshot, "cache_hits_total")["bound"] == 1
+        assert cache_series(snapshot, "cache_misses_total")["bound"] == 3
+        assert cache_series(snapshot, "cache_evictions_total")["bound"] == 1
+        assert cache_series(snapshot, "cache_entries")["bound"] == 2
+
+    def test_clear_resets_entries_gauge(self):
+        registry = MetricsRegistry()
+        lru = KeyedLRU(4, name="clearable")
+        lru.bind(registry)
+        lru.get_or_build("a", lambda: 1)
+        lru.clear()
+        assert len(lru) == 0
+        snapshot = registry.snapshot()
+        assert cache_series(snapshot, "cache_entries")["clearable"] == 0
+
+    def test_unbind_stops_mirroring(self):
+        registry = MetricsRegistry()
+        lru = KeyedLRU(4, name="unbound")
+        lru.bind(registry)
+        lru.unbind()
+        lru.get_or_build("a", lambda: 1)
+        snapshot = registry.snapshot()
+        assert cache_series(snapshot, "cache_misses_total") == {}
+        assert lru.misses == 1  # local accounting continues
+
+
+class TestPackCache:
+    def test_same_database_hits(self, rng):
+        database = random_database(12, 30.0, rng, name="pc")
+        cache = PackCache(capacity=4, name="pack-test")
+        first = cache.packs(database, BLOSUM62, lanes=8)
+        second = cache.packs(database, BLOSUM62, lanes=8)
+        assert first is second
+        assert (cache.lru.hits, cache.lru.misses) == (1, 1)
+
+    def test_lane_count_is_part_of_the_key(self, rng):
+        database = random_database(12, 30.0, rng, name="pc2")
+        cache = PackCache(capacity=4, name="pack-lanes")
+        a = cache.packs(database, BLOSUM62, lanes=8)
+        b = cache.packs(database, BLOSUM62, lanes=4)
+        assert a is not b
+        assert cache.lru.misses == 2
+
+    def test_cached_packs_are_frozen(self, rng):
+        database = random_database(10, 25.0, rng, name="pc3")
+        cache = PackCache(capacity=2, name="pack-frozen")
+        packs = cache.packs(database, BLOSUM62, lanes=8)
+        with pytest.raises(ValueError):
+            packs[0].residues[0, 0] = 0
+        with pytest.raises(ValueError):
+            packs[0].order[0] = 0
+
+
+class TestProfileCache:
+    def test_content_addressing_shares_equal_sequences(self):
+        cache = ProfileCache(capacity=8, name="prof")
+        a = Sequence(id="a", residues="MKVLAW")
+        b = Sequence(id="b", residues="MKVLAW")  # same residues, new id
+        codes_a = BLOSUM62.alphabet.encode(a.residues).tobytes()
+        codes_b = BLOSUM62.alphabet.encode(b.residues).tobytes()
+        built = []
+        first = cache.get_or_build(
+            "striped", codes_a, BLOSUM62, (16,),
+            lambda: built.append(1) or "profile",
+        )
+        second = cache.get_or_build(
+            "striped", codes_b, BLOSUM62, (16,),
+            lambda: built.append(1) or "other",
+        )
+        assert first is second
+        assert built == [1]
+
+    def test_params_disambiguate(self):
+        cache = ProfileCache(capacity=8, name="prof2")
+        codes = BLOSUM62.alphabet.encode("MKVLAW").tobytes()
+        a = cache.get_or_build("striped", codes, BLOSUM62, (16,), lambda: "a")
+        b = cache.get_or_build("striped", codes, BLOSUM62, (8,), lambda: "b")
+        c = cache.get_or_build("padded", codes, BLOSUM62, (16,), lambda: "c")
+        assert (a, b, c) == ("a", "b", "c")
+
+
+class TestEngineCaching:
+    """End-to-end: cache-enabled engines return identical results and
+    never mutate their shared state."""
+
+    def _workload(self, rng):
+        query = random_sequence(30, rng, seq_id="q")
+        database = random_database(20, 40.0, rng, name="engine-cache")
+        return query, database
+
+    def _private_caches(self, engine, pack_capacity=4):
+        engine.pack_cache = PackCache(capacity=pack_capacity, name="ec-pack")
+        engine.profile_cache = ProfileCache(capacity=16, name="ec-prof")
+        return engine
+
+    def test_intersequence_results_unchanged_with_cache(self, rng):
+        query, database = self._workload(rng)
+        plain = InterSequenceEngine(BLOSUM62, DEFAULT_GAPS, top=8)
+        cached = self._private_caches(
+            InterSequenceEngine(BLOSUM62, DEFAULT_GAPS, top=8)
+        )
+        expected = [(h.subject_index, h.score) for h in
+                    plain.search(query, database)]
+        for _ in range(3):  # repeated searches exercise the hit path
+            got = [(h.subject_index, h.score) for h in
+                   cached.search(query, database)]
+            assert got == expected
+        assert cached.pack_cache.lru.hits >= 2
+        assert cached.profile_cache.lru.hits >= 2
+
+    def test_striped_results_unchanged_with_cache(self, rng):
+        query, database = self._workload(rng)
+        plain = StripedSSEEngine(BLOSUM62, DEFAULT_GAPS, top=8)
+        cached = self._private_caches(
+            StripedSSEEngine(BLOSUM62, DEFAULT_GAPS, top=8)
+        )
+        expected = [(h.subject_index, h.score) for h in
+                    plain.search(query, database)]
+        for _ in range(2):
+            got = [(h.subject_index, h.score) for h in
+                   cached.search(query, database)]
+            assert got == expected
+        assert cached.profile_cache.lru.hits >= 1
+
+    def test_cached_pack_never_mutated_regression(self, rng):
+        """A search through the cache must not write to the shared pack.
+
+        The arrays are frozen on insert, so any kernel regression that
+        tries to scribble on them raises instead of corrupting the next
+        search.  Byte-compare the cached arrays before/after to prove
+        the searches really left them untouched.
+        """
+        query, database = self._workload(rng)
+        engine = self._private_caches(
+            InterSequenceEngine(BLOSUM62, DEFAULT_GAPS, top=8)
+        )
+        engine.search(query, database)
+        packs = engine.pack_cache.packs(
+            database, BLOSUM62, engine.lanes
+        )
+        before = [
+            (p.residues.copy(), p.lengths.copy(), p.order.copy())
+            for p in packs
+        ]
+        engine.search(query, database)
+        engine.search_batch([query, query], database)
+        for pack, (residues, lengths, order) in zip(packs, before):
+            assert not pack.residues.flags.writeable
+            np.testing.assert_array_equal(pack.residues, residues)
+            np.testing.assert_array_equal(pack.lengths, lengths)
+            np.testing.assert_array_equal(pack.order, order)
+
+    def test_bind_caches_exports_metrics(self, rng):
+        query, database = self._workload(rng)
+        engine = self._private_caches(
+            InterSequenceEngine(BLOSUM62, DEFAULT_GAPS, top=8)
+        )
+        registry = MetricsRegistry()
+        engine.bind_caches(registry)
+        engine.search(query, database)
+        engine.search(query, database)
+        snapshot = registry.snapshot()
+        assert cache_series(snapshot, "cache_hits_total")["ec-pack"] >= 1
+        assert cache_series(snapshot, "cache_misses_total")["ec-pack"] >= 1
+
+    def test_cache_flag_uses_process_wide_caches(self):
+        from repro.core import default_pack_cache, default_profile_cache
+
+        engine = InterSequenceEngine(BLOSUM62, DEFAULT_GAPS, cache=True)
+        assert engine.pack_cache is default_pack_cache()
+        assert engine.profile_cache is default_profile_cache()
+        plain = InterSequenceEngine(BLOSUM62, DEFAULT_GAPS)
+        assert plain.pack_cache is None and plain.profile_cache is None

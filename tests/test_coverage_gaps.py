@@ -62,6 +62,144 @@ class TestSvgVariants:
         ET.fromstring(gantt_svg(empty, title="empty"))
 
 
+class TestLoadgenValidation:
+    """Error paths and degenerate inputs of simulate/loadgen.py."""
+
+    def test_step_load_rejects_negative_time(self):
+        from repro.simulate import step_load
+
+        with pytest.raises(ValueError, match="non-negative"):
+            step_load((-1.0, 0.5))
+
+    def test_step_load_rejects_negative_capacity(self):
+        from repro.simulate import step_load
+
+        with pytest.raises(ValueError, match="capacity"):
+            step_load((10.0, -0.1))
+
+    def test_step_load_sorts_steps(self):
+        from repro.simulate import step_load
+
+        assert step_load((60.0, 0.5), (0.0, 1.0)) == (
+            (0.0, 1.0),
+            (60.0, 0.5),
+        )
+
+    def test_competing_process_rejects_stop_before_start(self):
+        from repro.simulate.loadgen import competing_process
+
+        with pytest.raises(ValueError, match="stop"):
+            competing_process(60.0, stop=60.0)
+
+    def test_competing_process_restores_capacity(self):
+        from repro.simulate.loadgen import competing_process
+
+        profile = competing_process(60.0, capacity=0.4, stop=120.0)
+        assert profile == ((60.0, 0.4), (120.0, 1.0))
+
+    def test_os_jitter_empty_for_nonpositive_duration(self, rng):
+        from repro.simulate.loadgen import os_jitter
+
+        assert os_jitter(0.0, rng) == ()
+        assert os_jitter(-5.0, rng) == ()
+
+    def test_os_jitter_caps_within_amplitude(self, rng):
+        from repro.simulate.loadgen import os_jitter
+
+        profile = os_jitter(30.0, rng, period=5.0, amplitude=0.04)
+        assert len(profile) == 5
+        assert all(0.96 <= cap <= 1.0 for _, cap in profile)
+
+    def test_combine_profiles_empty(self):
+        from repro.simulate.loadgen import combine_profiles
+
+        assert combine_profiles() == ()
+        assert combine_profiles((), ()) == ()
+
+    def test_combine_profiles_is_multiplicative(self):
+        from repro.simulate.loadgen import combine_profiles
+
+        combined = combine_profiles(
+            ((10.0, 0.5),), ((10.0, 0.8), (20.0, 1.0))
+        )
+        assert combined == ((10.0, pytest.approx(0.4)),
+                            (20.0, pytest.approx(0.5)))
+
+
+class TestIoFormatsEdgeCases:
+    """Placeholder and formatting branches of align/io_formats.py."""
+
+    def _alignment(self, **overrides):
+        defaults = dict(
+            query_id="q", subject_id="t", score=12,
+            aligned_query="AC-E", aligned_subject="ACDE",
+            query_start=0, query_end=3, subject_start=0, subject_end=4,
+        )
+        defaults.update(overrides)
+        return Alignment(**defaults)
+
+    def test_tabular_placeholders_without_statistics(self):
+        from repro.align.io_formats import alignment_to_tabular
+
+        line = alignment_to_tabular(self._alignment())
+        fields = line.split("\t")
+        assert fields[10] == "*"  # no E-value without statistics
+        assert fields[11] == "12"  # raw score stands in for bitscore
+        assert fields[5] == "1"  # the single gap open
+
+    def test_tabular_with_statistics(self):
+        from repro.align.io_formats import alignment_to_tabular
+
+        line = alignment_to_tabular(
+            self._alignment(), evalue=1e-5, bit_score=42.31
+        )
+        fields = line.split("\t")
+        assert fields[10] == "1e-05"
+        assert fields[11] == "42.3"
+
+    def test_hits_to_tabular_score_only_placeholders(self):
+        from repro.align.api import SearchHit, SearchResult
+        from repro.align.io_formats import hits_to_tabular
+
+        result = SearchResult(
+            query_id="q",
+            database_name="db",
+            cells=210,
+            hits=(
+                SearchHit(subject_id="s", subject_index=0, score=7,
+                          subject_length=30),
+            ),
+        )
+        (line,) = hits_to_tabular(result)
+        fields = line.split("\t")
+        assert fields[2:10] == ["*"] * 8
+        assert fields[11] == "7"
+
+    def test_write_tabular_header_and_destination(self):
+        import io as io_module
+
+        from repro.align.io_formats import write_tabular
+
+        sink = io_module.StringIO()
+        text = write_tabular(["row1", "row2"], destination=sink)
+        assert text.startswith("# qseqid\t")
+        assert sink.getvalue() == text
+        bare = write_tabular(["row1"], header=False)
+        assert bare == "row1\n"
+
+    def test_pairwise_report_full_statistics_block(self):
+        from repro.align.api import SearchHit
+        from repro.align.io_formats import pairwise_report
+
+        hit = SearchHit(subject_id="t", subject_index=0, score=12,
+                        subject_length=4, evalue=0.001, bit_score=20.5)
+        report = pairwise_report(
+            [(self._alignment(), hit)], database_name="swissprot"
+        )
+        assert "bits: 20.5" in report
+        assert "E(swissprot): 0.001" in report
+
+
 class TestLauncherVariants:
     def test_run_cluster_accepts_fasta_paths(self, tmp_path):
         from repro.align import BLOSUM62, DEFAULT_GAPS, database_search
