@@ -9,7 +9,11 @@
 # and finally a durability stage: a seeded master-kill/resume
 # round-trip per environment over a --checkpoint directory, plus
 # `repro journal verify` on the produced journal (and a negative
-# check that a flipped byte is detected).
+# check that a flipped byte is detected).  A store stage exercises the
+# persistent pack store: `repro db build|verify`, a warm `--store`
+# search diffed byte-identical against the cold run, and a negative
+# check that a flipped byte fails both `db verify` and the warm
+# search.
 #
 # Usage: scripts/check.sh
 # Runs from any cwd; needs only the in-repo package (no installs).
@@ -54,6 +58,61 @@ python -m repro simulate --database rat --queries 6 --gpus 1 --sse 2 \
     --batch 3 --cache > /dev/null
 rm -rf "$CONF_DIR"
 echo "conformance OK: batched hits identical, batched simulate runs"
+
+echo
+echo "== store stage: repro db build/verify + warm-start search =="
+STORE_DIR="$(mktemp -d -t repro-store-XXXXXX)"
+python - "$STORE_DIR" <<'PY'
+import sys
+
+import numpy as np
+
+from repro.sequences import query_set, random_database, write_fasta
+
+rng = np.random.default_rng(11)
+root = sys.argv[1]
+write_fasta(query_set(4, rng, min_length=30, max_length=80),
+            f"{root}/queries.fasta")
+write_fasta(random_database(40, 60.0, rng, name="storecheck"),
+            f"{root}/database.fasta")
+PY
+python -m repro db build "$STORE_DIR/database.fasta" \
+    --store "$STORE_DIR/packs" --queries "$STORE_DIR/queries.fasta"
+python -m repro db verify "$STORE_DIR/packs"
+# The warm-start search must emit hits byte-identical to the cold run.
+python -m repro search "$STORE_DIR/queries.fasta" \
+    "$STORE_DIR/database.fasta" --top 5 \
+    | grep -v '^# makespan' > "$STORE_DIR/cold.txt"
+python -m repro search "$STORE_DIR/queries.fasta" \
+    "$STORE_DIR/database.fasta" --top 5 --store "$STORE_DIR/packs" \
+    | grep -v '^# makespan' > "$STORE_DIR/warm.txt"
+diff "$STORE_DIR/cold.txt" "$STORE_DIR/warm.txt"
+# Negative check: a flipped byte must fail verify AND the warm search.
+python - "$STORE_DIR/packs" <<'PY'
+import pathlib
+import sys
+
+arrays = sorted(pathlib.Path(sys.argv[1], "objects").glob("*.npy"))
+if not arrays:
+    sys.exit("store has no array files to corrupt")
+target = max(arrays, key=lambda p: p.stat().st_size)
+data = bytearray(target.read_bytes())
+data[len(data) // 2] ^= 0x01
+target.write_bytes(bytes(data))
+print(f"flipped one byte in {target.name}")
+PY
+if python -m repro db verify "$STORE_DIR/packs" 2>/dev/null; then
+    echo "db verify missed a corrupted array" >&2
+    exit 1
+fi
+if python -m repro search "$STORE_DIR/queries.fasta" \
+    "$STORE_DIR/database.fasta" --top 5 --store "$STORE_DIR/packs" \
+    > /dev/null 2>&1; then
+    echo "warm-start search accepted a corrupted store" >&2
+    exit 1
+fi
+rm -rf "$STORE_DIR"
+echo "store OK: warm hits identical, corruption rejected loudly"
 
 echo
 echo "== observability smoke benchmark =="

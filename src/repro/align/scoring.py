@@ -16,6 +16,7 @@ index.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -69,6 +70,26 @@ class SubstitutionMatrix:
         contiguous row per subject residue.
         """
         return np.ascontiguousarray(self.scores[:, query_codes])
+
+    @property
+    def digest(self) -> str:
+        """Content digest of the score table and its alphabet.
+
+        Two matrices that would score any alignment identically share a
+        digest; two matrices that differ anywhere cannot.  The caches
+        and the pack store key on this instead of :attr:`name`, so two
+        distinct customs that happen to share a display name can never
+        alias one entry (``name`` is cosmetic; the digest is identity).
+        """
+        cached = getattr(self, "_digest", None)
+        if cached is None:
+            h = hashlib.sha256()
+            h.update(self.alphabet.letters.encode("ascii"))
+            h.update(self.alphabet.wildcard.encode("ascii"))
+            h.update(self.scores.tobytes())
+            cached = h.hexdigest()
+            object.__setattr__(self, "_digest", cached)
+        return cached
 
     @property
     def max_score(self) -> int:

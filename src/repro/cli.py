@@ -16,7 +16,10 @@ Subcommands mirror the paper's workflow:
   directly by ``--trace-out``);
 * ``journal`` — inspect/verify a ``--checkpoint`` directory's
   write-ahead journal and snapshot (``repro journal verify`` checks
-  every record's CRC).
+  every record's CRC);
+* ``db``      — build/inspect/verify a persistent pre-packed database
+  store (``repro.packstore.v1``); ``search``/``cluster``/``serve``/
+  ``worker`` warm-start from it via ``--store``.
 """
 
 from __future__ import annotations
@@ -92,6 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_batching_flags(search)
     _add_checkpoint_flag(search)
+    _add_store_flag(search)
     _add_telemetry_flags(search)
 
     align = sub.add_parser("align", help="pairwise alignment of two FASTAs")
@@ -139,6 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_batching_flags(cluster)
     _add_checkpoint_flag(cluster)
+    _add_store_flag(cluster)
     _add_telemetry_flags(cluster)
 
     simulate = sub.add_parser(
@@ -212,6 +217,7 @@ def build_parser() -> argparse.ArgumentParser:
         "workers must be pointed at (default: a temp directory)",
     )
     _add_checkpoint_flag(serve)
+    _add_store_flag(serve)
 
     worker = sub.add_parser(
         "worker", help="run a standalone slave against a remote master"
@@ -230,6 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--gap-extend", type=int, default=2)
     worker.add_argument("--top", type=int, default=5)
     worker.add_argument("--chunk-size", type=int, default=16)
+    _add_store_flag(worker)
 
     tables = sub.add_parser("tables", help="regenerate paper tables/figures")
     tables.add_argument(
@@ -321,6 +328,49 @@ def build_parser() -> argparse.ArgumentParser:
     jverify.add_argument(
         "path", help="checkpoint directory or journal.jsonl file"
     )
+
+    db = sub.add_parser(
+        "db",
+        help="build/inspect/verify a persistent pre-packed database "
+        "store (repro.packstore.v1) for warm-started engines",
+    )
+    db_sub = db.add_subparsers(dest="db_command", required=True)
+
+    dbuild = db_sub.add_parser(
+        "build",
+        help="serialize a database's lane packs (and optional query "
+        "profiles) into a store directory",
+    )
+    dbuild.add_argument("database", help="database FASTA file")
+    dbuild.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="store directory (created if missing)",
+    )
+    dbuild.add_argument(
+        "--queries", default=None, metavar="FASTA",
+        help="also serialize these queries' padded/striped profiles",
+    )
+    dbuild.add_argument("--matrix", default="blosum62")
+    dbuild.add_argument(
+        "--lanes", default="32", metavar="N[,N...]",
+        help="comma-separated lane widths to pack at (default: 32, "
+        "the inter-sequence engine's width)",
+    )
+
+    dinspect = db_sub.add_parser(
+        "inspect", help="list a store's entries and their geometry"
+    )
+    dinspect.add_argument("store", metavar="DIR")
+    dinspect.add_argument(
+        "--format", default="text", choices=["text", "json"],
+    )
+
+    dverify = db_sub.add_parser(
+        "verify",
+        help="re-check every manifest and array CRC; non-zero exit on "
+        "any corruption",
+    )
+    dverify.add_argument("store", metavar="DIR")
     return parser
 
 
@@ -337,6 +387,15 @@ def _add_batching_flags(command: argparse.ArgumentParser) -> None:
         "tasks skip database conversion (the simulator models timing "
         "only, so there the flag is accepted but has no kernel state "
         "to cache)",
+    )
+
+
+def _add_store_flag(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="warm-start from a repro.packstore.v1 directory (see "
+        "`repro-sw db build`): engines memory-map pre-packed database "
+        "shards and profiles instead of re-packing on start",
     )
 
 
@@ -394,14 +453,26 @@ def _cmd_search(args: argparse.Namespace) -> int:
     database = SequenceDatabase.from_fasta(
         args.database, alphabet=matrix.alphabet
     )
+    store = None
+    if args.store is not None:
+        from .store import PackStore, StoreError
+
+        # Fail before the run starts: a StoreError surfacing inside a
+        # PE thread would stall the master instead of aborting.
+        try:
+            store = PackStore(args.store)
+            store.verify()
+        except StoreError as exc:
+            print(f"store verification FAILED: {exc}", file=sys.stderr)
+            return 1
     engines = {}
     for i in range(args.gpus):
         engines[f"gpu{i}"] = InterSequenceEngine(
-            matrix, gaps, top=args.top, cache=args.cache
+            matrix, gaps, top=args.top, cache=args.cache, store=store
         )
     for i in range(args.sse):
         engines[f"sse{i}"] = StripedSSEEngine(
-            matrix, gaps, top=args.top, cache=args.cache
+            matrix, gaps, top=args.top, cache=args.cache, store=store
         )
     runtime = HybridRuntime(
         engines,
@@ -500,6 +571,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint,
         batch=args.batch,
         cache=args.cache,
+        store_dir=args.store,
     )
     for query_id, hits in report.results.items():
         print(f"# query {query_id}")
@@ -607,6 +679,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     d_path = os.path.join(export_dir, "database.seqx")
     write_indexed(queries, q_path)
     write_indexed(list(database), d_path)
+    if args.store is not None:
+        # Populate (idempotently) before verifying, so a fresh serve
+        # both builds the warm-start shards and vouches for them.
+        from .store import build_store
+
+        build_store(
+            args.store, database, get_matrix("blosum62"), queries=queries
+        )
 
     server = MasterServer(
         build_tasks(queries, database),
@@ -616,16 +696,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         heartbeat_timeout=args.heartbeat,
         checkpoint=args.checkpoint,
+        store=args.store,
     )
     server.start()
     host, port = server.address
     print(f"master listening on {host}:{port}")
     print(f"indexed files for workers:\n  {q_path}\n  {d_path}")
     print("start workers with e.g.:")
+    store_hint = f" --store {args.store}" if args.store else ""
     print(
         f"  repro-sw worker --host <this-host> --port {port} "
         f"--pe-id sse0 --engine sse --queries {q_path} "
-        f"--database {d_path}"
+        f"--database {d_path}{store_hint}"
     )
     try:
         server.wait_finished(timeout=args.timeout)
@@ -655,9 +737,79 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         gap_extend=args.gap_extend,
         top=args.top,
         chunk_size=args.chunk_size,
+        store=args.store,
     )
     completed = run_worker(config)
     print(f"worker {args.pe_id} completed {completed} tasks")
+    return 0
+
+
+def _cmd_db(args: argparse.Namespace) -> int:
+    """Build/inspect/verify a ``repro.packstore.v1`` directory."""
+    import json
+
+    from .store import PackStore, StoreError, build_store
+
+    if args.db_command == "build":
+        matrix = get_matrix(args.matrix)
+        database = SequenceDatabase.from_fasta(
+            args.database, alphabet=matrix.alphabet
+        )
+        queries = (
+            read_fasta(args.queries, alphabet=matrix.alphabet)
+            if args.queries
+            else None
+        )
+        lanes = tuple(
+            int(part) for part in str(args.lanes).split(",") if part.strip()
+        )
+        store = build_store(
+            args.store, database, matrix, queries=queries, lanes_list=lanes
+        )
+        counts = store.verify()
+        print(
+            f"store {args.store}: {counts['packs']} pack entries, "
+            f"{counts['profiles']} profile entries "
+            f"(db {len(database)} seqs / {database.total_residues} "
+            f"residues, matrix {matrix.name}, lanes {list(lanes)})"
+        )
+        return 0
+
+    try:
+        store = PackStore(args.store)
+        if args.db_command == "verify":
+            counts = store.verify()
+            print(
+                f"OK: {counts['entries']} entries verified "
+                f"({counts['packs']} packs, {counts['profiles']} profiles)"
+            )
+            return 0
+        entries = list(store.entries())
+    except StoreError as exc:
+        print(f"store verification FAILED: {exc}", file=sys.stderr)
+        return 1
+
+    # inspect
+    if args.format == "json":
+        print(json.dumps(entries, indent=2, sort_keys=True))
+        return 0
+    print(f"# {args.store}: {len(entries)} entries")
+    for entry in entries:
+        if entry["kind"] == "packs":
+            db = entry["database"]
+            print(
+                f"  packs    {entry['key'][:12]}  lanes={entry['lanes']:<3} "
+                f"batches={len(entry['packs'])} "
+                f"db={db['name']} ({db['records']} seqs, "
+                f"{db['residues']} residues)  matrix={entry['matrix']['name']}"
+            )
+        else:
+            print(
+                f"  profile  {entry['key'][:12]}  "
+                f"kind={entry['profile_kind']:<8} "
+                f"params={entry['params']}  "
+                f"matrix={entry['matrix']['name']}"
+            )
     return 0
 
 
@@ -957,6 +1109,7 @@ def main(argv: list[str] | None = None) -> int:
         "metrics": _cmd_metrics,
         "trace": _cmd_trace,
         "journal": _cmd_journal,
+        "db": _cmd_db,
     }
     return handlers[args.command](args)
 

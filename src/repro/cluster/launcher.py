@@ -99,6 +99,7 @@ def run_cluster(
     checkpoint_dir: str | None = None,
     batch: int = 1,
     cache: bool = False,
+    store_dir: str | None = None,
 ) -> ClusterReport:
     """Run a workload on a freshly spawned local cluster.
 
@@ -132,6 +133,13 @@ def run_cluster(
     cache:
         Enable each worker's process-wide pack/profile caches so
         repeated tasks skip database conversion.
+    store_dir:
+        Persistent ``repro.packstore.v1`` directory: the launcher
+        populates it with the workload's lane packs and query profiles
+        (idempotent — a directory left by an earlier run is reused
+        as-is), the master verifies it before accepting workers, and
+        every worker memory-maps its shards instead of re-packing on
+        start.  This is the warm-start path for restarted clusters.
     """
     if isinstance(queries, str):
         queries = read_fasta(queries)
@@ -144,6 +152,17 @@ def run_cluster(
     # 0 (or negative) = reaping disabled = server's ``None``.
     server_heartbeat = heartbeat_timeout if heartbeat_timeout > 0 else None
 
+    if store_dir is not None:
+        # Populate the warm-start store up front (content addressing
+        # makes this a no-op when a previous run already built it) so
+        # the workers below find their shards on first request.
+        from ..align.scoring import get_matrix
+        from ..store import build_store
+
+        build_store(
+            store_dir, database, get_matrix(matrix), queries=list(queries)
+        )
+
     with tempfile.TemporaryDirectory(prefix="repro-cluster-") as tmp:
         query_path = _materialize_indexed(list(queries), tmp, "queries.seqx")
         db_path = _materialize_indexed(list(database), tmp, "database.seqx")
@@ -155,6 +174,7 @@ def run_cluster(
             heartbeat_timeout=server_heartbeat,
             checkpoint=checkpoint_dir,
             batch=batch,
+            store=store_dir,
         )
         server.start()
         host, port = server.address
@@ -182,6 +202,7 @@ def run_cluster(
                     chunk_size=chunk_size,
                     batch=batch,
                     cache=cache,
+                    store=store_dir,
                 )
                 if use_processes:
                     proc = multiprocessing.Process(

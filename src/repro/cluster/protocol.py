@@ -9,9 +9,13 @@ protocol is debuggable with ``nc``.
 Message types (all carry ``type`` plus the listed fields):
 
 ==============  =====================================================
-``register``    pe_id [, attempt]  (attempt > 0 marks a reconnecting
-                worker's fresh incarnation; the master retires the
-                stale registration and re-queues its tasks)
+``register``    pe_id [, attempt] [, protocol]  (attempt > 0 marks a
+                reconnecting worker's fresh incarnation; the master
+                retires the stale registration and re-queues its
+                tasks.  ``protocol`` is the worker's wire version —
+                absent means version 1, a pre-handshake worker; the
+                master rejects versions newer than its own with an
+                ``error`` reply instead of mis-parsing later frames)
 ``request``     pe_id
 ``assign``      tasks[], replicas[], done, wait,   (master -> slave)
                 spans{task_id: {trace, span, parent}} [, batch]
@@ -52,7 +56,10 @@ from ..align.api import SearchHit
 from ..core.task import Task
 
 __all__ = [
+    "PROTOCOL_VERSION",
+    "MIN_PROTOCOL_VERSION",
     "ProtocolError",
+    "check_protocol_version",
     "send_message",
     "recv_message",
     "encode_task",
@@ -65,9 +72,40 @@ __all__ = [
 #: Upper bound on one frame; a sanity guard against stream corruption.
 MAX_FRAME_BYTES = 4 * 1024 * 1024
 
+#: Current wire version.  Version history:
+#: 1 — the original Fig. 4 vocabulary (implicit; ``register`` carries
+#:     no ``protocol`` field);
+#: 2 — adds the ``protocol`` handshake on ``register``/``ack`` and the
+#:     store-backed warm-start deployment shape.
+PROTOCOL_VERSION = 2
+
+#: Oldest version the master still accepts.  All v1 messages are valid
+#: v2 messages, so pre-handshake workers keep interoperating.
+MIN_PROTOCOL_VERSION = 1
+
 
 class ProtocolError(RuntimeError):
     """Malformed or unexpected wire traffic."""
+
+
+def check_protocol_version(message: dict[str, Any]) -> int:
+    """Validate the ``protocol`` field of a ``register`` message.
+
+    Returns the peer's version; raises :class:`ProtocolError` when the
+    field is malformed or outside the supported range.  An absent field
+    is a version-1 worker, which is always accepted.
+    """
+    raw = message.get("protocol", MIN_PROTOCOL_VERSION)
+    try:
+        version = int(raw)
+    except (TypeError, ValueError):
+        raise ProtocolError(f"malformed protocol version {raw!r}") from None
+    if version < MIN_PROTOCOL_VERSION or version > PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version}; this master "
+            f"speaks {MIN_PROTOCOL_VERSION}..{PROTOCOL_VERSION}"
+        )
+    return version
 
 
 def send_message(sock: socket.socket, message: dict[str, Any]) -> None:

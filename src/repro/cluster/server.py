@@ -27,7 +27,9 @@ from ..observability import (
     cluster_server_instruments,
 )
 from .protocol import (
+    PROTOCOL_VERSION,
     ProtocolError,
+    check_protocol_version,
     decode_hit,
     encode_task,
     recv_message,
@@ -84,6 +86,17 @@ class _Handler(socketserver.StreamRequestHandler):
         if kind == "register":
             pe_id = str(message["pe_id"])
             attempt = int(message.get("attempt", 0))
+            try:
+                check_protocol_version(message)
+            except ProtocolError as exc:
+                # A worker from the future: refuse it at the handshake
+                # instead of mis-parsing its frames mid-run.
+                server.inst.protocol_errors.inc()
+                send_message(
+                    self.connection,
+                    {"type": "error", "message": str(exc)},
+                )
+                return False
             with server.lock:
                 if server.master.is_registered(pe_id):
                     # A reconnecting worker's fresh incarnation: retire
@@ -96,7 +109,16 @@ class _Handler(socketserver.StreamRequestHandler):
                     pe_id, server.clock(), attempt=attempt
                 )
                 server.cancel_flags[pe_id] = set()
-            send_message(self.connection, {"type": "ack", "cancel": []})
+            send_message(
+                self.connection,
+                {
+                    "type": "ack",
+                    "cancel": [],
+                    # Echo the master's own version so a newer worker
+                    # can tell what it is talking to.
+                    "protocol": PROTOCOL_VERSION,
+                },
+            )
         elif kind == "request":
             pe_id = str(message["pe_id"])
             with server.lock:
@@ -213,7 +235,20 @@ class MasterServer(socketserver.ThreadingTCPServer):
         master: Master | None = None,
         checkpoint: "str | CheckpointStore | None" = None,
         batch: int = 1,
+        store: "str | None" = None,
     ):
+        #: Warm-start pack store the fleet's workers mmap from.  The
+        #: master never reads packs itself; verifying the store (before
+        #: even binding the port) fails the deployment up front instead
+        #: of letting a worker trip over a corrupt shard mid-run.
+        self.pack_store = None
+        if store is not None:
+            from ..store import PackStore
+
+            self.pack_store = (
+                store if isinstance(store, PackStore) else PackStore(store)
+            )
+            self.pack_store.verify()
         super().__init__((host, port), _Handler)
         if master is not None and checkpoint is not None:
             raise ValueError(

@@ -28,6 +28,7 @@ from ..observability import (
 from ..sequences.database import SequenceDatabase
 from ..sequences.indexed import IndexedReader
 from .protocol import (
+    PROTOCOL_VERSION,
     ProtocolError,
     decode_task,
     encode_hit,
@@ -85,6 +86,11 @@ class WorkerConfig:
     #: Enable the process-wide pack/profile caches in this worker's
     #: engine, so repeated tasks skip database conversion.
     cache: bool = False
+    #: Warm-start directory: a ``repro.packstore.v1`` store built by
+    #: ``repro db build``.  The engine memory-maps pre-packed database
+    #: shards and profiles from it instead of re-packing on start
+    #: (implies private engine caches; see ``docs/storage.md``).
+    store: str | None = None
     connect_timeout: float = 10.0
     io_timeout: float = 60.0
     reconnect_attempts: int = 8
@@ -105,6 +111,7 @@ class WorkerConfig:
             top=self.top,
             chunk_size=self.chunk_size,
             cache=self.cache,
+            store=self.store,
         )
 
 
@@ -232,7 +239,11 @@ class ResilientLink:
                     cancelled=self.cancelled,
                     spans=self.spans,
                 )
-                message: dict = {"type": "register", "pe_id": config.pe_id}
+                message: dict = {
+                    "type": "register",
+                    "pe_id": config.pe_id,
+                    "protocol": PROTOCOL_VERSION,
+                }
                 if self.attempt:
                     message["attempt"] = self.attempt
                 link.call(message)

@@ -16,6 +16,17 @@ queries; this module gives the numpy engines the same lever:
   content-addressed by the query's residue codes so equal sequences
   share an entry regardless of object identity.
 
+Both caches key on :attr:`SubstitutionMatrix.digest` — a content hash
+of the score table — never on ``matrix.name``, so two distinct customs
+sharing a display name cannot alias one entry and return wrong scores.
+
+Either cache can be backed by a :class:`~repro.store.PackStore` disk
+tier (``store=``): an LRU miss consults the store before rebuilding, so
+a warm-started process memory-maps previously serialized packs instead
+of re-packing.  The store is a read-only tier here — population happens
+explicitly via ``repro db build`` — and a corrupt store entry raises
+rather than falling back, so disk rot is loud.
+
 Cached arrays are frozen (``setflags(write=False)``) so a buggy kernel
 that tries to mutate shared state trips immediately instead of
 corrupting later searches — the cache-correctness tests rely on this.
@@ -138,15 +149,19 @@ class PackCache:
     """Memoized database → :class:`LanePack` conversions.
 
     Keyed by database identity *and* shape — ``(id(database),
-    len(database), total_residues, matrix.name, lanes)`` — with a strong
-    reference to the database held in the entry so the ``id()`` can
-    never be recycled while its packs are resident.  A database mutated
-    in place would defeat the key; :class:`SequenceDatabase` fixes its
-    records at construction, which is what makes this safe.
+    len(database), total_residues, matrix.digest, lanes)`` — with a
+    strong reference to the database held in the entry so the ``id()``
+    can never be recycled while its packs are resident.  A database
+    mutated in place would defeat the key; :class:`SequenceDatabase`
+    fixes its records at construction, which is what makes this safe.
+    The matrix enters the key by content digest, not display name.
     """
 
-    def __init__(self, capacity: int = 8, name: str = "pack") -> None:
+    def __init__(
+        self, capacity: int = 8, name: str = "pack", store=None
+    ) -> None:
         self._lru = KeyedLRU(capacity, name=name)
+        self.store = store
 
     @property
     def lru(self) -> KeyedLRU:
@@ -171,15 +186,22 @@ class PackCache:
             id(database),
             len(database),
             database.total_residues,
-            matrix.name,
+            matrix.digest,
             int(lanes),
         )
 
         def build() -> tuple[SequenceDatabase, tuple[LanePack, ...]]:
-            packs = tuple(
-                _freeze_pack(p)
-                for p in pack_database(database, matrix, lanes=lanes)
-            )
+            packs = None
+            if self.store is not None:
+                # Disk tier: mmap previously serialized packs.  The
+                # store returns None only when the entry is absent; a
+                # corrupt entry raises instead of rebuilding silently.
+                packs = self.store.get_packs(database, matrix, lanes)
+            if packs is None:
+                packs = tuple(
+                    _freeze_pack(p)
+                    for p in pack_database(database, matrix, lanes=lanes)
+                )
             # Keep the database alive alongside its packs: the id() in
             # the key stays valid exactly as long as the entry does.
             return (database, packs)
@@ -190,15 +212,18 @@ class PackCache:
 class ProfileCache:
     """Memoized query profiles, content-addressed by residue codes.
 
-    The key embeds the query's coded residues (``codes.tobytes()``), the
-    matrix name and every shape parameter of the profile, so two
-    :class:`~repro.sequences.records.Sequence` objects with equal
-    residues share one entry and a near-miss (different matrix, lane
-    count or cap) can never alias.
+    The key embeds the query's coded residues (``codes.tobytes()``),
+    the matrix's content digest and every shape parameter of the
+    profile, so two :class:`~repro.sequences.records.Sequence` objects
+    with equal residues share one entry and a near-miss (different
+    matrix, lane count or cap) can never alias.
     """
 
-    def __init__(self, capacity: int = 256, name: str = "profile") -> None:
+    def __init__(
+        self, capacity: int = 256, name: str = "profile", store=None
+    ) -> None:
         self._lru = KeyedLRU(capacity, name=name)
+        self.store = store
 
     @property
     def lru(self) -> KeyedLRU:
@@ -221,8 +246,17 @@ class ProfileCache:
         params: tuple,
         builder: Callable[[], V],
     ) -> V:
-        key = (kind, codes_key, matrix.name, params)
-        return self._lru.get_or_build(key, builder)
+        key = (kind, codes_key, matrix.digest, params)
+        if self.store is None or not isinstance(codes_key, bytes):
+            # "multi" profiles key on tuples of codes; those composites
+            # stay in-memory only.
+            return self._lru.get_or_build(key, builder)
+
+        def tiered():
+            value = self.store.get_profile(kind, codes_key, matrix, params)
+            return value if value is not None else builder()
+
+        return self._lru.get_or_build(key, tiered)
 
 
 _DEFAULT_PACK_CACHE = PackCache()

@@ -91,6 +91,7 @@ class Engine(abc.ABC):
         top: int = 10,
         chunk_size: int = 64,
         cache: bool = False,
+        store=None,
     ):
         if chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
@@ -98,7 +99,18 @@ class Engine(abc.ABC):
         self.gaps = gaps
         self.top = top
         self.chunk_size = chunk_size
-        if cache:
+        if store is not None:
+            # Warm start: private caches backed by the on-disk pack
+            # store (private, not the process-wide singletons, so one
+            # engine's store choice never leaks into another's).
+            from .caching import PackCache, ProfileCache
+            from ..store import PackStore
+
+            if not isinstance(store, PackStore):
+                store = PackStore(store)
+            self.pack_cache = PackCache(store=store)
+            self.profile_cache = ProfileCache(store=store)
+        elif cache:
             self.pack_cache = default_pack_cache()
             self.profile_cache = default_profile_cache()
 

@@ -121,12 +121,24 @@ class FixedSplit(AllocationPolicy):
     Models [10]'s assumption of equal CPU/GPU power: the first request
     from each PE receives ``ceil(total / num_pes)`` tasks and later
     requests receive nothing (the PE is done with its share).
+
+    ``num_pes`` optionally pins the fleet size used for the split.  PEs
+    register with the master one by one, so a PE that requests work
+    before the fleet is complete would otherwise see a partial
+    ``ctx.num_pes`` and take far more than its share; a launcher that
+    knows the fleet size should pass it here.
     """
 
     name = "fixed"
 
+    def __init__(self, num_pes: int | None = None):
+        if num_pes is not None and num_pes <= 0:
+            raise ValueError("num_pes must be positive when given")
+        self.num_pes = num_pes
+
     def batch_size(self, ctx: PolicyContext) -> int:
-        share = -(-ctx.total_tasks // max(1, ctx.num_pes))
+        fleet = self.num_pes if self.num_pes is not None else ctx.num_pes
+        share = -(-ctx.total_tasks // max(1, fleet))
         already = ctx.tasks_already_assigned.get(ctx.pe_id, 0)
         return max(0, min(share - already, ctx.ready_tasks))
 
@@ -138,6 +150,15 @@ class WeightedFixed(AllocationPolicy):
     power (e.g. ``{"gpu0": 6, "sse0": 1}``).  Unknown PEs get weight 1.
     The gap between this and PSS — theoretical versus *observed*
     performance — is precisely the paper's motivation.
+
+    Shares are sized against the *configured* weight map, not against
+    whichever PEs happen to be registered when a request arrives:
+    registration is staggered (workers connect one by one), so sizing
+    against the registered set would let an early requester compute its
+    share over a partial fleet and drain nearly the whole pool.  PEs
+    that appear at runtime without a configured weight join the
+    denominator at weight 1; with no weights configured at all, the
+    registered set is all we know and the split degrades to even.
     """
 
     name = "wfixed"
@@ -147,9 +168,8 @@ class WeightedFixed(AllocationPolicy):
 
     def batch_size(self, ctx: PolicyContext) -> int:
         weight = self.weights.get(ctx.pe_id, 1.0)
-        total_weight = sum(
-            self.weights.get(pe, 1.0) for pe in ctx.tasks_already_assigned
-        )
+        fleet = set(self.weights) | set(ctx.tasks_already_assigned)
+        total_weight = sum(self.weights.get(pe, 1.0) for pe in fleet)
         if total_weight <= 0:
             return min(1, ctx.ready_tasks)
         share = int(-(-(ctx.total_tasks * weight) // total_weight))  # ceil

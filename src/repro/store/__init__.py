@@ -1,0 +1,21 @@
+"""Persistent pre-packed database store (``repro.packstore.v1``).
+
+See :mod:`repro.store.packstore` for the format and integrity rules,
+and ``docs/storage.md`` for the operator-facing walkthrough.
+"""
+
+from .packstore import (
+    PACKSTORE_SCHEMA,
+    PackStore,
+    StoreError,
+    build_store,
+    database_digest,
+)
+
+__all__ = [
+    "PACKSTORE_SCHEMA",
+    "PackStore",
+    "StoreError",
+    "build_store",
+    "database_digest",
+]

@@ -119,6 +119,24 @@ class TestPackCache:
         assert a is not b
         assert cache.lru.misses == 2
 
+    def test_same_name_distinct_matrices_not_aliased(self, rng):
+        """Regression: the key used to be ``matrix.name``, so a custom
+        matrix that happened to be named BLOSUM62 silently reused the
+        real BLOSUM62's packs (and vice versa)."""
+        from repro.align.scoring import SubstitutionMatrix
+
+        imposter = SubstitutionMatrix(
+            name=BLOSUM62.name,
+            alphabet=BLOSUM62.alphabet,
+            scores=BLOSUM62.scores + np.asarray(1, BLOSUM62.scores.dtype),
+        )
+        database = random_database(12, 30.0, rng, name="pc-alias")
+        cache = PackCache(capacity=4, name="pack-alias")
+        a = cache.packs(database, BLOSUM62, lanes=8)
+        b = cache.packs(database, imposter, lanes=8)
+        assert a is not b
+        assert cache.lru.misses == 2
+
     def test_cached_packs_are_frozen(self, rng):
         database = random_database(10, 25.0, rng, name="pc3")
         cache = PackCache(capacity=2, name="pack-frozen")
@@ -147,6 +165,24 @@ class TestProfileCache:
         )
         assert first is second
         assert built == [1]
+
+    def test_same_name_distinct_matrices_not_aliased(self):
+        """Regression twin of the pack-cache test: a profile built for
+        one score table must never be served for a same-named other."""
+        from repro.align.scoring import SubstitutionMatrix
+
+        imposter = SubstitutionMatrix(
+            name=BLOSUM62.name,
+            alphabet=BLOSUM62.alphabet,
+            scores=BLOSUM62.scores + np.asarray(2, BLOSUM62.scores.dtype),
+        )
+        cache = ProfileCache(capacity=8, name="prof-alias")
+        codes = BLOSUM62.alphabet.encode("MKVLAW").tobytes()
+        a = cache.get_or_build("striped", codes, BLOSUM62, (16,),
+                               lambda: "real")
+        b = cache.get_or_build("striped", codes, imposter, (16,),
+                               lambda: "custom")
+        assert (a, b) == ("real", "custom")
 
     def test_params_disambiguate(self):
         cache = ProfileCache(capacity=8, name="prof2")

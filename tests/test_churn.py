@@ -3,7 +3,7 @@
 import pytest
 
 from repro.bench import uniform_tasks
-from repro.core import Master, SelfScheduling, Task
+from repro.core import FixedSplit, Master, SelfScheduling, Task, WeightedFixed
 from repro.simulate import FPGAModel, HybridSimulator, PESpec, UniformModel
 
 
@@ -445,3 +445,125 @@ class TestReapWithReplicaTwin:
         master.register("c", now=6.5)
         grant = master.on_request("c", 7.0)
         assert [t.task_id for t in grant.replicas] == [0]
+
+
+class TestStaticPolicyAllocation:
+    """FixedSplit/WeightedFixed allocation under staggered registration
+    and mid-run churn, exercised in all three environments: the DES,
+    the threaded runtime, and a live (threads-mode) cluster.
+
+    The regression behind these: WFixed used to size shares against the
+    currently-registered fleet, so the first worker to connect computed
+    its share over a denominator of one and drained the whole pool.
+    """
+
+    def test_des_wfixed_late_joiner_gets_its_share(self):
+        pes = [
+            PESpec("early", UniformModel(rate=1.0)),
+            PESpec("late", UniformModel(rate=1.0), join_time=2.0),
+        ]
+        report = HybridSimulator(
+            pes,
+            policy=WeightedFixed({"early": 1.0, "late": 1.0}),
+            adjustment=False,
+            comm_latency=0.0,
+        ).run(make_tasks(10))
+        # Old code: "early" requests alone at t=0, denominator is just
+        # its own weight, and it takes all 10 — "late" wins nothing.
+        assert report.tasks_won == {"early": 5, "late": 5}
+
+    def test_des_fixed_split_pinned_fleet(self):
+        pes = [
+            PESpec("early", UniformModel(rate=1.0)),
+            PESpec("late", UniformModel(rate=1.0), join_time=2.0),
+        ]
+        report = HybridSimulator(
+            pes,
+            policy=FixedSplit(num_pes=2),
+            adjustment=False,
+            comm_latency=0.0,
+        ).run(make_tasks(10))
+        assert report.tasks_won == {"early": 5, "late": 5}
+
+    def test_des_wfixed_reap_and_replacement(self):
+        """Mid-run churn: a weighted PE dies holding tasks, a fresh
+        unconfigured replacement joins and absorbs the returned share.
+
+        12 tasks at 2 cells, rate 1: "flaky" (share 6) completes two by
+        t=4 and leaves at t=5; its 4 returned tasks re-queue.  "stable"
+        has consumed its own 6, and its re-requests stay empty (the
+        configured map still anchors its share).  "spare" joins at t=6
+        with default weight 1 in a fleet of three — ceil(12/3) = 4 —
+        exactly the returned tasks, so the run drains.
+        """
+        pes = [
+            PESpec("flaky", UniformModel(rate=1.0), leave_time=5.0),
+            PESpec("stable", UniformModel(rate=1.0)),
+            PESpec("spare", UniformModel(rate=1.0), join_time=6.0),
+        ]
+        report = HybridSimulator(
+            pes,
+            policy=WeightedFixed({"flaky": 1.0, "stable": 1.0}),
+            adjustment=False,
+            comm_latency=0.0,
+        ).run(make_tasks(12))
+        assert sum(report.tasks_won.values()) == 12
+        assert report.tasks_won["stable"] == 6  # never inflated post-reap
+        assert report.tasks_won["spare"] == 4
+        assert any(e.kind == "deregister" for e in report.trace)
+
+    def test_threaded_wfixed_proportions(self):
+        import numpy as np
+
+        from repro.align import BLOSUM62, DEFAULT_GAPS
+        from repro.core import (
+            HybridRuntime,
+            InterSequenceEngine,
+            WeightedFixed as WF,
+        )
+        from repro.sequences import query_set, random_database
+
+        rng = np.random.default_rng(31)
+        queries = query_set(8, rng, 20, 30)
+        database = random_database(12, 30.0, rng, name="wfixed-thr")
+        engines = {
+            "gpu0": InterSequenceEngine(BLOSUM62, DEFAULT_GAPS),
+            "sse0": InterSequenceEngine(BLOSUM62, DEFAULT_GAPS),
+        }
+        report = HybridRuntime(
+            engines,
+            policy=WF({"gpu0": 3.0, "sse0": 1.0}),
+            adjustment=False,
+        ).run(queries, database)
+        # Grants are static: whichever thread asks first, the 6/2 split
+        # holds (8 * 3/4 and 8 * 1/4).
+        assert report.tasks_by_pe == {"gpu0": 6, "sse0": 2}
+        assert len(report.results) == 8
+
+    def test_cluster_wfixed_staggered_registration(self):
+        """Live cluster, threads mode: workers register one by one over
+        TCP, and the weighted split must still hold."""
+        import numpy as np
+
+        from repro.cluster import run_cluster
+        from repro.core import WeightedFixed as WF
+        from repro.sequences import query_set, random_database
+
+        rng = np.random.default_rng(37)
+        queries = query_set(8, rng, 20, 30)
+        database = random_database(10, 30.0, rng, name="wfixed-cluster")
+        report = run_cluster(
+            queries,
+            database,
+            workers={"gpu0": "gpu", "sse0": "sse"},
+            policy=WF({"gpu0": 3.0, "sse0": 1.0}),
+            adjustment=False,
+            use_processes=False,
+            timeout=60,
+        )
+        assigns: dict[str, int] = {}
+        for event in report.trace:
+            if event.kind == "assign":
+                assigns[event.pe_id] = assigns.get(event.pe_id, 0) + 1
+        assert assigns == {"gpu0": 6, "sse0": 2}
+        assert len(report.results) == 8

@@ -299,3 +299,98 @@ class TestTraceCommand:
         bogus.write_text('{"schema": "something.else.v9"}\n')
         with pytest.raises(ValueError):
             main(["trace", "diff", str(bogus), str(bogus)])
+
+
+class TestDbCommands:
+    """The `repro db build|inspect|verify` store tooling."""
+
+    @pytest.fixture()
+    def built_store(self, fasta_files, tmp_path, capsys):
+        q, db = fasta_files
+        store = str(tmp_path / "store")
+        assert main(
+            ["db", "build", db, "--store", store, "--queries", q,
+             "--lanes", "32,16"]
+        ) == 0
+        capsys.readouterr()
+        return store
+
+    def test_build_prints_summary(self, fasta_files, tmp_path, capsys):
+        q, db = fasta_files
+        store = str(tmp_path / "s")
+        assert main(["db", "build", db, "--store", store,
+                     "--queries", q]) == 0
+        out = capsys.readouterr().out
+        assert "pack entries" in out and "profile entries" in out
+
+    def test_inspect_lists_entries(self, built_store, capsys):
+        assert main(["db", "inspect", built_store]) == 0
+        out = capsys.readouterr().out
+        assert "packs" in out and "profile" in out
+        assert "lanes=32" in out and "lanes=16" in out
+
+    def test_inspect_json(self, built_store, capsys):
+        import json
+
+        assert main(["db", "inspect", built_store, "--format",
+                     "json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert {e["kind"] for e in entries} == {"packs", "profile"}
+
+    def test_verify_ok(self, built_store, capsys):
+        assert main(["db", "verify", built_store]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_fails_loudly_on_corruption(self, built_store, capsys):
+        from pathlib import Path
+
+        target = sorted(Path(built_store, "objects").glob("*.npy"))[0]
+        data = bytearray(target.read_bytes())
+        data[len(data) // 2] ^= 0x01
+        target.write_bytes(bytes(data))
+        assert main(["db", "verify", built_store]) == 1
+        assert "FAILED" in capsys.readouterr().err
+
+    def test_verify_rejects_non_store(self, tmp_path, capsys):
+        assert main(["db", "verify", str(tmp_path / "nowhere")]) == 1
+        assert "FAILED" in capsys.readouterr().err
+
+    def test_search_with_store_matches_cold(self, fasta_files, built_store,
+                                            capsys):
+        q, db = fasta_files
+        base = ["search", q, db, "--gpus", "1", "--sse", "1", "--top", "3"]
+        assert main(base) == 0
+        cold = [line for line in capsys.readouterr().out.splitlines()
+                if not line.startswith("# makespan")]
+        assert main(base + ["--store", built_store]) == 0
+        warm = [line for line in capsys.readouterr().out.splitlines()
+                if not line.startswith("# makespan")]
+        assert warm == cold
+
+    def test_search_refuses_corrupt_store(self, fasta_files, built_store,
+                                          capsys):
+        from pathlib import Path
+
+        q, db = fasta_files
+        target = sorted(Path(built_store, "objects").glob("*.npy"))[0]
+        data = bytearray(target.read_bytes())
+        data[len(data) // 2] ^= 0x01
+        target.write_bytes(bytes(data))
+        assert main(
+            ["search", q, db, "--gpus", "1", "--sse", "1",
+             "--store", built_store]
+        ) == 1
+        assert "FAILED" in capsys.readouterr().err
+
+    def test_cluster_with_store_flag(self, fasta_files, tmp_path, capsys):
+        q, db = fasta_files
+        store = str(tmp_path / "cluster-store")
+        code = main(
+            ["cluster", q, db, "--workers", "gpu,sse",
+             "--threads", "--top", "3", "--store", store]
+        )
+        assert code == 0
+        assert "# query" in capsys.readouterr().out
+        from repro.store import PackStore
+
+        assert PackStore(store).verify()["packs"] >= 1

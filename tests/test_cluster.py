@@ -85,6 +85,51 @@ class TestProtocol:
             recv_message(reader)
 
 
+class TestProtocolHandshake:
+    """The register-time version handshake (wire version 2)."""
+
+    def test_constants_are_a_valid_range(self):
+        from repro.cluster.protocol import (
+            MIN_PROTOCOL_VERSION,
+            PROTOCOL_VERSION,
+        )
+
+        assert 1 <= MIN_PROTOCOL_VERSION <= PROTOCOL_VERSION
+
+    def test_absent_field_is_version_one(self):
+        from repro.cluster.protocol import check_protocol_version
+
+        assert check_protocol_version({"type": "register"}) == 1
+
+    def test_current_version_accepted(self):
+        from repro.cluster.protocol import (
+            PROTOCOL_VERSION,
+            check_protocol_version,
+        )
+
+        message = {"type": "register", "protocol": PROTOCOL_VERSION}
+        assert check_protocol_version(message) == PROTOCOL_VERSION
+
+    def test_future_version_rejected(self):
+        from repro.cluster.protocol import (
+            PROTOCOL_VERSION,
+            check_protocol_version,
+        )
+
+        with pytest.raises(ProtocolError, match="unsupported"):
+            check_protocol_version(
+                {"type": "register", "protocol": PROTOCOL_VERSION + 1}
+            )
+
+    def test_malformed_version_rejected(self):
+        from repro.cluster.protocol import check_protocol_version
+
+        with pytest.raises(ProtocolError, match="malformed"):
+            check_protocol_version(
+                {"type": "register", "protocol": "banana"}
+            )
+
+
 class TestMasterServer:
     def _talk(self, server, messages):
         host, port = server.address
@@ -135,6 +180,38 @@ class TestMasterServer:
             ],
         )
         assert not server.finished  # one task left
+
+    def test_register_ack_echoes_protocol(self, server):
+        from repro.cluster.protocol import PROTOCOL_VERSION
+
+        replies = self._talk(
+            server,
+            [{"type": "register", "pe_id": "hs0",
+              "protocol": PROTOCOL_VERSION}],
+        )
+        assert replies[0]["type"] == "ack"
+        assert replies[0]["protocol"] == PROTOCOL_VERSION
+
+    def test_v1_register_still_accepted(self, server):
+        """A pre-handshake worker (no protocol field) interoperates."""
+        replies = self._talk(
+            server, [{"type": "register", "pe_id": "old-timer"}]
+        )
+        assert replies[0]["type"] == "ack"
+
+    def test_future_protocol_rejected_and_connection_closed(self, server):
+        from repro.cluster.protocol import PROTOCOL_VERSION
+
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=10) as sock:
+            reader = sock.makefile("rb")
+            send_message(sock, {"type": "register", "pe_id": "fresh",
+                                "protocol": PROTOCOL_VERSION + 5})
+            reply = recv_message(reader)
+            assert reply["type"] == "error"
+            assert "protocol" in reply["message"]
+            # The master hangs up instead of mis-parsing later frames.
+            assert recv_message(reader) is None
 
     def test_unknown_message_errors(self, server):
         replies = self._talk(

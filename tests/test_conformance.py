@@ -197,3 +197,57 @@ class TestOverflowBoundaries:
     def test_caps_are_the_documented_constants(self):
         assert SCORE_CAP_8BIT == 255
         assert SCORE_CAP_16BIT == 32767
+
+
+class TestStoreBackedConformance:
+    """Warm-start engines on memory-mapped store shards stay bit-exact.
+
+    The pack store round-trips lane packs and profiles through disk and
+    hands the engines read-only mmap views; this property pins the
+    contract that a warm search is byte-identical to a cold one.
+    """
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        query=st.text(alphabet=AMINO, min_size=1, max_size=24),
+        subjects=protein_lists,
+        gaps=gap_models,
+    )
+    def test_mmap_packs_conform(self, tmp_path_factory, query, subjects,
+                                gaps):
+        from repro.store import build_store
+
+        root = tmp_path_factory.mktemp("conf-store") / "s"
+        q = protein_seq(query)
+        database = protein_db(subjects)
+        build_store(root, database, BLOSUM62, queries=[q])
+        top = len(database)
+        expected = reference_hits(q, database, BLOSUM62, gaps, top)
+        warm = {
+            "striped": StripedSSEEngine(BLOSUM62, gaps, top=top,
+                                        store=str(root)),
+            "inter": InterSequenceEngine(BLOSUM62, gaps, top=top,
+                                         store=str(root)),
+        }
+        for name, engine in warm.items():
+            assert projection(engine.search(q, database)) == expected, name
+
+    def test_store_hits_identical_to_cold_engine(self, tmp_path):
+        from repro.store import build_store
+
+        q = protein_seq("MKVLAWRS")
+        database = protein_db(["MKVLAW", "RSRSRS", "AAAA", "WWKVL", "M"])
+        gaps = affine_gap(10, 2)
+        build_store(tmp_path / "s", database, BLOSUM62, queries=[q])
+        cold = InterSequenceEngine(BLOSUM62, gaps, top=5)
+        warm = InterSequenceEngine(BLOSUM62, gaps, top=5,
+                                   store=str(tmp_path / "s"))
+        cold_hits = cold.search(q, database)
+        warm_hits = warm.search(q, database)
+        assert [
+            (h.subject_id, h.subject_index, h.score, h.subject_length)
+            for h in warm_hits
+        ] == [
+            (h.subject_id, h.subject_index, h.score, h.subject_length)
+            for h in cold_hits
+        ]

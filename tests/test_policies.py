@@ -110,6 +110,24 @@ class TestFixedSplit:
                     assigned={"pe0": 0, "pe1": 0, "pe2": 0})
         ) == 4
 
+    def test_pinned_fleet_survives_partial_registration(self):
+        """A launcher that knows the fleet size pins it: the first PE to
+        request while alone must not take the whole pool."""
+        policy = FixedSplit(num_pes=4)
+        ctx = context("pe0", num_pes=1, total=20, assigned={"pe0": 0})
+        assert policy.batch_size(ctx) == 5
+
+    def test_unpinned_falls_back_to_registered(self):
+        policy = FixedSplit()
+        ctx = context("pe0", num_pes=1, total=20, assigned={"pe0": 0})
+        assert policy.batch_size(ctx) == 20
+
+    def test_invalid_num_pes(self):
+        with pytest.raises(ValueError):
+            FixedSplit(num_pes=0)
+        with pytest.raises(ValueError):
+            FixedSplit(num_pes=-2)
+
 
 class TestWeightedFixed:
     def test_proportional_shares(self):
@@ -131,6 +149,95 @@ class TestWeightedFixed:
         ctx = context("pe0", num_pes=2, total=10,
                       assigned={"pe0": 5, "pe1": 0})
         assert policy.batch_size(ctx) == 0
+
+    def test_staggered_registration_no_inflation(self):
+        """Regression: the first registrant's share is sized against the
+        configured weight map, not the partial registered fleet.
+
+        Workers connect one by one, so the GPU's first request often
+        arrives while it is the only registered PE.  The old code
+        summed weights over registered PEs only, so the GPU computed
+        18 * 6/6 and drained the whole pool.
+        """
+        policy = WeightedFixed({"pe0": 6.0, "pe1": 1.0, "pe2": 1.0,
+                                "pe3": 1.0})
+        ctx = context("pe0", num_pes=1, total=18, assigned={"pe0": 0})
+        assert policy.batch_size(ctx) == 12  # 18 * 6/9, as when complete
+
+    def test_unconfigured_registrant_joins_denominator(self):
+        policy = WeightedFixed({"gpu": 3.0})
+        ctx = context("gpu", num_pes=2, total=8,
+                      assigned={"gpu": 0, "extra": 0})
+        assert policy.batch_size(ctx) == 6  # 8 * 3/4: "extra" at weight 1
+
+    def test_no_weights_degrades_to_even_split(self):
+        policy = WeightedFixed()
+        ctx = context("a", num_pes=2, total=10, assigned={"a": 0, "b": 0})
+        assert policy.batch_size(ctx) == 5
+
+    def test_post_reap_rerequest_share_is_stable(self):
+        """A survivor's re-request after a reap must not absorb the
+        departed PE's share: configured weights keep the denominator."""
+        policy = WeightedFixed({"a": 1.0, "b": 1.0})
+        # "a" was reaped: it is gone from the registered/assigned map,
+        # but its configured weight still anchors the fleet size.
+        ctx = context("b", num_pes=1, total=10, assigned={"b": 5})
+        assert policy.batch_size(ctx) == 0  # share 5, already granted 5
+
+    def test_replacement_worker_after_reap(self):
+        """A fresh unconfigured PE joining post-reap gets a share of its
+        own instead of nothing."""
+        policy = WeightedFixed({"a": 1.0, "b": 1.0})
+        ctx = context("spare", num_pes=2, total=12,
+                      assigned={"b": 0, "spare": 0})
+        assert policy.batch_size(ctx) == 4  # 12 * 1/3
+
+
+class TestStaggeredMaster:
+    """Policy allocation through a live Master with staggered register()
+    calls and post-reap re-requests (the regression's real shape)."""
+
+    def _tasks(self, n):
+        from repro.bench import uniform_tasks
+
+        return uniform_tasks(n, cells=2)
+
+    def test_first_registrant_cannot_drain_pool(self):
+        from repro.core import Master
+
+        weights = {"gpu": 3.0, "sse": 1.0}
+        master = Master(self._tasks(8), policy=WeightedFixed(weights))
+        master.register("gpu", now=0.0)  # "sse" has not connected yet
+        grant = master.on_request("gpu", 0.0)
+        assert len(grant.tasks) == 6  # 8 * 3/4, not all 8
+        master.register("sse", now=0.1)
+        assert len(master.on_request("sse", 0.2).tasks) == 2
+
+    def test_fixed_split_with_pinned_fleet(self):
+        from repro.core import Master
+
+        master = Master(self._tasks(9), policy=FixedSplit(num_pes=3))
+        master.register("first", now=0.0)
+        assert len(master.on_request("first", 0.0).tasks) == 3
+
+    def test_post_reap_rerequest_through_master(self):
+        from repro.core import Master
+
+        weights = {"a": 1.0, "b": 1.0}
+        master = Master(self._tasks(10), policy=WeightedFixed(weights))
+        master.register("a", now=0.0)
+        master.register("b", now=0.0)
+        granted_b = master.on_request("b", 0.1)
+        assert len(granted_b.tasks) == 5
+        master.on_request("a", 0.2)
+        master.deregister("a", 1.0)  # reap: a's 5 tasks re-queue
+        # b finished its share; its re-request must not hand it a's
+        # returned tasks — the configured map still reserves them.
+        assert master.on_request("b", 2.0).tasks == ()
+        # A replacement worker (unconfigured, weight 1) can take them.
+        master.register("spare", now=3.0)
+        spare = master.on_request("spare", 3.1)
+        assert 1 <= len(spare.tasks) <= 4  # 10 * 1/3 ceil = 4
 
 
 class TestFactory:
