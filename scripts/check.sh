@@ -13,7 +13,10 @@
 # persistent pack store: `repro db build|verify`, a warm `--store`
 # search diffed byte-identical against the cold run, and a negative
 # check that a flipped byte fails both `db verify` and the warm
-# search.
+# search.  The telemetry stage scrapes a live master's /metrics
+# mid-run through the strict OpenMetrics parser, checks the worker
+# stats piggyback, and byte-compares a DES telemetry stream's final
+# record against the run's metrics snapshot.
 #
 # Usage: scripts/check.sh
 # Runs from any cwd; needs only the in-repo package (no installs).
@@ -411,6 +414,101 @@ if python -m repro journal verify "$CKPT_DIR/threaded" 2>/dev/null; then
     exit 1
 fi
 echo "corruption detection OK: flipped byte rejected"
+
+echo
+echo "== telemetry stage: live scrape + stream validation =="
+TELE_DIR="$(mktemp -d -t repro-tele-XXXXXX)"
+trap 'rm -f "$METRICS_OUT" "$EVENTS_OUT" "$TRACE_OUT" \
+    "$PLAN_OUT" "$FAULT_EVENTS" "$FAULT_TRACE"; \
+    rm -rf "$CKPT_DIR" "$TELE_DIR"' EXIT
+# Live scrape: a real TCP master serving /metrics while a worker runs.
+# The strict OpenMetrics parser is the gate — any exposition drift
+# (bad escaping, non-cumulative buckets, missing EOF) fails loudly.
+python - "$TELE_DIR" <<'PY'
+import json
+import sys
+import threading
+import urllib.request
+
+import numpy as np
+
+from repro.cluster import MasterServer, WorkerConfig, run_worker
+from repro.core.runtime import build_tasks
+from repro.observability import parse_openmetrics
+from repro.sequences import query_set, random_database, write_indexed
+
+root = sys.argv[1]
+rng = np.random.default_rng(13)
+queries = query_set(4, rng, min_length=30, max_length=60)
+database = random_database(25, 50.0, rng, name="teledb")
+q_path, d_path = f"{root}/q.seqx", f"{root}/d.seqx"
+write_indexed(queries, q_path)
+write_indexed(list(database), d_path)
+server = MasterServer(build_tasks(queries, database), http_port=0)
+server.start()
+try:
+    host, port = server.address
+    config = WorkerConfig(host=host, port=port, pe_id="w0", engine="scan",
+                          query_path=q_path, database_path=d_path)
+    thread = threading.Thread(target=run_worker, args=(config,),
+                              daemon=True)
+    thread.start()
+    # Scrape mid-run: must parse strictly even while counters move.
+    with urllib.request.urlopen(server.httpd.url("/metrics"),
+                                timeout=10) as response:
+        midrun = response.read().decode("utf-8")
+    parse_openmetrics(midrun)
+    server.wait_finished(timeout=120)
+    thread.join(timeout=30)
+    with urllib.request.urlopen(server.httpd.url("/metrics"),
+                                timeout=10) as response:
+        families = parse_openmetrics(response.read().decode("utf-8"))
+    samples = families["cluster_worker_connects"]["samples"]
+    pes = {dict(key[1]).get("pe") for key in samples}
+    if "w0" not in pes:
+        sys.exit("worker-side per-PE series missing from /metrics")
+    with urllib.request.urlopen(server.httpd.url("/healthz"),
+                                timeout=10) as response:
+        assert response.read() == b"ok\n"
+    with urllib.request.urlopen(server.httpd.url("/statusz"),
+                                timeout=10) as response:
+        status = json.load(response)
+    assert status["schema"] == "repro.status.v1"
+finally:
+    server.stop()
+print(f"live scrape OK: {len(families)} families parsed strictly, "
+      "worker series piggybacked, /healthz + /statusz served")
+PY
+# Stream check: the DES virtual-clock stream's final record must match
+# the end-of-run snapshot byte for byte.
+python -m repro simulate --database rat --queries 6 --gpus 1 --sse 2 \
+    --telemetry-out "$TELE_DIR/sim.jsonl" \
+    --metrics-out "$TELE_DIR/sim-metrics.json" > /dev/null
+python - "$TELE_DIR/sim.jsonl" "$TELE_DIR/sim-metrics.json" <<'PY'
+import json
+import sys
+
+from repro.observability import (
+    MetricsRegistry,
+    read_telemetry,
+    replay_telemetry,
+)
+
+stream_path, snapshot_path = sys.argv[1:3]
+records = read_telemetry(stream_path)  # validates schema + record kinds
+kinds = [r["record"] for r in records]
+if kinds[0] != "header" or kinds[-1] != "final":
+    sys.exit(f"malformed stream: {kinds[:3]}...{kinds[-1:]}")
+with open(snapshot_path, encoding="utf-8") as handle:
+    snapshot = json.load(handle)
+if json.dumps(records[-1]["snapshot"], sort_keys=True) != json.dumps(
+    snapshot, sort_keys=True
+):
+    sys.exit("final telemetry record differs from the run snapshot")
+MetricsRegistry.from_snapshot(replay_telemetry(records))  # folds cleanly
+print(f"telemetry stream OK: {kinds.count('sample')} virtual-clock "
+      "sample(s), final record byte-identical to the run snapshot")
+PY
 
 echo
 echo "all checks passed"

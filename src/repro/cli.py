@@ -7,9 +7,16 @@ Subcommands mirror the paper's workflow:
 * ``index``   — convert a FASTA file to the paper's indexed format;
 * ``simulate``— run a workload on the simulated hybrid platform;
 * ``tables``  — regenerate the paper's tables and figures;
-* ``metrics`` — render/validate a metrics snapshot (JSON in,
-  Prometheus text or JSON out); ``search``/``simulate``/``cluster``
-  write such snapshots via ``--metrics-out``;
+* ``metrics`` — ``metrics show`` renders/validates a snapshot
+  (Prometheus/OpenMetrics text, JSON, or a summary with
+  p50/p95/p99 quantile columns) and ``metrics diff`` reports
+  per-family deltas between two snapshots;
+  ``search``/``simulate``/``cluster`` write such snapshots via
+  ``--metrics-out`` and live interval-delta streams via
+  ``--telemetry-out``;
+* ``top``     — terminal dashboard: poll a live master's ``/statusz``
+  endpoint (``cluster``/``serve`` ``--http-port``) or tail a
+  ``repro.telemetry.v1`` stream;
 * ``trace``   — analyze an event log written by ``--events-out``:
   per-PE timelines, scheduling diagnostics, Gantt renderings and
   run-vs-run diffs (``repro.trace_report.v1`` documents, also written
@@ -141,6 +148,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds of silence before a worker is reaped "
         "(default 10; 0 disables reaping)",
     )
+    cluster.add_argument(
+        "--http-port", type=int, default=None, metavar="PORT",
+        help="serve live /metrics, /healthz and /statusz endpoints "
+        "from the master for the duration of the run (0 = free port)",
+    )
     _add_batching_flags(cluster)
     _add_checkpoint_flag(cluster)
     _add_store_flag(cluster)
@@ -216,6 +228,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory to write the indexed query/database files that "
         "workers must be pointed at (default: a temp directory)",
     )
+    serve.add_argument(
+        "--http-port", type=int, default=None, metavar="PORT",
+        help="serve live /metrics, /healthz and /statusz endpoints "
+        "alongside the master (0 = free port)",
+    )
     _add_checkpoint_flag(serve)
     _add_store_flag(serve)
 
@@ -250,13 +267,55 @@ def build_parser() -> argparse.ArgumentParser:
 
     metrics = sub.add_parser(
         "metrics",
-        help="render/validate a metrics snapshot written by --metrics-out",
+        help="render/summarize metrics snapshots written by "
+        "--metrics-out (bare `metrics FILE` is shorthand for "
+        "`metrics show FILE`)",
     )
-    metrics.add_argument("snapshot", help="metrics snapshot JSON file")
-    metrics.add_argument(
-        "--format", default="prom", choices=["prom", "json", "names"],
-        help="prom: Prometheus text exposition; json: normalized "
-        "snapshot; names: metric names only",
+    metrics_sub = metrics.add_subparsers(dest="metrics_command",
+                                         required=True)
+
+    mshow = metrics_sub.add_parser(
+        "show", help="render/validate one snapshot"
+    )
+    mshow.add_argument("snapshot", help="metrics snapshot JSON file")
+    mshow.add_argument(
+        "--format", default="prom",
+        choices=["prom", "openmetrics", "json", "names", "summary"],
+        help="prom: Prometheus text exposition; openmetrics: "
+        "OpenMetrics 1.0 text (with # EOF); json: normalized "
+        "snapshot; names: metric names only; summary: one line per "
+        "series with p50/p95/p99 quantile columns for histograms",
+    )
+
+    mdiff = metrics_sub.add_parser(
+        "diff",
+        help="per-family deltas between two snapshots (counters and "
+        "histograms subtract; gauges show before -> after; families "
+        "absent from the second snapshot are dropped)",
+    )
+    mdiff.add_argument("first", help="baseline snapshot JSON file")
+    mdiff.add_argument("second", help="comparison snapshot JSON file")
+
+    top = sub.add_parser(
+        "top",
+        help="terminal dashboard: poll a live master's /statusz "
+        "(--http-port) or tail a repro.telemetry.v1 stream",
+    )
+    top.add_argument(
+        "source",
+        help="master base URL (http://host:port) or telemetry JSONL path",
+    )
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between frames")
+    top.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="stop after N frames (default: until the run finishes or "
+        "interrupted)",
+    )
+    top.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of clearing the screen "
+        "(the default when stdout is not a terminal)",
     )
 
     trace = sub.add_parser(
@@ -422,6 +481,17 @@ def _add_telemetry_flags(command: argparse.ArgumentParser) -> None:
         help="write the run's trace analysis "
         "(repro.trace_report.v1 JSON)",
     )
+    command.add_argument(
+        "--telemetry-out", metavar="FILE", default=None,
+        help="append a live repro.telemetry.v1 JSONL stream of "
+        "interval-delta metric samples during the run (virtual-clock "
+        "samples in the simulator)",
+    )
+    command.add_argument(
+        "--telemetry-interval", type=float, default=1.0,
+        metavar="SECONDS",
+        help="sampling cadence for --telemetry-out (default 1.0)",
+    )
 
 
 def _write_telemetry(args: argparse.Namespace, metrics: dict, events) -> None:
@@ -480,6 +550,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
         adjustment=not args.no_adjustment,
         checkpoint_dir=args.checkpoint,
         batch=args.batch,
+        telemetry_path=args.telemetry_out,
+        telemetry_interval=args.telemetry_interval,
     )
     report = runtime.run(
         queries, database, chunks_per_query=args.chunks, top=args.top
@@ -572,6 +644,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         batch=args.batch,
         cache=args.cache,
         store_dir=args.store,
+        http_port=args.http_port,
+        telemetry_path=args.telemetry_out,
+        telemetry_interval=args.telemetry_interval,
     )
     for query_id, hits in report.results.items():
         print(f"# query {query_id}")
@@ -595,6 +670,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         heartbeat_timeout=args.heartbeat,
         checkpoint_dir=args.checkpoint,
         batch=args.batch,
+        telemetry_path=args.telemetry_out,
+        telemetry_interval=args.telemetry_interval,
     )
     report = simulator.run(tasks)
     extras = f" + {args.fpgas} FPGAs" if args.fpgas else ""
@@ -697,10 +774,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         heartbeat_timeout=args.heartbeat,
         checkpoint=args.checkpoint,
         store=args.store,
+        http_port=args.http_port,
     )
     server.start()
     host, port = server.address
     print(f"master listening on {host}:{port}")
+    if server.httpd is not None:
+        print(f"live endpoints at {server.httpd.url('/metrics')} "
+              "( /metrics /healthz /statusz )")
     print(f"indexed files for workers:\n  {q_path}\n  {d_path}")
     print("start workers with e.g.:")
     store_hint = f" --store {args.store}" if args.store else ""
@@ -813,23 +894,136 @@ def _cmd_db(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_metrics(args: argparse.Namespace) -> int:
-    """Validate a ``repro.metrics.v1`` snapshot and render it."""
+def _load_metrics_snapshot(path: str) -> dict:
     import json
 
-    from .observability import MetricsRegistry
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
 
-    with open(args.snapshot, "r", encoding="utf-8") as handle:
-        snapshot = json.load(handle)
+
+def _format_series_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _metrics_summary_lines(registry) -> list[str]:
+    """One line per series; histograms get count/mean + p50/p95/p99."""
+    lines: list[str] = []
+    snapshot = registry.snapshot()
+    for family in snapshot["metrics"]:
+        kind = family["type"]
+        for series in family["series"]:
+            label = family["name"] + _format_series_labels(series["labels"])
+            if kind == "histogram":
+                histogram = registry.get(family["name"]).labels(
+                    **series["labels"]
+                )
+                count = series["count"]
+                mean = series["sum"] / count if count else 0.0
+                quantiles = "  ".join(
+                    f"p{int(q * 100)}={histogram.quantile(q):.6g}"
+                    for q in (0.5, 0.95, 0.99)
+                )
+                lines.append(
+                    f"{label}  count={count}  sum={series['sum']:.6g}  "
+                    f"mean={mean:.6g}  {quantiles}"
+                )
+            else:
+                lines.append(f"{label}  {series['value']:.6g}")
+    return lines
+
+
+def _cmd_metrics_show(args: argparse.Namespace) -> int:
+    from .observability import MetricsRegistry, openmetrics_text
+
+    snapshot = _load_metrics_snapshot(args.snapshot)
     registry = MetricsRegistry.from_snapshot(snapshot)  # validates
     if args.format == "prom":
         sys.stdout.write(registry.prometheus_text())
+    elif args.format == "openmetrics":
+        sys.stdout.write(openmetrics_text(registry))
     elif args.format == "json":
         print(registry.to_json())
+    elif args.format == "summary":
+        for line in _metrics_summary_lines(registry):
+            print(line)
     else:
         for name in registry.names():
             print(name)
     return 0
+
+
+def _cmd_metrics_diff(args: argparse.Namespace) -> int:
+    """Per-family deltas between two snapshots of the same run."""
+    from .observability import MetricsRegistry, snapshot_delta
+
+    first = _load_metrics_snapshot(args.first)
+    second = _load_metrics_snapshot(args.second)
+    before = MetricsRegistry.from_snapshot(first)  # validates both
+    MetricsRegistry.from_snapshot(second)
+    delta = snapshot_delta(first, second)
+    delta_registry = MetricsRegistry.from_snapshot(delta)
+    before_gauges = {
+        family["name"]: {
+            tuple(sorted(series["labels"].items())): series["value"]
+            for series in family["series"]
+        }
+        for family in first["metrics"]
+        if family["type"] == "gauge"
+    }
+    for family in delta["metrics"]:
+        kind = family["type"]
+        for series in family["series"]:
+            label = family["name"] + _format_series_labels(series["labels"])
+            if kind == "histogram":
+                histogram = delta_registry.get(family["name"]).labels(
+                    **series["labels"]
+                )
+                count = series["count"]
+                quantiles = "  ".join(
+                    f"p{int(q * 100)}={histogram.quantile(q):.6g}"
+                    for q in (0.5, 0.95, 0.99)
+                )
+                print(
+                    f"{label}  +count={count}  +sum={series['sum']:.6g}  "
+                    f"{quantiles}"
+                )
+            elif kind == "gauge":
+                key = tuple(sorted(series["labels"].items()))
+                previous = before_gauges.get(family["name"], {}).get(key)
+                if previous is None:
+                    print(f"{label}  -> {series['value']:.6g}")
+                else:
+                    print(
+                        f"{label}  {previous:.6g} -> {series['value']:.6g}"
+                    )
+            else:
+                print(f"{label}  +{series['value']:.6g}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Dispatch ``metrics show`` / ``metrics diff``."""
+    if args.metrics_command == "diff":
+        return _cmd_metrics_diff(args)
+    return _cmd_metrics_show(args)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal dashboard over an endpoint or telemetry stream."""
+    from .observability import run_top
+
+    try:
+        return run_top(
+            args.source,
+            interval=args.interval,
+            iterations=args.iterations,
+            clear=False if args.no_clear else None,
+        )
+    except KeyboardInterrupt:
+        return 0
 
 
 def _load_trace_document(path: str, omega: int) -> dict:
@@ -1094,6 +1288,18 @@ def _cmd_tables(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    # Back-compat shim: ``repro metrics FILE`` (pre-subcommand shape)
+    # still works by defaulting to the ``show`` subcommand.
+    if (
+        argv
+        and argv[0] == "metrics"
+        and len(argv) > 1
+        and argv[1] not in ("show", "diff", "-h", "--help")
+    ):
+        argv.insert(1, "show")
     args = build_parser().parse_args(argv)
     handlers = {
         "search": _cmd_search,
@@ -1107,6 +1313,7 @@ def main(argv: list[str] | None = None) -> int:
         "worker": _cmd_worker,
         "tables": _cmd_tables,
         "metrics": _cmd_metrics,
+        "top": _cmd_top,
         "trace": _cmd_trace,
         "journal": _cmd_journal,
         "db": _cmd_db,

@@ -20,7 +20,13 @@ from ..core.policies import AllocationPolicy
 from ..core.runtime import build_tasks
 from ..core.master import TraceEvent
 from ..faults import FaultPlan, InjectedCrash
-from ..observability import EventLog, MetricsRegistry, merge_snapshots
+from ..observability import (
+    EventLog,
+    MetricsRegistry,
+    TelemetrySampler,
+    TelemetryWriter,
+    merge_snapshots,
+)
 from ..sequences.database import SequenceDatabase
 from ..sequences.fasta import read_fasta
 from ..sequences.indexed import write_indexed
@@ -100,6 +106,9 @@ def run_cluster(
     batch: int = 1,
     cache: bool = False,
     store_dir: str | None = None,
+    http_port: int | None = None,
+    telemetry_path: str | None = None,
+    telemetry_interval: float = 1.0,
 ) -> ClusterReport:
     """Run a workload on a freshly spawned local cluster.
 
@@ -140,6 +149,13 @@ def run_cluster(
         as-is), the master verifies it before accepting workers, and
         every worker memory-maps its shards instead of re-packing on
         start.  This is the warm-start path for restarted clusters.
+    http_port:
+        Serve live ``/metrics`` (OpenMetrics), ``/healthz`` and
+        ``/statusz`` endpoints from the master for the duration of the
+        run (0 = pick a free port; ``None`` = no endpoint).
+    telemetry_path:
+        Append a ``repro.telemetry.v1`` JSONL stream of fleet-wide
+        interval deltas, sampled every *telemetry_interval* seconds.
     """
     if isinstance(queries, str):
         queries = read_fasta(queries)
@@ -175,8 +191,20 @@ def run_cluster(
             checkpoint=checkpoint_dir,
             batch=batch,
             store=store_dir,
+            http_port=http_port,
         )
         server.start()
+        sampler: TelemetrySampler | None = None
+        if telemetry_path is not None:
+            sampler = TelemetrySampler(
+                TelemetryWriter(
+                    telemetry_path,
+                    server.metrics_snapshot,
+                    server.clock,
+                    interval=telemetry_interval,
+                    environment="cluster",
+                )
+            ).start()
         host, port = server.address
         started = time.perf_counter()
         procs: list = []
@@ -235,6 +263,10 @@ def run_cluster(
             if worker_events is not None and len(worker_events):
                 events = EventLog.merge(server.events, worker_events)
         finally:
+            if sampler is not None:
+                # Final record = the fleet snapshot at close (the
+                # cluster has no finalize step to wait for).
+                sampler.close()
             for proc in procs:
                 if use_processes and proc.is_alive():
                     proc.terminate()

@@ -24,10 +24,15 @@ Message types (all carry ``type`` plus the listed fields):
                 that ignore it simply execute singly — results are
                 identical either way)
 ``progress``    pe_id, cells, interval [, trace, span, parent]
+                [, stats]  (``stats`` is an optional cumulative
+                ``repro.metrics.v1`` snapshot of the worker's own
+                registry — the fleet-telemetry piggyback; the master
+                keeps the latest per PE and merges them on scrape, so
+                resending is idempotent)
 ``ack``         cancel[]                           (master -> slave;
                 piggybacks pending cancellations)
 ``complete``    pe_id, task_id, elapsed, cells, hits[]
-                [, trace, span, parent]
+                [, trace, span, parent] [, stats]
 ``cancelled``   pe_id, task_id [, trace, span, parent]
 ``error``       message
 ==============  =====================================================
@@ -76,8 +81,12 @@ MAX_FRAME_BYTES = 4 * 1024 * 1024
 #: 1 — the original Fig. 4 vocabulary (implicit; ``register`` carries
 #:     no ``protocol`` field);
 #: 2 — adds the ``protocol`` handshake on ``register``/``ack`` and the
-#:     store-backed warm-start deployment shape.
-PROTOCOL_VERSION = 2
+#:     store-backed warm-start deployment shape;
+#: 3 — adds the optional ``stats`` piggyback on ``progress`` and
+#:     ``complete`` (worker-side metric snapshots for fleet-wide
+#:     aggregation).  Purely additive: v1/v2 workers that never send
+#:     ``stats`` remain fully supported.
+PROTOCOL_VERSION = 3
 
 #: Oldest version the master still accepts.  All v1 messages are valid
 #: v2 messages, so pre-handshake workers keep interoperating.

@@ -23,8 +23,11 @@ from ..core.task import Task, TaskResult
 from ..durability import CheckpointStore, restore_into, workload_fingerprint
 from ..observability import (
     EventLog,
+    MetricsHTTPServer,
     MetricsRegistry,
     cluster_server_instruments,
+    merge_into,
+    status_from_snapshot,
 )
 from .protocol import (
     PROTOCOL_VERSION,
@@ -157,6 +160,7 @@ class _Handler(socketserver.StreamRequestHandler):
             )
         elif kind == "progress":
             pe_id = str(message["pe_id"])
+            server.ingest_worker_stats(pe_id, message.get("stats"))
             with server.lock:
                 self._ensure_registered(server, pe_id)
                 server.master.on_progress(
@@ -172,6 +176,7 @@ class _Handler(socketserver.StreamRequestHandler):
             )
         elif kind == "complete":
             pe_id = str(message["pe_id"])
+            server.ingest_worker_stats(pe_id, message.get("stats"))
             result = TaskResult(
                 task_id=int(message["task_id"]),
                 pe_id=pe_id,
@@ -236,6 +241,8 @@ class MasterServer(socketserver.ThreadingTCPServer):
         checkpoint: "str | CheckpointStore | None" = None,
         batch: int = 1,
         store: "str | None" = None,
+        http_port: int | None = None,
+        http_host: str = "127.0.0.1",
     ):
         #: Warm-start pack store the fleet's workers mmap from.  The
         #: master never reads packs itself; verifying the store (before
@@ -315,6 +322,23 @@ class MasterServer(socketserver.ThreadingTCPServer):
         self._stopping = threading.Event()
         self._connections: set = set()
         self._conn_lock = threading.Lock()
+        #: Latest cumulative metric snapshot piggybacked by each worker
+        #: (protocol v3 ``stats`` field).  Keyed by PE; merged into
+        #: :meth:`metrics_snapshot` on read, so re-sends are idempotent
+        #: and a dead worker's last contribution survives it.
+        self.worker_stats: dict[str, dict] = {}
+        #: Optional live endpoints (``/metrics``, ``/healthz``,
+        #: ``/statusz``); started alongside :meth:`start` when
+        #: ``http_port`` is not ``None`` (0 = ephemeral port).
+        self.httpd: MetricsHTTPServer | None = None
+        if http_port is not None:
+            self.httpd = MetricsHTTPServer(
+                self.metrics_snapshot,
+                status_fn=self.status,
+                health_fn=lambda: not self._stopping.is_set(),
+                host=http_host,
+                port=http_port,
+            )
 
     # ------------------------------------------------------------------
     def clock(self) -> float:
@@ -331,6 +355,8 @@ class MasterServer(socketserver.ThreadingTCPServer):
             target=self.serve_forever, name="master-server", daemon=True
         )
         self._thread.start()
+        if self.httpd is not None:
+            self.httpd.start()
         if self.heartbeat_timeout is not None:
             self._reaper = threading.Thread(
                 target=self._reap_loop, name="master-reaper", daemon=True
@@ -364,6 +390,8 @@ class MasterServer(socketserver.ThreadingTCPServer):
 
     def stop(self) -> None:
         self._stopping.set()
+        if self.httpd is not None:
+            self.httpd.stop()
         self.shutdown()
         self.server_close()
         with self._conn_lock:
@@ -438,7 +466,64 @@ class MasterServer(socketserver.ThreadingTCPServer):
         with self.lock:
             return list(self.master.trace)
 
-    def metrics_snapshot(self) -> dict:
-        """Master + transport metrics as a ``repro.metrics.v1`` dict."""
+    # ------------------------------------------------------------------
+    # Fleet telemetry
+    # ------------------------------------------------------------------
+    def ingest_worker_stats(self, pe_id: str, stats) -> None:
+        """Store a worker's piggybacked metric snapshot (latest wins).
+
+        Snapshots are *cumulative*, so keeping only the newest per PE —
+        rather than adding each arrival — makes re-delivery (retries,
+        duplicated frames) harmless.  Anything that does not look like
+        a ``repro.metrics.v1`` dict is dropped: stats must never be
+        able to take down the control protocol.
+        """
+        if not isinstance(stats, dict):
+            return
+        if stats.get("schema") != "repro.metrics.v1":
+            return
         with self.lock:
-            return self.metrics.snapshot()
+            self.worker_stats[str(pe_id)] = stats
+
+    def metrics_snapshot(self) -> dict:
+        """Fleet-wide metrics as a ``repro.metrics.v1`` dict.
+
+        Master + transport metrics, plus the latest snapshot each
+        worker piggybacked on its heartbeats (per-PE labelled series
+        survive the merge unchanged).  A malformed worker snapshot is
+        skipped, never fatal — ``/metrics`` must answer even when one
+        worker misbehaves.
+        """
+        with self.lock:
+            base = self.metrics.snapshot()
+            fleet = list(self.worker_stats.values())
+        if not fleet:
+            return base
+        merged = MetricsRegistry.from_snapshot(base)
+        for stats in fleet:
+            try:
+                merge_into(merged, stats)
+            except (KeyError, TypeError, ValueError):
+                continue
+        return merged.snapshot()
+
+    def status(self) -> dict:
+        """Operator summary for ``/statusz`` (``repro.status.v1``)."""
+        status = status_from_snapshot(self.metrics_snapshot())
+        with self.lock:
+            now = self.clock()
+            status["uptime_seconds"] = now
+            status["finished"] = self.master.finished
+            status["outstanding_tasks"] = len(
+                self.master.pool.unfinished_ids()
+            )
+            status["workers"] = {
+                pe_id: {
+                    "queue": len(self.master.pending_of(pe_id)),
+                    "last_contact_seconds_ago": (
+                        now - self.master.last_contact(pe_id)
+                    ),
+                }
+                for pe_id in self.master.registered_pes()
+            }
+        return status

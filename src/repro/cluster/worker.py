@@ -181,6 +181,47 @@ class _Link:
             self._sock.close()
 
 
+class _StatsPublisher:
+    """Throttled metric snapshots piggybacked on outgoing messages.
+
+    Process-mode workers cannot share a registry with the master, so
+    the fleet's worker-side series (round-trip histograms, connect
+    counters — all labelled by PE) would be invisible to ``/metrics``.
+    Instead the worker attaches its *cumulative* ``repro.metrics.v1``
+    snapshot to ``progress`` messages (rate-limited, default twice a
+    second) and to every ``complete`` (so end-of-task totals land
+    promptly).  Cumulative + latest-wins on the master means a lost or
+    duplicated piggyback changes nothing.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        min_interval: float = 0.5,
+        clock=time.monotonic,
+    ):
+        self._registry = registry
+        self._min_interval = min_interval
+        self._clock = clock
+        self._last: float | None = None
+
+    def attach(self, message: dict) -> dict:
+        mtype = message.get("type")
+        if mtype not in ("progress", "complete"):
+            return message
+        now = self._clock()
+        if (
+            mtype != "complete"
+            and self._last is not None
+            and now - self._last < self._min_interval
+        ):
+            return message
+        self._last = now
+        out = dict(message)
+        out["stats"] = self._registry.snapshot()
+        return out
+
+
 class ResilientLink:
     """A self-healing connection to the master.
 
@@ -208,12 +249,14 @@ class ResilientLink:
         injector: FaultInjector | None = None,
         clock=None,
         on_connect=None,
+        stats: _StatsPublisher | None = None,
     ):
         self._config = config
         self._observe = observe
         self._injector = injector
         self._clock = clock or time.perf_counter
         self._on_connect = on_connect
+        self._stats = stats
         self.cancelled: set[int] = set()
         self.spans: dict[int, dict] = {}
         #: Incarnation counter sent with ``register``; bumped on every
@@ -285,6 +328,8 @@ class ResilientLink:
         )
 
     def call(self, message: dict) -> dict:
+        if self._stats is not None:
+            message = self._stats.attach(message)
         mtype = str(message.get("type"))
         injector = self._injector
         if injector is not None:
@@ -351,9 +396,14 @@ def run_worker(
     """
     engine = config.build_engine()
     matrix = get_matrix(config.matrix)
-    inst = cluster_worker_instruments(
-        metrics if metrics is not None else MetricsRegistry()
-    )
+    # Process-mode workers (no shared registry) piggyback their private
+    # registry onto the wire instead, so the master's /metrics stays
+    # fleet-complete either way.  Thread-mode workers share *metrics*
+    # with the launcher, which merges directly — piggybacking there
+    # would double-count.
+    registry = metrics if metrics is not None else MetricsRegistry()
+    inst = cluster_worker_instruments(registry)
+    publisher = _StatsPublisher(registry) if metrics is None else None
     if clock is None:
         t0 = time.perf_counter()
         clock = lambda: time.perf_counter() - t0  # noqa: E731
@@ -395,6 +445,7 @@ def run_worker(
             injector=injector,
             clock=clock,
             on_connect=lambda: inst.connects.labels(pe=config.pe_id).inc(),
+            stats=publisher,
         )
         try:
             link.connect()

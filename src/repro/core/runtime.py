@@ -470,11 +470,15 @@ class HybridRuntime:
         checkpoint_sync_every: int = 1,
         checkpoint_compact_every: int = 0,
         batch: int = 1,
+        telemetry_path: str | None = None,
+        telemetry_interval: float = 1.0,
     ):
         if not engines:
             raise ValueError("at least one engine is required")
         if batch < 1:
             raise ValueError("batch must be at least 1")
+        if telemetry_interval <= 0:
+            raise ValueError("telemetry_interval must be positive")
         self.engines = dict(engines)
         self.policy = policy or PackageWeightedSelfScheduling()
         self.adjustment = adjustment
@@ -493,6 +497,11 @@ class HybridRuntime:
         #: Coalesce up to this many compatible tasks per assignment into
         #: one multi-query engine sweep (1 = the paper's behaviour).
         self.batch = batch
+        #: Append a ``repro.telemetry.v1`` JSONL stream of interval
+        #: deltas sampled by a wall-clock thread every
+        #: ``telemetry_interval`` seconds.
+        self.telemetry_path = telemetry_path
+        self.telemetry_interval = telemetry_interval
 
     def run(
         self,
@@ -528,6 +537,20 @@ class HybridRuntime:
 
         def clock() -> float:
             return time.perf_counter() - start
+
+        sampler: "TelemetrySampler | None" = None
+        if self.telemetry_path is not None:
+            from ..observability import TelemetrySampler, TelemetryWriter
+
+            sampler = TelemetrySampler(
+                TelemetryWriter(
+                    self.telemetry_path,
+                    metrics.snapshot,
+                    clock,
+                    interval=self.telemetry_interval,
+                    environment="threaded",
+                )
+            ).start()
 
         store: CheckpointStore | None = None
         if self.checkpoint_dir is not None:
@@ -620,14 +643,24 @@ class HybridRuntime:
                 reaper.join()
             if store is not None:
                 store.close()
+            if sampler is not None:
+                # Stop the sampling thread here; the stream is
+                # finalized only after end-of-run gauges are stamped
+                # (so ``final`` matches the report snapshot), or on the
+                # failure paths below.
+                sampler.stop()
         for worker in workers:
             if worker.error is not None and not isinstance(
                 worker.error, (InjectedCrash, MasterCrashed)
             ):
+                if sampler is not None:
+                    sampler.close()
                 raise worker.error
         if shared.crashed:
             # The journal holds everything completed before the crash;
             # running again with the same checkpoint_dir resumes there.
+            if sampler is not None:
+                sampler.close()
             raise MasterCrashed(crash_at)
         makespan = clock()
 
@@ -643,6 +676,8 @@ class HybridRuntime:
         }
         total_cells = sum(t.cells for t in tasks)
         finalize_run_metrics(metrics, makespan, total_cells)
+        if sampler is not None:
+            sampler.close()
         return RunReport(
             makespan=makespan,
             total_cells=total_cells,

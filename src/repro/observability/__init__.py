@@ -31,7 +31,15 @@ from .conventions import (
     finalize_run_metrics,
     master_instruments,
 )
+from .dashboard import render_status, run_top, status_from_snapshot
 from .events import EventLog
+from .exposition import (
+    OPENMETRICS_CONTENT_TYPE,
+    OpenMetricsParseError,
+    openmetrics_text,
+    parse_openmetrics,
+)
+from .httpd import MetricsHTTPServer
 from .spans import (
     Span,
     SpanContext,
@@ -47,7 +55,16 @@ from .registry import (
     Histogram,
     MetricFamily,
     MetricsRegistry,
+    merge_into,
     merge_snapshots,
+)
+from .telemetry import (
+    TELEMETRY_SCHEMA,
+    TelemetrySampler,
+    TelemetryWriter,
+    read_telemetry,
+    replay_telemetry,
+    snapshot_delta,
 )
 from .timer import Stopwatch, Timer
 
@@ -58,7 +75,22 @@ __all__ = [
     "MetricFamily",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "merge_into",
     "merge_snapshots",
+    "OPENMETRICS_CONTENT_TYPE",
+    "OpenMetricsParseError",
+    "openmetrics_text",
+    "parse_openmetrics",
+    "TELEMETRY_SCHEMA",
+    "TelemetryWriter",
+    "TelemetrySampler",
+    "snapshot_delta",
+    "read_telemetry",
+    "replay_telemetry",
+    "MetricsHTTPServer",
+    "status_from_snapshot",
+    "render_status",
+    "run_top",
     "EventLog",
     "Timer",
     "Stopwatch",

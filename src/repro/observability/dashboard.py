@@ -1,0 +1,271 @@
+"""Operator status derivation and the ``repro top`` terminal dashboard.
+
+:func:`status_from_snapshot` distills a ``repro.metrics.v1`` snapshot
+into a compact ``repro.status.v1`` dict — per-PE rates and queue
+depths, fleet totals, cache hit ratio, task-latency quantiles — which
+is exactly what the master's ``/statusz`` endpoint serves.
+:func:`run_top` renders successive status frames as a plain-text
+table, either polling a live ``/statusz`` endpoint or tailing (and
+folding) a ``repro.telemetry.v1`` stream.  No curses: frames are
+redrawn with a single ANSI clear so the dashboard works over ssh, in
+CI logs, and piped to a file.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import IO, Mapping
+
+from .registry import Histogram, MetricsRegistry
+from .telemetry import read_telemetry, replay_telemetry
+
+__all__ = ["render_status", "run_top", "status_from_snapshot"]
+
+STATUS_SCHEMA = "repro.status.v1"
+
+_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def _solo_value(registry: MetricsRegistry, name: str) -> float | None:
+    family = registry.get(name)
+    if family is None or family.labelnames:
+        return None
+    for _, child in family.series():
+        return child.value  # type: ignore[union-attr]
+    return None
+
+
+def _labelled(registry: MetricsRegistry, name: str):
+    family = registry.get(name)
+    if family is None:
+        return
+    yield from family.series()
+
+
+def _quantiles(histogram: Histogram) -> dict[str, float | None]:
+    out: dict[str, float | None] = {}
+    for q in _QUANTILES:
+        value = histogram.quantile(q)
+        out[f"p{int(q * 100)}"] = None if math.isnan(value) else value
+    return out
+
+
+def status_from_snapshot(snapshot: Mapping) -> dict:
+    """Distill a metrics snapshot into a ``repro.status.v1`` dict."""
+    registry = MetricsRegistry.from_snapshot(snapshot)
+
+    pes: dict[str, dict] = {}
+
+    def pe_entry(pe: str) -> dict:
+        return pes.setdefault(
+            pe,
+            {
+                "queue_depth": 0.0,
+                "estimated_rate": None,
+                "realized_rate": None,
+                "tasks_completed": 0.0,
+                "cells_completed": 0.0,
+                "busy_seconds": 0.0,
+                "latency": None,
+            },
+        )
+
+    for labels, child in _labelled(registry, "pe_queue_depth"):
+        pe_entry(labels["pe"])["queue_depth"] = child.value
+    for labels, child in _labelled(
+        registry, "pe_estimated_rate_cells_per_second"
+    ):
+        pe_entry(labels["pe"])["estimated_rate"] = child.value
+    for labels, child in _labelled(
+        registry, "pe_realized_rate_cells_per_second"
+    ):
+        pe_entry(labels["pe"])["realized_rate"] = child.value
+    for labels, child in _labelled(registry, "tasks_completed_total"):
+        entry = pe_entry(labels["pe"])
+        entry["tasks_completed"] += child.value
+    for labels, child in _labelled(registry, "cells_completed_total"):
+        pe_entry(labels["pe"])["cells_completed"] = child.value
+    for labels, child in _labelled(registry, "pe_busy_seconds_total"):
+        pe_entry(labels["pe"])["busy_seconds"] = child.value
+
+    # Task latency: per-PE quantiles plus a fleet aggregate built by
+    # summing bucket counts (bounds are identical across series).
+    aggregate: Histogram | None = None
+    for labels, child in _labelled(registry, "task_latency_seconds"):
+        assert isinstance(child, Histogram)
+        pe_entry(labels["pe"])["latency"] = _quantiles(child)
+        if aggregate is None:
+            aggregate = Histogram(child.bounds)
+        for index, count in enumerate(child._counts):
+            aggregate._counts[index] += count
+        aggregate._sum += child.sum
+        aggregate._count += child.count
+
+    hits = sum(c.value for _, c in _labelled(registry, "cache_hits_total"))
+    misses = sum(c.value for _, c in _labelled(registry, "cache_misses_total"))
+    lookups = hits + misses
+
+    status = {
+        "schema": STATUS_SCHEMA,
+        "pes": {pe: pes[pe] for pe in sorted(pes)},
+        "registered_pes": _solo_value(registry, "registered_pes"),
+        "ready_tasks": _solo_value(registry, "ready_tasks"),
+        "executing_tasks": _solo_value(registry, "executing_tasks"),
+        "cache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_ratio": (hits / lookups) if lookups else None,
+        },
+        "task_latency": _quantiles(aggregate) if aggregate else None,
+        "run": {
+            "makespan_seconds": _solo_value(registry, "run_makespan_seconds"),
+            "total_cells": _solo_value(registry, "run_total_cells"),
+            "gcups": _solo_value(registry, "run_gcups"),
+        },
+    }
+    return status
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+def _fmt(value, width: int = 10, digits: int = 3) -> str:
+    if value is None:
+        return "-".rjust(width)
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.{digits}g}".rjust(width)
+    return str(int(value)).rjust(width)
+
+
+def render_status(status: Mapping, title: str = "repro top") -> str:
+    """One dashboard frame as plain text."""
+    lines = [title, "=" * len(title)]
+    lines.append(
+        "pes={} ready={} executing={}".format(
+            _fmt(status.get("registered_pes"), 1),
+            _fmt(status.get("ready_tasks"), 1),
+            _fmt(status.get("executing_tasks"), 1),
+        )
+    )
+    cache = status.get("cache") or {}
+    ratio = cache.get("hit_ratio")
+    lines.append(
+        "cache: hits={} misses={} ratio={}".format(
+            _fmt(cache.get("hits"), 1),
+            _fmt(cache.get("misses"), 1),
+            "-" if ratio is None else f"{ratio:.1%}",
+        )
+    )
+    latency = status.get("task_latency")
+    if latency:
+        lines.append(
+            "task latency: p50={} p95={} p99={}".format(
+                _fmt(latency.get("p50"), 1),
+                _fmt(latency.get("p95"), 1),
+                _fmt(latency.get("p99"), 1),
+            )
+        )
+    run = status.get("run") or {}
+    if run.get("makespan_seconds") is not None:
+        lines.append(
+            "run: makespan={}s cells={} gcups={}".format(
+                _fmt(run.get("makespan_seconds"), 1),
+                _fmt(run.get("total_cells"), 1),
+                _fmt(run.get("gcups"), 1),
+            )
+        )
+    pes = status.get("pes") or {}
+    if pes:
+        header = (
+            f"{'pe':<12}{'queue':>8}{'done':>8}{'cells':>12}"
+            f"{'est c/s':>12}{'real c/s':>12}{'p50':>10}{'p99':>10}"
+        )
+        lines.append("")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for pe, entry in pes.items():
+            latency = entry.get("latency") or {}
+            lines.append(
+                f"{pe:<12}"
+                f"{_fmt(entry.get('queue_depth'), 8)}"
+                f"{_fmt(entry.get('tasks_completed'), 8)}"
+                f"{_fmt(entry.get('cells_completed'), 12)}"
+                f"{_fmt(entry.get('estimated_rate'), 12)}"
+                f"{_fmt(entry.get('realized_rate'), 12)}"
+                f"{_fmt(latency.get('p50'), 10)}"
+                f"{_fmt(latency.get('p99'), 10)}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Top loop
+# ----------------------------------------------------------------------
+
+def _fetch_status(source: str) -> dict:
+    """One status frame from a URL (``/statusz``) or telemetry file."""
+    if source.startswith("http://") or source.startswith("https://"):
+        url = source.rstrip("/")
+        if not url.endswith("/statusz"):
+            url += "/statusz"
+        with urllib.request.urlopen(url, timeout=5.0) as response:
+            status = json.loads(response.read().decode("utf-8"))
+        if status.get("schema") != STATUS_SCHEMA:
+            raise ValueError(
+                f"unrecognised status schema {status.get('schema')!r}"
+            )
+        return status
+    records = read_telemetry(source)
+    final = [r for r in records if r["record"] == "final"]
+    if final:
+        snapshot = final[-1]["snapshot"]
+    else:
+        snapshot = replay_telemetry(records)
+    status = status_from_snapshot(snapshot)
+    status["finished"] = bool(final)
+    return status
+
+
+def run_top(
+    source: str,
+    interval: float = 2.0,
+    iterations: int | None = None,
+    out: IO[str] | None = None,
+    clear: bool | None = None,
+) -> int:
+    """Render dashboard frames until interrupted (or ``iterations``).
+
+    ``source`` is a master base URL (its ``/statusz`` is polled) or a
+    telemetry JSONL path (folded locally; stops once the stream's
+    ``final`` record appears).  Returns an exit code: 0 on a clean
+    finish, 1 if the source was never reachable.
+    """
+    stream = out if out is not None else sys.stdout
+    if clear is None:
+        clear = stream.isatty()
+    frames = 0
+    while True:
+        try:
+            status = _fetch_status(source)
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            if frames == 0:
+                stream.write(f"repro top: cannot read {source}: {exc}\n")
+                return 1
+            stream.write("repro top: source went away; exiting\n")
+            return 0
+        frames += 1
+        if clear:
+            stream.write("\x1b[2J\x1b[H")
+        stream.write(render_status(status, title=f"repro top — {source}"))
+        stream.flush()
+        if iterations is not None and frames >= iterations:
+            return 0
+        if status.get("finished"):
+            return 0
+        time.sleep(interval)

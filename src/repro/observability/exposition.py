@@ -1,0 +1,356 @@
+"""OpenMetrics text exposition and a strict validating parser.
+
+:meth:`MetricsRegistry.prometheus_text` renders the classic Prometheus
+0.0.4 format, which is fine for eyeballs but predates a written spec.
+This module renders the same data as `OpenMetrics 1.0
+<https://github.com/OpenObservability/OpenMetrics>`_ — the format the
+``/metrics`` endpoint serves — and ships a deliberately strict parser
+so CI can *prove* a scrape is well-formed rather than hoping.
+
+The two OpenMetrics quirks worth knowing:
+
+* a counter's *family* name drops the ``_total`` suffix in the
+  ``# TYPE`` line while its *samples* keep it (``# TYPE foo counter``
+  / ``foo_total 3``);
+* the stream must end with a literal ``# EOF`` line, so a truncated
+  scrape is detectable.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Mapping
+
+from .registry import (
+    MetricsRegistry,
+    _escape_help,
+    _format_float,
+    _format_labels,
+)
+
+__all__ = [
+    "OPENMETRICS_CONTENT_TYPE",
+    "OpenMetricsParseError",
+    "openmetrics_text",
+    "parse_openmetrics",
+]
+
+#: Content-Type the ``/metrics`` endpoint advertises.
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
+
+
+class OpenMetricsParseError(ValueError):
+    """Raised by :func:`parse_openmetrics` on any spec violation."""
+
+
+def _family_name(name: str, kind: str) -> str:
+    """OpenMetrics family name: counters drop the ``_total`` suffix."""
+    if kind == "counter" and name.endswith("_total"):
+        return name[: -len("_total")]
+    return name
+
+
+def openmetrics_text(source: MetricsRegistry | Mapping) -> str:
+    """Render a registry or ``repro.metrics.v1`` snapshot as OpenMetrics.
+
+    Output is deterministic: families sorted by name, series sorted by
+    label values (both inherited from the registry), terminated by the
+    mandatory ``# EOF`` line.
+    """
+    if isinstance(source, MetricsRegistry):
+        registry = source
+    else:
+        registry = MetricsRegistry.from_snapshot(source)
+    lines: list[str] = []
+    for name in registry.names():
+        family = registry.get(name)
+        assert family is not None
+        fam = _family_name(name, family.kind)
+        lines.append(f"# TYPE {fam} {family.kind}")
+        if family.help:
+            lines.append(f"# HELP {fam} {_escape_help(family.help)}")
+        for labels, child in family.series():
+            if family.kind == "histogram":
+                for le, count in child.cumulative():  # type: ignore[union-attr]
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _format_float(le)
+                    lines.append(
+                        f"{fam}_bucket{_format_labels(bucket_labels)} {count}"
+                    )
+                lines.append(
+                    f"{fam}_sum{_format_labels(labels)}"
+                    f" {_format_float(child.sum)}"  # type: ignore[union-attr]
+                )
+                lines.append(
+                    f"{fam}_count{_format_labels(labels)}"
+                    f" {child.count}"  # type: ignore[union-attr]
+                )
+            elif family.kind == "counter":
+                lines.append(
+                    f"{fam}_total{_format_labels(labels)}"
+                    f" {_format_float(child.value)}"  # type: ignore[union-attr]
+                )
+            else:
+                lines.append(
+                    f"{fam}{_format_labels(labels)}"
+                    f" {_format_float(child.value)}"  # type: ignore[union-attr]
+                )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Strict parser
+# ----------------------------------------------------------------------
+
+#: Sample-name suffixes each metric type may emit.
+_ALLOWED_SUFFIXES = {
+    "counter": ("_total",),
+    "gauge": ("",),
+    "histogram": ("_bucket", "_sum", "_count"),
+}
+
+
+def _parse_value(token: str, where: str) -> float:
+    if token == "+Inf":
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    if token == "NaN":
+        return math.nan
+    try:
+        return float(token)
+    except ValueError:
+        raise OpenMetricsParseError(f"{where}: bad value {token!r}") from None
+
+
+def _parse_labels(text: str, where: str) -> dict[str, str]:
+    """Parse the interior of a ``{...}`` label block (escape-aware)."""
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(text):
+        match = _LABEL_NAME_RE.match(text, i)
+        if match is None:
+            raise OpenMetricsParseError(f"{where}: bad label name at {text[i:]!r}")
+        name = match.group(0)
+        i = match.end()
+        if i >= len(text) or text[i] != "=":
+            raise OpenMetricsParseError(f"{where}: expected '=' after {name!r}")
+        i += 1
+        if i >= len(text) or text[i] != '"':
+            raise OpenMetricsParseError(f"{where}: label value must be quoted")
+        i += 1
+        out: list[str] = []
+        while True:
+            if i >= len(text):
+                raise OpenMetricsParseError(f"{where}: unterminated label value")
+            ch = text[i]
+            if ch == "\\":
+                if i + 1 >= len(text):
+                    raise OpenMetricsParseError(f"{where}: dangling escape")
+                esc = text[i + 1]
+                if esc == "n":
+                    out.append("\n")
+                elif esc in ('"', "\\"):
+                    out.append(esc)
+                else:
+                    raise OpenMetricsParseError(
+                        f"{where}: bad escape \\{esc}"
+                    )
+                i += 2
+                continue
+            if ch == '"':
+                i += 1
+                break
+            out.append(ch)
+            i += 1
+        if name in labels:
+            raise OpenMetricsParseError(f"{where}: duplicate label {name!r}")
+        labels[name] = "".join(out)
+        if i < len(text):
+            if text[i] != ",":
+                raise OpenMetricsParseError(
+                    f"{where}: expected ',' between labels"
+                )
+            i += 1
+    return labels
+
+
+def _split_sample(line: str, where: str) -> tuple[str, dict[str, str], float]:
+    """Split ``name{labels} value`` into its three parts."""
+    brace = line.find("{")
+    if brace >= 0:
+        close = line.find("}", brace)
+        if close < 0:
+            raise OpenMetricsParseError(f"{where}: unterminated label block")
+        name = line[:brace]
+        labels = _parse_labels(line[brace + 1 : close], where)
+        rest = line[close + 1 :]
+    else:
+        parts = line.split(None, 1)
+        if len(parts) != 2:
+            raise OpenMetricsParseError(f"{where}: expected 'name value'")
+        name, rest = parts
+        labels = {}
+    if not _METRIC_NAME_RE.match(name):
+        raise OpenMetricsParseError(f"{where}: bad metric name {name!r}")
+    tokens = rest.split()
+    if len(tokens) != 1:
+        raise OpenMetricsParseError(
+            f"{where}: expected exactly one value, got {rest!r}"
+        )
+    return name, labels, _parse_value(tokens[0], where)
+
+
+def _resolve_family(
+    name: str, families: Mapping[str, dict], where: str
+) -> tuple[str, str]:
+    """Map a sample name to its (family, suffix) under the declared types."""
+    for suffix in ("_bucket", "_sum", "_count", "_total", ""):
+        if suffix and not name.endswith(suffix):
+            continue
+        base = name[: len(name) - len(suffix)] if suffix else name
+        family = families.get(base)
+        if family is None:
+            continue
+        if suffix in _ALLOWED_SUFFIXES[family["type"]]:
+            return base, suffix
+    raise OpenMetricsParseError(
+        f"{where}: sample {name!r} has no preceding # TYPE declaration"
+    )
+
+
+def _check_histogram_series(family: str, parsed: dict) -> None:
+    """Bucket monotonicity, +Inf terminal, and count/sum consistency."""
+    by_series: dict[tuple, dict] = {}
+    for name, labels, value in parsed["samples"]:
+        base_labels = {k: v for k, v in labels.items() if k != "le"}
+        key = tuple(sorted(base_labels.items()))
+        series = by_series.setdefault(
+            key, {"buckets": [], "sum": None, "count": None}
+        )
+        if name.endswith("_bucket"):
+            if "le" not in labels:
+                raise OpenMetricsParseError(
+                    f"{family}: _bucket sample missing 'le' label"
+                )
+            series["buckets"].append(
+                (_parse_value(labels["le"], family), value)
+            )
+        elif name.endswith("_sum"):
+            series["sum"] = value
+        elif name.endswith("_count"):
+            series["count"] = value
+    for key, series in by_series.items():
+        buckets = series["buckets"]
+        if not buckets:
+            raise OpenMetricsParseError(
+                f"{family}{dict(key)}: histogram series has no buckets"
+            )
+        previous = -1.0
+        for le, count in buckets:
+            if count < previous:
+                raise OpenMetricsParseError(
+                    f"{family}{dict(key)}: bucket counts not cumulative"
+                )
+            previous = count
+        if buckets[-1][0] != math.inf:
+            raise OpenMetricsParseError(
+                f"{family}{dict(key)}: missing terminal +Inf bucket"
+            )
+        if series["count"] is None or series["sum"] is None:
+            raise OpenMetricsParseError(
+                f"{family}{dict(key)}: missing _count or _sum sample"
+            )
+        if buckets[-1][1] != series["count"]:
+            raise OpenMetricsParseError(
+                f"{family}{dict(key)}: +Inf bucket != _count"
+            )
+
+
+def parse_openmetrics(text: str) -> dict[str, dict]:
+    """Parse and validate an OpenMetrics exposition.
+
+    Returns ``{family_name: {"type", "help", "samples"}}`` where
+    ``samples`` is a list of ``(sample_name, labels, value)`` tuples.
+    Raises :class:`OpenMetricsParseError` on: missing ``# EOF``,
+    samples before their ``# TYPE``, duplicate metadata or samples,
+    malformed names/labels/values, negative counters, non-cumulative
+    histogram buckets, or a ``+Inf`` bucket disagreeing with
+    ``_count``.
+    """
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines or lines[-1] != "# EOF":
+        raise OpenMetricsParseError("missing '# EOF' terminator")
+    families: dict[str, dict] = {}
+    seen: set[tuple] = set()
+    for lineno, line in enumerate(lines[:-1], start=1):
+        where = f"line {lineno}"
+        if not line:
+            raise OpenMetricsParseError(f"{where}: blank line")
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[0] != "#":
+                raise OpenMetricsParseError(f"{where}: bad comment {line!r}")
+            keyword, name = parts[1], parts[2]
+            if keyword == "TYPE":
+                if len(parts) != 4:
+                    raise OpenMetricsParseError(f"{where}: bad TYPE line")
+                kind = parts[3]
+                if kind not in _ALLOWED_SUFFIXES:
+                    raise OpenMetricsParseError(
+                        f"{where}: unsupported type {kind!r}"
+                    )
+                if name in families:
+                    raise OpenMetricsParseError(
+                        f"{where}: duplicate TYPE for {name!r}"
+                    )
+                if not _METRIC_NAME_RE.match(name):
+                    raise OpenMetricsParseError(
+                        f"{where}: bad metric name {name!r}"
+                    )
+                families[name] = {"type": kind, "help": None, "samples": []}
+            elif keyword == "HELP":
+                family = families.get(name)
+                if family is None:
+                    raise OpenMetricsParseError(
+                        f"{where}: HELP before TYPE for {name!r}"
+                    )
+                if family["help"] is not None:
+                    raise OpenMetricsParseError(
+                        f"{where}: duplicate HELP for {name!r}"
+                    )
+                family["help"] = parts[3] if len(parts) == 4 else ""
+            else:
+                raise OpenMetricsParseError(
+                    f"{where}: unknown comment keyword {keyword!r}"
+                )
+            continue
+        name, labels, value = _split_sample(line, where)
+        base, suffix = _resolve_family(name, families, where)
+        key = (name, tuple(sorted(labels.items())))
+        if key in seen:
+            raise OpenMetricsParseError(f"{where}: duplicate sample {name!r}")
+        seen.add(key)
+        kind = families[base]["type"]
+        if kind == "counter" and value < 0:
+            raise OpenMetricsParseError(
+                f"{where}: counter {name!r} is negative"
+            )
+        if suffix != "_bucket" and "le" in labels:
+            raise OpenMetricsParseError(
+                f"{where}: 'le' label outside a _bucket sample"
+            )
+        families[base]["samples"].append((name, labels, value))
+    for base, family in families.items():
+        if family["type"] == "histogram":
+            _check_histogram_series(base, family)
+    return families

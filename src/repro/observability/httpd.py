@@ -1,0 +1,132 @@
+"""Tiny stdlib HTTP server exposing live metrics endpoints.
+
+Serves three read-only endpoints from a daemon thread:
+
+* ``/metrics`` — OpenMetrics text of the current snapshot;
+* ``/healthz`` — liveness probe (``ok`` / 503);
+* ``/statusz`` — operator-facing JSON summary.
+
+The server is deliberately generic: it is handed three callables and
+knows nothing about masters or schedulers, so the cluster
+:class:`~repro.cluster.server.MasterServer` (and any future always-on
+service) can mount it without import cycles.  ``port=0`` binds an
+ephemeral port; read :attr:`MetricsHTTPServer.port` after
+:meth:`start`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Mapping
+
+from .exposition import OPENMETRICS_CONTENT_TYPE, openmetrics_text
+
+__all__ = ["MetricsHTTPServer"]
+
+
+class MetricsHTTPServer:
+    """Expose ``/metrics``, ``/healthz`` and ``/statusz`` over HTTP."""
+
+    def __init__(
+        self,
+        snapshot_fn: Callable[[], Mapping],
+        status_fn: Callable[[], Mapping] | None = None,
+        health_fn: Callable[[], bool] | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._snapshot_fn = snapshot_fn
+        self._status_fn = status_fn
+        self._health_fn = health_fn
+        self._host = host
+        self._requested_port = port
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise RuntimeError("server not started")
+        return self._httpd.server_address[1]
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self._host, self.port)
+
+    def url(self, path: str = "/metrics") -> str:
+        return f"http://{self._host}:{self.port}{path}"
+
+    # ------------------------------------------------------------------
+    def start(self) -> "MetricsHTTPServer":
+        if self._httpd is not None:
+            raise RuntimeError("server already started")
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            # Exceptions from callables must surface as 500s, never
+            # kill the serving thread.
+            def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
+                try:
+                    outer._route(self)
+                except Exception as exc:  # pragma: no cover - defensive
+                    self._send(500, "text/plain; charset=utf-8",
+                               f"error: {exc}\n")
+
+            def _send(self, code: int, content_type: str, body: str) -> None:
+                payload = body.encode("utf-8")
+                self.send_response(code)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def log_message(self, *args) -> None:  # silence stderr
+                pass
+
+        self._httpd = ThreadingHTTPServer(
+            (self._host, self._requested_port), Handler
+        )
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="metrics-httpd",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def _route(self, handler) -> None:
+        path = handler.path.split("?", 1)[0]
+        if path == "/metrics":
+            handler._send(
+                200, OPENMETRICS_CONTENT_TYPE,
+                openmetrics_text(self._snapshot_fn()),
+            )
+        elif path == "/healthz":
+            healthy = True if self._health_fn is None else bool(self._health_fn())
+            if healthy:
+                handler._send(200, "text/plain; charset=utf-8", "ok\n")
+            else:
+                handler._send(503, "text/plain; charset=utf-8", "unhealthy\n")
+        elif path == "/statusz":
+            if self._status_fn is None:
+                handler._send(404, "text/plain; charset=utf-8",
+                              "no status endpoint\n")
+                return
+            body = json.dumps(self._status_fn(), indent=2, sort_keys=True)
+            handler._send(200, "application/json; charset=utf-8", body + "\n")
+        else:
+            handler._send(404, "text/plain; charset=utf-8", "not found\n")
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd = None

@@ -34,6 +34,7 @@ __all__ = [
     "MetricFamily",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "merge_into",
     "merge_snapshots",
 ]
 
@@ -100,7 +101,8 @@ class Histogram:
     when missing, so every observation lands somewhere.
     """
 
-    __slots__ = ("_bounds", "_counts", "_sum", "_count", "_lock")
+    __slots__ = ("_bounds", "_counts", "_sum", "_count", "_nan_count",
+                 "_lock")
 
     def __init__(self, buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
         bounds = sorted(set(float(b) for b in buckets))
@@ -112,10 +114,19 @@ class Histogram:
         self._counts = [0] * len(self._bounds)
         self._sum = 0.0
         self._count = 0
+        self._nan_count = 0
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        index = bisect_left(self._bounds, float(value))
+        value = float(value)
+        if value != value:
+            # NaN: bisect_left against NaN lands in an arbitrary bucket
+            # and NaN-poisons ``sum`` forever.  Count and drop instead,
+            # so a single bad sample stays visible but harmless.
+            with self._lock:
+                self._nan_count += 1
+            return
+        index = bisect_left(self._bounds, value)
         with self._lock:
             self._counts[index] += 1
             self._sum += value
@@ -128,6 +139,11 @@ class Histogram:
     @property
     def count(self) -> int:
         return self._count
+
+    @property
+    def nan_count(self) -> int:
+        """Observations rejected because they were NaN."""
+        return self._nan_count
 
     @property
     def bounds(self) -> tuple[float, ...]:
@@ -146,6 +162,40 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the *q*-quantile by linear interpolation.
+
+        Walks the cumulative bucket counts to the first bucket holding
+        the target rank, then interpolates linearly between its bounds
+        (Prometheus ``histogram_quantile`` semantics): the estimate is
+        exact only up to bucket resolution.  An empty histogram returns
+        NaN; a target landing in the terminal ``+Inf`` bucket returns
+        the largest finite bound, since there is no upper edge to
+        interpolate toward.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+        if total == 0:
+            return float("nan")
+        target = q * total
+        running = 0
+        for index, (bound, count) in enumerate(zip(self._bounds, counts)):
+            if running + count >= target and count > 0:
+                if bound == float("inf"):
+                    if index == 0:
+                        return float("nan")  # every bucket is +Inf-wide
+                    return self._bounds[index - 1]
+                lower = self._bounds[index - 1] if index > 0 else min(
+                    0.0, bound
+                )
+                fraction = (target - running) / count
+                return lower + (bound - lower) * fraction
+            running += count
+        return self._bounds[-2] if len(self._bounds) > 1 else float("nan")
 
 
 _METRIC_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
@@ -326,6 +376,10 @@ class MetricsRegistry:
                         ["+Inf" if le == float("inf") else le, count]
                         for le, count in child.cumulative()
                     ]
+                    if child.nan_count:
+                        # Only when nonzero, so clean runs stay
+                        # byte-identical to pre-nan-count snapshots.
+                        entry["nan"] = child.nan_count
                 else:
                     entry["value"] = child.value
                 series.append(entry)
@@ -379,6 +433,7 @@ class MetricsRegistry:
                         previous = count
                     child._sum = float(entry["sum"])
                     child._count = int(entry["count"])
+                    child._nan_count = int(entry.get("nan", 0))
                 elif kind == "counter":
                     child.inc(float(entry["value"]))  # type: ignore[union-attr]
                 else:
@@ -453,6 +508,49 @@ def _format_float(value: float) -> str:
 
 
 # ----------------------------------------------------------------------
+def merge_into(registry: MetricsRegistry, snapshot: Mapping) -> None:
+    """Fold one snapshot dict into a live registry, in place.
+
+    Families are merged by name (types and label sets must agree);
+    series with identical labels are combined — counters and histograms
+    add, gauges keep the incoming value.  This is the primitive under
+    :func:`merge_snapshots` and the master's fleet aggregation.
+    """
+    incoming = MetricsRegistry.from_snapshot(snapshot)
+    for name in incoming.names():
+        family = incoming.get(name)
+        assert family is not None
+        target = registry._register(
+            name, family.kind, family.help, family.labelnames,
+            family._buckets,
+        )
+        if family.kind == "histogram" and family._buckets is not None:
+            with target._lock:
+                # A family first seen through an empty-series snapshot
+                # has no committed bounds; adopt the incoming ones
+                # before any child is created with the defaults.
+                if not target._children and target._buckets != family._buckets:
+                    target._buckets = family._buckets
+        for labels, child in family.series():
+            existing = target.labels(**labels)
+            if isinstance(child, Histogram):
+                assert isinstance(existing, Histogram)
+                if existing.bounds != child.bounds:
+                    raise ValueError(
+                        f"{name}: histogram bucket bounds disagree"
+                    )
+                with existing._lock:
+                    for index, count in enumerate(child._counts):
+                        existing._counts[index] += count
+                    existing._sum += child.sum
+                    existing._count += child.count
+                    existing._nan_count += child.nan_count
+            elif isinstance(child, Counter):
+                existing.inc(child.value)  # type: ignore[union-attr]
+            else:
+                existing.set(child.value)  # type: ignore[union-attr]
+
+
 def merge_snapshots(*snapshots: Mapping) -> dict:
     """Merge snapshot dicts into one (e.g. master-side + worker-side).
 
@@ -462,28 +560,5 @@ def merge_snapshots(*snapshots: Mapping) -> dict:
     """
     merged = MetricsRegistry()
     for snapshot in snapshots:
-        incoming = MetricsRegistry.from_snapshot(snapshot)
-        for name in incoming.names():
-            family = incoming.get(name)
-            assert family is not None
-            target = merged._register(
-                name, family.kind, family.help, family.labelnames,
-                family._buckets,
-            )
-            for labels, child in family.series():
-                existing = target.labels(**labels)
-                if isinstance(child, Histogram):
-                    assert isinstance(existing, Histogram)
-                    if existing.bounds != child.bounds:
-                        raise ValueError(
-                            f"{name}: histogram bucket bounds disagree"
-                        )
-                    for index, count in enumerate(child._counts):
-                        existing._counts[index] += count
-                    existing._sum += child.sum
-                    existing._count += child.count
-                elif isinstance(child, Counter):
-                    existing.inc(child.value)  # type: ignore[union-attr]
-                else:
-                    existing.set(child.value)  # type: ignore[union-attr]
+        merge_into(merged, snapshot)
     return merged.snapshot()

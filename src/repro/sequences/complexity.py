@@ -28,6 +28,15 @@ def entropy_profile(sequence: Sequence, window: int = 12) -> np.ndarray:
 
     Returns an array of length ``len(sequence) - window + 1`` (empty
     when the sequence is shorter than the window).
+
+    Wildcard residues each count as a *unique* symbol (maximal
+    entropy contribution) rather than as one shared letter: a
+    wildcard carries no repeat signal, and an already-masked span must
+    never re-trigger the filter and swallow its neighbours — this is
+    what makes :func:`mask_low_complexity` idempotent.  Replacing any
+    multiset of residues with distinct singletons can only raise a
+    window's entropy, so every window this profile flags would also
+    have been flagged on the pre-mask residues.
     """
     if window < 2:
         raise ValueError("window must be at least 2")
@@ -37,12 +46,16 @@ def entropy_profile(sequence: Sequence, window: int = 12) -> np.ndarray:
         return np.zeros(0, dtype=np.float64)
     assert sequence.alphabet is not None
     size = sequence.alphabet.size
+    wildcard = sequence.alphabet.wildcard_code
     # Sliding counts via cumulative one-hot sums: counts[w, c] is the
     # number of residues of code c in window starting at w.
     one_hot = np.zeros((n + 1, size), dtype=np.int32)
     one_hot[1:][np.arange(n), codes] = 1
     cumulative = np.cumsum(one_hot, axis=0)
     counts = cumulative[window:] - cumulative[:-window]
+    wild = counts[:, wildcard].astype(np.float64)
+    counts = counts.copy()
+    counts[:, wildcard] = 0
     probabilities = counts / window
     with np.errstate(divide="ignore", invalid="ignore"):
         terms = np.where(
@@ -50,7 +63,8 @@ def entropy_profile(sequence: Sequence, window: int = 12) -> np.ndarray:
             -probabilities * np.log2(probabilities),
             0.0,
         )
-    return terms.sum(axis=1)
+    # k wildcards = k distinct symbols at probability 1/window each.
+    return terms.sum(axis=1) + wild / window * np.log2(window)
 
 
 @dataclass(frozen=True)

@@ -34,7 +34,12 @@ from ..core.policies import AllocationPolicy, PackageWeightedSelfScheduling
 from ..core.task import Task, TaskResult
 from ..durability import CheckpointStore, restore_into, workload_fingerprint
 from ..faults import FaultInjector, FaultPlan
-from ..observability import EventLog, MetricsRegistry, finalize_run_metrics
+from ..observability import (
+    EventLog,
+    MetricsRegistry,
+    TelemetryWriter,
+    finalize_run_metrics,
+)
 from .events import EventHandle, EventQueue
 from .network import NetworkModel
 from .pe_models import PEModel
@@ -219,6 +224,8 @@ class HybridSimulator:
         checkpoint_sync_every: int = 1,
         checkpoint_compact_every: int = 0,
         batch: int = 1,
+        telemetry_path: str | None = None,
+        telemetry_interval: float = 1.0,
     ):
         if not pes:
             raise ValueError("at least one PE is required")
@@ -270,6 +277,14 @@ class HybridSimulator:
         #: batching here models the amortized request round-trips, not a
         #: kernel-level speedup.
         self.batch = batch
+        #: Append a ``repro.telemetry.v1`` JSONL stream sampled on the
+        #: *virtual* clock every ``telemetry_interval`` simulated
+        #: seconds — an hour-long simulated trajectory costs
+        #: milliseconds of wall time.
+        self.telemetry_path = telemetry_path
+        if telemetry_interval <= 0:
+            raise ValueError("telemetry_interval must be positive")
+        self.telemetry_interval = telemetry_interval
 
     # ------------------------------------------------------------------
     def run(self, tasks: list[Task]) -> SimReport:
@@ -352,6 +367,32 @@ class HybridSimulator:
         if heartbeat:
             queue.schedule(heartbeat / 4, state.on_reap)
 
+        writer: TelemetryWriter | None = None
+        if self.telemetry_path is not None:
+            # Clock-agnostic sampling: the writer is driven by virtual-
+            # time events, not a thread.  The tick reads the master via
+            # ``state`` (a crash replaces ``state.master`` but keeps the
+            # registry) and stops rescheduling once the workload is
+            # finished so the event queue can drain.
+            writer = TelemetryWriter(
+                self.telemetry_path,
+                metrics.snapshot,
+                lambda: queue.now,
+                interval=self.telemetry_interval,
+                environment="des",
+            )
+
+            def telemetry_tick() -> None:
+                assert writer is not None
+                if state.master.finished:
+                    return
+                writer.sample()
+                queue.schedule(
+                    queue.now + writer.interval, telemetry_tick
+                )
+
+            queue.schedule(self.telemetry_interval, telemetry_tick)
+
         for spec in self.specs:
             pe = pes[spec.pe_id]
             if spec.join_time <= 0:
@@ -401,6 +442,10 @@ class HybridSimulator:
         replicas = sum(1 for e in full_trace if e.kind == "replica")
         total_cells = sum(t.cells for t in tasks)
         finalize_run_metrics(metrics, makespan, total_cells)
+        if writer is not None:
+            # After finalize, so the stream's ``final`` record matches
+            # the report's ``repro.metrics.v1`` snapshot byte for byte.
+            writer.close()
         return SimReport(
             makespan=makespan,
             total_cells=total_cells,
