@@ -1,0 +1,103 @@
+"""Service latency under an arrival-rate sweep (DES virtual clock).
+
+Sweeps an open-loop Poisson arrival rate across the always-on service
+and renders the latency/shed curve the admission layer promises:
+
+- **below saturation** the p99 submit-to-done latency stays bounded
+  (shallow queues, zero shed);
+- **above saturation** the service sheds loudly (``queue_full`` /
+  ``backlog``) instead of letting latency grow without bound, and every
+  request it *does* admit still reaches a terminal state.
+
+The sweep runs on the discrete-event simulator's virtual clock, so ten
+minutes of service traffic cost milliseconds of wall time and the curve
+is bit-reproducible.  Used by ``scripts/check.sh`` and CI as the
+service-latency gate::
+
+    pytest benchmarks/bench_service_latency.py --benchmark-only -q
+"""
+
+import numpy as np
+
+from repro.service import ServiceConfig
+from repro.simulate import PESpec, ServiceSimulator, UniformModel, service_arrivals
+
+from conftest import emit
+
+#: Four PEs x 1e6 cells/s; requests average ~80 x 10k = 8e5 cells, so
+#: the fleet saturates around 5 requests/second.
+FLEET = 4
+PE_RATE = 1e6
+DATABASE_RESIDUES = 10_000
+HORIZON = 120.0
+
+#: Arrival rates (requests/second) on either side of saturation.
+BELOW_SATURATION = (1.0, 2.0, 4.0)
+ABOVE_SATURATION = (10.0, 20.0)
+
+#: Below saturation the p99 latency must stay under this many seconds
+#: (service time is ~0.2s; the bound leaves room for queueing bursts).
+P99_BOUND_SECONDS = 10.0
+
+
+def _run(rate: float) -> dict:
+    sim = ServiceSimulator(
+        [PESpec(f"pe{i}", UniformModel(rate=PE_RATE)) for i in range(FLEET)],
+        database_residues=DATABASE_RESIDUES,
+    )
+    arrivals = service_arrivals(rate, HORIZON, np.random.default_rng(42))
+    report = sim.run_service(
+        arrivals,
+        ServiceConfig(max_queue_depth=16, max_backlog_seconds=30.0),
+    )
+    return {
+        "rate": rate,
+        "offered": report.offered,
+        "admitted": report.admitted,
+        "completed": report.completed,
+        "shed": report.shed_total,
+        "p50": report.latency_quantile(0.5),
+        "p99": report.latency_quantile(0.99),
+    }
+
+
+def _sweep() -> list[dict]:
+    return [_run(rate) for rate in BELOW_SATURATION + ABOVE_SATURATION]
+
+
+def test_service_latency_sweep(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    for row in rows:
+        # Conservation: every offered request is accounted for, and
+        # every admitted one reached a terminal state (the drain ran).
+        assert row["offered"] == row["admitted"] + row["shed"]
+        if row["rate"] in BELOW_SATURATION:
+            assert row["shed"] == 0, row
+            assert row["completed"] == row["admitted"]
+            assert row["p99"] < P99_BOUND_SECONDS, row
+        else:
+            assert row["shed"] > 0, row
+
+    # Latency is monotone in offered load below saturation.
+    below = [r["p99"] for r in rows if r["rate"] in BELOW_SATURATION]
+    assert below == sorted(below)
+
+    lines = [
+        f"{'rate':>6} {'offered':>8} {'admitted':>9} {'shed':>6} "
+        f"{'p50 (s)':>8} {'p99 (s)':>8}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['rate']:>6.1f} {row['offered']:>8d} "
+            f"{row['admitted']:>9d} {row['shed']:>6d} "
+            f"{row['p50']:>8.3f} {row['p99']:>8.3f}"
+        )
+    emit(
+        "Service latency vs offered load "
+        f"({FLEET} PEs, {HORIZON:.0f}s horizon, virtual clock)",
+        "\n".join(lines),
+    )
+    benchmark.extra_info["saturation_rate"] = (
+        FLEET * PE_RATE / (80 * DATABASE_RESIDUES)
+    )

@@ -511,4 +511,89 @@ print(f"telemetry stream OK: {kinds.count('sample')} virtual-clock "
 PY
 
 echo
+echo "== service stage: latency sweep + live drain under load =="
+# Virtual-clock gate: p99 latency stays bounded below saturation and
+# the admission layer sheds loudly above it (see
+# benchmarks/bench_service_latency.py for the asserted curve).
+env PYTHONPATH="$REPO_ROOT/src:$REPO_ROOT/benchmarks" \
+    python -m pytest benchmarks/bench_service_latency.py \
+    --benchmark-only --benchmark-min-rounds=1 -q
+# Live drain-under-load: a service master takes open-loop Poisson
+# traffic from `repro loadgen`, then SIGTERM must stop admission,
+# finish the in-flight requests, print a final service record and
+# exit 0.
+SVC_DIR="$(mktemp -d -t repro-svc-XXXXXX)"
+trap 'rm -f "$METRICS_OUT" "$EVENTS_OUT" "$TRACE_OUT" \
+    "$PLAN_OUT" "$FAULT_EVENTS" "$FAULT_TRACE"; \
+    rm -rf "$CKPT_DIR" "$TELE_DIR" "$SVC_DIR"' EXIT
+python - "$SVC_DIR" <<'PY'
+import sys
+
+import numpy as np
+
+from repro.sequences import query_set, random_database, write_fasta
+
+rng = np.random.default_rng(29)
+root = sys.argv[1]
+write_fasta(query_set(3, rng, min_length=30, max_length=60),
+            f"{root}/queries.fasta")
+write_fasta(random_database(25, 50.0, rng, name="servicedb"),
+            f"{root}/database.fasta")
+PY
+python -m repro serve "$SVC_DIR/queries.fasta" "$SVC_DIR/database.fasta" \
+    --service --port 0 --export "$SVC_DIR/export" \
+    > "$SVC_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+    PORT="$(sed -n 's/^master listening on .*:\([0-9][0-9]*\)$/\1/p' \
+        "$SVC_DIR/serve.log" | head -n 1)"
+    [ -n "$PORT" ] && break
+    sleep 0.1
+done
+if [ -z "$PORT" ]; then
+    echo "service master did not come up" >&2
+    cat "$SVC_DIR/serve.log" >&2
+    exit 1
+fi
+python -m repro worker --host 127.0.0.1 --port "$PORT" --pe-id w0 \
+    --engine scan --queries "$SVC_DIR/export/queries.seqx" \
+    --database "$SVC_DIR/export/database.seqx" \
+    > "$SVC_DIR/worker.log" 2>&1 &
+WORKER_PID=$!
+python -m repro loadgen --port "$PORT" --rate 10 --horizon 1.5 \
+    --json > "$SVC_DIR/loadgen.json"
+kill -TERM "$SERVE_PID"
+SERVE_RC=0
+wait "$SERVE_PID" || SERVE_RC=$?
+if [ "$SERVE_RC" -ne 0 ]; then
+    echo "service master exited $SERVE_RC after SIGTERM drain" >&2
+    cat "$SVC_DIR/serve.log" >&2
+    exit 1
+fi
+wait "$WORKER_PID" || true
+python - "$SVC_DIR/loadgen.json" "$SVC_DIR/serve.log" <<'PY'
+import json
+import sys
+
+loadgen_path, serve_log = sys.argv[1:3]
+with open(loadgen_path, encoding="utf-8") as handle:
+    report = json.load(handle)
+if report["offered"] != report["admitted"] + report["shed_total"]:
+    sys.exit(f"loadgen conservation violated: {report}")
+if report["completed"] != report["admitted"]:
+    sys.exit(f"admitted requests did not all complete: {report}")
+with open(serve_log, encoding="utf-8") as handle:
+    final = json.loads(handle.read().splitlines()[-1])
+if final.get("kind") != "service_final" or not final.get("drained"):
+    sys.exit(f"bad final service record: {final}")
+if final["requests"]["done"] != report["completed"]:
+    sys.exit(f"final record disagrees with loadgen: {final} vs {report}")
+print(f"service OK: {report['offered']} offered, "
+      f"{report['completed']} completed "
+      f"(p99 {report['latency_p99'] * 1000:.0f} ms), "
+      f"{report['shed_total']} shed, drain exited 0")
+PY
+
+echo
 echo "all checks passed"

@@ -26,7 +26,10 @@ Subcommands mirror the paper's workflow:
   every record's CRC);
 * ``db``      — build/inspect/verify a persistent pre-packed database
   store (``repro.packstore.v1``); ``search``/``cluster``/``serve``/
-  ``worker`` warm-start from it via ``--store``.
+  ``worker`` warm-start from it via ``--store``;
+* ``loadgen`` — open-loop Poisson load against a ``serve --service``
+  master: submit on a seeded arrival schedule, report admitted/shed
+  counts and latency quantiles.
 """
 
 from __future__ import annotations
@@ -56,6 +59,7 @@ from .bench import (
     table5_hybrid,
     tasks_for_profile,
 )
+from .cluster.launcher import DEFAULT_HEARTBEAT_TIMEOUT
 from .core import (
     HybridRuntime,
     InterSequenceEngine,
@@ -145,8 +149,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster.add_argument(
         "--heartbeat", type=float, default=None,
-        help="seconds of silence before a worker is reaped "
-        "(default 10; 0 disables reaping)",
+        help="seconds of silence before a worker is reaped (default "
+        f"{DEFAULT_HEARTBEAT_TIMEOUT:g}; 0 disables reaping)",
     )
     cluster.add_argument(
         "--http-port", type=int, default=None, metavar="PORT",
@@ -214,13 +218,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("query", help="query FASTA file")
     serve.add_argument("database", help="database FASTA file")
-    serve.add_argument("--host", default="0.0.0.0")
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address for the master socket (default loopback; "
+        "pass an interface address or 0.0.0.0 explicitly to accept "
+        "workers from other hosts)",
+    )
     serve.add_argument("--port", type=int, default=7171)
     serve.add_argument("--policy", default="pss",
                        choices=["ss", "pss", "fixed", "wfixed"])
     serve.add_argument("--no-adjustment", action="store_true")
-    serve.add_argument("--heartbeat", type=float, default=30.0,
-                       help="silent-worker reap timeout in seconds")
+    serve.add_argument(
+        "--heartbeat", type=float, default=DEFAULT_HEARTBEAT_TIMEOUT,
+        help="silent-worker reap timeout in seconds (default "
+        f"{DEFAULT_HEARTBEAT_TIMEOUT:g}, shared with `repro cluster`; "
+        "0 disables reaping)",
+    )
     serve.add_argument("--timeout", type=float, default=3600.0)
     serve.add_argument("--top", type=int, default=5)
     serve.add_argument(
@@ -232,6 +245,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--http-port", type=int, default=None, metavar="PORT",
         help="serve live /metrics, /healthz and /statusz endpoints "
         "alongside the master (0 = free port)",
+    )
+    serve.add_argument(
+        "--service", action="store_true",
+        help="always-on mode: accept submit/poll/cancel/drain requests "
+        "(protocol 4) on top of the initial workload; the master keeps "
+        "running until SIGTERM or a drain request, then finishes "
+        "in-flight queries and exits 0 with a final service record",
+    )
+    serve.add_argument(
+        "--max-queue-depth", type=int, default=16,
+        help="per-tenant admission queue bound; a full lane sheds with "
+        "reason queue_full (service mode)",
+    )
+    serve.add_argument(
+        "--max-backlog-seconds", type=float, default=60.0,
+        help="shed new requests with reason backlog when estimated "
+        "queued+in-flight work exceeds this many seconds of fleet "
+        "throughput (0 disables the gate; service mode)",
+    )
+    serve.add_argument(
+        "--default-deadline", type=float, default=None, metavar="SECONDS",
+        help="deadline applied to submissions that carry none; expired "
+        "requests are cancelled wherever they run (service mode)",
+    )
+    serve.add_argument(
+        "--tenant-weight", action="append", default=None,
+        metavar="TENANT=WEIGHT",
+        help="fair-dequeue weight for one tenant (repeatable; "
+        "default weight 1)",
     )
     _add_checkpoint_flag(serve)
     _add_store_flag(serve)
@@ -254,6 +296,33 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--top", type=int, default=5)
     worker.add_argument("--chunk-size", type=int, default=16)
     _add_store_flag(worker)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="open-loop Poisson load against a `serve --service` master",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, required=True)
+    loadgen.add_argument("--rate", type=float, required=True,
+                         help="mean arrival rate lambda (requests/second)")
+    loadgen.add_argument("--horizon", type=float, required=True,
+                         help="submission window in seconds")
+    loadgen.add_argument("--seed", type=int, default=0,
+                         help="rng seed: same seed, same schedule and "
+                         "queries")
+    loadgen.add_argument("--tenants", default="default",
+                         help="comma-separated tenant names, assigned "
+                         "round-robin")
+    loadgen.add_argument("--deadline", type=float, default=None,
+                         help="relative per-request deadline in seconds")
+    loadgen.add_argument("--min-length", type=int, default=40)
+    loadgen.add_argument("--max-length", type=int, default=120)
+    loadgen.add_argument("--wait-timeout", type=float, default=60.0,
+                         help="seconds to wait for each admitted request "
+                         "after the submission window closes")
+    loadgen.add_argument("--json", action="store_true",
+                         help="print the report as JSON instead of a "
+                         "summary")
 
     tables = sub.add_parser("tables", help="regenerate paper tables/figures")
     tables.add_argument(
@@ -748,6 +817,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .core.runtime import build_tasks
     from .sequences import SequenceDatabase, write_indexed
 
+    if args.service and args.checkpoint:
+        print(
+            "error: --service and --checkpoint are mutually exclusive "
+            "(admitted tasks postdate the journal's task-set snapshot)",
+            file=sys.stderr,
+        )
+        return 2
     queries = read_fasta(args.query)
     database = SequenceDatabase.from_fasta(args.database)
     export_dir = args.export or tempfile.mkdtemp(prefix="repro-serve-")
@@ -765,6 +841,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             args.store, database, get_matrix("blosum62"), queries=queries
         )
 
+    service_config = None
+    if args.service:
+        from .service import ServiceConfig
+
+        weights = {}
+        for item in args.tenant_weight or ():
+            name, _, value = item.partition("=")
+            if not name or not value:
+                print(f"error: malformed --tenant-weight {item!r} "
+                      "(expected TENANT=WEIGHT)", file=sys.stderr)
+                return 2
+            weights[name] = float(value)
+        service_config = ServiceConfig(
+            max_queue_depth=args.max_queue_depth,
+            max_backlog_seconds=args.max_backlog_seconds,
+            default_deadline=args.default_deadline,
+            weights=weights,
+        )
     server = MasterServer(
         build_tasks(queries, database),
         policy=make_policy(args.policy),
@@ -775,6 +869,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         checkpoint=args.checkpoint,
         store=args.store,
         http_port=args.http_port,
+        service=service_config,
+        top=args.top,
     )
     server.start()
     host, port = server.address
@@ -790,6 +886,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"--pe-id sse0 --engine sse --queries {q_path} "
         f"--database {d_path}{store_hint}"
     )
+    if args.service:
+        import json
+        import signal
+
+        # SIGTERM/SIGINT stop admission and drain: in-flight and queued
+        # requests finish, new submissions are shed with reason
+        # "draining", then the master exits 0 with a final record.
+        def _drain(signum, frame):
+            outstanding = server.drain()
+            print(f"\ndrain requested (signal {signum}); "
+                  f"{outstanding} requests outstanding", flush=True)
+
+        signal.signal(signal.SIGTERM, _drain)
+        signal.signal(signal.SIGINT, _drain)
+        print("service mode: accepting submit/poll/cancel/drain "
+              "(SIGTERM drains)")
+        try:
+            server.wait_drained(timeout=args.timeout)
+            print(json.dumps(server.final_record()))
+            return 0
+        finally:
+            server.stop()
     try:
         server.wait_finished(timeout=args.timeout)
         print("\nall tasks finished; merged results:")
@@ -822,6 +940,47 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     )
     completed = run_worker(config)
     print(f"worker {args.pe_id} completed {completed} tasks")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+
+    import numpy as np
+
+    from .service import run_loadgen
+
+    tenants = tuple(t for t in args.tenants.split(",") if t)
+    if not tenants:
+        print("error: --tenants must name at least one tenant",
+              file=sys.stderr)
+        return 2
+    report = run_loadgen(
+        args.host,
+        args.port,
+        rate=args.rate,
+        horizon=args.horizon,
+        rng=np.random.default_rng(args.seed),
+        tenants=tenants,
+        deadline=args.deadline,
+        min_length=args.min_length,
+        max_length=args.max_length,
+        wait_timeout=args.wait_timeout,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict()))
+        return 0
+    print(f"offered {report.offered} requests over {args.horizon:g}s "
+          f"(lambda={args.rate:g}/s, seed={args.seed})")
+    print(f"  admitted  {report.admitted}")
+    print(f"  completed {report.completed}")
+    print(f"  expired   {report.expired}")
+    print(f"  cancelled {report.cancelled}")
+    shed = ", ".join(f"{k}={v}" for k, v in sorted(report.shed.items()))
+    print(f"  shed      {report.shed_total}" + (f" ({shed})" if shed else ""))
+    if report.latencies:
+        print(f"  latency   p50={report.p50 * 1e3:.1f}ms "
+              f"p99={report.p99 * 1e3:.1f}ms")
     return 0
 
 
@@ -1311,6 +1470,7 @@ def main(argv: list[str] | None = None) -> int:
         "inspect": _cmd_inspect,
         "serve": _cmd_serve,
         "worker": _cmd_worker,
+        "loadgen": _cmd_loadgen,
         "tables": _cmd_tables,
         "metrics": _cmd_metrics,
         "top": _cmd_top,

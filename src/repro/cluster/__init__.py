@@ -1,6 +1,10 @@
 """Distributed master/slave runtime over TCP (the paper's deployment)."""
 
-from .launcher import ClusterReport, run_cluster
+from .launcher import (
+    DEFAULT_HEARTBEAT_TIMEOUT,
+    ClusterReport,
+    run_cluster,
+)
 from .protocol import (
     ProtocolError,
     decode_hit,
@@ -15,6 +19,7 @@ from .worker import WorkerConfig, run_worker
 
 __all__ = [
     "ClusterReport",
+    "DEFAULT_HEARTBEAT_TIMEOUT",
     "run_cluster",
     "MasterServer",
     "WorkerConfig",

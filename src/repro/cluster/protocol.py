@@ -37,6 +37,30 @@ Message types (all carry ``type`` plus the listed fields):
 ``error``       message
 ==============  =====================================================
 
+Client surface of the always-on service (protocol 4, master side of
+:mod:`repro.service`) — spoken by search clients, not workers:
+
+==============  =====================================================
+``submit``      tenant, query{id, residues} [, deadline] [, protocol]
+                (``deadline`` is relative seconds from submission —
+                client and master clocks are never compared)
+``accepted``    request_id                          (master -> client)
+``rejected``    error="overloaded", reason, retry_after
+                                                    (master -> client)
+``poll``        request_id
+``status``      request_id, state, hits[] | null    (master -> client)
+``cancel``      request_id
+``drain``       (stop admission; reply ``status`` with outstanding)
+==============  =====================================================
+
+Service-admitted tasks reference queries no indexed file contains, so
+the ``assign`` reply gains an optional ``queries`` map
+(``{task_id: {id, residues}}``) carrying their residues inline;
+workers use it for any task whose ``query_index`` is negative.  The
+map is additive — v1..v3 workers still register and run preloaded
+workloads unchanged — but only v4 workers understand inline queries,
+so a service deployment needs a v4 fleet.
+
 The optional ``trace``/``span``/``parent`` fields carry the task's span
 context (see :mod:`repro.observability.spans`): the master allocates it
 when granting work, forwards it in the ``assign`` reply's ``spans``
@@ -59,6 +83,7 @@ from typing import Any
 
 from ..align.api import SearchHit
 from ..core.task import Task
+from ..sequences.records import Sequence
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -71,6 +96,8 @@ __all__ = [
     "decode_task",
     "encode_hit",
     "decode_hit",
+    "encode_query",
+    "decode_query",
     "span_fields",
 ]
 
@@ -86,7 +113,13 @@ MAX_FRAME_BYTES = 4 * 1024 * 1024
 #:     ``complete`` (worker-side metric snapshots for fleet-wide
 #:     aggregation).  Purely additive: v1/v2 workers that never send
 #:     ``stats`` remain fully supported.
-PROTOCOL_VERSION = 3
+#: 4 — adds the always-on service surface: ``submit``/``poll``/
+#:     ``cancel``/``drain`` from clients, ``accepted``/``rejected``/
+#:     ``status`` replies, and the inline ``queries`` map on ``assign``
+#:     for service-admitted tasks (``query_index < 0``).  Additive for
+#:     workers running preloaded workloads; executing service tasks
+#:     requires a v4 worker.
+PROTOCOL_VERSION = 4
 
 #: Oldest version the master still accepts.  All v1 messages are valid
 #: v2 messages, so pre-handshake workers keep interoperating.
@@ -175,6 +208,18 @@ def span_fields(message: dict[str, Any]) -> dict[str, str]:
         for key in ("trace", "span", "parent")
         if message.get(key)
     }
+
+
+def encode_query(query: Sequence) -> dict[str, Any]:
+    """Inline query payload for service-admitted tasks (protocol 4)."""
+    return {"id": query.id, "residues": query.residues}
+
+
+def decode_query(data: dict[str, Any]) -> Sequence:
+    try:
+        return Sequence(id=str(data["id"]), residues=str(data["residues"]))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad query payload: {exc}") from exc
 
 
 def encode_hit(hit: SearchHit) -> list[Any]:

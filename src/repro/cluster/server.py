@@ -19,6 +19,7 @@ import time
 from ..align.api import SearchHit
 from ..core.master import Master, TraceEvent
 from ..core.policies import AllocationPolicy, PackageWeightedSelfScheduling
+from ..core.results import merge_hits
 from ..core.task import Task, TaskResult
 from ..durability import CheckpointStore, restore_into, workload_fingerprint
 from ..observability import (
@@ -29,17 +30,23 @@ from ..observability import (
     merge_into,
     status_from_snapshot,
 )
+from ..service.core import ServiceConfig, ServiceCore, TickActions
 from .protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
     check_protocol_version,
     decode_hit,
+    encode_hit,
     encode_task,
     recv_message,
     send_message,
 )
 
 __all__ = ["MasterServer"]
+
+#: How often the service maintenance loop finalizes completions,
+#: expires deadlines and refills the dispatch window.
+_SERVICE_TICK_SECONDS = 0.05
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -126,6 +133,9 @@ class _Handler(socketserver.StreamRequestHandler):
             pe_id = str(message["pe_id"])
             with server.lock:
                 self._ensure_registered(server, pe_id)
+                # Refill the dispatch window first so an idle worker's
+                # poll can pick up freshly admitted work immediately.
+                server._service_tick_locked()
                 assignment = server.master.on_request(
                     pe_id, server.clock()
                 )
@@ -134,30 +144,38 @@ class _Handler(socketserver.StreamRequestHandler):
                 # Span contexts of the granted executions, forwarded so
                 # worker-side events join the same causal trace.
                 spans = {}
+                inline = {}
                 for t in (*assignment.tasks, *assignment.replicas):
                     context = server.master.execution_span(
                         pe_id, t.task_id
                     )
                     if context is not None:
                         spans[str(t.task_id)] = context.as_fields()
-            send_message(
-                self.connection,
-                {
-                    "type": "assign",
-                    "tasks": [encode_task(t) for t in assignment.tasks],
-                    "replicas": [
-                        encode_task(t) for t in assignment.replicas
-                    ],
-                    "done": assignment.done,
-                    "wait": assignment.empty,
-                    "cancel": cancel,
-                    "spans": spans,
-                    # Master-selected coalescing width: workers group
-                    # granted tasks into multi-query sweeps up to this
-                    # size (1 = execute singly).
-                    "batch": server.master.batch,
-                },
-            )
+                    if t.query_index < 0:
+                        # Service-admitted task: no indexed file holds
+                        # its query, so the residues travel inline
+                        # (protocol 4).
+                        payload = server.inline_queries.get(t.task_id)
+                        if payload is not None:
+                            inline[str(t.task_id)] = payload
+            reply = {
+                "type": "assign",
+                "tasks": [encode_task(t) for t in assignment.tasks],
+                "replicas": [
+                    encode_task(t) for t in assignment.replicas
+                ],
+                "done": assignment.done,
+                "wait": assignment.empty,
+                "cancel": cancel,
+                "spans": spans,
+                # Master-selected coalescing width: workers group
+                # granted tasks into multi-query sweeps up to this
+                # size (1 = execute singly).
+                "batch": server.master.batch,
+            }
+            if inline:
+                reply["queries"] = inline
+            send_message(self.connection, reply)
         elif kind == "progress":
             pe_id = str(message["pe_id"])
             server.ingest_worker_stats(pe_id, message.get("stats"))
@@ -195,6 +213,10 @@ class _Handler(socketserver.StreamRequestHandler):
                     server.cancel_flags.setdefault(loser, set()).add(
                         result.task_id
                     )
+                # Finalize the service request this completion may have
+                # answered (and refill the window) without waiting for
+                # the next maintenance tick.
+                server._service_tick_locked()
                 cancel = sorted(server.cancel_flags.get(pe_id, ()))
                 server.cancel_flags.get(pe_id, set()).clear()
             send_message(
@@ -208,6 +230,18 @@ class _Handler(socketserver.StreamRequestHandler):
                     pe_id, int(message["task_id"]), server.clock()
                 )
             send_message(self.connection, {"type": "ack", "cancel": []})
+        elif kind in ("submit", "poll", "cancel", "drain"):
+            if server.service is None:
+                send_message(
+                    self.connection,
+                    {
+                        "type": "error",
+                        "message": "this master does not run a service "
+                        "(start it with service=)",
+                    },
+                )
+                return True
+            return self._dispatch_service(server, message, kind)
         else:
             server.inst.protocol_errors.inc()
             send_message(
@@ -215,6 +249,96 @@ class _Handler(socketserver.StreamRequestHandler):
                 {"type": "error", "message": f"unknown type {kind!r}"},
             )
             return False
+        return True
+
+    def _dispatch_service(self, server: "MasterServer", message: dict,
+                          kind: str) -> bool:
+        """Client surface of the always-on service (protocol 4)."""
+        service = server.service
+        assert service is not None
+        if kind == "submit":
+            query = message.get("query")
+            if (
+                not isinstance(query, dict)
+                or not query.get("id")
+                or not query.get("residues")
+            ):
+                server.inst.protocol_errors.inc()
+                send_message(
+                    self.connection,
+                    {"type": "error",
+                     "message": "submit needs query{id, residues}"},
+                )
+                return True
+            residues = str(query["residues"])
+            deadline = message.get("deadline")
+            with server.lock:
+                now = server.clock()
+                outcome = service.submit(
+                    tenant=str(message.get("tenant", "default")),
+                    query_id=str(query["id"]),
+                    query_length=len(residues),
+                    cells=len(residues) * server.database_residues,
+                    now=now,
+                    deadline=(
+                        None if deadline is None else now + float(deadline)
+                    ),
+                )
+                if outcome.accepted:
+                    request = service.requests[outcome.request_id]
+                    server.inline_queries[request.task.task_id] = {
+                        "id": str(query["id"]),
+                        "residues": residues,
+                    }
+            reply = outcome.to_dict()
+            reply["type"] = "accepted" if outcome.accepted else "rejected"
+            send_message(self.connection, reply)
+        elif kind == "poll":
+            request_id = str(message.get("request_id", ""))
+            with server.lock:
+                request = service.requests.get(request_id)
+                if request is None:
+                    send_message(
+                        self.connection,
+                        {"type": "error",
+                         "message": f"unknown request {request_id!r}"},
+                    )
+                    return True
+                reply = request.to_dict()
+                if request.state == "done":
+                    hits = merge_hits([request.hits], top=server.top)
+                    reply["hits"] = [encode_hit(h) for h in hits]
+                else:
+                    reply["hits"] = None
+            reply["type"] = "status"
+            send_message(self.connection, reply)
+        elif kind == "cancel":
+            request_id = str(message.get("request_id", ""))
+            with server.lock:
+                if request_id not in service.requests:
+                    send_message(
+                        self.connection,
+                        {"type": "error",
+                         "message": f"unknown request {request_id!r}"},
+                    )
+                    return True
+                actions = service.cancel(request_id, server.clock())
+                server._apply_service_actions(actions)
+                reply = service.requests[request_id].to_dict()
+            reply["type"] = "status"
+            reply["hits"] = None
+            send_message(self.connection, reply)
+        else:  # drain
+            with server.lock:
+                outstanding = service.drain(server.clock())
+            send_message(
+                self.connection,
+                {
+                    "type": "status",
+                    "state": "draining",
+                    "outstanding": outstanding,
+                },
+            )
         return True
 
 
@@ -243,6 +367,9 @@ class MasterServer(socketserver.ThreadingTCPServer):
         store: "str | None" = None,
         http_port: int | None = None,
         http_host: str = "127.0.0.1",
+        service: "ServiceConfig | ServiceCore | bool | None" = None,
+        database_residues: int | None = None,
+        top: int = 10,
     ):
         #: Warm-start pack store the fleet's workers mmap from.  The
         #: master never reads packs itself; verifying the store (before
@@ -312,6 +439,48 @@ class MasterServer(socketserver.ThreadingTCPServer):
         self.inst = cluster_server_instruments(self.metrics)
         self.lock = threading.Lock()
         self.cancel_flags: dict[str, set[int]] = {}
+        #: Always-on service front door (protocol 4).  ``service=True``
+        #: uses default :class:`ServiceConfig`; a config instance
+        #: customizes admission policy.  Mutually exclusive with
+        #: ``checkpoint=`` (ServiceCore refuses a journaling master).
+        self.service: ServiceCore | None = None
+        #: Residues of every service-admitted query, keyed by task id,
+        #: forwarded inline on ``assign`` (workers cannot seek them in
+        #: any indexed file).  Entries are dropped as requests retire.
+        self.inline_queries: dict[int, dict] = {}
+        #: Ranked-hit cutoff for service ``poll`` replies — matches the
+        #: one-shot search's ``top`` so results stay byte-identical.
+        self.top = top
+        #: Database residue count used to cost admitted requests
+        #: (query_length x this).  Inferred from the preloaded tasks
+        #: when possible.
+        if database_residues is None and tasks:
+            first = tasks[0]
+            if first.query_length > 0:
+                database_residues = first.cells // first.query_length
+        self.database_residues = int(database_residues or 0)
+        if service:
+            if self.database_residues <= 0:
+                raise ValueError(
+                    "service mode needs database_residues= (no preloaded "
+                    "tasks to infer the database size from)"
+                )
+            if isinstance(service, ServiceCore):
+                # Master-restart story, service flavour: adopt the
+                # crashed server's core (with every queued/in-flight
+                # request) alongside its master.  Copy the old server's
+                # ``inline_queries`` too, or reassigned service tasks
+                # will be undeliverable.
+                if service.master is not self.master:
+                    raise ValueError(
+                        "adopted ServiceCore must wrap the adopted master"
+                    )
+                self.service = service
+            else:
+                config = (
+                    service if isinstance(service, ServiceConfig) else None
+                )
+                self.service = ServiceCore(self.master, config)
         #: Silent-slave failure detection: workers quiet for longer than
         #: this many seconds are deregistered and their tasks re-queued.
         #: ``None`` disables reaping.
@@ -319,6 +488,7 @@ class MasterServer(socketserver.ThreadingTCPServer):
         self._started = time.perf_counter()
         self._thread: threading.Thread | None = None
         self._reaper: threading.Thread | None = None
+        self._service_ticker: threading.Thread | None = None
         self._stopping = threading.Event()
         self._connections: set = set()
         self._conn_lock = threading.Lock()
@@ -362,6 +532,12 @@ class MasterServer(socketserver.ThreadingTCPServer):
                 target=self._reap_loop, name="master-reaper", daemon=True
             )
             self._reaper.start()
+        if self.service is not None:
+            self._service_ticker = threading.Thread(
+                target=self._service_loop, name="service-ticker",
+                daemon=True,
+            )
+            self._service_ticker.start()
 
     def _reap_loop(self) -> None:
         assert self.heartbeat_timeout is not None
@@ -374,6 +550,33 @@ class MasterServer(socketserver.ThreadingTCPServer):
                     self.master.reap_silent(
                         self.clock(), self.heartbeat_timeout
                     )
+
+    def _service_loop(self) -> None:
+        """Maintenance ticks: expiry, refill, drain detection.
+
+        The per-message ticks in the handler keep latency low; this
+        loop guarantees progress when no traffic arrives (e.g. every
+        worker busy while a queued request's deadline passes).
+        """
+        while not self._stopping.wait(_SERVICE_TICK_SECONDS):
+            with self.lock:
+                self._service_tick_locked()
+                if self.service is not None and self.service.drained:
+                    return
+
+    def _service_tick_locked(self) -> None:
+        """Caller holds ``self.lock``."""
+        if self.service is None:
+            return
+        actions = self.service.tick(self.clock())
+        self._apply_service_actions(actions)
+
+    def _apply_service_actions(self, actions: TickActions) -> None:
+        """Caller holds ``self.lock``."""
+        for pe_id, task_id in actions.cancels:
+            self.cancel_flags.setdefault(pe_id, set()).add(task_id)
+        for task_id in actions.retired:
+            self.inline_queries.pop(task_id, None)
 
     # Track live slave connections so ``stop`` can sever them: daemon
     # handler threads otherwise keep serving a "stopped" master, which
@@ -410,6 +613,8 @@ class MasterServer(socketserver.ThreadingTCPServer):
             self._thread.join(timeout=5)
         if self._reaper is not None:
             self._reaper.join(timeout=5)
+        if self._service_ticker is not None:
+            self._service_ticker.join(timeout=5)
         if self._store is not None:
             self._store.close()
             self._store = None
@@ -451,6 +656,38 @@ class MasterServer(socketserver.ThreadingTCPServer):
             f"workload did not finish within {timeout:.1f}s: "
             f"{len(outstanding)} outstanding task(s) [{shown}]; {detail}"
         )
+
+    # ------------------------------------------------------------------
+    # Service lifecycle (drain RPC / SIGTERM both land here)
+    # ------------------------------------------------------------------
+    def drain(self) -> int:
+        """Stop admission; returns the outstanding request count."""
+        if self.service is None:
+            raise RuntimeError("this master does not run a service")
+        with self.lock:
+            outstanding = self.service.drain(self.clock())
+            self._service_tick_locked()
+        return outstanding
+
+    def wait_drained(self, timeout: float = 120.0, poll: float = 0.01) -> None:
+        """Block until a drain completed and the workload finished."""
+        if self.service is None:
+            raise RuntimeError("this master does not run a service")
+        deadline = time.perf_counter() + timeout
+        while True:
+            with self.lock:
+                if self.service.drained and self.master.finished:
+                    return
+            if time.perf_counter() > deadline:
+                raise TimeoutError(self._timeout_diagnostics(timeout))
+            time.sleep(poll)
+
+    def final_record(self) -> dict:
+        """The service's exit summary (emit before process exit)."""
+        if self.service is None:
+            raise RuntimeError("this master does not run a service")
+        with self.lock:
+            return self.service.final_record(self.clock())
 
     def results(self) -> dict[str, tuple[SearchHit, ...]]:
         """Merged per-query hits (requires :attr:`finished`)."""

@@ -27,6 +27,7 @@ from ..observability import (
 )
 from ..sequences.database import SequenceDatabase
 from ..sequences.indexed import IndexedReader
+from ..sequences.records import Sequence
 from .protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -133,6 +134,7 @@ class _Link:
         io_timeout: float = 60.0,
         cancelled: set[int] | None = None,
         spans: dict[int, dict] | None = None,
+        inline_queries: "dict[int, Sequence] | None" = None,
     ):
         self._sock = socket.create_connection(
             (host, port), timeout=connect_timeout
@@ -146,6 +148,11 @@ class _Link:
         #: Span context of each granted task, from the assign reply's
         #: ``spans`` map; echoed back on progress/complete/cancelled.
         self.spans: dict[int, dict] = {} if spans is None else spans
+        #: Inline query sequences of service-admitted tasks (protocol
+        #: 4 ``queries`` map on assign), keyed by task id.
+        self.inline_queries: dict[int, Sequence] = (
+            {} if inline_queries is None else inline_queries
+        )
         self._observe = observe
 
     def send_raw(self, payload: bytes) -> None:
@@ -259,6 +266,7 @@ class ResilientLink:
         self._stats = stats
         self.cancelled: set[int] = set()
         self.spans: dict[int, dict] = {}
+        self.inline_queries: dict[int, Sequence] = {}
         #: Incarnation counter sent with ``register``; bumped on every
         #: successful (re-)connect so the master can tell a reconnect
         #: from a duplicate.
@@ -281,6 +289,7 @@ class ResilientLink:
                     io_timeout=config.io_timeout,
                     cancelled=self.cancelled,
                     spans=self.spans,
+                    inline_queries=self.inline_queries,
                 )
                 message: dict = {
                     "type": "register",
@@ -461,6 +470,15 @@ def run_worker(
                 replicas = [
                     decode_task(t) for t in reply.get("replicas", [])
                 ]
+                # Inline residues of service-admitted tasks (protocol
+                # 4): decoded with the engine's alphabet so scoring is
+                # identical to an indexed-file fetch.
+                for task_id, data in (reply.get("queries") or {}).items():
+                    link.inline_queries[int(task_id)] = Sequence(
+                        id=str(data["id"]),
+                        residues=str(data["residues"]),
+                        alphabet=matrix.alphabet,
+                    )
                 for task in (*tasks, *replicas):
                     # A task released after a reap can be re-granted to
                     # this same worker; a stale cancel flag from its
@@ -500,6 +518,21 @@ def run_worker(
             link.close()
 
 
+def _resolve_query(
+    link: "_Link | ResilientLink", queries: IndexedReader, task: Task
+) -> Sequence:
+    """The task's query: indexed file, or inline for service tasks."""
+    if task.query_index >= 0:
+        return queries[task.query_index]
+    query = link.inline_queries.get(task.task_id)
+    if query is None:
+        raise ProtocolError(
+            f"task {task.task_id} has no query_index and the master "
+            "sent no inline query (protocol 4 required)"
+        )
+    return query
+
+
 def _execute(
     link: "_Link | ResilientLink",
     engine: Engine,
@@ -512,7 +545,7 @@ def _execute(
     check_crash=None,
     straggle=None,
 ) -> int:
-    query = queries[task.query_index]
+    query = _resolve_query(link, queries, task)
     span = link.spans.get(task.task_id, {})
     if events is not None:
         events.emit(
@@ -544,6 +577,7 @@ def _execute(
         return task.task_id not in link.cancelled
 
     hits = engine.search(query, database, progress=progress)
+    link.inline_queries.pop(task.task_id, None)
     if hits is None:  # cancelled mid-task
         link.cancelled.discard(task.task_id)
         link.spans.pop(task.task_id, None)
@@ -604,7 +638,7 @@ def _execute_batch(
     to members by cell share.  Returns the number completed.
     """
     tasks = group.tasks
-    query_records = [queries[t.query_index] for t in tasks]
+    query_records = [_resolve_query(link, queries, t) for t in tasks]
     spans = {t.task_id: link.spans.get(t.task_id, {}) for t in tasks}
     if events is not None:
         for task in tasks:
@@ -647,6 +681,7 @@ def _execute_batch(
     for task, hits in zip(tasks, hit_lists):
         span = spans[task.task_id]
         link.spans.pop(task.task_id, None)
+        link.inline_queries.pop(task.task_id, None)
         if hits is None:  # cancelled mid-sweep
             link.cancelled.discard(task.task_id)
             link.call(

@@ -138,6 +138,13 @@ class Master:
         self.spans = spans
         self.journal = journal
         self.batch = batch
+        #: Always-on service mode: while True the master never reports
+        #: ``done`` to its slaves — an empty pool means *wait*, because
+        #: the admission layer may dispatch more work at any moment.
+        #: The service front-end (:mod:`repro.service`) sets this on
+        #: attach and clears it once a drain has retired every admitted
+        #: request, which is what finally releases the slaves.
+        self.serving = False
         #: Attempt counter per (task, pe) — keeps replica span ids
         #: unique when a task revisits a PE after a release.
         self._span_attempts: dict[tuple[int, str], int] = {}
@@ -225,7 +232,7 @@ class Master:
 
     @property
     def finished(self) -> bool:
-        return self.pool.all_finished
+        return self.pool.all_finished and not self.serving
 
     def pending_of(self, pe_id: str) -> tuple[int, ...]:
         return tuple(self._pes[pe_id].queue)
@@ -358,7 +365,9 @@ class Master:
         state.last_contact = now
         self._record("request", now, pe_id)
         if self.pool.all_finished:
-            return Assignment(done=True)
+            # In service mode an empty pool means "wait for the front
+            # door", not "the run is over".
+            return Assignment(done=self.finished)
 
         ctx = PolicyContext(
             pe_id=pe_id,
@@ -413,7 +422,7 @@ class Master:
                 return Assignment(replicas=(replica,))
         if not self.pool.all_finished:
             self._inst.wait_polls.labels(pe=pe_id).inc()
-        return Assignment(done=self.pool.all_finished)
+        return Assignment(done=self.finished)
 
     def on_complete(
         self, pe_id: str, result: TaskResult, now: float
@@ -509,6 +518,58 @@ class Master:
         )
         self._sync_pool_gauges()
         return True
+
+    # ------------------------------------------------------------------
+    # Service admission (dynamic workload)
+    # ------------------------------------------------------------------
+    def add_tasks(
+        self,
+        tasks: list[Task],
+        now: float = 0.0,
+        tenant: str = "",
+    ) -> None:
+        """Dispatch admitted service work into the ready queue.
+
+        The admission layer (:mod:`repro.service`) holds requests in
+        per-tenant queues and releases them here in weighted-fair
+        order; from this point on they are ordinary tasks — assigned,
+        replicated, journaled and merged exactly like the preloaded
+        workload.  Dynamic tasks are deliberately *not* journaled as
+        workload (the checkpoint fingerprint covers only the preloaded
+        set), so service mode and ``checkpoint=`` recovery are mutually
+        exclusive at the deployment layer.
+        """
+        for task in tasks:
+            self.pool.add(task)
+            extra = {"tenant": tenant} if tenant else {}
+            self._record("dispatch", now, "service", task.task_id, **extra)
+        self._sync_pool_gauges()
+
+    def abandon(
+        self, task_id: int, now: float = 0.0, reason: str = "deadline"
+    ) -> frozenset[str]:
+        """Retire a task without computing it (expiry / client cancel).
+
+        The scheduler half of deadline propagation: a READY task is
+        removed before any PE ever sees it, an EXECUTING task's
+        executors are returned so the caller can flag cancellations
+        (piggybacked exactly like replica-race losers), and a FINISHED
+        task is left alone — its result beat the deadline and stands.
+        Late completions from cancelled executors arrive stale and are
+        dropped by the usual first-winner rule.
+        """
+        executors = self.pool.abandon(task_id)
+        if executors is None:
+            return frozenset()
+        self._record("abandon", now, "service", task_id, reason=reason)
+        for pe_id in executors:
+            self._record(
+                "cancel", now, pe_id, task_id,
+                **self._span_fields(pe_id, task_id),
+            )
+            self._inst.tasks_cancelled.labels(pe=pe_id).inc()
+        self._sync_pool_gauges()
+        return executors
 
     # ------------------------------------------------------------------
     # Replica selection

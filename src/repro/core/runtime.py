@@ -180,6 +180,15 @@ class _SharedMaster:
         with self._lock:
             return self._master.finished
 
+    def with_lock(self, fn):
+        """Run ``fn(master)`` under the master lock.
+
+        The always-on service front-end uses this for admission and
+        deadline ticks, which must not interleave with slave traffic.
+        """
+        with self._lock:
+            return fn(self._master)
+
 
 class _FaultyChannel:
     """Transport-fault decorator over :class:`_SharedMaster`.

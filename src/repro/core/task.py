@@ -155,11 +155,16 @@ class _TaskRecord:
 
 
 class TaskPool:
-    """State machine over a fixed set of tasks, with replication.
+    """State machine over a set of tasks, with replication.
+
+    The pool starts from the workload given at construction; the
+    always-on service grows it with :meth:`add` as admitted requests
+    are dispatched (the state machine per task is unchanged).
 
     Invariants maintained (and asserted by the test suite):
 
-    * a task is FINISHED at most once, by exactly one PE;
+    * a task is FINISHED at most once — by exactly one PE, or by nobody
+      when it was abandoned (deadline expiry / client cancellation);
     * a READY task has no executors; an EXECUTING task has >= 1;
     * replicas are only created for EXECUTING tasks and never handed to
       a PE that is already executing the same task;
@@ -184,6 +189,10 @@ class TaskPool:
 
     def task(self, task_id: int) -> Task:
         return self._records[task_id].task
+
+    def task_ids(self) -> tuple[int, ...]:
+        """Every task id in the pool (any state), unordered."""
+        return tuple(self._records)
 
     def state(self, task_id: int) -> TaskState:
         return self._records[task_id].state
@@ -234,6 +243,39 @@ class TaskPool:
     # ------------------------------------------------------------------
     # Transitions
     # ------------------------------------------------------------------
+    def add(self, task: Task) -> None:
+        """Append a new READY task (service-admitted work).
+
+        The task joins the back of the FIFO, behind every task already
+        waiting, so admitted requests never overtake the preloaded
+        workload or each other.
+        """
+        if task.task_id in self._records:
+            raise ValueError(f"duplicate task id {task.task_id}")
+        self._records[task.task_id] = _TaskRecord(task)
+        self._ready.insert(0, task.task_id)  # back of the FIFO
+
+    def abandon(self, task_id: int) -> frozenset[str] | None:
+        """Retire *task_id* without a result (deadline expiry / cancel).
+
+        The task transitions straight to FINISHED with ``finished_by``
+        ``None`` — FINISHED is absorbing, so a late completion from a
+        still-running executor is stale and its result is dropped,
+        exactly like losing a replica race.  Returns the executors that
+        must now be told to stop, or ``None`` when the task already
+        finished (the completion beat the deadline: its result stands).
+        """
+        record = self._records[task_id]
+        if record.state is TaskState.FINISHED:
+            return None
+        executors = frozenset(record.executors)
+        if record.state is TaskState.READY:
+            self._ready.remove(task_id)
+        record.state = TaskState.FINISHED
+        record.finished_by = None
+        record.executors = set()
+        return executors
+
     def acquire(self, pe_id: str, count: int) -> list[Task]:
         """Hand up to *count* READY tasks to *pe_id* (FIFO order)."""
         if count < 0:

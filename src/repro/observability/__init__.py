@@ -30,6 +30,7 @@ from .conventions import (
     cluster_worker_instruments,
     finalize_run_metrics,
     master_instruments,
+    service_instruments,
 )
 from .dashboard import render_status, run_top, status_from_snapshot
 from .events import EventLog
@@ -98,6 +99,7 @@ __all__ = [
     "cache_instruments",
     "cluster_server_instruments",
     "cluster_worker_instruments",
+    "service_instruments",
     "finalize_run_metrics",
     "Span",
     "SpanContext",

@@ -27,6 +27,7 @@ __all__ = [
     "cache_instruments",
     "cluster_server_instruments",
     "cluster_worker_instruments",
+    "service_instruments",
     "finalize_run_metrics",
     "SPAN_NAMES",
     "SPAN_STATUSES",
@@ -90,6 +91,13 @@ TASK_LATENCY_BUCKETS = (
 RPC_BUCKETS = (
     0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0,
     float("inf"),
+)
+
+#: End-to-end service-request latency (queue wait + compute): covers
+#: sub-second in-process answers up to long simulated scans.
+SERVICE_LATENCY_BUCKETS = (
+    0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+    300.0, 1800.0, float("inf"),
 )
 
 
@@ -241,6 +249,53 @@ def cluster_worker_instruments(registry: MetricsRegistry) -> SimpleNamespace:
             "cluster_worker_connects_total",
             "Connections (and reconnections) a worker opened",
             ("pe",),
+        ),
+    )
+
+
+def service_instruments(registry: MetricsRegistry) -> SimpleNamespace:
+    """Admission-layer metrics of the always-on search service.
+
+    Declared once so the threaded service, the DES service model and
+    the cluster front-end export identical families (same parity rule
+    as the master instruments above).
+    """
+    return SimpleNamespace(
+        requests=registry.counter(
+            "service_requests_total",
+            "Service requests by final outcome "
+            "(admitted/shed/done/expired/cancelled)",
+            ("tenant", "outcome"),
+        ),
+        shed=registry.counter(
+            "service_shed_total",
+            "Requests rejected by admission control, by reason",
+            ("tenant", "reason"),
+        ),
+        deadline_misses=registry.counter(
+            "service_deadline_misses_total",
+            "Requests whose deadline expired before completion",
+            ("tenant",),
+        ),
+        queue_depth=registry.gauge(
+            "service_queue_depth",
+            "Requests waiting in the admission queue",
+            ("tenant",),
+        ),
+        backlog_seconds=registry.gauge(
+            "service_backlog_seconds",
+            "Estimated seconds of queued + in-flight work at the "
+            "current fleet rate",
+        ),
+        draining=registry.gauge(
+            "service_draining",
+            "1 while the service refuses new admissions and drains",
+        ),
+        latency=registry.histogram(
+            "service_request_latency_seconds",
+            "Submit-to-completion latency of admitted requests",
+            ("tenant",),
+            buckets=SERVICE_LATENCY_BUCKETS,
         ),
     )
 

@@ -1,0 +1,39 @@
+"""Always-on search service: admission, backpressure, deadlines, drain.
+
+The front door the ROADMAP asks for on top of the paper's master/slave
+engine: long-running, multi-tenant, with bounded admission queues and
+weighted fair dequeue (:mod:`~repro.service.admission`), explicit load
+shedding and per-request deadlines (:mod:`~repro.service.core`), an
+in-process threaded front-end (:mod:`~repro.service.threaded`) and a
+TCP client + open-loop load generator (:mod:`~repro.service.client`)
+for the protocol-v4 wire surface of
+:class:`~repro.cluster.server.MasterServer`.
+"""
+
+from .admission import FairQueue
+from .client import LoadgenReport, ServiceClient, run_loadgen
+from .core import (
+    REQUEST_STATES,
+    SHED_REASONS,
+    ServiceConfig,
+    ServiceCore,
+    ServiceRequest,
+    SubmitOutcome,
+    TickActions,
+)
+from .threaded import ThreadedSearchService
+
+__all__ = [
+    "FairQueue",
+    "ServiceConfig",
+    "ServiceCore",
+    "ServiceRequest",
+    "SubmitOutcome",
+    "TickActions",
+    "ThreadedSearchService",
+    "ServiceClient",
+    "LoadgenReport",
+    "run_loadgen",
+    "SHED_REASONS",
+    "REQUEST_STATES",
+]

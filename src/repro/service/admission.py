@@ -1,0 +1,139 @@
+"""Per-tenant admission queues with weighted fair dequeue.
+
+The always-on service front door keeps one bounded FIFO per tenant and
+drains them by **stride scheduling**: each tenant carries a virtual
+``pass`` value that advances by ``1 / weight`` per dequeued request, and
+the next request always comes from the tenant with the smallest pass
+(ties broken by tenant name, so the order is deterministic).  A tenant
+with weight 2 therefore gets two dequeues for every one a weight-1
+tenant gets, regardless of how bursty either one's arrivals are —
+within a tenant, requests stay FIFO.
+
+The queue is deliberately free of time, locks and transport: the
+:class:`~repro.service.core.ServiceCore` supplies timestamps and the
+environment (threads, DES events, TCP handlers) supplies concurrency
+control, exactly the split :class:`~repro.core.task.TaskPool` uses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["FairQueue"]
+
+
+@dataclass
+class _TenantLane:
+    """One tenant's FIFO plus its stride-scheduling state."""
+
+    weight: float
+    queue: deque = field(default_factory=deque)
+    #: Virtual time of this lane; advances by 1/weight per dequeue.
+    pass_value: float = 0.0
+
+
+class FairQueue:
+    """Bounded per-tenant FIFOs drained by weighted stride scheduling.
+
+    ``max_depth`` bounds each tenant's queue *individually* — one
+    tenant flooding the front door fills only its own lane, and the
+    admission layer sheds its overflow without starving anyone else.
+    ``queued_cells`` is maintained incrementally so the backlog
+    estimate never needs to scan queues that overload may have filled.
+    """
+
+    def __init__(self, max_depth: int, weights: dict[str, float] | None = None,
+                 default_weight: float = 1.0):
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        if default_weight <= 0:
+            raise ValueError("default_weight must be positive")
+        for tenant, weight in (weights or {}).items():
+            if weight <= 0:
+                raise ValueError(f"weight for tenant {tenant!r} must be positive")
+        self.max_depth = max_depth
+        self._weights = dict(weights or {})
+        self._default_weight = default_weight
+        self._lanes: dict[str, _TenantLane] = {}
+        #: Sum of ``request.task.cells`` over every queued request.
+        self.queued_cells = 0
+        #: Global virtual time: the pass of the last dequeue.  A lane
+        #: that was empty (or is new) restarts at max(own pass, gvt) so
+        #: an idle tenant cannot bank credit and later monopolise the
+        #: dequeue order.
+        self._gvt = 0.0
+
+    # ------------------------------------------------------------------
+    def _lane(self, tenant: str) -> _TenantLane:
+        lane = self._lanes.get(tenant)
+        if lane is None:
+            weight = self._weights.get(tenant, self._default_weight)
+            lane = _TenantLane(weight=weight)
+            self._lanes[tenant] = lane
+        return lane
+
+    def __len__(self) -> int:
+        return sum(len(lane.queue) for lane in self._lanes.values())
+
+    def depth(self, tenant: str) -> int:
+        lane = self._lanes.get(tenant)
+        return len(lane.queue) if lane is not None else 0
+
+    def tenants(self) -> tuple[str, ...]:
+        """Every tenant ever seen, sorted (stable gauge label set)."""
+        return tuple(sorted(self._lanes))
+
+    def __iter__(self):
+        """All queued requests, lane by lane (no particular fairness)."""
+        for lane in self._lanes.values():
+            yield from lane.queue
+
+    # ------------------------------------------------------------------
+    def offer(self, tenant: str, request) -> bool:
+        """Enqueue *request*; False when the tenant's lane is full."""
+        lane = self._lane(tenant)
+        if len(lane.queue) >= self.max_depth:
+            return False
+        if not lane.queue:
+            # Re-sync an idle lane with global virtual time so a
+            # long-quiet tenant does not drain everyone else dry.
+            lane.pass_value = max(lane.pass_value, self._gvt)
+        lane.queue.append(request)
+        self.queued_cells += request.task.cells
+        return True
+
+    def pop(self):
+        """Dequeue by stride scheduling; ``None`` when all lanes idle."""
+        best: str | None = None
+        for tenant, lane in self._lanes.items():
+            if not lane.queue:
+                continue
+            if best is None or (
+                (lane.pass_value, tenant)
+                < (self._lanes[best].pass_value, best)
+            ):
+                best = tenant
+        if best is None:
+            return None
+        lane = self._lanes[best]
+        request = lane.queue.popleft()
+        self._gvt = lane.pass_value
+        lane.pass_value += 1.0 / lane.weight
+        self.queued_cells -= request.task.cells
+        return request
+
+    def remove(self, request) -> bool:
+        """Drop a queued request (deadline expiry or client cancel).
+
+        No pass adjustment: the tenant did not consume a dequeue slot.
+        Returns False when the request is not queued (already popped).
+        """
+        for lane in self._lanes.values():
+            try:
+                lane.queue.remove(request)
+            except ValueError:
+                continue
+            self.queued_cells -= request.task.cells
+            return True
+        return False

@@ -1,0 +1,248 @@
+"""Service client and open-loop load generator (protocol 4).
+
+:class:`ServiceClient` is the thin wire client of the always-on
+service: one persistent connection, ``submit``/``poll``/``cancel``/
+``drain`` calls, newline-delimited JSON — debuggable with ``nc`` like
+the rest of the cluster protocol.
+
+:func:`run_loadgen` drives a live master with an **open-loop** Poisson
+arrival schedule: requests are submitted on the schedule's clock no
+matter how the service responds, so saturation shows up as shed
+requests and growing latency instead of a slowing client.  This is the
+wall-clock twin of the DES service model
+(:class:`~repro.simulate.des.ServiceSimulator`); both consume the same
+:func:`~repro.simulate.loadgen.poisson_arrivals` schedules.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..align.api import SearchHit
+from ..cluster.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_hit,
+    recv_message,
+    send_message,
+)
+from ..sequences.records import Sequence
+from ..sequences.synthetic import query_set
+
+__all__ = ["ServiceClient", "LoadgenReport", "run_loadgen"]
+
+
+class ServiceClient:
+    """One client connection to a service-running master."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        connect_timeout: float = 10.0,
+        io_timeout: float = 60.0,
+    ):
+        self._sock = socket.create_connection(
+            (host, port), timeout=connect_timeout
+        )
+        self._sock.settimeout(io_timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._reader = self._sock.makefile("rb")
+
+    def _call(self, message: dict) -> dict:
+        send_message(self._sock, message)
+        reply = recv_message(self._reader)
+        if reply is None:
+            raise ProtocolError("master closed the connection")
+        return reply
+
+    def submit(
+        self,
+        query: Sequence,
+        tenant: str = "default",
+        deadline: float | None = None,
+    ) -> dict:
+        """Submit one query; returns the ``accepted``/``rejected`` reply.
+
+        ``deadline`` is relative seconds — the master applies it to its
+        own clock, so client/master clock skew never matters.
+        """
+        message: dict = {
+            "type": "submit",
+            "protocol": PROTOCOL_VERSION,
+            "tenant": tenant,
+            "query": {"id": query.id, "residues": query.residues},
+        }
+        if deadline is not None:
+            message["deadline"] = float(deadline)
+        return self._call(message)
+
+    def poll(self, request_id: str) -> dict:
+        """Request state; a ``done`` reply carries decoded ``hits``."""
+        reply = self._call({"type": "poll", "request_id": request_id})
+        if reply.get("type") == "status" and reply.get("hits") is not None:
+            reply["hits"] = tuple(
+                decode_hit(h) for h in reply["hits"]
+            )
+        return reply
+
+    def wait(
+        self, request_id: str, timeout: float = 60.0, poll: float = 0.01
+    ) -> dict:
+        """Poll until the request reaches a terminal state."""
+        limit = time.perf_counter() + timeout
+        while True:
+            reply = self.poll(request_id)
+            if reply.get("type") == "error" or reply.get("state") in (
+                "done", "expired", "cancelled",
+            ):
+                return reply
+            if time.perf_counter() >= limit:
+                raise TimeoutError(
+                    f"request {request_id} still "
+                    f"{reply.get('state')!r} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def cancel(self, request_id: str) -> dict:
+        return self._call({"type": "cancel", "request_id": request_id})
+
+    def drain(self) -> dict:
+        """Ask the master to stop admission and drain."""
+        return self._call({"type": "drain"})
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _quantile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    return float(np.quantile(np.asarray(values, dtype=float), q))
+
+
+@dataclass
+class LoadgenReport:
+    """Outcome of one open-loop run against a live service."""
+
+    rate: float
+    horizon: float
+    offered: int = 0
+    admitted: int = 0
+    completed: int = 0
+    expired: int = 0
+    cancelled: int = 0
+    shed: dict[str, int] = field(default_factory=dict)
+    #: Submit-to-done latency of every completed request (seconds).
+    latencies: list[float] = field(default_factory=list)
+    #: request_id -> decoded hits of completed requests.
+    hits: dict[str, tuple[SearchHit, ...]] = field(default_factory=dict)
+
+    @property
+    def shed_total(self) -> int:
+        return sum(self.shed.values())
+
+    @property
+    def p50(self) -> float:
+        return _quantile(self.latencies, 0.50)
+
+    @property
+    def p99(self) -> float:
+        return _quantile(self.latencies, 0.99)
+
+    def to_dict(self) -> dict:
+        return {
+            "rate": self.rate,
+            "horizon": self.horizon,
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "expired": self.expired,
+            "cancelled": self.cancelled,
+            "shed": dict(self.shed),
+            "shed_total": self.shed_total,
+            "latency_p50": self.p50,
+            "latency_p99": self.p99,
+        }
+
+
+def run_loadgen(
+    host: str,
+    port: int,
+    rate: float,
+    horizon: float,
+    rng: np.random.Generator,
+    tenants: tuple[str, ...] = ("default",),
+    deadline: float | None = None,
+    min_length: int = 40,
+    max_length: int = 120,
+    wait_timeout: float = 60.0,
+    collect_hits: bool = False,
+) -> LoadgenReport:
+    """Open-loop Poisson load against a live service master.
+
+    Synthesizes one random query per arrival (seeded by *rng*, so runs
+    replay exactly), round-robins them over *tenants*, submits on the
+    arrival schedule, then waits for every admitted request to reach a
+    terminal state.  Late submissions never block the schedule: a slow
+    ``submit`` simply delays subsequent arrivals the way a real
+    client's stalled connection would.
+    """
+    from ..simulate.loadgen import poisson_arrivals
+
+    arrivals = poisson_arrivals(rate, horizon, rng)
+    queries = query_set(
+        max(len(arrivals), 1), rng,
+        min_length=min_length, max_length=max_length,
+    )
+    report = LoadgenReport(rate=rate, horizon=horizon)
+    pending: list[tuple[str, float]] = []  # (request_id, submitted_at)
+    client = ServiceClient(host, port)
+    try:
+        start = time.perf_counter()
+        for index, at in enumerate(arrivals):
+            delay = at - (time.perf_counter() - start)
+            if delay > 0:
+                time.sleep(delay)
+            report.offered += 1
+            reply = client.submit(
+                queries[index],
+                tenant=tenants[index % len(tenants)],
+                deadline=deadline,
+            )
+            if reply.get("type") == "accepted":
+                report.admitted += 1
+                pending.append(
+                    (str(reply["request_id"]), time.perf_counter())
+                )
+            else:
+                reason = str(reply.get("reason", "unknown"))
+                report.shed[reason] = report.shed.get(reason, 0) + 1
+        for request_id, submitted in pending:
+            reply = client.wait(request_id, timeout=wait_timeout)
+            state = reply.get("state")
+            if state == "done":
+                report.completed += 1
+                report.latencies.append(time.perf_counter() - submitted)
+                if collect_hits:
+                    report.hits[request_id] = reply.get("hits") or ()
+            elif state == "expired":
+                report.expired += 1
+            elif state == "cancelled":
+                report.cancelled += 1
+    finally:
+        client.close()
+    return report

@@ -1,0 +1,490 @@
+"""Admission control, backpressure, deadlines and drain — pure logic.
+
+:class:`ServiceCore` turns a one-shot :class:`~repro.core.master.Master`
+into the brain of an always-on search service.  It owns the front-door
+policy — *which* requests enter the system and *when* their tasks join
+the scheduler's ready queue — while the master keeps owning everything
+the paper describes: allocation, replication, first-completion-wins.
+
+Like :class:`~repro.core.task.TaskPool`, this class knows nothing about
+threads, sockets or wall clocks.  Every method takes ``now`` explicitly
+and returns plain data; the threaded front-end
+(:mod:`repro.service.threaded`), the DES model
+(:class:`~repro.simulate.des.ServiceSimulator`) and the cluster server
+(:mod:`repro.cluster.server`) drive the *same* admission semantics and
+therefore export the same metrics and shed decisions.
+
+Admission pipeline (per :meth:`submit`):
+
+1. **drain gate** — a draining service admits nothing (reason
+   ``draining``);
+2. **backlog gate** — if the estimated backlog
+   ``(queued + in-flight cells) / fleet rate`` exceeds
+   ``max_backlog_seconds``, shed with reason ``backlog`` and a
+   retry-after hint (the gate is skipped until the fleet has a rate
+   estimate);
+3. **queue gate** — the tenant's bounded FIFO
+   (:class:`~repro.service.admission.FairQueue`); a full lane sheds
+   with reason ``queue_full``.
+
+Dispatch keeps at most ``dispatch_window`` tasks READY in the pool so
+the weighted fair dequeue — not the scheduler's FIFO — decides
+inter-tenant order under load.
+
+Deadlines are absolute timestamps.  :meth:`tick` retires expired
+requests: queued ones are dropped before ever becoming tasks, running
+ones are abandoned in the pool and the returned
+:class:`TickActions.cancels` tells the environment which PEs to
+interrupt — computing a result nobody will read is the one waste the
+paper's replica mechanism cannot see.
+
+Service mode and checkpoint journaling are mutually exclusive: admitted
+tasks are created after the journal's task-set snapshot, so a recovery
+replay would reference unknown ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.master import Master
+from ..core.task import Task
+from ..observability import service_instruments
+from .admission import FairQueue
+
+__all__ = [
+    "ServiceConfig",
+    "ServiceRequest",
+    "SubmitOutcome",
+    "TickActions",
+    "ServiceCore",
+    "SHED_REASONS",
+    "REQUEST_STATES",
+]
+
+#: Why admission may refuse a request (the wire error's ``reason``).
+SHED_REASONS = ("queue_full", "backlog", "draining")
+
+#: Lifecycle of an admitted request.
+REQUEST_STATES = ("queued", "running", "done", "expired", "cancelled")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Front-door policy knobs (defaults match ``repro serve``)."""
+
+    #: Per-tenant admission queue bound (requests, not cells).
+    max_queue_depth: int = 16
+    #: Shed when estimated backlog exceeds this many seconds; ``0``
+    #: disables the gate.
+    max_backlog_seconds: float = 60.0
+    #: Fleet rate (cells/s) to assume before any PE has a measured
+    #: rate; ``0`` skips the backlog gate until rates exist.
+    default_rate: float = 0.0
+    #: Deadline applied to requests that do not carry one (seconds
+    #: from submit); ``None`` means no implicit deadline.
+    default_deadline: float | None = None
+    #: Tenant -> fair-share weight; unlisted tenants get
+    #: ``default_weight``.
+    weights: dict[str, float] = field(default_factory=dict)
+    default_weight: float = 1.0
+    #: Keep at most this many admitted tasks READY in the pool; the
+    #: rest wait in the fair queue where tenant weights apply.
+    dispatch_window: int = 4
+    #: Bounds of the retry-after hint attached to shed responses.
+    min_retry_after: float = 0.1
+    max_retry_after: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be at least 1")
+        if self.max_backlog_seconds < 0:
+            raise ValueError("max_backlog_seconds must be non-negative")
+        if self.dispatch_window < 1:
+            raise ValueError("dispatch_window must be at least 1")
+        if self.default_deadline is not None and self.default_deadline <= 0:
+            raise ValueError("default_deadline must be positive")
+
+
+@dataclass
+class ServiceRequest:
+    """One admitted search request and its lifecycle record."""
+
+    request_id: str
+    tenant: str
+    task: Task
+    submitted_at: float
+    deadline: float | None = None
+    state: str = "queued"
+    dispatched_at: float | None = None
+    finished_at: float | None = None
+    #: Winning task payload (tuple of SearchHit) once ``done``.
+    hits: object = None
+
+    @property
+    def latency(self) -> float | None:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def to_dict(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "tenant": self.tenant,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "deadline": self.deadline,
+            "dispatched_at": self.dispatched_at,
+            "finished_at": self.finished_at,
+        }
+
+
+@dataclass(frozen=True)
+class SubmitOutcome:
+    """What the front door tells the client about one submission."""
+
+    accepted: bool
+    request_id: str | None = None
+    reason: str | None = None
+    retry_after: float | None = None
+
+    def to_dict(self) -> dict:
+        if self.accepted:
+            return {"accepted": True, "request_id": self.request_id}
+        return {
+            "accepted": False,
+            "error": "overloaded",
+            "reason": self.reason,
+            "retry_after": self.retry_after,
+        }
+
+
+@dataclass(frozen=True)
+class TickActions:
+    """Side effects the environment must carry out after a tick.
+
+    ``cancels`` are (pe_id, task_id) pairs whose execution should be
+    interrupted (deadline expiry / client cancel); ``retired`` are task
+    ids that left the system this tick (done, expired or cancelled) —
+    the cluster server uses them to garbage-collect inline query
+    payloads.
+    """
+
+    cancels: tuple[tuple[str, int], ...] = ()
+    retired: tuple[int, ...] = ()
+
+    def merge(self, other: "TickActions") -> "TickActions":
+        return TickActions(
+            cancels=self.cancels + other.cancels,
+            retired=self.retired + other.retired,
+        )
+
+
+class ServiceCore:
+    """Admission layer over one :class:`Master` (not thread-safe)."""
+
+    def __init__(self, master: Master, config: ServiceConfig | None = None):
+        if master.journal is not None:
+            raise ValueError(
+                "service mode is incompatible with checkpoint journaling: "
+                "admitted tasks are unknown to the journal's task set"
+            )
+        self.master = master
+        self.config = config or ServiceConfig()
+        self.queue = FairQueue(
+            max_depth=self.config.max_queue_depth,
+            weights=self.config.weights,
+            default_weight=self.config.default_weight,
+        )
+        self.requests: dict[str, ServiceRequest] = {}
+        self._by_task: dict[int, ServiceRequest] = {}
+        self._inflight_cells = 0
+        self._seq = 0
+        ids = master.pool.task_ids()
+        self._next_task_id = (max(ids) + 1) if ids else 0
+        self.draining = False
+        self.drained = False
+        self._inst = service_instruments(master.metrics)
+        self._inst.draining.set(0.0)
+        self._inst.backlog_seconds.set(0.0)
+        master.serving = True
+
+    # ------------------------------------------------------------------
+    # Capacity model
+    # ------------------------------------------------------------------
+    def fleet_rate(self) -> float:
+        """Aggregate cells/s of the fleet (Ω-window estimates)."""
+        rates = self.master.history.known_rates()
+        total = sum(rate for rate in rates.values() if rate > 0)
+        return total if total > 0 else self.config.default_rate
+
+    def backlog_seconds(self) -> float:
+        """Estimated seconds of queued + in-flight work; 0 if unknown."""
+        rate = self.fleet_rate()
+        if rate <= 0:
+            return 0.0
+        return (self.queue.queued_cells + self._inflight_cells) / rate
+
+    def _retry_after(self) -> float:
+        hint = self.backlog_seconds() / 2.0
+        return min(
+            self.config.max_retry_after,
+            max(self.config.min_retry_after, hint),
+        )
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        tenant: str,
+        query_id: str,
+        query_length: int,
+        cells: int,
+        now: float,
+        deadline: float | None = None,
+        query_index: int = -1,
+    ) -> SubmitOutcome:
+        """Admit or shed one request; refills the dispatch window."""
+        if deadline is None and self.config.default_deadline is not None:
+            deadline = now + self.config.default_deadline
+        if self.draining:
+            return self._shed(tenant, "draining", now, retry_after=None)
+        if (
+            self.config.max_backlog_seconds > 0
+            and self.backlog_seconds() > self.config.max_backlog_seconds
+        ):
+            return self._shed(tenant, "backlog", now, self._retry_after())
+        task = Task(
+            task_id=self._next_task_id,
+            query_id=query_id,
+            query_length=query_length,
+            cells=cells,
+            query_index=query_index,
+        )
+        self._seq += 1
+        request = ServiceRequest(
+            request_id=f"{tenant}-{self._seq}",
+            tenant=tenant,
+            task=task,
+            submitted_at=now,
+            deadline=deadline,
+        )
+        if not self.queue.offer(tenant, request):
+            return self._shed(tenant, "queue_full", now, self._retry_after())
+        self._next_task_id += 1
+        self.requests[request.request_id] = request
+        self._by_task[task.task_id] = request
+        self._inst.requests.labels(tenant=tenant, outcome="admitted").inc()
+        self.master.events.emit(
+            "submit", now, pe="service",
+            request_id=request.request_id, tenant=tenant, task=task.task_id,
+        )
+        self._refill(now)
+        self._sync_gauges()
+        return SubmitOutcome(accepted=True, request_id=request.request_id)
+
+    def _shed(
+        self, tenant: str, reason: str, now: float,
+        retry_after: float | None,
+    ) -> SubmitOutcome:
+        self._inst.requests.labels(tenant=tenant, outcome="shed").inc()
+        self._inst.shed.labels(tenant=tenant, reason=reason).inc()
+        self.master.events.emit(
+            "shed", now, pe="service", tenant=tenant, reason=reason,
+        )
+        return SubmitOutcome(
+            accepted=False, reason=reason, retry_after=retry_after,
+        )
+
+    def poll(self, request_id: str) -> ServiceRequest:
+        """Current state of a request (KeyError for unknown ids)."""
+        return self.requests[request_id]
+
+    def results_for(self, request_id: str):
+        """The winning hits of a ``done`` request (else ``None``)."""
+        return self.requests[request_id].hits
+
+    def cancel(self, request_id: str, now: float) -> TickActions:
+        """Client-initiated cancel; returns executions to interrupt."""
+        request = self.requests[request_id]
+        if request.state in ("done", "expired", "cancelled"):
+            return TickActions()
+        return self._retire(request, "cancelled", now)
+
+    def drain(self, now: float) -> int:
+        """Stop admission; returns outstanding (queued + running) count.
+
+        Idempotent.  Once the last outstanding request retires (seen by
+        :meth:`tick`), ``master.serving`` flips off and every
+        environment's workers run to completion naturally.
+        """
+        if not self.draining:
+            self.draining = True
+            self._inst.draining.set(1.0)
+            self.master.events.emit("drain", now, pe="service")
+        outstanding = self._check_drained(now)
+        self._sync_gauges()
+        return outstanding
+
+    # ------------------------------------------------------------------
+    # Periodic maintenance (environment-driven)
+    # ------------------------------------------------------------------
+    def tick(self, now: float) -> TickActions:
+        """Finalize completions, expire deadlines, refill the window.
+
+        Order matters: completions are finalized *before* deadlines are
+        checked, so a result that beat the deadline stands — abandoning
+        it would discard real work, the exact waste the service exists
+        to avoid.
+        """
+        actions = self._finalize(now)
+        actions = actions.merge(self._expire(now))
+        self._refill(now)
+        self._check_drained(now)
+        self._sync_gauges()
+        return actions
+
+    def _finalize(self, now: float) -> TickActions:
+        retired: list[int] = []
+        for task_id in list(self._by_task):
+            if task_id not in self.master.results:
+                continue
+            request = self._by_task.pop(task_id)
+            if request.state != "running":
+                continue  # pragma: no cover - completion raced a retire
+            result = self.master.results[task_id]
+            request.state = "done"
+            request.finished_at = now
+            request.hits = result.payload
+            self._inflight_cells -= request.task.cells
+            retired.append(task_id)
+            self._inst.requests.labels(
+                tenant=request.tenant, outcome="done"
+            ).inc()
+            self._inst.latency.labels(tenant=request.tenant).observe(
+                now - request.submitted_at
+            )
+        return TickActions(retired=tuple(retired))
+
+    def _expire(self, now: float) -> TickActions:
+        actions = TickActions()
+        expired = [
+            request
+            for request in self.requests.values()
+            if request.state in ("queued", "running")
+            and request.deadline is not None
+            and request.deadline <= now
+        ]
+        for request in expired:
+            actions = actions.merge(self._retire(request, "expired", now))
+        return actions
+
+    def _retire(
+        self, request: ServiceRequest, outcome: str, now: float
+    ) -> TickActions:
+        """Take a queued/running request out of the system."""
+        cancels: tuple[tuple[str, int], ...] = ()
+        if request.state == "queued":
+            self.queue.remove(request)
+            self._by_task.pop(request.task.task_id, None)
+        elif request.state == "running":
+            executors = self.master.abandon(
+                request.task.task_id, now=now, reason=outcome
+            )
+            cancels = tuple(
+                (pe_id, request.task.task_id) for pe_id in sorted(executors)
+            )
+            self._inflight_cells -= request.task.cells
+            self._by_task.pop(request.task.task_id, None)
+        request.state = outcome
+        request.finished_at = now
+        self._inst.requests.labels(
+            tenant=request.tenant, outcome=outcome
+        ).inc()
+        if outcome == "expired":
+            self._inst.deadline_misses.labels(tenant=request.tenant).inc()
+        self.master.events.emit(
+            outcome, now, pe="service",
+            request_id=request.request_id, tenant=request.tenant,
+            task=request.task.task_id,
+        )
+        return TickActions(
+            cancels=cancels, retired=(request.task.task_id,)
+        )
+
+    def _refill(self, now: float) -> None:
+        """Dispatch queued requests while the window has room.
+
+        Requests already past their deadline are retired here instead
+        of dispatched — a task for an expired request would be computed
+        for nobody.
+        """
+        while self.master.pool.num_ready < self.config.dispatch_window:
+            request = self.queue.pop()
+            if request is None:
+                return
+            if request.deadline is not None and request.deadline <= now:
+                # Already out of the fair queue: mark running=False path
+                # directly rather than via _retire's queue.remove.
+                self._by_task.pop(request.task.task_id, None)
+                request.state = "expired"
+                request.finished_at = now
+                self._inst.requests.labels(
+                    tenant=request.tenant, outcome="expired"
+                ).inc()
+                self._inst.deadline_misses.labels(
+                    tenant=request.tenant
+                ).inc()
+                self.master.events.emit(
+                    "expired", now, pe="service",
+                    request_id=request.request_id, tenant=request.tenant,
+                    task=request.task.task_id,
+                )
+                continue
+            request.state = "running"
+            request.dispatched_at = now
+            self._inflight_cells += request.task.cells
+            self.master.add_tasks(
+                [request.task], now=now, tenant=request.tenant
+            )
+
+    def _check_drained(self, now: float) -> int:
+        if not self.draining:
+            return 0
+        outstanding = len(self.queue) + sum(
+            1 for r in self.requests.values() if r.state == "running"
+        )
+        if self.draining and outstanding == 0 and not self.drained:
+            self.drained = True
+            self.master.serving = False
+            self.master.events.emit("drain_complete", now, pe="service")
+        return outstanding
+
+    def _sync_gauges(self) -> None:
+        for tenant in self.queue.tenants():
+            self._inst.queue_depth.labels(tenant=tenant).set(
+                self.queue.depth(tenant)
+            )
+        self._inst.backlog_seconds.set(self.backlog_seconds())
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def counts(self) -> dict[str, int]:
+        """Requests by state (for status RPCs and final records)."""
+        counts = {state: 0 for state in REQUEST_STATES}
+        for request in self.requests.values():
+            counts[request.state] += 1
+        return counts
+
+    def final_record(self, now: float) -> dict:
+        """The summary a draining service emits before exiting."""
+        return {
+            "kind": "service_final",
+            "time": now,
+            "draining": self.draining,
+            "drained": self.drained,
+            "requests": self.counts(),
+            "backlog_seconds": self.backlog_seconds(),
+        }

@@ -1,8 +1,23 @@
 """Hybrid-platform simulation substrate: DES, PE models, load, traces."""
 
-from .des import HybridSimulator, PESpec, SimReport, TaskInterval
+from .des import (
+    HybridSimulator,
+    PESpec,
+    ServiceArrival,
+    ServiceSimReport,
+    ServiceSimulator,
+    SimReport,
+    TaskInterval,
+    service_arrivals,
+)
 from .events import EventHandle, EventQueue
-from .loadgen import competing_process, os_jitter, step_load
+from .loadgen import (
+    competing_process,
+    os_jitter,
+    poisson_arrivals,
+    step_load,
+    uniform_arrivals,
+)
 from .pe_models import FPGAModel, GPUModel, PEModel, SSECoreModel, UniformModel
 from .platform import (
     CONFIGURATIONS,
@@ -30,9 +45,15 @@ __all__ = [
     "TaskInterval",
     "EventQueue",
     "EventHandle",
+    "ServiceArrival",
+    "ServiceSimReport",
+    "ServiceSimulator",
+    "service_arrivals",
     "step_load",
     "competing_process",
     "os_jitter",
+    "poisson_arrivals",
+    "uniform_arrivals",
     "PEModel",
     "SSECoreModel",
     "GPUModel",

@@ -44,7 +44,16 @@ from .events import EventHandle, EventQueue
 from .network import NetworkModel
 from .pe_models import PEModel
 
-__all__ = ["PESpec", "TaskInterval", "SimReport", "HybridSimulator"]
+__all__ = [
+    "PESpec",
+    "TaskInterval",
+    "SimReport",
+    "HybridSimulator",
+    "ServiceArrival",
+    "ServiceSimReport",
+    "ServiceSimulator",
+    "service_arrivals",
+]
 
 
 @dataclass(frozen=True)
@@ -1105,4 +1114,381 @@ class _RunState:
             return
         self.queue.schedule(
             self.queue.now + self.heartbeat / 4, self.on_reap
+        )
+
+
+# ----------------------------------------------------------------------
+# Always-on service model
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServiceArrival:
+    """One request offered to the simulated service.
+
+    ``deadline`` is *relative* seconds from the arrival instant, the
+    same convention as the wire protocol; ``cells`` defaults to
+    ``query_length * database_residues`` of the run.
+    """
+
+    time: float
+    tenant: str = "default"
+    query_id: str = ""
+    query_length: int = 100
+    cells: int | None = None
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("arrival time must be non-negative")
+        if self.query_length <= 0:
+            raise ValueError("query_length must be positive")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+
+
+def service_arrivals(
+    rate: float,
+    horizon: float,
+    rng,
+    tenants: tuple[str, ...] = ("default",),
+    min_length: int = 40,
+    max_length: int = 120,
+    deadline: float | None = None,
+) -> tuple[ServiceArrival, ...]:
+    """Seeded open-loop Poisson request stream for the service model.
+
+    The virtual-clock counterpart of
+    :func:`repro.service.client.run_loadgen`'s schedule: arrival times
+    from :func:`~repro.simulate.loadgen.poisson_arrivals`, query
+    lengths uniform in ``[min_length, max_length]``, tenants assigned
+    round-robin.  Same seed, same stream — sweeps are replayable.
+    """
+    from .loadgen import poisson_arrivals
+
+    times = poisson_arrivals(rate, horizon, rng)
+    if not times:
+        return ()
+    lengths = rng.integers(min_length, max_length + 1, size=len(times))
+    return tuple(
+        ServiceArrival(
+            time=at,
+            tenant=tenants[index % len(tenants)],
+            query_id=f"q{index:05d}",
+            query_length=int(lengths[index]),
+            deadline=deadline,
+        )
+        for index, at in enumerate(times)
+    )
+
+
+@dataclass
+class ServiceSimReport:
+    """Outcome of one virtual-clock service run."""
+
+    offered: int
+    admitted: int
+    #: Shed counts by reason (``queue_full`` / ``backlog`` / ``draining``).
+    shed: dict[str, int]
+    #: Terminal request states (admitted = completed+expired+cancelled).
+    completed: int
+    expired: int
+    cancelled: int
+    #: Virtual time the drain finished (last outstanding request done).
+    drained_at: float
+    #: tenant -> submit-to-done latencies of completed requests.
+    latencies: dict[str, list[float]]
+    requests: dict
+    trace: list[TraceEvent]
+    metrics: dict
+    events: EventLog
+
+    @property
+    def shed_total(self) -> int:
+        return sum(self.shed.values())
+
+    def latency_quantile(self, q: float, tenant: str | None = None) -> float:
+        """Latency quantile over completed requests (0.0 when none)."""
+        import numpy as np
+
+        if tenant is None:
+            values = [v for vs in self.latencies.values() for v in vs]
+        else:
+            values = list(self.latencies.get(tenant, ()))
+        if not values:
+            return 0.0
+        return float(np.quantile(np.asarray(values, dtype=float), q))
+
+    def to_dict(self) -> dict:
+        return {
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "shed": dict(self.shed),
+            "shed_total": self.shed_total,
+            "completed": self.completed,
+            "expired": self.expired,
+            "cancelled": self.cancelled,
+            "drained_at": self.drained_at,
+            "latency_p50": self.latency_quantile(0.50),
+            "latency_p99": self.latency_quantile(0.99),
+        }
+
+
+class _ServiceRunState(_RunState):
+    """Run state plus the service brain: arrivals, ticks, drain.
+
+    The admission logic lives in :class:`~repro.service.core.ServiceCore`
+    — the exact object the threaded front-end and the cluster server
+    drive — so shed decisions, deadline semantics and drain behaviour
+    are identical across environments by construction.
+    """
+
+    def __init__(self, *args, service, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.service = service
+        self.offered = 0
+        self.admitted_cells = 0
+        self.shed: dict[str, int] = {}
+        self.drained_at: float | None = None
+
+    def service_tick(self) -> None:
+        if self._master_down():
+            return
+        actions = self.service.tick(self.queue.now)
+        for pe_id, task_id in actions.cancels:
+            pe = self.pes.get(pe_id)
+            if pe is not None:
+                self._cancel(pe, task_id)
+        if self.service.drained and self.drained_at is None:
+            self.drained_at = self.queue.now
+
+    def on_arrival(self, arrival: ServiceArrival) -> None:
+        now = self.queue.now
+        self.offered += 1
+        deadline = (
+            None if arrival.deadline is None else now + arrival.deadline
+        )
+        cells = arrival.cells
+        if cells is None:
+            cells = arrival.query_length * self.config.database_residues
+        outcome = self.service.submit(
+            arrival.tenant,
+            arrival.query_id or f"q{self.offered:05d}",
+            arrival.query_length,
+            cells,
+            now,
+            deadline=deadline,
+        )
+        if outcome.accepted:
+            self.admitted_cells += cells
+            if deadline is not None:
+                # Exact-expiry tick: the request is retired (and its
+                # executors interrupted) the instant its deadline
+                # passes, not at the next completion or sweep.
+                self.queue.schedule(deadline, self.service_tick)
+        else:
+            reason = outcome.reason or "unknown"
+            self.shed[reason] = self.shed.get(reason, 0) + 1
+
+    def on_drain(self) -> None:
+        self.service.drain(self.queue.now)
+        self.service_tick()
+
+    def on_sweep(self) -> None:
+        """Periodic service tick — progress without request traffic."""
+        self.service_tick()
+        if self.service.drained:
+            return
+        self.queue.schedule(
+            self.queue.now + self.config.notify_interval, self.on_sweep
+        )
+
+    def _deliver_complete(self, pe, task, result, start, end, pending):
+        super()._deliver_complete(pe, task, result, start, end, pending)
+        # Finalize immediately: the request flips to ``done`` at the
+        # completion instant, and the freed window refills.
+        self.service_tick()
+
+
+class ServiceSimulator(HybridSimulator):
+    """Virtual-clock model of the always-on service.
+
+    Replaces the fixed workload of :meth:`HybridSimulator.run` with an
+    open-loop arrival stream feeding the *real*
+    :class:`~repro.service.core.ServiceCore` on the *real*
+    :class:`~repro.core.master.Master`: admission, weighted fair
+    dequeue, backlog shedding, deadlines and drain all execute the
+    production code paths — only the DP arithmetic is replaced by its
+    cell count, so a λ sweep over an hour of simulated service costs
+    milliseconds.
+
+    ``database_residues`` sizes each request's matrix
+    (``query_length * database_residues`` cells).  The run always ends
+    in a drain — at ``drain_at``, or right after the last arrival — and
+    fails loudly if the drain cannot complete (e.g. every PE crashed
+    with no restart).
+    """
+
+    def __init__(self, *args, database_residues: int = 100_000, **kwargs):
+        super().__init__(*args, **kwargs)
+        if database_residues <= 0:
+            raise ValueError("database_residues must be positive")
+        self.database_residues = database_residues
+
+    def run_service(
+        self,
+        arrivals,
+        service=None,
+        drain_at: float | None = None,
+    ) -> ServiceSimReport:
+        from ..service.core import ServiceConfig, ServiceCore
+
+        if self.checkpoint_dir is not None:
+            raise ValueError(
+                "service mode and checkpoint journaling are mutually "
+                "exclusive (admitted tasks postdate the journal's "
+                "task-set snapshot)"
+            )
+        if self.faults is not None and self.faults.master_crash is not None:
+            raise ValueError(
+                "master_crash is unsupported in service mode: service "
+                "state is not journaled, so a replacement master could "
+                "not recover the admitted requests"
+            )
+        arrivals = sorted(arrivals, key=lambda a: a.time)
+        queue = EventQueue()
+        metrics = MetricsRegistry()
+        events = EventLog()
+        master = Master(
+            [],
+            policy=self.policy,
+            adjustment=self.adjustment,
+            omega=self.omega,
+            metrics=metrics,
+            events=events,
+            batch=self.batch,
+        )
+        core = ServiceCore(master, service or ServiceConfig())
+        pes = {spec.pe_id: _SimPE(spec) for spec in self.specs}
+        injector = None
+        heartbeat = self.heartbeat_timeout
+        if self.faults is not None:
+            injector = FaultInjector(
+                self.faults, events=events, clock=lambda: queue.now
+            )
+            if heartbeat is None:
+                heartbeat = 10 * self.notify_interval
+        state = _ServiceRunState(
+            queue, master, pes, self, injector, heartbeat or 0.0,
+            tasks=[], service=core,
+        )
+
+        if injector is not None:
+            for crash in self.faults.crashes:
+                pe = pes.get(crash.pe_id)
+                if pe is not None and crash.at_time is not None:
+                    queue.schedule(
+                        crash.at_time, lambda p=pe: state.on_crash(p)
+                    )
+            for straggler in self.faults.stragglers:
+                pe = pes.get(straggler.pe_id)
+                if pe is None:
+                    continue
+                queue.schedule(
+                    straggler.start, lambda p=pe: state.on_straggle(p)
+                )
+                if straggler.end is not None:
+                    queue.schedule(
+                        straggler.end, lambda p=pe: state.on_straggle(p)
+                    )
+        if heartbeat:
+            queue.schedule(heartbeat / 4, state.on_reap)
+
+        writer: TelemetryWriter | None = None
+        if self.telemetry_path is not None:
+            writer = TelemetryWriter(
+                self.telemetry_path,
+                metrics.snapshot,
+                lambda: queue.now,
+                interval=self.telemetry_interval,
+                environment="des",
+            )
+
+            def telemetry_tick() -> None:
+                assert writer is not None
+                if state.master.finished:
+                    return
+                writer.sample()
+                queue.schedule(
+                    queue.now + writer.interval, telemetry_tick
+                )
+
+            queue.schedule(self.telemetry_interval, telemetry_tick)
+
+        for spec in self.specs:
+            pe = pes[spec.pe_id]
+            if spec.join_time <= 0:
+                master.register(spec.pe_id, 0.0)
+                queue.schedule(
+                    state._uplink(pe), lambda p=pe: state.on_request(p)
+                )
+                queue.schedule(
+                    self.notify_interval, lambda p=pe: state.on_notify(p)
+                )
+            else:
+                queue.schedule(
+                    spec.join_time, lambda p=pe: state.on_join(p)
+                )
+            if spec.leave_time is not None:
+                queue.schedule(
+                    spec.leave_time, lambda p=pe: state.on_leave(p)
+                )
+            for at, capacity in spec.load_profile:
+                queue.schedule(
+                    at, lambda p=pe, c=capacity: state.on_load(p, c)
+                )
+
+        for arrival in arrivals:
+            queue.schedule(
+                arrival.time, lambda a=arrival: state.on_arrival(a)
+            )
+        last_arrival = arrivals[-1].time if arrivals else 0.0
+        if drain_at is None:
+            # Default experiment shape: offered load for the whole
+            # horizon, then a graceful drain of whatever was admitted.
+            drain_at = last_arrival
+        queue.schedule(drain_at, state.on_drain)
+        queue.schedule(self.notify_interval, state.on_sweep)
+
+        queue.run()
+
+        if not core.drained or not master.finished:
+            raise RuntimeError(
+                "service simulation drained its event queue without "
+                "completing the drain"
+            )
+        counts = core.counts()
+        latencies: dict[str, list[float]] = {}
+        for request in core.requests.values():
+            if request.state == "done" and request.latency is not None:
+                latencies.setdefault(request.tenant, []).append(
+                    request.latency
+                )
+        drained_at = state.drained_at if state.drained_at is not None else 0.0
+        finalize_run_metrics(metrics, drained_at, state.admitted_cells)
+        if writer is not None:
+            writer.close()
+        return ServiceSimReport(
+            offered=state.offered,
+            admitted=len(core.requests),
+            shed=dict(state.shed),
+            completed=counts["done"],
+            expired=counts["expired"],
+            cancelled=counts["cancelled"],
+            drained_at=drained_at,
+            latencies=latencies,
+            requests=dict(core.requests),
+            trace=list(master.trace),
+            metrics=metrics.snapshot(),
+            events=events,
         )

@@ -1,4 +1,4 @@
-"""External-load generation for the non-dedicated experiments.
+"""External-load generation: capacity profiles and arrival processes.
 
 Section V-C introduces local load by running the compute-intensive
 *superpi* benchmark on core 0 after 60 s: the core's GCUPS drop "to
@@ -6,13 +6,26 @@ less than a half" while the application competes for the CPU.  These
 helpers build the capacity step-profiles that reproduce that experiment
 (Fig. 8) and the small OS-service jitter visible even in the dedicated
 run (Fig. 7).
+
+The always-on service adds the *demand* side: open-loop arrival
+processes (:func:`poisson_arrivals`, :func:`uniform_arrivals`) feed
+the DES service model and ``repro loadgen`` — open-loop means clients
+submit on their own schedule regardless of how the service is coping,
+the regime that actually exposes overload behaviour.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["step_load", "competing_process", "os_jitter", "combine_profiles"]
+__all__ = [
+    "step_load",
+    "competing_process",
+    "os_jitter",
+    "combine_profiles",
+    "poisson_arrivals",
+    "uniform_arrivals",
+]
 
 LoadProfile = tuple[tuple[float, float], ...]
 
@@ -93,3 +106,48 @@ def os_jitter(
     times = np.arange(period, duration, period)
     caps = 1.0 - rng.uniform(0.0, amplitude, size=len(times))
     return tuple((float(t), float(c)) for t, c in zip(times, caps))
+
+
+def poisson_arrivals(
+    rate: float, horizon: float, rng: np.random.Generator
+) -> tuple[float, ...]:
+    """Open-loop Poisson arrival times in ``[0, horizon)``.
+
+    ``rate`` is the mean arrival rate λ (requests/second); inter-arrival
+    gaps are drawn i.i.d. from ``Exp(λ)``, so the same seeded *rng*
+    always produces the same schedule (experiments are replayable).
+    A non-positive rate or horizon yields no arrivals; negative values
+    are rejected loudly rather than silently emptied.
+    """
+    if rate < 0:
+        raise ValueError("rate must be non-negative")
+    if horizon < 0:
+        raise ValueError("horizon must be non-negative")
+    if rate == 0 or horizon == 0:
+        return ()
+    arrivals: list[float] = []
+    at = 0.0
+    while True:
+        at += float(rng.exponential(1.0 / rate))
+        if at >= horizon:
+            return tuple(arrivals)
+        arrivals.append(at)
+
+
+def uniform_arrivals(rate: float, horizon: float) -> tuple[float, ...]:
+    """Deterministic evenly-spaced arrivals at *rate* in ``[0, horizon)``.
+
+    The closed-form companion of :func:`poisson_arrivals` for tests
+    and capacity calibration: no variance, so a sweep isolates the
+    service's queueing behaviour from arrival burstiness.
+    """
+    if rate < 0:
+        raise ValueError("rate must be non-negative")
+    if horizon < 0:
+        raise ValueError("horizon must be non-negative")
+    if rate == 0 or horizon == 0:
+        return ()
+    gap = 1.0 / rate
+    count = int(np.ceil(horizon * rate)) + 1
+    times = tuple(gap * (i + 1) for i in range(count) if gap * (i + 1) < horizon)
+    return times

@@ -70,3 +70,58 @@ class TestCombineProfiles:
 
     def test_single_passthrough(self):
         assert combine_profiles(((1.0, 0.5),)) == ((1.0, 0.5),)
+
+
+class TestPoissonArrivals:
+    def test_deterministic_per_seed(self):
+        from repro.simulate import poisson_arrivals
+
+        a = poisson_arrivals(5.0, 10.0, np.random.default_rng(42))
+        b = poisson_arrivals(5.0, 10.0, np.random.default_rng(42))
+        assert a == b
+        assert a != poisson_arrivals(5.0, 10.0, np.random.default_rng(43))
+
+    def test_mean_rate(self):
+        from repro.simulate import poisson_arrivals
+
+        arrivals = poisson_arrivals(10.0, 1000.0, np.random.default_rng(0))
+        assert 9_000 < len(arrivals) < 11_000
+
+    def test_within_horizon_and_sorted(self):
+        from repro.simulate import poisson_arrivals
+
+        arrivals = poisson_arrivals(3.0, 20.0, np.random.default_rng(1))
+        assert all(0.0 < at < 20.0 for at in arrivals)
+        assert list(arrivals) == sorted(arrivals)
+
+    def test_degenerate_rates(self):
+        from repro.simulate import poisson_arrivals
+
+        rng = np.random.default_rng(0)
+        assert poisson_arrivals(0.0, 10.0, rng) == ()
+        assert poisson_arrivals(5.0, 0.0, rng) == ()
+
+    def test_negative_rejected(self):
+        from repro.simulate import poisson_arrivals
+
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            poisson_arrivals(-1.0, 10.0, rng)
+        with pytest.raises(ValueError):
+            poisson_arrivals(1.0, -10.0, rng)
+
+
+class TestUniformArrivals:
+    def test_even_spacing(self):
+        from repro.simulate import uniform_arrivals
+
+        arrivals = uniform_arrivals(2.0, 3.0)
+        assert arrivals == (0.5, 1.0, 1.5, 2.0, 2.5)
+
+    def test_degenerate_and_negative(self):
+        from repro.simulate import uniform_arrivals
+
+        assert uniform_arrivals(0.0, 10.0) == ()
+        assert uniform_arrivals(5.0, 0.0) == ()
+        with pytest.raises(ValueError):
+            uniform_arrivals(-1.0, 1.0)
