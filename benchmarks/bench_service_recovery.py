@@ -1,0 +1,139 @@
+"""Service journal overhead benchmark (the PR 9 acceptance gate).
+
+Drives the same threaded service workload with the admission journal
+off and on (``checkpoint_dir`` with the durable ``sync_every=1``
+default) in interleaved pairs, takes the min of each side, and asserts
+the journaled run's submit-to-drained wall time stays within 5% of the
+bare one — the admission journal sits on the submit path (one fsync
+before every accepted reply), so this measures exactly what crash
+safety costs a service that never crashes.  A recovery leg then kills
+the journaled service mid-stream and asserts the cold-restarted
+incarnation returns hits byte-identical to the uninterrupted run::
+
+    pytest benchmarks/bench_service_recovery.py --benchmark-only
+"""
+
+import tempfile
+import time
+
+import numpy as np
+
+from repro.align import BLOSUM62, DEFAULT_GAPS
+from repro.core.engines import ScanEngine
+from repro.sequences import query_set, random_database
+from repro.service import ThreadedSearchService
+
+from conftest import emit
+
+#: Interleaved bare/journaled pairs; the min of each side estimates
+#: the noise floor (threaded wall times jitter far above the few-ms
+#: fsync cost being measured).
+_ROUNDS = 4
+_OVERHEAD_GATE = 0.05
+_QUERIES = 5
+
+
+def _workload():
+    rng = np.random.default_rng(43)
+    queries = query_set(_QUERIES, rng, min_length=60, max_length=100)
+    database = random_database(60, 70.0, rng, name="svc-recov-bench")
+    return queries, database
+
+
+def _engines():
+    return {
+        f"pe{i}": ScanEngine(BLOSUM62, DEFAULT_GAPS, chunk_size=8)
+        for i in range(2)
+    }
+
+
+def _run_once(queries, database, checkpoint_dir=None):
+    """Submit the workload, drain, return (wall seconds, hits)."""
+    service = ThreadedSearchService(
+        _engines(), database, top=5, checkpoint_dir=checkpoint_dir
+    ).start()
+    try:
+        start = time.perf_counter()
+        outcomes = [
+            service.submit("bench", query, request_id=f"bench-{i}")
+            for i, query in enumerate(queries)
+        ]
+        assert all(o.accepted for o in outcomes)
+        for outcome in outcomes:
+            service.wait(outcome.request_id, timeout=120.0)
+        service.drain(timeout=120.0)
+        elapsed = time.perf_counter() - start
+        hits = {
+            o.request_id: service.result(o.request_id) for o in outcomes
+        }
+    finally:
+        service.close()
+    return elapsed, hits
+
+
+def test_service_journal_overhead(benchmark, tmp_path):
+    queries, database = _workload()
+
+    def interleaved_pairs():
+        bare, journaled = [], []
+        for round_index in range(_ROUNDS):
+            bare.append(_run_once(queries, database)[0])
+            with tempfile.TemporaryDirectory(
+                prefix="svc-journal-"
+            ) as directory:
+                journaled.append(
+                    _run_once(queries, database, directory)[0]
+                )
+        return min(bare), min(journaled)
+
+    bare_best, journaled_best = benchmark.pedantic(
+        interleaved_pairs, rounds=1, iterations=1
+    )
+    overhead = journaled_best / bare_best - 1.0
+
+    # Journaling must never change the hits.
+    _, bare_hits = _run_once(queries, database)
+    with tempfile.TemporaryDirectory(prefix="svc-journal-") as directory:
+        _, journaled_hits = _run_once(queries, database, directory)
+    assert journaled_hits == bare_hits
+
+    # Recovery leg: kill the journaled service with unfinished work,
+    # cold-restart on the same directory, and require byte-identical
+    # hits for every admitted request.
+    ckpt = str(tmp_path / "recovery")
+    service = ThreadedSearchService(
+        _engines(), database, top=5, checkpoint_dir=ckpt
+    ).start()
+    for i, query in enumerate(queries):
+        assert service.submit(
+            "bench", query, request_id=f"bench-{i}"
+        ).accepted
+    service.crash()
+    revived = ThreadedSearchService(
+        _engines(), database, top=5, checkpoint_dir=ckpt
+    ).start()
+    try:
+        for request_id, hits in bare_hits.items():
+            assert revived.wait(request_id, timeout=120.0).state == "done"
+            assert revived.result(request_id) == hits
+    finally:
+        revived.close()
+
+    emit(
+        "Service admission-journal overhead",
+        f"workload:              {_QUERIES} requests, "
+        f"{len(database)} subjects\n"
+        f"bare (best of {_ROUNDS}):      {bare_best:8.3f}s\n"
+        f"journaled (best of {_ROUNDS}): {journaled_best:8.3f}s\n"
+        f"overhead:              {overhead:8.1%} "
+        f"(gate {_OVERHEAD_GATE:.0%}, fsync per admission)\n"
+        f"recovery:              cold restart byte-identical "
+        f"({_QUERIES}/{_QUERIES} requests)",
+    )
+    benchmark.extra_info["bare_seconds"] = round(bare_best, 4)
+    benchmark.extra_info["journaled_seconds"] = round(journaled_best, 4)
+    benchmark.extra_info["overhead_fraction"] = round(overhead, 4)
+    assert overhead <= _OVERHEAD_GATE, (
+        f"service journaling cost {overhead:.1%} wall time, "
+        f"gate is {_OVERHEAD_GATE:.0%}"
+    )

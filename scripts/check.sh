@@ -596,4 +596,197 @@ print(f"service OK: {report['offered']} offered, "
 PY
 
 echo
+echo "== service recovery stage: kill -9 mid-stream, cold restart =="
+# Journal overhead gate: admitting through the service journal (one
+# fsync per accepted request) must cost <=5% submit-to-drained wall
+# time, and a crashed service must cold-restart byte-identical (see
+# benchmarks/bench_service_recovery.py for the asserted run).
+env PYTHONPATH="$REPO_ROOT/src:$REPO_ROOT/benchmarks" \
+    python -m pytest benchmarks/bench_service_recovery.py \
+    --benchmark-only --benchmark-min-rounds=1 -q
+# Live crash/restart: a `--service --checkpoint` master takes seeded
+# open-loop traffic, dies by kill -9 once admissions are journaled,
+# and a fresh process on the same checkpoint directory must finish
+# every admitted request with hits byte-identical to the one-shot
+# reference search while the loadgen rides over the outage on
+# idempotent retries under stable request ids.
+RECOV_DIR="$(mktemp -d -t repro-recov-XXXXXX)"
+trap 'rm -f "$METRICS_OUT" "$EVENTS_OUT" "$TRACE_OUT" \
+    "$PLAN_OUT" "$FAULT_EVENTS" "$FAULT_TRACE"; \
+    rm -rf "$CKPT_DIR" "$TELE_DIR" "$SVC_DIR" "$RECOV_DIR"' EXIT
+python - "$RECOV_DIR" <<'PY'
+import sys
+
+import numpy as np
+
+from repro.sequences import query_set, random_database, write_fasta
+
+rng = np.random.default_rng(31)
+root = sys.argv[1]
+write_fasta(query_set(3, rng, min_length=30, max_length=60),
+            f"{root}/queries.fasta")
+write_fasta(random_database(25, 50.0, rng, name="recovdb"),
+            f"{root}/database.fasta")
+PY
+python -m repro serve "$RECOV_DIR/queries.fasta" \
+    "$RECOV_DIR/database.fasta" \
+    --service --checkpoint "$RECOV_DIR/ckpt" --port 0 \
+    --export "$RECOV_DIR/export" \
+    > "$RECOV_DIR/serve1.log" 2>&1 &
+SERVE1_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+    PORT="$(sed -n 's/^master listening on .*:\([0-9][0-9]*\)$/\1/p' \
+        "$RECOV_DIR/serve1.log" | head -n 1)"
+    [ -n "$PORT" ] && break
+    sleep 0.1
+done
+if [ -z "$PORT" ]; then
+    echo "service master did not come up" >&2
+    cat "$RECOV_DIR/serve1.log" >&2
+    exit 1
+fi
+python -m repro worker --host 127.0.0.1 --port "$PORT" --pe-id w0 \
+    --engine scan --queries "$RECOV_DIR/export/queries.seqx" \
+    --database "$RECOV_DIR/export/database.seqx" \
+    > "$RECOV_DIR/worker1.log" 2>&1 &
+WORKER1_PID=$!
+python -m repro loadgen --port "$PORT" --rate 12 --horizon 2.5 \
+    --seed 37 --retries 8 --request-id-prefix recov \
+    --json > "$RECOV_DIR/loadgen.json" &
+LOADGEN_PID=$!
+# Kill only after the journal holds real admissions, so the restart
+# has something to recover; every record line carries its type.
+COUNT=0
+for _ in $(seq 1 200); do
+    COUNT="$(grep -c admit "$RECOV_DIR/ckpt/service.jsonl" \
+        2>/dev/null || true)"
+    if [ "${COUNT:-0}" -ge 3 ]; then break; fi
+    sleep 0.1
+done
+if [ "${COUNT:-0}" -lt 3 ]; then
+    echo "loadgen admissions never reached the service journal" >&2
+    exit 1
+fi
+kill -9 "$SERVE1_PID" 2>/dev/null || true
+wait "$SERVE1_PID" 2>/dev/null || true
+python - "$RECOV_DIR/ckpt" <<'PY'
+import sys
+
+from repro.durability import CheckpointStore
+
+state = CheckpointStore(sys.argv[1]).recover_service()
+if not state.requests:
+    sys.exit("no admissions survived in the service journal")
+print(f"killed -9 with {len(state.requests)} journaled admission(s)")
+PY
+python -m repro serve "$RECOV_DIR/queries.fasta" \
+    "$RECOV_DIR/database.fasta" \
+    --service --checkpoint "$RECOV_DIR/ckpt" --port "$PORT" \
+    --export "$RECOV_DIR/export2" \
+    > "$RECOV_DIR/serve2.log" 2>&1 &
+SERVE2_PID=$!
+REBOUND=""
+for _ in $(seq 1 100); do
+    REBOUND="$(sed -n 's/^master listening on .*:\([0-9][0-9]*\)$/\1/p' \
+        "$RECOV_DIR/serve2.log" | head -n 1)"
+    [ -n "$REBOUND" ] && break
+    sleep 0.1
+done
+if [ "$REBOUND" != "$PORT" ]; then
+    echo "restarted master did not rebind port $PORT" >&2
+    cat "$RECOV_DIR/serve2.log" >&2
+    exit 1
+fi
+python -m repro worker --host 127.0.0.1 --port "$PORT" --pe-id w1 \
+    --engine scan --queries "$RECOV_DIR/export2/queries.seqx" \
+    --database "$RECOV_DIR/export2/database.seqx" \
+    > "$RECOV_DIR/worker2.log" 2>&1 &
+WORKER2_PID=$!
+LOADGEN_RC=0
+wait "$LOADGEN_PID" || LOADGEN_RC=$?
+if [ "$LOADGEN_RC" -ne 0 ]; then
+    echo "loadgen exited $LOADGEN_RC across the restart" >&2
+    cat "$RECOV_DIR/serve2.log" >&2
+    exit 1
+fi
+python - "$RECOV_DIR" "$PORT" <<'PY'
+import json
+import sys
+
+import numpy as np
+
+from repro.align import BLOSUM62, DEFAULT_GAPS, database_search
+from repro.sequences import SequenceDatabase, query_set
+from repro.service import ServiceClient
+from repro.simulate.loadgen import poisson_arrivals
+
+root, port = sys.argv[1], int(sys.argv[2])
+with open(f"{root}/loadgen.json", encoding="utf-8") as handle:
+    report = json.load(handle)
+conserved = (report["admitted"] + report["shed_total"]
+             + report["unreachable"])
+if report["offered"] != conserved:
+    sys.exit(f"loadgen conservation violated: {report}")
+if report["unreachable"]:
+    sys.exit(f"retries exhausted across the restart: {report}")
+if report["completed"] != report["admitted"] or not report["admitted"]:
+    sys.exit(f"admitted requests did not all complete: {report}")
+# Replay the loadgen's seeded synthesis (arrivals first, then the
+# query set — exactly run_loadgen's rng order) to learn what each
+# stable request id asked for, then diff the restarted master's hits
+# against the one-shot reference search.
+rng = np.random.default_rng(37)
+arrivals = poisson_arrivals(12.0, 2.5, rng)
+queries = query_set(max(len(arrivals), 1), rng,
+                    min_length=40, max_length=120)
+database = SequenceDatabase.from_fasta(
+    f"{root}/database.fasta", alphabet=BLOSUM62.alphabet
+)
+client = ServiceClient("127.0.0.1", port)
+done = 0
+for index in range(report["offered"]):
+    request_id = f"recov-{index:05d}"
+    reply = client.poll(request_id)
+    if reply.get("type") == "error":
+        continue  # shed at admission; never entered the system
+    if reply.get("state") != "done":
+        sys.exit(f"{request_id} still {reply.get('state')!r} "
+                 "after loadgen finished")
+    expected = database_search(
+        queries[index], database, BLOSUM62, DEFAULT_GAPS, top=5
+    ).hits
+    if tuple(reply["hits"]) != tuple(expected):
+        sys.exit(f"{request_id} hits differ from the one-shot "
+                 "reference after the restart")
+    done += 1
+client.close()
+if done != report["completed"]:
+    sys.exit(f"polled {done} done requests, loadgen saw "
+             f"{report['completed']}")
+print(f"recovery OK: {report['offered']} offered, {done} requests "
+      f"byte-identical across kill -9, {report['shed_total']} shed")
+PY
+kill -TERM "$SERVE2_PID"
+SERVE2_RC=0
+wait "$SERVE2_PID" || SERVE2_RC=$?
+if [ "$SERVE2_RC" -ne 0 ]; then
+    echo "restarted master exited $SERVE2_RC after SIGTERM drain" >&2
+    cat "$RECOV_DIR/serve2.log" >&2
+    exit 1
+fi
+wait "$WORKER1_PID" 2>/dev/null || true
+wait "$WORKER2_PID" 2>/dev/null || true
+python - "$RECOV_DIR/ckpt" <<'PY'
+import sys
+
+from repro.durability import CheckpointStore
+
+state = CheckpointStore(sys.argv[1]).recover_service()
+if not state.drained:
+    sys.exit("drained restart left the service journal undrained")
+print("service journal records the drain; cold state is terminal")
+PY
+
+echo
 echo "all checks passed"

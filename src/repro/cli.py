@@ -275,6 +275,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="fair-dequeue weight for one tenant (repeatable; "
         "default weight 1)",
     )
+    serve.add_argument(
+        "--admission", default="static", choices=["static", "slo"],
+        help="admission gate: static (fixed --max-backlog-seconds "
+        "bound) or slo (shed a deadline-carrying request when its "
+        "predicted completion — service-rate EWMA + backlog, inflated "
+        "by the observed error quantile — would overshoot the "
+        "deadline); service mode",
+    )
     _add_checkpoint_flag(serve)
     _add_store_flag(serve)
 
@@ -320,6 +328,15 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--wait-timeout", type=float, default=60.0,
                          help="seconds to wait for each admitted request "
                          "after the submission window closes")
+    loadgen.add_argument("--retries", type=int, default=0,
+                         help="submit attempts per request with jittered "
+                         "exponential backoff (idempotent resubmission "
+                         "under stable request ids; 0 = single attempt)")
+    loadgen.add_argument("--request-id-prefix", default=None,
+                         metavar="PREFIX",
+                         help="pin request ids to PREFIX-NNNNN so a "
+                         "recovery harness can poll them after a master "
+                         "restart")
     loadgen.add_argument("--json", action="store_true",
                          help="print the report as JSON instead of a "
                          "summary")
@@ -817,13 +834,6 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .core.runtime import build_tasks
     from .sequences import SequenceDatabase, write_indexed
 
-    if args.service and args.checkpoint:
-        print(
-            "error: --service and --checkpoint are mutually exclusive "
-            "(admitted tasks postdate the journal's task-set snapshot)",
-            file=sys.stderr,
-        )
-        return 2
     queries = read_fasta(args.query)
     database = SequenceDatabase.from_fasta(args.database)
     export_dir = args.export or tempfile.mkdtemp(prefix="repro-serve-")
@@ -858,6 +868,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_backlog_seconds=args.max_backlog_seconds,
             default_deadline=args.default_deadline,
             weights=weights,
+            admission=args.admission,
         )
     server = MasterServer(
         build_tasks(queries, database),
@@ -966,6 +977,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         min_length=args.min_length,
         max_length=args.max_length,
         wait_timeout=args.wait_timeout,
+        retries=args.retries,
+        request_id_prefix=args.request_id_prefix,
     )
     if args.json:
         print(json.dumps(report.to_dict()))
@@ -976,6 +989,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     print(f"  completed {report.completed}")
     print(f"  expired   {report.expired}")
     print(f"  cancelled {report.cancelled}")
+    if report.unreachable:
+        print(f"  unreachable {report.unreachable}")
     shed = ", ".join(f"{k}={v}" for k, v in sorted(report.shed.items()))
     print(f"  shed      {report.shed_total}" + (f" ({shed})" if shed else ""))
     if report.latencies:

@@ -272,6 +272,8 @@ class _Handler(socketserver.StreamRequestHandler):
                 return True
             residues = str(query["residues"])
             deadline = message.get("deadline")
+            request_id = message.get("request_id")
+            payload = {"id": str(query["id"]), "residues": residues}
             with server.lock:
                 now = server.clock()
                 outcome = service.submit(
@@ -283,13 +285,17 @@ class _Handler(socketserver.StreamRequestHandler):
                     deadline=(
                         None if deadline is None else now + float(deadline)
                     ),
+                    request_id=(
+                        None if request_id is None else str(request_id)
+                    ),
+                    query=payload,
                 )
                 if outcome.accepted:
                     request = service.requests[outcome.request_id]
-                    server.inline_queries[request.task.task_id] = {
-                        "id": str(query["id"]),
-                        "residues": residues,
-                    }
+                    if request.state in ("queued", "running"):
+                        server.inline_queries[request.task.task_id] = (
+                            payload
+                        )
             reply = outcome.to_dict()
             reply["type"] = "accepted" if outcome.accepted else "rejected"
             send_message(self.connection, reply)
@@ -402,6 +408,7 @@ class MasterServer(socketserver.ThreadingTCPServer):
             )
             recovered = store.open(workload_fingerprint(list(tasks)))
             self._store = store
+            self._recovered = recovered
             self.metrics = MetricsRegistry()
             self.events = EventLog()
             self.master = Master(
@@ -441,8 +448,10 @@ class MasterServer(socketserver.ThreadingTCPServer):
         self.cancel_flags: dict[str, set[int]] = {}
         #: Always-on service front door (protocol 4).  ``service=True``
         #: uses default :class:`ServiceConfig`; a config instance
-        #: customizes admission policy.  Mutually exclusive with
-        #: ``checkpoint=`` (ServiceCore refuses a journaling master).
+        #: customizes admission policy.  Composes with ``checkpoint=``:
+        #: the admission lifecycle journals into the sibling service
+        #: journal, and a server restarted on the same directory
+        #: cold-recovers every admitted request from disk.
         self.service: ServiceCore | None = None
         #: Residues of every service-admitted query, keyed by task id,
         #: forwarded inline on ``assign`` (workers cannot seek them in
@@ -480,7 +489,35 @@ class MasterServer(socketserver.ThreadingTCPServer):
                 config = (
                     service if isinstance(service, ServiceConfig) else None
                 )
-                self.service = ServiceCore(self.master, config)
+                if self._store is not None:
+                    # Cold restart from the journal pair: re-admit every
+                    # unfinished request and re-register its inline
+                    # query payload so reconnecting workers can execute
+                    # it.  Finished requests readopt their journaled
+                    # hits byte-for-byte.
+                    def _recover_query(rec: dict) -> int:
+                        payload = rec.get("query")
+                        if payload is not None:
+                            self.inline_queries[int(rec["task"])] = {
+                                "id": str(payload["id"]),
+                                "residues": str(payload["residues"]),
+                            }
+                        return -1
+
+                    self.service = ServiceCore.recover(
+                        self.master,
+                        self._store,
+                        config,
+                        now=0.0,
+                        results={
+                            r.task_id: r
+                            for r in self._recovered.results()
+                        },
+                        query_index_of=_recover_query,
+                        wall_now=time.time(),
+                    )
+                else:
+                    self.service = ServiceCore(self.master, config)
         #: Silent-slave failure detection: workers quiet for longer than
         #: this many seconds are deregistered and their tasks re-queued.
         #: ``None`` disables reaping.

@@ -442,6 +442,19 @@ class Master:
             state.last_contact = now
             if result.task_id in state.queue:
                 state.queue.remove(result.task_id)
+        if result.task_id not in self.pool:
+            # A completion for a task this master never created: a
+            # cold-restarted service master re-queued the request in its
+            # fair queue, so the old execution's task id is not in the
+            # pool (yet).  Drop it as stale — the re-dispatch reuses the
+            # same task id, and a later redelivery will be adopted.
+            self._record(
+                "complete", now, pe_id, result.task_id, value=0.0
+            )
+            self._inst.tasks_completed.labels(
+                pe=pe_id, outcome="unknown"
+            ).inc()
+            return frozenset()
         first, losers = self.pool.complete(
             result.task_id, pe_id, adopt=True
         )
@@ -487,6 +500,8 @@ class Master:
         state.last_contact = max(state.last_contact, now)
         if task_id in state.queue:
             state.queue.remove(task_id)
+        if task_id not in self.pool:
+            return  # ack for a task a cold-restarted master never made
         self._record(
             "cancelled", now, pe_id, task_id,
             **self._span_fields(pe_id, task_id, close=True),
@@ -534,10 +549,11 @@ class Master:
         per-tenant queues and releases them here in weighted-fair
         order; from this point on they are ordinary tasks — assigned,
         replicated, journaled and merged exactly like the preloaded
-        workload.  Dynamic tasks are deliberately *not* journaled as
-        workload (the checkpoint fingerprint covers only the preloaded
-        set), so service mode and ``checkpoint=`` recovery are mutually
-        exclusive at the deployment layer.
+        workload.  Dynamic tasks are not part of the checkpoint's
+        workload fingerprint (it covers only the preloaded set); their
+        identity and lifecycle live in the sibling service journal
+        (``repro.service_journal.v1``), which is what lets a cold
+        restart recover the admitted queue from disk.
         """
         for task in tasks:
             self.pool.add(task)

@@ -187,6 +187,9 @@ class TaskPool:
     def __len__(self) -> int:
         return len(self._records)
 
+    def __contains__(self, task_id: int) -> bool:
+        return task_id in self._records
+
     def task(self, task_id: int) -> Task:
         return self._records[task_id].task
 

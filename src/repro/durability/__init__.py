@@ -8,11 +8,13 @@ master journals into and recovers from.
 from .checkpoint import (
     CheckpointStore,
     RecoveredState,
+    ServiceRecoveredState,
     restore_into,
     workload_fingerprint,
 )
 from .journal import (
     JOURNAL_SCHEMA,
+    SERVICE_JOURNAL_SCHEMA,
     SNAPSHOT_SCHEMA,
     Journal,
     JournalError,
@@ -26,6 +28,7 @@ from .journal import (
 __all__ = [
     "JOURNAL_SCHEMA",
     "SNAPSHOT_SCHEMA",
+    "SERVICE_JOURNAL_SCHEMA",
     "Journal",
     "JournalError",
     "JournalScan",
@@ -35,6 +38,7 @@ __all__ = [
     "read_journal",
     "CheckpointStore",
     "RecoveredState",
+    "ServiceRecoveredState",
     "workload_fingerprint",
     "restore_into",
 ]

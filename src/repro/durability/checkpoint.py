@@ -27,6 +27,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -34,6 +35,7 @@ from ..align.api import SearchHit
 from ..core.task import Task, TaskResult
 from .journal import (
     JOURNAL_SCHEMA,
+    SERVICE_JOURNAL_SCHEMA,
     SNAPSHOT_SCHEMA,
     Journal,
     JournalError,
@@ -43,6 +45,7 @@ from .journal import (
 __all__ = [
     "CheckpointStore",
     "RecoveredState",
+    "ServiceRecoveredState",
     "workload_fingerprint",
     "restore_into",
 ]
@@ -145,6 +148,103 @@ class RecoveredState:
         return [_decode_result(r) for r in self.finished_records]
 
 
+#: Admission-lifecycle record types of ``repro.service_journal.v1``.
+SERVICE_RECORD_TYPES = (
+    "header", "admit", "dispatch", "complete", "cancel", "expire",
+    "drain", "drain_complete",
+)
+
+#: Request outcome -> service journal record type.
+_SERVICE_OUTCOME_TYPES = {
+    "done": "complete",
+    "cancelled": "cancel",
+    "expired": "expire",
+}
+
+
+@dataclass
+class ServiceRecoveredState:
+    """Folded admission state replayed from one service journal.
+
+    ``requests`` holds one dict per ever-admitted request, in original
+    admission order, each carrying the last-known lifecycle state
+    (``queued``/``running``/``done``/``expired``/``cancelled``) plus
+    everything needed to re-create its task and — for cluster/threaded
+    environments — the inline query payload to re-execute it.
+    """
+
+    requests: list[dict] = field(default_factory=list)
+    draining: bool = False
+    drained: bool = False
+    records: int = 0
+    good_bytes: int = 0
+    torn_tail: bool = False
+
+    @property
+    def empty(self) -> bool:
+        return not self.requests and not self.draining
+
+
+def _fold_service_records(
+    records: list[dict], path: Path
+) -> ServiceRecoveredState:
+    """Collapse a service journal into per-request final states."""
+    state = ServiceRecoveredState(records=len(records))
+    by_id: dict[str, dict] = {}
+    for record in records:
+        kind = record.get("type")
+        if kind == "header":
+            if record.get("schema") != SERVICE_JOURNAL_SCHEMA:
+                raise JournalError(
+                    f"{path}: unsupported service journal schema "
+                    f"{record.get('schema')!r}"
+                )
+        elif kind == "admit":
+            request_id = str(record["request"])
+            if request_id in by_id:
+                continue  # duplicate admit (idempotent resubmission)
+            folded = {
+                "request_id": request_id,
+                "tenant": str(record["tenant"]),
+                "task": int(record["task"]),
+                "query_id": str(record["query_id"]),
+                "query_length": int(record["query_length"]),
+                "cells": int(record["cells"]),
+                "submitted_at": float(record["submitted_at"]),
+                "deadline": (
+                    None if record.get("deadline") is None
+                    else float(record["deadline"])
+                ),
+                "query": record.get("query"),
+                "wall": record.get("wall"),
+                # Compaction folds terminal state into the admit record
+                # so a compacted journal replays without its history.
+                "state": str(record.get("state", "queued")),
+                "dispatched_at": record.get("dispatched_at"),
+                "finished_at": record.get("finished_at"),
+            }
+            by_id[request_id] = folded
+            state.requests.append(folded)
+        elif kind == "dispatch":
+            folded = by_id.get(str(record["request"]))
+            if folded is not None and folded["state"] == "queued":
+                folded["state"] = "running"
+                folded["dispatched_at"] = float(record["time"])
+        elif kind in ("complete", "cancel", "expire"):
+            folded = by_id.get(str(record["request"]))
+            if folded is not None:
+                folded["state"] = {
+                    "complete": "done", "cancel": "cancelled",
+                    "expire": "expired",
+                }[kind]
+                folded["finished_at"] = float(record["time"])
+        elif kind == "drain":
+            state.draining = True
+        elif kind == "drain_complete":
+            state.drained = True
+    return state
+
+
 class CheckpointStore:
     """Journal + snapshot pair under one directory.
 
@@ -153,10 +253,17 @@ class CheckpointStore:
     maps straight onto :class:`Journal`; ``compact_every`` writes a
     snapshot and restarts the journal every N winning completions
     (``0`` disables compaction).
+
+    A service-running master additionally journals its admission
+    lifecycle into a sibling file (``service.jsonl``,
+    ``repro.service_journal.v1``) through the ``on_service_*`` hooks;
+    :meth:`open_service` replays it so a cold-restarted service master
+    can rebuild its per-tenant queues and in-flight sets from disk.
     """
 
     JOURNAL_NAME = "journal.jsonl"
     SNAPSHOT_NAME = "snapshot.json"
+    SERVICE_NAME = "service.jsonl"
 
     def __init__(
         self,
@@ -174,6 +281,11 @@ class CheckpointStore:
         #: task id -> winning complete record (journaled or recovered).
         self._finished: dict[int, dict] = {}
         self._since_compaction = 0
+        self._service_journal: Journal | None = None
+        #: request id -> folded admission record (mirrors the service
+        #: journal so compaction can rewrite it from memory).
+        self._service_state: dict[str, dict] = {}
+        self._service_draining = False
 
     @property
     def journal_path(self) -> Path:
@@ -182,6 +294,15 @@ class CheckpointStore:
     @property
     def snapshot_path(self) -> Path:
         return self.directory / self.SNAPSHOT_NAME
+
+    @property
+    def service_path(self) -> Path:
+        return self.directory / self.SERVICE_NAME
+
+    @property
+    def service_open(self) -> bool:
+        """True once :meth:`open_service` opened the service journal."""
+        return self._service_journal is not None
 
     # -- recovery -------------------------------------------------------
     def _load_snapshot(self, workload: dict | None) -> list[dict]:
@@ -302,6 +423,173 @@ class CheckpointStore:
             "time": now,
         }
 
+    # -- service journal ------------------------------------------------
+    def recover_service(self) -> ServiceRecoveredState:
+        """Replay the service journal into folded per-request states.
+
+        Read-only, same failure semantics as :meth:`recover`: a torn
+        final record is dropped (flagged via ``torn_tail``), mid-file
+        corruption raises :class:`JournalError` loudly.  A missing file
+        replays as empty — the service never admitted anything.
+        """
+        scan = scan_journal(self.service_path)
+        if not scan.ok:
+            raise JournalError(
+                f"{self.service_path}: corrupt record at line "
+                f"{scan.error_line}: {scan.error}"
+            )
+        state = _fold_service_records(scan.records, self.service_path)
+        state.torn_tail = scan.torn
+        state.good_bytes = scan.good_bytes
+        return state
+
+    def open_service(self) -> ServiceRecoveredState:
+        """Recover the service journal, heal its tail, open for appends.
+
+        The service analogue of :meth:`open`: replays what exists (so a
+        cold-restarted :class:`~repro.service.core.ServiceCore` can
+        rebuild its queues), truncates a torn tail, seeds the in-memory
+        mirror compaction rewrites from, and appends a header when the
+        file is fresh.  Requires the store itself to be open.
+        """
+        if self._journal is None:
+            raise JournalError("checkpoint store is not open")
+        if self._service_journal is not None:
+            raise JournalError("service journal is already open")
+        recovered = self.recover_service()
+        if recovered.torn_tail:
+            with open(self.service_path, "r+b") as handle:
+                handle.truncate(recovered.good_bytes)
+        self._service_state = {
+            dict(r)["request_id"]: dict(r) for r in recovered.requests
+        }
+        self._service_draining = recovered.draining
+        self._service_journal = Journal(self.service_path, self.sync_every)
+        if recovered.records == 0:
+            self._service_append(self._service_header())
+        return recovered
+
+    def _service_header(self, now: float = 0.0) -> dict:
+        return {
+            "type": "header",
+            "schema": SERVICE_JOURNAL_SCHEMA,
+            "time": now,
+        }
+
+    def _service_append(self, record: dict) -> None:
+        if self._service_journal is None:
+            raise JournalError("service journal is not open")
+        self._service_journal.append(record)
+
+    def on_service_admit(
+        self,
+        request_id: str,
+        tenant: str,
+        task_id: int,
+        query_id: str,
+        query_length: int,
+        cells: int,
+        now: float,
+        deadline: float | None = None,
+        query: dict | None = None,
+    ) -> None:
+        """One request cleared admission (durable before the reply)."""
+        record = {
+            "type": "admit",
+            "time": now,
+            "request": request_id,
+            "tenant": tenant,
+            "task": task_id,
+            "query_id": query_id,
+            "query_length": query_length,
+            "cells": cells,
+            "submitted_at": now,
+            "deadline": deadline,
+            # Wall-clock anchor: ``now`` lives in the dead process's
+            # monotonic clock, which restarts at zero on recovery.  A
+            # real-time environment translates deadlines into its new
+            # clock domain through this anchor (the DES shares one
+            # virtual clock across incarnations and ignores it).
+            "wall": time.time(),
+        }
+        if query is not None:
+            record["query"] = dict(query)
+        self._service_append(record)
+        folded = dict(record)
+        folded["request_id"] = request_id
+        folded["state"] = "queued"
+        folded["dispatched_at"] = None
+        folded["finished_at"] = None
+        self._service_state[request_id] = folded
+
+    def on_service_dispatch(self, request_id: str, now: float) -> None:
+        self._service_append(
+            {"type": "dispatch", "time": now, "request": request_id}
+        )
+        folded = self._service_state.get(request_id)
+        if folded is not None:
+            folded["state"] = "running"
+            folded["dispatched_at"] = now
+
+    def on_service_retire(
+        self, request_id: str, outcome: str, now: float
+    ) -> None:
+        """A request reached a terminal state (done/cancelled/expired)."""
+        kind = _SERVICE_OUTCOME_TYPES.get(outcome)
+        if kind is None:
+            raise JournalError(f"unknown service outcome {outcome!r}")
+        self._service_append(
+            {"type": kind, "time": now, "request": request_id}
+        )
+        folded = self._service_state.get(request_id)
+        if folded is not None:
+            folded["state"] = outcome
+            folded["finished_at"] = now
+
+    def on_service_drain(self, now: float) -> None:
+        self._service_append({"type": "drain", "time": now})
+        self._service_draining = True
+
+    def on_service_drain_complete(self, now: float) -> None:
+        self._service_append({"type": "drain_complete", "time": now})
+
+    def _compact_service(self, now: float) -> None:
+        """Rewrite the service journal as folded admit records.
+
+        Mirrors master compaction: one ``admit`` record per request with
+        its terminal/last-known state embedded, so replay after
+        compaction never needs the retired history.
+        """
+        if self._service_journal is None:
+            return
+        self._service_journal.close()
+        self._service_journal = Journal(
+            self.service_path, self.sync_every, fresh=True
+        )
+        self._service_append(self._service_header(now))
+        for request_id, folded in self._service_state.items():
+            record = {
+                "type": "admit",
+                "time": now,
+                "request": request_id,
+                "tenant": folded["tenant"],
+                "task": folded["task"],
+                "query_id": folded["query_id"],
+                "query_length": folded["query_length"],
+                "cells": folded["cells"],
+                "submitted_at": folded["submitted_at"],
+                "deadline": folded["deadline"],
+                "wall": folded.get("wall"),
+                "state": folded["state"],
+                "dispatched_at": folded["dispatched_at"],
+                "finished_at": folded["finished_at"],
+            }
+            if folded.get("query") is not None:
+                record["query"] = dict(folded["query"])
+            self._service_append(record)
+        if self._service_draining:
+            self._service_append({"type": "drain", "time": now})
+
     # -- journal sink (the Master's hooks) ------------------------------
     def _append(self, record: dict) -> None:
         if self._journal is None:
@@ -394,14 +682,20 @@ class CheckpointStore:
             self.journal_path, self.sync_every, fresh=True
         )
         self._append(self._header_record(now))
+        self._compact_service(now)
         self._since_compaction = 0
 
     # -- lifecycle ------------------------------------------------------
     def sync(self) -> None:
         if self._journal is not None:
             self._journal.sync()
+        if self._service_journal is not None:
+            self._service_journal.sync()
 
     def close(self) -> None:
+        if self._service_journal is not None:
+            self._service_journal.close()
+            self._service_journal = None
         if self._journal is not None:
             self._journal.close()
             self._journal = None
@@ -414,9 +708,16 @@ def restore_into(master, recovered: RecoveredState, now: float = 0.0) -> int:
     ``Master.restore_result``) and a single ``recovery_resume``
     summary event, so ``repro trace analyze`` can report recovered
     versus recomputed work.  Returns the number of restored tasks.
+
+    Results whose task ids the pool does not know are skipped: they
+    belong to service-admitted requests (created after the preloaded
+    workload), and service recovery re-creates their tasks — with these
+    same results — from the service journal's admit records.
     """
     restored = 0
     for result in recovered.results():
+        if result.task_id not in master.pool:
+            continue
         if master.restore_result(result, now):
             restored += 1
     master.events.emit(

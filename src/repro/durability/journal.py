@@ -34,6 +34,7 @@ from pathlib import Path
 __all__ = [
     "JOURNAL_SCHEMA",
     "SNAPSHOT_SCHEMA",
+    "SERVICE_JOURNAL_SCHEMA",
     "JournalError",
     "Journal",
     "JournalScan",
@@ -45,6 +46,10 @@ __all__ = [
 
 JOURNAL_SCHEMA = "repro.journal.v1"
 SNAPSHOT_SCHEMA = "repro.snapshot.v1"
+#: Sibling journal of admission-lifecycle records (``admit`` /
+#: ``dispatch`` / ``complete`` / ``cancel`` / ``expire`` / ``drain``),
+#: same record codec and failure semantics as ``repro.journal.v1``.
+SERVICE_JOURNAL_SCHEMA = "repro.service_journal.v1"
 
 
 class JournalError(RuntimeError):

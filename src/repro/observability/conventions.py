@@ -297,6 +297,20 @@ def service_instruments(registry: MetricsRegistry) -> SimpleNamespace:
             ("tenant",),
             buckets=SERVICE_LATENCY_BUCKETS,
         ),
+        predicted_p99=registry.gauge(
+            "service_predicted_p99_seconds",
+            "SLO admission controller's predicted p99 completion time "
+            "for the tenant's next request (rate EWMA + backlog, "
+            "inflated by the observed prediction-error quantile)",
+            ("tenant",),
+        ),
+        recovered=registry.counter(
+            "service_recovered_requests_total",
+            "Requests rebuilt from the service journal at cold "
+            "restart, by disposition "
+            "(restored/readmitted/expired/terminal)",
+            ("disposition",),
+        ),
     )
 
 

@@ -13,6 +13,7 @@ for the protocol-v4 wire surface of
 from .admission import FairQueue
 from .client import LoadgenReport, ServiceClient, run_loadgen
 from .core import (
+    ADMISSION_MODES,
     REQUEST_STATES,
     SHED_REASONS,
     ServiceConfig,
@@ -36,4 +37,5 @@ __all__ = [
     "run_loadgen",
     "SHED_REASONS",
     "REQUEST_STATES",
+    "ADMISSION_MODES",
 ]

@@ -90,10 +90,16 @@ class FairQueue:
             yield from lane.queue
 
     # ------------------------------------------------------------------
-    def offer(self, tenant: str, request) -> bool:
-        """Enqueue *request*; False when the tenant's lane is full."""
+    def offer(self, tenant: str, request, force: bool = False) -> bool:
+        """Enqueue *request*; False when the tenant's lane is full.
+
+        ``force=True`` bypasses the depth bound — used only by crash
+        recovery, which re-queues requests that were *already* admitted
+        (some of them formerly running, so queued + re-queued can
+        legitimately exceed ``max_depth`` for a moment).
+        """
         lane = self._lane(tenant)
-        if len(lane.queue) >= self.max_depth:
+        if not force and len(lane.queue) >= self.max_depth:
             return False
         if not lane.queue:
             # Re-sync an idle lane with global virtual time so a

@@ -46,12 +46,29 @@ class ServiceClient:
         connect_timeout: float = 10.0,
         io_timeout: float = 60.0,
     ):
+        self._host = host
+        self._port = port
+        self._connect_timeout = connect_timeout
+        self._io_timeout = io_timeout
+        self._sock: socket.socket | None = None
+        self._reader = None
+        self._connect()
+
+    def _connect(self) -> None:
         self._sock = socket.create_connection(
-            (host, port), timeout=connect_timeout
+            (self._host, self._port), timeout=self._connect_timeout
         )
-        self._sock.settimeout(io_timeout)
+        self._sock.settimeout(self._io_timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._reader = self._sock.makefile("rb")
+
+    def reconnect(self) -> None:
+        """Tear down and re-dial (e.g. after a master restart)."""
+        try:
+            self.close()
+        except OSError:
+            pass
+        self._connect()
 
     def _call(self, message: dict) -> dict:
         send_message(self._sock, message)
@@ -65,11 +82,15 @@ class ServiceClient:
         query: Sequence,
         tenant: str = "default",
         deadline: float | None = None,
+        request_id: str | None = None,
     ) -> dict:
         """Submit one query; returns the ``accepted``/``rejected`` reply.
 
         ``deadline`` is relative seconds — the master applies it to its
-        own clock, so client/master clock skew never matters.
+        own clock, so client/master clock skew never matters.  A
+        client-supplied *request_id* is the idempotency key: the master
+        acknowledges a resubmitted id it already admitted (in memory or
+        recovered from its journal) instead of admitting it twice.
         """
         message: dict = {
             "type": "submit",
@@ -79,7 +100,76 @@ class ServiceClient:
         }
         if deadline is not None:
             message["deadline"] = float(deadline)
+        if request_id is not None:
+            message["request_id"] = str(request_id)
         return self._call(message)
+
+    def _backoff(
+        self, attempt: int, base: float, cap: float, rng
+    ) -> float:
+        delay = min(cap, base * (2.0 ** attempt))
+        jitter = rng.uniform(0.5, 1.5) if rng is not None else 1.0
+        return delay * float(jitter)
+
+    def submit_with_retry(
+        self,
+        query: Sequence,
+        tenant: str = "default",
+        deadline: float | None = None,
+        request_id: str | None = None,
+        attempts: int = 6,
+        base_backoff: float = 0.05,
+        max_backoff: float = 2.0,
+        rng: np.random.Generator | None = None,
+    ) -> dict:
+        """Submit with jittered exponential backoff and resubmission.
+
+        Retries shed replies — sleeping the master's ``retry_after``
+        hint when it exceeds the backoff — and connection failures,
+        re-dialing first (the master may be restarting).  The stable
+        *request_id* (generated once here when not supplied) makes
+        every retry idempotent: an id the master already admitted, even
+        one it recovered from its journal after a crash, is
+        acknowledged without a second admission, so a reply lost to a
+        broken pipe never duplicates work.
+        """
+        if attempts < 1:
+            raise ValueError("attempts must be at least 1")
+        if request_id is None:
+            import uuid
+
+            request_id = f"{tenant}-{uuid.uuid4().hex[:12]}"
+        reply: dict = {}
+        for attempt in range(attempts):
+            try:
+                if self._sock is None:
+                    self._connect()
+                reply = self.submit(
+                    query, tenant=tenant, deadline=deadline,
+                    request_id=request_id,
+                )
+            except (OSError, ProtocolError):
+                reply = {"type": "unreachable", "request_id": request_id}
+                if attempt + 1 >= attempts:
+                    break
+                time.sleep(
+                    self._backoff(attempt, base_backoff, max_backoff, rng)
+                )
+                try:
+                    self.reconnect()
+                except OSError:
+                    pass  # still down; the next attempt backs off again
+                continue
+            if reply.get("type") == "accepted":
+                return reply
+            if attempt + 1 >= attempts:
+                break
+            hint = reply.get("retry_after")
+            time.sleep(max(
+                self._backoff(attempt, base_backoff, max_backoff, rng),
+                float(hint) if hint else 0.0,
+            ))
+        return reply
 
     def poll(self, request_id: str) -> dict:
         """Request state; a ``done`` reply carries decoded ``hits``."""
@@ -146,6 +236,10 @@ class LoadgenReport:
     expired: int = 0
     cancelled: int = 0
     shed: dict[str, int] = field(default_factory=dict)
+    #: Submits that never reached the master (connection refused or
+    #: dropped after exhausting retries) — distinct from shed, where
+    #: the master answered and said no.
+    unreachable: int = 0
     #: Submit-to-done latency of every completed request (seconds).
     latencies: list[float] = field(default_factory=list)
     #: request_id -> decoded hits of completed requests.
@@ -172,8 +266,17 @@ class LoadgenReport:
             "completed": self.completed,
             "expired": self.expired,
             "cancelled": self.cancelled,
+            "unreachable": self.unreachable,
             "shed": dict(self.shed),
             "shed_total": self.shed_total,
+            # Where each offered request ended up, by admission stage:
+            # refused at the front door, admitted but past its deadline,
+            # or completed.
+            "breakdown": {
+                "shed_at_admission": self.shed_total,
+                "deadline_missed_after_admission": self.expired,
+                "completed": self.completed,
+            },
             "latency_p50": self.p50,
             "latency_p99": self.p99,
         }
@@ -191,6 +294,8 @@ def run_loadgen(
     max_length: int = 120,
     wait_timeout: float = 60.0,
     collect_hits: bool = False,
+    retries: int = 0,
+    request_id_prefix: str | None = None,
 ) -> LoadgenReport:
     """Open-loop Poisson load against a live service master.
 
@@ -200,6 +305,13 @@ def run_loadgen(
     terminal state.  Late submissions never block the schedule: a slow
     ``submit`` simply delays subsequent arrivals the way a real
     client's stalled connection would.
+
+    ``retries > 0`` switches each submission to
+    :meth:`ServiceClient.submit_with_retry` with that many attempts —
+    the loadgen then survives a master restart mid-run, resubmitting
+    idempotently under stable request ids.  *request_id_prefix* pins
+    those ids (``{prefix}-{index:05d}``) so a recovery harness can poll
+    them against a restarted master.
     """
     from ..simulate.loadgen import poisson_arrivals
 
@@ -218,16 +330,34 @@ def run_loadgen(
             if delay > 0:
                 time.sleep(delay)
             report.offered += 1
-            reply = client.submit(
-                queries[index],
-                tenant=tenants[index % len(tenants)],
-                deadline=deadline,
+            request_id = (
+                f"{request_id_prefix}-{index:05d}"
+                if request_id_prefix is not None
+                else None
             )
+            if retries > 0:
+                reply = client.submit_with_retry(
+                    queries[index],
+                    tenant=tenants[index % len(tenants)],
+                    deadline=deadline,
+                    request_id=request_id,
+                    attempts=retries,
+                    rng=rng,
+                )
+            else:
+                reply = client.submit(
+                    queries[index],
+                    tenant=tenants[index % len(tenants)],
+                    deadline=deadline,
+                    request_id=request_id,
+                )
             if reply.get("type") == "accepted":
                 report.admitted += 1
                 pending.append(
                     (str(reply["request_id"]), time.perf_counter())
                 )
+            elif reply.get("type") == "unreachable":
+                report.unreachable += 1
             else:
                 reason = str(reply.get("reason", "unknown"))
                 report.shed[reason] = report.shed.get(reason, 0) + 1

@@ -25,6 +25,7 @@ from ..core.master import Master
 from ..core.policies import AllocationPolicy, PackageWeightedSelfScheduling
 from ..core.results import merge_hits
 from ..core.runtime import _SharedMaster, _Worker
+from ..durability import CheckpointStore, restore_into, workload_fingerprint
 from ..sequences.database import SequenceDatabase
 from ..sequences.records import Sequence
 from .core import ServiceConfig, ServiceCore, ServiceRequest, SubmitOutcome
@@ -57,6 +58,9 @@ class ThreadedSearchService:
         config: ServiceConfig | None = None,
         top: int = 10,
         tick_interval: float = _TICK_SECONDS,
+        checkpoint_dir: str | None = None,
+        checkpoint_sync_every: int = 1,
+        checkpoint_compact_every: int = 0,
     ):
         if not engines:
             raise ValueError("at least one engine is required")
@@ -67,19 +71,50 @@ class ThreadedSearchService:
         self.top = top
         self.tick_interval = tick_interval
         self._start_time = time.perf_counter()
+        self._store: CheckpointStore | None = None
+        recovered = None
+        if checkpoint_dir is not None:
+            self._store = CheckpointStore(
+                checkpoint_dir,
+                sync_every=checkpoint_sync_every,
+                compact_every=checkpoint_compact_every,
+            )
+            recovered = self._store.open(workload_fingerprint([]))
         self.master = Master(
             [],
             policy=policy or PackageWeightedSelfScheduling(),
             adjustment=adjustment,
             omega=omega,
+            journal=self._store,
         )
-        self.core = ServiceCore(self.master, config)
-        self.shared = _SharedMaster(self.master)
         #: Growing query catalog; task.query_index points into it.  New
         #: entries are appended *before* the task becomes visible (the
         #: submit happens under the master lock), so workers never see
         #: an index they cannot resolve.
         self.queries: list[Sequence] = []
+        if self._store is not None:
+            # Cold restart: master results first (so finished requests
+            # can readopt their journaled hits), then the service
+            # journal rebuilds queues and re-admits unfinished work.
+            if recovered is not None and not recovered.empty:
+                restore_into(self.master, recovered, now=0.0)
+            results = (
+                {r.task_id: r for r in recovered.results()}
+                if recovered is not None
+                else {}
+            )
+            self.core = ServiceCore.recover(
+                self.master,
+                self._store,
+                config,
+                now=0.0,
+                results=results,
+                query_index_of=self._recover_query,
+                wall_now=time.time(),
+            )
+        else:
+            self.core = ServiceCore(self.master, config)
+        self.shared = _SharedMaster(self.master)
         self._cancel_lock = threading.Lock()
         self._cancel_flags: dict[str, set[int]] = {
             pe: set() for pe in self.engines
@@ -93,6 +128,22 @@ class ThreadedSearchService:
     # ------------------------------------------------------------------
     def _clock(self) -> float:
         return time.perf_counter() - self._start_time
+
+    def _recover_query(self, record: dict) -> int:
+        """Re-register a journaled inline query payload; its new index.
+
+        Called by :meth:`ServiceCore.recover` for every request that
+        still needs (re-)execution.  A record admitted without a
+        payload cannot be re-run and keeps index ``-1`` — workers would
+        fail on it, so such admits only happen journal-less.
+        """
+        payload = record.get("query")
+        if payload is None:
+            return -1
+        self.queries.append(
+            Sequence(payload["id"], payload["residues"])
+        )
+        return len(self.queries) - 1
 
     def start(self) -> "ThreadedSearchService":
         if self._started:
@@ -147,12 +198,24 @@ class ThreadedSearchService:
         tenant: str,
         query: Sequence,
         deadline: float | None = None,
+        request_id: str | None = None,
     ) -> SubmitOutcome:
-        """Admit *query* for *tenant*; ``deadline`` is seconds from now."""
+        """Admit *query* for *tenant*; ``deadline`` is seconds from now.
+
+        A client-supplied *request_id* makes the call idempotent —
+        resubmitting an id the service already admitted (including one
+        recovered from the journal after a restart) acknowledges the
+        original admission instead of creating a duplicate.
+        """
         if not self._started or self._closed:
             raise RuntimeError("service is not running")
 
         def _submit(master: Master) -> SubmitOutcome:
+            if (
+                request_id is not None
+                and request_id in self.core.requests
+            ):
+                return SubmitOutcome(accepted=True, request_id=request_id)
             now = self._clock()
             self.queries.append(query)
             outcome = self.core.submit(
@@ -163,6 +226,8 @@ class ThreadedSearchService:
                 now=now,
                 deadline=None if deadline is None else now + deadline,
                 query_index=len(self.queries) - 1,
+                request_id=request_id,
+                query={"id": query.id, "residues": query.residues},
             )
             if not outcome.accepted:
                 self.queries.pop()
@@ -232,6 +297,35 @@ class ThreadedSearchService:
             lambda m: self.core.final_record(self._clock())
         )
 
+    def crash(self) -> None:
+        """Hard-kill simulation for chaos tests: no drain, no farewell.
+
+        Arms the :class:`~repro.faults.MasterCrashed` fault on the
+        shared facade — workers see a dead master and exit — then stops
+        the ticker and closes the journal handles.  With the default
+        ``sync_every=1`` every acknowledged admission is already on
+        disk, so what remains is exactly the state a ``kill -9`` leaves
+        behind; a new :class:`ThreadedSearchService` pointed at the
+        same ``checkpoint_dir`` cold-restarts from it.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._ticker_stop.set()
+        if self._ticker is not None:
+            self._ticker.join()
+
+        def _arm(master: Master) -> None:
+            self.shared._crash_at = -1.0
+            self.shared.crashed = True
+
+        self.shared.with_lock(_arm)
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+
     def close(self) -> None:
         """Drain (if not already) and stop the ticker."""
         if self._closed:
@@ -246,6 +340,9 @@ class ThreadedSearchService:
             worker.join(timeout=5.0)
             if worker.error is not None:
                 raise worker.error
+        if self._store is not None:
+            self._store.close()
+            self._store = None
 
     def __enter__(self) -> "ThreadedSearchService":
         return self.start()

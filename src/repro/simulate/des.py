@@ -1202,6 +1202,9 @@ class ServiceSimReport:
     trace: list[TraceEvent]
     metrics: dict
     events: EventLog
+    #: Arrivals that found the master dead (a ``master_crash`` outage):
+    #: not offered to admission at all, so neither admitted nor shed.
+    unreachable: int = 0
 
     @property
     def shed_total(self) -> int:
@@ -1228,6 +1231,7 @@ class ServiceSimReport:
             "completed": self.completed,
             "expired": self.expired,
             "cancelled": self.cancelled,
+            "unreachable": self.unreachable,
             "drained_at": self.drained_at,
             "latency_p50": self.latency_quantile(0.50),
             "latency_p99": self.latency_quantile(0.99),
@@ -1250,6 +1254,10 @@ class _ServiceRunState(_RunState):
         self.admitted_cells = 0
         self.shed: dict[str, int] = {}
         self.drained_at: float | None = None
+        #: Arrivals during a master outage: the front door is simply
+        #: gone (connection refused), which is neither an admission nor
+        #: a shed decision — the report buckets them separately.
+        self.unreachable = 0
 
     def service_tick(self) -> None:
         if self._master_down():
@@ -1265,6 +1273,9 @@ class _ServiceRunState(_RunState):
     def on_arrival(self, arrival: ServiceArrival) -> None:
         now = self.queue.now
         self.offered += 1
+        if self._master_down():
+            self.unreachable += 1
+            return
         deadline = (
             None if arrival.deadline is None else now + arrival.deadline
         )
@@ -1291,6 +1302,11 @@ class _ServiceRunState(_RunState):
             self.shed[reason] = self.shed.get(reason, 0) + 1
 
     def on_drain(self) -> None:
+        if self._master_down():
+            # The drain request bounces off the dead master too; retry
+            # the moment the replacement is up.
+            self.queue.schedule(self.master_down_until, self.on_drain)
+            return
         self.service.drain(self.queue.now)
         self.service_tick()
 
@@ -1308,6 +1324,52 @@ class _ServiceRunState(_RunState):
         # Finalize immediately: the request flips to ``done`` at the
         # completion instant, and the freed window refills.
         self.service_tick()
+
+    def on_master_recover(self) -> None:
+        """Cold-restart the service master from the journal pair.
+
+        Extends the base recovery with the service journal: a fresh
+        :class:`~repro.service.core.ServiceCore` is rebuilt via
+        :meth:`~repro.service.core.ServiceCore.recover` — requests the
+        dead service had finished readopt their journaled results,
+        unfinished ones re-enter the fair queue with their original
+        deadlines, and ones that expired during the outage are
+        cancelled loudly.  Nothing is carried over in memory.
+        """
+        from ..service.core import ServiceCore
+
+        now = self.queue.now
+        dead = self.master
+        self.trace_prefix.extend(dead.trace)
+        self.store.close()
+        store = CheckpointStore(
+            self.config.checkpoint_dir,
+            sync_every=self.config.checkpoint_sync_every,
+            compact_every=self.config.checkpoint_compact_every,
+        )
+        recovered = store.open(self.workload)
+        replacement = Master(
+            [],
+            policy=self.config.policy,
+            adjustment=self.config.adjustment,
+            omega=self.config.omega,
+            metrics=dead.metrics,
+            events=dead.events,
+            journal=store,
+            batch=self.config.batch,
+        )
+        restore_into(replacement, recovered, now=now)
+        self.master = replacement
+        self.store = store
+        self.service = ServiceCore.recover(
+            replacement,
+            store,
+            self.service.config,
+            now=now,
+            results={r.task_id: r for r in recovered.results()},
+        )
+        if self.service.drained and self.drained_at is None:
+            self.drained_at = now
 
 
 class ServiceSimulator(HybridSimulator):
@@ -1343,22 +1405,29 @@ class ServiceSimulator(HybridSimulator):
     ) -> ServiceSimReport:
         from ..service.core import ServiceConfig, ServiceCore
 
-        if self.checkpoint_dir is not None:
-            raise ValueError(
-                "service mode and checkpoint journaling are mutually "
-                "exclusive (admitted tasks postdate the journal's "
-                "task-set snapshot)"
-            )
-        if self.faults is not None and self.faults.master_crash is not None:
-            raise ValueError(
-                "master_crash is unsupported in service mode: service "
-                "state is not journaled, so a replacement master could "
-                "not recover the admitted requests"
-            )
         arrivals = sorted(arrivals, key=lambda a: a.time)
         queue = EventQueue()
         metrics = MetricsRegistry()
         events = EventLog()
+        store: CheckpointStore | None = None
+        workload = workload_fingerprint([])
+        if self.checkpoint_dir is not None:
+            store = CheckpointStore(
+                self.checkpoint_dir,
+                sync_every=self.checkpoint_sync_every,
+                compact_every=self.checkpoint_compact_every,
+            )
+            recovered = store.open(workload)
+        if (
+            self.faults is not None
+            and self.faults.master_crash is not None
+            and store is None
+        ):
+            raise ValueError(
+                "a master_crash fault requires checkpoint_dir: without "
+                "the journal pair there is nothing for the replacement "
+                "service master to recover from"
+            )
         master = Master(
             [],
             policy=self.policy,
@@ -1366,9 +1435,21 @@ class ServiceSimulator(HybridSimulator):
             omega=self.omega,
             metrics=metrics,
             events=events,
+            journal=store,
             batch=self.batch,
         )
-        core = ServiceCore(master, service or ServiceConfig())
+        if store is not None:
+            if not recovered.empty:
+                restore_into(master, recovered, now=0.0)
+            core = ServiceCore.recover(
+                master,
+                store,
+                service or ServiceConfig(),
+                now=0.0,
+                results={r.task_id: r for r in recovered.results()},
+            )
+        else:
+            core = ServiceCore(master, service or ServiceConfig())
         pes = {spec.pe_id: _SimPE(spec) for spec in self.specs}
         injector = None
         heartbeat = self.heartbeat_timeout
@@ -1380,10 +1461,14 @@ class ServiceSimulator(HybridSimulator):
                 heartbeat = 10 * self.notify_interval
         state = _ServiceRunState(
             queue, master, pes, self, injector, heartbeat or 0.0,
-            tasks=[], service=core,
+            tasks=[], store=store, workload=workload, service=core,
         )
 
         if injector is not None:
+            if self.faults.master_crash is not None:
+                queue.schedule(
+                    self.faults.master_crash.at_time, state.on_master_crash
+                )
             for crash in self.faults.crashes:
                 pe = pes.get(crash.pe_id)
                 if pe is not None and crash.at_time is not None:
@@ -1460,8 +1545,16 @@ class ServiceSimulator(HybridSimulator):
         queue.schedule(drain_at, state.on_drain)
         queue.schedule(self.notify_interval, state.on_sweep)
 
-        queue.run()
+        try:
+            queue.run()
+        finally:
+            if state.store is not None:
+                state.store.close()
 
+        # A master crash replaces state.master/state.service mid-run;
+        # everything below must look at the survivors.
+        master = state.master
+        core = state.service
         if not core.drained or not master.finished:
             raise RuntimeError(
                 "service simulation drained its event queue without "
@@ -1488,7 +1581,8 @@ class ServiceSimulator(HybridSimulator):
             drained_at=drained_at,
             latencies=latencies,
             requests=dict(core.requests),
-            trace=list(master.trace),
+            trace=state.trace_prefix + list(master.trace),
             metrics=metrics.snapshot(),
             events=events,
+            unreachable=state.unreachable,
         )

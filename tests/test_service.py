@@ -225,11 +225,18 @@ class TestServiceCoreAdmission:
         assert shed.reason == "backlog"
         assert shed.retry_after is not None
 
-    def test_journaling_master_rejected(self):
+    def test_journaling_master_composes(self, tmp_path):
+        from repro.durability import CheckpointStore
+        from repro.durability.checkpoint import workload_fingerprint
+
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.open(workload_fingerprint([]))
         master = make_master()
-        master.journal = object()
-        with pytest.raises(ValueError):
-            ServiceCore(master, ServiceConfig())
+        master.journal = store
+        core = ServiceCore(master, ServiceConfig())
+        make_request(core)
+        store.close()
+        assert (tmp_path / "ckpt" / "service.jsonl").exists()
 
     def test_task_ids_continue_after_seed_workload(self):
         master = make_master([make_task(0), make_task(1)])

@@ -159,10 +159,14 @@ class TestDrain:
         assert report.offered == 0
         assert report.drained_at == 0.0
 
-    def test_checkpoint_dir_rejected(self):
-        sim = make_sim(checkpoint_dir="/tmp/never-used")
-        with pytest.raises(ValueError):
-            sim.run_service((), ServiceConfig())
+    def test_checkpoint_dir_composes(self, tmp_path):
+        # PR 9 removed the service/checkpoint mutual exclusion: a
+        # journaling service run writes the sibling service journal.
+        sim = make_sim(checkpoint_dir=str(tmp_path / "ckpt"))
+        arrivals = service_arrivals(2.0, 5.0, np.random.default_rng(3))
+        report = sim.run_service(arrivals, ServiceConfig())
+        assert report.completed == report.admitted
+        assert (tmp_path / "ckpt" / "service.jsonl").exists()
 
 
 class TestChaos:
@@ -178,13 +182,40 @@ class TestChaos:
         assert report.completed == report.admitted == report.offered
         assert report.drained_at > 0.0
 
-    def test_master_crash_fault_rejected(self):
+    def test_master_crash_requires_checkpoint_dir(self):
         from repro.faults import MasterCrashFault
 
         plan = FaultPlan(master_crash=MasterCrashFault(at_time=1.0))
         sim = make_sim(faults=plan)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="checkpoint_dir"):
             sim.run_service((), ServiceConfig())
+
+    def test_master_crash_recovers_service_from_journal(self, tmp_path):
+        from repro.faults import MasterCrashFault
+
+        plan = FaultPlan(
+            master_crash=MasterCrashFault(at_time=6.0, recovery_after=2.0)
+        )
+        sim = make_sim(
+            count=2, faults=plan,
+            checkpoint_dir=str(tmp_path / "ckpt"),
+        )
+        arrivals = service_arrivals(2.0, 20.0, np.random.default_rng(11))
+        report = sim.run_service(
+            arrivals, ServiceConfig(max_queue_depth=64), drain_at=25.0
+        )
+        # Arrivals during the outage bounce; everything admitted before
+        # and after the crash still completes from the journal pair.
+        assert report.unreachable > 0
+        assert report.offered == (
+            report.admitted + report.shed_total + report.unreachable
+        )
+        assert report.completed == report.admitted
+        recovery = [
+            e for e in report.events
+            if e.get("kind") == "service_recovery"
+        ]
+        assert len(recovery) == 1 and recovery[0]["readmitted"] >= 0
 
 
 class TestFairness:
