@@ -35,6 +35,19 @@ from .intersequence import (
     sw_score_database_dual,
 )
 from .reference import DPMatrices, sw_matrix, sw_score_reference
+from .screening import (
+    DEFAULT_BIN_WIDTH,
+    DEFAULT_SCREEN_LANES,
+    SCREEN_CAP,
+    LengthBinnedPack,
+    ScreenStats,
+    ScreenedResult,
+    pack_database_binned,
+    sw_score_database_screened,
+    sw_score_database_screened_multi,
+    sw_screen_batch,
+    sw_screen_batch_multi,
+)
 from .scoring import (
     BLOSUM50,
     BLOSUM62,
@@ -104,6 +117,17 @@ __all__ = [
     "DPMatrices",
     "sw_matrix",
     "sw_score_reference",
+    "DEFAULT_BIN_WIDTH",
+    "DEFAULT_SCREEN_LANES",
+    "SCREEN_CAP",
+    "LengthBinnedPack",
+    "ScreenStats",
+    "ScreenedResult",
+    "pack_database_binned",
+    "sw_score_database_screened",
+    "sw_score_database_screened_multi",
+    "sw_screen_batch",
+    "sw_screen_batch_multi",
     "SubstitutionMatrix",
     "BLOSUM62",
     "BLOSUM50",

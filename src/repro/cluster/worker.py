@@ -92,6 +92,12 @@ class WorkerConfig:
     #: shards and profiles from it instead of re-packing on start
     #: (implies private engine caches; see ``docs/storage.md``).
     store: str | None = None
+    #: Two-stage screening on inter-sequence engines: 8-bit saturating
+    #: screen over length-binned packs, exact rescore of survivors.
+    #: Silently ignored by engine kinds without a screening path
+    #: ("sse"/"scan"), so a mixed fleet can share one config template.
+    screen: bool = False
+    screen_threshold: int | None = None
     connect_timeout: float = 10.0
     io_timeout: float = 60.0
     reconnect_attempts: int = 8
@@ -106,13 +112,19 @@ class WorkerConfig:
                 f"unknown engine {self.engine!r}; "
                 f"known: {sorted(_ENGINE_CLASSES)}"
             ) from None
-        return cls(
-            get_matrix(self.matrix),
-            affine_gap(self.gap_open, self.gap_extend),
+        kwargs = dict(
             top=self.top,
             chunk_size=self.chunk_size,
             cache=self.cache,
             store=self.store,
+        )
+        if self.engine in ("gpu", "gpu-dual"):
+            kwargs["screen"] = self.screen
+            kwargs["screen_threshold"] = self.screen_threshold
+        return cls(
+            get_matrix(self.matrix),
+            affine_gap(self.gap_open, self.gap_extend),
+            **kwargs,
         )
 
 

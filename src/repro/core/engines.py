@@ -30,6 +30,18 @@ from ..align.gaps import DEFAULT_GAPS, GapModel
 from ..align.intersequence import pack_database, sw_score_batch, _padded_profile
 from ..align.columnwise import sw_score_scan
 from ..align.multiquery import build_multi_profile, sw_score_batch_multi
+from ..align.screening import (
+    DEFAULT_BIN_WIDTH,
+    DEFAULT_SCREEN_LANES,
+    ScreenStats,
+    build_screen_multi_profile,
+    build_screen_profile,
+    pack_database_binned,
+    rescore_screened,
+    rescore_screened_multi,
+    sw_screen_batch,
+    sw_screen_batch_multi,
+)
 from ..align.scoring import SubstitutionMatrix
 from ..align.striped import (
     SCORE_CAP_8BIT,
@@ -115,10 +127,13 @@ class Engine(abc.ABC):
             self.profile_cache = default_profile_cache()
 
     def bind_caches(self, registry) -> None:
-        """Mirror this engine's cache accounting into *registry*."""
+        """Mirror this engine's cache/screen accounting into *registry*."""
         for cache in (self.pack_cache, self.profile_cache):
             if cache is not None:
                 cache.bind(registry)
+        stats = getattr(self, "screen_stats", None)
+        if stats is not None:
+            stats.bind(registry)
 
     def search(
         self,
@@ -288,22 +303,115 @@ class InterSequenceEngine(Engine):
     ``dual_precision=True`` enables the capped-first-pass pipeline
     (CUDASW++'s limited-precision kernel + exact recompute of the rare
     saturating subjects); scores are bit-identical either way.
+
+    ``screen=True`` enables the two-stage screening pipeline instead:
+    an 8-bit saturating sweep over tightly length-binned packs screens
+    the whole database, and only sequences that saturated or cleared
+    the (adaptive or explicit ``screen_threshold``) rescore bar re-run
+    on the exact kernel — final hits stay byte-identical to every other
+    engine.  Screening composes with the multi-query tensor: batched
+    searches screen all queries in one int32 sweep per pack.
     """
 
     pe_class = "gpu"
 
     def __init__(
-        self, *args, lanes: int = 32, dual_precision: bool = False, **kwargs
+        self,
+        *args,
+        lanes: int = 32,
+        dual_precision: bool = False,
+        screen: bool = False,
+        screen_threshold: int | None = None,
+        screen_lanes: int = DEFAULT_SCREEN_LANES,
+        screen_bin_width: int = DEFAULT_BIN_WIDTH,
+        **kwargs,
     ):
         super().__init__(*args, **kwargs)
         self.lanes = lanes
         self.dual_precision = dual_precision
+        self.screen = screen
+        self.screen_threshold = screen_threshold
+        self.screen_lanes = screen_lanes
+        self.screen_bin_width = screen_bin_width
+        # Always constructed, so toggling ``engine.screen`` later (the
+        # BatchedEngine wrapper does) needs no extra setup.
+        self.screen_stats = ScreenStats()
 
     def _packs(self, database):
         """Lane packs for *database*: cached conversion when enabled."""
         if self.pack_cache is None:
             return pack_database(database, self.matrix, lanes=self.lanes)
         return self.pack_cache.packs(database, self.matrix, self.lanes)
+
+    def _binned_packs(self, database):
+        """Length-binned screening packs, cache/store-tiered like packs."""
+        if self.pack_cache is None:
+            return pack_database_binned(
+                database,
+                self.matrix,
+                lanes=self.screen_lanes,
+                bin_width=self.screen_bin_width,
+            )
+        return self.pack_cache.binned_packs(
+            database, self.matrix, self.screen_lanes, self.screen_bin_width
+        )
+
+    def _screen_profile(self, query_codes):
+        if self.profile_cache is None:
+            return build_screen_profile(query_codes, self.matrix)
+
+        def build():
+            profile = build_screen_profile(query_codes, self.matrix)
+            profile.setflags(write=False)
+            return profile
+
+        return self.profile_cache.get_or_build(
+            "screen", query_codes.tobytes(), self.matrix, (), build
+        )
+
+    def _screen_multi_profile(self, queries_codes):
+        if self.profile_cache is None:
+            return build_screen_multi_profile(queries_codes, self.matrix)
+        key = tuple(codes.tobytes() for codes in queries_codes)
+        return self.profile_cache.get_or_build(
+            "screen-multi",
+            key,
+            self.matrix,
+            (),
+            lambda: build_screen_multi_profile(queries_codes, self.matrix),
+        )
+
+    def search(self, query, database, progress=None):
+        if not self.screen:
+            return super().search(query, database, progress=progress)
+        from ..align.reference import _codes
+
+        query_codes = _codes(query, self.matrix)
+        profile = self._screen_profile(query_codes)
+        screened = np.zeros(len(database), dtype=np.int64)
+        saturated = np.zeros(len(database), dtype=bool)
+        for pack in self._binned_packs(database):
+            batch, flags = sw_screen_batch(
+                query_codes, pack, self.matrix, self.gaps, profile=profile
+            )
+            screened[pack.order] = batch
+            saturated[pack.order] = flags
+            if progress is not None:
+                cells = len(query_codes) * pack.cells_per_query_residue
+                if not progress(ChunkProgress(cells)):
+                    return None
+        result = rescore_screened(
+            query_codes,
+            database,
+            self.matrix,
+            self.gaps,
+            screened,
+            saturated,
+            top=self.top,
+            threshold=self.screen_threshold,
+            stats=self.screen_stats,
+        )
+        return self._hits_from_scores(result.scores, database)
 
     def _query_profile(self, query_codes):
         if self.profile_cache is None:
@@ -343,6 +451,10 @@ class InterSequenceEngine(Engine):
 
         if not queries:
             return []
+        if self.screen:
+            return self._search_batch_screened(
+                queries, database, progress=progress, cancelled=cancelled
+            )
         queries_codes = [_codes(q, self.matrix) for q in queries]
         mq = self._multi_profile(queries_codes)
         scores = np.zeros((len(queries), len(database)), dtype=np.int64)
@@ -366,6 +478,56 @@ class InterSequenceEngine(Engine):
         return [
             None if aborted[position]
             else self._hits_from_scores(scores[position], database)
+            for position in range(len(queries))
+        ]
+
+    def _search_batch_screened(
+        self, queries, database, progress=None, cancelled=None
+    ):
+        """Screened batch path: one int32 screen sweep for all queries.
+
+        Same per-pack progress/cancel contract as the exact batch path;
+        the exact rescore of the survivor union runs once at the end
+        for the queries that were not aborted.
+        """
+        from ..align.reference import _codes
+
+        queries_codes = [_codes(q, self.matrix) for q in queries]
+        mq = self._screen_multi_profile(queries_codes)
+        screened = np.zeros((len(queries), len(database)), dtype=np.int64)
+        saturated = np.zeros((len(queries), len(database)), dtype=bool)
+        aborted = [False] * len(queries)
+        for pack in self._binned_packs(database):
+            batch, flags = sw_screen_batch_multi(mq, pack, self.gaps)
+            screened[:, pack.order] = batch
+            saturated[:, pack.order] = flags
+            for position in range(len(queries)):
+                if aborted[position]:
+                    continue
+                if cancelled is not None and cancelled(position):
+                    aborted[position] = True
+                    continue
+                if progress is not None:
+                    cells = (
+                        len(queries_codes[position])
+                        * pack.cells_per_query_residue
+                    )
+                    if not progress(position, ChunkProgress(cells)):
+                        aborted[position] = True
+        result = rescore_screened_multi(
+            queries,
+            database,
+            self.matrix,
+            self.gaps,
+            screened,
+            saturated,
+            top=self.top,
+            threshold=self.screen_threshold,
+            stats=self.screen_stats,
+        )
+        return [
+            None if aborted[position]
+            else self._hits_from_scores(result.scores[position], database)
             for position in range(len(queries))
         ]
 
@@ -514,12 +676,33 @@ class BatchedEngine(Engine):
 
     pe_class = "batched"
 
-    def __init__(self, inner: Engine, max_batch: int = 8):
+    def __init__(
+        self,
+        inner: Engine,
+        max_batch: int = 8,
+        screen: bool | None = None,
+    ):
         if max_batch <= 0:
             raise ValueError("max_batch must be positive")
         # Like ThrottledEngine: no super().__init__; behaviour delegates.
         self.inner = inner
         self.max_batch = max_batch
+        if screen is not None:
+            if not hasattr(inner, "screen"):
+                raise ValueError(
+                    "inner engine does not support screening; wrap an "
+                    "InterSequenceEngine to use screen="
+                )
+            inner.screen = bool(screen)
+
+    @property
+    def screen(self):
+        """Whether the wrapped engine screens (False if unsupported)."""
+        return bool(getattr(self.inner, "screen", False))
+
+    @property
+    def screen_stats(self):  # type: ignore[override]
+        return getattr(self.inner, "screen_stats", None)
 
     @property
     def matrix(self):  # type: ignore[override]

@@ -30,6 +30,7 @@ from .conventions import (
     cluster_worker_instruments,
     finalize_run_metrics,
     master_instruments,
+    screen_instruments,
     service_instruments,
 )
 from .dashboard import render_status, run_top, status_from_snapshot
@@ -97,6 +98,7 @@ __all__ = [
     "Stopwatch",
     "master_instruments",
     "cache_instruments",
+    "screen_instruments",
     "cluster_server_instruments",
     "cluster_worker_instruments",
     "service_instruments",

@@ -85,6 +85,20 @@ def all_engines(matrix, gaps, top):
             InterSequenceEngine(matrix, gaps, top=top, chunk_size=4),
             max_batch=3,
         ),
+        # Two-stage screening: tiny lanes/bins so small random cases
+        # still exercise multi-pack screening and the rescore union.
+        "screened": InterSequenceEngine(
+            matrix, gaps, top=top, chunk_size=4,
+            screen=True, screen_lanes=4, screen_bin_width=4,
+        ),
+        "batched_screened": BatchedEngine(
+            InterSequenceEngine(
+                matrix, gaps, top=top, chunk_size=4,
+                screen_lanes=4, screen_bin_width=4,
+            ),
+            max_batch=3,
+            screen=True,
+        ),
     }
 
 
@@ -231,6 +245,34 @@ class TestStoreBackedConformance:
         }
         for name, engine in warm.items():
             assert projection(engine.search(q, database)) == expected, name
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        query=st.text(alphabet=AMINO, min_size=1, max_size=24),
+        subjects=protein_lists,
+        gaps=gap_models,
+    )
+    def test_store_backed_screened_engine_conforms(
+        self, tmp_path_factory, query, subjects, gaps
+    ):
+        """Screened engines warm-started from binned store shards stay
+        bit-exact against the reference."""
+        from repro.align.screening import DEFAULT_SCREEN_LANES
+        from repro.store import build_store
+
+        root = tmp_path_factory.mktemp("conf-screen-store") / "s"
+        q = protein_seq(query)
+        database = protein_db(subjects)
+        build_store(
+            root, database, BLOSUM62, queries=[q],
+            binned_lanes=(DEFAULT_SCREEN_LANES,),
+        )
+        top = len(database)
+        expected = reference_hits(q, database, BLOSUM62, gaps, top)
+        warm = InterSequenceEngine(
+            BLOSUM62, gaps, top=top, store=str(root), screen=True
+        )
+        assert projection(warm.search(q, database)) == expected
 
     def test_store_hits_identical_to_cold_engine(self, tmp_path):
         from repro.store import build_store
